@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables, figures or headline
+claims and registers the reproduced rows/series with :func:`record_report`.
+The collected reports are printed in the terminal summary (so they appear in
+``pytest benchmarks/ --benchmark-only`` output without needing ``-s``) —
+that printout is the artefact EXPERIMENTS.md refers to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def record_report(title: str, body: str) -> None:
+    """Register a reproduced table/figure for the end-of-run summary."""
+    _REPORTS.append((title, body))
+
+
+@pytest.fixture
+def report():
+    """Fixture handing benchmarks the report-recording callable."""
+    return record_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every reproduced table/figure after the benchmark results."""
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper tables and figures")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {title} ====")
+        for line in body.splitlines():
+            terminalreporter.write_line(line)
+    _REPORTS.clear()

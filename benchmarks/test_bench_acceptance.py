@@ -1,0 +1,124 @@
+"""E8 — Figures 3–6: the mechanics behind the error analysis.
+
+Four mechanical facts underpin the paper's section 3, illustrated in its
+Figures 3 to 6:
+
+* the LSB waveform of a ramp acquisition carries every code width (Fig. 3/4),
+* the sampling phase relative to a transition is uniformly distributed, so a
+  code of width ``dV`` yields ``floor(dV/ds)`` or ``floor(dV/ds)+1`` counts
+  (Fig. 5),
+* the resulting acceptance probability of a code width is the trapezoid
+  ``h(dV, ds)`` (Fig. 6b),
+* combining it with the Gaussian width distribution gives the per-code error
+  integrals (Fig. 6a, Equations (6)–(7)).
+
+The benchmark verifies each of these against brute-force simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adc import FlashADC
+from repro.analysis import acceptance_probability, simulate_counts
+from repro.analysis.error_model import ErrorModel
+from repro.core import BistConfig, BistEngine
+from repro.reporting import ascii_plot, format_table
+
+
+def test_bench_lsb_carries_code_widths(benchmark, report):
+    """Figure 3/4: widths measured from the LSB equal the true widths."""
+
+    step = 1.0 / 100  # fine enough for accuracy, coarse enough that an
+    # 8-bit counter (256 counts = 2.56 LSB) never saturates
+
+    def measure():
+        adc = FlashADC.from_sigma(6, 0.21, seed=99)
+        engine = BistEngine(BistConfig(counter_bits=8, dnl_spec_lsb=1.0,
+                                       delta_s_lsb=step))
+        result = engine.run(adc)
+        return adc.transfer_function().code_widths_lsb, \
+            result.measured_widths_lsb
+
+    true_widths, measured = benchmark.pedantic(measure, rounds=1,
+                                               iterations=1)
+    error = measured - true_widths
+    report("Figures 3/4 — code widths recovered from the LSB",
+           format_table(
+               ["quantity", "value"],
+               [["codes measured", len(measured)],
+                ["worst |width error| [LSB]", float(np.max(np.abs(error)))],
+                ["mean |width error| [LSB]", float(np.mean(np.abs(error)))],
+                ["counting step ds [LSB]", step]]))
+    # The measurement error never exceeds one counting step (Figure 5).
+    assert np.max(np.abs(error)) <= step + 1e-9
+
+
+def test_bench_sampling_uncertainty(benchmark, report):
+    """Figure 5: counts take exactly the two adjacent integer values."""
+
+    def histogram():
+        widths = np.full((200000, 1), 0.73)
+        counts = simulate_counts(widths, delta_s_lsb=0.1,
+                                 phase_model="independent", rng=5)
+        values, occurrences = np.unique(counts, return_counts=True)
+        return values, occurrences / counts.size
+
+    values, fractions = benchmark(histogram)
+    report("Figure 5 — count distribution of a 0.73-LSB code at ds = 0.1",
+           format_table(["count", "fraction of measurements"],
+                        list(zip(values.tolist(), fractions.tolist()))))
+    assert set(values.tolist()) == {7, 8}
+    # P(count = 8) equals the fractional part 0.3.
+    fraction_high = fractions[values.tolist().index(8)]
+    assert fraction_high == pytest.approx(0.3, abs=0.01)
+
+
+def test_bench_acceptance_trapezoid(benchmark, report):
+    """Figure 6b: empirical acceptance matches the trapezoid h(dV, ds)."""
+    ds, i_min, i_max = 0.1, 6, 14
+
+    def empirical_acceptance():
+        widths_axis = np.linspace(0.4, 1.7, 27)
+        empirical = []
+        for width in widths_axis:
+            counts = simulate_counts(np.full((20000, 1), width), ds,
+                                     phase_model="independent", rng=7)
+            accepted = (counts >= i_min) & (counts <= i_max)
+            empirical.append(float(accepted.mean()))
+        return widths_axis, np.array(empirical)
+
+    widths_axis, empirical = benchmark.pedantic(empirical_acceptance,
+                                                rounds=1, iterations=1)
+    analytic = acceptance_probability(widths_axis, ds, i_min, i_max)
+    body = [ascii_plot(widths_axis, analytic,
+                       title=f"h(dV, ds={ds}) analytic trapezoid "
+                             f"(i_min={i_min}, i_max={i_max})")]
+    body.append("")
+    body.append(format_table(
+        ["width [LSB]", "empirical P(accept)", "analytic h"],
+        [[w, e, a] for w, e, a in zip(widths_axis[::3], empirical[::3],
+                                      analytic[::3])]))
+    report("Figure 6b — acceptance probability of a code width",
+           "\n".join(body))
+    assert np.max(np.abs(empirical - analytic)) < 0.02
+
+
+def test_bench_per_code_error_integrals(benchmark, report):
+    """Equations (6)/(7): closed form versus dense numerical quadrature."""
+
+    def both():
+        model = ErrorModel(dnl_spec_lsb=0.5, counter_bits=5)
+        return model.per_code(), model.per_code_numeric(points=200001)
+
+    analytic, numeric = benchmark(both)
+    report("Equations (6)/(7) — per-code error integrals",
+           format_table(
+               ["quantity", "closed form", "numerical quadrature"],
+               [["P(good)", analytic.p_good, numeric.p_good],
+                ["P(accept)", analytic.p_accept, numeric.p_accept],
+                ["type I per code", analytic.type_i, numeric.type_i],
+                ["type II per code", analytic.type_ii, numeric.type_ii]]))
+    assert analytic.type_i == pytest.approx(numeric.type_i, abs=1e-5)
+    assert analytic.type_ii == pytest.approx(numeric.type_ii, abs=1e-5)

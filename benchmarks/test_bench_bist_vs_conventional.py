@@ -1,0 +1,89 @@
+"""E6 — "A 7-bit counter matches the conventional 4096-sample histogram test."
+
+The paper's concluding comparison: the quality of the BIST with a 7-bit
+counter equals that of the conventional production histogram test, which
+captures 4096 full-resolution samples per device.  The benchmark runs both
+tests on the same Monte-Carlo batch of flash devices and compares their
+decisions against the true device linearity and against each other, and also
+tabulates the tester data volume each flow needs (the economics motivation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adc import DevicePopulation, PopulationSpec
+from repro.analysis import HistogramTest
+from repro.core import BistConfig, BistEngine
+from repro.economics import TestPlan
+from repro.reporting import format_table
+
+BATCH = 150
+DNL_SPEC = 0.5
+
+
+def _compare():
+    population = DevicePopulation(PopulationSpec(size=BATCH, seed=23))
+    truly_good = np.array([
+        device.transfer_function().max_dnl() <= DNL_SPEC
+        for device in population])
+
+    flows = {
+        "BIST 4-bit": BistEngine(BistConfig(counter_bits=4,
+                                            dnl_spec_lsb=DNL_SPEC)),
+        "BIST 7-bit": BistEngine(BistConfig(counter_bits=7,
+                                            dnl_spec_lsb=DNL_SPEC)),
+        "histogram 4096": HistogramTest.paper_production(
+            n_bits=6, dnl_spec_lsb=DNL_SPEC),
+    }
+    decisions = {}
+    for name, flow in flows.items():
+        decisions[name] = np.array([
+            flow.run(device, rng=i).passed
+            for i, device in enumerate(population)])
+    return truly_good, decisions
+
+
+def test_bench_bist_vs_conventional(benchmark, report):
+    truly_good, decisions = benchmark.pedantic(_compare, rounds=1,
+                                               iterations=1)
+
+    rows = []
+    for name, accepted in decisions.items():
+        type_i = float(np.mean(truly_good & ~accepted))
+        type_ii = float(np.mean(~truly_good & accepted))
+        agreement = float(np.mean(accepted == truly_good))
+        rows.append([name, int(accepted.sum()), type_i, type_ii, agreement])
+    body = [format_table(
+        ["flow", "accepted", "type I rate", "type II rate",
+         "agreement with truth"], rows,
+        title=f"{BATCH}-device batch, DNL spec ±{DNL_SPEC} LSB "
+              f"({int(truly_good.sum())} truly good)")]
+
+    agree_7bit_hist = float(np.mean(
+        decisions["BIST 7-bit"] == decisions["histogram 4096"]))
+    agree_4bit_hist = float(np.mean(
+        decisions["BIST 4-bit"] == decisions["histogram 4096"]))
+    body.append("")
+    body.append(format_table(
+        ["pair", "per-device agreement"],
+        [["BIST 7-bit vs histogram", agree_7bit_hist],
+         ["BIST 4-bit vs histogram", agree_4bit_hist]]))
+
+    data_rows = [
+        ["conventional histogram",
+         TestPlan.conventional_histogram(6, 4096).data_volume_bits],
+        ["partial BIST (q=1)",
+         TestPlan.partial_bist(6, 1, 4096).data_volume_bits],
+        ["full BIST", TestPlan.full_bist(6, 4096).data_volume_bits],
+    ]
+    body.append("")
+    body.append(format_table(["flow", "bits captured per device"], data_rows,
+                             title="Tester data volume"))
+    report("BIST vs conventional histogram test", "\n".join(body))
+
+    # The 7-bit BIST tracks the conventional test at least as well as the
+    # 4-bit BIST does, and its decisions agree with the histogram test for
+    # the overwhelming majority of devices.
+    assert agree_7bit_hist >= agree_4bit_hist - 0.02
+    assert agree_7bit_hist > 0.9

@@ -1,0 +1,79 @@
+"""E1 — Figure 7: type I / type II error probability versus step size.
+
+The paper's Figure 7 plots the simulated probabilities of type I and type II
+errors as a function of the step size ``ds`` for the stringent ±0.5 LSB DNL
+specification, over the step-size region a 4-bit counter can serve.  The
+benchmark regenerates both series with the closed-form error model and
+cross-checks two points against the Monte-Carlo counting simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ErrorModel, estimate_error_probabilities
+from repro.reporting import ascii_plot, format_table
+
+N_CODES = 62          # inner codes of the paper's 6-bit flash converters
+SIGMA_LSB = 0.21      # worst-case code-width sigma from circuit simulation
+DNL_SPEC = 0.5        # stringent specification of Figure 7 / Table 1
+# Step sizes for which the 4-bit counter (i_max = 16) is the right size.
+DS_VALUES = np.linspace(0.070, 0.115, 46)
+
+
+def _sweep():
+    return ErrorModel.sweep_delta_s(DS_VALUES, n_codes=N_CODES,
+                                    dnl_spec_lsb=DNL_SPEC)
+
+
+def test_bench_figure7_sweep(benchmark, report):
+    sweep = benchmark(_sweep)
+
+    rows = [[ds, ti, tii] for ds, ti, tii in
+            zip(sweep["delta_s_lsb"][::5], sweep["type_i"][::5],
+                sweep["type_ii"][::5])]
+    body = [format_table(["ds [LSB]", "P(type I)", "P(type II)"], rows,
+                         title="Sampled points of the reproduced series")]
+    body.append("")
+    body.append(ascii_plot(sweep["delta_s_lsb"], sweep["type_i"],
+                           title="P(type I) vs ds (DNL spec ±0.5 LSB)"))
+    body.append("")
+    body.append(ascii_plot(sweep["delta_s_lsb"], sweep["type_ii"],
+                           title="P(type II) vs ds (DNL spec ±0.5 LSB)"))
+    report("Figure 7 — error probabilities vs step size", "\n".join(body))
+
+    # Shape checks: probabilities stay in a few-percent band over the 4-bit
+    # region (the series is jagged because the count limits move in integer
+    # steps as ds changes — the same sawtooth visible in the paper's figure).
+    assert np.all(sweep["type_i"] >= 0)
+    assert np.all(sweep["type_ii"] >= 0)
+    assert np.any(sweep["type_i"] > 0.01)
+    assert np.any(sweep["type_ii"] > 0.01)
+    assert np.all(sweep["type_i"] < 0.3)
+    assert np.all(sweep["type_ii"] < 0.3)
+
+
+def test_bench_figure7_monte_carlo_crosscheck(benchmark, report):
+    """Two points of the figure validated with the counting simulation."""
+
+    def crosscheck():
+        results = []
+        for ds in (0.080, 0.091):
+            analytic = ErrorModel(dnl_spec_lsb=DNL_SPEC,
+                                  delta_s_lsb=ds).device(N_CODES)
+            mc = estimate_error_probabilities(
+                n_devices=40000, n_codes=N_CODES, sigma_lsb=SIGMA_LSB,
+                dnl_spec_lsb=DNL_SPEC, delta_s_lsb=ds, rng=17)
+            results.append((ds, analytic, mc))
+        return results
+
+    results = benchmark.pedantic(crosscheck, rounds=1, iterations=1)
+    rows = [[ds, a.type_i, mc.type_i, a.type_ii, mc.type_ii]
+            for ds, a, mc in results]
+    report("Figure 7 — analytic vs Monte-Carlo cross-check",
+           format_table(["ds [LSB]", "type I analytic", "type I MC",
+                         "type II analytic", "type II MC"], rows))
+    for _, analytic, mc in results:
+        assert mc.type_i == pytest.approx(analytic.type_i, abs=0.015)
+        assert mc.type_ii == pytest.approx(analytic.type_ii, abs=0.015)

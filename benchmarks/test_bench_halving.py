@@ -1,0 +1,53 @@
+"""E7 — "The type I error probability is approximately halved per counter bit."
+
+Both the measurements and the simulations in the paper show that adding one
+bit to the counter roughly halves the probability of rejecting a good device
+(and halves the measurement error).  The benchmark quantifies that scaling
+over counters from 4 to 9 bits at the stringent specification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ErrorModel
+from repro.reporting import format_table
+
+N_CODES = 62
+DNL_SPEC = 0.5
+COUNTER_RANGE = range(4, 10)
+
+
+def _scaling():
+    results = {}
+    for bits in COUNTER_RANGE:
+        model = ErrorModel(dnl_spec_lsb=DNL_SPEC, counter_bits=bits)
+        results[bits] = (model.device(N_CODES), model.max_error_lsb())
+    return results
+
+
+def test_bench_type_i_halving(benchmark, report):
+    results = benchmark(_scaling)
+
+    rows = []
+    previous = None
+    ratios = []
+    for bits in COUNTER_RANGE:
+        device, max_error = results[bits]
+        ratio = (previous / device.type_i) if previous else float("nan")
+        if previous:
+            ratios.append(ratio)
+        rows.append([bits, device.type_i, ratio, max_error])
+        previous = device.type_i
+    report("Type-I halving law (stringent spec ±0.5 LSB)",
+           format_table(
+               ["counter bits", "P(type I)", "ratio vs previous",
+                "max error [LSB]"], rows))
+
+    geometric_mean = float(np.prod(ratios) ** (1.0 / len(ratios)))
+    # "Approximately halved": the average ratio sits near two.
+    assert 1.5 < geometric_mean < 3.0
+    # The measurement error halves exactly (it is one counting step).
+    errors = [results[bits][1] for bits in COUNTER_RANGE]
+    error_ratios = [a / b for a, b in zip(errors, errors[1:])]
+    assert all(1.9 < r < 2.1 for r in error_ratios)

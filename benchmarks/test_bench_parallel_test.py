@@ -1,0 +1,119 @@
+"""E9 — The introduction's parallelism and test-cost claims.
+
+The paper's motivation is economic: moving the test-data processing on-chip
+reduces the bits the tester must capture per converter, which lets more
+converters share one tester insertion and lets a cheap digital tester replace
+a mixed-signal one.  These benchmarks quantify that chain of claims with the
+behavioural multi-converter controller and the economics models, and also
+time the controller itself (the library's own overhead for chip-level runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adc import FlashADC
+from repro.core import BistConfig, MultiAdcBistController, qmin
+from repro.economics import (
+    TestCostOptimizer,
+    TestPlan,
+    TesterModel,
+    compare_schedules,
+    cost_per_device,
+)
+from repro.reporting import format_table
+
+
+def test_bench_chip_parallelism(benchmark, report):
+    """One shared ramp tests any number of on-chip converters."""
+    controller = MultiAdcBistController(BistConfig(counter_bits=6,
+                                                   dnl_spec_lsb=1.0))
+
+    def run_chip_sizes():
+        results = {}
+        for n in (1, 2, 4, 8):
+            converters = [FlashADC.from_sigma(6, 0.21, seed=200 + i)
+                          for i in range(n)]
+            results[n] = controller.run_chip(converters, rng=3)
+        return results
+
+    results = benchmark.pedantic(run_chip_sizes, rounds=1, iterations=1)
+    rows = [[n, r.test_time_s * 1e3, r.sequential_test_time_s * 1e3,
+             r.parallel_speedup, controller.gate_count(n)]
+            for n, r in results.items()]
+    report("Parallel chip-level BIST (shared ramp)",
+           format_table(
+               ["converters on chip", "chip test time [ms]",
+                "sequential time [ms]", "speed-up", "test logic [gates]"],
+               rows))
+    # The chip test time is independent of the converter count and the
+    # speed-up therefore scales linearly with it.
+    times = [r.test_time_s for r in results.values()]
+    assert max(times) == pytest.approx(min(times), rel=0.01)
+    assert results[8].parallel_speedup == pytest.approx(8.0, rel=0.05)
+
+
+def test_bench_tester_cost_comparison(benchmark, report):
+    """Conventional vs partial-BIST vs full-BIST tester economics."""
+
+    def economics():
+        mixed_signal = TesterModel.mixed_signal()
+        digital = TesterModel.digital_only()
+        q = qmin(10.0, 1e6, 6)
+        plans = {
+            "conventional histogram (MS tester)": (
+                TestPlan.conventional_histogram(6, 4096), mixed_signal),
+            f"partial BIST q={q} (MS tester)": (
+                TestPlan.partial_bist(6, q, 4096), mixed_signal),
+            "full BIST (digital tester)": (
+                TestPlan.full_bist(6, 4096), digital),
+        }
+        rows = []
+        for name, (plan, tester) in plans.items():
+            rows.append([name, plan.data_volume_bits, plan.channels_needed(),
+                         cost_per_device(plan, tester) * 1e3])
+        schedules = compare_schedules(10_000, 6, q, 64,
+                                      time_per_pass_s=4096e-6)
+        return rows, schedules
+
+    rows, schedules = benchmark(economics)
+    body = [format_table(
+        ["flow", "bits captured/device", "channels/device",
+         "tester cost/device [m$]"], rows)]
+    body.append("")
+    body.append(format_table(
+        ["flow", "total time for 10k converters [s]"],
+        [["conventional", schedules[0].total_time_s],
+         ["partial BIST", schedules[1].total_time_s],
+         ["full BIST", schedules[2].total_time_s]]))
+    report("Tester economics (introduction's motivation)", "\n".join(body))
+
+    costs = [row[3] for row in rows]
+    # Each step towards full BIST reduces the per-device tester cost.
+    assert costs[1] <= costs[0]
+    assert costs[2] <= costs[1]
+    assert schedules[2].total_time_s < schedules[0].total_time_s
+
+
+def test_bench_cost_optimum(benchmark, report):
+    """Total cost of test versus counter size (Figure 1, priced)."""
+    optimizer = TestCostOptimizer(dnl_spec_lsb=1.0)
+
+    def sweep():
+        return optimizer.sweep(range(4, 10)), optimizer.best(range(4, 10))
+
+    breakdowns, best = benchmark(sweep)
+    rows = [[bits, b.silicon_cost * 1e3, b.yield_loss_cost * 1e3,
+             b.escape_cost * 1e3, b.total * 1e3, b.quality.shipped_dppm]
+            for bits, b in breakdowns.items()]
+    report("Cost-of-test optimum versus counter size",
+           format_table(
+               ["counter bits", "silicon [m$]", "yield loss [m$]",
+                "escapes [m$]", "total [m$]", "shipped DPPM"], rows)
+           + f"\n\nbest configuration: {best.counter_bits}-bit counter")
+    # Every configuration from 4 bits up meets the paper's ppm target, and
+    # the optimum is an interior point (escapes push up small counters,
+    # silicon pushes up very large ones).
+    assert all(b.quality.meets_quality_target(100.0)
+               for b in breakdowns.values())
+    assert 4 <= best.counter_bits <= 9

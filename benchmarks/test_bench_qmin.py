@@ -1,0 +1,55 @@
+"""E5 — Equation (1): the partial-BIST partition versus stimulus frequency.
+
+Figure 2 and Equation (1) define how many least-significant bits must remain
+externally observable as the test-signal frequency rises.  The benchmark
+regenerates the q_min curve for the paper's 6-bit converter and for a larger
+10-bit one, and checks the qualitative claims: q = 1 (full BIST) at
+ramp-slow frequencies, monotone growth with frequency, saturation at the full
+resolution near Nyquist-rate stimuli.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PartialBistPartition, qmin
+from repro.reporting import format_table
+
+F_SAMPLE = 1e6
+RATIOS = (1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5)
+
+
+def _qmin_curves():
+    curves = {}
+    for n_bits in (6, 10):
+        curves[n_bits] = [
+            qmin(ratio * F_SAMPLE, F_SAMPLE, n_bits,
+                 dnl_spec_lsb=0.5, inl_spec_lsb=0.5)
+            for ratio in RATIOS]
+    return curves
+
+
+def test_bench_qmin_partition(benchmark, report):
+    curves = benchmark(_qmin_curves)
+
+    rows = []
+    for i, ratio in enumerate(RATIOS):
+        q6 = curves[6][i]
+        q10 = curves[10][i]
+        pins6 = PartialBistPartition(6, q6).max_parallel_devices(64)
+        rows.append([f"{ratio:.0e}", q6, q10, pins6])
+    report("Equation (1) — q_min vs stimulus frequency",
+           format_table(
+               ["f_stim / f_sample", "q_min (6-bit)", "q_min (10-bit)",
+                "6-bit devices in parallel on 64 channels"], rows))
+
+    for n_bits in (6, 10):
+        curve = curves[n_bits]
+        # Full BIST at ramp-slow stimulus frequencies.
+        assert curve[0] == 1
+        # Monotone non-decreasing with frequency.
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+        # Saturates at the full resolution for Nyquist-rate stimuli.
+        assert curve[-1] == n_bits
+    # A wider converter needs at least as many observed bits.
+    assert all(q10 >= q6 for q6, q10 in zip(curves[6], curves[10]))

@@ -1,0 +1,81 @@
+"""E3 — Table 2: error probabilities at the actual specification (±1 LSB).
+
+Table 2 of the paper gives the simulated type I and type II error
+probabilities (×10⁻⁵) and the maximum measurement error for counter sizes of
+4–7 bits at the converter's actual DNL specification of ±1 LSB, concluding
+that even a 4-bit counter keeps test escapes within the 10–100 ppm customer
+requirement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CodeWidthDistribution, ErrorModel
+from repro.reporting import format_table
+
+N_CODES = 62
+DNL_SPEC = 1.0
+COUNTER_SIZES = (4, 5, 6, 7)
+PAPER_TYPE_I_1E5 = {4: 40, 5: 20, 6: 10, 7: 5}
+PAPER_TYPE_II_1E5 = {4: 70, 5: 40, 6: 25, 7: 15}
+PAPER_MAX_ERROR = {4: 1 / 8, 5: 1 / 16, 6: 1 / 32, 7: 1 / 64}
+
+
+def _table2():
+    rows = {}
+    for bits in COUNTER_SIZES:
+        model = ErrorModel(dnl_spec_lsb=DNL_SPEC, counter_bits=bits)
+        rows[bits] = (model.device(N_CODES), model.max_error_lsb())
+    return rows
+
+
+def test_bench_table2(benchmark, report):
+    results = benchmark(_table2)
+
+    rows = []
+    for bits in COUNTER_SIZES:
+        device, max_error = results[bits]
+        rows.append([bits,
+                     device.type_i * 1e5, PAPER_TYPE_I_1E5[bits],
+                     device.type_ii * 1e5, PAPER_TYPE_II_1E5[bits],
+                     device.type_ii_ppm,
+                     max_error, PAPER_MAX_ERROR[bits]])
+    report("Table 2 — actual specification ±1 LSB",
+           format_table(
+               ["counter bits", "type I x1e-5 (repro)", "paper",
+                "type II x1e-5 (repro)", "paper", "escapes [ppm]",
+                "max err (repro)", "max err (paper)"], rows))
+
+    type_i = {b: results[b][0].type_i for b in COUNTER_SIZES}
+    type_ii = {b: results[b][0].type_ii for b in COUNTER_SIZES}
+
+    # Both error probabilities are tiny (1e-5 .. 1e-3 range) and decrease
+    # with the counter size — the paper's qualitative result.
+    for bits in COUNTER_SIZES:
+        assert type_i[bits] < 1e-3
+        assert type_ii[bits] < 1e-3
+    assert type_i[7] < type_i[4]
+    assert type_ii[7] < type_ii[4]
+
+    # The paper's headline conclusion: even the 4-bit counter keeps test
+    # escapes within the 10-100 ppm quality requirement.
+    assert results[4][0].type_ii_ppm < 100.0
+
+    # The max-error column is the paper's 1/8 ... 1/64 LSB sequence.
+    for bits in COUNTER_SIZES:
+        assert results[bits][1] == pytest.approx(PAPER_MAX_ERROR[bits],
+                                                 rel=0.05)
+
+
+def test_bench_table2_yield_context(benchmark, report):
+    """The `1.4e-4 faulty at ±1 LSB` context figure quoted next to Table 2."""
+
+    def faulty_probability():
+        dist = CodeWidthDistribution.paper_worst_case()
+        return dist.prob_device_faulty(DNL_SPEC, N_CODES)
+
+    p_faulty = benchmark(faulty_probability)
+    report("Table 2 context — P(device faulty) at ±1 LSB",
+           f"reproduced: {p_faulty:.2e}   paper: 1.4e-4")
+    assert 1e-5 < p_faulty < 1e-3

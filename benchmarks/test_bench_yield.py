@@ -1,0 +1,73 @@
+"""E4 — Section-4 yield claims: 30 % good at ±0.5 LSB, ~1e-4 faulty at ±1 LSB.
+
+Two context numbers anchor the paper's experiments: under the artificially
+stringent ±0.5 LSB DNL specification only about 30 % of the flash converters
+are good, while under the actual ±1 LSB specification the parametric faulty
+probability is only about 1.4x10⁻⁴.  Both follow from the code-width
+distribution; this benchmark reproduces them three ways (closed form,
+Gaussian Monte-Carlo population, behavioural flash population).
+"""
+
+from __future__ import annotations
+
+from repro.adc import DevicePopulation, PopulationSpec
+from repro.analysis import CodeWidthDistribution
+from repro.reporting import format_table
+
+N_CODES = 62
+SIGMA = 0.21
+
+
+def _yields():
+    dist = CodeWidthDistribution(sigma_lsb=SIGMA)
+    analytic_good_05 = dist.prob_device_good(0.5, N_CODES)
+    analytic_faulty_10 = dist.prob_device_faulty(1.0, N_CODES)
+
+    gaussian_pop = DevicePopulation(PopulationSpec(
+        sigma_code_width_lsb=SIGMA, size=4000, seed=11,
+        architecture="gaussian"))
+    flash_pop = DevicePopulation(PopulationSpec(
+        sigma_code_width_lsb=SIGMA, size=1000, seed=13,
+        architecture="flash"))
+    return {
+        "analytic_good_05": analytic_good_05,
+        "analytic_faulty_10": analytic_faulty_10,
+        "gaussian_good_05": gaussian_pop.yield_fraction(0.5),
+        "flash_good_05": flash_pop.yield_fraction(0.5),
+        "gaussian_good_10": gaussian_pop.yield_fraction(1.0),
+        "flash_good_10": flash_pop.yield_fraction(1.0),
+        "flash_sigma": flash_pop.empirical_sigma_lsb(),
+        "flash_rho": flash_pop.empirical_correlation(),
+    }
+
+
+def test_bench_yield_claims(benchmark, report):
+    results = benchmark.pedantic(_yields, rounds=1, iterations=1)
+
+    rows = [
+        ["P(good) at ±0.5 LSB, closed form", results["analytic_good_05"],
+         "~0.30"],
+        ["P(good) at ±0.5 LSB, Gaussian MC", results["gaussian_good_05"],
+         "~0.30"],
+        ["P(good) at ±0.5 LSB, flash MC", results["flash_good_05"], "~0.30"],
+        ["P(faulty) at ±1 LSB, closed form", results["analytic_faulty_10"],
+         "1.4e-4"],
+        ["P(good) at ±1 LSB, Gaussian MC", results["gaussian_good_10"],
+         ">0.999"],
+        ["P(good) at ±1 LSB, flash MC", results["flash_good_10"], ">0.999"],
+        ["flash population code-width sigma [LSB]", results["flash_sigma"],
+         "0.16-0.21"],
+        ["flash population width correlation", results["flash_rho"],
+         "-1/63 = -0.016"],
+    ]
+    report("Section 4 yield and population-statistics claims",
+           format_table(["quantity", "reproduced", "paper"], rows))
+
+    assert 0.25 < results["analytic_good_05"] < 0.45
+    assert 0.25 < results["gaussian_good_05"] < 0.45
+    assert 0.20 < results["flash_good_05"] < 0.50
+    assert 1e-5 < results["analytic_faulty_10"] < 1e-3
+    assert results["gaussian_good_10"] > 0.995
+    assert results["flash_good_10"] > 0.995
+    assert 0.15 < results["flash_sigma"] < 0.24
+    assert -0.05 < results["flash_rho"] < 0.01

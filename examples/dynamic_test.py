@@ -1,0 +1,80 @@
+"""Dynamic (FFT) testing of converters: THD, SNR, SINAD, ENOB, SFDR.
+
+Section 2 of the paper names Total Harmonic Distortion and noise power as the
+dynamic test parameters covered by the same partial-BIST partition.  This
+example runs the dynamic measurement side on three converters — an ideal one,
+a flash device with process mismatch, and a SAR device with capacitor
+mismatch — using both an ideal bench-style sine source and the behavioural
+on-chip delta-sigma sine generator, so the cost of moving the stimulus on
+chip is visible too.
+
+Run with:  python examples/dynamic_test.py
+"""
+
+from __future__ import annotations
+
+from repro.adc import FlashADC, IdealADC, SarADC
+from repro.analysis import DynamicAnalyzer
+from repro.reporting import format_table
+from repro.signals import DeltaSigmaSineGenerator, SineStimulus, snr_ideal_db
+
+
+def measure_with_ideal_source(adc, analyzer, seed=0):
+    """Coherent bench-grade sine through the converter."""
+    return analyzer.measure(adc, seed=seed)
+
+
+def measure_with_on_chip_source(adc, analyzer):
+    """The Roberts-style on-chip delta-sigma sine generator as stimulus."""
+    reference = SineStimulus.for_adc(adc, adc.sample_rate / 50.0,
+                                     analyzer.n_samples)
+    generator = DeltaSigmaSineGenerator(frequency=reference.frequency,
+                                        amplitude=reference.amplitude,
+                                        offset=reference.offset,
+                                        oversample_ratio=64)
+    record = adc.sample(generator, n_samples=analyzer.n_samples)
+    return analyzer.spectrum(record.codes, adc.sample_rate,
+                             fundamental=reference.frequency)
+
+
+def main() -> None:
+    analyzer = DynamicAnalyzer(n_samples=4096, window="hann")
+    devices = {
+        "ideal 8-bit": IdealADC(8, sample_rate=1e6),
+        "flash 6-bit (sigma 0.21 LSB)": FlashADC.from_sigma(
+            6, 0.21, seed=5, sample_rate=1e6),
+        "SAR 8-bit (3% unit caps)": SarADC(8, unit_cap_sigma_rel=0.03,
+                                           rng=5, sample_rate=1e6),
+    }
+
+    rows = []
+    for name, adc in devices.items():
+        result = measure_with_ideal_source(adc, analyzer)
+        rows.append([name, result.thd_db, result.snr_db, result.sinad_db,
+                     result.enob, snr_ideal_db(adc.n_bits)])
+    print(format_table(
+        ["device", "THD [dB]", "SNR [dB]", "SINAD [dB]", "ENOB [bit]",
+         "ideal SNR [dB]"],
+        rows, title="Dynamic test with an ideal (bench) sine source",
+        float_format=".1f"))
+
+    print()
+    rows = []
+    for name, adc in devices.items():
+        result = measure_with_on_chip_source(adc, analyzer)
+        rows.append([name, result.thd_db, result.snr_db, result.sinad_db,
+                     result.enob])
+    print(format_table(
+        ["device", "THD [dB]", "SNR [dB]", "SINAD [dB]", "ENOB [bit]"],
+        rows,
+        title="Dynamic test with the on-chip delta-sigma sine generator",
+        float_format=".1f"))
+    print()
+    print("The on-chip generator's shaped quantisation noise costs a few dB "
+          "of SNR/SINAD — the price of removing the precision analog "
+          "instrument from the tester, which is exactly the trade the "
+          "paper's BIST philosophy makes for the static test.")
+
+
+if __name__ == "__main__":
+    main()

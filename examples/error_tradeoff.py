@@ -1,0 +1,95 @@
+"""Counter size versus test quality: the paper's central trade-off.
+
+The accuracy of the counting BIST is set by one number — the size of the
+counter in the LSB processing block — because the counter size fixes how many
+samples can be taken per code (the ramp must not overflow it).  This example
+regenerates the paper's analysis of that trade-off:
+
+* the type I / type II error probabilities as a function of the step size
+  ``ds`` (Figure 7),
+* the same probabilities per counter size at the stringent ±0.5 LSB
+  specification (Table 1's SIM columns) and the actual ±1 LSB specification
+  (Table 2),
+* the silicon cost of each counter size from the area model, completing the
+  four-way trade-off of the paper's Figure 1.
+
+Run with:  python examples/error_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ErrorModel
+from repro.core import AreaModel
+from repro.reporting import ascii_plot, format_table
+
+
+def figure7_sweep() -> None:
+    """Type I / II probability versus step size (Figure 7)."""
+    ds_values = np.linspace(0.070, 0.115, 46)
+    sweep = ErrorModel.sweep_delta_s(ds_values, n_codes=62,
+                                     dnl_spec_lsb=0.5)
+    print(ascii_plot(sweep["delta_s_lsb"], sweep["type_i"],
+                     title="Figure 7 (reproduced): P(type I) vs step size "
+                           "ds [LSB], DNL spec ±0.5 LSB", logy=False))
+    print()
+    print(ascii_plot(sweep["delta_s_lsb"], sweep["type_ii"],
+                     title="Figure 7 (reproduced): P(type II) vs step size "
+                           "ds [LSB]", logy=False))
+
+
+def counter_size_tables() -> None:
+    """Tables 1 (SIM) and 2, plus the area cost per counter size."""
+    area_model = AreaModel(n_bits=6)
+
+    rows_stringent = []
+    rows_actual = []
+    rows_area = []
+    for bits in (4, 5, 6, 7):
+        stringent = ErrorModel(dnl_spec_lsb=0.5, counter_bits=bits)
+        actual = ErrorModel(dnl_spec_lsb=1.0, counter_bits=bits)
+        dev_s = stringent.device(62)
+        dev_a = actual.device(62)
+        rows_stringent.append([bits, dev_s.type_i, dev_s.type_ii,
+                               stringent.max_error_lsb()])
+        rows_actual.append([bits, dev_a.type_i * 1e5, dev_a.type_ii * 1e5,
+                            actual.max_error_lsb()])
+        estimate = area_model.estimate(bits, dnl_spec_lsb=1.0,
+                                       inl_spec_lsb=1.0)
+        rows_area.append([bits, estimate.gate_count,
+                          100 * estimate.area_overhead,
+                          estimate.max_error_lsb])
+
+    print(format_table(
+        ["counter bits", "P(type I)", "P(type II)", "max error [LSB]"],
+        rows_stringent,
+        title="Stringent DNL spec ±0.5 LSB (paper Table 1, SIM columns)"))
+    print()
+    print(format_table(
+        ["counter bits", "type I x1e-5", "type II x1e-5", "max error [LSB]"],
+        rows_actual,
+        title="Actual DNL spec ±1 LSB (paper Table 2)"))
+    print()
+    print(format_table(
+        ["counter bits", "gate equivalents", "area overhead [%]",
+         "max error [LSB]"],
+        rows_area,
+        title="Silicon cost of the BIST logic (Figure 1 trade-off)"))
+
+
+def main() -> None:
+    figure7_sweep()
+    print()
+    counter_size_tables()
+    print()
+    print("Reading the tables: every extra counter bit roughly halves the "
+          "type I error and the measurement error, at the cost of a slightly "
+          "larger (but still tiny) on-chip test circuit — the paper's "
+          "conclusion that a 7-bit counter matches the conventional "
+          "histogram test while a 4-bit counter already meets the 10-100 ppm "
+          "type II requirement at the actual specification.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Full static characterisation: BIST verdict next to the bench numbers.
+
+The BIST answers one question — does the converter meet its DNL/INL spec and
+does its digital side work — with a single flag.  A characterisation bench
+answers many: offset, gain, the full DNL/INL curves, missing codes,
+monotonicity, and the two conventional histogram linearity tests (ramp and
+sine).  This example runs the whole battery on one device so the numbers can
+be compared side by side, which is also how the library is validated against
+itself.
+
+Run with:  python examples/full_static_characterisation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adc import FlashADC, inject_gain_error, inject_offset_shift
+from repro.analysis import (
+    HistogramTest,
+    SineHistogramTest,
+    StaticSpec,
+    StaticTestSuite,
+)
+from repro.core import BistConfig, BistEngine
+from repro.reporting import format_table
+
+
+def characterise(name: str, adc) -> None:
+    print(f"=== {name} ===")
+
+    static = StaticTestSuite(spec=StaticSpec(offset_lsb=2.0,
+                                             gain_error_lsb=2.0,
+                                             dnl_lsb=1.0, inl_lsb=1.0),
+                             oversample=128).run(adc)
+    bist = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=1.0,
+                                 inl_spec_lsb=1.0)).run(adc)
+    ramp_hist = HistogramTest(samples_per_code=256, dnl_spec_lsb=1.0,
+                              inl_spec_lsb=1.0).run(adc, rng=0)
+    sine_hist = SineHistogramTest(n_samples=65536, dnl_spec_lsb=1.0,
+                                  inl_spec_lsb=1.0).run(adc, rng=0)
+
+    rows = [
+        ["offset [LSB]", f"{static.offset_lsb:+.3f}", "-", "-", "-"],
+        ["gain error [LSB]", f"{static.gain_error_lsb:+.3f}", "-", "-", "-"],
+        ["max |DNL| [LSB]", f"{static.max_dnl:.3f}",
+         f"{np.max(np.abs(bist.measured_dnl_lsb)):.3f}",
+         f"{ramp_hist.max_dnl:.3f}", f"{sine_hist.max_dnl:.3f}"],
+        ["max |INL| [LSB]", f"{static.max_inl:.3f}", "-",
+         f"{ramp_hist.max_inl:.3f}", f"{sine_hist.max_inl:.3f}"],
+        ["missing codes", str(len(static.missing_codes)), "-", "-", "-"],
+        ["verdict",
+         "PASS" if static.passed else f"FAIL ({', '.join(static.failures())})",
+         "PASS" if bist.passed else "FAIL",
+         "PASS" if ramp_hist.passed else "FAIL",
+         "PASS" if sine_hist.passed else "FAIL"],
+    ]
+    print(format_table(
+        ["parameter", "bench (transitions)", "on-chip BIST",
+         "ramp histogram", "sine histogram"], rows))
+    print()
+
+
+def main() -> None:
+    healthy = FlashADC.from_sigma(6, 0.21, seed=7)
+    characterise("6-bit flash with process mismatch", healthy)
+
+    offset_fault = inject_offset_shift(healthy, shift_lsb=3.0)
+    characterise("same device with a 3-LSB offset fault", offset_fault)
+
+    gain_fault = inject_gain_error(healthy, gain=1.08)
+    characterise("same device with an 8 % gain fault", gain_fault)
+
+    print("Note how the width-based tests (BIST and both histogram tests) "
+          "are blind to the pure offset fault and only the INL check "
+          "responds to the gain fault — offset and gain remain bench "
+          "parameters, exactly the division of labour the paper assumes.")
+
+
+if __name__ == "__main__":
+    main()

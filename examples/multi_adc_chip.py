@@ -1,0 +1,112 @@
+"""A chip with many A/D converters: parallel BIST and the partial-BIST option.
+
+The paper's strongest economic argument is for ICs carrying several
+converters: with the BIST each converter needs at most one observable pin, so
+all of them can be tested during a single shared ramp.  This example builds a
+simulated 8-converter IC and
+
+* tests the whole chip with the on-chip BIST controller (one ramp, one
+  pass/fail register),
+* shows how a single defective converter is flagged,
+* compares the chip test time with testing the converters one after another,
+* demonstrates the partial BIST (q = 2) flow for a faster stimulus, including
+  the off-chip code reconstruction from the two observed LSBs,
+* prices the on-chip test hardware with the area model and the cost
+  optimiser.
+
+Run with:  python examples/multi_adc_chip.py
+"""
+
+from __future__ import annotations
+
+from repro.adc import FlashADC, inject_missing_code
+from repro.core import (
+    AreaModel,
+    BistConfig,
+    MultiAdcBistController,
+    PartialBistConfig,
+    PartialBistEngine,
+)
+from repro.economics import TestCostOptimizer
+from repro.reporting import format_table
+
+
+def chip_level_bist() -> None:
+    converters = [FlashADC.from_sigma(6, 0.21, seed=100 + i)
+                  for i in range(8)]
+    # Converter 5 carries a spot defect (missing code).
+    converters[5] = inject_missing_code(converters[5], code=40)
+
+    controller = MultiAdcBistController(BistConfig(counter_bits=6,
+                                                   dnl_spec_lsb=1.0,
+                                                   inl_spec_lsb=1.0))
+    result = controller.run_chip(converters, rng=1)
+
+    rows = [[i, "pass" if r.passed else "FAIL",
+             r.lsb.n_codes_measured, int(r.lsb.counts.max(initial=0))]
+            for i, r in enumerate(result.per_converter)]
+    print(format_table(
+        ["converter", "verdict", "codes measured", "widest code [counts]"],
+        rows, title="Chip with 8 converters, one shared test ramp"))
+    print(f"\nchip pass/fail flag      : "
+          f"{'PASS' if result.passed else 'FAIL'}")
+    print(f"result register          : {result.result_register:#010b}")
+    print(f"failing converters       : {result.failing_converters}")
+    print(f"chip test time           : {result.test_time_s * 1e3:.2f} ms "
+          f"(shared ramp)")
+    print(f"sequential test time     : "
+          f"{result.sequential_test_time_s * 1e3:.2f} ms")
+    print(f"parallel speed-up        : {result.parallel_speedup:.1f}x")
+    print(f"serial read-out          : {result.serial_readout_bits} bits")
+    print(f"test logic for the chip  : "
+          f"{controller.gate_count(len(converters))} gate equivalents")
+
+
+def partial_bist_flow() -> None:
+    print("\nPartial BIST (q = 2): two LSBs observed, upper bits checked "
+          "on-chip")
+    adc = FlashADC.from_sigma(6, 0.21, seed=11)
+    engine = PartialBistEngine(PartialBistConfig(q=2, dnl_spec_lsb=1.0,
+                                                 samples_per_code=32))
+    result = engine.run(adc)
+    rows = [
+        ["verdict", "PASS" if result.passed else "FAIL"],
+        ["observed bits per sample", result.partition.q],
+        ["bits captured by tester", result.bits_captured],
+        ["code reconstruction errors",
+         f"{result.reconstruction_error_rate:.2%}"],
+        ["measured max |DNL| [LSB]", f"{result.linearity.max_dnl:.3f}"],
+        ["true max |DNL| [LSB]", f"{adc.max_dnl():.3f}"],
+    ]
+    print(format_table(["quantity", "value"], rows))
+
+
+def cost_optimisation() -> None:
+    print("\nChoosing the counter size on cost grounds")
+    optimizer = TestCostOptimizer(dnl_spec_lsb=1.0,
+                                  area_model=AreaModel(n_bits=6))
+    rows = []
+    for bits, breakdown in optimizer.sweep(range(4, 9)).items():
+        rows.append([bits, breakdown.silicon_cost * 1e3,
+                     breakdown.yield_loss_cost * 1e3,
+                     breakdown.escape_cost * 1e3,
+                     breakdown.total * 1e3,
+                     breakdown.quality.shipped_dppm])
+    print(format_table(
+        ["counter bits", "silicon [m$]", "yield loss [m$]",
+         "escape risk [m$]", "total [m$]", "shipped DPPM"],
+        rows, title="Cost per shipped device versus counter size"))
+    best = optimizer.best(range(4, 9))
+    print(f"\ncheapest configuration meeting the 100 DPPM target: "
+          f"{best.counter_bits}-bit counter "
+          f"({best.quality.shipped_dppm:.1f} DPPM shipped)")
+
+
+def main() -> None:
+    chip_level_bist()
+    partial_bist_flow()
+    cost_optimisation()
+
+
+if __name__ == "__main__":
+    main()

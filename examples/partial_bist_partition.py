@@ -1,0 +1,62 @@
+"""How many bits must stay observable? The partial-BIST partition (EQ 1–2).
+
+At higher stimulus frequencies the output codes can no longer be
+reconstructed from the LSB alone: Shannon's criterion applied to bit ``q``
+gives the paper's Equation (1) for the minimum number of externally
+monitored bits.  This example sweeps the stimulus frequency for a 6-bit and a
+10-bit converter, prints the resulting partition, and translates it into the
+tester-resource numbers the paper's introduction argues about: output pins
+per device, captured data volume, and how many converters fit on a tester in
+parallel.
+
+Run with:  python examples/partial_bist_partition.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PartialBistPartition, qmin
+from repro.reporting import format_table
+
+
+def partition_sweep(n_bits: int, f_sample: float = 1e6,
+                    dnl_spec_lsb: float = 0.5,
+                    inl_spec_lsb: float = 0.5) -> None:
+    """Print q_min and its consequences over a stimulus-frequency sweep."""
+    frequencies = [f_sample * r for r in
+                   (1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5)]
+    n_samples = 4096
+    rows = []
+    for f_stimulus in frequencies:
+        q = qmin(f_stimulus, f_sample, n_bits,
+                 dnl_spec_lsb=dnl_spec_lsb, inl_spec_lsb=inl_spec_lsb)
+        partition = PartialBistPartition(n_bits=n_bits, q=q)
+        rows.append([
+            f"{f_stimulus / f_sample:.0e}",
+            q,
+            partition.on_chip_bits,
+            "yes" if partition.is_full_bist else "no",
+            partition.test_data_reduction(n_samples),
+            partition.max_parallel_devices(tester_channels=64),
+        ])
+    print(format_table(
+        ["f_stim / f_sample", "q_min", "bits tested on-chip", "full BIST?",
+         "bits saved per device", "devices in parallel (64 ch)"],
+        rows,
+        title=f"{n_bits}-bit converter, DNL ±{dnl_spec_lsb} LSB, "
+              f"INL ±{inl_spec_lsb} LSB, {n_samples}-sample acquisition"))
+
+
+def main() -> None:
+    partition_sweep(n_bits=6)
+    print()
+    partition_sweep(n_bits=10)
+    print()
+    print("At ramp-slow stimulus frequencies only the LSB must be observed "
+          "(q = 1): the static-linearity test becomes a full BIST, which is "
+          "the configuration the rest of the paper analyses.  Faster "
+          "(dynamic) test stimuli push q up, trading off pin reduction "
+          "against stimulus bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Production screening scenario: a wafer batch through BIST and ATE.
+
+The paper motivates its method with production economics: many converters per
+IC, expensive mixed-signal testers, and stringent escape (type II) targets of
+10–100 ppm.  This example plays that scenario end to end on a simulated
+production batch:
+
+* generate a batch of flash converters with process variation plus a handful
+  of spot-defect (gross-fault) devices,
+* screen the batch with the on-chip BIST (4-bit and 7-bit counter variants)
+  and with the conventional histogram test,
+* count escapes and yield loss against the true device quality,
+* compare tester time and cost for the three screening flows.
+
+Run with:  python examples/production_screening.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adc import DevicePopulation, PopulationSpec, make_faulty_batch
+from repro.analysis import HistogramTest
+from repro.core import BistConfig, BistEngine
+from repro.economics import TestPlan, TesterModel, compare_schedules, cost_per_device
+from repro.reporting import format_table
+
+
+def build_batch(n_parametric: int = 150, n_defective: int = 8, seed: int = 2):
+    """A production batch: parametric devices plus a few spot defects."""
+    population = DevicePopulation(PopulationSpec(
+        n_bits=6, sigma_code_width_lsb=0.21, size=n_parametric, seed=seed))
+    healthy = population.devices()
+    defective = make_faulty_batch(
+        healthy[0], rng=seed, count=n_defective,
+        kinds=["missing_code", "wide_code", "shorted_resistor",
+               "open_resistor"])
+    return healthy + defective
+
+
+def screen(devices, dnl_spec_lsb: float = 1.0):
+    """Run the three screening flows over the batch and tabulate quality."""
+    flows = {
+        "BIST, 4-bit counter": BistEngine(BistConfig(
+            counter_bits=4, dnl_spec_lsb=dnl_spec_lsb, inl_spec_lsb=1.0)),
+        "BIST, 7-bit counter": BistEngine(BistConfig(
+            counter_bits=7, dnl_spec_lsb=dnl_spec_lsb, inl_spec_lsb=1.0)),
+        "conventional histogram": HistogramTest.paper_production(
+            n_bits=6, dnl_spec_lsb=dnl_spec_lsb, inl_spec_lsb=1.0),
+    }
+
+    truly_good = np.array([
+        device.transfer_function().meets_spec(dnl_spec_lsb, 1.0)
+        for device in devices])
+
+    rows = []
+    for name, flow in flows.items():
+        accepted = np.array([flow.run(device, rng=i).passed
+                             for i, device in enumerate(devices)])
+        escapes = int(np.sum(~truly_good & accepted))
+        yield_loss = int(np.sum(truly_good & ~accepted))
+        rows.append([name, int(accepted.sum()), escapes, yield_loss])
+
+    print(format_table(
+        ["screening flow", "devices accepted", "escapes (type II)",
+         "good rejected (type I)"],
+        rows,
+        title=f"Screening {len(devices)} devices "
+              f"({int(truly_good.sum())} truly good) at ±{dnl_spec_lsb} LSB"))
+
+
+def economics(sample_rate: float = 1e6, samples: int = 4096) -> None:
+    """Tester time and cost for one lot of 10 000 converters."""
+    mixed_signal = TesterModel.mixed_signal()
+    digital = TesterModel.digital_only()
+
+    conventional = TestPlan.conventional_histogram(
+        n_bits=6, samples=samples, sample_rate=sample_rate)
+    partial = TestPlan.partial_bist(n_bits=6, q=1, samples=samples,
+                                    sample_rate=sample_rate)
+    full = TestPlan.full_bist(n_bits=6, samples=samples,
+                              sample_rate=sample_rate)
+
+    rows = [
+        ["conventional on MS tester", mixed_signal.name,
+         conventional.data_volume_bits,
+         cost_per_device(conventional, mixed_signal) * 1e3],
+        ["partial BIST (q=1) on MS tester", mixed_signal.name,
+         partial.data_volume_bits,
+         cost_per_device(partial, mixed_signal) * 1e3],
+        ["full BIST on digital tester", digital.name,
+         full.data_volume_bits,
+         cost_per_device(full, digital) * 1e3],
+    ]
+    print(format_table(
+        ["flow", "tester", "bits captured / device", "cost / device [m$]"],
+        rows, title="Per-device tester cost (maximum parallel sites)"))
+
+    print()
+    schedules = compare_schedules(n_converters=10_000, n_bits=6, q=1,
+                                  tester_channels=64,
+                                  time_per_pass_s=samples / sample_rate)
+    labels = ["conventional (6 pins/device)", "partial BIST (1 pin/device)",
+              "full BIST (pass/fail flag)"]
+    rows = [[label, sched.converters_per_pass, sched.n_passes,
+             sched.total_time_s]
+            for label, sched in zip(labels, schedules)]
+    print(format_table(
+        ["flow", "devices per pass", "passes", "total tester time [s]"],
+        rows, title="Testing a lot of 10 000 converters on a 64-channel "
+                    "tester"))
+
+
+def main() -> None:
+    devices = build_batch()
+    screen(devices, dnl_spec_lsb=1.0)
+    print()
+    economics()
+
+
+if __name__ == "__main__":
+    main()

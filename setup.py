@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The build environment used for this reproduction has no network access and no
+``wheel`` package, so PEP 660 editable installs are unavailable; this shim
+lets ``setup.py develop`` based editable installs work instead.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

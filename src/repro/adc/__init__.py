@@ -1,0 +1,72 @@
+"""Behavioural A/D-converter substrate.
+
+This subpackage provides every converter model used by the reproduction:
+
+* :class:`~repro.adc.transfer.TransferFunction` — static transfer-curve
+  representation with DNL/INL/offset/gain figures of merit,
+* :class:`~repro.adc.ideal.IdealADC` and :class:`~repro.adc.ideal.TableADC`
+  — golden reference and explicit-curve converters,
+* :class:`~repro.adc.flash.FlashADC` — resistor-string flash converter with
+  process mismatch (the paper's device under test),
+* :class:`~repro.adc.sar.SarADC` and :class:`~repro.adc.pipeline.PipelineADC`
+  — further architectures demonstrating the BIST's architecture independence,
+* :mod:`~repro.adc.faults` — gross-defect (spot-defect) injection,
+* :class:`~repro.adc.population.DevicePopulation` — reproducible Monte-Carlo
+  batches standing in for the paper's measured batch of 364 devices.
+"""
+
+from repro.adc.base import ADC, ConversionRecord
+from repro.adc.faults import (
+    FaultDescriptor,
+    StuckBitADC,
+    inject_gain_error,
+    inject_missing_code,
+    inject_non_monotonic,
+    inject_offset_shift,
+    inject_open_resistor,
+    inject_shorted_resistor,
+    inject_wide_code,
+    make_faulty_batch,
+)
+from repro.adc.flash import FlashADC
+from repro.adc.ideal import IdealADC, TableADC
+from repro.adc.pipeline import PipelineADC
+from repro.adc.population import (
+    DevicePopulation,
+    PopulationSpec,
+    correlated_code_widths,
+)
+from repro.adc.sar import SarADC
+from repro.adc.transfer import (
+    TransferFunction,
+    code_widths_from_transitions,
+    ideal_transitions,
+    transitions_from_code_widths,
+)
+
+__all__ = [
+    "ADC",
+    "ConversionRecord",
+    "FaultDescriptor",
+    "StuckBitADC",
+    "inject_gain_error",
+    "inject_missing_code",
+    "inject_non_monotonic",
+    "inject_offset_shift",
+    "inject_open_resistor",
+    "inject_shorted_resistor",
+    "inject_wide_code",
+    "make_faulty_batch",
+    "FlashADC",
+    "IdealADC",
+    "TableADC",
+    "PipelineADC",
+    "DevicePopulation",
+    "PopulationSpec",
+    "correlated_code_widths",
+    "SarADC",
+    "TransferFunction",
+    "code_widths_from_transitions",
+    "ideal_transitions",
+    "transitions_from_code_widths",
+]

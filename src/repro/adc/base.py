@@ -1,0 +1,208 @@
+"""Abstract behavioural A/D converter model.
+
+Every converter in :mod:`repro.adc` — ideal, flash, SAR, pipeline, or a
+faulty variant produced by :mod:`repro.adc.faults` — exposes the same small
+interface:
+
+* a static :class:`~repro.adc.transfer.TransferFunction` describing its
+  transition voltages, and
+* a :meth:`ADC.sample` method that converts a voltage waveform into output
+  codes at the converter's sample rate, optionally adding input-referred
+  (transition) noise so that dynamic effects such as LSB toggling can be
+  studied.
+
+The BIST engine and the conventional histogram test both operate purely on
+this interface, so any converter model (or a recorded trace from real
+hardware) can be dropped in.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.adc.transfer import TransferFunction
+
+__all__ = ["ADC", "ConversionRecord"]
+
+
+@dataclass
+class ConversionRecord:
+    """The result of sampling a stimulus with a converter.
+
+    Attributes
+    ----------
+    codes:
+        Output codes, one per sample.
+    sample_times:
+        Time of each sample in seconds (after jitter, if any).
+    input_voltages:
+        The analog input voltage seen by the converter at each sample moment
+        (after noise), mainly useful for debugging and for computing ideal
+        reference codes.
+    """
+
+    codes: np.ndarray
+    sample_times: np.ndarray
+    input_voltages: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def bit(self, index: int) -> np.ndarray:
+        """Return the waveform of output bit ``index`` (0 = LSB)."""
+        if index < 0:
+            raise ValueError("bit index must be non-negative")
+        return (self.codes >> index) & 1
+
+    @property
+    def lsb_waveform(self) -> np.ndarray:
+        """The LSB waveform, the signal the paper's BIST monitors."""
+        return self.bit(0)
+
+
+class ADC(abc.ABC):
+    """Abstract base class for behavioural A/D converter models."""
+
+    #: Resolution in bits; concrete classes must set this in ``__init__``.
+    n_bits: int
+    #: Full-scale input range in volts.
+    full_scale: float
+    #: Sample frequency in Hz.
+    sample_rate: float
+
+    def __init__(self, n_bits: int, full_scale: float = 1.0,
+                 sample_rate: float = 1e6) -> None:
+        if n_bits < 1:
+            raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+        if full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        if sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        self.n_bits = int(n_bits)
+        self.full_scale = float(full_scale)
+        self.sample_rate = float(sample_rate)
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_codes(self) -> int:
+        """Number of output codes (``2**n_bits``)."""
+        return 1 << self.n_bits
+
+    @property
+    def lsb(self) -> float:
+        """Ideal LSB size in volts."""
+        return self.full_scale / self.n_codes
+
+    @abc.abstractmethod
+    def transfer_function(self) -> TransferFunction:
+        """Return the static transfer function of this converter."""
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def convert(self, voltages: np.ndarray,
+                rng: Optional[np.random.Generator] = None,
+                transition_noise_lsb: float = 0.0) -> np.ndarray:
+        """Convert analog voltages to output codes.
+
+        Parameters
+        ----------
+        voltages:
+            Input voltages, any shape.
+        rng:
+            Random generator used when ``transition_noise_lsb`` is non-zero.
+        transition_noise_lsb:
+            Standard deviation of input-referred noise (in LSB) added
+            independently to each sample.  This is the "transition noise"
+            the paper mentions as the source of LSB toggling.
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        if transition_noise_lsb > 0.0:
+            if rng is None:
+                rng = np.random.default_rng()
+            voltages = voltages + rng.normal(
+                0.0, transition_noise_lsb * self.lsb, size=voltages.shape)
+        return self.transfer_function().convert(voltages)
+
+    def sample(self, stimulus, duration: Optional[float] = None,
+               n_samples: Optional[int] = None,
+               clock=None,
+               rng: Optional[np.random.Generator] = None,
+               transition_noise_lsb: float = 0.0) -> ConversionRecord:
+        """Sample a stimulus with this converter.
+
+        Parameters
+        ----------
+        stimulus:
+            An object with a ``voltage(times)`` method (see
+            :mod:`repro.signals`), or a plain callable mapping an array of
+            times to voltages.
+        duration:
+            Length of the acquisition in seconds.  Exactly one of
+            ``duration`` and ``n_samples`` must be given.
+        n_samples:
+            Number of samples to take.
+        clock:
+            Optional :class:`repro.signals.sampling.SamplingClock`; when
+            omitted an ideal jitter-free clock at ``self.sample_rate`` is
+            used.
+        rng:
+            Random generator shared by the noise sources.
+        transition_noise_lsb:
+            Input-referred noise added per sample, in LSB.
+        """
+        if (duration is None) == (n_samples is None):
+            raise ValueError("give exactly one of duration or n_samples")
+        if n_samples is None:
+            n_samples = int(round(duration * self.sample_rate))
+        if n_samples <= 0:
+            raise ValueError("the acquisition must contain at least 1 sample")
+
+        if clock is None:
+            times = np.arange(n_samples) / self.sample_rate
+        else:
+            times = clock.sample_times(n_samples, rng=rng)
+
+        voltage_fn = getattr(stimulus, "voltage", stimulus)
+        voltages = np.asarray(voltage_fn(times), dtype=float)
+        codes = self.convert(voltages, rng=rng,
+                             transition_noise_lsb=transition_noise_lsb)
+        return ConversionRecord(codes=codes, sample_times=times,
+                                input_voltages=voltages)
+
+    # ------------------------------------------------------------------ #
+    # Convenience figures of merit (delegate to the transfer function)
+    # ------------------------------------------------------------------ #
+
+    def dnl(self) -> np.ndarray:
+        """End-point DNL per inner code, in LSB."""
+        return self.transfer_function().dnl()
+
+    def inl(self) -> np.ndarray:
+        """End-point INL per transition, in LSB."""
+        return self.transfer_function().inl()
+
+    def max_dnl(self) -> float:
+        """Largest absolute DNL in LSB."""
+        return self.transfer_function().max_dnl()
+
+    def max_inl(self) -> float:
+        """Largest absolute INL in LSB."""
+        return self.transfer_function().max_inl()
+
+    def meets_spec(self, dnl_spec_lsb: float, inl_spec_lsb: float) -> bool:
+        """True when the static linearity meets the given DNL and INL specs."""
+        return self.transfer_function().meets_spec(dnl_spec_lsb, inl_spec_lsb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"{type(self).__name__}(n_bits={self.n_bits}, "
+                f"full_scale={self.full_scale}, "
+                f"sample_rate={self.sample_rate:g})")

@@ -1,0 +1,294 @@
+"""Catastrophic-fault injection for converter models.
+
+The paper distinguishes *parametric* variation (small, Gaussian-like code
+width deviations, the subject of its statistical analysis) from *gross
+defects caused by spot defects*, which were screened out of the measured
+batch because "these faults will also be detected by the BIST method".  The
+functions in this module create the gross-defect devices so that claim can be
+exercised: stuck output bits, shorted or open ladder resistors, dead
+comparators (missing codes), and broken MSB logic that the on-chip
+functionality checker must catch.
+
+Every injector takes a converter (any :class:`repro.adc.base.ADC`) or a
+:class:`~repro.adc.transfer.TransferFunction` and returns a new
+:class:`~repro.adc.ideal.TableADC` / transfer function; the original object
+is never modified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.adc.base import ADC
+from repro.adc.ideal import TableADC
+from repro.adc.transfer import TransferFunction
+
+__all__ = [
+    "FaultDescriptor",
+    "StuckBitADC",
+    "inject_missing_code",
+    "inject_wide_code",
+    "inject_shorted_resistor",
+    "inject_open_resistor",
+    "inject_offset_shift",
+    "inject_gain_error",
+    "inject_non_monotonic",
+    "make_faulty_batch",
+]
+
+
+@dataclass(frozen=True)
+class FaultDescriptor:
+    """A record of which fault was injected into a device.
+
+    Attributes
+    ----------
+    kind:
+        Short machine-readable fault name, e.g. ``"missing_code"``.
+    location:
+        Code or bit index the fault applies to (when meaningful).
+    magnitude:
+        Fault magnitude in LSB or as a ratio (fault-kind specific).
+    """
+
+    kind: str
+    location: Optional[int] = None
+    magnitude: Optional[float] = None
+
+    def __str__(self) -> str:
+        parts = [self.kind]
+        if self.location is not None:
+            parts.append(f"at {self.location}")
+        if self.magnitude is not None:
+            parts.append(f"magnitude {self.magnitude:g}")
+        return " ".join(parts)
+
+
+def _transfer_of(device: Union[ADC, TransferFunction]) -> TransferFunction:
+    """Return the transfer function of ``device`` (ADC or transfer curve)."""
+    if isinstance(device, TransferFunction):
+        return device
+    return device.transfer_function()
+
+
+def _wrap(transfer: TransferFunction, device: Union[ADC, TransferFunction],
+          fault: FaultDescriptor) -> TableADC:
+    """Wrap a perturbed transfer curve into a named TableADC."""
+    sample_rate = getattr(device, "sample_rate", 1e6)
+    adc = TableADC(transfer, sample_rate=sample_rate, name=str(fault))
+    adc.fault = fault
+    return adc
+
+
+class StuckBitADC(ADC):
+    """Wrap a converter so that one output bit is stuck at 0 or 1.
+
+    This is a purely digital fault (broken output latch or bond wire); the
+    analog transfer curve is untouched but the observed codes have the bit
+    forced.  The paper's on-chip functionality check (the counter clocked by
+    the LSB and compared against bits ``q+1 .. MSB``) is what catches this
+    class of defect.
+    """
+
+    def __init__(self, inner: ADC, bit: int, stuck_value: int) -> None:
+        super().__init__(inner.n_bits, inner.full_scale, inner.sample_rate)
+        if not 0 <= bit < inner.n_bits:
+            raise ValueError(f"bit must be in [0, {inner.n_bits - 1}]")
+        if stuck_value not in (0, 1):
+            raise ValueError("stuck_value must be 0 or 1")
+        self.inner = inner
+        self.bit = int(bit)
+        self.stuck_value = int(stuck_value)
+        self.fault = FaultDescriptor("stuck_bit", location=bit,
+                                     magnitude=float(stuck_value))
+
+    def transfer_function(self) -> TransferFunction:
+        """Return the *analog* transfer curve (unaffected by the digital fault)."""
+        return self.inner.transfer_function()
+
+    def convert(self, voltages, rng=None, transition_noise_lsb=0.0):
+        """Convert through the inner ADC, then force the stuck bit."""
+        codes = self.inner.convert(voltages, rng=rng,
+                                   transition_noise_lsb=transition_noise_lsb)
+        mask = 1 << self.bit
+        if self.stuck_value:
+            return codes | mask
+        return codes & ~mask
+
+
+def inject_missing_code(device: Union[ADC, TransferFunction],
+                        code: int) -> TableADC:
+    """Collapse inner code ``code`` to zero width (a missing code).
+
+    The transition into ``code + 1`` is pulled down onto the transition into
+    ``code``; all other transitions are left in place, so the neighbouring
+    code becomes correspondingly wider (charge conservation of the ladder).
+    """
+    tf = _transfer_of(device)
+    if not 1 <= code <= tf.n_codes - 2:
+        raise ValueError(f"code must be an inner code in [1, {tf.n_codes - 2}]")
+    transitions = tf.transitions.copy()
+    transitions[code] = transitions[code - 1]
+    fault = FaultDescriptor("missing_code", location=code)
+    return _wrap(tf.with_transitions(transitions), device, fault)
+
+
+def inject_wide_code(device: Union[ADC, TransferFunction], code: int,
+                     extra_lsb: float) -> TableADC:
+    """Widen inner code ``code`` by ``extra_lsb`` LSB (a DNL spike).
+
+    All transitions above the widened code shift up by the same amount, which
+    also perturbs the INL — the classic signature of a resistor short in a
+    flash ladder.
+    """
+    tf = _transfer_of(device)
+    if not 1 <= code <= tf.n_codes - 2:
+        raise ValueError(f"code must be an inner code in [1, {tf.n_codes - 2}]")
+    transitions = tf.transitions.copy()
+    transitions[code:] += extra_lsb * tf.lsb
+    fault = FaultDescriptor("wide_code", location=code, magnitude=extra_lsb)
+    return _wrap(tf.with_transitions(transitions), device, fault)
+
+
+def inject_shorted_resistor(device: Union[ADC, TransferFunction],
+                            code: int) -> TableADC:
+    """Short the ladder resistor that defines inner code ``code``.
+
+    A shorted unit resistor removes that code's width entirely and compresses
+    the remainder of the curve; modelled as a missing code followed by a
+    renormalisation of the curve back onto the full-scale range, which is how
+    a ratiometric ladder redistributes the voltage.
+    """
+    tf = _transfer_of(device)
+    if not 1 <= code <= tf.n_codes - 2:
+        raise ValueError(f"code must be an inner code in [1, {tf.n_codes - 2}]")
+    widths = tf.code_widths.copy()
+    removed = widths[code - 1]
+    widths[code - 1] = 0.0
+    # Ratiometric redistribution: the removed voltage spreads over the rest.
+    remaining = widths.sum()
+    if remaining > 0:
+        widths *= (remaining + removed) / remaining
+    perturbed = TransferFunction.from_code_widths(
+        tf.n_bits, widths, full_scale=tf.full_scale,
+        first_transition=float(tf.transitions[0]),
+        offset=tf.offset_voltage)
+    fault = FaultDescriptor("shorted_resistor", location=code)
+    return _wrap(perturbed, device, fault)
+
+
+def inject_open_resistor(device: Union[ADC, TransferFunction],
+                         code: int, severity_lsb: float = 8.0) -> TableADC:
+    """Open (greatly increase) the ladder resistor of inner code ``code``.
+
+    An open unit resistor makes one code enormously wide and squeezes every
+    other code; modelled by widening the code by ``severity_lsb`` LSB and
+    ratiometrically compressing the rest back into the full-scale range.
+    """
+    tf = _transfer_of(device)
+    if not 1 <= code <= tf.n_codes - 2:
+        raise ValueError(f"code must be an inner code in [1, {tf.n_codes - 2}]")
+    widths = tf.code_widths.copy()
+    widths[code - 1] += severity_lsb * tf.lsb
+    total_span = tf.transitions[-1] - tf.transitions[0]
+    widths *= total_span / widths.sum()
+    perturbed = TransferFunction.from_code_widths(
+        tf.n_bits, widths, full_scale=tf.full_scale,
+        first_transition=float(tf.transitions[0]),
+        offset=tf.offset_voltage)
+    fault = FaultDescriptor("open_resistor", location=code,
+                            magnitude=severity_lsb)
+    return _wrap(perturbed, device, fault)
+
+
+def inject_offset_shift(device: Union[ADC, TransferFunction],
+                        shift_lsb: float) -> TableADC:
+    """Shift the whole transfer curve by ``shift_lsb`` LSB (offset fault)."""
+    tf = _transfer_of(device)
+    fault = FaultDescriptor("offset_shift", magnitude=shift_lsb)
+    return _wrap(tf.shifted(shift_lsb * tf.lsb), device, fault)
+
+
+def inject_gain_error(device: Union[ADC, TransferFunction],
+                      gain: float) -> TableADC:
+    """Scale the transfer curve by ``gain`` about the bottom of the range."""
+    tf = _transfer_of(device)
+    fault = FaultDescriptor("gain_error", magnitude=gain)
+    return _wrap(tf.scaled(gain), device, fault)
+
+
+def inject_non_monotonic(device: Union[ADC, TransferFunction],
+                         code: int, depth_lsb: float = 1.5) -> TableADC:
+    """Make the transfer curve non-monotonic around inner code ``code``.
+
+    The transition into ``code`` is pushed *above* the transition into
+    ``code + 1`` by ``depth_lsb`` LSB, as a bubble error in a flash
+    thermometer code would do.
+    """
+    tf = _transfer_of(device)
+    if not 1 <= code <= tf.n_codes - 2:
+        raise ValueError(f"code must be an inner code in [1, {tf.n_codes - 2}]")
+    transitions = tf.transitions.copy()
+    transitions[code - 1] = transitions[code] + depth_lsb * tf.lsb
+    fault = FaultDescriptor("non_monotonic", location=code,
+                            magnitude=depth_lsb)
+    return _wrap(tf.with_transitions(transitions), device, fault)
+
+
+def make_faulty_batch(base: Union[ADC, TransferFunction],
+                      rng: Union[int, np.random.Generator, None] = None,
+                      kinds: Optional[Sequence[str]] = None,
+                      count: int = 10) -> List[TableADC]:
+    """Create a batch of devices with assorted gross defects.
+
+    Parameters
+    ----------
+    base:
+        The healthy device (or transfer function) the faults are injected
+        into.
+    rng:
+        Seed or generator selecting fault locations and magnitudes.
+    kinds:
+        Restrict the fault kinds drawn from; default is every analog kind
+        this module knows about.
+    count:
+        Number of faulty devices to produce.
+    """
+    generator = (rng if isinstance(rng, np.random.Generator)
+                 else np.random.default_rng(rng))
+    tf = _transfer_of(base)
+    all_kinds = ["missing_code", "wide_code", "shorted_resistor",
+                 "open_resistor", "offset_shift", "gain_error",
+                 "non_monotonic"]
+    kinds = list(kinds) if kinds is not None else all_kinds
+    unknown = set(kinds) - set(all_kinds)
+    if unknown:
+        raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+
+    batch: List[TableADC] = []
+    for _ in range(count):
+        kind = kinds[int(generator.integers(len(kinds)))]
+        code = int(generator.integers(1, tf.n_codes - 1))
+        if kind == "missing_code":
+            batch.append(inject_missing_code(base, code))
+        elif kind == "wide_code":
+            extra = float(generator.uniform(1.5, 4.0))
+            batch.append(inject_wide_code(base, code, extra))
+        elif kind == "shorted_resistor":
+            batch.append(inject_shorted_resistor(base, code))
+        elif kind == "open_resistor":
+            severity = float(generator.uniform(4.0, 12.0))
+            batch.append(inject_open_resistor(base, code, severity))
+        elif kind == "offset_shift":
+            shift = float(generator.uniform(2.0, 6.0))
+            batch.append(inject_offset_shift(base, shift))
+        elif kind == "gain_error":
+            gain = float(generator.uniform(1.05, 1.2))
+            batch.append(inject_gain_error(base, gain))
+        else:  # non_monotonic
+            depth = float(generator.uniform(1.0, 2.5))
+            batch.append(inject_non_monotonic(base, code, depth))
+    return batch

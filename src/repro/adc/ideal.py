@@ -1,0 +1,69 @@
+"""Ideal and fixed-transfer-curve converter models.
+
+:class:`IdealADC` is the golden reference used throughout the test suite and
+the benchmark harness: perfectly uniform code widths, zero offset and gain
+error.  :class:`TableADC` wraps an arbitrary, explicitly supplied
+:class:`~repro.adc.transfer.TransferFunction`, which is how faulty devices
+produced by :mod:`repro.adc.faults` and devices drawn from a Monte-Carlo
+population are represented as converters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adc.base import ADC
+from repro.adc.transfer import TransferFunction
+
+__all__ = ["IdealADC", "TableADC"]
+
+
+class IdealADC(ADC):
+    """A perfectly linear A/D converter.
+
+    Every inner code is exactly 1 LSB wide; offset and gain errors are zero.
+    Useful as a golden reference and for sanity-checking test algorithms
+    (the BIST and the histogram test must both pass it with any reasonable
+    specification).
+    """
+
+    def __init__(self, n_bits: int, full_scale: float = 1.0,
+                 sample_rate: float = 1e6) -> None:
+        super().__init__(n_bits, full_scale, sample_rate)
+        self._tf = TransferFunction.ideal(n_bits, full_scale)
+
+    def transfer_function(self) -> TransferFunction:
+        """Return the ideal transfer function (cached)."""
+        return self._tf
+
+
+class TableADC(ADC):
+    """A converter defined entirely by an explicit transfer function.
+
+    This is the work-horse representation for:
+
+    * devices drawn from a :class:`~repro.adc.population.DevicePopulation`,
+    * devices with injected faults (:mod:`repro.adc.faults`),
+    * devices reconstructed from recorded transition levels.
+    """
+
+    def __init__(self, transfer: TransferFunction,
+                 sample_rate: float = 1e6,
+                 name: Optional[str] = None) -> None:
+        super().__init__(transfer.n_bits, transfer.full_scale, sample_rate)
+        self._tf = transfer
+        #: Optional human-readable device label (e.g. "device 17 of batch A").
+        self.name = name
+
+    def transfer_function(self) -> TransferFunction:
+        """Return the wrapped transfer function."""
+        return self._tf
+
+    def with_transfer(self, transfer: TransferFunction) -> "TableADC":
+        """Return a new :class:`TableADC` sharing rate/name but a new curve."""
+        return TableADC(transfer, sample_rate=self.sample_rate, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = f", name={self.name!r}" if self.name else ""
+        return (f"TableADC(n_bits={self.n_bits}, "
+                f"max_dnl={self.max_dnl():.3f} LSB{label})")

@@ -1,0 +1,145 @@
+"""Behavioural model of a pipelined A/D converter.
+
+A third converter architecture, included so that the library's examples can
+show the BIST methodology operating on converters whose error mechanisms are
+inter-stage gain errors rather than per-code mismatch.  The model is a
+classic 1.5-bit/stage pipeline with digital error correction:
+
+* each stage resolves 1.5 bits (three decision regions) and passes a residue
+  amplified by a nominal gain of 2 to the next stage,
+* the stage gain and the two sub-ADC comparator thresholds carry errors,
+* a final flash stage resolves the remaining bits.
+
+Gain errors produce the pipeline's characteristic DNL signature: repeated
+discontinuities at the stage decision boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.adc.base import ADC
+from repro.adc.transfer import TransferFunction
+
+__all__ = ["PipelineADC"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+class PipelineADC(ADC):
+    """A 1.5-bit/stage pipelined converter with gain and threshold errors.
+
+    Parameters
+    ----------
+    n_bits:
+        Overall resolution.  ``n_bits - 2`` pipeline stages of 1.5 bits each
+        are followed by a final 2-bit flash; ``n_bits`` must be at least 3.
+    gain_error_sigma:
+        Relative standard deviation of each stage's residue gain (nominal 2).
+    threshold_sigma_lsb:
+        Standard deviation of each stage comparator threshold, expressed in
+        LSB at the converter input.
+    full_scale:
+        Full-scale range in volts.
+    sample_rate:
+        Sample frequency in Hz.
+    rng:
+        Seed or generator selecting this device's error realisation.
+    """
+
+    def __init__(self, n_bits: int,
+                 gain_error_sigma: float = 0.0,
+                 threshold_sigma_lsb: float = 0.0,
+                 full_scale: float = 1.0,
+                 sample_rate: float = 1e6,
+                 rng: RngLike = None) -> None:
+        if n_bits < 3:
+            raise ValueError("PipelineADC needs n_bits >= 3")
+        super().__init__(n_bits, full_scale, sample_rate)
+        if gain_error_sigma < 0:
+            raise ValueError("gain_error_sigma must be non-negative")
+        if threshold_sigma_lsb < 0:
+            raise ValueError("threshold_sigma_lsb must be non-negative")
+
+        self.gain_error_sigma = float(gain_error_sigma)
+        self.threshold_sigma_lsb = float(threshold_sigma_lsb)
+        self.n_stages = n_bits - 2
+
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        self.stage_gains = 2.0 * (1.0 + generator.normal(
+            0.0, self.gain_error_sigma, size=self.n_stages))
+        # Nominal 1.5-bit thresholds at -1/4 and +1/4 of the stage range.
+        thr_sigma = self.threshold_sigma_lsb * self.lsb / self.full_scale
+        self.stage_thresholds = np.stack([
+            -0.25 + generator.normal(0.0, thr_sigma, size=self.n_stages),
+            +0.25 + generator.normal(0.0, thr_sigma, size=self.n_stages),
+        ], axis=1)
+
+        self._tf = self._build_transfer()
+
+    # ------------------------------------------------------------------ #
+    # Pipeline signal chain
+    # ------------------------------------------------------------------ #
+
+    def _digitise(self, x: np.ndarray) -> np.ndarray:
+        """Run normalised inputs ``x`` in [-1, 1) through the pipeline.
+
+        Returns raw output codes in ``0 .. 2**n_bits - 1``.  This models the
+        standard 1.5-bit/stage architecture with digital error correction:
+        stage decisions d in {-1, 0, +1}, residue ``gain * x - d * 0.5 * gain``
+        (normalised so an ideal gain of 2 maps the selected third back onto
+        the full range), and a final 2-bit flash.
+        """
+        x = np.asarray(x, dtype=float)
+        residue = x.copy()
+        # Accumulated output with digital error correction: each stage
+        # contributes d * 2**(remaining bits - 1) half-overlapping with the
+        # next stage, which is the usual redundancy of the 1.5 bit stage.
+        acc = np.zeros_like(residue)
+        for stage in range(self.n_stages):
+            low, high = self.stage_thresholds[stage]
+            d = np.where(residue < low, -1, np.where(residue >= high, 1, 0))
+            weight = 2.0 ** (self.n_bits - 2 - stage)
+            acc = acc + d * weight
+            residue = self.stage_gains[stage] * (residue - d * 0.5)
+            # An ideal stage keeps the residue within [-1, 1); a real one may
+            # overrange slightly, which the final flash clips — keep it.
+        # Final 2-bit flash over [-1, 1).
+        final = np.clip(np.floor((residue + 1.0) * 2.0), 0, 3)
+        codes = acc + final + (self.n_codes // 2 - 2)
+        return np.clip(codes, 0, self.n_codes - 1).astype(np.int64)
+
+    def _build_transfer(self) -> TransferFunction:
+        """Extract the static transfer curve by a fine input sweep.
+
+        The pipeline is simulated over a dense ramp (64 points per nominal
+        LSB) and the transition voltages are located where the output code
+        first reaches each value.  Codes that never appear (missing codes due
+        to large gain errors) inherit the next transition, giving them zero
+        width, which is exactly how a histogram test would see them.
+        """
+        oversample = 64
+        n_points = self.n_codes * oversample
+        v = np.linspace(0.0, self.full_scale, n_points, endpoint=False)
+        x = v / self.full_scale * 2.0 - 1.0
+        codes = self._digitise(x)
+        # Enforce monotonic reading of the sweep: the static transfer curve
+        # of the pipeline is monotone in this model, but guard regardless.
+        codes = np.maximum.accumulate(codes)
+        transitions = np.empty(self.n_codes - 1, dtype=float)
+        idx = np.searchsorted(codes, np.arange(1, self.n_codes), side="left")
+        idx = np.clip(idx, 0, n_points - 1)
+        transitions[:] = v[idx]
+        return TransferFunction(n_bits=self.n_bits, transitions=transitions,
+                                full_scale=self.full_scale)
+
+    def transfer_function(self) -> TransferFunction:
+        """Return the extracted static transfer curve."""
+        return self._tf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"PipelineADC(n_bits={self.n_bits}, "
+                f"gain_error_sigma={self.gain_error_sigma:.4f})")

@@ -1,0 +1,111 @@
+"""Behavioural model of a successive-approximation (SAR) A/D converter.
+
+The paper's experiments use flash converters, but the BIST methodology itself
+is architecture-agnostic: it only observes the digital output codes.  This
+model lets the test suite and the examples demonstrate the BIST on a second,
+structurally different architecture whose error signature (binary-weighted
+capacitor mismatch causing large DNL jumps at major code transitions) is very
+unlike the flash converter's (small, nearly independent per-code errors).
+
+Model
+-----
+
+An ``n``-bit SAR converter with a binary-weighted capacitive DAC has unit
+capacitors grouped into weights ``2**(n-1), ..., 2, 1``.  Each *unit*
+capacitor has an independent relative mismatch; a weight's total error is the
+sum of its units' errors, so larger weights have proportionally smaller
+relative error (the usual ``sigma / sqrt(area)`` matching law).  The decision
+levels of the converter are the partial sums of the weights, which is what
+:meth:`SarADC.transfer_function` computes.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.adc.base import ADC
+from repro.adc.transfer import TransferFunction
+
+__all__ = ["SarADC"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+class SarADC(ADC):
+    """A SAR converter with binary-weighted capacitor mismatch.
+
+    Parameters
+    ----------
+    n_bits:
+        Resolution.
+    unit_cap_sigma_rel:
+        Relative standard deviation of a single unit capacitor.  A weight of
+        ``w`` units then has relative sigma ``unit_cap_sigma_rel / sqrt(w)``.
+    comparator_offset_lsb:
+        A single input-referred comparator offset (the SAR reuses one
+        comparator), in LSB; it shifts the whole transfer curve.
+    full_scale:
+        Full-scale range in volts.
+    sample_rate:
+        Sample frequency in Hz.
+    rng:
+        Seed or generator selecting the mismatch realisation of this device.
+    """
+
+    def __init__(self, n_bits: int,
+                 unit_cap_sigma_rel: float = 0.0,
+                 comparator_offset_lsb: float = 0.0,
+                 full_scale: float = 1.0,
+                 sample_rate: float = 1e6,
+                 rng: RngLike = None) -> None:
+        super().__init__(n_bits, full_scale, sample_rate)
+        if unit_cap_sigma_rel < 0:
+            raise ValueError("unit_cap_sigma_rel must be non-negative")
+
+        self.unit_cap_sigma_rel = float(unit_cap_sigma_rel)
+        self.comparator_offset_lsb = float(comparator_offset_lsb)
+
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+
+        # Nominal binary weights, MSB first: 2**(n-1), ..., 2, 1.
+        nominal = 2.0 ** np.arange(n_bits - 1, -1, -1)
+        # Relative error of each weight scales as 1/sqrt(number of units).
+        rel_err = generator.normal(0.0, 1.0, size=n_bits)
+        rel_err *= self.unit_cap_sigma_rel / np.sqrt(nominal)
+        self.weights = nominal * (1.0 + rel_err)
+
+        self._tf = self._build_transfer()
+
+    def _build_transfer(self) -> TransferFunction:
+        """Derive the transition voltages from the (mismatched) weights.
+
+        The DAC level for code ``k`` is the sum of the weights selected by
+        the bits of ``k``, normalised by the total weight plus one ideal unit
+        (the usual "+1 LSB" of a binary DAC's range).  The transition into
+        code ``k`` is half an ideal LSB below that level, then shifted by the
+        comparator offset.
+        """
+        n_codes = self.n_codes
+        codes = np.arange(1, n_codes)
+        # Bit matrix: bit j (MSB first) of each code.
+        shifts = np.arange(self.n_bits - 1, -1, -1)
+        bits = (codes[:, None] >> shifts[None, :]) & 1
+        dac_levels = bits @ self.weights
+        total = self.weights.sum() + 1.0
+        # Transition into code k occurs where the input crosses the DAC level
+        # for k minus half a unit (mid-rise behaviour of the SAR search).
+        transitions = (dac_levels - 0.5) / total * self.full_scale
+        transitions = transitions + self.comparator_offset_lsb * self.lsb
+        return TransferFunction(n_bits=self.n_bits, transitions=transitions,
+                                full_scale=self.full_scale)
+
+    def transfer_function(self) -> TransferFunction:
+        """Return the static transfer curve of this mismatch realisation."""
+        return self._tf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"SarADC(n_bits={self.n_bits}, "
+                f"unit_cap_sigma_rel={self.unit_cap_sigma_rel:.4f})")

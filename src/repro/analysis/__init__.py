@@ -1,0 +1,86 @@
+"""Measurement and statistics substrate.
+
+This subpackage contains every analysis the reproduction needs:
+
+* :mod:`repro.analysis.linearity` — offset/gain/DNL/INL extraction,
+* :mod:`repro.analysis.histogram` — the conventional ramp code-density test
+  (the paper's baseline),
+* :mod:`repro.analysis.dynamic` — FFT-based THD/SNR/SINAD/ENOB/SFDR tests,
+* :mod:`repro.analysis.distributions` — code-width distribution models,
+* :mod:`repro.analysis.error_model` — the paper's section-3 analysis of the
+  counting measurement (acceptance trapezoid, per-code type I/II errors),
+* :mod:`repro.analysis.binomial` — device-level probabilities (EQ 8–12),
+* :mod:`repro.analysis.montecarlo` — Monte-Carlo estimators that relax the
+  analytic assumptions.
+"""
+
+from repro.analysis.binomial import BinomialDeviceModel, DeviceProbabilities
+from repro.analysis.distributions import (
+    CodeWidthDistribution,
+    EmpiricalCodeWidthDistribution,
+)
+from repro.analysis.dynamic import DynamicAnalyzer, SpectrumResult
+from repro.analysis.error_model import (
+    ErrorModel,
+    PerCodeProbabilities,
+    acceptance_probability,
+    count_limits,
+    counter_bits_needed,
+    delta_s_for_counter,
+    max_measurement_error_lsb,
+)
+from repro.analysis.histogram import HistogramTest, HistogramTestResult
+from repro.analysis.linearity import (
+    LinearityResult,
+    dnl_from_histogram,
+    linearity_from_code_widths,
+    linearity_from_transitions,
+)
+from repro.analysis.montecarlo import (
+    MonteCarloResult,
+    estimate_error_probabilities,
+    simulate_counts,
+)
+from repro.analysis.sine_histogram import (
+    SineHistogramResult,
+    SineHistogramTest,
+    expected_sine_histogram,
+)
+from repro.analysis.static_suite import (
+    StaticSpec,
+    StaticTestReport,
+    StaticTestSuite,
+    locate_transitions,
+)
+
+__all__ = [
+    "SineHistogramResult",
+    "SineHistogramTest",
+    "expected_sine_histogram",
+    "StaticSpec",
+    "StaticTestReport",
+    "StaticTestSuite",
+    "locate_transitions",
+    "BinomialDeviceModel",
+    "DeviceProbabilities",
+    "CodeWidthDistribution",
+    "EmpiricalCodeWidthDistribution",
+    "DynamicAnalyzer",
+    "SpectrumResult",
+    "ErrorModel",
+    "PerCodeProbabilities",
+    "acceptance_probability",
+    "count_limits",
+    "counter_bits_needed",
+    "delta_s_for_counter",
+    "max_measurement_error_lsb",
+    "HistogramTest",
+    "HistogramTestResult",
+    "LinearityResult",
+    "dnl_from_histogram",
+    "linearity_from_code_widths",
+    "linearity_from_transitions",
+    "MonteCarloResult",
+    "estimate_error_probabilities",
+    "simulate_counts",
+]

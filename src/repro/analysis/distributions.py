@@ -1,0 +1,191 @@
+"""Code-width distribution models.
+
+The statistical heart of the paper is the distribution ``f(dV)`` of a single
+code width (Figure 6a).  For the flash converters used in the experiments the
+distribution is Gaussian with mean 1 LSB and a standard deviation between
+0.16 and 0.21 LSB (circuit simulation), and neighbouring widths carry the
+weak negative correlation ``rho = -1/(N-1)``.
+
+:class:`CodeWidthDistribution` is the analytic (Gaussian) model used by the
+closed-form error analysis; :class:`EmpiricalCodeWidthDistribution` wraps
+measured or Monte-Carlo width samples so the same error-model code can be
+evaluated against a non-Gaussian population (e.g. one containing spot
+defects).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["CodeWidthDistribution", "EmpiricalCodeWidthDistribution"]
+
+
+@dataclass
+class CodeWidthDistribution:
+    """Gaussian model of a single code width, in LSB.
+
+    Parameters
+    ----------
+    sigma_lsb:
+        Standard deviation of the code width in LSB (paper: 0.16–0.21).
+    mean_lsb:
+        Mean code width in LSB; 1.0 for a converter without gain error.
+    """
+
+    sigma_lsb: float = 0.21
+    mean_lsb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_lsb < 0:
+            raise ValueError("sigma_lsb must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Elementary functions
+    # ------------------------------------------------------------------ #
+
+    def pdf(self, width_lsb: np.ndarray) -> np.ndarray:
+        """Probability density ``f(dV)`` evaluated at ``width_lsb`` (LSB)."""
+        if self.sigma_lsb == 0.0:
+            raise ValueError("pdf undefined for a zero-sigma distribution")
+        return stats.norm.pdf(width_lsb, loc=self.mean_lsb,
+                              scale=self.sigma_lsb)
+
+    def cdf(self, width_lsb: np.ndarray) -> np.ndarray:
+        """Cumulative distribution evaluated at ``width_lsb`` (LSB)."""
+        if self.sigma_lsb == 0.0:
+            return (np.asarray(width_lsb, float)
+                    >= self.mean_lsb).astype(float)
+        return stats.norm.cdf(width_lsb, loc=self.mean_lsb,
+                              scale=self.sigma_lsb)
+
+    def sample(self, size, rng=None) -> np.ndarray:
+        """Draw code-width samples (LSB)."""
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        return generator.normal(self.mean_lsb, self.sigma_lsb, size=size)
+
+    # ------------------------------------------------------------------ #
+    # Spec-related probabilities
+    # ------------------------------------------------------------------ #
+
+    def spec_window_lsb(self, dnl_spec_lsb: float) -> Tuple[float, float]:
+        """Return ``(dV_min, dV_max)`` in LSB for a symmetric DNL spec.
+
+        A DNL specification of ±``dnl_spec_lsb`` LSB allows code widths
+        between ``1 - dnl_spec_lsb`` and ``1 + dnl_spec_lsb`` LSB (clipped
+        below at zero — a width cannot be negative).
+        """
+        if dnl_spec_lsb < 0:
+            raise ValueError("dnl_spec_lsb must be non-negative")
+        return max(0.0, 1.0 - dnl_spec_lsb), 1.0 + dnl_spec_lsb
+
+    def prob_code_good(self, dnl_spec_lsb: float) -> float:
+        """Probability that one code width meets the DNL spec."""
+        lo, hi = self.spec_window_lsb(dnl_spec_lsb)
+        return float(self.cdf(hi) - self.cdf(lo))
+
+    def prob_code_faulty(self, dnl_spec_lsb: float) -> float:
+        """Probability that one code width violates the DNL spec."""
+        return 1.0 - self.prob_code_good(dnl_spec_lsb)
+
+    def prob_device_good(self, dnl_spec_lsb: float, n_codes: int) -> float:
+        """Probability that all ``n_codes`` inner codes meet the spec (EQ 9).
+
+        Uses the paper's independence approximation, valid when the
+        correlation ``-1/(N-1)`` is small (6 bits and up).
+        """
+        if n_codes < 1:
+            raise ValueError("n_codes must be positive")
+        return self.prob_code_good(dnl_spec_lsb) ** n_codes
+
+    def prob_device_faulty(self, dnl_spec_lsb: float, n_codes: int) -> float:
+        """Probability that at least one code violates the spec."""
+        return 1.0 - self.prob_device_good(dnl_spec_lsb, n_codes)
+
+    # ------------------------------------------------------------------ #
+    # Calibration helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def paper_worst_case(cls) -> "CodeWidthDistribution":
+        """The worst-case sigma the paper uses for its simulations (0.21 LSB)."""
+        return cls(sigma_lsb=0.21)
+
+    @classmethod
+    def from_samples(cls, widths_lsb: np.ndarray) -> "CodeWidthDistribution":
+        """Fit the Gaussian model to measured width samples (in LSB)."""
+        widths = np.asarray(widths_lsb, dtype=float)
+        if widths.size < 2:
+            raise ValueError("need at least two samples to fit")
+        return cls(sigma_lsb=float(widths.std(ddof=1)),
+                   mean_lsb=float(widths.mean()))
+
+    def ladder_correlation(self, n_codes: int) -> float:
+        """The paper's Equation (10): ``rho = -1/(N-1)``."""
+        if n_codes < 2:
+            raise ValueError("n_codes must be at least 2")
+        return -1.0 / (n_codes - 1)
+
+
+class EmpiricalCodeWidthDistribution:
+    """A code-width distribution backed by samples.
+
+    Provides the same probability interface as
+    :class:`CodeWidthDistribution` but computed from an empirical sample
+    (kernel-free: plain empirical CDF), so the analytic error model can be
+    evaluated against arbitrary, possibly non-Gaussian, populations.
+    """
+
+    def __init__(self, widths_lsb: np.ndarray) -> None:
+        widths = np.sort(np.asarray(widths_lsb, dtype=float).ravel())
+        if widths.size < 2:
+            raise ValueError("need at least two samples")
+        self.widths_lsb = widths
+
+    @property
+    def mean_lsb(self) -> float:
+        """Sample mean width in LSB."""
+        return float(self.widths_lsb.mean())
+
+    @property
+    def sigma_lsb(self) -> float:
+        """Sample standard deviation in LSB."""
+        return float(self.widths_lsb.std(ddof=1))
+
+    def cdf(self, width_lsb) -> np.ndarray:
+        """Empirical CDF evaluated at ``width_lsb``."""
+        width_lsb = np.asarray(width_lsb, dtype=float)
+        ranks = np.searchsorted(self.widths_lsb, width_lsb, side="right")
+        return ranks / self.widths_lsb.size
+
+    def spec_window_lsb(self, dnl_spec_lsb: float) -> Tuple[float, float]:
+        """Same spec window convention as the Gaussian model."""
+        if dnl_spec_lsb < 0:
+            raise ValueError("dnl_spec_lsb must be non-negative")
+        return max(0.0, 1.0 - dnl_spec_lsb), 1.0 + dnl_spec_lsb
+
+    def prob_code_good(self, dnl_spec_lsb: float) -> float:
+        """Fraction of sampled widths meeting the DNL spec."""
+        lo, hi = self.spec_window_lsb(dnl_spec_lsb)
+        inside = (self.widths_lsb >= lo) & (self.widths_lsb <= hi)
+        return float(inside.mean())
+
+    def prob_code_faulty(self, dnl_spec_lsb: float) -> float:
+        """Fraction of sampled widths violating the DNL spec."""
+        return 1.0 - self.prob_code_good(dnl_spec_lsb)
+
+    def sample(self, size, rng=None) -> np.ndarray:
+        """Bootstrap-resample widths from the empirical sample."""
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        return generator.choice(self.widths_lsb, size=size, replace=True)
+
+    def to_gaussian(self) -> CodeWidthDistribution:
+        """Return the Gaussian model fitted to this sample."""
+        return CodeWidthDistribution(sigma_lsb=self.sigma_lsb,
+                                     mean_lsb=self.mean_lsb)

@@ -1,0 +1,436 @@
+"""Analytic measurement-error model of the counting-based BIST (section 3).
+
+The on-chip test measures each code width by counting samples between two
+LSB transitions.  Because the sample phase is uniformly distributed with
+respect to the transitions (paper, Figure 5), a code of true width ``dV``
+produces a count of either ``floor(dV/ds)`` or ``floor(dV/ds) + 1`` where
+``ds`` is the voltage step per sample (Equation (5)).  The code is accepted
+when the count lies within ``[i_min, i_max]`` (Equations (3) and (4)), which
+gives the trapezoidal acceptance probability ``h(dV, ds)`` of Figure 6b:
+
+* 0 below ``(i_min - 1) * ds``,
+* rising linearly to 1 at ``i_min * ds``,
+* 1 up to ``i_max * ds``,
+* falling linearly to 0 at ``(i_max + 1) * ds``.
+
+Combining ``h`` with the code-width distribution ``f`` yields the per-code
+type I and type II error probabilities (Equations (6) and (7)); the
+whole-device numbers follow from the independence approximation of
+Equations (8)–(12) implemented in :mod:`repro.analysis.binomial`.
+
+All widths and steps in this module are expressed in LSB.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import integrate, stats
+
+from repro.analysis.distributions import CodeWidthDistribution
+
+__all__ = [
+    "acceptance_probability",
+    "count_limits",
+    "delta_s_for_counter",
+    "counter_bits_needed",
+    "max_measurement_error_lsb",
+    "PerCodeProbabilities",
+    "ErrorModel",
+]
+
+
+def acceptance_probability(width_lsb, delta_s_lsb: float,
+                           i_min: int, i_max: int) -> np.ndarray:
+    """The paper's ``h(dV, ds)``: probability a width is accepted.
+
+    Parameters
+    ----------
+    width_lsb:
+        True code width(s) in LSB (scalar or array).
+    delta_s_lsb:
+        Voltage step between two samples, in LSB (Equation (5)).
+    i_min, i_max:
+        Count acceptance limits (Equations (3) and (4)).
+
+    Returns
+    -------
+    numpy.ndarray
+        The trapezoidal acceptance probability of Figure 6b, elementwise.
+    """
+    if delta_s_lsb <= 0:
+        raise ValueError("delta_s_lsb must be positive")
+    if i_min < 0 or i_max < i_min:
+        raise ValueError("need 0 <= i_min <= i_max")
+    x = np.asarray(width_lsb, dtype=float) / delta_s_lsb
+    rising = x - (i_min - 1)
+    falling = (i_max + 1) - x
+    return np.clip(np.minimum(rising, falling), 0.0, 1.0)
+
+
+def count_limits(delta_s_lsb: float, dnl_spec_lsb: float,
+                 counter_max: Optional[int] = None) -> Tuple[int, int]:
+    """Count acceptance limits ``(i_min, i_max)`` — Equations (3) and (4).
+
+    ``i_min = ceil(dV_min / ds)`` and ``i_max = floor(dV_max / ds)`` with
+    ``dV_min = 1 - dnl_spec`` and ``dV_max = 1 + dnl_spec`` (in LSB).  When a
+    ``counter_max`` is given (the largest value the on-chip counter can
+    represent), ``i_max`` is clipped to it — a wider code simply saturates
+    the counter and is rejected.
+    """
+    if delta_s_lsb <= 0:
+        raise ValueError("delta_s_lsb must be positive")
+    if dnl_spec_lsb < 0:
+        raise ValueError("dnl_spec_lsb must be non-negative")
+    dv_min = max(0.0, 1.0 - dnl_spec_lsb)
+    dv_max = 1.0 + dnl_spec_lsb
+    i_min = int(math.ceil(dv_min / delta_s_lsb - 1e-12))
+    i_max = int(math.floor(dv_max / delta_s_lsb + 1e-12))
+    if counter_max is not None:
+        if counter_max < 1:
+            raise ValueError("counter_max must be at least 1")
+        i_max = min(i_max, counter_max)
+    if i_max < i_min:
+        raise ValueError(
+            f"inconsistent limits: i_min={i_min} > i_max={i_max}; the step "
+            f"size {delta_s_lsb} LSB is too coarse for a ±{dnl_spec_lsb} LSB "
+            f"DNL specification")
+    return i_min, i_max
+
+
+def delta_s_for_counter(counter_bits: int, dnl_spec_lsb: float) -> float:
+    """Step size that fully uses a ``counter_bits``-bit counter (section 4).
+
+    The paper chooses the ramp slope such that the *maximum* allowed code
+    width (``1 + dnl_spec`` LSB) lands in the middle of the counter's top
+    acceptance cell: with ``i_max = 2**counter_bits`` the step is
+    ``ds = dV_max / (i_max + 0.5)``.  For a 4-bit counter and the stringent
+    ±0.5 LSB spec this gives the paper's quoted ``ds = 0.091`` LSB
+    (``1.5 / 16.5``).
+    """
+    if counter_bits < 1:
+        raise ValueError("counter_bits must be at least 1")
+    if dnl_spec_lsb < 0:
+        raise ValueError("dnl_spec_lsb must be non-negative")
+    i_max = 1 << counter_bits
+    return (1.0 + dnl_spec_lsb) / (i_max + 0.5)
+
+
+def counter_bits_needed(delta_s_lsb: float, dnl_spec_lsb: float) -> int:
+    """Smallest counter size (bits) whose range covers the widest good code.
+
+    A ``b``-bit counter with an overflow flag distinguishes counts up to
+    ``2**b`` (the paper's ``i_max = 16`` for 4 bits), so the requirement is
+    ``2**b >= floor(dV_max / ds)``.
+    """
+    if delta_s_lsb <= 0:
+        raise ValueError("delta_s_lsb must be positive")
+    if dnl_spec_lsb < 0:
+        raise ValueError("dnl_spec_lsb must be non-negative")
+    max_count = math.floor((1.0 + dnl_spec_lsb) / delta_s_lsb + 1e-12)
+    return max(1, int(math.ceil(math.log2(max(max_count, 1)))))
+
+
+def max_measurement_error_lsb(delta_s_lsb: float) -> float:
+    """The paper's "max. error made" column: one step of the count quantiser.
+
+    The counting process cannot locate a transition more precisely than the
+    step ``ds`` between two samples, so the worst-case code-width measurement
+    error equals ``ds`` (the paper lists 1/8 … 1/64 LSB for 4–7 bit counters
+    at the ±1 LSB spec, which is ``ds`` rounded to a power of two).
+    """
+    if delta_s_lsb <= 0:
+        raise ValueError("delta_s_lsb must be positive")
+    return delta_s_lsb
+
+
+def _gaussian_partial_moment(lo: float, hi: float, mean: float,
+                             sigma: float) -> Tuple[float, float]:
+    """Return ``(P, M)`` with ``P = ∫ f`` and ``M = ∫ x f`` over ``[lo, hi]``.
+
+    ``f`` is the normal density with the given mean and sigma.  These two
+    moments are all that is needed to integrate the piecewise-linear
+    acceptance probability against a Gaussian code-width density in closed
+    form.
+    """
+    if hi <= lo:
+        return 0.0, 0.0
+    a = (lo - mean) / sigma
+    b = (hi - mean) / sigma
+    p = stats.norm.cdf(b) - stats.norm.cdf(a)
+    m = mean * p + sigma * (stats.norm.pdf(a) - stats.norm.pdf(b))
+    return float(p), float(m)
+
+
+@dataclass(frozen=True)
+class PerCodeProbabilities:
+    """Per-code probabilities produced by :class:`ErrorModel`.
+
+    All quantities refer to a single inner code; device-level numbers are
+    derived from them by :class:`repro.analysis.binomial.BinomialDeviceModel`.
+
+    Attributes
+    ----------
+    p_good:
+        ``P(code is good)`` — the width lies inside the DNL spec window.
+    p_accept:
+        ``P(code is accepted)`` by the counting process.
+    p_good_and_accept:
+        Joint probability of being good *and* accepted.
+    type_i:
+        ``P(good and rejected)`` — Equation (6).
+    type_ii:
+        ``P(faulty and accepted)`` — Equation (7).
+    """
+
+    p_good: float
+    p_accept: float
+    p_good_and_accept: float
+    type_i: float
+    type_ii: float
+
+    @property
+    def p_accept_given_good(self) -> float:
+        """Equation (13): ``P(accept | good)`` for one code."""
+        if self.p_good == 0.0:
+            return 0.0
+        return self.p_good_and_accept / self.p_good
+
+    @property
+    def p_reject_given_good(self) -> float:
+        """Conditional per-code type I probability."""
+        return 1.0 - self.p_accept_given_good
+
+    @property
+    def p_accept_given_faulty(self) -> float:
+        """Conditional per-code type II probability."""
+        p_faulty = 1.0 - self.p_good
+        if p_faulty == 0.0:
+            return 0.0
+        return self.type_ii / p_faulty
+
+
+class ErrorModel:
+    """Closed-form per-code error model for the counting BIST.
+
+    Parameters
+    ----------
+    distribution:
+        Code-width distribution (Gaussian); defaults to the paper's
+        worst-case 0.21 LSB sigma.
+    dnl_spec_lsb:
+        Symmetric DNL specification in LSB (0.5 for the stringent setting of
+        Table 1, 1.0 for the actual specification of Table 2).
+    delta_s_lsb:
+        Voltage step per sample in LSB; when omitted it is derived from
+        ``counter_bits`` with :func:`delta_s_for_counter`.
+    counter_bits:
+        Size of the on-chip counter.  Sets the maximum representable count
+        (``2**counter_bits``) and, when ``delta_s_lsb`` is omitted, the step
+        size.
+    """
+
+    def __init__(self, distribution: Optional[CodeWidthDistribution] = None,
+                 dnl_spec_lsb: float = 0.5,
+                 delta_s_lsb: Optional[float] = None,
+                 counter_bits: Optional[int] = None) -> None:
+        if delta_s_lsb is None and counter_bits is None:
+            raise ValueError("give delta_s_lsb or counter_bits (or both)")
+        self.distribution = (distribution if distribution is not None
+                             else CodeWidthDistribution.paper_worst_case())
+        if dnl_spec_lsb < 0:
+            raise ValueError("dnl_spec_lsb must be non-negative")
+        self.dnl_spec_lsb = float(dnl_spec_lsb)
+        self.counter_bits = counter_bits
+        if delta_s_lsb is None:
+            delta_s_lsb = delta_s_for_counter(counter_bits, dnl_spec_lsb)
+        if delta_s_lsb <= 0:
+            raise ValueError("delta_s_lsb must be positive")
+        self.delta_s_lsb = float(delta_s_lsb)
+
+        counter_max = (1 << counter_bits) if counter_bits is not None else None
+        self.i_min, self.i_max = count_limits(self.delta_s_lsb,
+                                              self.dnl_spec_lsb,
+                                              counter_max=counter_max)
+
+    # ------------------------------------------------------------------ #
+    # Geometry of the acceptance trapezoid
+    # ------------------------------------------------------------------ #
+
+    @property
+    def spec_window_lsb(self) -> Tuple[float, float]:
+        """``(dV_min, dV_max)`` of the DNL spec, in LSB."""
+        return self.distribution.spec_window_lsb(self.dnl_spec_lsb)
+
+    @property
+    def accept_window_lsb(self) -> Tuple[float, float, float, float]:
+        """Corners of the acceptance trapezoid in LSB.
+
+        Returns ``(zero_low, one_low, one_high, zero_high)``: acceptance is 0
+        below ``zero_low``, 1 between ``one_low`` and ``one_high`` and 0
+        above ``zero_high``, with linear ramps in between.
+        """
+        ds = self.delta_s_lsb
+        return ((self.i_min - 1) * ds, self.i_min * ds,
+                self.i_max * ds, (self.i_max + 1) * ds)
+
+    def acceptance(self, width_lsb) -> np.ndarray:
+        """``h(dV, ds)`` for this model's limits."""
+        return acceptance_probability(width_lsb, self.delta_s_lsb,
+                                      self.i_min, self.i_max)
+
+    def max_error_lsb(self) -> float:
+        """Worst-case code-width measurement error (the "max. error made")."""
+        return max_measurement_error_lsb(self.delta_s_lsb)
+
+    # ------------------------------------------------------------------ #
+    # Per-code probabilities
+    # ------------------------------------------------------------------ #
+
+    def _expect_acceptance(self, lo: float, hi: float) -> float:
+        """``∫_lo^hi h(dV) f(dV) ddV`` in closed form for the Gaussian f."""
+        if hi <= lo:
+            return 0.0
+        dist = self.distribution
+        if dist.sigma_lsb == 0.0:
+            # Degenerate distribution: all mass at the mean.
+            if lo <= dist.mean_lsb <= hi:
+                return float(self.acceptance(dist.mean_lsb))
+            return 0.0
+        ds = self.delta_s_lsb
+        zero_low, one_low, one_high, zero_high = self.accept_window_lsb
+        total = 0.0
+        # Rising ramp region: h = (dV - zero_low) / ds.
+        seg_lo, seg_hi = max(lo, zero_low), min(hi, one_low)
+        if seg_hi > seg_lo:
+            p, m = _gaussian_partial_moment(seg_lo, seg_hi, dist.mean_lsb,
+                                            dist.sigma_lsb)
+            total += (m - zero_low * p) / ds
+        # Flat region: h = 1.
+        seg_lo, seg_hi = max(lo, one_low), min(hi, one_high)
+        if seg_hi > seg_lo:
+            p, _ = _gaussian_partial_moment(seg_lo, seg_hi, dist.mean_lsb,
+                                            dist.sigma_lsb)
+            total += p
+        # Falling ramp region: h = (zero_high - dV) / ds.
+        seg_lo, seg_hi = max(lo, one_high), min(hi, zero_high)
+        if seg_hi > seg_lo:
+            p, m = _gaussian_partial_moment(seg_lo, seg_hi, dist.mean_lsb,
+                                            dist.sigma_lsb)
+            total += (zero_high * p - m) / ds
+        return total
+
+    def _prob_window(self, lo: float, hi: float) -> float:
+        """``∫_lo^hi f(dV) ddV`` for the Gaussian width density."""
+        if hi <= lo:
+            return 0.0
+        dist = self.distribution
+        if dist.sigma_lsb == 0.0:
+            return 1.0 if lo <= dist.mean_lsb <= hi else 0.0
+        return float(dist.cdf(hi) - dist.cdf(lo))
+
+    def per_code(self) -> PerCodeProbabilities:
+        """Compute the per-code probabilities (Equations (6), (7), (13))."""
+        dv_min, dv_max = self.spec_window_lsb
+        # Integration support: a generous number of sigmas around the mean,
+        # also covering the whole acceptance trapezoid.
+        dist = self.distribution
+        lo = min(0.0, dv_min, self.accept_window_lsb[0])
+        hi = max(dv_max, self.accept_window_lsb[3],
+                 dist.mean_lsb + 12.0 * max(dist.sigma_lsb, 1e-6))
+
+        p_good = self._prob_window(dv_min, dv_max)
+        p_good_and_accept = self._expect_acceptance(dv_min, dv_max)
+        p_accept = self._expect_acceptance(lo, hi)
+        type_i = max(0.0, p_good - p_good_and_accept)
+        type_ii = max(0.0, p_accept - p_good_and_accept)
+        return PerCodeProbabilities(p_good=p_good, p_accept=p_accept,
+                                    p_good_and_accept=p_good_and_accept,
+                                    type_i=type_i, type_ii=type_ii)
+
+    def per_code_numeric(self, points: int = 20001) -> PerCodeProbabilities:
+        """Numerically integrated per-code probabilities (cross-check).
+
+        Uses a dense trapezoidal quadrature of ``h * f`` instead of the
+        closed form; provided so that the analytic implementation can be
+        validated in the test suite.
+        """
+        dist = self.distribution
+        if dist.sigma_lsb == 0.0:
+            return self.per_code()
+        dv_min, dv_max = self.spec_window_lsb
+        lo = min(0.0, self.accept_window_lsb[0],
+                 dist.mean_lsb - 12.0 * dist.sigma_lsb)
+        hi = max(dv_max, self.accept_window_lsb[3],
+                 dist.mean_lsb + 12.0 * dist.sigma_lsb)
+        grid = np.linspace(lo, hi, points)
+        f = dist.pdf(grid)
+        h = self.acceptance(grid)
+        good = (grid >= dv_min) & (grid <= dv_max)
+
+        p_good = float(np.trapezoid(f * good, grid))
+        p_accept = float(np.trapezoid(f * h, grid))
+        p_good_and_accept = float(np.trapezoid(f * h * good, grid))
+        return PerCodeProbabilities(
+            p_good=p_good, p_accept=p_accept,
+            p_good_and_accept=p_good_and_accept,
+            type_i=max(0.0, p_good - p_good_and_accept),
+            type_ii=max(0.0, p_accept - p_good_and_accept))
+
+    # ------------------------------------------------------------------ #
+    # Device-level probabilities (delegates to the binomial model)
+    # ------------------------------------------------------------------ #
+
+    def device(self, n_codes: int):
+        """Whole-device probabilities for ``n_codes`` inner codes.
+
+        Returns a :class:`repro.analysis.binomial.DeviceProbabilities`.
+        """
+        from repro.analysis.binomial import BinomialDeviceModel
+
+        return BinomialDeviceModel(self.per_code(), n_codes).device()
+
+    # ------------------------------------------------------------------ #
+    # Sweeps (Figure 7)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def sweep_delta_s(cls, delta_s_values_lsb: np.ndarray, n_codes: int,
+                      dnl_spec_lsb: float = 0.5,
+                      distribution: Optional[CodeWidthDistribution] = None,
+                      counter_bits: Optional[int] = None) -> dict:
+        """Device-level type I/II probabilities as a function of ``ds``.
+
+        This regenerates the series of Figure 7.  Step sizes for which the
+        count limits are inconsistent (step too coarse for the spec) are
+        skipped, mirroring the usable region shown in the figure.
+
+        Returns a dict with keys ``delta_s_lsb``, ``type_i`` and ``type_ii``
+        (NumPy arrays of equal length).
+        """
+        ds_out, ti_out, tii_out = [], [], []
+        for ds in np.asarray(delta_s_values_lsb, dtype=float):
+            try:
+                model = cls(distribution=distribution,
+                            dnl_spec_lsb=dnl_spec_lsb,
+                            delta_s_lsb=float(ds),
+                            counter_bits=counter_bits)
+            except ValueError:
+                continue
+            device = model.device(n_codes)
+            ds_out.append(float(ds))
+            ti_out.append(device.type_i)
+            tii_out.append(device.type_ii)
+        return {
+            "delta_s_lsb": np.asarray(ds_out),
+            "type_i": np.asarray(ti_out),
+            "type_ii": np.asarray(tii_out),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ErrorModel(dnl_spec={self.dnl_spec_lsb} LSB, "
+                f"delta_s={self.delta_s_lsb:.4f} LSB, "
+                f"i_min={self.i_min}, i_max={self.i_max})")

@@ -1,0 +1,155 @@
+"""Static linearity extraction (offset, gain, DNL, INL).
+
+These are the "static" parameters the paper lists in section 2.  The
+functions here convert raw measurements — code widths, histograms or
+transition voltages — into the standard figures of merit, using the same
+end-point convention as the paper's reference histogram test, and apply
+pass/fail specifications to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LinearityResult",
+    "linearity_from_code_widths",
+    "linearity_from_transitions",
+    "dnl_from_histogram",
+]
+
+
+@dataclass(frozen=True)
+class LinearityResult:
+    """Static linearity figures of one converter measurement.
+
+    Attributes
+    ----------
+    dnl_lsb:
+        DNL per inner code, in LSB (end-point convention).
+    inl_lsb:
+        INL per transition, in LSB, accumulated from the first inner code —
+        exactly what the paper's LSB processing block computes by summing
+        DNL values.
+    offset_lsb:
+        Offset error in LSB, when known from absolute transition voltages
+        (``nan`` when the measurement only provides relative widths).
+    gain_error_lsb:
+        Gain error in LSB over the measured span (``nan`` when unknown).
+    """
+
+    dnl_lsb: np.ndarray
+    inl_lsb: np.ndarray
+    offset_lsb: float = float("nan")
+    gain_error_lsb: float = float("nan")
+
+    @property
+    def max_dnl(self) -> float:
+        """Largest absolute DNL in LSB."""
+        return float(np.max(np.abs(self.dnl_lsb)))
+
+    @property
+    def max_inl(self) -> float:
+        """Largest absolute INL in LSB."""
+        return float(np.max(np.abs(self.inl_lsb)))
+
+    @property
+    def worst_dnl_code(self) -> int:
+        """Inner-code number (1-based) with the largest absolute DNL."""
+        return int(np.argmax(np.abs(self.dnl_lsb))) + 1
+
+    def passes(self, dnl_spec_lsb: float,
+               inl_spec_lsb: Optional[float] = None) -> bool:
+        """True when the result meets the DNL (and optional INL) spec."""
+        if dnl_spec_lsb < 0:
+            raise ValueError("dnl_spec_lsb must be non-negative")
+        ok = self.max_dnl <= dnl_spec_lsb
+        if inl_spec_lsb is not None:
+            ok = ok and self.max_inl <= inl_spec_lsb
+        return bool(ok)
+
+    def missing_codes(self, threshold_lsb: float = 0.05) -> np.ndarray:
+        """Inner codes whose measured width is below ``threshold_lsb`` LSB."""
+        widths = 1.0 + self.dnl_lsb
+        return np.nonzero(widths < threshold_lsb)[0] + 1
+
+
+def linearity_from_code_widths(code_widths: Sequence[float],
+                               lsb: Optional[float] = None
+                               ) -> LinearityResult:
+    """Compute DNL and INL from measured inner code widths.
+
+    Parameters
+    ----------
+    code_widths:
+        Measured inner code widths.  Units are irrelevant when ``lsb`` is
+        omitted (the end-point convention normalises by the mean width); give
+        ``lsb`` to use the absolute nominal LSB instead.
+    lsb:
+        Nominal LSB in the same unit as ``code_widths``; when omitted the
+        average measured width is used (end-point / best-fit-gain removal).
+    """
+    widths = np.asarray(code_widths, dtype=float)
+    if widths.ndim != 1 or widths.size < 1:
+        raise ValueError("code_widths must be a non-empty 1-D sequence")
+    if np.any(widths < 0):
+        raise ValueError("code widths cannot be negative")
+    reference = widths.mean() if lsb is None else float(lsb)
+    if reference <= 0:
+        raise ValueError("the reference LSB must be positive")
+    dnl = widths / reference - 1.0
+    inl = np.cumsum(dnl)
+    return LinearityResult(dnl_lsb=dnl, inl_lsb=inl)
+
+
+def linearity_from_transitions(transitions: Sequence[float],
+                               full_scale: float,
+                               n_bits: int) -> LinearityResult:
+    """Compute offset, gain, DNL and INL from absolute transition voltages."""
+    transitions = np.asarray(transitions, dtype=float)
+    n_codes = 1 << n_bits
+    if transitions.size != n_codes - 1:
+        raise ValueError(
+            f"expected {n_codes - 1} transitions, got {transitions.size}")
+    lsb = full_scale / n_codes
+    widths = np.diff(transitions)
+    result = linearity_from_code_widths(widths)
+    offset_lsb = float((transitions[0] - lsb) / lsb)
+    span = transitions[-1] - transitions[0]
+    gain_error_lsb = float((span - (n_codes - 2) * lsb) / lsb)
+    return LinearityResult(dnl_lsb=result.dnl_lsb, inl_lsb=result.inl_lsb,
+                           offset_lsb=offset_lsb,
+                           gain_error_lsb=gain_error_lsb)
+
+
+def dnl_from_histogram(counts: Sequence[float],
+                       drop_end_bins: bool = True) -> LinearityResult:
+    """Compute DNL and INL from a ramp code-density histogram.
+
+    This is the conventional production test the paper compares its BIST
+    against: with a linear ramp the expected number of hits per code is
+    proportional to the code width, so the normalised histogram directly
+    estimates the DNL.
+
+    Parameters
+    ----------
+    counts:
+        Histogram of output codes (one bin per code, including the end
+        codes).
+    drop_end_bins:
+        Drop the first and last bin before normalising (they collect the
+        off-range part of the ramp and carry no width information); this is
+        the standard procedure and the default.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 1 or counts.size < 3:
+        raise ValueError("need a 1-D histogram with at least 3 bins")
+    if np.any(counts < 0):
+        raise ValueError("histogram counts cannot be negative")
+    inner = counts[1:-1] if drop_end_bins else counts
+    if inner.sum() == 0:
+        raise ValueError("the histogram contains no samples in the inner bins")
+    return linearity_from_code_widths(inner)

@@ -1,0 +1,219 @@
+"""Monte-Carlo estimation of the BIST measurement-error probabilities.
+
+The analytic model of :mod:`repro.analysis.error_model` rests on two
+approximations the paper states explicitly: the sampling phase is uniform and
+independent per code, and the code widths are independent across codes.  The
+estimators here relax both by actually *simulating* the counting measurement
+on populations of devices:
+
+* the **sequential** phase model places a single sample grid over the whole
+  ramp, so the phase seen by one code is determined by the accumulated widths
+  of all previous codes (this is what physically happens during one ramp),
+* the **independent** phase model draws a fresh uniform phase for every code
+  (this is exactly the analytic assumption, so comparing the two quantifies
+  the approximation error).
+
+The estimators work directly on (devices x codes) width matrices, so they run
+in vectorised NumPy and can handle millions of simulated devices; the full
+sample-by-sample BIST engine in :mod:`repro.core.engine` is used for the
+smaller, behaviourally detailed runs (the "measurement" column of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.adc.population import correlated_code_widths
+from repro.analysis.error_model import count_limits
+
+__all__ = ["MonteCarloResult", "simulate_counts", "estimate_error_probabilities"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Estimated device-level probabilities from a Monte-Carlo run.
+
+    Attributes
+    ----------
+    n_devices:
+        Number of simulated devices.
+    p_good:
+        Fraction of devices truly meeting the DNL spec.
+    p_accept:
+        Fraction of devices the simulated BIST accepted.
+    type_i:
+        Fraction of devices that were good but rejected.
+    type_ii:
+        Fraction of devices that were faulty but accepted.
+    """
+
+    n_devices: int
+    p_good: float
+    p_accept: float
+    type_i: float
+    type_ii: float
+
+    @property
+    def p_faulty(self) -> float:
+        """Fraction of devices violating the spec."""
+        return 1.0 - self.p_good
+
+    @property
+    def p_reject_given_good(self) -> float:
+        """Conditional type I estimate."""
+        return self.type_i / self.p_good if self.p_good else 0.0
+
+    @property
+    def p_accept_given_faulty(self) -> float:
+        """Conditional type II estimate."""
+        return self.type_ii / self.p_faulty if self.p_faulty else 0.0
+
+    def confidence_interval(self, which: str = "type_i",
+                            z: float = 1.96) -> Tuple[float, float]:
+        """Wilson score interval for one of the estimated probabilities.
+
+        Parameters
+        ----------
+        which:
+            One of ``"type_i"``, ``"type_ii"``, ``"p_good"``, ``"p_accept"``.
+        z:
+            Normal quantile; 1.96 for a 95 % interval.
+        """
+        p = getattr(self, which)
+        n = self.n_devices
+        if n == 0:
+            return 0.0, 1.0
+        denom = 1.0 + z * z / n
+        centre = (p + z * z / (2 * n)) / denom
+        margin = z * np.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denom
+        return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def simulate_counts(widths_lsb: np.ndarray, delta_s_lsb: float,
+                    phase_model: str = "sequential",
+                    rng: RngLike = None) -> np.ndarray:
+    """Simulate the per-code sample counts of the BIST counting process.
+
+    Parameters
+    ----------
+    widths_lsb:
+        Code widths in LSB, shape ``(n_devices, n_codes)``.
+    delta_s_lsb:
+        Voltage step per sample, in LSB.
+    phase_model:
+        ``"sequential"`` — one sample grid per device spanning the whole
+        ramp (physically accurate); ``"independent"`` — a fresh uniform
+        phase per code (the analytic assumption).
+    rng:
+        Seed or generator for the random phases.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer counts with the same shape as ``widths_lsb``.
+    """
+    widths = np.atleast_2d(np.asarray(widths_lsb, dtype=float))
+    if delta_s_lsb <= 0:
+        raise ValueError("delta_s_lsb must be positive")
+    if np.any(widths < 0):
+        raise ValueError("code widths cannot be negative")
+    generator = _as_rng(rng)
+    n_devices, n_codes = widths.shape
+
+    if phase_model == "independent":
+        phases = generator.random(size=widths.shape)
+        counts = np.floor(widths / delta_s_lsb + phases).astype(np.int64)
+    elif phase_model == "sequential":
+        # Transition positions along the ramp for every device; the sample
+        # grid starts at a random phase within the first step.
+        start = generator.random(size=(n_devices, 1)) * delta_s_lsb
+        upper = np.cumsum(widths, axis=1) + start
+        lower = upper - widths
+        counts = (np.floor(upper / delta_s_lsb)
+                  - np.floor(lower / delta_s_lsb)).astype(np.int64)
+    else:
+        raise ValueError(
+            f"unknown phase_model {phase_model!r}; "
+            f"expected 'sequential' or 'independent'")
+    return counts
+
+
+def estimate_error_probabilities(
+        n_devices: int,
+        n_codes: int,
+        sigma_lsb: float,
+        dnl_spec_lsb: float,
+        delta_s_lsb: float,
+        counter_bits: Optional[int] = None,
+        rho: Optional[float] = None,
+        phase_model: str = "sequential",
+        widths_lsb: Optional[np.ndarray] = None,
+        rng: RngLike = None) -> MonteCarloResult:
+    """Monte-Carlo estimate of the device-level type I/II probabilities.
+
+    Parameters
+    ----------
+    n_devices:
+        Number of devices to simulate (ignored when ``widths_lsb`` is given).
+    n_codes:
+        Inner codes per device (62 for the paper's 6-bit flash).
+    sigma_lsb:
+        Code-width sigma in LSB (ignored when ``widths_lsb`` is given).
+    dnl_spec_lsb:
+        Symmetric DNL specification in LSB.
+    delta_s_lsb:
+        Voltage step per sample in LSB.
+    counter_bits:
+        Optional counter size; clips the upper count limit to ``2**bits``.
+    rho:
+        Pairwise width correlation (default: the ladder value ``-1/(N-1)``).
+    phase_model:
+        Passed to :func:`simulate_counts`.
+    widths_lsb:
+        Optional explicit width matrix (e.g. from a
+        :class:`~repro.adc.population.DevicePopulation`); overrides the
+        synthetic Gaussian draw.
+    rng:
+        Seed or generator.
+    """
+    generator = _as_rng(rng)
+    if widths_lsb is None:
+        widths = correlated_code_widths(n_devices, n_codes, sigma_lsb,
+                                        rho=rho, rng=generator)
+    else:
+        widths = np.atleast_2d(np.asarray(widths_lsb, dtype=float))
+    widths = np.clip(widths, 0.0, None)
+    n_devices = widths.shape[0]
+
+    counter_max = (1 << counter_bits) if counter_bits is not None else None
+    i_min, i_max = count_limits(delta_s_lsb, dnl_spec_lsb,
+                                counter_max=counter_max)
+
+    counts = simulate_counts(widths, delta_s_lsb, phase_model=phase_model,
+                             rng=generator)
+    accepted_codes = (counts >= i_min) & (counts <= i_max)
+    accepted = accepted_codes.all(axis=1)
+
+    dv_lo = max(0.0, 1.0 - dnl_spec_lsb)
+    dv_hi = 1.0 + dnl_spec_lsb
+    good_codes = (widths >= dv_lo) & (widths <= dv_hi)
+    good = good_codes.all(axis=1)
+
+    type_i = float(np.mean(good & ~accepted))
+    type_ii = float(np.mean(~good & accepted))
+    return MonteCarloResult(n_devices=n_devices,
+                            p_good=float(good.mean()),
+                            p_accept=float(accepted.mean()),
+                            type_i=type_i,
+                            type_ii=type_ii)

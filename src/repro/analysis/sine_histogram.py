@@ -1,0 +1,165 @@
+"""Sine-wave code-density (histogram) linearity test.
+
+The ramp histogram test needs a very linear ramp; production testing often
+uses a *sine* stimulus instead because a high-purity sine is easier to
+generate, and corrects for its non-uniform amplitude distribution
+analytically (Doernberg et al., "Full-Speed Testing of A/D Converters",
+reference [11] of the paper).  The expected number of hits in a code bin is
+proportional to the arcsine-weighted probability of the sine dwelling in
+that bin; dividing the measured histogram by that expectation yields the
+code widths and hence DNL/INL.
+
+This module provides that second conventional baseline so the BIST can be
+compared against both industry-standard histogram methods, and so the
+dynamic-stimulus side of the library has a linearity test to pair with the
+FFT metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.adc.base import ADC
+from repro.analysis.linearity import LinearityResult, linearity_from_code_widths
+from repro.signals.sine import SineStimulus, coherent_frequency
+
+__all__ = ["SineHistogramTest", "SineHistogramResult",
+           "expected_sine_histogram"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def expected_sine_histogram(n_bits: int, amplitude: float, offset: float,
+                            full_scale: float, n_samples: int) -> np.ndarray:
+    """Expected hits per code bin for an ideal converter and an ideal sine.
+
+    The sine ``offset + amplitude*sin(wt)`` spends a fraction of its period
+    in the voltage interval ``[a, b]`` equal to
+    ``(arcsin((b-offset)/amplitude) - arcsin((a-offset)/amplitude)) / pi``
+    (clipped to the ±amplitude range).  Multiplying by ``n_samples`` gives
+    the expected bin content for every code of an ideal ``n_bits`` converter.
+    """
+    if amplitude <= 0:
+        raise ValueError("amplitude must be positive")
+    n_codes = 1 << n_bits
+    lsb = full_scale / n_codes
+    edges = np.arange(n_codes + 1) * lsb
+    # Probability of the sine being below a voltage v.
+    normalised = np.clip((edges - offset) / amplitude, -1.0, 1.0)
+    cdf = 0.5 + np.arcsin(normalised) / np.pi
+    # The converter clips: everything below the range lands in code 0 and
+    # everything above it in the top code, so the outer edges collect the
+    # full tails of the sine's amplitude distribution.
+    cdf[0] = 0.0
+    cdf[-1] = 1.0
+    return n_samples * np.diff(cdf)
+
+
+@dataclass
+class SineHistogramResult:
+    """Outcome of one sine-histogram linearity test.
+
+    Attributes
+    ----------
+    counts:
+        Measured histogram (one bin per code).
+    expected:
+        Expected histogram for an ideal converter under the same sine.
+    linearity:
+        DNL/INL derived from the ratio of measured to expected bins.
+    passed:
+        Decision against the configured specification.
+    samples_taken:
+        Number of conversions used.
+    """
+
+    counts: np.ndarray
+    expected: np.ndarray
+    linearity: LinearityResult
+    passed: bool
+    samples_taken: int
+
+    @property
+    def max_dnl(self) -> float:
+        """Largest absolute DNL in LSB."""
+        return self.linearity.max_dnl
+
+    @property
+    def max_inl(self) -> float:
+        """Largest absolute INL in LSB."""
+        return self.linearity.max_inl
+
+
+class SineHistogramTest:
+    """Sine-wave code-density test of a converter.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of conversions to histogram.  The classic rule of thumb needs
+        of the order ``pi * 2**n * samples_per_code`` hits for a given DNL
+        resolution; the default suits 6–8 bit converters.
+    overdrive:
+        Fractional overdrive of the sine beyond the conversion range (a few
+        percent guarantees the end codes are exercised and keeps the arcsine
+        correction well-conditioned at the extremes).
+    dnl_spec_lsb, inl_spec_lsb:
+        Specifications for the pass/fail decision.
+    transition_noise_lsb:
+        Converter input-referred noise during the acquisition.
+    seed:
+        Acquisition noise / phase seed.
+    """
+
+    def __init__(self, n_samples: int = 65536, overdrive: float = 0.05,
+                 dnl_spec_lsb: float = 1.0,
+                 inl_spec_lsb: Optional[float] = None,
+                 transition_noise_lsb: float = 0.0,
+                 seed: Optional[int] = None) -> None:
+        if n_samples < 1024:
+            raise ValueError("n_samples must be at least 1024")
+        if overdrive < 0:
+            raise ValueError("overdrive must be non-negative")
+        if dnl_spec_lsb < 0:
+            raise ValueError("dnl_spec_lsb must be non-negative")
+        self.n_samples = int(n_samples)
+        self.overdrive = float(overdrive)
+        self.dnl_spec_lsb = float(dnl_spec_lsb)
+        self.inl_spec_lsb = inl_spec_lsb
+        self.transition_noise_lsb = float(transition_noise_lsb)
+        self.seed = seed
+
+    def build_stimulus(self, adc: ADC) -> SineStimulus:
+        """The slightly over-ranged, coherent sine used for the histogram."""
+        amplitude = 0.5 * adc.full_scale * (1.0 + self.overdrive)
+        frequency = coherent_frequency(adc.sample_rate / 257.0,
+                                       adc.sample_rate, self.n_samples)
+        return SineStimulus(frequency=frequency, amplitude=amplitude,
+                            offset=0.5 * adc.full_scale)
+
+    def run(self, adc: ADC, rng: RngLike = None) -> SineHistogramResult:
+        """Acquire the sine record and evaluate the converter's linearity."""
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(
+                         rng if rng is not None else self.seed))
+        stimulus = self.build_stimulus(adc)
+        record = adc.sample(stimulus, n_samples=self.n_samples,
+                            rng=generator,
+                            transition_noise_lsb=self.transition_noise_lsb)
+        counts = np.bincount(np.clip(record.codes, 0, adc.n_codes - 1),
+                             minlength=adc.n_codes).astype(float)
+        expected = expected_sine_histogram(adc.n_bits, stimulus.amplitude,
+                                           stimulus.offset, adc.full_scale,
+                                           self.n_samples)
+        # Ratio of measured to expected hits estimates the code width; the
+        # end bins absorb the overdrive and are dropped as usual.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            relative_width = np.where(expected > 0, counts / expected, 0.0)
+        linearity = linearity_from_code_widths(relative_width[1:-1])
+        passed = linearity.passes(self.dnl_spec_lsb, self.inl_spec_lsb)
+        return SineHistogramResult(counts=counts, expected=expected,
+                                   linearity=linearity, passed=passed,
+                                   samples_taken=self.n_samples)

@@ -1,0 +1,207 @@
+"""Complete static test suite: offset, gain, DNL, INL, missing codes,
+monotonicity.
+
+Section 2 of the paper lists offset voltage, gain, DNL and INL as the static
+test parameters.  The BIST covers DNL/INL (and, via the MSB checker, gross
+functionality); a production flow still measures offset and gain, typically
+from the located transition voltages.  :class:`StaticTestSuite` bundles all
+of those measurements into one report so the examples and benchmarks can
+show a complete static characterisation next to the BIST verdict.
+
+Transition voltages are located with a fine-ramp search (a software stand-in
+for the servo-loop / fine-histogram methods used on real testers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.adc.base import ADC
+from repro.analysis.linearity import LinearityResult, linearity_from_transitions
+
+__all__ = ["StaticSpec", "StaticTestReport", "StaticTestSuite",
+           "locate_transitions"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def locate_transitions(adc: ADC, oversample: int = 64,
+                       transition_noise_lsb: float = 0.0,
+                       averages: int = 1,
+                       rng: RngLike = None) -> np.ndarray:
+    """Locate every transition voltage with a fine ramp sweep.
+
+    Parameters
+    ----------
+    adc:
+        Converter under test.
+    oversample:
+        Ramp points per nominal LSB; the transition location error is about
+        half a step, i.e. ``0.5 / oversample`` LSB.
+    transition_noise_lsb:
+        Converter noise during the sweep.
+    averages:
+        Number of sweeps averaged (noise averaging, as a servo loop would).
+    rng:
+        Noise seed.
+    """
+    if oversample < 2:
+        raise ValueError("oversample must be at least 2")
+    if averages < 1:
+        raise ValueError("averages must be at least 1")
+    generator = (rng if isinstance(rng, np.random.Generator)
+                 else np.random.default_rng(rng))
+    margin = 2.0 * adc.lsb
+    voltages = np.arange(-margin, adc.full_scale + margin,
+                         adc.lsb / oversample)
+    estimates = np.zeros((averages, adc.n_codes - 1))
+    targets = np.arange(1, adc.n_codes)
+    for i in range(averages):
+        codes = adc.convert(voltages, rng=generator,
+                            transition_noise_lsb=transition_noise_lsb)
+        codes = np.maximum.accumulate(codes)
+        idx = np.searchsorted(codes, targets, side="left")
+        idx = np.clip(idx, 0, voltages.size - 1)
+        estimates[i] = voltages[idx]
+    return estimates.mean(axis=0)
+
+
+@dataclass(frozen=True)
+class StaticSpec:
+    """Static specification limits, all in LSB (absolute values)."""
+
+    offset_lsb: float = 2.0
+    gain_error_lsb: float = 2.0
+    dnl_lsb: float = 1.0
+    inl_lsb: float = 1.0
+    allow_missing_codes: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("offset_lsb", "gain_error_lsb", "dnl_lsb", "inl_lsb"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass
+class StaticTestReport:
+    """Full static characterisation of one converter.
+
+    Attributes
+    ----------
+    transitions:
+        Located transition voltages.
+    linearity:
+        DNL/INL (end-point) plus offset and gain error.
+    monotonic:
+        Whether the located transition voltages are non-decreasing.
+    missing_codes:
+        Inner codes narrower than 5 % of an LSB.
+    spec:
+        The specification the report was judged against.
+    """
+
+    transitions: np.ndarray
+    linearity: LinearityResult
+    monotonic: bool
+    missing_codes: np.ndarray
+    spec: StaticSpec
+
+    @property
+    def offset_lsb(self) -> float:
+        """Measured offset error in LSB."""
+        return self.linearity.offset_lsb
+
+    @property
+    def gain_error_lsb(self) -> float:
+        """Measured gain error in LSB."""
+        return self.linearity.gain_error_lsb
+
+    @property
+    def max_dnl(self) -> float:
+        """Largest absolute DNL in LSB."""
+        return self.linearity.max_dnl
+
+    @property
+    def max_inl(self) -> float:
+        """Largest absolute INL in LSB."""
+        return self.linearity.max_inl
+
+    @property
+    def passed(self) -> bool:
+        """Overall static pass/fail against the specification."""
+        spec = self.spec
+        checks = [
+            abs(self.offset_lsb) <= spec.offset_lsb,
+            abs(self.gain_error_lsb) <= spec.gain_error_lsb,
+            self.max_dnl <= spec.dnl_lsb,
+            self.max_inl <= spec.inl_lsb,
+            self.monotonic,
+        ]
+        if not spec.allow_missing_codes:
+            checks.append(self.missing_codes.size == 0)
+        return all(checks)
+
+    def failures(self) -> list:
+        """Names of the static parameters that violate the specification."""
+        spec = self.spec
+        failed = []
+        if abs(self.offset_lsb) > spec.offset_lsb:
+            failed.append("offset")
+        if abs(self.gain_error_lsb) > spec.gain_error_lsb:
+            failed.append("gain")
+        if self.max_dnl > spec.dnl_lsb:
+            failed.append("dnl")
+        if self.max_inl > spec.inl_lsb:
+            failed.append("inl")
+        if not self.monotonic:
+            failed.append("monotonicity")
+        if not spec.allow_missing_codes and self.missing_codes.size:
+            failed.append("missing codes")
+        return failed
+
+
+class StaticTestSuite:
+    """Measure every static parameter of a converter and judge it.
+
+    Parameters
+    ----------
+    spec:
+        Specification limits; defaults to a typical ±1 LSB linearity,
+        ±2 LSB offset/gain specification.
+    oversample:
+        Transition-search resolution in points per LSB.
+    transition_noise_lsb, averages, seed:
+        Acquisition noise configuration (see :func:`locate_transitions`).
+    """
+
+    def __init__(self, spec: Optional[StaticSpec] = None,
+                 oversample: int = 64,
+                 transition_noise_lsb: float = 0.0,
+                 averages: int = 1,
+                 seed: Optional[int] = None) -> None:
+        self.spec = spec if spec is not None else StaticSpec()
+        self.oversample = int(oversample)
+        self.transition_noise_lsb = float(transition_noise_lsb)
+        self.averages = int(averages)
+        self.seed = seed
+
+    def run(self, adc: ADC, rng: RngLike = None) -> StaticTestReport:
+        """Characterise ``adc`` and return the full static report."""
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(
+                         rng if rng is not None else self.seed))
+        transitions = locate_transitions(
+            adc, oversample=self.oversample,
+            transition_noise_lsb=self.transition_noise_lsb,
+            averages=self.averages, rng=generator)
+        linearity = linearity_from_transitions(transitions, adc.full_scale,
+                                               adc.n_bits)
+        widths_lsb = np.diff(transitions) / adc.lsb
+        missing = np.nonzero(widths_lsb < 0.05)[0] + 1
+        monotonic = bool(np.all(np.diff(transitions) >= -adc.lsb * 1e-6))
+        return StaticTestReport(transitions=transitions, linearity=linearity,
+                                monotonic=monotonic, missing_codes=missing,
+                                spec=self.spec)

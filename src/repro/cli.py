@@ -1,0 +1,202 @@
+"""Command-line interface for the BIST reproduction.
+
+The CLI exposes the most common flows as one-line commands so the library can
+be exercised without writing Python:
+
+``python -m repro.cli bist``
+    Run the full BIST on a simulated flash converter and print the verdict.
+``python -m repro.cli table1`` / ``table2``
+    Regenerate the paper's Table 1 (SIM columns) and Table 2.
+``python -m repro.cli figure7``
+    Regenerate the Figure 7 series as a text listing and ASCII plot.
+``python -m repro.cli qmin``
+    Evaluate Equation (1) for a stimulus/sample frequency pair.
+``python -m repro.cli yield``
+    Print the section-4 yield figures for a given code-width sigma.
+
+Every command accepts ``--help`` for its options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.adc import FlashADC
+from repro.analysis import CodeWidthDistribution, ErrorModel, HistogramTest
+from repro.core import BistConfig, BistEngine, qmin
+from repro.reporting import ascii_plot, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BIST methodology for A/D converters (DATE 1997) — "
+                    "reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bist = sub.add_parser("bist", help="run the full BIST on one simulated "
+                                       "flash converter")
+    bist.add_argument("--bits", type=int, default=6,
+                      help="converter resolution (default 6)")
+    bist.add_argument("--sigma", type=float, default=0.21,
+                      help="code-width sigma in LSB (default 0.21)")
+    bist.add_argument("--counter-bits", type=int, default=7,
+                      help="LSB-processing counter size (default 7)")
+    bist.add_argument("--dnl-spec", type=float, default=1.0,
+                      help="DNL specification in LSB (default 1.0)")
+    bist.add_argument("--inl-spec", type=float, default=None,
+                      help="INL specification in LSB (default: not checked)")
+    bist.add_argument("--seed", type=int, default=0,
+                      help="device mismatch seed (default 0)")
+    bist.add_argument("--compare-histogram", action="store_true",
+                      help="also run the conventional histogram test")
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1 (SIM columns)")
+    table1.add_argument("--sigma", type=float, default=0.21)
+    table1.add_argument("--codes", type=int, default=62)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("--sigma", type=float, default=0.21)
+    table2.add_argument("--codes", type=int, default=62)
+
+    figure7 = sub.add_parser("figure7", help="regenerate the Figure 7 series")
+    figure7.add_argument("--sigma", type=float, default=0.21)
+    figure7.add_argument("--dnl-spec", type=float, default=0.5)
+    figure7.add_argument("--ds-min", type=float, default=0.070)
+    figure7.add_argument("--ds-max", type=float, default=0.115)
+    figure7.add_argument("--points", type=int, default=46)
+
+    qmin_cmd = sub.add_parser("qmin", help="evaluate Equation (1)")
+    qmin_cmd.add_argument("--f-stimulus", type=float, required=True,
+                          help="test-signal frequency in Hz")
+    qmin_cmd.add_argument("--f-sample", type=float, required=True,
+                          help="converter sample rate in Hz")
+    qmin_cmd.add_argument("--bits", type=int, default=6)
+    qmin_cmd.add_argument("--dnl-spec", type=float, default=1.0)
+    qmin_cmd.add_argument("--inl-spec", type=float, default=1.0)
+
+    yield_cmd = sub.add_parser("yield", help="section-4 yield figures")
+    yield_cmd.add_argument("--sigma", type=float, default=0.21)
+    yield_cmd.add_argument("--codes", type=int, default=62)
+
+    return parser
+
+
+def _cmd_bist(args: argparse.Namespace) -> int:
+    adc = FlashADC.from_sigma(args.bits, args.sigma, seed=args.seed)
+    config = BistConfig(n_bits=args.bits, counter_bits=args.counter_bits,
+                        dnl_spec_lsb=args.dnl_spec,
+                        inl_spec_lsb=args.inl_spec)
+    engine = BistEngine(config)
+    result = engine.run(adc)
+    print(f"device: {args.bits}-bit flash, sigma {args.sigma} LSB, "
+          f"seed {args.seed}")
+    print(f"true max |DNL| = {adc.max_dnl():.3f} LSB, "
+          f"max |INL| = {adc.max_inl():.3f} LSB")
+    print(f"BIST: {engine.limits.describe()}")
+    print(f"verdict: {'PASS' if result.passed else 'FAIL'} "
+          f"({result.lsb.n_codes_measured} codes, "
+          f"{result.samples_taken} samples)")
+    if args.compare_histogram:
+        histogram = HistogramTest.paper_production(
+            n_bits=args.bits, dnl_spec_lsb=args.dnl_spec,
+            inl_spec_lsb=args.inl_spec)
+        reference = histogram.run(adc, rng=args.seed)
+        print(f"conventional histogram test: "
+              f"{'PASS' if reference.passed else 'FAIL'} "
+              f"(max |DNL| {reference.max_dnl:.3f} LSB, "
+              f"{reference.bits_transferred} bits captured)")
+    return 0 if result.passed else 1
+
+
+def _error_table(sigma: float, codes: int, dnl_spec: float,
+                 scale: float, scale_label: str) -> str:
+    rows = []
+    for bits in (4, 5, 6, 7):
+        model = ErrorModel(distribution=CodeWidthDistribution(sigma),
+                           dnl_spec_lsb=dnl_spec, counter_bits=bits)
+        device = model.device(codes)
+        rows.append([bits, device.type_i * scale, device.type_ii * scale,
+                     model.max_error_lsb()])
+    return format_table(
+        ["counter bits", f"type I {scale_label}", f"type II {scale_label}",
+         "max error [LSB]"], rows,
+        title=f"DNL spec ±{dnl_spec} LSB, sigma {sigma} LSB, {codes} codes")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(_error_table(args.sigma, args.codes, dnl_spec=0.5, scale=1.0,
+                       scale_label="probability"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    print(_error_table(args.sigma, args.codes, dnl_spec=1.0, scale=1e5,
+                       scale_label="x1e-5"))
+    return 0
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    ds_values = np.linspace(args.ds_min, args.ds_max, args.points)
+    sweep = ErrorModel.sweep_delta_s(
+        ds_values, n_codes=62, dnl_spec_lsb=args.dnl_spec,
+        distribution=CodeWidthDistribution(args.sigma))
+    print(format_table(
+        ["ds [LSB]", "P(type I)", "P(type II)"],
+        zip(sweep["delta_s_lsb"], sweep["type_i"], sweep["type_ii"]),
+        title="Figure 7 series"))
+    print()
+    print(ascii_plot(sweep["delta_s_lsb"], sweep["type_i"],
+                     title="P(type I) vs ds"))
+    return 0
+
+
+def _cmd_qmin(args: argparse.Namespace) -> int:
+    q = qmin(args.f_stimulus, args.f_sample, args.bits,
+             dnl_spec_lsb=args.dnl_spec, inl_spec_lsb=args.inl_spec)
+    print(f"q_min = {q} (of {args.bits} bits); "
+          f"{'full BIST possible' if q == 1 else f'{q} LSBs must stay observable'}")
+    return 0
+
+
+def _cmd_yield(args: argparse.Namespace) -> int:
+    dist = CodeWidthDistribution(args.sigma)
+    rows = [
+        ["P(device good) at ±0.5 LSB", dist.prob_device_good(0.5, args.codes)],
+        ["P(device good) at ±1.0 LSB", dist.prob_device_good(1.0, args.codes)],
+        ["P(device faulty) at ±1.0 LSB",
+         dist.prob_device_faulty(1.0, args.codes)],
+        ["ladder width correlation", dist.ladder_correlation(args.codes + 2)],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"sigma {args.sigma} LSB, {args.codes} codes"))
+    return 0
+
+
+_HANDLERS = {
+    "bist": _cmd_bist,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "figure7": _cmd_figure7,
+    "qmin": _cmd_qmin,
+    "yield": _cmd_yield,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

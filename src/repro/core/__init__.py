@@ -1,0 +1,62 @@
+"""The paper's contribution: the BIST methodology for A/D converters.
+
+* :mod:`repro.core.bist_scheme` — the partial-BIST partition and the
+  ``q_min`` criterion (Equations (1) and (2), Figure 2),
+* :mod:`repro.core.limits` — count limits of the DNL decision (Equations
+  (3)–(5)),
+* :mod:`repro.core.counter` — the bit-accurate on-chip counter model,
+* :mod:`repro.core.deglitch` — the digital filter removing LSB toggles,
+* :mod:`repro.core.lsb_processor` — the LSB processing block (Figure 4),
+* :mod:`repro.core.msb_checker` — the on-chip functionality check of the
+  upper bits,
+* :mod:`repro.core.engine` — the complete BIST measurement, including the
+  population-level Monte-Carlo "measurement" runs,
+* :mod:`repro.core.area` — the Figure 1 area/accuracy/fault-sensitivity
+  trade-off model.
+"""
+
+from repro.core.area import AreaEstimate, AreaModel
+from repro.core.bist_scheme import PartialBistPartition, nl_budget, qmin
+from repro.core.controller import ChipBistResult, MultiAdcBistController
+from repro.core.counter import SaturatingCounter
+from repro.core.deglitch import DeglitchFilter
+from repro.core.engine import (
+    BistConfig,
+    BistEngine,
+    BistResult,
+    PopulationBistResult,
+)
+from repro.core.limits import CountLimits
+from repro.core.lsb_processor import LsbProcessor, LsbProcessorResult
+from repro.core.msb_checker import MsbChecker, MsbCheckResult
+from repro.core.partial_engine import (
+    PartialBistConfig,
+    PartialBistEngine,
+    PartialBistResult,
+    reconstruct_codes,
+)
+
+__all__ = [
+    "AreaEstimate",
+    "AreaModel",
+    "PartialBistPartition",
+    "nl_budget",
+    "qmin",
+    "ChipBistResult",
+    "MultiAdcBistController",
+    "SaturatingCounter",
+    "DeglitchFilter",
+    "BistConfig",
+    "BistEngine",
+    "BistResult",
+    "PopulationBistResult",
+    "CountLimits",
+    "LsbProcessor",
+    "LsbProcessorResult",
+    "MsbChecker",
+    "MsbCheckResult",
+    "PartialBistConfig",
+    "PartialBistEngine",
+    "PartialBistResult",
+    "reconstruct_codes",
+]

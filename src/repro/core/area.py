@@ -1,0 +1,131 @@
+"""Area / cost model of the on-chip test circuitry (the Figure 1 trade-off).
+
+The paper's Figure 1 relates the *size* of the on-chip test circuitry to four
+quantities: the accuracy of the test, the probability of measurement (type I
+and II) errors, the cost of the extra silicon, and the fault sensitivity of
+the test circuitry itself.  This module quantifies that trade-off for the
+full-BIST configuration: given a counter size it estimates the gate count of
+the complete test logic, converts it to a silicon-area overhead relative to
+the converter, and estimates how likely the test circuitry itself is to be
+hit by a defect (larger test logic → more self-test escapes).
+
+The absolute numbers are order-of-magnitude estimates (gate counts for a
+mid-1990s standard-cell library); what matters for reproducing the paper's
+argument is how they *scale* with the counter size, which is what the
+ablation benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.deglitch import DeglitchFilter
+from repro.core.limits import CountLimits
+from repro.core.lsb_processor import LsbProcessor
+from repro.core.msb_checker import MsbChecker
+
+__all__ = ["AreaModel", "AreaEstimate"]
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Estimated cost of one BIST configuration.
+
+    Attributes
+    ----------
+    counter_bits:
+        The counter size the estimate is for.
+    gate_count:
+        Total gate equivalents of the on-chip test circuitry.
+    area_mm2:
+        Estimated silicon area of the test circuitry.
+    area_overhead:
+        Test-circuitry area divided by the converter core area.
+    max_error_lsb:
+        Worst-case code-width measurement error of the configuration — the
+        "accuracy" corner of Figure 1.
+    defect_probability:
+        Probability that a random spot defect on the die lands in the test
+        circuitry (area-proportional model) — the "fault sensitivity" corner
+        of Figure 1.
+    """
+
+    counter_bits: int
+    gate_count: int
+    area_mm2: float
+    area_overhead: float
+    max_error_lsb: float
+    defect_probability: float
+
+
+class AreaModel:
+    """Estimate the silicon cost of the BIST logic.
+
+    Parameters
+    ----------
+    n_bits:
+        Converter resolution (sizes the MSB checker).
+    adc_core_area_mm2:
+        Area of the converter core the overhead is measured against.  The
+        default (0.5 mm²) is representative of a mid-1990s 6-bit flash in a
+        0.5 µm process.
+    mm2_per_gate:
+        Area per gate equivalent, including routing.  The default
+        (1.5e-4 mm²) corresponds to roughly 6.7 kGates/mm².
+    defects_per_mm2:
+        Average spot-defect density used for the fault-sensitivity estimate.
+    """
+
+    def __init__(self, n_bits: int = 6, adc_core_area_mm2: float = 0.5,
+                 mm2_per_gate: float = 1.5e-4,
+                 defects_per_mm2: float = 0.1) -> None:
+        if n_bits < 2:
+            raise ValueError("n_bits must be at least 2")
+        if adc_core_area_mm2 <= 0 or mm2_per_gate <= 0:
+            raise ValueError("areas must be positive")
+        if defects_per_mm2 < 0:
+            raise ValueError("defects_per_mm2 must be non-negative")
+        self.n_bits = int(n_bits)
+        self.adc_core_area_mm2 = float(adc_core_area_mm2)
+        self.mm2_per_gate = float(mm2_per_gate)
+        self.defects_per_mm2 = float(defects_per_mm2)
+
+    def estimate(self, counter_bits: int, dnl_spec_lsb: float = 1.0,
+                 inl_spec_lsb: Optional[float] = None,
+                 deglitch_depth: int = 0,
+                 include_msb_checker: bool = True) -> AreaEstimate:
+        """Estimate the cost of a full-BIST configuration.
+
+        Parameters mirror :class:`repro.core.engine.BistConfig`; the estimate
+        covers the LSB processing block (with its optional INL accumulator
+        and deglitch filter) and, optionally, the MSB functionality checker.
+        """
+        limits = CountLimits.for_counter(counter_bits, dnl_spec_lsb,
+                                         inl_spec_lsb=inl_spec_lsb)
+        deglitch = (DeglitchFilter(deglitch_depth)
+                    if deglitch_depth > 0 else None)
+        processor = LsbProcessor(limits, deglitch=deglitch)
+        gates = processor.gate_count()
+        if include_msb_checker:
+            gates += MsbChecker(self.n_bits, q=1).gate_count()
+        # Pass/fail latch and a little control logic.
+        gates += 20
+
+        area = gates * self.mm2_per_gate
+        overhead = area / self.adc_core_area_mm2
+        defect_probability = 1.0 - pow(
+            2.718281828459045, -self.defects_per_mm2 * area)
+        return AreaEstimate(counter_bits=int(counter_bits),
+                            gate_count=int(gates),
+                            area_mm2=area,
+                            area_overhead=overhead,
+                            max_error_lsb=limits.max_error_lsb,
+                            defect_probability=defect_probability)
+
+    def sweep_counter_bits(self, counter_bits_range,
+                           dnl_spec_lsb: float = 1.0,
+                           **kwargs) -> list:
+        """Estimates for a range of counter sizes (the Figure 1 sweep)."""
+        return [self.estimate(bits, dnl_spec_lsb=dnl_spec_lsb, **kwargs)
+                for bits in counter_bits_range]

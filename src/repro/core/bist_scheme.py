@@ -1,0 +1,164 @@
+"""The partial-BIST partition: which output bits must stay off-chip.
+
+Section 2 of the paper introduces the partial BIST scheme of Figure 2: the
+least-significant bits ``1 .. q`` are processed/tested off-chip (or by the
+LSB processing block), while bits ``q+1 .. MSB`` are verified on-chip by a
+counter clocked by bit ``q``.  For the output codes to be reconstructable
+from bit ``q`` alone, the signal on bit ``q`` must satisfy Shannon's theorem
+with respect to the converter's sample rate, which leads to Equation (1):
+
+    q_min = ceil( log2( (f_stimulus / f_sample) * 2**n + 1 + NL ) )
+
+for a sawtooth stimulus, with the linearity budget of Equation (2):
+
+    NL = min( DNL * 2**(q_min - 1),  INL * 2 )
+
+Because ``NL`` itself depends on ``q_min``, the computation iterates to the
+smallest self-consistent ``q``; at ramp-slow stimulus frequencies the result
+is ``q = 1`` — only the LSB needs monitoring and a full BIST of the static
+linearity becomes possible (the configuration the rest of the paper, and of
+this library, analyses in depth).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["nl_budget", "qmin", "PartialBistPartition"]
+
+
+def nl_budget(q: int, dnl_spec_lsb: float, inl_spec_lsb: float) -> float:
+    """Equation (2): the non-linearity budget ``NL`` for a given ``q``.
+
+    ``NL`` is the largest allowed difference (in LSB) between the ideal and
+    actual transfer curves over a range of ``2**(q-1)`` codes: limited either
+    by the DNL accumulating over that range or by twice the INL.
+    """
+    if q < 1:
+        raise ValueError("q must be at least 1")
+    if dnl_spec_lsb < 0 or inl_spec_lsb < 0:
+        raise ValueError("specifications must be non-negative")
+    return min(dnl_spec_lsb * (2.0 ** (q - 1)), inl_spec_lsb * 2.0)
+
+
+def qmin(f_stimulus: float, f_sample: float, n_bits: int,
+         dnl_spec_lsb: float = 1.0, inl_spec_lsb: float = 1.0,
+         max_iterations: int = 32) -> int:
+    """Equation (1): minimum number of externally monitored bits.
+
+    Parameters
+    ----------
+    f_stimulus:
+        Frequency of the applied sawtooth test signal in Hz.
+    f_sample:
+        Sample frequency of the converter in Hz.
+    n_bits:
+        Converter resolution.
+    dnl_spec_lsb, inl_spec_lsb:
+        Linearity specifications entering the ``NL`` budget of Equation (2).
+    max_iterations:
+        Safety bound on the fixed-point iteration between Equations (1)
+        and (2).
+
+    Returns
+    -------
+    int
+        The smallest ``q`` (number of LSBs that must be observable) that
+        satisfies Shannon's criterion for bit ``q``; clipped to
+        ``[1, n_bits]``.
+
+    Notes
+    -----
+    Equation (2) makes ``NL`` depend on ``q``; the function iterates
+    ``q -> ceil(log2(f_stimulus/f_sample * 2**n + 1 + NL(q)))`` starting from
+    ``q = 1`` until it stabilises.  The iteration is monotone non-decreasing
+    and bounded by ``n_bits``, so it always terminates.
+    """
+    if f_stimulus <= 0 or f_sample <= 0:
+        raise ValueError("frequencies must be positive")
+    if n_bits < 1:
+        raise ValueError("n_bits must be at least 1")
+
+    ratio = f_stimulus / f_sample * (2.0 ** n_bits)
+    q = 1
+    for _ in range(max_iterations):
+        budget = nl_budget(q, dnl_spec_lsb, inl_spec_lsb)
+        argument = ratio + 1.0 + budget
+        # At least one bit must always be monitored.
+        q_new = max(1, int(math.ceil(math.log2(max(argument, 1.0)))))
+        q_new = min(q_new, n_bits)
+        if q_new == q:
+            return q
+        q = q_new
+    return min(q, n_bits)
+
+
+@dataclass(frozen=True)
+class PartialBistPartition:
+    """A concrete partition of the output bits between chip and tester.
+
+    Attributes
+    ----------
+    n_bits:
+        Converter resolution.
+    q:
+        Number of least-significant bits observed externally (or fed to the
+        LSB processing block); bits ``q+1 .. n_bits`` are checked on-chip.
+    """
+
+    n_bits: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1:
+            raise ValueError("n_bits must be at least 1")
+        if not 1 <= self.q <= self.n_bits:
+            raise ValueError(f"q must be within [1, {self.n_bits}]")
+
+    @classmethod
+    def for_stimulus(cls, f_stimulus: float, f_sample: float, n_bits: int,
+                     dnl_spec_lsb: float = 1.0,
+                     inl_spec_lsb: float = 1.0) -> "PartialBistPartition":
+        """Build the minimal partition for a given stimulus frequency."""
+        q = qmin(f_stimulus, f_sample, n_bits, dnl_spec_lsb, inl_spec_lsb)
+        return cls(n_bits=n_bits, q=q)
+
+    @property
+    def off_chip_bits(self) -> int:
+        """Number of bits the tester still has to acquire per sample."""
+        return self.q
+
+    @property
+    def on_chip_bits(self) -> int:
+        """Number of bits verified entirely on-chip."""
+        return self.n_bits - self.q
+
+    @property
+    def is_full_bist(self) -> bool:
+        """True when only the LSB remains (the "full" BIST of the paper)."""
+        return self.q == 1
+
+    @property
+    def pin_reduction_factor(self) -> float:
+        """Ratio of output pins needed without and with the partial BIST."""
+        return self.n_bits / self.q
+
+    def test_data_reduction(self, n_samples: int) -> int:
+        """Number of output bits the tester no longer has to capture.
+
+        For an acquisition of ``n_samples`` conversions the conventional
+        test transfers ``n_samples * n_bits`` bits; the partial BIST
+        transfers only ``n_samples * q``.
+        """
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        return n_samples * self.on_chip_bits
+
+    def max_parallel_devices(self, tester_channels: int) -> int:
+        """How many converters a tester with ``tester_channels`` digital
+        channels can test in parallel under this partition."""
+        if tester_channels < 1:
+            raise ValueError("tester_channels must be positive")
+        return max(1, tester_channels // self.q)

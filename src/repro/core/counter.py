@@ -1,0 +1,124 @@
+"""Bit-accurate model of the on-chip counters.
+
+The accuracy/area trade-off of the whole paper comes down to the size of one
+digital counter: the counter in the LSB processing block that counts samples
+per code (4–7 bits in the experiments) and the code counter of the MSB
+functionality checker.  :class:`SaturatingCounter` models such a counter with
+explicit bit width, saturation or wrap-around behaviour and an overflow flag,
+so the benches can show what a too-small counter actually does to the test
+decision (the saturation-policy ablation listed in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SaturatingCounter"]
+
+
+@dataclass
+class SaturatingCounter:
+    """An unsigned hardware counter with a configurable overflow policy.
+
+    Parameters
+    ----------
+    n_bits:
+        Width of the counter in bits.  A ``b``-bit counter represents counts
+        ``0 .. 2**b - 1``; the paper additionally uses the overflow event as
+        the count value ``2**b`` (``i_max = 16`` for the 4-bit counter), which
+        is what ``saturate=True`` together with :attr:`effective_max` models.
+    saturate:
+        When true (default) the counter sticks at its maximum and raises the
+        overflow flag; when false it wraps around modulo ``2**n_bits`` (and
+        still raises the flag), which is the cheaper but dangerous hardware
+        option the ablation benchmark examines.
+    """
+
+    n_bits: int
+    saturate: bool = True
+    value: int = field(default=0, init=False)
+    overflowed: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1:
+            raise ValueError("n_bits must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable stored value (``2**n_bits - 1``)."""
+        return (1 << self.n_bits) - 1
+
+    @property
+    def effective_max(self) -> int:
+        """Largest distinguishable count including the overflow event.
+
+        A saturating counter with an overflow flag can distinguish counts up
+        to ``2**n_bits`` (the flag marks "at least ``2**n_bits``"), which is
+        the ``i_max`` convention the paper uses.
+        """
+        return 1 << self.n_bits
+
+    # ------------------------------------------------------------------ #
+    # Operation
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Clear the count and the overflow flag (start of a new code)."""
+        self.value = 0
+        self.overflowed = False
+
+    def clock(self, increments: int = 1) -> int:
+        """Advance the counter by ``increments`` clock events.
+
+        Returns the stored value after the increments.  Saturation or
+        wrap-around is applied according to the configured policy and the
+        overflow flag is raised whenever the true count exceeds
+        :attr:`max_value`.
+        """
+        if increments < 0:
+            raise ValueError("increments must be non-negative")
+        true_count = self.value + increments
+        if true_count > self.max_value:
+            self.overflowed = True
+            if self.saturate:
+                self.value = self.max_value
+            else:
+                self.value = true_count & self.max_value
+        else:
+            self.value = true_count
+        return self.value
+
+    def read(self) -> int:
+        """Return the count the comparison logic sees.
+
+        With saturation enabled and the overflow flag set this is
+        :attr:`effective_max` (the "at least ``2**b``" reading); otherwise it
+        is the stored value.
+        """
+        if self.saturate and self.overflowed:
+            return self.effective_max
+        return self.value
+
+    def count_events(self, n_events: int) -> int:
+        """Reset, clock ``n_events`` times, and return the final reading."""
+        self.reset()
+        self.clock(n_events)
+        return self.read()
+
+    # ------------------------------------------------------------------ #
+    # Area estimate
+    # ------------------------------------------------------------------ #
+
+    def gate_count(self) -> int:
+        """Rough gate-equivalent count of this counter.
+
+        A synchronous binary counter costs about one flip-flop (≈6 gate
+        equivalents) plus a half-adder (≈3) per bit, plus one gate for the
+        overflow flag.  The absolute number matters less than how it scales
+        with the counter size for the Figure-1 trade-off discussion.
+        """
+        return 9 * self.n_bits + 1

@@ -1,0 +1,136 @@
+"""Digital deglitch filter for the monitored LSB.
+
+Transition noise makes the converter's LSB toggle around each code boundary
+("there is no exact transition"); the paper notes that such toggles "can be
+removed by means of a simple digital filter".  Two simple, hardware-friendly
+filters are modelled here:
+
+``mode="hysteresis"`` (default)
+    The filtered output only changes after the raw LSB has held the new value
+    for ``depth`` consecutive samples — a shift register plus an AND gate.
+    This is the classic debouncer; it delays every edge by ``depth - 1``
+    samples, which is harmless for the code-width measurement because all
+    edges are delayed equally.
+
+``mode="majority"``
+    The output is the majority vote over a centred window of ``2*depth + 1``
+    samples — slightly larger in hardware, no systematic edge delay.
+
+Both operate on 0/1 sample streams and are purely combinational/sequential
+logic that fits the "does not require too much chip area" goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeglitchFilter"]
+
+
+@dataclass
+class DeglitchFilter:
+    """A small digital filter that removes LSB toggles.
+
+    Parameters
+    ----------
+    depth:
+        Filter strength.  For the hysteresis mode this is the number of
+        consecutive equal samples required to accept a new level; for the
+        majority mode the window half-width.  ``depth = 0`` disables the
+        filter (the raw LSB is passed through).
+    mode:
+        ``"hysteresis"`` or ``"majority"``.
+    """
+
+    depth: int = 2
+    mode: str = "hysteresis"
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise ValueError("depth must be non-negative")
+        if self.mode not in ("hysteresis", "majority"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; "
+                f"expected 'hysteresis' or 'majority'")
+
+    # ------------------------------------------------------------------ #
+    # Filtering
+    # ------------------------------------------------------------------ #
+
+    def apply(self, lsb_stream: np.ndarray) -> np.ndarray:
+        """Filter a 0/1 sample stream and return the cleaned stream."""
+        stream = np.asarray(lsb_stream)
+        if stream.ndim != 1:
+            raise ValueError("lsb_stream must be one-dimensional")
+        if stream.size == 0:
+            return stream.astype(np.int8)
+        values = (stream != 0).astype(np.int8)
+        if self.depth == 0:
+            return values
+        if self.mode == "majority":
+            return self._majority(values)
+        return self._hysteresis(values)
+
+    def __call__(self, lsb_stream: np.ndarray) -> np.ndarray:
+        return self.apply(lsb_stream)
+
+    def _hysteresis(self, values: np.ndarray) -> np.ndarray:
+        """Accept a new level only after ``depth`` consecutive samples."""
+        out = np.empty_like(values)
+        state = values[0]
+        run_value = state
+        run_length = 0
+        for i, v in enumerate(values):
+            if v == run_value:
+                run_length += 1
+            else:
+                run_value = v
+                run_length = 1
+            if run_value != state and run_length >= self.depth:
+                state = run_value
+            out[i] = state
+        return out
+
+    def _majority(self, values: np.ndarray) -> np.ndarray:
+        """Majority vote over a centred window of ``2*depth + 1`` samples."""
+        window = 2 * self.depth + 1
+        padded = np.pad(values, (self.depth, self.depth), mode="edge")
+        # Sliding-window sum via cumulative sums.
+        cumulative = np.concatenate(([0], np.cumsum(padded)))
+        sums = cumulative[window:] - cumulative[:-window]
+        return (sums * 2 > window).astype(np.int8)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def count_toggles(lsb_stream: np.ndarray) -> int:
+        """Number of level changes in a 0/1 stream.
+
+        A clean ramp response toggles exactly once per code boundary; every
+        extra toggle is noise the filter should remove.
+        """
+        stream = (np.asarray(lsb_stream) != 0).astype(np.int8)
+        if stream.size < 2:
+            return 0
+        return int(np.count_nonzero(np.diff(stream)))
+
+    def excess_toggles_removed(self, raw: np.ndarray) -> int:
+        """How many toggles this filter removes from ``raw``."""
+        return self.count_toggles(raw) - self.count_toggles(self.apply(raw))
+
+    def gate_count(self) -> int:
+        """Rough gate-equivalent count of the filter hardware.
+
+        ``depth`` flip-flops (≈6 gates each) plus comparison logic for the
+        hysteresis filter; a ``2*depth+1`` shift register plus an adder tree
+        for the majority filter.
+        """
+        if self.depth == 0:
+            return 0
+        if self.mode == "hysteresis":
+            return 6 * self.depth + 4
+        return 6 * (2 * self.depth + 1) + 4 * self.depth + 4

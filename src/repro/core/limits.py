@@ -1,0 +1,137 @@
+"""Count limits of the LSB processing block (Equations (3) – (5)).
+
+The on-chip pass/fail decision for a code width compares the number of
+samples counted within that code against a lower and an upper limit derived
+from the DNL specification:
+
+    i_min = ceil( dV_min / ds )          (Equation (3))
+    i_max = floor( dV_max / ds )         (Equation (4))
+    ds    = U / f_sample                 (Equation (5))
+
+where ``dV_min/dV_max`` are the smallest/largest allowed code widths and
+``U`` the ramp slope.  :class:`CountLimits` bundles the limits together with
+the step size and counter size they were derived for, plus the INL limits the
+accumulating part of the LSB processing block uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.error_model import (
+    count_limits,
+    counter_bits_needed,
+    delta_s_for_counter,
+    max_measurement_error_lsb,
+)
+
+__all__ = ["CountLimits"]
+
+
+@dataclass(frozen=True)
+class CountLimits:
+    """DNL/INL count limits of the LSB processing block.
+
+    Attributes
+    ----------
+    delta_s_lsb:
+        Voltage step between samples, in LSB (Equation (5)).
+    i_min, i_max:
+        Acceptance limits on the per-code sample count (Equations (3), (4)).
+    counter_bits:
+        Size of the counter that must hold the count (``i_max`` never
+        exceeds ``2**counter_bits``).
+    dnl_spec_lsb:
+        The DNL specification the limits were derived from.
+    inl_spec_lsb:
+        The INL specification; ``None`` when the INL is not checked.
+    """
+
+    delta_s_lsb: float
+    i_min: int
+    i_max: int
+    counter_bits: int
+    dnl_spec_lsb: float
+    inl_spec_lsb: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_counter(cls, counter_bits: int, dnl_spec_lsb: float,
+                    inl_spec_lsb: Optional[float] = None,
+                    delta_s_lsb: Optional[float] = None) -> "CountLimits":
+        """Derive the limits for a given counter size.
+
+        When ``delta_s_lsb`` is omitted, the step size is chosen as in the
+        paper's section 4: the slope is set so that the counter's full range
+        is used (``ds = dV_max / (2**bits + 0.5)``).
+        """
+        if counter_bits < 1:
+            raise ValueError("counter_bits must be at least 1")
+        if delta_s_lsb is None:
+            delta_s_lsb = delta_s_for_counter(counter_bits, dnl_spec_lsb)
+        i_min, i_max = count_limits(delta_s_lsb, dnl_spec_lsb,
+                                    counter_max=1 << counter_bits)
+        return cls(delta_s_lsb=float(delta_s_lsb), i_min=i_min, i_max=i_max,
+                   counter_bits=int(counter_bits),
+                   dnl_spec_lsb=float(dnl_spec_lsb),
+                   inl_spec_lsb=inl_spec_lsb)
+
+    @classmethod
+    def for_delta_s(cls, delta_s_lsb: float, dnl_spec_lsb: float,
+                    inl_spec_lsb: Optional[float] = None) -> "CountLimits":
+        """Derive the limits for a given step size, sizing the counter to fit."""
+        bits = counter_bits_needed(delta_s_lsb, dnl_spec_lsb)
+        i_min, i_max = count_limits(delta_s_lsb, dnl_spec_lsb,
+                                    counter_max=1 << bits)
+        return cls(delta_s_lsb=float(delta_s_lsb), i_min=i_min, i_max=i_max,
+                   counter_bits=bits, dnl_spec_lsb=float(dnl_spec_lsb),
+                   inl_spec_lsb=inl_spec_lsb)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ideal_count(self) -> float:
+        """Expected number of samples in a perfectly 1-LSB-wide code."""
+        return 1.0 / self.delta_s_lsb
+
+    @property
+    def samples_per_code(self) -> float:
+        """Alias of :attr:`ideal_count` (the paper's "samples per code")."""
+        return self.ideal_count
+
+    @property
+    def max_error_lsb(self) -> float:
+        """Worst-case code-width measurement error (one step)."""
+        return max_measurement_error_lsb(self.delta_s_lsb)
+
+    def inl_count_limits(self) -> Tuple[float, float]:
+        """Lower/upper limits for the accumulated (INL) count deviation.
+
+        The INL accumulator sums ``count_k - ideal_count`` over the codes;
+        the device fails the INL check when the accumulated deviation leaves
+        ``±inl_spec / ds`` counts.  Raises ``ValueError`` when no INL spec
+        was configured.
+        """
+        if self.inl_spec_lsb is None:
+            raise ValueError("no INL specification configured")
+        bound = self.inl_spec_lsb / self.delta_s_lsb
+        return -bound, bound
+
+    def accepts(self, count: int) -> bool:
+        """Decision of the comparison logic for one code count."""
+        return self.i_min <= count <= self.i_max
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the limits."""
+        inl = (f", INL ±{self.inl_spec_lsb} LSB"
+               if self.inl_spec_lsb is not None else "")
+        return (f"{self.counter_bits}-bit counter, ds={self.delta_s_lsb:.4f} "
+                f"LSB, accept {self.i_min}..{self.i_max} counts "
+                f"(DNL ±{self.dnl_spec_lsb} LSB{inl})")

@@ -1,0 +1,236 @@
+"""The LSB processing block (Figure 4 of the paper).
+
+During a ramp test the linearity information of the converter is entirely
+contained in its least-significant bit: every LSB transition marks a code
+boundary, so the number of samples between two successive transitions is the
+width of that code measured in units of the per-sample step ``ds``.  The
+block modelled here is the paper's Figure 4:
+
+* **edge detector** on the (deglitched) LSB,
+* **counter** counting samples between transitions,
+* **DNL comparator** checking each count against ``i_min``/``i_max``
+  (Equations (3) and (4)) and producing a per-code pass/fail,
+* **INL accumulator** summing the per-code count deviations from the ideal
+  count and checking the running sum against the INL limits.
+
+The model is bit-accurate with respect to the counter (saturation and
+overflow behave like the hardware) but otherwise behavioural: it consumes a
+stream of LSB samples and produces the same pass/fail decisions the on-chip
+logic would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.counter import SaturatingCounter
+from repro.core.deglitch import DeglitchFilter
+from repro.core.limits import CountLimits
+
+__all__ = ["LsbProcessor", "LsbProcessorResult"]
+
+
+@dataclass
+class LsbProcessorResult:
+    """Outcome of one pass of the LSB processing block over a ramp record.
+
+    Attributes
+    ----------
+    counts:
+        True number of samples in each complete code segment (between two
+        successive LSB transitions), in acquisition order.
+    counter_readings:
+        What the hardware counter reported for each segment — equal to
+        ``counts`` unless the counter overflowed.
+    dnl_pass_per_code:
+        Per-code decision of the DNL comparator.
+    inl_deviation_counts:
+        Running sum of ``reading - ideal_count`` after each code (the INL
+        accumulator content), in counts.
+    inl_pass_per_code:
+        Per-code decision of the INL comparator (all ``True`` when no INL
+        spec is configured).
+    n_transitions:
+        Number of LSB transitions seen in the record.
+    expected_transitions:
+        Number of transitions a healthy converter would produce
+        (``2**n_bits - 1``); ``None`` when the resolution was not supplied.
+    dnl_passed, inl_passed, transitions_ok, passed:
+        Aggregate decisions.
+    measured_widths_lsb:
+        Code widths reconstructed from the counter readings
+        (``reading * ds``), in LSB — the measurement the BIST effectively
+        performs.
+    """
+
+    counts: np.ndarray
+    counter_readings: np.ndarray
+    dnl_pass_per_code: np.ndarray
+    inl_deviation_counts: np.ndarray
+    inl_pass_per_code: np.ndarray
+    n_transitions: int
+    expected_transitions: Optional[int]
+    limits: CountLimits
+
+    @property
+    def n_codes_measured(self) -> int:
+        """Number of complete code segments that were measured."""
+        return int(self.counts.size)
+
+    @property
+    def dnl_passed(self) -> bool:
+        """True when every measured code met the DNL count limits."""
+        return bool(np.all(self.dnl_pass_per_code)) if self.counts.size else False
+
+    @property
+    def inl_passed(self) -> bool:
+        """True when the accumulated deviation never left the INL limits."""
+        return bool(np.all(self.inl_pass_per_code)) if self.counts.size else False
+
+    @property
+    def transitions_ok(self) -> bool:
+        """True when the record contained the expected number of transitions.
+
+        A missing code removes two LSB transitions, a gross defect can add
+        or remove many; either way the transition count differs from
+        ``2**n - 1`` and the device must be rejected even if every measured
+        segment happens to sit inside the count limits.
+        """
+        if self.expected_transitions is None:
+            return True
+        return self.n_transitions == self.expected_transitions
+
+    @property
+    def passed(self) -> bool:
+        """Overall static-linearity decision of the LSB processing block."""
+        return self.dnl_passed and self.inl_passed and self.transitions_ok
+
+    @property
+    def measured_widths_lsb(self) -> np.ndarray:
+        """Code widths implied by the counter readings, in LSB."""
+        return self.counter_readings * self.limits.delta_s_lsb
+
+    @property
+    def measured_dnl_lsb(self) -> np.ndarray:
+        """DNL estimate from the counter readings (end-point convention)."""
+        widths = self.measured_widths_lsb
+        if widths.size == 0:
+            return widths
+        return widths / widths.mean() - 1.0
+
+    def failing_codes(self) -> np.ndarray:
+        """Indices (0-based, acquisition order) of codes failing the DNL check."""
+        return np.nonzero(~self.dnl_pass_per_code)[0]
+
+
+class LsbProcessor:
+    """Behavioural model of the on-chip LSB processing block.
+
+    Parameters
+    ----------
+    limits:
+        The count limits (step size, ``i_min``/``i_max``, counter size, INL
+        spec) the comparison logic uses.
+    deglitch:
+        Optional deglitch filter applied to the raw LSB before edge
+        detection; ``None`` processes the raw stream.
+    counter_saturate:
+        Overflow policy of the sample counter (see
+        :class:`~repro.core.counter.SaturatingCounter`).
+    """
+
+    def __init__(self, limits: CountLimits,
+                 deglitch: Optional[DeglitchFilter] = None,
+                 counter_saturate: bool = True) -> None:
+        self.limits = limits
+        self.deglitch = deglitch
+        self.counter_saturate = counter_saturate
+
+    # ------------------------------------------------------------------ #
+    # Processing
+    # ------------------------------------------------------------------ #
+
+    def process(self, lsb_stream: np.ndarray,
+                n_bits: Optional[int] = None) -> LsbProcessorResult:
+        """Run the block over a stream of LSB samples.
+
+        Parameters
+        ----------
+        lsb_stream:
+            Raw 0/1 LSB samples from a rising-ramp acquisition.
+        n_bits:
+            Resolution of the converter; when given, the result also checks
+            that the expected number of transitions (``2**n_bits - 1``) was
+            observed.
+        """
+        stream = (np.asarray(lsb_stream) != 0).astype(np.int8)
+        if stream.ndim != 1:
+            raise ValueError("lsb_stream must be one-dimensional")
+        if self.deglitch is not None:
+            stream = self.deglitch.apply(stream)
+
+        edges = np.nonzero(np.diff(stream) != 0)[0] + 1
+        n_transitions = int(edges.size)
+        expected = ((1 << n_bits) - 1) if n_bits is not None else None
+
+        if n_transitions >= 2:
+            counts = np.diff(edges).astype(np.int64)
+        else:
+            counts = np.zeros(0, dtype=np.int64)
+
+        counter = SaturatingCounter(self.limits.counter_bits,
+                                    saturate=self.counter_saturate)
+        readings = np.array([counter.count_events(int(c)) for c in counts],
+                            dtype=np.int64)
+
+        # A code wider than the counter can represent must always fail, even
+        # when the saturated reading happens to coincide with ``i_max`` (the
+        # hardware detects "clock event while already at the maximum" with a
+        # sticky over-range flag).
+        over_range = counts > counter.effective_max
+        dnl_pass = ((readings >= self.limits.i_min)
+                    & (readings <= self.limits.i_max)
+                    & ~over_range)
+
+        deviations = readings - self.limits.ideal_count
+        inl_running = np.cumsum(deviations)
+        if self.limits.inl_spec_lsb is not None and counts.size:
+            lo, hi = self.limits.inl_count_limits()
+            inl_pass = (inl_running >= lo) & (inl_running <= hi)
+        else:
+            inl_pass = np.ones(counts.size, dtype=bool)
+
+        return LsbProcessorResult(
+            counts=counts,
+            counter_readings=readings,
+            dnl_pass_per_code=dnl_pass,
+            inl_deviation_counts=inl_running,
+            inl_pass_per_code=inl_pass,
+            n_transitions=n_transitions,
+            expected_transitions=expected,
+            limits=self.limits)
+
+    # ------------------------------------------------------------------ #
+    # Hardware cost
+    # ------------------------------------------------------------------ #
+
+    def gate_count(self) -> int:
+        """Rough gate-equivalent count of the whole block.
+
+        Edge detector (1 flip-flop + XOR ≈ 8), sample counter, two count
+        comparators (≈3 gates per bit each), the INL accumulator (an
+        adder/register roughly twice the counter width) and its comparators,
+        plus the deglitch filter when present.
+        """
+        bits = self.limits.counter_bits
+        edge_detector = 8
+        counter = SaturatingCounter(bits).gate_count()
+        comparators = 2 * 3 * bits
+        inl_accumulator = 0
+        if self.limits.inl_spec_lsb is not None:
+            inl_accumulator = 9 * (2 * bits) + 2 * 3 * (2 * bits)
+        deglitch = self.deglitch.gate_count() if self.deglitch else 0
+        return edge_detector + counter + comparators + inl_accumulator + deglitch

@@ -1,0 +1,174 @@
+"""On-chip functionality check of the upper output bits.
+
+In the paper's scheme (Figure 2) the bits above the externally monitored
+group are verified on-chip: a counter is clocked whenever bit ``q`` makes a
+1-to-0 transition, and its value must always equal the upper bits of the
+output code.  With a rising ramp and ``q = 1`` the upper bits form exactly
+the sequence 0, 1, 2, …, so the check reduces to "the code divided by two
+increments by one at every falling edge of the LSB".
+
+This catches the digital/gross faults the LSB-only linearity measurement is
+blind to: stuck or shorted output bits, broken encoder logic, and non-
+monotonic behaviour severe enough to make the upper bits step backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MsbChecker", "MsbCheckResult"]
+
+
+@dataclass
+class MsbCheckResult:
+    """Outcome of the on-chip functionality check.
+
+    Attributes
+    ----------
+    n_samples:
+        Number of samples checked.
+    n_mismatches:
+        Number of samples whose upper bits disagreed with the reference
+        counter.
+    first_mismatch_index:
+        Sample index of the first disagreement (``None`` when there was
+        none).
+    n_clock_events:
+        Number of falling edges of the clocking bit that were seen.
+    expected_clock_events:
+        Falling edges a healthy converter would produce over a full ramp
+        (``None`` when the resolution was not supplied).
+    """
+
+    n_samples: int
+    n_mismatches: int
+    first_mismatch_index: Optional[int]
+    n_clock_events: int
+    expected_clock_events: Optional[int]
+
+    @property
+    def passed(self) -> bool:
+        """True when every sample's upper bits matched the reference counter."""
+        return self.n_mismatches == 0
+
+    @property
+    def mismatch_fraction(self) -> float:
+        """Fraction of samples that disagreed."""
+        if self.n_samples == 0:
+            return 0.0
+        return self.n_mismatches / self.n_samples
+
+
+class MsbChecker:
+    """Behavioural model of the on-chip MSB functionality checker.
+
+    Parameters
+    ----------
+    n_bits:
+        Converter resolution.
+    q:
+        Partition point: bit ``q`` (1-based, 1 = LSB) clocks the reference
+        counter and bits ``q+1 .. n_bits`` are compared against it.  The
+        paper's full-BIST configuration uses ``q = 1``.
+    """
+
+    def __init__(self, n_bits: int, q: int = 1) -> None:
+        if n_bits < 2:
+            raise ValueError("n_bits must be at least 2")
+        if not 1 <= q < n_bits:
+            raise ValueError(f"q must be within [1, {n_bits - 1}]")
+        self.n_bits = int(n_bits)
+        self.q = int(q)
+
+    # ------------------------------------------------------------------ #
+    # Checking
+    # ------------------------------------------------------------------ #
+
+    def check(self, codes: np.ndarray,
+              full_ramp: bool = True,
+              clock_stream: Optional[np.ndarray] = None,
+              tolerance: int = 0) -> MsbCheckResult:
+        """Check a record of output codes from a rising-ramp acquisition.
+
+        Parameters
+        ----------
+        codes:
+            Output codes, one per sample, in acquisition order.
+        full_ramp:
+            When true the record is expected to cover the whole conversion
+            range, so the number of clock events a healthy device produces
+            is known and reported in the result.
+        clock_stream:
+            Optional 0/1 stream to clock the reference counter from instead
+            of the raw clocking bit — typically the *deglitched* LSB, so
+            that transition noise does not add spurious clock events.
+        tolerance:
+            Allowed absolute difference between the upper bits and the
+            reference counter.  0 (default) for noise-free acquisitions; 1
+            absorbs the unavoidable ±1 boundary flicker when transition
+            noise makes codes toggle around an upper-bit boundary.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ValueError("codes must be one-dimensional")
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if codes.size == 0:
+            return MsbCheckResult(n_samples=0, n_mismatches=0,
+                                  first_mismatch_index=None,
+                                  n_clock_events=0,
+                                  expected_clock_events=None)
+
+        if clock_stream is None:
+            clock_bit = (codes >> (self.q - 1)) & 1
+        else:
+            clock_bit = (np.asarray(clock_stream) != 0).astype(np.int64)
+            if clock_bit.size != codes.size:
+                raise ValueError("clock_stream must match codes in length")
+        upper_bits = codes >> self.q
+
+        # Falling edges of the clocking bit, sample-aligned: element i is
+        # True when the transition happened between samples i-1 and i.
+        falling = np.zeros(codes.size, dtype=np.int64)
+        falling[1:] = (clock_bit[:-1] == 1) & (clock_bit[1:] == 0)
+        n_clock_events = int(falling.sum())
+
+        # The on-chip counter is loaded with the upper bits of the first
+        # sample (the ramp starts below the range, so this is normally 0)
+        # and increments at every falling edge of the clocking bit.
+        reference = upper_bits[0] + np.cumsum(falling)
+
+        mismatches = np.abs(upper_bits - reference) > tolerance
+        n_mismatches = int(np.count_nonzero(mismatches))
+        first = int(np.argmax(mismatches)) if n_mismatches else None
+
+        expected = None
+        if full_ramp:
+            # Over a full ramp the upper bits step from 0 to 2**(n-q) - 1,
+            # i.e. the clocking bit falls once per upper-bit increment.
+            expected = (1 << (self.n_bits - self.q)) - 1
+
+        return MsbCheckResult(n_samples=int(codes.size),
+                              n_mismatches=n_mismatches,
+                              first_mismatch_index=first,
+                              n_clock_events=n_clock_events,
+                              expected_clock_events=expected)
+
+    # ------------------------------------------------------------------ #
+    # Hardware cost
+    # ------------------------------------------------------------------ #
+
+    def gate_count(self) -> int:
+        """Rough gate-equivalent count of the checker.
+
+        An ``n - q``-bit counter, an ``n - q``-bit equality comparator
+        (≈3 gates per bit), one edge-detect flip-flop and a sticky error
+        flag.
+        """
+        width = self.n_bits - self.q
+        counter = 9 * width + 1
+        comparator = 3 * width
+        return counter + comparator + 8 + 2

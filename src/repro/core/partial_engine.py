@@ -1,0 +1,251 @@
+"""The partial BIST of Figure 2: ``q`` LSBs off-chip, the rest on-chip.
+
+The full-BIST engine in :mod:`repro.core.engine` covers the paper's ``q = 1``
+configuration where everything is decided on-chip.  At higher stimulus
+frequencies Equation (1) forces ``q > 1``: bits ``1 .. q`` must still be
+captured by the tester (so their waveform can be reconstructed), while bits
+``q+1 .. n`` are verified on-chip by a counter clocked by bit ``q``.
+
+:class:`PartialBistEngine` models that complete flow:
+
+1. the stimulus (ramp or sawtooth) is applied and the converter sampled,
+2. the on-chip checker verifies the upper bits against a counter clocked by
+   bit ``q`` (exactly the hardware of :class:`~repro.core.msb_checker.MsbChecker`
+   with the partition point ``q``),
+3. the tester captures only the ``q`` observed LSBs and *reconstructs* the
+   full output codes from them — possible because, per Equation (1), the
+   upper bits can only change when bit ``q`` falls,
+4. the reconstructed codes are analysed off-chip with the conventional
+   histogram machinery, giving DNL/INL and the pass/fail decision.
+
+The engine reports both the test outcome and the reconstruction quality, so
+the claim behind Equation (1) ("as long as (EQ 1) is satisfied it will be
+possible to determine the total codeword from the value of the q least
+significant bits") can be verified experimentally, including how it breaks
+when the stimulus is too fast for the chosen ``q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.adc.base import ADC, ConversionRecord
+from repro.analysis.linearity import LinearityResult, dnl_from_histogram
+from repro.core.bist_scheme import PartialBistPartition, qmin
+from repro.core.msb_checker import MsbChecker, MsbCheckResult
+from repro.signals.ramp import RampStimulus
+
+__all__ = ["PartialBistConfig", "PartialBistResult", "PartialBistEngine",
+           "reconstruct_codes"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def reconstruct_codes(observed_lsbs: np.ndarray, q: int, n_bits: int,
+                      initial_upper: int = 0) -> np.ndarray:
+    """Rebuild full output codes from the ``q`` observed LSBs.
+
+    For a rising stimulus that satisfies Equation (1), the upper bits
+    increment exactly when the observed ``q``-bit field wraps from its
+    maximum back towards zero (bit ``q`` falling).  The tester therefore
+    reconstructs the code as ``upper_counter * 2**q + observed``.
+
+    Parameters
+    ----------
+    observed_lsbs:
+        The captured ``q``-bit field per sample (values ``0 .. 2**q - 1``).
+    q:
+        Number of observed least-significant bits.
+    n_bits:
+        Full resolution of the converter (used to clip the reconstruction).
+    initial_upper:
+        Value of the upper bits at the first sample; 0 when the stimulus
+        starts below the conversion range.
+    """
+    observed = np.asarray(observed_lsbs, dtype=np.int64)
+    if observed.ndim != 1:
+        raise ValueError("observed_lsbs must be one-dimensional")
+    if not 1 <= q <= n_bits:
+        raise ValueError(f"q must be within [1, {n_bits}]")
+    if observed.size == 0:
+        return observed.copy()
+    top_bit = (observed >> (q - 1)) & 1
+    falling = np.zeros(observed.size, dtype=np.int64)
+    falling[1:] = (top_bit[:-1] == 1) & (top_bit[1:] == 0)
+    upper = initial_upper + np.cumsum(falling)
+    codes = (upper << q) + observed
+    return np.clip(codes, 0, (1 << n_bits) - 1)
+
+
+@dataclass
+class PartialBistConfig:
+    """Configuration of a partial-BIST measurement.
+
+    Parameters
+    ----------
+    n_bits:
+        Converter resolution.
+    q:
+        Number of externally observed LSBs; ``None`` derives the minimum
+        from Equation (1) for the configured stimulus.
+    samples_per_code:
+        Average samples per code of the ramp stimulus (sets the slope).
+    dnl_spec_lsb, inl_spec_lsb:
+        Specifications applied to the off-chip linearity analysis.
+    check_msb:
+        Run the on-chip check of bits ``q+1 .. n``.
+    transition_noise_lsb:
+        Converter input-referred noise during the acquisition.
+    start_margin_lsb:
+        How far below/above the conversion range the ramp extends.
+    seed:
+        Acquisition noise seed.
+    """
+
+    n_bits: int = 6
+    q: Optional[int] = None
+    samples_per_code: float = 16.0
+    dnl_spec_lsb: float = 1.0
+    inl_spec_lsb: Optional[float] = None
+    check_msb: bool = True
+    transition_noise_lsb: float = 0.0
+    start_margin_lsb: float = 2.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 2:
+            raise ValueError("n_bits must be at least 2")
+        if self.q is not None and not 1 <= self.q <= self.n_bits:
+            raise ValueError(f"q must be within [1, {self.n_bits}]")
+        if self.samples_per_code <= 0:
+            raise ValueError("samples_per_code must be positive")
+        if self.dnl_spec_lsb < 0:
+            raise ValueError("dnl_spec_lsb must be non-negative")
+
+
+@dataclass
+class PartialBistResult:
+    """Outcome of one partial-BIST measurement.
+
+    Attributes
+    ----------
+    passed:
+        Overall decision: off-chip linearity pass AND on-chip check pass.
+    partition:
+        The bit partition used.
+    linearity:
+        Off-chip DNL/INL analysis of the reconstructed codes.
+    linearity_passed:
+        Pass/fail of the off-chip analysis against the configured specs.
+    msb:
+        Result of the on-chip upper-bit check (``None`` when disabled).
+    reconstruction_error_rate:
+        Fraction of samples whose reconstructed code differs from the code
+        the converter actually produced (diagnostic; a tester cannot compute
+        this, but the simulation can).
+    samples_taken, bits_captured:
+        Acquisition length and the number of bits the tester had to record
+        (``samples_taken * q``).
+    record:
+        The raw conversion record, kept for diagnostics.
+    """
+
+    passed: bool
+    partition: PartialBistPartition
+    linearity: LinearityResult
+    linearity_passed: bool
+    msb: Optional[MsbCheckResult]
+    reconstruction_error_rate: float
+    samples_taken: int
+    bits_captured: int
+    record: Optional[ConversionRecord] = field(default=None, repr=False)
+
+
+class PartialBistEngine:
+    """Run the Figure-2 partial BIST on a behavioural converter."""
+
+    def __init__(self, config: PartialBistConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Partition selection
+    # ------------------------------------------------------------------ #
+
+    def partition_for(self, adc: ADC,
+                      stimulus_frequency: Optional[float] = None
+                      ) -> PartialBistPartition:
+        """The partition used for ``adc``: explicit ``q`` or Equation (1)."""
+        cfg = self.config
+        if cfg.q is not None:
+            return PartialBistPartition(n_bits=cfg.n_bits, q=cfg.q)
+        if stimulus_frequency is None:
+            # A single ramp across the range at the configured slope.
+            ramp_time = (adc.n_codes * cfg.samples_per_code) / adc.sample_rate
+            stimulus_frequency = 1.0 / ramp_time
+        q = qmin(stimulus_frequency, adc.sample_rate, cfg.n_bits,
+                 dnl_spec_lsb=cfg.dnl_spec_lsb,
+                 inl_spec_lsb=(cfg.inl_spec_lsb
+                               if cfg.inl_spec_lsb is not None
+                               else cfg.dnl_spec_lsb))
+        return PartialBistPartition(n_bits=cfg.n_bits, q=q)
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+
+    def run(self, adc: ADC, rng: RngLike = None,
+            keep_record: bool = False) -> PartialBistResult:
+        """Run the partial BIST on one converter."""
+        cfg = self.config
+        if adc.n_bits != cfg.n_bits:
+            raise ValueError(
+                f"configuration is for {cfg.n_bits}-bit converters but the "
+                f"device under test has {adc.n_bits} bits")
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(
+                         rng if rng is not None else cfg.seed))
+
+        ramp = RampStimulus.for_adc(adc, cfg.samples_per_code,
+                                    start_margin_lsb=cfg.start_margin_lsb)
+        n_samples = ramp.n_samples_for_adc(adc,
+                                           margin_lsb=cfg.start_margin_lsb)
+        record = adc.sample(ramp, n_samples=n_samples, rng=generator,
+                            transition_noise_lsb=cfg.transition_noise_lsb)
+
+        partition = self.partition_for(adc)
+        q = partition.q
+
+        # --- on-chip: verify bits q+1 .. n against the counter ---------- #
+        msb_result = None
+        msb_ok = True
+        if cfg.check_msb and q < cfg.n_bits:
+            checker = MsbChecker(cfg.n_bits, q=q)
+            msb_result = checker.check(record.codes)
+            msb_ok = msb_result.passed
+
+        # --- off-chip: reconstruct codes from the observed q LSBs ------- #
+        mask = (1 << q) - 1
+        observed = record.codes & mask
+        initial_upper = int(record.codes[0] >> q)
+        reconstructed = reconstruct_codes(observed, q, cfg.n_bits,
+                                          initial_upper=initial_upper)
+        errors = float(np.mean(reconstructed != record.codes))
+
+        counts = np.bincount(np.clip(reconstructed, 0, adc.n_codes - 1),
+                             minlength=adc.n_codes).astype(float)
+        linearity = dnl_from_histogram(counts)
+        linearity_ok = linearity.passes(cfg.dnl_spec_lsb, cfg.inl_spec_lsb)
+
+        return PartialBistResult(
+            passed=bool(linearity_ok and msb_ok),
+            partition=partition,
+            linearity=linearity,
+            linearity_passed=bool(linearity_ok),
+            msb=msb_result,
+            reconstruction_error_rate=errors,
+            samples_taken=n_samples,
+            bits_captured=n_samples * q,
+            record=record if keep_record else None)

@@ -1,0 +1,20 @@
+"""Test-cost and parallel-test models quantifying the paper's motivation."""
+
+from repro.economics.cost_model import TestPlan, TesterModel, cost_per_device
+from repro.economics.parallel import ParallelTestSchedule, compare_schedules
+from repro.economics.quality import (
+    CostBreakdown,
+    OutgoingQuality,
+    TestCostOptimizer,
+)
+
+__all__ = [
+    "TestPlan",
+    "TesterModel",
+    "cost_per_device",
+    "ParallelTestSchedule",
+    "compare_schedules",
+    "CostBreakdown",
+    "OutgoingQuality",
+    "TestCostOptimizer",
+]

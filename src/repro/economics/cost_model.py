@@ -1,0 +1,219 @@
+"""Test-cost model: why the BIST pays off.
+
+The paper's introduction motivates the methodology economically: mixed-signal
+testers are expensive, so test cost falls if (a) less tester time is used,
+(b) a cheaper tester suffices, or (c) more converters are tested in parallel
+on one insertion.  This module turns those arguments into numbers so the
+examples and benchmarks can quantify the saving for a given product:
+
+* :class:`TesterModel` — capital and per-second operating cost of a tester
+  with a given number of digital channels and (optionally) mixed-signal
+  instruments,
+* :class:`TestPlan` — how one device is tested (samples, bits observed per
+  sample, pass/fail processing), from which test time and data volume follow,
+* :func:`cost_per_device` — combines the two with a parallel-test site count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TesterModel", "TestPlan", "cost_per_device"]
+
+
+@dataclass(frozen=True)
+class TesterModel:
+    """A (much simplified) ATE cost model.
+
+    Parameters
+    ----------
+    name:
+        Human-readable tester name.
+    digital_channels:
+        Number of digital capture channels available for converter outputs.
+    has_mixed_signal:
+        Whether the tester has the precision analog source/capture
+        instruments a conventional converter test needs.
+    capital_cost:
+        Purchase cost in currency units.
+    cost_per_second:
+        Operating (depreciation + floor) cost per second of test time.
+    capture_rate:
+        Samples per second each digital channel can capture and store.
+    """
+
+    #: Not a test case, despite the class name (keeps pytest collection away).
+    __test__ = False
+
+    name: str
+    digital_channels: int
+    has_mixed_signal: bool
+    capital_cost: float
+    cost_per_second: float
+    capture_rate: float = 10e6
+
+    def __post_init__(self) -> None:
+        if self.digital_channels < 1:
+            raise ValueError("digital_channels must be positive")
+        if self.capital_cost < 0 or self.cost_per_second < 0:
+            raise ValueError("costs must be non-negative")
+        if self.capture_rate <= 0:
+            raise ValueError("capture_rate must be positive")
+
+    @classmethod
+    def mixed_signal(cls) -> "TesterModel":
+        """A representative high-end mixed-signal tester."""
+        return cls(name="mixed-signal ATE", digital_channels=64,
+                   has_mixed_signal=True, capital_cost=2_000_000.0,
+                   cost_per_second=0.05)
+
+    @classmethod
+    def digital_only(cls) -> "TesterModel":
+        """A representative low-cost digital tester."""
+        return cls(name="digital ATE", digital_channels=128,
+                   has_mixed_signal=False, capital_cost=400_000.0,
+                   cost_per_second=0.01)
+
+
+@dataclass(frozen=True)
+class TestPlan:
+    """How one converter is tested.
+
+    Parameters
+    ----------
+    n_bits:
+        Converter resolution.
+    samples:
+        Number of conversions acquired for the static test.
+    observed_bits_per_sample:
+        Output bits the tester must capture per conversion: ``n_bits`` for
+        the conventional histogram test, ``q`` for the partial BIST, and 0
+        for the full BIST (only a pass/fail flag is read at the end).
+    sample_rate:
+        Converter sample rate in Hz (sets the acquisition time).
+    needs_mixed_signal_tester:
+        Whether the plan requires precision analog instruments (the
+        conventional test does; the full BIST with on-chip generation does
+        not).
+    processing_overhead_s:
+        Tester-side post-processing time per device (histogram building,
+        DNL/INL computation); essentially zero for the BIST.
+    """
+
+    #: Not a test case, despite the class name (keeps pytest collection away).
+    __test__ = False
+
+    n_bits: int
+    samples: int
+    observed_bits_per_sample: int
+    sample_rate: float
+    needs_mixed_signal_tester: bool = True
+    processing_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1 or self.samples < 1:
+            raise ValueError("n_bits and samples must be positive")
+        if not 0 <= self.observed_bits_per_sample <= self.n_bits:
+            raise ValueError(
+                "observed_bits_per_sample must be within [0, n_bits]")
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        if self.processing_overhead_s < 0:
+            raise ValueError("processing_overhead_s must be non-negative")
+
+    @property
+    def acquisition_time_s(self) -> float:
+        """Time to acquire the samples at the converter's own rate."""
+        return self.samples / self.sample_rate
+
+    @property
+    def test_time_s(self) -> float:
+        """Total tester-occupancy time per device (single site)."""
+        return self.acquisition_time_s + self.processing_overhead_s
+
+    @property
+    def data_volume_bits(self) -> int:
+        """Bits the tester must capture for one device."""
+        return self.samples * self.observed_bits_per_sample
+
+    def channels_needed(self) -> int:
+        """Digital channels occupied by one device under this plan."""
+        # Even a full BIST needs one channel to read the pass/fail flag.
+        return max(1, self.observed_bits_per_sample)
+
+    # ------------------------------------------------------------------ #
+    # Plan factories matching the paper's scenarios
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def conventional_histogram(cls, n_bits: int = 6, samples: int = 4096,
+                               sample_rate: float = 1e6,
+                               processing_overhead_s: float = 0.01
+                               ) -> "TestPlan":
+        """The conventional production histogram test (full word captured)."""
+        return cls(n_bits=n_bits, samples=samples,
+                   observed_bits_per_sample=n_bits, sample_rate=sample_rate,
+                   needs_mixed_signal_tester=True,
+                   processing_overhead_s=processing_overhead_s)
+
+    @classmethod
+    def partial_bist(cls, n_bits: int, q: int, samples: int,
+                     sample_rate: float = 1e6) -> "TestPlan":
+        """The partial BIST: only ``q`` LSBs observed externally."""
+        return cls(n_bits=n_bits, samples=samples,
+                   observed_bits_per_sample=q, sample_rate=sample_rate,
+                   needs_mixed_signal_tester=True,
+                   processing_overhead_s=0.0)
+
+    @classmethod
+    def full_bist(cls, n_bits: int, samples: int,
+                  sample_rate: float = 1e6,
+                  on_chip_generation: bool = True) -> "TestPlan":
+        """The full BIST: everything processed on-chip, one flag read out."""
+        return cls(n_bits=n_bits, samples=samples,
+                   observed_bits_per_sample=0, sample_rate=sample_rate,
+                   needs_mixed_signal_tester=not on_chip_generation,
+                   processing_overhead_s=0.0)
+
+
+def cost_per_device(plan: TestPlan, tester: TesterModel,
+                    devices_per_ic: int = 1,
+                    sites: Optional[int] = None) -> float:
+    """Tester cost attributed to testing one converter.
+
+    Parameters
+    ----------
+    plan:
+        The per-converter test plan.
+    tester:
+        The tester executing it.
+    devices_per_ic:
+        Number of converters on one IC (they share the insertion).
+    sites:
+        Number of ICs tested in parallel; when omitted, the maximum the
+        tester's channel count allows is used.
+
+    Raises
+    ------
+    ValueError
+        When the plan needs mixed-signal instruments the tester lacks.
+    """
+    if devices_per_ic < 1:
+        raise ValueError("devices_per_ic must be positive")
+    if plan.needs_mixed_signal_tester and not tester.has_mixed_signal:
+        raise ValueError(
+            f"plan requires a mixed-signal tester but {tester.name} has no "
+            f"analog instruments")
+    channels_per_ic = plan.channels_needed() * devices_per_ic
+    max_sites = max(1, tester.digital_channels // channels_per_ic)
+    if sites is None:
+        sites = max_sites
+    if sites < 1:
+        raise ValueError("sites must be positive")
+    if sites > max_sites:
+        raise ValueError(
+            f"{sites} sites need {sites * channels_per_ic} channels but the "
+            f"tester has only {tester.digital_channels}")
+    converters_in_parallel = sites * devices_per_ic
+    return tester.cost_per_second * plan.test_time_s / converters_in_parallel

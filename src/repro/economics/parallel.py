@@ -1,0 +1,100 @@
+"""Parallel-test scheduling for multi-converter ICs.
+
+"For ICs with multiple A/D converters on-chip, the reduction of test bits per
+A/D converter allows for testing more A/D converters in parallel, which will
+reduce the overall test time."  This module quantifies that claim: given a
+tester channel budget and a per-converter observation width ``q`` it computes
+how many converters fit in one pass, how many passes a batch needs, and the
+resulting total test time — for the conventional test, the partial BIST and
+the full BIST side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ParallelTestSchedule", "compare_schedules"]
+
+
+@dataclass(frozen=True)
+class ParallelTestSchedule:
+    """Schedule for testing ``n_converters`` with a fixed channel budget.
+
+    Parameters
+    ----------
+    n_converters:
+        Total number of converters to test (across all ICs of the batch or
+        on one many-channel IC).
+    bits_per_converter:
+        Digital channels each converter occupies during the test
+        (``n_bits`` conventional, ``q`` partial BIST, 1 for the full BIST's
+        pass/fail flag).
+    tester_channels:
+        Digital channels available on the tester.
+    time_per_pass_s:
+        Acquisition time of one test pass (one ramp), in seconds.
+    """
+
+    n_converters: int
+    bits_per_converter: int
+    tester_channels: int
+    time_per_pass_s: float
+
+    def __post_init__(self) -> None:
+        if self.n_converters < 1:
+            raise ValueError("n_converters must be positive")
+        if self.bits_per_converter < 1:
+            raise ValueError("bits_per_converter must be positive")
+        if self.tester_channels < self.bits_per_converter:
+            raise ValueError(
+                "the tester does not have enough channels for even one "
+                "converter")
+        if self.time_per_pass_s <= 0:
+            raise ValueError("time_per_pass_s must be positive")
+
+    @property
+    def converters_per_pass(self) -> int:
+        """Converters that fit in one parallel pass."""
+        return self.tester_channels // self.bits_per_converter
+
+    @property
+    def n_passes(self) -> int:
+        """Number of sequential passes needed for the whole batch."""
+        return math.ceil(self.n_converters / self.converters_per_pass)
+
+    @property
+    def total_time_s(self) -> float:
+        """Total tester time for the batch."""
+        return self.n_passes * self.time_per_pass_s
+
+    @property
+    def time_per_converter_s(self) -> float:
+        """Average tester time attributed to one converter."""
+        return self.total_time_s / self.n_converters
+
+    def speedup_over(self, other: "ParallelTestSchedule") -> float:
+        """How many times faster this schedule is than ``other``."""
+        return other.total_time_s / self.total_time_s
+
+
+def compare_schedules(n_converters: int, n_bits: int, q: int,
+                      tester_channels: int,
+                      time_per_pass_s: float) -> List[ParallelTestSchedule]:
+    """Conventional vs partial-BIST vs full-BIST schedules, side by side.
+
+    Returns a list of three schedules in that order, all for the same batch,
+    channel budget and per-pass time, differing only in how many channels
+    each converter occupies (``n_bits``, ``q`` and 1 respectively).
+    """
+    if not 1 <= q <= n_bits:
+        raise ValueError("q must be within [1, n_bits]")
+    return [
+        ParallelTestSchedule(n_converters, n_bits, tester_channels,
+                             time_per_pass_s),
+        ParallelTestSchedule(n_converters, q, tester_channels,
+                             time_per_pass_s),
+        ParallelTestSchedule(n_converters, 1, tester_channels,
+                             time_per_pass_s),
+    ]

@@ -1,0 +1,191 @@
+"""Outgoing quality and total test-cost optimisation.
+
+The paper's quality anchor is the customer requirement that at most
+10–100 ppm of shipped devices may be test escapes (type II errors).  This
+module closes the loop between the statistical error model and the economics:
+
+* :class:`OutgoingQuality` converts a process yield and the test's type I/II
+  probabilities into shipped-defect level (DPPM), yield loss and the number
+  of good devices scrapped per million produced,
+* :class:`TestCostOptimizer` combines that with the silicon cost of the BIST
+  hardware and the per-device tester cost to find the counter size that
+  minimises the total cost of test — the quantitative version of the
+  trade-off sketched in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.binomial import DeviceProbabilities
+from repro.analysis.error_model import ErrorModel
+from repro.core.area import AreaModel
+
+__all__ = ["OutgoingQuality", "CostBreakdown", "TestCostOptimizer"]
+
+
+@dataclass(frozen=True)
+class OutgoingQuality:
+    """Shipped-quality figures implied by a test's error probabilities.
+
+    Attributes
+    ----------
+    p_good:
+        Probability an incoming device meets the specification.
+    type_i:
+        ``P(good and rejected)`` — yield loss.
+    type_ii:
+        ``P(faulty and accepted)`` — escapes.
+    """
+
+    p_good: float
+    type_i: float
+    type_ii: float
+
+    def __post_init__(self) -> None:
+        for name in ("p_good", "type_i", "type_ii"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+
+    @classmethod
+    def from_device_probabilities(cls, device: DeviceProbabilities
+                                  ) -> "OutgoingQuality":
+        """Build from the error model's device-level probabilities."""
+        return cls(p_good=device.p_good, type_i=device.type_i,
+                   type_ii=device.type_ii)
+
+    @property
+    def p_ship(self) -> float:
+        """Fraction of produced devices that are shipped (accepted)."""
+        return self.p_good - self.type_i + self.type_ii
+
+    @property
+    def shipped_dppm(self) -> float:
+        """Defective parts per million among the *shipped* devices."""
+        if self.p_ship <= 0.0:
+            return 0.0
+        return 1e6 * self.type_ii / self.p_ship
+
+    @property
+    def yield_loss_ppm(self) -> float:
+        """Good devices scrapped, per million produced."""
+        return 1e6 * self.type_i
+
+    def meets_quality_target(self, dppm_target: float = 100.0) -> bool:
+        """True when shipped quality meets the given DPPM target."""
+        if dppm_target < 0:
+            raise ValueError("dppm_target must be non-negative")
+        return self.shipped_dppm <= dppm_target
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Total cost of test per shipped device for one BIST configuration.
+
+    All costs are in the same currency unit as the inputs.
+    """
+
+    counter_bits: int
+    silicon_cost: float
+    tester_cost: float
+    yield_loss_cost: float
+    escape_cost: float
+    quality: OutgoingQuality
+
+    @property
+    def total(self) -> float:
+        """Total cost per shipped device."""
+        return (self.silicon_cost + self.tester_cost
+                + self.yield_loss_cost + self.escape_cost)
+
+
+class TestCostOptimizer:
+    """Pick the counter size that minimises the total cost of test.
+
+    Parameters
+    ----------
+    n_codes:
+        Inner codes of the converter (62 for the paper's 6-bit flash).
+    dnl_spec_lsb:
+        DNL specification of the production test.
+    device_cost:
+        Manufacturing cost of one good converter (sets the value destroyed
+        by a type I rejection).
+    escape_penalty:
+        Cost of one shipped defective device (field return, reputational);
+        typically orders of magnitude above the device cost.
+    wafer_cost_per_mm2:
+        Silicon cost per mm² (prices the BIST area overhead).
+    tester_cost_per_device:
+        Tester time cost attributed to one device (already divided by the
+        parallel-site count).
+    area_model:
+        Area model used for the BIST hardware; a default 6-bit model is
+        created when omitted.
+    """
+
+    #: Not a test case, despite the class name (keeps pytest collection away).
+    __test__ = False
+
+    def __init__(self, n_codes: int = 62, dnl_spec_lsb: float = 1.0,
+                 device_cost: float = 0.05,
+                 escape_penalty: float = 50.0,
+                 wafer_cost_per_mm2: float = 0.10,
+                 tester_cost_per_device: float = 0.002,
+                 area_model: Optional[AreaModel] = None) -> None:
+        if n_codes < 1:
+            raise ValueError("n_codes must be positive")
+        if min(device_cost, escape_penalty, wafer_cost_per_mm2,
+               tester_cost_per_device) < 0:
+            raise ValueError("costs must be non-negative")
+        self.n_codes = int(n_codes)
+        self.dnl_spec_lsb = float(dnl_spec_lsb)
+        self.device_cost = float(device_cost)
+        self.escape_penalty = float(escape_penalty)
+        self.wafer_cost_per_mm2 = float(wafer_cost_per_mm2)
+        self.tester_cost_per_device = float(tester_cost_per_device)
+        self.area_model = area_model if area_model is not None else AreaModel()
+
+    def evaluate(self, counter_bits: int) -> CostBreakdown:
+        """Cost breakdown for one counter size."""
+        model = ErrorModel(dnl_spec_lsb=self.dnl_spec_lsb,
+                           counter_bits=counter_bits)
+        device = model.device(self.n_codes)
+        quality = OutgoingQuality.from_device_probabilities(device)
+
+        estimate = self.area_model.estimate(counter_bits,
+                                            dnl_spec_lsb=self.dnl_spec_lsb)
+        silicon = estimate.area_mm2 * self.wafer_cost_per_mm2
+        yield_loss = quality.type_i * self.device_cost
+        escapes = quality.type_ii * self.escape_penalty
+        return CostBreakdown(counter_bits=int(counter_bits),
+                             silicon_cost=silicon,
+                             tester_cost=self.tester_cost_per_device,
+                             yield_loss_cost=yield_loss,
+                             escape_cost=escapes,
+                             quality=quality)
+
+    def sweep(self, counter_bits_range: Iterable[int]
+              ) -> Dict[int, CostBreakdown]:
+        """Cost breakdowns over a range of counter sizes."""
+        return {bits: self.evaluate(bits) for bits in counter_bits_range}
+
+    def best(self, counter_bits_range: Iterable[int],
+             dppm_target: Optional[float] = 100.0) -> CostBreakdown:
+        """The cheapest configuration meeting the quality target.
+
+        When no configuration meets the target, the one with the lowest
+        shipped DPPM is returned instead.
+        """
+        breakdowns = list(self.sweep(counter_bits_range).values())
+        if not breakdowns:
+            raise ValueError("counter_bits_range must not be empty")
+        if dppm_target is not None:
+            compliant = [b for b in breakdowns
+                         if b.quality.meets_quality_target(dppm_target)]
+            if compliant:
+                return min(compliant, key=lambda b: b.total)
+            return min(breakdowns, key=lambda b: b.quality.shipped_dppm)
+        return min(breakdowns, key=lambda b: b.total)

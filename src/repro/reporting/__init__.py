@@ -1,0 +1,5 @@
+"""Table / series / ASCII-plot formatting used by the benchmark harness."""
+
+from repro.reporting.tables import ascii_plot, format_series, format_table
+
+__all__ = ["ascii_plot", "format_series", "format_table"]

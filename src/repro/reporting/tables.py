@@ -1,0 +1,123 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figures as text: tables as
+aligned columns, figures as (x, y) series listings with an optional ASCII
+plot.  Keeping the formatting in one place makes every benchmark print the
+same way and keeps the benchmark bodies focused on the experiment itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ascii_plot"]
+
+
+def _format_cell(value, float_format: str) -> str:
+    """Render one cell: floats via the format, everything else via str()."""
+    if isinstance(value, (float, np.floating)):
+        return format(float(value), float_format)
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None,
+                 float_format: str = ".4g") -> str:
+    """Format rows as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` entries.
+    title:
+        Optional title printed above the table.
+    float_format:
+        Format specification applied to float cells.
+    """
+    headers = [str(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} "
+                f"headers")
+        rendered.append([_format_cell(cell, float_format) for cell in row])
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x: Sequence[float], y: Sequence[float],
+                  x_label: str = "x", y_label: str = "y",
+                  title: Optional[str] = None,
+                  float_format: str = ".4g") -> str:
+    """Format a figure series as a two-column listing."""
+    x = list(x)
+    y = list(y)
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    return format_table([x_label, y_label], zip(x, y), title=title,
+                        float_format=float_format)
+
+
+def ascii_plot(x: Sequence[float], y: Sequence[float],
+               width: int = 60, height: int = 15,
+               title: Optional[str] = None,
+               logy: bool = False) -> str:
+    """Render a rough ASCII scatter/line plot of a series.
+
+    Intended for eyeballing the shape of a reproduced figure in the
+    benchmark output, not for publication.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size == 0:
+        raise ValueError("x and y must be non-empty and equally long")
+    if width < 10 or height < 5:
+        raise ValueError("plot must be at least 10x5 characters")
+
+    plot_y = y.copy()
+    if logy:
+        positive = plot_y > 0
+        if not positive.any():
+            raise ValueError("logy requires at least one positive value")
+        floor = plot_y[positive].min() / 10.0
+        plot_y = np.log10(np.clip(plot_y, floor, None))
+
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(plot_y.min()), float(plot_y.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, plot_y):
+        col = int(round((xi - x_min) / x_span * (width - 1)))
+        row = int(round((yi - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}" + (" (log10)" if logy else "")
+    lines.append(top_label)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_min:.3g}".ljust(width // 2)
+                 + f"{x_max:.3g}".rjust(width - width // 2))
+    return "\n".join(lines)

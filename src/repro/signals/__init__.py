@@ -1,0 +1,35 @@
+"""Stimulus and noise substrate.
+
+Everything the converter under test is driven with lives here: ideal ramps
+and sawtooths (:mod:`repro.signals.ramp`), coherent sines for dynamic tests
+(:mod:`repro.signals.sine`), sampling clocks with jitter
+(:mod:`repro.signals.sampling`), consolidated noise configuration
+(:mod:`repro.signals.noise`) and behavioural models of *on-chip* stimulus
+generators (:mod:`repro.signals.generator`).
+"""
+
+from repro.signals.generator import (
+    ChargePumpRampGenerator,
+    DeltaSigmaSineGenerator,
+)
+from repro.signals.noise import (
+    NoiseModel,
+    quantization_noise_power,
+    snr_ideal_db,
+)
+from repro.signals.ramp import RampStimulus, SawtoothStimulus
+from repro.signals.sampling import SamplingClock
+from repro.signals.sine import SineStimulus, coherent_frequency
+
+__all__ = [
+    "ChargePumpRampGenerator",
+    "DeltaSigmaSineGenerator",
+    "NoiseModel",
+    "quantization_noise_power",
+    "snr_ideal_db",
+    "RampStimulus",
+    "SawtoothStimulus",
+    "SamplingClock",
+    "SineStimulus",
+    "coherent_frequency",
+]

@@ -1,0 +1,222 @@
+"""Models of on-chip test-stimulus generators.
+
+The paper restricts itself to on-chip *data processing* and refers to DeWitt
+et al. [1] and Roberts & Lu [6] for on-chip *signal generation*.  To let the
+library demonstrate a complete BIST loop (generation + processing on chip),
+this module models the two stimulus generators those references describe at
+the behavioural level:
+
+:class:`ChargePumpRampGenerator`
+    A current source charging a capacitor — the classic on-chip ramp.  Its
+    dominant imperfections are an exponential bow (finite output resistance),
+    current noise, and slope error from RC-process spread.
+
+:class:`DeltaSigmaSineGenerator`
+    A 1-bit delta-sigma bit stream filtered by a simple RC network, the
+    Roberts-style oscillator for on-chip sine generation; its imperfections
+    appear as shaped quantisation noise on the sine.
+
+Both expose the same ``voltage(times)`` interface as the ideal stimuli in
+:mod:`repro.signals.ramp` and :mod:`repro.signals.sine`, so the BIST engine
+can be driven by either without modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["ChargePumpRampGenerator", "DeltaSigmaSineGenerator"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+@dataclass
+class ChargePumpRampGenerator:
+    """An on-chip current-source/capacitor ramp generator.
+
+    The output follows ``v(t) = I*R_out*(1 - exp(-t/(R_out*C)))``: for
+    ``R_out -> inf`` this is the ideal ramp ``(I/C) * t``; a finite output
+    resistance bends it into an exponential whose early part is still nearly
+    linear.  The generator is characterised by its nominal slope and by the
+    *linearity factor* ``span_fraction = V_span / (I*R_out)`` — the fraction
+    of the asymptote actually used, which controls the bow.
+
+    Parameters
+    ----------
+    nominal_slope:
+        Intended initial slope ``I/C`` in volts per second.
+    span:
+        Voltage span the ramp must cover (the converter's full scale plus
+        margin).
+    span_fraction:
+        ``span / (I * R_out)``; smaller is more linear.  Zero gives an ideal
+        ramp.
+    slope_error:
+        Relative error of the realised slope (RC process spread); the
+        mechanism the paper suspects behind its simulation/measurement
+        mismatch ("the slope of the applied ramp in the measurements was
+        probably slightly too steep").
+    noise_sigma:
+        RMS output-referred noise in volts.
+    start_voltage:
+        Output voltage at ``t = 0``.
+    rng:
+        Seed or generator for the noise.
+    """
+
+    nominal_slope: float
+    span: float
+    span_fraction: float = 0.0
+    slope_error: float = 0.0
+    noise_sigma: float = 0.0
+    start_voltage: float = 0.0
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if self.nominal_slope <= 0:
+            raise ValueError("nominal_slope must be positive")
+        if self.span <= 0:
+            raise ValueError("span must be positive")
+        if not 0.0 <= self.span_fraction < 1.0:
+            raise ValueError("span_fraction must be in [0, 1)")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        self._rng = (self.rng if isinstance(self.rng, np.random.Generator)
+                     else np.random.default_rng(self.rng))
+
+    @property
+    def actual_slope(self) -> float:
+        """Initial slope including the process-spread error."""
+        return self.nominal_slope * (1.0 + self.slope_error)
+
+    def voltage(self, times: np.ndarray) -> np.ndarray:
+        """Return the generator output voltage at the given times."""
+        times = np.asarray(times, dtype=float)
+        slope = self.actual_slope
+        if self.span_fraction == 0.0:
+            v = self.start_voltage + slope * times
+        else:
+            # Asymptote chosen so the used span is span_fraction of it.
+            asymptote = self.span / self.span_fraction
+            tau = asymptote / slope
+            v = self.start_voltage + asymptote * (1.0 - np.exp(-times / tau))
+        if self.noise_sigma > 0.0:
+            v = v + self._rng.normal(0.0, self.noise_sigma, size=v.shape)
+        return v
+
+    def __call__(self, times: np.ndarray) -> np.ndarray:
+        return self.voltage(times)
+
+    def worst_case_nonlinearity(self, duration: float) -> float:
+        """Largest deviation from the best straight line over ``duration``.
+
+        Returned in volts.  Useful for budgeting how much of the DNL error
+        observed in a BIST run is attributable to the stimulus rather than
+        the converter.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        times = np.linspace(0.0, duration, 512)
+        noiseless = ChargePumpRampGenerator(
+            nominal_slope=self.nominal_slope, span=self.span,
+            span_fraction=self.span_fraction, slope_error=self.slope_error,
+            start_voltage=self.start_voltage)
+        v = noiseless.voltage(times)
+        coeffs = np.polyfit(times, v, 1)
+        return float(np.max(np.abs(v - np.polyval(coeffs, times))))
+
+
+@dataclass
+class DeltaSigmaSineGenerator:
+    """A behavioural delta-sigma bit-stream sine generator with RC filtering.
+
+    A first-order delta-sigma modulator encodes the target sine into a 1-bit
+    stream at ``oversample_ratio`` times the output rate; a single-pole RC
+    filter reconstructs the analog sine.  The residual shaped quantisation
+    noise is what distinguishes this from the ideal
+    :class:`~repro.signals.sine.SineStimulus`.
+
+    Parameters
+    ----------
+    frequency:
+        Sine frequency in Hz.
+    amplitude:
+        Peak amplitude in volts.
+    offset:
+        DC offset in volts.
+    oversample_ratio:
+        Modulator rate divided by the highest frequency of interest; larger
+        ratios push the shaped noise further out of band.
+    filter_cutoff:
+        RC reconstruction-filter cutoff in Hz; defaults to eight times the
+        sine frequency.
+    rng:
+        Unused (the modulator is deterministic) but accepted for interface
+        symmetry with the other generators.
+    """
+
+    frequency: float
+    amplitude: float = 0.5
+    offset: float = 0.5
+    oversample_ratio: int = 64
+    filter_cutoff: Optional[float] = None
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+        if self.amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        if self.oversample_ratio < 4:
+            raise ValueError("oversample_ratio must be at least 4")
+        if self.filter_cutoff is None:
+            self.filter_cutoff = 8.0 * self.frequency
+
+    def voltage(self, times: np.ndarray) -> np.ndarray:
+        """Return the filtered delta-sigma output at the given times.
+
+        The modulator runs on an internal uniform grid covering the requested
+        time span; the filtered waveform is then interpolated at the
+        requested instants so that irregular (jittered) sampling also works.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return np.zeros(0)
+        t_start = float(times.min())
+        t_end = float(times.max())
+        # Internal modulator clock.
+        mod_rate = self.oversample_ratio * max(self.frequency,
+                                               self.filter_cutoff)
+        n_mod = max(16, int(np.ceil((t_end - t_start) * mod_rate)) + 2)
+        grid = t_start + np.arange(n_mod) / mod_rate
+
+        target = self.offset + self.amplitude * np.sin(
+            2.0 * np.pi * self.frequency * grid)
+        # Normalise to [-1, 1] for the 1-bit modulator.
+        lo = self.offset - self.amplitude
+        hi = self.offset + self.amplitude
+        span = max(hi - lo, 1e-12)
+        x = (target - lo) / span * 2.0 - 1.0
+
+        bits = np.empty(n_mod)
+        integrator = 0.0
+        for i in range(n_mod):
+            integrator += x[i] - (1.0 if integrator >= 0.0 else -1.0)
+            bits[i] = 1.0 if integrator >= 0.0 else -1.0
+
+        stream = (bits + 1.0) / 2.0 * span + lo
+        # Single-pole RC filter, implemented as a first-order IIR.
+        alpha = 1.0 - np.exp(-2.0 * np.pi * self.filter_cutoff / mod_rate)
+        filtered = np.empty(n_mod)
+        state = stream[0]
+        for i in range(n_mod):
+            state += alpha * (stream[i] - state)
+            filtered[i] = state
+
+        return np.interp(times, grid, filtered)
+
+    def __call__(self, times: np.ndarray) -> np.ndarray:
+        return self.voltage(times)

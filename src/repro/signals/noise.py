@@ -1,0 +1,111 @@
+"""Noise sources used by the stimulus and converter models.
+
+Three of the noise mechanisms the paper names — input-referred *transition
+noise* (which makes the LSB toggle), stimulus (ramp) noise, and sampling
+*jitter* — are modelled here in one place so that simulations can be
+configured with a single :class:`NoiseModel` object and a single random
+generator, keeping every Monte-Carlo experiment reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["NoiseModel", "quantization_noise_power", "snr_ideal_db"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def quantization_noise_power(lsb: float) -> float:
+    """Quantisation noise power of an ideal converter, ``LSB**2 / 12``."""
+    return lsb * lsb / 12.0
+
+
+def snr_ideal_db(n_bits: int) -> float:
+    """Ideal full-scale sine SNR of an ``n_bits`` converter (6.02 n + 1.76 dB)."""
+    return 6.02 * n_bits + 1.76
+
+
+@dataclass
+class NoiseModel:
+    """Bundle of the noise parameters of a converter test setup.
+
+    Parameters
+    ----------
+    transition_noise_lsb:
+        RMS input-referred noise of the converter in LSB; this is what makes
+        the LSB toggle around a transition and what the deglitch filter must
+        suppress.
+    stimulus_noise_lsb:
+        RMS noise of the applied stimulus (ramp or sine) in LSB.
+    jitter_rms:
+        RMS aperture jitter of the sample clock in seconds.
+    seed:
+        Master seed; independent child generators are derived for each noise
+        mechanism so that enabling one mechanism does not change the draw of
+        another.
+    """
+
+    transition_noise_lsb: float = 0.0
+    stimulus_noise_lsb: float = 0.0
+    jitter_rms: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.transition_noise_lsb < 0:
+            raise ValueError("transition_noise_lsb must be non-negative")
+        if self.stimulus_noise_lsb < 0:
+            raise ValueError("stimulus_noise_lsb must be non-negative")
+        if self.jitter_rms < 0:
+            raise ValueError("jitter_rms must be non-negative")
+        seed_seq = np.random.SeedSequence(self.seed)
+        children = seed_seq.spawn(3)
+        self._transition_rng = np.random.default_rng(children[0])
+        self._stimulus_rng = np.random.default_rng(children[1])
+        self._jitter_rng = np.random.default_rng(children[2])
+
+    @property
+    def is_noiseless(self) -> bool:
+        """True when every noise mechanism is disabled."""
+        return (self.transition_noise_lsb == 0.0
+                and self.stimulus_noise_lsb == 0.0
+                and self.jitter_rms == 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Generators for each mechanism
+    # ------------------------------------------------------------------ #
+
+    @property
+    def transition_rng(self) -> np.random.Generator:
+        """Generator dedicated to converter transition noise."""
+        return self._transition_rng
+
+    @property
+    def stimulus_rng(self) -> np.random.Generator:
+        """Generator dedicated to stimulus noise."""
+        return self._stimulus_rng
+
+    @property
+    def jitter_rng(self) -> np.random.Generator:
+        """Generator dedicated to clock jitter."""
+        return self._jitter_rng
+
+    # ------------------------------------------------------------------ #
+    # Convenience factories
+    # ------------------------------------------------------------------ #
+
+    def stimulus_noise_volts(self, adc) -> float:
+        """Stimulus noise sigma converted to volts for a given converter."""
+        return self.stimulus_noise_lsb * adc.lsb
+
+    def clock_for(self, adc, frequency_error: float = 0.0):
+        """Return a :class:`~repro.signals.sampling.SamplingClock` for ``adc``."""
+        from repro.signals.sampling import SamplingClock
+
+        return SamplingClock(sample_rate=adc.sample_rate,
+                             jitter_rms=self.jitter_rms,
+                             frequency_error=frequency_error,
+                             rng=self._jitter_rng)

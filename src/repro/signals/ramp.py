@@ -1,0 +1,195 @@
+"""Ramp and sawtooth stimuli.
+
+The BIST test described in the paper applies a slow linear ramp (or a
+sawtooth when the test must repeat) to the converter while its LSB is
+monitored.  The single most important stimulus parameter is the voltage step
+between two successive samples,
+
+    ``delta_s = slope / f_sample``            (Equation (5))
+
+because the number of samples falling inside a code of width ``dV`` is about
+``dV / delta_s``, and every error probability in the paper is a function of
+``delta_s``.  :class:`RampStimulus` therefore exposes constructors both in
+terms of the physical slope and directly in terms of ``delta_s`` (in LSB) or
+the targeted number of samples per code.
+
+Imperfections that the paper explicitly excludes from its analysis (ramp
+non-linearity and ramp noise) are available as options so that their effect
+can be studied separately (see ``benchmarks/test_bench_deglitch_ablation.py``
+and the robustness tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["RampStimulus", "SawtoothStimulus"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+@dataclass
+class RampStimulus:
+    """A single linear ramp ``v(t) = start_voltage + slope * t``.
+
+    Parameters
+    ----------
+    slope:
+        Ramp slope in volts per second (``U`` in the paper's Equation (5)).
+    start_voltage:
+        Voltage at ``t = 0``.
+    nonlinearity:
+        Peak relative bow of the ramp over ``duration`` (0 = perfectly
+        linear).  Modelled as a parabolic deviation, the dominant shape of a
+        current-starved on-chip ramp generator.
+    noise_sigma:
+        RMS additive voltage noise on the ramp, in volts.
+    duration:
+        Reference duration used to scale the non-linearity bow; only needed
+        when ``nonlinearity`` is non-zero.
+    rng:
+        Seed or generator for the ramp noise.
+    """
+
+    slope: float
+    start_voltage: float = 0.0
+    nonlinearity: float = 0.0
+    noise_sigma: float = 0.0
+    duration: Optional[float] = None
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ValueError("slope must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        if self.nonlinearity != 0.0 and not self.duration:
+            raise ValueError("duration is required when nonlinearity is set")
+        self._rng = (self.rng if isinstance(self.rng, np.random.Generator)
+                     else np.random.default_rng(self.rng))
+
+    # ------------------------------------------------------------------ #
+    # Constructors tied to the converter under test
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_adc(cls, adc, samples_per_code: float,
+                start_margin_lsb: float = 2.0, **kwargs) -> "RampStimulus":
+        """Build a ramp that yields ``samples_per_code`` samples per ideal LSB.
+
+        The slope follows from Equation (5): ``delta_s = U / f_sample`` must
+        equal ``LSB / samples_per_code``.  The ramp starts
+        ``start_margin_lsb`` LSB below the converter's range so that the
+        first transition is always crossed.
+        """
+        if samples_per_code <= 0:
+            raise ValueError("samples_per_code must be positive")
+        delta_s = adc.lsb / samples_per_code
+        slope = delta_s * adc.sample_rate
+        start = -start_margin_lsb * adc.lsb
+        return cls(slope=slope, start_voltage=start, **kwargs)
+
+    @classmethod
+    def from_delta_s(cls, delta_s: float, sample_rate: float,
+                     start_voltage: float = 0.0, **kwargs) -> "RampStimulus":
+        """Build a ramp directly from the per-sample step ``delta_s`` (volts)."""
+        if delta_s <= 0:
+            raise ValueError("delta_s must be positive")
+        return cls(slope=delta_s * sample_rate, start_voltage=start_voltage,
+                   **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Stimulus interface
+    # ------------------------------------------------------------------ #
+
+    def voltage(self, times: np.ndarray) -> np.ndarray:
+        """Return the ramp voltage at the given times (seconds)."""
+        times = np.asarray(times, dtype=float)
+        v = self.start_voltage + self.slope * times
+        if self.nonlinearity != 0.0:
+            # Parabolic bow peaking mid-ramp: v += amp * 4*x*(1-x) with
+            # x = t / duration and amp the peak deviation in volts.
+            x = np.clip(times / self.duration, 0.0, 1.0)
+            amplitude = self.nonlinearity * self.slope * self.duration
+            v = v + amplitude * 4.0 * x * (1.0 - x)
+        if self.noise_sigma > 0.0:
+            v = v + self._rng.normal(0.0, self.noise_sigma, size=v.shape)
+        return v
+
+    def __call__(self, times: np.ndarray) -> np.ndarray:
+        return self.voltage(times)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    def delta_s(self, sample_rate: float) -> float:
+        """Voltage step between two samples at the given sample rate (EQ 5)."""
+        return self.slope / sample_rate
+
+    def delta_s_lsb(self, adc) -> float:
+        """Per-sample step expressed in the converter's LSB."""
+        return self.delta_s(adc.sample_rate) / adc.lsb
+
+    def samples_per_code(self, adc) -> float:
+        """Average number of samples per ideal code width."""
+        return adc.lsb / self.delta_s(adc.sample_rate)
+
+    def duration_for_range(self, v_low: float, v_high: float) -> float:
+        """Time needed for the ramp to sweep from ``v_low`` to ``v_high``."""
+        if v_high <= v_low:
+            raise ValueError("v_high must exceed v_low")
+        start = max(self.start_voltage, v_low)
+        return (v_high - start) / self.slope
+
+    def duration_for_adc(self, adc, margin_lsb: float = 2.0) -> float:
+        """Time for the ramp to cross the converter's range plus a margin."""
+        return ((adc.full_scale + margin_lsb * adc.lsb - self.start_voltage)
+                / self.slope)
+
+    def n_samples_for_adc(self, adc, margin_lsb: float = 2.0) -> int:
+        """Number of samples needed to cover the converter's full range."""
+        duration = self.duration_for_adc(adc, margin_lsb=margin_lsb)
+        return int(math.ceil(duration * adc.sample_rate))
+
+
+@dataclass
+class SawtoothStimulus:
+    """A periodic sawtooth sweeping ``[low, high)`` at ``frequency`` Hz.
+
+    Used for the partial-BIST analysis of Equation (1), where the stimulus
+    frequency determines how many LSBs must stay under external observation.
+    """
+
+    frequency: float
+    low: float = 0.0
+    high: float = 1.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+        if self.high <= self.low:
+            raise ValueError("high must exceed low")
+
+    def voltage(self, times: np.ndarray) -> np.ndarray:
+        """Return the sawtooth voltage at the given times."""
+        times = np.asarray(times, dtype=float)
+        cycles = times * self.frequency + self.phase
+        fractional = cycles - np.floor(cycles)
+        return self.low + (self.high - self.low) * fractional
+
+    def __call__(self, times: np.ndarray) -> np.ndarray:
+        return self.voltage(times)
+
+    def slope(self) -> float:
+        """Slope of the rising segment in volts per second."""
+        return (self.high - self.low) * self.frequency
+
+    def delta_s(self, sample_rate: float) -> float:
+        """Voltage step between two samples on the rising segment."""
+        return self.slope() / sample_rate

@@ -1,0 +1,83 @@
+"""Sampling-clock model with aperture jitter.
+
+The paper's error analysis notes (end of section 3) that jitter noise
+"introduces a variation in the time when samples of the input signal are
+taken" and excludes it from the closed-form analysis.  The Monte-Carlo side
+of this reproduction can include it through :class:`SamplingClock`, which
+generates the actual sample instants used by :meth:`repro.adc.base.ADC.sample`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["SamplingClock"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+@dataclass
+class SamplingClock:
+    """A sample clock with optional Gaussian aperture jitter and drift.
+
+    Parameters
+    ----------
+    sample_rate:
+        Nominal sample frequency in Hz.
+    jitter_rms:
+        RMS aperture jitter in seconds, applied independently per sample.
+    frequency_error:
+        Relative error of the actual clock frequency (e.g. ``50e-6`` for a
+        50 ppm fast clock).  This is the mechanism behind the paper's
+        observation that its measured step size was slightly off (the ramp
+        slope versus clock mismatch in section 4).
+    start_time:
+        Time of the first sample in seconds.
+    rng:
+        Seed or generator for the jitter.
+    """
+
+    sample_rate: float
+    jitter_rms: float = 0.0
+    frequency_error: float = 0.0
+    start_time: float = 0.0
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        if self.jitter_rms < 0:
+            raise ValueError("jitter_rms must be non-negative")
+        if self.frequency_error <= -1.0:
+            raise ValueError("frequency_error must be greater than -1")
+        self._rng = (self.rng if isinstance(self.rng, np.random.Generator)
+                     else np.random.default_rng(self.rng))
+
+    @property
+    def actual_rate(self) -> float:
+        """The true sample rate including the frequency error."""
+        return self.sample_rate * (1.0 + self.frequency_error)
+
+    def sample_times(self, n_samples: int,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return ``n_samples`` sample instants in seconds.
+
+        Parameters
+        ----------
+        n_samples:
+            Number of samples.
+        rng:
+            Overrides the clock's own generator when provided (lets a caller
+            share one generator across all noise sources of a simulation).
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        generator = rng if rng is not None else self._rng
+        ideal = self.start_time + np.arange(n_samples) / self.actual_rate
+        if self.jitter_rms > 0.0:
+            ideal = ideal + generator.normal(0.0, self.jitter_rms,
+                                             size=n_samples)
+        return ideal

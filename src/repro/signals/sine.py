@@ -1,0 +1,114 @@
+"""Sinusoidal stimuli for dynamic converter tests.
+
+The paper's "dynamic" tests (Total Harmonic Distortion and noise power,
+section 2) use a sine stimulus and an FFT of the output codes.  This module
+provides a sine source with optional harmonic distortion and additive noise
+so that the dynamic analysis in :mod:`repro.analysis.dynamic` has realistic
+inputs, and a coherent-frequency helper that picks the nearest frequency
+giving an integer number of cycles in the record (the standard requirement
+for leakage-free FFT testing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["SineStimulus", "coherent_frequency"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def coherent_frequency(target_frequency: float, sample_rate: float,
+                       n_samples: int) -> float:
+    """Return the coherent test frequency closest to ``target_frequency``.
+
+    Coherent sampling requires an integer — and ideally odd, so that every
+    sample lands on a distinct phase — number of signal cycles ``M`` in the
+    ``n_samples``-long record: ``f = M * sample_rate / n_samples``.
+
+    The returned frequency uses the odd cycle count closest to the target.
+    """
+    if target_frequency <= 0 or sample_rate <= 0 or n_samples <= 0:
+        raise ValueError("frequencies and n_samples must be positive")
+    cycles = target_frequency * n_samples / sample_rate
+    odd = int(round((cycles - 1.0) / 2.0)) * 2 + 1
+    odd = max(1, odd)
+    return odd * sample_rate / n_samples
+
+
+@dataclass
+class SineStimulus:
+    """A sine stimulus with optional harmonics and noise.
+
+    Parameters
+    ----------
+    frequency:
+        Fundamental frequency in Hz.
+    amplitude:
+        Peak amplitude in volts.
+    offset:
+        DC offset in volts (typically mid-scale of the converter).
+    phase:
+        Phase at ``t = 0`` in radians.
+    harmonics:
+        Mapping of harmonic order (2, 3, ...) to *relative* amplitude
+        (fraction of the fundamental).  Used to emulate a distorted source
+        or a distorting converter front-end.
+    noise_sigma:
+        RMS additive voltage noise in volts.
+    rng:
+        Seed or generator for the noise.
+    """
+
+    frequency: float
+    amplitude: float = 0.5
+    offset: float = 0.5
+    phase: float = 0.0
+    harmonics: Dict[int, float] = field(default_factory=dict)
+    noise_sigma: float = 0.0
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+        if self.amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        for order in self.harmonics:
+            if order < 2:
+                raise ValueError("harmonic orders start at 2")
+        self._rng = (self.rng if isinstance(self.rng, np.random.Generator)
+                     else np.random.default_rng(self.rng))
+
+    @classmethod
+    def for_adc(cls, adc, target_frequency: float, n_samples: int,
+                amplitude_fraction: float = 0.49, **kwargs) -> "SineStimulus":
+        """Build a coherent, nearly full-scale sine for a converter.
+
+        The amplitude defaults to 49 % of full scale (so clipping never
+        occurs) and the frequency is snapped to the nearest coherent value
+        for an ``n_samples`` record.
+        """
+        freq = coherent_frequency(target_frequency, adc.sample_rate, n_samples)
+        return cls(frequency=freq,
+                   amplitude=amplitude_fraction * adc.full_scale,
+                   offset=0.5 * adc.full_scale, **kwargs)
+
+    def voltage(self, times: np.ndarray) -> np.ndarray:
+        """Return the stimulus voltage at the given times."""
+        times = np.asarray(times, dtype=float)
+        omega = 2.0 * np.pi * self.frequency
+        v = self.offset + self.amplitude * np.sin(omega * times + self.phase)
+        for order, rel_amp in self.harmonics.items():
+            v = v + self.amplitude * rel_amp * np.sin(
+                order * (omega * times + self.phase))
+        if self.noise_sigma > 0.0:
+            v = v + self._rng.normal(0.0, self.noise_sigma, size=v.shape)
+        return v
+
+    def __call__(self, times: np.ndarray) -> np.ndarray:
+        return self.voltage(times)

@@ -1,0 +1,210 @@
+"""Unit tests for the ideal, table, flash, SAR and pipeline converter models."""
+
+import numpy as np
+import pytest
+
+from repro.adc import (
+    FlashADC,
+    IdealADC,
+    PipelineADC,
+    SarADC,
+    TableADC,
+    TransferFunction,
+)
+from repro.signals import RampStimulus
+
+
+class TestIdealADC:
+    def test_zero_linearity_errors(self, ideal_adc):
+        assert ideal_adc.max_dnl() == pytest.approx(0.0, abs=1e-12)
+        assert ideal_adc.max_inl() == pytest.approx(0.0, abs=1e-12)
+
+    def test_lsb_size(self):
+        adc = IdealADC(8, full_scale=2.0)
+        assert adc.lsb == pytest.approx(2.0 / 256)
+        assert adc.n_codes == 256
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IdealADC(0)
+        with pytest.raises(ValueError):
+            IdealADC(6, full_scale=-1.0)
+        with pytest.raises(ValueError):
+            IdealADC(6, sample_rate=0.0)
+
+    def test_ramp_produces_every_code(self, ideal_adc):
+        ramp = RampStimulus.for_adc(ideal_adc, samples_per_code=8)
+        record = ideal_adc.sample(ramp,
+                                  n_samples=ramp.n_samples_for_adc(ideal_adc))
+        assert set(np.unique(record.codes)) == set(range(64))
+
+    def test_sample_requires_exactly_one_length_argument(self, ideal_adc):
+        ramp = RampStimulus.for_adc(ideal_adc, samples_per_code=4)
+        with pytest.raises(ValueError):
+            ideal_adc.sample(ramp)
+        with pytest.raises(ValueError):
+            ideal_adc.sample(ramp, duration=1e-3, n_samples=10)
+
+    def test_sample_accepts_plain_callable(self, ideal_adc):
+        record = ideal_adc.sample(lambda t: np.full_like(t, 0.5),
+                                  n_samples=16)
+        assert np.all(record.codes == 32)
+
+    def test_conversion_record_bits(self, ideal_adc):
+        record = ideal_adc.sample(lambda t: np.full_like(t, 0.5 + 0.5 / 64),
+                                  n_samples=4)
+        # Code 32 has LSB 0 and bit 5 set.
+        assert np.all(record.lsb_waveform == 0)
+        assert np.all(record.bit(5) == 1)
+        assert len(record) == 4
+
+    def test_transition_noise_changes_codes(self, ideal_adc):
+        rng = np.random.default_rng(0)
+        # A voltage exactly on a transition with noise toggles between codes.
+        v = np.full(2000, ideal_adc.lsb * 10)
+        codes = ideal_adc.convert(v, rng=rng, transition_noise_lsb=0.3)
+        assert len(np.unique(codes)) > 1
+
+
+class TestTableADC:
+    def test_wraps_supplied_transfer(self):
+        dnl = np.zeros(62)
+        dnl[17] = 0.5
+        tf = TransferFunction.from_dnl(6, dnl)
+        adc = TableADC(tf, name="test device")
+        # End-point normalisation spreads the extra width slightly, so the
+        # reported DNL is marginally below the injected 0.5 LSB.
+        assert adc.max_dnl() == pytest.approx(0.5, abs=0.02)
+        assert adc.name == "test device"
+
+    def test_with_transfer_keeps_rate(self):
+        tf = TransferFunction.ideal(6)
+        adc = TableADC(tf, sample_rate=2e6)
+        replaced = adc.with_transfer(TransferFunction.ideal(6).scaled(1.01))
+        assert replaced.sample_rate == 2e6
+
+
+class TestFlashADC:
+    def test_zero_mismatch_is_ideal(self):
+        adc = FlashADC(6)
+        assert adc.max_dnl() == pytest.approx(0.0, abs=1e-9)
+
+    def test_from_sigma_hits_target_population_sigma(self):
+        widths = np.concatenate([
+            FlashADC.from_sigma(6, 0.21, seed=s).transfer_function()
+            .code_widths_lsb for s in range(40)])
+        assert widths.std() == pytest.approx(0.21, abs=0.02)
+        assert widths.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_from_sigma_zero_gives_ideal(self):
+        adc = FlashADC.from_sigma(6, 0.0, seed=3)
+        assert adc.max_dnl() == pytest.approx(0.0, abs=1e-9)
+
+    def test_seed_reproducibility(self):
+        a = FlashADC.from_sigma(6, 0.21, seed=42)
+        b = FlashADC.from_sigma(6, 0.21, seed=42)
+        assert np.array_equal(a.transfer_function().transitions,
+                              b.transfer_function().transitions)
+
+    def test_different_seeds_differ(self):
+        a = FlashADC.from_sigma(6, 0.21, seed=1)
+        b = FlashADC.from_sigma(6, 0.21, seed=2)
+        assert not np.array_equal(a.transfer_function().transitions,
+                                  b.transfer_function().transitions)
+
+    def test_seed_and_rng_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            FlashADC.from_sigma(6, 0.21, seed=1, rng=np.random.default_rng(2))
+
+    def test_comparator_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            FlashADC.from_sigma(6, 0.21, comparator_fraction=1.5)
+
+    def test_comparator_only_variance(self):
+        widths = np.concatenate([
+            FlashADC.from_sigma(6, 0.21, comparator_fraction=1.0, seed=s)
+            .transfer_function().code_widths_lsb for s in range(40)])
+        assert widths.std() == pytest.approx(0.21, abs=0.03)
+
+    def test_expected_sigma_matches_request(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=0)
+        assert adc.expected_code_width_sigma_lsb() == pytest.approx(0.21,
+                                                                    rel=0.02)
+
+    def test_expected_correlation_is_ladder_value(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=0)
+        assert adc.expected_width_correlation() == pytest.approx(-1.0 / 64,
+                                                                 rel=0.05)
+
+    def test_ladder_taps_are_increasing(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=5)
+        assert np.all(np.diff(adc.ladder_taps()) > 0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            FlashADC(6, resistor_sigma_rel=-0.1)
+
+
+class TestSarADC:
+    def test_zero_mismatch_is_nearly_ideal(self):
+        adc = SarADC(8)
+        assert adc.max_dnl() < 0.05
+
+    def test_mismatch_creates_dnl_at_major_transition(self):
+        adc = SarADC(8, unit_cap_sigma_rel=0.05, rng=3)
+        dnl = adc.dnl()
+        mid = adc.n_codes // 2 - 1  # inner-code index of the MSB transition
+        # The largest DNL should be at or near a major carry transition.
+        worst = int(np.argmax(np.abs(dnl)))
+        major_codes = {mid - 1, mid, mid + 1,
+                       adc.n_codes // 4 - 1, adc.n_codes // 4,
+                       3 * adc.n_codes // 4 - 1, 3 * adc.n_codes // 4}
+        assert worst in major_codes or np.abs(dnl[worst]) < 0.2
+
+    def test_comparator_offset_shifts_curve(self):
+        clean = SarADC(6, rng=1)
+        shifted = SarADC(6, comparator_offset_lsb=2.0, rng=1)
+        delta = (shifted.transfer_function().transitions
+                 - clean.transfer_function().transitions)
+        assert np.allclose(delta, 2.0 * clean.lsb)
+
+    def test_reproducibility(self):
+        a = SarADC(8, unit_cap_sigma_rel=0.02, rng=9)
+        b = SarADC(8, unit_cap_sigma_rel=0.02, rng=9)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            SarADC(8, unit_cap_sigma_rel=-0.1)
+
+
+class TestPipelineADC:
+    def test_minimum_resolution(self):
+        with pytest.raises(ValueError):
+            PipelineADC(2)
+
+    def test_ideal_pipeline_is_reasonably_linear(self):
+        adc = PipelineADC(8)
+        # The behavioural extraction quantises at 1/64 LSB, allow some slack.
+        assert adc.max_dnl() < 0.15
+
+    def test_gain_errors_increase_dnl(self):
+        clean = PipelineADC(8, rng=2)
+        dirty = PipelineADC(8, gain_error_sigma=0.02, rng=2)
+        assert dirty.max_dnl() > clean.max_dnl()
+
+    def test_transfer_is_monotonic(self):
+        adc = PipelineADC(8, gain_error_sigma=0.01, rng=4)
+        assert adc.transfer_function().is_monotonic()
+
+    def test_reproducibility(self):
+        a = PipelineADC(8, gain_error_sigma=0.01, rng=6)
+        b = PipelineADC(8, gain_error_sigma=0.01, rng=6)
+        assert np.array_equal(a.stage_gains, b.stage_gains)
+
+    def test_codes_cover_range_on_ramp(self):
+        adc = PipelineADC(6)
+        ramp = RampStimulus.for_adc(adc, samples_per_code=8)
+        record = adc.sample(ramp, n_samples=ramp.n_samples_for_adc(adc))
+        assert record.codes.min() == 0
+        assert record.codes.max() == adc.n_codes - 1

@@ -1,0 +1,169 @@
+"""Unit tests for gross-defect (spot-defect) injection."""
+
+import numpy as np
+import pytest
+
+from repro.adc import (
+    FlashADC,
+    IdealADC,
+    StuckBitADC,
+    TransferFunction,
+    inject_gain_error,
+    inject_missing_code,
+    inject_non_monotonic,
+    inject_offset_shift,
+    inject_open_resistor,
+    inject_shorted_resistor,
+    inject_wide_code,
+    make_faulty_batch,
+)
+
+
+@pytest.fixture
+def base():
+    return IdealADC(6)
+
+
+class TestMissingCode:
+    def test_creates_zero_width_code(self, base):
+        faulty = inject_missing_code(base, code=20)
+        assert faulty.transfer_function().code_widths_lsb[19] == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_original_untouched(self, base):
+        inject_missing_code(base, code=20)
+        assert base.max_dnl() == pytest.approx(0.0, abs=1e-12)
+
+    def test_detected_as_missing(self, base):
+        faulty = inject_missing_code(base, code=5)
+        assert faulty.transfer_function().has_missing_codes()
+
+    def test_violates_any_reasonable_dnl_spec(self, base):
+        faulty = inject_missing_code(base, code=5)
+        assert faulty.max_dnl() > 0.9
+
+    def test_invalid_code_rejected(self, base):
+        with pytest.raises(ValueError):
+            inject_missing_code(base, code=0)
+        with pytest.raises(ValueError):
+            inject_missing_code(base, code=63)
+
+    def test_fault_descriptor_attached(self, base):
+        faulty = inject_missing_code(base, code=12)
+        assert faulty.fault.kind == "missing_code"
+        assert faulty.fault.location == 12
+
+
+class TestWideCode:
+    def test_width_increases_by_requested_amount(self, base):
+        faulty = inject_wide_code(base, code=10, extra_lsb=2.0)
+        assert faulty.transfer_function().code_widths_lsb[9] == pytest.approx(
+            3.0, abs=1e-9)
+
+    def test_other_widths_preserved(self, base):
+        faulty = inject_wide_code(base, code=10, extra_lsb=2.0)
+        widths = faulty.transfer_function().code_widths_lsb
+        untouched = np.delete(widths, 9)
+        assert np.allclose(untouched, 1.0)
+
+    def test_accepts_transfer_function_input(self):
+        tf = TransferFunction.ideal(6)
+        faulty = inject_wide_code(tf, code=3, extra_lsb=1.0)
+        assert faulty.n_bits == 6
+
+
+class TestResistorFaults:
+    def test_short_removes_code(self, base):
+        faulty = inject_shorted_resistor(base, code=30)
+        assert faulty.transfer_function().code_widths_lsb[29] == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_short_preserves_total_span(self, base):
+        before = base.transfer_function()
+        faulty = inject_shorted_resistor(base, code=30).transfer_function()
+        assert faulty.code_widths.sum() == pytest.approx(
+            before.code_widths.sum(), rel=1e-9)
+
+    def test_open_creates_huge_code(self, base):
+        faulty = inject_open_resistor(base, code=15, severity_lsb=8.0)
+        assert faulty.transfer_function().code_widths_lsb.max() > 4.0
+
+    def test_open_preserves_total_span(self, base):
+        before = base.transfer_function()
+        faulty = inject_open_resistor(base, code=15).transfer_function()
+        assert faulty.code_widths.sum() == pytest.approx(
+            before.code_widths.sum(), rel=1e-9)
+
+
+class TestOffsetGainNonMonotonic:
+    def test_offset_shift(self, base):
+        faulty = inject_offset_shift(base, shift_lsb=3.0)
+        assert faulty.transfer_function().offset_error_lsb() == pytest.approx(
+            3.0, abs=1e-9)
+
+    def test_gain_error(self, base):
+        faulty = inject_gain_error(base, gain=1.1)
+        assert faulty.transfer_function().gain_error_lsb() > 0
+
+    def test_non_monotonic(self, base):
+        faulty = inject_non_monotonic(base, code=20)
+        assert not faulty.transfer_function().is_monotonic()
+
+
+class TestStuckBit:
+    def test_stuck_low_clears_bit(self, base):
+        faulty = StuckBitADC(base, bit=0, stuck_value=0)
+        v = np.linspace(0, 1, 500)
+        codes = faulty.convert(v)
+        assert np.all((codes & 1) == 0)
+
+    def test_stuck_high_sets_bit(self, base):
+        faulty = StuckBitADC(base, bit=3, stuck_value=1)
+        v = np.linspace(0, 1, 500)
+        codes = faulty.convert(v)
+        assert np.all((codes >> 3) & 1 == 1)
+
+    def test_analog_transfer_unaffected(self, base):
+        faulty = StuckBitADC(base, bit=0, stuck_value=0)
+        assert faulty.max_dnl() == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_parameters(self, base):
+        with pytest.raises(ValueError):
+            StuckBitADC(base, bit=6, stuck_value=0)
+        with pytest.raises(ValueError):
+            StuckBitADC(base, bit=0, stuck_value=2)
+
+
+class TestFaultyBatch:
+    def test_batch_size(self, base):
+        batch = make_faulty_batch(base, rng=1, count=25)
+        assert len(batch) == 25
+
+    def test_every_device_violates_spec(self, base):
+        batch = make_faulty_batch(base, rng=2, count=30)
+        for device in batch:
+            tf = device.transfer_function()
+            violates = (tf.max_dnl() > 0.99 or tf.max_inl() > 0.99
+                        or abs(tf.offset_error_lsb()) > 0.99
+                        or abs(tf.gain_error_lsb()) > 0.99
+                        or not tf.is_monotonic())
+            assert violates, f"{device.fault} did not violate any spec"
+
+    def test_restricted_kinds(self, base):
+        batch = make_faulty_batch(base, rng=3, count=10,
+                                  kinds=["missing_code"])
+        assert all(d.fault.kind == "missing_code" for d in batch)
+
+    def test_unknown_kind_rejected(self, base):
+        with pytest.raises(ValueError):
+            make_faulty_batch(base, kinds=["bogus"])
+
+    def test_reproducible(self, base):
+        a = make_faulty_batch(base, rng=7, count=5)
+        b = make_faulty_batch(base, rng=7, count=5)
+        assert [d.fault.kind for d in a] == [d.fault.kind for d in b]
+
+    def test_works_on_flash_device(self):
+        flash = FlashADC.from_sigma(6, 0.1, seed=0)
+        batch = make_faulty_batch(flash, rng=4, count=5)
+        assert len(batch) == 5

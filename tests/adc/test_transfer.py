@@ -1,0 +1,207 @@
+"""Unit tests for the static transfer-function representation."""
+
+import numpy as np
+import pytest
+
+from repro.adc.transfer import (
+    TransferFunction,
+    code_widths_from_transitions,
+    ideal_transitions,
+    transitions_from_code_widths,
+)
+
+
+class TestIdealTransitions:
+    def test_count(self):
+        assert ideal_transitions(6).size == 63
+
+    def test_spacing_is_one_lsb(self):
+        t = ideal_transitions(4, full_scale=1.0)
+        assert np.allclose(np.diff(t), 1.0 / 16)
+
+    def test_first_transition_at_one_lsb(self):
+        t = ideal_transitions(3, full_scale=8.0)
+        assert t[0] == pytest.approx(1.0)
+
+    def test_offset_shifts_all(self):
+        t0 = ideal_transitions(4)
+        t1 = ideal_transitions(4, offset=0.25)
+        assert np.allclose(t1 - t0, 0.25)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            ideal_transitions(0)
+
+    def test_rejects_negative_full_scale(self):
+        with pytest.raises(ValueError):
+            ideal_transitions(4, full_scale=-1.0)
+
+
+class TestWidthTransitionRoundTrip:
+    def test_widths_from_transitions(self):
+        t = np.array([0.1, 0.3, 0.6, 1.0])
+        assert np.allclose(code_widths_from_transitions(t), [0.2, 0.3, 0.4])
+
+    def test_round_trip(self):
+        widths = np.array([0.2, 0.3, 0.4])
+        t = transitions_from_code_widths(widths, first_transition=0.1)
+        assert np.allclose(code_widths_from_transitions(t), widths)
+        assert t[0] == pytest.approx(0.1)
+
+    def test_rejects_too_few_transitions(self):
+        with pytest.raises(ValueError):
+            code_widths_from_transitions(np.array([0.5]))
+
+
+class TestTransferFunctionConstruction:
+    def test_ideal_has_zero_dnl_inl(self):
+        tf = TransferFunction.ideal(6)
+        assert tf.max_dnl() == pytest.approx(0.0, abs=1e-12)
+        assert tf.max_inl() == pytest.approx(0.0, abs=1e-12)
+
+    def test_ideal_has_zero_offset_and_gain_error(self):
+        tf = TransferFunction.ideal(6)
+        assert tf.offset_error_lsb() == pytest.approx(0.0, abs=1e-9)
+        assert tf.gain_error_lsb() == pytest.approx(0.0, abs=1e-9)
+
+    def test_wrong_transition_count_rejected(self):
+        with pytest.raises(ValueError):
+            TransferFunction(n_bits=4, transitions=np.arange(10))
+
+    def test_from_code_widths_round_trip(self):
+        widths_lsb = np.array([1.1, 0.9, 1.0, 1.2, 0.8, 1.0])
+        tf = TransferFunction.from_code_widths(3, widths_lsb / 8.0,
+                                               full_scale=1.0)
+        assert np.allclose(tf.code_widths_lsb, widths_lsb)
+
+    def test_from_code_widths_wrong_count(self):
+        with pytest.raises(ValueError):
+            TransferFunction.from_code_widths(3, np.ones(5) / 8.0)
+
+    def test_from_dnl_round_trip(self):
+        dnl = np.array([0.1, -0.1, 0.0, 0.2, -0.2, 0.0])
+        tf = TransferFunction.from_dnl(3, dnl)
+        assert np.allclose(tf.dnl(endpoint=False), dnl)
+
+    def test_lsb_and_code_count(self):
+        tf = TransferFunction.ideal(5, full_scale=2.0)
+        assert tf.n_codes == 32
+        assert tf.lsb == pytest.approx(2.0 / 32)
+
+
+class TestConversion:
+    def test_ideal_staircase(self):
+        tf = TransferFunction.ideal(4, full_scale=1.0)
+        lsb = 1.0 / 16
+        voltages = np.array([0.0, 0.5 * lsb, 1.5 * lsb, 15.5 * lsb, 2.0])
+        codes = tf.convert(voltages)
+        assert list(codes) == [0, 0, 1, 15, 15]
+
+    def test_mid_code_voltage_maps_to_that_code(self):
+        tf = TransferFunction.ideal(6)
+        for code in (1, 17, 40, 62):
+            v = (code + 0.5) * tf.lsb
+            assert tf.convert(np.array([v]))[0] == code
+
+    def test_below_range_gives_code_zero(self):
+        tf = TransferFunction.ideal(6)
+        assert tf.convert(np.array([-1.0]))[0] == 0
+
+    def test_above_range_gives_top_code(self):
+        tf = TransferFunction.ideal(6)
+        assert tf.convert(np.array([2.0]))[0] == 63
+
+    def test_callable_matches_convert(self):
+        tf = TransferFunction.ideal(4)
+        v = np.linspace(-0.1, 1.1, 50)
+        assert np.array_equal(tf(v), tf.convert(v))
+
+    def test_non_monotonic_curve_uses_thermometer_count(self):
+        tf = TransferFunction.ideal(3)
+        transitions = tf.transitions.copy()
+        # Swap two transitions to create a non-monotonic curve.
+        transitions[2], transitions[3] = transitions[3], transitions[2]
+        faulty = tf.with_transitions(transitions)
+        assert not faulty.is_monotonic()
+        codes = faulty.convert(np.linspace(0, 1, 100))
+        # Codes stay within range and reach the top.
+        assert codes.min() >= 0
+        assert codes.max() == 7
+
+
+class TestFiguresOfMerit:
+    def test_dnl_endpoint_removes_gain_error(self):
+        tf = TransferFunction.ideal(6).scaled(1.05)
+        # With the end-point convention a pure gain error gives zero DNL.
+        assert tf.max_dnl(endpoint=True) == pytest.approx(0.0, abs=1e-9)
+        assert tf.max_dnl(endpoint=False) == pytest.approx(0.05, abs=1e-9)
+
+    def test_single_wide_code_dnl(self):
+        widths = np.ones(62)
+        widths[30] = 1.5
+        tf = TransferFunction.from_code_widths(6, widths / 64)
+        dnl = tf.dnl(endpoint=False)
+        assert dnl[30] == pytest.approx(0.5, abs=1e-9)
+
+    def test_inl_is_cumulative_dnl(self):
+        widths = np.ones(14)
+        widths[3] = 1.2
+        widths[7] = 0.8
+        tf = TransferFunction.from_code_widths(4, widths / 16)
+        assert np.allclose(tf.inl(), np.cumsum(tf.dnl()))
+
+    def test_offset_error(self):
+        tf = TransferFunction.ideal(6).shifted(2.0 / 64)
+        assert tf.offset_error_lsb() == pytest.approx(2.0, abs=1e-9)
+
+    def test_gain_error(self):
+        tf = TransferFunction.ideal(6).scaled(1.1)
+        expected = 62 * 0.1
+        assert tf.gain_error_lsb() == pytest.approx(expected, rel=1e-9)
+
+    def test_missing_code_detection(self):
+        widths = np.ones(62)
+        widths[10] = 0.0
+        tf = TransferFunction.from_code_widths(6, widths / 64)
+        assert tf.has_missing_codes()
+        assert list(tf.missing_codes()) == [11]
+
+    def test_no_missing_codes_on_ideal(self):
+        assert not TransferFunction.ideal(6).has_missing_codes()
+
+    def test_meets_spec(self):
+        dnl = np.zeros(62)
+        dnl[10] = 0.3
+        dnl[40] = -0.3
+        tf = TransferFunction.from_dnl(6, dnl)
+        assert tf.meets_spec(dnl_spec_lsb=0.5, inl_spec_lsb=100.0)
+        assert not tf.meets_spec(dnl_spec_lsb=0.2, inl_spec_lsb=100.0)
+
+
+class TestManipulation:
+    def test_shift_then_widths_unchanged(self):
+        tf = TransferFunction.ideal(5)
+        shifted = tf.shifted(0.01)
+        assert np.allclose(shifted.code_widths, tf.code_widths)
+
+    def test_scale_requires_positive_gain(self):
+        with pytest.raises(ValueError):
+            TransferFunction.ideal(4).scaled(0.0)
+
+    def test_copy_is_independent(self):
+        tf = TransferFunction.ideal(4)
+        clone = tf.copy()
+        clone.transitions[0] += 1.0
+        assert tf.transitions[0] != clone.transitions[0]
+
+    def test_equality(self):
+        assert TransferFunction.ideal(4) == TransferFunction.ideal(4)
+        assert TransferFunction.ideal(4) != TransferFunction.ideal(5)
+
+    def test_transition_accessor_bounds(self):
+        tf = TransferFunction.ideal(4)
+        assert tf.transition(1) == pytest.approx(tf.transitions[0])
+        with pytest.raises(ValueError):
+            tf.transition(0)
+        with pytest.raises(ValueError):
+            tf.transition(16)

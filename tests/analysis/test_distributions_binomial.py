@@ -1,0 +1,165 @@
+"""Unit tests for code-width distributions and the binomial device model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BinomialDeviceModel,
+    CodeWidthDistribution,
+    ErrorModel,
+)
+from repro.analysis.distributions import EmpiricalCodeWidthDistribution
+
+
+class TestCodeWidthDistribution:
+    def test_paper_worst_case(self):
+        dist = CodeWidthDistribution.paper_worst_case()
+        assert dist.sigma_lsb == pytest.approx(0.21)
+        assert dist.mean_lsb == pytest.approx(1.0)
+
+    def test_pdf_integrates_to_one(self):
+        dist = CodeWidthDistribution(0.21)
+        x = np.linspace(-1, 3, 20001)
+        assert np.trapezoid(dist.pdf(x), x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_monotone(self):
+        dist = CodeWidthDistribution(0.21)
+        x = np.linspace(0, 2, 100)
+        assert np.all(np.diff(dist.cdf(x)) >= 0)
+
+    def test_spec_window(self):
+        dist = CodeWidthDistribution(0.21)
+        assert dist.spec_window_lsb(0.5) == (0.5, 1.5)
+        assert dist.spec_window_lsb(1.0) == (0.0, 2.0)
+        # The lower edge never goes negative.
+        assert dist.spec_window_lsb(1.5) == (0.0, 2.5)
+
+    def test_prob_code_good_symmetry(self):
+        dist = CodeWidthDistribution(0.21)
+        p = dist.prob_code_good(0.5)
+        # ±0.5 LSB at sigma 0.21 is about ±2.38 sigma.
+        assert p == pytest.approx(0.9826, abs=0.002)
+        assert dist.prob_code_faulty(0.5) == pytest.approx(1 - p)
+
+    def test_prob_device_good_at_stringent_spec(self):
+        dist = CodeWidthDistribution(0.21)
+        # The paper reports roughly 30 % good devices at ±0.5 LSB.
+        assert 0.25 < dist.prob_device_good(0.5, 62) < 0.45
+
+    def test_prob_device_faulty_at_actual_spec(self):
+        dist = CodeWidthDistribution(0.21)
+        # The paper quotes a faulty probability of order 1e-4 at ±1 LSB.
+        assert 1e-5 < dist.prob_device_faulty(1.0, 62) < 1e-3
+
+    def test_sampling_statistics(self):
+        dist = CodeWidthDistribution(0.21)
+        samples = dist.sample(200000, rng=0)
+        assert samples.mean() == pytest.approx(1.0, abs=0.005)
+        assert samples.std() == pytest.approx(0.21, abs=0.005)
+
+    def test_fit_from_samples(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(1.02, 0.18, size=50000)
+        dist = CodeWidthDistribution.from_samples(samples)
+        assert dist.mean_lsb == pytest.approx(1.02, abs=0.01)
+        assert dist.sigma_lsb == pytest.approx(0.18, abs=0.01)
+
+    def test_ladder_correlation(self):
+        dist = CodeWidthDistribution(0.21)
+        assert dist.ladder_correlation(64) == pytest.approx(-1.0 / 63)
+        with pytest.raises(ValueError):
+            dist.ladder_correlation(1)
+
+    def test_zero_sigma_pdf_raises(self):
+        with pytest.raises(ValueError):
+            CodeWidthDistribution(0.0).pdf(1.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            CodeWidthDistribution(-0.1)
+
+
+class TestEmpiricalDistribution:
+    def test_matches_gaussian_source(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(1.0, 0.21, size=100000)
+        emp = EmpiricalCodeWidthDistribution(samples)
+        gauss = CodeWidthDistribution(0.21)
+        assert emp.prob_code_good(0.5) == pytest.approx(
+            gauss.prob_code_good(0.5), abs=0.01)
+
+    def test_cdf_bounds(self):
+        emp = EmpiricalCodeWidthDistribution(np.array([0.8, 1.0, 1.2]))
+        assert emp.cdf(0.0) == 0.0
+        assert emp.cdf(2.0) == 1.0
+
+    def test_to_gaussian(self):
+        rng = np.random.default_rng(3)
+        emp = EmpiricalCodeWidthDistribution(rng.normal(1.0, 0.2, 20000))
+        gauss = emp.to_gaussian()
+        assert gauss.sigma_lsb == pytest.approx(0.2, abs=0.01)
+
+    def test_bootstrap_sampling(self):
+        emp = EmpiricalCodeWidthDistribution(np.array([0.9, 1.0, 1.1]))
+        draws = emp.sample(1000, rng=4)
+        assert set(np.unique(draws)).issubset({0.9, 1.0, 1.1})
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            EmpiricalCodeWidthDistribution(np.array([1.0]))
+
+
+class TestBinomialDeviceModel:
+    @pytest.fixture
+    def per_code(self):
+        return ErrorModel(dnl_spec_lsb=0.5, counter_bits=5).per_code()
+
+    def test_device_probabilities_consistent(self, per_code):
+        device = BinomialDeviceModel(per_code, 62).device()
+        assert device.p_good == pytest.approx(per_code.p_good ** 62)
+        assert device.p_accept == pytest.approx(per_code.p_accept ** 62)
+        assert device.type_i >= 0
+        assert device.type_ii >= 0
+        assert device.p_good_and_accept <= min(device.p_good, device.p_accept)
+
+    def test_conditional_and_ppm_views(self, per_code):
+        device = BinomialDeviceModel(per_code, 62).device()
+        assert device.p_faulty == pytest.approx(1 - device.p_good)
+        assert device.type_ii_ppm == pytest.approx(device.type_ii * 1e6)
+        assert 0.0 <= device.p_reject_given_good <= 1.0
+        assert 0.0 <= device.p_accept_given_faulty <= 1.0
+        assert device.yield_loss == pytest.approx(device.type_i)
+
+    def test_more_codes_means_more_device_errors(self, per_code):
+        small = BinomialDeviceModel(per_code, 14).device()
+        large = BinomialDeviceModel(per_code, 62).device()
+        assert large.type_i > small.type_i
+
+    def test_count_distributions(self, per_code):
+        model = BinomialDeviceModel(per_code, 62)
+        bad = model.bad_code_count_distribution()
+        rejected = model.rejected_code_count_distribution()
+        assert bad.pmf(0) == pytest.approx(per_code.p_good ** 62)
+        assert rejected.pmf(0) == pytest.approx(per_code.p_accept ** 62)
+        assert model.prob_at_least_one_bad_code() == pytest.approx(
+            1 - per_code.p_good ** 62)
+        assert model.prob_at_least_one_rejected_code() == pytest.approx(
+            1 - per_code.p_accept ** 62)
+
+    def test_union_bounds_dominate_exact(self, per_code):
+        model = BinomialDeviceModel(per_code, 62)
+        device = model.device()
+        assert model.type_i_union_bound() >= device.type_i - 1e-12
+        assert model.type_ii_union_bound() >= device.type_ii - 1e-12
+
+    def test_correlation_ablation_close_to_independent(self, per_code):
+        model = BinomialDeviceModel(per_code, 62)
+        independent = model.device().p_good
+        correlated = model.device_good_with_correlation(n_mc=40000, seed=1)
+        # The ladder correlation is tiny at 6 bits, so Equation (9) is a
+        # good approximation (the paper's argument).
+        assert correlated == pytest.approx(independent, abs=0.02)
+
+    def test_invalid_code_count(self, per_code):
+        with pytest.raises(ValueError):
+            BinomialDeviceModel(per_code, 0)

@@ -1,0 +1,115 @@
+"""Unit tests for the FFT-based dynamic tests (THD, SNR, SINAD, ENOB, SFDR)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import IdealADC, SarADC
+from repro.analysis import DynamicAnalyzer
+from repro.signals import SineStimulus, snr_ideal_db
+
+
+class TestSpectrumBasics:
+    def test_pure_sine_codes(self):
+        """A synthetic, already-quantised sine should give a clean spectrum."""
+        n = 4096
+        cycles = 101
+        t = np.arange(n)
+        signal = 32 + 30 * np.sin(2 * np.pi * cycles * t / n)
+        codes = np.round(signal).astype(int)
+        analyzer = DynamicAnalyzer(n_samples=n, window="rect")
+        result = analyzer.spectrum(codes, sample_rate=1e6)
+        assert result.fundamental_bin == cycles
+        assert result.snr_db > 30.0
+        assert result.enob > 4.5
+
+    def test_needs_enough_samples(self):
+        analyzer = DynamicAnalyzer(n_samples=1024)
+        with pytest.raises(ValueError):
+            analyzer.spectrum(np.zeros(100), 1e6)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            DynamicAnalyzer(n_samples=8)
+        with pytest.raises(ValueError):
+            DynamicAnalyzer(window="bogus")
+        with pytest.raises(ValueError):
+            DynamicAnalyzer(n_harmonics=0)
+
+
+class TestIdealConverterMeasurement:
+    def test_enob_close_to_resolution(self):
+        adc = IdealADC(8, sample_rate=1e6)
+        analyzer = DynamicAnalyzer(n_samples=4096, window="rect")
+        result = analyzer.measure(adc, seed=0)
+        # A near-full-scale coherent sine through an ideal quantiser:
+        # ENOB within about half a bit of the nominal resolution.
+        assert result.enob == pytest.approx(8.0, abs=0.7)
+
+    def test_sinad_close_to_ideal_snr(self):
+        adc = IdealADC(8, sample_rate=1e6)
+        analyzer = DynamicAnalyzer(n_samples=4096, window="rect")
+        result = analyzer.measure(adc, seed=0)
+        assert result.sinad_db == pytest.approx(snr_ideal_db(8), abs=4.0)
+
+    def test_hann_window_also_works(self):
+        adc = IdealADC(8, sample_rate=1e6)
+        analyzer = DynamicAnalyzer(n_samples=4096, window="hann")
+        result = analyzer.measure(adc, seed=0)
+        assert result.enob > 7.0
+
+    def test_more_bits_better_enob(self):
+        analyzer = DynamicAnalyzer(n_samples=4096, window="rect")
+        low = analyzer.measure(IdealADC(6, sample_rate=1e6), seed=0)
+        high = analyzer.measure(IdealADC(10, sample_rate=1e6), seed=0)
+        assert high.enob > low.enob + 2.0
+
+
+class TestDistortionDetection:
+    def test_distorted_stimulus_degrades_thd(self):
+        adc = IdealADC(10, sample_rate=1e6)
+        analyzer = DynamicAnalyzer(n_samples=4096, window="rect")
+        n = analyzer.n_samples
+
+        clean_stim = SineStimulus.for_adc(adc, 20e3, n)
+        dirty_stim = SineStimulus.for_adc(adc, 20e3, n)
+        dirty_stim.harmonics[3] = 0.01  # 1 % third harmonic
+
+        clean_rec = adc.sample(clean_stim, n_samples=n)
+        dirty_rec = adc.sample(dirty_stim, n_samples=n)
+        clean = analyzer.spectrum(clean_rec.codes, adc.sample_rate,
+                                  fundamental=clean_stim.frequency)
+        dirty = analyzer.spectrum(dirty_rec.codes, adc.sample_rate,
+                                  fundamental=dirty_stim.frequency)
+        # 1 % HD3 corresponds to THD of about -40 dB.
+        assert dirty.thd_db > clean.thd_db + 10.0
+        assert dirty.thd_db == pytest.approx(-40.0, abs=3.0)
+
+    def test_nonlinear_converter_degrades_thd(self):
+        analyzer = DynamicAnalyzer(n_samples=4096, window="rect")
+        ideal = IdealADC(8, sample_rate=1e6)
+        nonlinear = SarADC(8, unit_cap_sigma_rel=0.08, rng=5,
+                           sample_rate=1e6)
+        good = analyzer.measure(ideal, seed=1)
+        bad = analyzer.measure(nonlinear, seed=1)
+        assert bad.sinad_db < good.sinad_db
+
+    def test_noise_degrades_snr(self):
+        adc = IdealADC(10, sample_rate=1e6)
+        analyzer = DynamicAnalyzer(n_samples=4096, window="rect")
+        quiet = analyzer.measure(adc, transition_noise_lsb=0.0, seed=2)
+        noisy = analyzer.measure(adc, transition_noise_lsb=2.0, seed=2)
+        assert noisy.snr_db < quiet.snr_db - 6.0
+
+    def test_sfdr_at_least_as_large_as_worst_harmonic(self):
+        adc = IdealADC(8, sample_rate=1e6)
+        analyzer = DynamicAnalyzer(n_samples=4096, window="rect")
+        result = analyzer.measure(adc, seed=3)
+        assert result.sfdr_db > 0.0
+
+    def test_power_conservation(self):
+        adc = IdealADC(8, sample_rate=1e6)
+        analyzer = DynamicAnalyzer(n_samples=4096, window="rect")
+        result = analyzer.measure(adc, seed=4)
+        assert result.signal_power > 0
+        assert result.noise_power >= 0
+        assert result.distortion_power >= 0

@@ -1,0 +1,236 @@
+"""Unit tests for the analytic measurement-error model (paper section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CodeWidthDistribution,
+    ErrorModel,
+    acceptance_probability,
+    count_limits,
+    counter_bits_needed,
+    delta_s_for_counter,
+    max_measurement_error_lsb,
+)
+
+
+class TestAcceptanceProbability:
+    def test_trapezoid_shape(self):
+        ds, i_min, i_max = 0.1, 5, 15
+        # Zero well below the window.
+        assert acceptance_probability(0.3, ds, i_min, i_max) == 0.0
+        # One inside the flat region.
+        assert acceptance_probability(1.0, ds, i_min, i_max) == 1.0
+        # Zero well above the window.
+        assert acceptance_probability(1.8, ds, i_min, i_max) == 0.0
+
+    def test_rising_ramp_is_linear(self):
+        ds, i_min, i_max = 0.1, 5, 15
+        # Halfway between (i_min-1)*ds = 0.4 and i_min*ds = 0.5.
+        assert acceptance_probability(0.45, ds, i_min, i_max) == pytest.approx(0.5)
+        assert acceptance_probability(0.425, ds, i_min, i_max) == pytest.approx(0.25)
+
+    def test_falling_ramp_is_linear(self):
+        ds, i_min, i_max = 0.1, 5, 15
+        # Halfway between i_max*ds = 1.5 and (i_max+1)*ds = 1.6.
+        assert acceptance_probability(1.55, ds, i_min, i_max) == pytest.approx(0.5)
+
+    def test_corners(self):
+        ds, i_min, i_max = 0.1, 5, 15
+        assert acceptance_probability((i_min - 1) * ds, ds, i_min, i_max) == 0.0
+        assert acceptance_probability(i_min * ds, ds, i_min, i_max) == pytest.approx(1.0)
+        assert acceptance_probability(i_max * ds, ds, i_min, i_max) == pytest.approx(1.0)
+        assert acceptance_probability((i_max + 1) * ds, ds, i_min, i_max) == 0.0
+
+    def test_vectorised(self):
+        widths = np.linspace(0, 2, 101)
+        h = acceptance_probability(widths, 0.1, 5, 15)
+        assert h.shape == widths.shape
+        assert np.all((h >= 0) & (h <= 1))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            acceptance_probability(1.0, 0.0, 5, 15)
+        with pytest.raises(ValueError):
+            acceptance_probability(1.0, 0.1, 10, 5)
+
+
+class TestCountLimits:
+    def test_equations_three_and_four(self):
+        # dv_min = 0.5, dv_max = 1.5, ds = 0.091 -> i_min=6, i_max=16.
+        i_min, i_max = count_limits(0.091, 0.5)
+        assert i_min == 6
+        assert i_max == 16
+
+    def test_exact_division(self):
+        i_min, i_max = count_limits(0.1, 0.5)
+        assert i_min == 5   # ceil(0.5 / 0.1)
+        assert i_max == 15  # floor(1.5 / 0.1)
+
+    def test_counter_max_clips_upper_limit(self):
+        _, i_max = count_limits(0.05, 1.0, counter_max=16)
+        assert i_max == 16
+
+    def test_too_coarse_step_rejected(self):
+        # ds so large that no count satisfies both limits.
+        with pytest.raises(ValueError):
+            count_limits(1.4, 0.2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            count_limits(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            count_limits(0.1, -0.5)
+        with pytest.raises(ValueError):
+            count_limits(0.1, 0.5, counter_max=0)
+
+
+class TestDeltaSForCounter:
+    def test_paper_value_for_4bit_stringent(self):
+        # The paper quotes ds = 0.091 LSB for a 4-bit counter at ±0.5 LSB.
+        assert delta_s_for_counter(4, 0.5) == pytest.approx(0.091, abs=0.001)
+
+    def test_actual_spec_gives_powers_of_two(self):
+        # Table 2's max-error column: roughly 1/8 ... 1/64 LSB.
+        for bits, expected in [(4, 1 / 8), (5, 1 / 16), (6, 1 / 32),
+                               (7, 1 / 64)]:
+            ds = delta_s_for_counter(bits, 1.0)
+            assert ds == pytest.approx(expected, rel=0.05)
+
+    def test_halves_per_extra_bit(self):
+        ratios = [delta_s_for_counter(b, 0.5) / delta_s_for_counter(b + 1, 0.5)
+                  for b in range(4, 8)]
+        assert all(1.9 < r < 2.1 for r in ratios)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            delta_s_for_counter(0, 0.5)
+        with pytest.raises(ValueError):
+            delta_s_for_counter(4, -0.5)
+
+
+class TestCounterBitsNeeded:
+    def test_matches_delta_s_for_counter(self):
+        for bits in (4, 5, 6, 7):
+            ds = delta_s_for_counter(bits, 0.5)
+            assert counter_bits_needed(ds, 0.5) == bits
+
+    def test_max_error(self):
+        assert max_measurement_error_lsb(0.1) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            max_measurement_error_lsb(0.0)
+
+
+class TestErrorModelPerCode:
+    def test_requires_step_or_counter(self):
+        with pytest.raises(ValueError):
+            ErrorModel(dnl_spec_lsb=0.5)
+
+    def test_probabilities_are_consistent(self):
+        model = ErrorModel(dnl_spec_lsb=0.5, counter_bits=4)
+        pc = model.per_code()
+        assert 0.0 <= pc.p_good <= 1.0
+        assert 0.0 <= pc.p_accept <= 1.0
+        assert pc.p_good_and_accept <= min(pc.p_good, pc.p_accept) + 1e-12
+        assert pc.type_i == pytest.approx(pc.p_good - pc.p_good_and_accept)
+        assert pc.type_ii == pytest.approx(pc.p_accept - pc.p_good_and_accept)
+
+    def test_analytic_matches_numeric(self):
+        for bits in (4, 5, 6, 7):
+            model = ErrorModel(dnl_spec_lsb=0.5, counter_bits=bits)
+            analytic = model.per_code()
+            numeric = model.per_code_numeric()
+            assert analytic.p_good == pytest.approx(numeric.p_good, abs=1e-4)
+            assert analytic.type_i == pytest.approx(numeric.type_i, abs=1e-4)
+            assert analytic.type_ii == pytest.approx(numeric.type_ii, abs=1e-4)
+
+    def test_zero_sigma_distribution(self):
+        dist = CodeWidthDistribution(sigma_lsb=0.0)
+        model = ErrorModel(distribution=dist, dnl_spec_lsb=0.5,
+                           counter_bits=6)
+        pc = model.per_code()
+        # A perfect 1-LSB code is always good and always accepted.
+        assert pc.p_good == pytest.approx(1.0)
+        assert pc.p_accept == pytest.approx(1.0)
+        assert pc.type_i == pytest.approx(0.0)
+        assert pc.type_ii == pytest.approx(0.0)
+
+    def test_conditional_probabilities(self):
+        model = ErrorModel(dnl_spec_lsb=0.5, counter_bits=4)
+        pc = model.per_code()
+        assert 0.0 <= pc.p_accept_given_good <= 1.0
+        assert pc.p_reject_given_good == pytest.approx(
+            1.0 - pc.p_accept_given_good)
+        assert 0.0 <= pc.p_accept_given_faulty <= 1.0
+
+    def test_finer_step_reduces_errors(self):
+        coarse = ErrorModel(dnl_spec_lsb=0.5, counter_bits=4).per_code()
+        fine = ErrorModel(dnl_spec_lsb=0.5, counter_bits=7).per_code()
+        assert fine.type_i < coarse.type_i
+        assert fine.type_ii < coarse.type_ii
+
+    def test_acceptance_window_geometry(self):
+        model = ErrorModel(dnl_spec_lsb=0.5, counter_bits=4)
+        zero_low, one_low, one_high, zero_high = model.accept_window_lsb
+        assert zero_low < one_low <= one_high < zero_high
+        assert one_low == pytest.approx(model.i_min * model.delta_s_lsb)
+
+    def test_max_error_equals_step(self):
+        model = ErrorModel(dnl_spec_lsb=1.0, counter_bits=5)
+        assert model.max_error_lsb() == pytest.approx(model.delta_s_lsb)
+
+
+class TestErrorModelDevice:
+    def test_paper_table1_shape(self):
+        """Device-level probabilities at the stringent spec (Table 1 SIM)."""
+        results = {}
+        for bits in (4, 5, 6, 7):
+            model = ErrorModel(dnl_spec_lsb=0.5, counter_bits=bits)
+            results[bits] = model.device(62)
+        # The paper reports roughly 30 % good devices at ±0.5 LSB.
+        assert 0.25 < results[4].p_good < 0.45
+        # Type I at the 4-bit counter is several percent (paper: 0.065).
+        assert 0.03 < results[4].type_i < 0.10
+        # Type I decreases monotonically with counter size.
+        assert (results[4].type_i > results[5].type_i
+                > results[6].type_i > results[7].type_i)
+        # Type II also shrinks from 4 to 7 bits.
+        assert results[7].type_ii < results[4].type_ii
+
+    def test_paper_table2_shape(self):
+        """Device-level probabilities at the actual spec (Table 2)."""
+        results = {bits: ErrorModel(dnl_spec_lsb=1.0,
+                                    counter_bits=bits).device(62)
+                   for bits in (4, 5, 6, 7)}
+        # The population is almost entirely good at ±1 LSB (paper: faulty
+        # probability about 1.4e-4).
+        assert results[4].p_faulty < 5e-4
+        # Type II stays within the paper's quality target even at 4 bits
+        # (10 – 100 ppm).
+        assert results[4].type_ii_ppm < 100.0
+        # Both error types decrease with the counter size.
+        assert results[7].type_i < results[4].type_i
+        assert results[7].type_ii < results[4].type_ii
+
+    def test_type_i_roughly_halves_per_counter_bit(self):
+        """The paper's headline scaling claim at the stringent spec."""
+        type_i = [ErrorModel(dnl_spec_lsb=0.5, counter_bits=b).device(62).type_i
+                  for b in range(4, 9)]
+        ratios = [type_i[i] / type_i[i + 1] for i in range(len(type_i) - 1)]
+        geometric_mean = np.prod(ratios) ** (1.0 / len(ratios))
+        assert 1.5 < geometric_mean < 3.0
+
+    def test_sweep_delta_s_shapes(self):
+        ds_values = np.linspace(0.07, 0.12, 30)
+        sweep = ErrorModel.sweep_delta_s(ds_values, n_codes=62,
+                                         dnl_spec_lsb=0.5)
+        assert sweep["delta_s_lsb"].size > 0
+        assert sweep["type_i"].shape == sweep["delta_s_lsb"].shape
+        assert np.all(sweep["type_i"] >= 0)
+        assert np.all(sweep["type_ii"] >= 0)
+
+    def test_sweep_skips_impossible_steps(self):
+        ds_values = np.array([0.05, 2.0])
+        sweep = ErrorModel.sweep_delta_s(ds_values, n_codes=62,
+                                         dnl_spec_lsb=0.5)
+        assert sweep["delta_s_lsb"].size == 1

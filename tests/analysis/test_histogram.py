@@ -1,0 +1,83 @@
+"""Unit tests for the conventional ramp histogram test."""
+
+import numpy as np
+import pytest
+
+from repro.adc import FlashADC, IdealADC, inject_wide_code
+from repro.analysis import HistogramTest
+
+
+class TestHistogramTest:
+    def test_ideal_converter_passes(self, ideal_adc):
+        test = HistogramTest(samples_per_code=64, dnl_spec_lsb=0.5)
+        result = test.run(ideal_adc, rng=0)
+        assert result.passed
+        assert result.max_dnl < 0.1
+
+    def test_counts_cover_all_codes(self, ideal_adc):
+        test = HistogramTest(samples_per_code=32)
+        result = test.run(ideal_adc, rng=0)
+        assert result.counts.size == 64
+        assert np.all(result.counts[1:-1] > 0)
+
+    def test_samples_and_bits_accounted(self, ideal_adc):
+        test = HistogramTest(samples_per_code=32)
+        result = test.run(ideal_adc, rng=0)
+        assert result.samples_taken > 0
+        assert result.bits_transferred == result.samples_taken * 6
+
+    def test_out_of_spec_device_fails(self, ideal_adc):
+        faulty = inject_wide_code(ideal_adc, code=30, extra_lsb=2.0)
+        test = HistogramTest(samples_per_code=64, dnl_spec_lsb=1.0)
+        assert not test.run(faulty, rng=0).passed
+
+    def test_marginal_device_measured_accurately(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=13)
+        test = HistogramTest(samples_per_code=1000, dnl_spec_lsb=0.5)
+        result = test.run(adc, rng=0)
+        assert result.max_dnl == pytest.approx(adc.max_dnl(), abs=0.03)
+
+    def test_more_samples_give_better_accuracy(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=21)
+        true_dnl = adc.max_dnl()
+        coarse = HistogramTest(samples_per_code=8).run(adc, rng=0).max_dnl
+        fine = HistogramTest(samples_per_code=512).run(adc, rng=0).max_dnl
+        assert abs(fine - true_dnl) <= abs(coarse - true_dnl) + 0.02
+
+    def test_inl_spec_enforced(self, ideal_adc):
+        # An INL-heavy device: many slightly wide codes in a row.
+        widths = np.ones(62)
+        widths[:31] += 0.08
+        from repro.adc import TableADC, TransferFunction
+        device = TableADC(TransferFunction.from_code_widths(6, widths / 64))
+        lenient = HistogramTest(samples_per_code=256, dnl_spec_lsb=0.5)
+        strict = HistogramTest(samples_per_code=256, dnl_spec_lsb=0.5,
+                               inl_spec_lsb=0.5)
+        assert lenient.run(device, rng=0).passed
+        assert not strict.run(device, rng=0).passed
+
+    def test_evaluate_codes_directly(self):
+        codes = np.repeat(np.arange(64), 50)
+        test = HistogramTest(dnl_spec_lsb=0.5)
+        result = test.evaluate_codes(codes, n_bits=6)
+        assert result.passed
+
+    def test_paper_reference_configuration(self):
+        test = HistogramTest.paper_reference()
+        assert test.samples_per_code == pytest.approx(1000.0)
+        assert test.dnl_spec_lsb == pytest.approx(0.5)
+
+    def test_paper_production_configuration(self):
+        test = HistogramTest.paper_production(n_bits=6)
+        assert test.samples_per_code == pytest.approx(64.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HistogramTest(samples_per_code=0)
+        with pytest.raises(ValueError):
+            HistogramTest(dnl_spec_lsb=-1.0)
+
+    def test_reproducible_with_seed(self, flash_adc):
+        a = HistogramTest(samples_per_code=32, seed=3).run(flash_adc)
+        b = HistogramTest(samples_per_code=32, seed=3).run(flash_adc)
+        assert np.allclose(a.counts, b.counts)

@@ -1,0 +1,133 @@
+"""Unit tests for static linearity extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    dnl_from_histogram,
+    linearity_from_code_widths,
+    linearity_from_transitions,
+)
+
+
+class TestLinearityFromCodeWidths:
+    def test_uniform_widths_give_zero_dnl(self):
+        result = linearity_from_code_widths(np.ones(62))
+        assert result.max_dnl == pytest.approx(0.0, abs=1e-12)
+        assert result.max_inl == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_wide_code(self):
+        widths = np.ones(10)
+        widths[4] = 1.5
+        result = linearity_from_code_widths(widths, lsb=1.0)
+        assert result.dnl_lsb[4] == pytest.approx(0.5)
+        assert result.worst_dnl_code == 5
+
+    def test_endpoint_normalisation_removes_gain(self):
+        widths = np.full(20, 1.3)
+        result = linearity_from_code_widths(widths)
+        assert result.max_dnl == pytest.approx(0.0, abs=1e-12)
+
+    def test_explicit_lsb_keeps_gain(self):
+        widths = np.full(20, 1.3)
+        result = linearity_from_code_widths(widths, lsb=1.0)
+        assert result.max_dnl == pytest.approx(0.3)
+
+    def test_inl_is_cumulative(self):
+        widths = np.array([1.2, 0.8, 1.0, 1.0])
+        result = linearity_from_code_widths(widths, lsb=1.0)
+        assert np.allclose(result.inl_lsb, np.cumsum(result.dnl_lsb))
+
+    def test_passes_spec(self):
+        widths = np.ones(10)
+        widths[2] = 1.4
+        result = linearity_from_code_widths(widths, lsb=1.0)
+        assert result.passes(0.5)
+        assert not result.passes(0.3)
+
+    def test_passes_with_inl_spec(self):
+        widths = np.ones(10)
+        widths[:5] = 1.2  # INL builds up to 1.0 LSB
+        result = linearity_from_code_widths(widths, lsb=1.0)
+        assert result.passes(0.5)
+        assert not result.passes(0.5, inl_spec_lsb=0.5)
+
+    def test_missing_codes_reported(self):
+        widths = np.ones(10)
+        widths[7] = 0.0
+        result = linearity_from_code_widths(widths, lsb=1.0)
+        assert list(result.missing_codes()) == [8]
+
+    def test_rejects_negative_widths(self):
+        with pytest.raises(ValueError):
+            linearity_from_code_widths(np.array([1.0, -0.1, 1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            linearity_from_code_widths(np.array([]))
+
+    def test_rejects_negative_spec(self):
+        result = linearity_from_code_widths(np.ones(5))
+        with pytest.raises(ValueError):
+            result.passes(-0.1)
+
+
+class TestLinearityFromTransitions:
+    def test_ideal_transitions(self):
+        n_bits = 5
+        lsb = 1.0 / 32
+        transitions = lsb * np.arange(1, 32)
+        result = linearity_from_transitions(transitions, full_scale=1.0,
+                                            n_bits=n_bits)
+        assert result.max_dnl == pytest.approx(0.0, abs=1e-9)
+        assert result.offset_lsb == pytest.approx(0.0, abs=1e-9)
+        assert result.gain_error_lsb == pytest.approx(0.0, abs=1e-9)
+
+    def test_offset_detected(self):
+        lsb = 1.0 / 32
+        transitions = lsb * np.arange(1, 32) + 2 * lsb
+        result = linearity_from_transitions(transitions, 1.0, 5)
+        assert result.offset_lsb == pytest.approx(2.0, abs=1e-9)
+
+    def test_wrong_transition_count(self):
+        with pytest.raises(ValueError):
+            linearity_from_transitions(np.arange(10), 1.0, 5)
+
+
+class TestDnlFromHistogram:
+    def test_uniform_histogram_gives_zero_dnl(self):
+        counts = np.full(64, 100.0)
+        result = dnl_from_histogram(counts)
+        assert result.max_dnl == pytest.approx(0.0, abs=1e-12)
+
+    def test_end_bins_are_dropped(self):
+        counts = np.full(64, 100.0)
+        counts[0] = 100000.0
+        counts[-1] = 100000.0
+        result = dnl_from_histogram(counts)
+        assert result.max_dnl == pytest.approx(0.0, abs=1e-12)
+
+    def test_wide_code_detected(self):
+        counts = np.full(64, 100.0)
+        counts[20] = 150.0
+        result = dnl_from_histogram(counts)
+        # Bin 20 is inner code 20 (index 19 after dropping the first bin).
+        assert result.dnl_lsb[19] == pytest.approx(0.5, abs=0.02)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            dnl_from_histogram(np.array([1.0, -1.0, 1.0, 1.0]))
+
+    def test_rejects_empty_inner_bins(self):
+        counts = np.zeros(10)
+        counts[0] = 5
+        counts[-1] = 5
+        with pytest.raises(ValueError):
+            dnl_from_histogram(counts)
+
+    def test_keep_end_bins_option(self):
+        counts = np.full(8, 10.0)
+        counts[0] = 20.0
+        with_ends = dnl_from_histogram(counts, drop_end_bins=False)
+        without_ends = dnl_from_histogram(counts, drop_end_bins=True)
+        assert with_ends.max_dnl > without_ends.max_dnl

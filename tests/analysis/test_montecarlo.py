@@ -1,0 +1,114 @@
+"""Unit tests for the Monte-Carlo error-probability estimators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ErrorModel,
+    estimate_error_probabilities,
+    simulate_counts,
+)
+from repro.analysis.error_model import delta_s_for_counter
+
+
+class TestSimulateCounts:
+    def test_counts_near_width_over_step(self):
+        widths = np.full((1000, 10), 1.0)
+        counts = simulate_counts(widths, delta_s_lsb=0.1, rng=0)
+        # A 1-LSB code at ds = 0.1 holds 10 samples give or take one.
+        assert counts.min() >= 9
+        assert counts.max() <= 11
+        assert counts.mean() == pytest.approx(10.0, abs=0.2)
+
+    def test_independent_phase_model(self):
+        widths = np.full((2000, 5), 0.55)
+        counts = simulate_counts(widths, 0.1, phase_model="independent",
+                                 rng=1)
+        # Expected count 5.5: half the time 5, half the time 6.
+        assert counts.mean() == pytest.approx(5.5, abs=0.1)
+
+    def test_sequential_total_matches_ramp_length(self):
+        rng = np.random.default_rng(2)
+        widths = rng.uniform(0.8, 1.2, size=(200, 62))
+        ds = 0.05
+        counts = simulate_counts(widths, ds, phase_model="sequential", rng=3)
+        # The summed counts must equal the number of sample points falling
+        # within the full span, so they can differ from span/ds by at most 1.
+        span = widths.sum(axis=1)
+        assert np.all(np.abs(counts.sum(axis=1) - span / ds) <= 1.0 + 1e-9)
+
+    def test_zero_width_gives_zero_or_one_count(self):
+        widths = np.zeros((500, 3))
+        counts = simulate_counts(widths, 0.1, rng=4)
+        assert counts.max() <= 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_counts(np.ones((2, 3)), delta_s_lsb=0.0)
+        with pytest.raises(ValueError):
+            simulate_counts(-np.ones((2, 3)), delta_s_lsb=0.1)
+        with pytest.raises(ValueError):
+            simulate_counts(np.ones((2, 3)), 0.1, phase_model="bogus")
+
+    def test_reproducible(self):
+        widths = np.full((50, 10), 1.0)
+        a = simulate_counts(widths, 0.07, rng=5)
+        b = simulate_counts(widths, 0.07, rng=5)
+        assert np.array_equal(a, b)
+
+
+class TestEstimateErrorProbabilities:
+    def test_agrees_with_analytic_model_independent_phases(self):
+        """The MC estimator with independent phases should reproduce the
+        closed-form model within sampling error."""
+        bits = 4
+        ds = delta_s_for_counter(bits, 0.5)
+        analytic = ErrorModel(dnl_spec_lsb=0.5, counter_bits=bits).device(62)
+        mc = estimate_error_probabilities(
+            n_devices=60000, n_codes=62, sigma_lsb=0.21, dnl_spec_lsb=0.5,
+            delta_s_lsb=ds, counter_bits=bits, rho=0.0,
+            phase_model="independent", rng=0)
+        assert mc.p_good == pytest.approx(analytic.p_good, abs=0.01)
+        assert mc.type_i == pytest.approx(analytic.type_i, abs=0.01)
+        assert mc.type_ii == pytest.approx(analytic.type_ii, abs=0.01)
+
+    def test_sequential_phase_model_similar(self):
+        bits = 5
+        ds = delta_s_for_counter(bits, 0.5)
+        analytic = ErrorModel(dnl_spec_lsb=0.5, counter_bits=bits).device(62)
+        mc = estimate_error_probabilities(
+            n_devices=40000, n_codes=62, sigma_lsb=0.21, dnl_spec_lsb=0.5,
+            delta_s_lsb=ds, counter_bits=bits,
+            phase_model="sequential", rng=1)
+        # The analytic approximations hold to within a couple of percent.
+        assert mc.type_i == pytest.approx(analytic.type_i, abs=0.02)
+        assert mc.p_good == pytest.approx(analytic.p_good, abs=0.03)
+
+    def test_explicit_width_matrix(self):
+        widths = np.full((100, 62), 1.0)
+        mc = estimate_error_probabilities(
+            n_devices=0, n_codes=62, sigma_lsb=0.0, dnl_spec_lsb=0.5,
+            delta_s_lsb=0.05, widths_lsb=widths, rng=2)
+        assert mc.n_devices == 100
+        assert mc.p_good == 1.0
+        assert mc.p_accept == 1.0
+        assert mc.type_i == 0.0
+
+    def test_conditionals_and_ci(self):
+        mc = estimate_error_probabilities(
+            n_devices=5000, n_codes=62, sigma_lsb=0.21, dnl_spec_lsb=0.5,
+            delta_s_lsb=0.091, counter_bits=4, rng=3)
+        lo, hi = mc.confidence_interval("type_i")
+        assert lo <= mc.type_i <= hi
+        assert 0.0 <= mc.p_reject_given_good <= 1.0
+        assert 0.0 <= mc.p_accept_given_faulty <= 1.0
+        assert mc.p_faulty == pytest.approx(1 - mc.p_good)
+
+    def test_larger_counter_reduces_type_i(self):
+        kwargs = dict(n_devices=30000, n_codes=62, sigma_lsb=0.21,
+                      dnl_spec_lsb=0.5, rng=4)
+        coarse = estimate_error_probabilities(
+            delta_s_lsb=delta_s_for_counter(4, 0.5), counter_bits=4, **kwargs)
+        fine = estimate_error_probabilities(
+            delta_s_lsb=delta_s_for_counter(7, 0.5), counter_bits=7, **kwargs)
+        assert fine.type_i < coarse.type_i

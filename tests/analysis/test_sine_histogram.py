@@ -1,0 +1,81 @@
+"""Unit tests for the sine-wave code-density test."""
+
+import numpy as np
+import pytest
+
+from repro.adc import FlashADC, IdealADC, inject_wide_code
+from repro.analysis import (
+    SineHistogramTest,
+    expected_sine_histogram,
+)
+
+
+class TestExpectedSineHistogram:
+    def test_total_equals_sample_count(self):
+        expected = expected_sine_histogram(6, amplitude=0.55, offset=0.5,
+                                           full_scale=1.0, n_samples=10000)
+        assert expected.sum() == pytest.approx(10000, rel=1e-6)
+
+    def test_bathtub_shape(self):
+        """The arcsine density piles up at the extremes of the sine."""
+        expected = expected_sine_histogram(6, amplitude=0.55, offset=0.5,
+                                           full_scale=1.0, n_samples=10000)
+        inner = expected[1:-1]
+        assert inner[0] > inner[len(inner) // 2]
+        assert inner[-1] > inner[len(inner) // 2]
+
+    def test_symmetry(self):
+        expected = expected_sine_histogram(6, amplitude=0.55, offset=0.5,
+                                           full_scale=1.0, n_samples=10000)
+        assert np.allclose(expected, expected[::-1], rtol=1e-9)
+
+    def test_amplitude_must_be_positive(self):
+        with pytest.raises(ValueError):
+            expected_sine_histogram(6, amplitude=0.0, offset=0.5,
+                                    full_scale=1.0, n_samples=100)
+
+
+class TestSineHistogramTest:
+    def test_ideal_converter_passes_with_small_dnl(self, ideal_adc):
+        test = SineHistogramTest(n_samples=65536, dnl_spec_lsb=0.5)
+        result = test.run(ideal_adc, rng=0)
+        assert result.passed
+        assert result.max_dnl < 0.15
+        assert result.samples_taken == 65536
+
+    def test_matches_true_dnl_of_a_mismatched_device(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=31)
+        test = SineHistogramTest(n_samples=131072, dnl_spec_lsb=1.0)
+        result = test.run(adc, rng=1)
+        assert result.max_dnl == pytest.approx(adc.max_dnl(), abs=0.12)
+
+    def test_wide_code_detected(self, ideal_adc):
+        faulty = inject_wide_code(ideal_adc, code=30, extra_lsb=2.0)
+        test = SineHistogramTest(n_samples=65536, dnl_spec_lsb=1.0)
+        assert not test.run(faulty, rng=0).passed
+
+    def test_agreement_with_ramp_histogram_verdict(self):
+        from repro.analysis import HistogramTest
+        adc = FlashADC.from_sigma(6, 0.21, seed=8)
+        sine = SineHistogramTest(n_samples=131072, dnl_spec_lsb=0.5)
+        ramp = HistogramTest(samples_per_code=512, dnl_spec_lsb=0.5)
+        assert sine.run(adc, rng=0).passed == ramp.run(adc, rng=0).passed
+
+    def test_stimulus_overdrives_the_range(self, ideal_adc):
+        test = SineHistogramTest(overdrive=0.05)
+        stimulus = test.build_stimulus(ideal_adc)
+        assert stimulus.amplitude > 0.5 * ideal_adc.full_scale
+        assert stimulus.offset == pytest.approx(0.5 * ideal_adc.full_scale)
+
+    def test_reproducible_with_seed(self, flash_adc):
+        a = SineHistogramTest(n_samples=16384, seed=5).run(flash_adc)
+        b = SineHistogramTest(n_samples=16384, seed=5).run(flash_adc)
+        assert np.allclose(a.counts, b.counts)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SineHistogramTest(n_samples=100)
+        with pytest.raises(ValueError):
+            SineHistogramTest(overdrive=-0.1)
+        with pytest.raises(ValueError):
+            SineHistogramTest(dnl_spec_lsb=-1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the complete static test suite."""
+
+import numpy as np
+import pytest
+
+from repro.adc import (
+    FlashADC,
+    IdealADC,
+    inject_gain_error,
+    inject_missing_code,
+    inject_non_monotonic,
+    inject_offset_shift,
+)
+from repro.analysis import StaticSpec, StaticTestSuite, locate_transitions
+
+
+class TestLocateTransitions:
+    def test_ideal_converter_transitions(self, ideal_adc):
+        located = locate_transitions(ideal_adc, oversample=64)
+        true = ideal_adc.transfer_function().transitions
+        assert located.size == 63
+        assert np.max(np.abs(located - true)) < ideal_adc.lsb / 32
+
+    def test_accuracy_improves_with_oversampling(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=4)
+        true = adc.transfer_function().transitions
+        coarse = locate_transitions(adc, oversample=8)
+        fine = locate_transitions(adc, oversample=128)
+        assert (np.max(np.abs(fine - true))
+                <= np.max(np.abs(coarse - true)) + 1e-12)
+
+    def test_averaging_reduces_noise(self):
+        adc = IdealADC(6)
+        true = adc.transfer_function().transitions
+        single = locate_transitions(adc, oversample=64,
+                                    transition_noise_lsb=0.2, averages=1,
+                                    rng=1)
+        averaged = locate_transitions(adc, oversample=64,
+                                      transition_noise_lsb=0.2, averages=16,
+                                      rng=1)
+        assert (np.std(averaged - true) < np.std(single - true))
+
+    def test_invalid_parameters(self, ideal_adc):
+        with pytest.raises(ValueError):
+            locate_transitions(ideal_adc, oversample=1)
+        with pytest.raises(ValueError):
+            locate_transitions(ideal_adc, averages=0)
+
+
+class TestStaticSpec:
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            StaticSpec(offset_lsb=-1.0)
+
+
+class TestStaticTestSuite:
+    def test_ideal_converter_passes_everything(self, ideal_adc):
+        report = StaticTestSuite().run(ideal_adc)
+        assert report.passed
+        assert report.failures() == []
+        assert report.monotonic
+        assert report.missing_codes.size == 0
+        assert abs(report.offset_lsb) < 0.1
+        assert abs(report.gain_error_lsb) < 0.1
+
+    def test_offset_fault_reported(self, ideal_adc):
+        shifted = inject_offset_shift(ideal_adc, shift_lsb=3.0)
+        report = StaticTestSuite().run(shifted)
+        assert not report.passed
+        assert "offset" in report.failures()
+        assert report.offset_lsb == pytest.approx(3.0, abs=0.1)
+
+    def test_gain_fault_reported(self, ideal_adc):
+        scaled = inject_gain_error(ideal_adc, gain=1.1)
+        report = StaticTestSuite().run(scaled)
+        assert "gain" in report.failures()
+
+    def test_missing_code_reported(self, ideal_adc):
+        faulty = inject_missing_code(ideal_adc, code=17)
+        report = StaticTestSuite().run(faulty)
+        assert not report.passed
+        assert 17 in report.missing_codes
+        assert "missing codes" in report.failures()
+
+    def test_missing_codes_allowed_when_spec_says_so(self, ideal_adc):
+        faulty = inject_missing_code(ideal_adc, code=17)
+        spec = StaticSpec(dnl_lsb=1.5, inl_lsb=1.5, allow_missing_codes=True)
+        report = StaticTestSuite(spec=spec).run(faulty)
+        assert "missing codes" not in report.failures()
+
+    def test_dnl_and_inl_against_true_values(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=6)
+        report = StaticTestSuite(oversample=128).run(adc)
+        assert report.max_dnl == pytest.approx(adc.max_dnl(), abs=0.05)
+        assert report.max_inl == pytest.approx(adc.max_inl(), abs=0.05)
+
+    def test_non_monotonic_bubble_appears_as_a_wide_code(self, ideal_adc):
+        """After thermometer correction a bubble error shows up as one code
+        of roughly double width (DNL about +1 LSB), so it fails any DNL
+        specification tighter than 1 LSB."""
+        faulty = inject_non_monotonic(ideal_adc, code=20, depth_lsb=2.6)
+        report = StaticTestSuite(
+            spec=StaticSpec(dnl_lsb=0.75, inl_lsb=2.0)).run(faulty)
+        assert report.max_dnl > 0.9
+        assert not report.passed
+        assert "dnl" in report.failures()
+
+    def test_noisy_measurement_with_averaging_still_passes(self, ideal_adc):
+        suite = StaticTestSuite(transition_noise_lsb=0.1, averages=8, seed=2)
+        report = suite.run(ideal_adc)
+        assert report.passed

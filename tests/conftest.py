@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adc import DevicePopulation, FlashADC, IdealADC, PopulationSpec
+from repro.core import BistConfig, BistEngine
+
+
+@pytest.fixture
+def ideal_adc() -> IdealADC:
+    """A 6-bit ideal converter at 1 MS/s over a 1 V range."""
+    return IdealADC(n_bits=6, full_scale=1.0, sample_rate=1e6)
+
+
+@pytest.fixture
+def flash_adc() -> FlashADC:
+    """One 6-bit flash device with the paper's worst-case mismatch."""
+    return FlashADC.from_sigma(n_bits=6, sigma_code_width_lsb=0.21, seed=7)
+
+
+@pytest.fixture
+def small_population() -> DevicePopulation:
+    """A small (40-device) flash population for fast integration tests."""
+    return DevicePopulation(PopulationSpec(n_bits=6,
+                                           sigma_code_width_lsb=0.21,
+                                           size=40, seed=11))
+
+
+@pytest.fixture
+def gaussian_population() -> DevicePopulation:
+    """A Gaussian-architecture population (fast bulk statistics)."""
+    return DevicePopulation(PopulationSpec(n_bits=6,
+                                           sigma_code_width_lsb=0.21,
+                                           size=200, seed=5,
+                                           architecture="gaussian"))
+
+
+@pytest.fixture
+def relaxed_engine() -> BistEngine:
+    """BIST engine at the actual specification (±1 LSB, 7-bit counter)."""
+    return BistEngine(BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0))
+
+
+@pytest.fixture
+def stringent_engine() -> BistEngine:
+    """BIST engine at the stringent specification (±0.5 LSB, 4-bit counter)."""
+    return BistEngine(BistConfig(n_bits=6, counter_bits=4, dnl_spec_lsb=0.5))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test-local randomness."""
+    return np.random.default_rng(12345)

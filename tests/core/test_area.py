@@ -1,0 +1,64 @@
+"""Unit tests for the area / cost model (Figure 1 trade-off)."""
+
+import pytest
+
+from repro.core import AreaModel
+
+
+class TestAreaModel:
+    def test_estimate_fields(self):
+        model = AreaModel(n_bits=6)
+        estimate = model.estimate(counter_bits=4, dnl_spec_lsb=1.0)
+        assert estimate.gate_count > 0
+        assert estimate.area_mm2 > 0
+        assert 0 < estimate.area_overhead < 1.0
+        assert estimate.max_error_lsb > 0
+        assert 0 <= estimate.defect_probability < 1.0
+
+    def test_bigger_counter_costs_more_but_measures_better(self):
+        model = AreaModel(n_bits=6)
+        small = model.estimate(4, dnl_spec_lsb=1.0)
+        large = model.estimate(7, dnl_spec_lsb=1.0)
+        assert large.gate_count > small.gate_count
+        assert large.max_error_lsb < small.max_error_lsb
+        assert large.defect_probability > small.defect_probability
+
+    def test_inl_accumulator_adds_area(self):
+        model = AreaModel(n_bits=6)
+        without = model.estimate(5, dnl_spec_lsb=1.0)
+        with_inl = model.estimate(5, dnl_spec_lsb=1.0, inl_spec_lsb=1.0)
+        assert with_inl.gate_count > without.gate_count
+
+    def test_deglitch_filter_adds_area(self):
+        model = AreaModel(n_bits=6)
+        without = model.estimate(5, dnl_spec_lsb=1.0)
+        with_filter = model.estimate(5, dnl_spec_lsb=1.0, deglitch_depth=3)
+        assert with_filter.gate_count > without.gate_count
+
+    def test_msb_checker_optional(self):
+        model = AreaModel(n_bits=6)
+        with_checker = model.estimate(5, dnl_spec_lsb=1.0)
+        without = model.estimate(5, dnl_spec_lsb=1.0,
+                                 include_msb_checker=False)
+        assert with_checker.gate_count > without.gate_count
+
+    def test_sweep(self):
+        model = AreaModel(n_bits=6)
+        estimates = model.sweep_counter_bits(range(4, 8), dnl_spec_lsb=0.5)
+        assert len(estimates) == 4
+        gate_counts = [e.gate_count for e in estimates]
+        assert gate_counts == sorted(gate_counts)
+
+    def test_overhead_scales_with_core_area(self):
+        small_core = AreaModel(n_bits=6, adc_core_area_mm2=0.1)
+        large_core = AreaModel(n_bits=6, adc_core_area_mm2=1.0)
+        assert (small_core.estimate(5, 1.0).area_overhead
+                > large_core.estimate(5, 1.0).area_overhead)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AreaModel(n_bits=1)
+        with pytest.raises(ValueError):
+            AreaModel(adc_core_area_mm2=0.0)
+        with pytest.raises(ValueError):
+            AreaModel(defects_per_mm2=-1.0)

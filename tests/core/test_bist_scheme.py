@@ -1,0 +1,101 @@
+"""Unit tests for the partial-BIST partition (Equations (1) and (2))."""
+
+import pytest
+
+from repro.core import PartialBistPartition, nl_budget, qmin
+
+
+class TestNlBudget:
+    def test_equation_two_minimum(self):
+        # NL = min(DNL * 2**(q-1), INL * 2).
+        assert nl_budget(1, dnl_spec_lsb=1.0, inl_spec_lsb=1.0) == 1.0
+        assert nl_budget(3, dnl_spec_lsb=1.0, inl_spec_lsb=1.0) == 2.0
+        assert nl_budget(3, dnl_spec_lsb=0.25, inl_spec_lsb=5.0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            nl_budget(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            nl_budget(1, -1.0, 1.0)
+
+
+class TestQmin:
+    def test_slow_ramp_needs_only_the_lsb(self):
+        """At ramp-like stimulus frequencies q = 1 — the full BIST case."""
+        # One ramp spanning 64 codes with 16 samples per code: the stimulus
+        # period is ~1000 samples, f_stimulus/f_sample ~ 1e-3.  With the
+        # paper's linearity budget below 1 LSB only the LSB must be watched.
+        assert qmin(f_stimulus=1.0, f_sample=1024.0, n_bits=6,
+                    dnl_spec_lsb=0.5, inl_spec_lsb=0.4) == 1
+
+    def test_faster_stimulus_needs_more_bits(self):
+        slow = qmin(f_stimulus=1.0, f_sample=1e6, n_bits=8)
+        fast = qmin(f_stimulus=1e5, f_sample=1e6, n_bits=8)
+        assert fast > slow
+
+    def test_monotone_in_stimulus_frequency(self):
+        values = [qmin(f, 1e6, 8) for f in (1.0, 10.0, 100.0, 1e3, 1e4)]
+        assert values == sorted(values)
+
+    def test_never_exceeds_resolution(self):
+        assert qmin(f_stimulus=1e6, f_sample=1e6, n_bits=6) <= 6
+
+    def test_at_least_one_bit(self):
+        assert qmin(f_stimulus=1e-9, f_sample=1e9, n_bits=6) >= 1
+
+    def test_nyquist_rate_stimulus_requires_everything(self):
+        # A stimulus at half the sample rate sweeps the whole range every
+        # two samples: every bit must be observable externally.
+        assert qmin(f_stimulus=0.5e6, f_sample=1e6, n_bits=6) == 6
+
+    def test_looser_linearity_budget_increases_q(self):
+        tight = qmin(200.0, 1e6, 8, dnl_spec_lsb=0.25, inl_spec_lsb=0.25)
+        loose = qmin(200.0, 1e6, 8, dnl_spec_lsb=4.0, inl_spec_lsb=4.0)
+        assert loose >= tight
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            qmin(0.0, 1e6, 6)
+        with pytest.raises(ValueError):
+            qmin(1.0, -1e6, 6)
+        with pytest.raises(ValueError):
+            qmin(1.0, 1e6, 0)
+
+
+class TestPartialBistPartition:
+    def test_bit_bookkeeping(self):
+        part = PartialBistPartition(n_bits=8, q=3)
+        assert part.off_chip_bits == 3
+        assert part.on_chip_bits == 5
+        assert not part.is_full_bist
+
+    def test_full_bist_flag(self):
+        assert PartialBistPartition(n_bits=6, q=1).is_full_bist
+
+    def test_pin_reduction(self):
+        part = PartialBistPartition(n_bits=8, q=2)
+        assert part.pin_reduction_factor == pytest.approx(4.0)
+
+    def test_data_reduction(self):
+        part = PartialBistPartition(n_bits=6, q=1)
+        assert part.test_data_reduction(n_samples=1000) == 5000
+
+    def test_parallel_device_count(self):
+        part = PartialBistPartition(n_bits=6, q=1)
+        assert part.max_parallel_devices(tester_channels=64) == 64
+        conventional = PartialBistPartition(n_bits=6, q=6)
+        assert conventional.max_parallel_devices(tester_channels=64) == 10
+
+    def test_for_stimulus_constructor(self):
+        part = PartialBistPartition.for_stimulus(1.0, 1e6, 6)
+        assert part.q == qmin(1.0, 1e6, 6)
+
+    def test_invalid_partition(self):
+        with pytest.raises(ValueError):
+            PartialBistPartition(n_bits=6, q=0)
+        with pytest.raises(ValueError):
+            PartialBistPartition(n_bits=6, q=7)
+        with pytest.raises(ValueError):
+            PartialBistPartition(n_bits=6, q=1).test_data_reduction(-1)
+        with pytest.raises(ValueError):
+            PartialBistPartition(n_bits=6, q=1).max_parallel_devices(0)

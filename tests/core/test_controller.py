@@ -1,0 +1,84 @@
+"""Unit tests for the multi-converter BIST controller."""
+
+import pytest
+
+from repro.adc import FlashADC, IdealADC, inject_missing_code
+from repro.core import BistConfig, MultiAdcBistController
+
+
+@pytest.fixture
+def controller():
+    return MultiAdcBistController(BistConfig(counter_bits=6,
+                                             dnl_spec_lsb=1.0))
+
+
+def _chip(n_converters: int, seed_offset: int = 0):
+    return [FlashADC.from_sigma(6, 0.21, seed=seed_offset + i)
+            for i in range(n_converters)]
+
+
+class TestChipLevelRuns:
+    def test_all_good_chip_passes(self, controller):
+        result = controller.run_chip(_chip(4), rng=1)
+        assert result.n_converters == 4
+        assert result.passed
+        assert result.result_register == 0b1111
+        assert result.failing_converters == []
+
+    def test_one_bad_converter_flags_the_chip(self, controller):
+        converters = _chip(4)
+        converters[2] = inject_missing_code(IdealADC(6), code=10)
+        result = controller.run_chip(converters, rng=1)
+        assert not result.passed
+        assert result.failing_converters == [2]
+        assert not (result.result_register >> 2) & 1
+        assert (result.result_register >> 0) & 1
+
+    def test_parallel_test_time_is_one_ramp(self, controller):
+        small = controller.run_chip(_chip(1), rng=2)
+        large = controller.run_chip(_chip(8), rng=2)
+        # The shared ramp means the chip test time does not grow with the
+        # converter count (the paper's parallelism argument).
+        assert large.test_time_s == pytest.approx(small.test_time_s,
+                                                  rel=0.01)
+        assert large.parallel_speedup == pytest.approx(8.0, rel=0.05)
+
+    def test_serial_readout_is_tiny(self, controller):
+        result = controller.run_chip(_chip(8), rng=3)
+        assert result.serial_readout_bits == 9
+
+    def test_reproducible(self, controller):
+        chip = _chip(3)
+        a = controller.run_chip(chip, rng=7)
+        b = controller.run_chip(chip, rng=7)
+        assert a.result_register == b.result_register
+
+    def test_empty_chip_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.run_chip([])
+
+
+class TestHardwareCost:
+    def test_gate_count_scales_with_converter_count(self, controller):
+        one = controller.gate_count(1)
+        four = controller.gate_count(4)
+        assert four > 3 * one
+        assert four < 5 * one
+
+    def test_invalid_converter_count(self, controller):
+        with pytest.raises(ValueError):
+            controller.gate_count(0)
+
+
+class TestLotLevelRuns:
+    def test_lot_summary(self, controller):
+        lot = [_chip(2, seed_offset=10 * i) for i in range(5)]
+        summary = controller.run_lot(lot, rng=5)
+        assert summary["chips_tested"] == 5
+        assert 0 <= summary["chips_passed"] <= 5
+        assert 0.0 <= summary["converter_fallout"] <= 1.0
+        assert summary["total_test_time_s"] > 0
+
+    def test_empty_lot_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.run_lot([])

@@ -1,0 +1,144 @@
+"""Unit tests for the hardware counter and the LSB deglitch filter."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeglitchFilter, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_counts_up(self):
+        counter = SaturatingCounter(4)
+        counter.reset()
+        for expected in range(1, 10):
+            assert counter.clock() == expected
+
+    def test_max_and_effective_max(self):
+        counter = SaturatingCounter(4)
+        assert counter.max_value == 15
+        assert counter.effective_max == 16
+
+    def test_saturation(self):
+        counter = SaturatingCounter(3)
+        counter.count_events(100)
+        assert counter.value == 7
+        assert counter.overflowed
+        assert counter.read() == 8  # effective max via the overflow flag
+
+    def test_wraparound_policy(self):
+        counter = SaturatingCounter(3, saturate=False)
+        counter.count_events(9)
+        assert counter.value == 1
+        assert counter.overflowed
+        assert counter.read() == 1
+
+    def test_no_overflow_below_capacity(self):
+        counter = SaturatingCounter(4)
+        counter.count_events(15)
+        assert not counter.overflowed
+        assert counter.read() == 15
+
+    def test_reset_clears_state(self):
+        counter = SaturatingCounter(3)
+        counter.count_events(100)
+        counter.reset()
+        assert counter.value == 0
+        assert not counter.overflowed
+
+    def test_batch_increment(self):
+        counter = SaturatingCounter(6)
+        counter.reset()
+        counter.clock(10)
+        counter.clock(5)
+        assert counter.read() == 15
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+        counter = SaturatingCounter(4)
+        with pytest.raises(ValueError):
+            counter.clock(-1)
+
+    def test_gate_count_scales_with_bits(self):
+        assert (SaturatingCounter(7).gate_count()
+                > SaturatingCounter(4).gate_count())
+
+
+class TestDeglitchFilter:
+    def _noisy_lsb(self, rng, toggles_at=(100, 200, 300), length=400,
+                   glitches=20):
+        """Build an LSB stream with clean transitions plus isolated glitches."""
+        stream = np.zeros(length, dtype=np.int8)
+        level = 0
+        edges = sorted(toggles_at)
+        position = 0
+        for edge in edges + [length]:
+            stream[position:edge] = level
+            level ^= 1
+            position = edge
+        clean = stream.copy()
+        glitch_positions = rng.choice(
+            np.setdiff1d(np.arange(5, length - 5), np.array(edges)),
+            size=glitches, replace=False)
+        for pos in glitch_positions:
+            stream[pos] ^= 1
+        return clean, stream
+
+    def test_disabled_filter_passes_through(self):
+        raw = np.array([0, 1, 0, 1, 1, 0], dtype=np.int8)
+        assert np.array_equal(DeglitchFilter(depth=0).apply(raw), raw)
+
+    def test_hysteresis_removes_single_sample_glitches(self, rng):
+        clean, noisy = self._noisy_lsb(rng)
+        filtered = DeglitchFilter(depth=2, mode="hysteresis").apply(noisy)
+        assert DeglitchFilter.count_toggles(filtered) == 3
+
+    def test_majority_removes_single_sample_glitches(self, rng):
+        clean, noisy = self._noisy_lsb(rng)
+        filtered = DeglitchFilter(depth=2, mode="majority").apply(noisy)
+        assert DeglitchFilter.count_toggles(filtered) == 3
+
+    def test_hysteresis_preserves_edge_count_on_clean_stream(self, rng):
+        clean, _ = self._noisy_lsb(rng, glitches=0)
+        filtered = DeglitchFilter(depth=3, mode="hysteresis").apply(clean)
+        assert DeglitchFilter.count_toggles(filtered) == 3
+
+    def test_hysteresis_delays_edges_uniformly(self):
+        stream = np.zeros(40, dtype=np.int8)
+        stream[10:25] = 1
+        filtered = DeglitchFilter(depth=3, mode="hysteresis").apply(stream)
+        rising = np.nonzero(np.diff(filtered) == 1)[0]
+        falling = np.nonzero(np.diff(filtered) == -1)[0]
+        # Both edges delayed by the same amount: segment length preserved.
+        assert falling[0] - rising[0] == 15
+
+    def test_majority_preserves_edge_positions(self):
+        stream = np.zeros(40, dtype=np.int8)
+        stream[10:25] = 1
+        filtered = DeglitchFilter(depth=2, mode="majority").apply(stream)
+        assert np.array_equal(filtered, stream)
+
+    def test_count_toggles(self):
+        assert DeglitchFilter.count_toggles(np.array([0, 0, 1, 1, 0])) == 2
+        assert DeglitchFilter.count_toggles(np.array([1])) == 0
+
+    def test_excess_toggles_removed(self, rng):
+        _, noisy = self._noisy_lsb(rng)
+        filt = DeglitchFilter(depth=2)
+        assert filt.excess_toggles_removed(noisy) > 0
+
+    def test_empty_stream(self):
+        assert DeglitchFilter(depth=2).apply(np.array([], dtype=int)).size == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DeglitchFilter(depth=-1)
+        with pytest.raises(ValueError):
+            DeglitchFilter(mode="bogus")
+        with pytest.raises(ValueError):
+            DeglitchFilter().apply(np.zeros((2, 2)))
+
+    def test_gate_count(self):
+        assert DeglitchFilter(depth=0).gate_count() == 0
+        assert DeglitchFilter(depth=4).gate_count() > DeglitchFilter(
+            depth=2).gate_count()

@@ -1,0 +1,188 @@
+"""Unit and integration tests for the complete BIST engine."""
+
+import numpy as np
+import pytest
+
+from repro.adc import (
+    DevicePopulation,
+    FlashADC,
+    IdealADC,
+    PopulationSpec,
+    StuckBitADC,
+    inject_missing_code,
+    inject_wide_code,
+)
+from repro.core import BistConfig, BistEngine
+
+
+class TestBistConfig:
+    def test_default_step_from_counter(self):
+        config = BistConfig(counter_bits=4, dnl_spec_lsb=0.5)
+        assert config.resolved_delta_s_lsb() == pytest.approx(0.091,
+                                                              abs=0.001)
+
+    def test_explicit_step_wins(self):
+        config = BistConfig(counter_bits=4, dnl_spec_lsb=0.5,
+                            delta_s_lsb=0.08)
+        assert config.resolved_delta_s_lsb() == pytest.approx(0.08)
+
+    def test_limits_consistent_with_counter(self):
+        config = BistConfig(counter_bits=5, dnl_spec_lsb=1.0)
+        limits = config.limits()
+        assert limits.counter_bits == 5
+        assert limits.i_max <= 32
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BistConfig(n_bits=1)
+        with pytest.raises(ValueError):
+            BistConfig(counter_bits=0)
+        with pytest.raises(ValueError):
+            BistConfig(dnl_spec_lsb=-0.5)
+        with pytest.raises(ValueError):
+            BistConfig(delta_s_lsb=-0.1).resolved_delta_s_lsb()
+
+
+class TestSingleDeviceRuns:
+    def test_ideal_converter_passes(self, ideal_adc, relaxed_engine):
+        result = relaxed_engine.run(ideal_adc)
+        assert result.passed
+        assert result.lsb.n_codes_measured == 62
+        assert result.msb is not None and result.msb.passed
+
+    def test_wrong_resolution_rejected(self, relaxed_engine):
+        with pytest.raises(ValueError):
+            relaxed_engine.run(IdealADC(8))
+
+    def test_within_spec_flash_device_passes(self, relaxed_engine):
+        adc = FlashADC.from_sigma(6, 0.1, seed=3)
+        assert adc.max_dnl() < 0.9
+        assert relaxed_engine.run(adc).passed
+
+    def test_gross_defect_missing_code_rejected(self, ideal_adc,
+                                                relaxed_engine):
+        faulty = inject_missing_code(ideal_adc, code=25)
+        assert not relaxed_engine.run(faulty).passed
+
+    def test_gross_defect_wide_code_rejected(self, ideal_adc, relaxed_engine):
+        faulty = inject_wide_code(ideal_adc, code=25, extra_lsb=2.5)
+        assert not relaxed_engine.run(faulty).passed
+
+    def test_stuck_output_bit_rejected_by_msb_check(self, ideal_adc,
+                                                    relaxed_engine):
+        faulty = StuckBitADC(ideal_adc, bit=4, stuck_value=0)
+        result = relaxed_engine.run(faulty)
+        assert not result.passed
+        assert not result.msb.passed
+
+    def test_measured_dnl_close_to_true_dnl(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=17)
+        engine = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=1.0))
+        result = engine.run(adc)
+        measured = result.measured_dnl_lsb
+        true_dnl = adc.dnl()
+        assert measured.size == true_dnl.size
+        # A 7-bit counter resolves about 1/64 LSB; allow a few steps.
+        assert np.max(np.abs(measured - true_dnl)) < 0.06
+
+    def test_keep_record_flag(self, ideal_adc, relaxed_engine):
+        with_record = relaxed_engine.run(ideal_adc, keep_record=True)
+        without_record = relaxed_engine.run(ideal_adc, keep_record=False)
+        assert with_record.record is not None
+        assert without_record.record is None
+
+    def test_off_chip_bits_reported(self, ideal_adc, relaxed_engine):
+        result = relaxed_engine.run(ideal_adc)
+        assert result.off_chip_bits_transferred == result.samples_taken
+
+    def test_reproducible_with_seed(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=5)
+        config = BistConfig(counter_bits=4, dnl_spec_lsb=0.5, seed=9,
+                            transition_noise_lsb=0.05, deglitch_depth=2)
+        a = BistEngine(config).run(adc)
+        b = BistEngine(config).run(adc)
+        assert np.array_equal(a.lsb.counts, b.lsb.counts)
+
+    def test_noise_with_deglitch_still_passes(self, ideal_adc):
+        """Transition noise below the step size is fully absorbed by a
+        shallow deglitch filter; noise above the step needs a deeper one."""
+        mild = BistConfig(counter_bits=6, dnl_spec_lsb=1.0,
+                          transition_noise_lsb=0.02, deglitch_depth=2,
+                          seed=1)
+        strong = BistConfig(counter_bits=6, dnl_spec_lsb=1.0,
+                            transition_noise_lsb=0.05, deglitch_depth=4,
+                            seed=1)
+        assert BistEngine(mild).run(ideal_adc).passed
+        assert BistEngine(strong).run(ideal_adc).passed
+
+    def test_noise_without_deglitch_fails(self, ideal_adc):
+        """Without the digital filter the LSB toggles break the measurement —
+        the reason the paper calls for the filter in the first place."""
+        config = BistConfig(counter_bits=6, dnl_spec_lsb=1.0,
+                            transition_noise_lsb=0.05, deglitch_depth=0,
+                            seed=1)
+        result = BistEngine(config).run(ideal_adc)
+        assert not result.lsb.transitions_ok
+        assert not result.passed
+
+    def test_inl_check_enforced(self):
+        """A device with small DNL but accumulating INL fails only when the
+        INL check is enabled."""
+        from repro.adc import TableADC, TransferFunction
+        widths = np.ones(62)
+        widths[:31] += 0.25
+        widths[31:] -= 0.25  # keep the curve inside the conversion range
+        device = TableADC(TransferFunction.from_code_widths(6, widths / 64))
+        dnl_only = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=0.5))
+        with_inl = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=0.5,
+                                         inl_spec_lsb=1.0))
+        assert dnl_only.run(device).passed
+        assert not with_inl.run(device).passed
+
+    def test_gate_count_reported(self, relaxed_engine, stringent_engine):
+        assert relaxed_engine.gate_count() > 0
+        assert relaxed_engine.gate_count() > stringent_engine.gate_count()
+
+    def test_slope_error_changes_measurement(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=23)
+        nominal = BistEngine(BistConfig(counter_bits=4, dnl_spec_lsb=0.5))
+        steep = BistEngine(BistConfig(counter_bits=4, dnl_spec_lsb=0.5,
+                                      slope_error=0.05))
+        counts_nominal = nominal.run(adc).lsb.counts
+        counts_steep = steep.run(adc).lsb.counts
+        # A steeper ramp yields fewer samples per code on average.
+        assert counts_steep.mean() < counts_nominal.mean()
+
+
+class TestPopulationRuns:
+    def test_population_result_bookkeeping(self, small_population,
+                                           relaxed_engine):
+        result = relaxed_engine.run_population(small_population, rng=0)
+        assert result.n_devices == len(small_population)
+        assert 0.0 <= result.p_accept <= 1.0
+        assert 0.0 <= result.p_good <= 1.0
+        assert result.type_i + result.type_ii <= 1.0
+        assert result.agreement >= 1.0 - result.type_i - result.type_ii - 1e-9
+
+    def test_actual_spec_accepts_nearly_all(self, small_population,
+                                            relaxed_engine):
+        result = relaxed_engine.run_population(small_population, rng=0)
+        # At ±1 LSB nearly every parametric device is good and accepted.
+        assert result.p_accept > 0.9
+        assert result.type_ii < 0.1
+
+    def test_stringent_spec_rejects_many(self, small_population,
+                                         stringent_engine):
+        result = stringent_engine.run_population(small_population, rng=0)
+        # At ±0.5 LSB only a minority of devices is good (paper: ~30 %).
+        assert result.p_good < 0.7
+        assert result.p_accept < 0.9
+
+    def test_bigger_counter_improves_agreement(self):
+        population = DevicePopulation(PopulationSpec(size=60, seed=31))
+        coarse = BistEngine(BistConfig(counter_bits=4, dnl_spec_lsb=0.5))
+        fine = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=0.5))
+        agreement_coarse = coarse.run_population(population, rng=1).agreement
+        agreement_fine = fine.run_population(population, rng=1).agreement
+        # Allow a small sampling fluctuation on the 60-device batch.
+        assert agreement_fine >= agreement_coarse - 0.05

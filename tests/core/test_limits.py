@@ -1,0 +1,79 @@
+"""Unit tests for the count-limit computation (Equations (3) – (5))."""
+
+import pytest
+
+from repro.core import CountLimits
+
+
+class TestCountLimitsForCounter:
+    def test_paper_4bit_stringent_configuration(self):
+        limits = CountLimits.for_counter(4, dnl_spec_lsb=0.5)
+        assert limits.delta_s_lsb == pytest.approx(0.091, abs=0.001)
+        assert limits.i_min == 6
+        assert limits.i_max == 16
+
+    def test_upper_limit_never_exceeds_counter_range(self):
+        for bits in range(3, 10):
+            limits = CountLimits.for_counter(bits, dnl_spec_lsb=1.0)
+            assert limits.i_max <= (1 << bits)
+
+    def test_explicit_step_size(self):
+        limits = CountLimits.for_counter(5, dnl_spec_lsb=0.5,
+                                         delta_s_lsb=0.05)
+        assert limits.i_min == 10
+        assert limits.i_max == 30
+
+    def test_ideal_count(self):
+        limits = CountLimits.for_counter(4, dnl_spec_lsb=0.5)
+        assert limits.ideal_count == pytest.approx(1.0 / limits.delta_s_lsb)
+        assert limits.samples_per_code == limits.ideal_count
+
+    def test_max_error_is_one_step(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=1.0)
+        assert limits.max_error_lsb == pytest.approx(limits.delta_s_lsb)
+
+    def test_accepts_decision(self):
+        limits = CountLimits.for_counter(4, dnl_spec_lsb=0.5)
+        assert limits.accepts(limits.i_min)
+        assert limits.accepts(limits.i_max)
+        assert not limits.accepts(limits.i_min - 1)
+        assert not limits.accepts(limits.i_max + 1)
+
+    def test_inl_limits_require_spec(self):
+        without = CountLimits.for_counter(5, dnl_spec_lsb=0.5)
+        with pytest.raises(ValueError):
+            without.inl_count_limits()
+        with_spec = CountLimits.for_counter(5, dnl_spec_lsb=0.5,
+                                            inl_spec_lsb=1.0)
+        lo, hi = with_spec.inl_count_limits()
+        assert lo == pytest.approx(-hi)
+        assert hi == pytest.approx(1.0 / with_spec.delta_s_lsb)
+
+    def test_describe_mentions_key_numbers(self):
+        limits = CountLimits.for_counter(4, dnl_spec_lsb=0.5,
+                                         inl_spec_lsb=1.0)
+        text = limits.describe()
+        assert "4-bit" in text
+        assert "6..16" in text
+        assert "INL" in text
+
+    def test_invalid_counter_bits(self):
+        with pytest.raises(ValueError):
+            CountLimits.for_counter(0, dnl_spec_lsb=0.5)
+
+
+class TestCountLimitsForDeltaS:
+    def test_counter_sized_to_fit(self):
+        limits = CountLimits.for_delta_s(0.091, dnl_spec_lsb=0.5)
+        assert limits.counter_bits == 4
+        assert limits.i_max <= (1 << limits.counter_bits)
+
+    def test_finer_step_needs_bigger_counter(self):
+        coarse = CountLimits.for_delta_s(0.09, dnl_spec_lsb=0.5)
+        fine = CountLimits.for_delta_s(0.012, dnl_spec_lsb=0.5)
+        assert fine.counter_bits > coarse.counter_bits
+
+    def test_frozen_dataclass(self):
+        limits = CountLimits.for_counter(4, dnl_spec_lsb=0.5)
+        with pytest.raises(AttributeError):
+            limits.i_min = 3

@@ -1,0 +1,179 @@
+"""Unit tests for the LSB processing block (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import IdealADC, inject_missing_code, inject_wide_code
+from repro.core import CountLimits, DeglitchFilter, LsbProcessor
+from repro.signals import RampStimulus
+
+
+def _lsb_stream_from_counts(counts, lead=3, tail=3):
+    """Build an LSB sample stream whose inner segments have given lengths."""
+    stream = []
+    level = 0
+    stream.extend([level] * lead)
+    level ^= 1
+    for count in counts:
+        stream.extend([level] * count)
+        level ^= 1
+    stream.extend([level] * tail)
+    return np.array(stream, dtype=np.int8)
+
+
+class TestSyntheticStreams:
+    def test_counts_recovered_exactly(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=1.0,
+                                         delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        counts = [10, 11, 9, 10, 12, 8]
+        result = processor.process(_lsb_stream_from_counts(counts))
+        assert list(result.counts) == counts
+
+    def test_all_in_limit_passes(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=0.5,
+                                         delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        result = processor.process(_lsb_stream_from_counts([10] * 14),
+                                   n_bits=4)
+        assert result.dnl_passed
+        assert result.passed
+
+    def test_too_narrow_code_fails(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=0.5,
+                                         delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        counts = [10] * 6 + [3] + [10] * 7
+        result = processor.process(_lsb_stream_from_counts(counts), n_bits=4)
+        assert not result.dnl_passed
+        assert list(result.failing_codes()) == [6]
+
+    def test_too_wide_code_fails(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=0.5,
+                                         delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        counts = [10] * 6 + [17] + [10] * 7
+        result = processor.process(_lsb_stream_from_counts(counts), n_bits=4)
+        assert not result.dnl_passed
+
+    def test_counter_saturation_rejects_very_wide_code(self):
+        # A 4-bit counter saturates at 16; a 40-sample code must fail even
+        # though the stored value stays at 15.
+        limits = CountLimits.for_counter(4, dnl_spec_lsb=0.5,
+                                         delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        counts = [10] * 6 + [40] + [10] * 7
+        result = processor.process(_lsb_stream_from_counts(counts), n_bits=4)
+        assert not result.dnl_passed
+        assert result.counter_readings[6] == 16
+
+    def test_missing_transition_detected(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=1.0,
+                                         delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        # Only 10 segments where a 4-bit converter should give 14.
+        result = processor.process(_lsb_stream_from_counts([10] * 10),
+                                   n_bits=4)
+        assert not result.transitions_ok
+        assert not result.passed
+
+    def test_inl_accumulation_and_limits(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=1.0,
+                                         inl_spec_lsb=0.5, delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        # Every code slightly wide: individually inside the DNL limits but
+        # the accumulated deviation drifts past the INL limit (5 counts).
+        counts = [12] * 14
+        result = processor.process(_lsb_stream_from_counts(counts), n_bits=4)
+        assert result.dnl_passed
+        assert not result.inl_passed
+        assert not result.passed
+
+    def test_inl_ignored_without_spec(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=1.0,
+                                         delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        result = processor.process(_lsb_stream_from_counts([12] * 14),
+                                   n_bits=4)
+        assert result.inl_passed
+
+    def test_measured_widths_and_dnl(self):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=1.0,
+                                         delta_s_lsb=0.1)
+        processor = LsbProcessor(limits)
+        result = processor.process(_lsb_stream_from_counts([10, 15, 10, 5]))
+        assert result.measured_widths_lsb == pytest.approx(
+            [1.0, 1.5, 1.0, 0.5])
+        assert result.measured_dnl_lsb[1] > 0
+        assert result.measured_dnl_lsb[3] < 0
+
+    def test_deglitch_filter_integrated(self, rng):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=0.5,
+                                         delta_s_lsb=0.1)
+        stream = _lsb_stream_from_counts([10] * 14)
+        # Inject isolated glitches away from the real edges.
+        noisy = stream.copy()
+        glitch_positions = [17, 43, 71, 99, 123]
+        for pos in glitch_positions:
+            noisy[pos] ^= 1
+        raw = LsbProcessor(limits).process(noisy, n_bits=4)
+        filtered = LsbProcessor(limits,
+                                deglitch=DeglitchFilter(depth=2)).process(
+                                    noisy, n_bits=4)
+        assert not raw.passed
+        assert filtered.passed
+
+    def test_empty_and_short_streams(self):
+        limits = CountLimits.for_counter(4, dnl_spec_lsb=0.5)
+        processor = LsbProcessor(limits)
+        result = processor.process(np.zeros(10, dtype=int))
+        assert result.n_codes_measured == 0
+        assert not result.passed
+
+    def test_rejects_2d_input(self):
+        limits = CountLimits.for_counter(4, dnl_spec_lsb=0.5)
+        with pytest.raises(ValueError):
+            LsbProcessor(limits).process(np.zeros((3, 3)))
+
+
+class TestWithRealConverters:
+    def test_ideal_converter_passes(self, ideal_adc):
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=0.5)
+        processor = LsbProcessor(limits)
+        ramp = RampStimulus.from_delta_s(
+            limits.delta_s_lsb * ideal_adc.lsb, ideal_adc.sample_rate,
+            start_voltage=-2 * ideal_adc.lsb)
+        record = ideal_adc.sample(ramp,
+                                  n_samples=ramp.n_samples_for_adc(ideal_adc))
+        result = processor.process(record.lsb_waveform, n_bits=6)
+        assert result.n_codes_measured == 62
+        assert result.passed
+
+    def test_wide_code_device_fails(self, ideal_adc):
+        faulty = inject_wide_code(ideal_adc, code=30, extra_lsb=1.0)
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=0.5)
+        processor = LsbProcessor(limits)
+        ramp = RampStimulus.from_delta_s(
+            limits.delta_s_lsb * faulty.lsb, faulty.sample_rate,
+            start_voltage=-2 * faulty.lsb)
+        record = faulty.sample(ramp,
+                               n_samples=ramp.n_samples_for_adc(faulty))
+        result = processor.process(record.lsb_waveform, n_bits=6)
+        assert not result.passed
+
+    def test_missing_code_device_fails(self, ideal_adc):
+        faulty = inject_missing_code(ideal_adc, code=20)
+        limits = CountLimits.for_counter(6, dnl_spec_lsb=0.5)
+        processor = LsbProcessor(limits)
+        ramp = RampStimulus.from_delta_s(
+            limits.delta_s_lsb * faulty.lsb, faulty.sample_rate,
+            start_voltage=-2 * faulty.lsb)
+        record = faulty.sample(ramp,
+                               n_samples=ramp.n_samples_for_adc(faulty))
+        result = processor.process(record.lsb_waveform, n_bits=6)
+        assert not result.passed
+
+    def test_gate_count_scales_with_counter(self):
+        small = LsbProcessor(CountLimits.for_counter(4, 0.5)).gate_count()
+        large = LsbProcessor(CountLimits.for_counter(7, 0.5)).gate_count()
+        assert large > small

@@ -1,0 +1,103 @@
+"""Unit tests for the on-chip MSB functionality checker."""
+
+import numpy as np
+import pytest
+
+from repro.adc import IdealADC, StuckBitADC, inject_non_monotonic
+from repro.core import MsbChecker
+from repro.signals import RampStimulus
+
+
+def _ramp_codes(adc, samples_per_code=8):
+    ramp = RampStimulus.for_adc(adc, samples_per_code=samples_per_code)
+    record = adc.sample(ramp, n_samples=ramp.n_samples_for_adc(adc))
+    return record.codes
+
+
+class TestMsbChecker:
+    def test_healthy_converter_passes(self, ideal_adc):
+        codes = _ramp_codes(ideal_adc)
+        result = MsbChecker(6).check(codes)
+        assert result.passed
+        assert result.n_mismatches == 0
+        assert result.n_clock_events == result.expected_clock_events
+
+    def test_synthetic_counting_sequence_passes(self):
+        codes = np.repeat(np.arange(64), 5)
+        result = MsbChecker(6).check(codes)
+        assert result.passed
+
+    def test_stuck_lsb_detected(self, ideal_adc):
+        faulty = StuckBitADC(ideal_adc, bit=0, stuck_value=0)
+        ramp = RampStimulus.for_adc(ideal_adc, samples_per_code=8)
+        codes = faulty.convert(
+            ramp.voltage(np.arange(ramp.n_samples_for_adc(ideal_adc))
+                         / ideal_adc.sample_rate))
+        result = MsbChecker(6).check(codes)
+        # With a stuck LSB the reference counter never advances, while the
+        # upper bits do: the functionality check must fail.
+        assert not result.passed
+
+    def test_stuck_msb_detected(self, ideal_adc):
+        faulty = StuckBitADC(ideal_adc, bit=5, stuck_value=0)
+        ramp = RampStimulus.for_adc(ideal_adc, samples_per_code=8)
+        codes = faulty.convert(
+            ramp.voltage(np.arange(ramp.n_samples_for_adc(ideal_adc))
+                         / ideal_adc.sample_rate))
+        result = MsbChecker(6).check(codes)
+        assert not result.passed
+        assert result.first_mismatch_index is not None
+
+    def test_stuck_middle_bit_detected(self, ideal_adc):
+        faulty = StuckBitADC(ideal_adc, bit=3, stuck_value=1)
+        ramp = RampStimulus.for_adc(ideal_adc, samples_per_code=8)
+        codes = faulty.convert(
+            ramp.voltage(np.arange(ramp.n_samples_for_adc(ideal_adc))
+                         / ideal_adc.sample_rate))
+        assert not MsbChecker(6).check(codes).passed
+
+    def test_non_monotonic_is_a_linearity_fault_not_a_functional_one(
+            self, ideal_adc):
+        """A bubble error hidden by the thermometer encoder still produces a
+        monotone code sequence, so the functionality check passes — the
+        distorted code widths are the LSB processing block's job."""
+        faulty = inject_non_monotonic(ideal_adc, code=30, depth_lsb=2.5)
+        codes = _ramp_codes(faulty)
+        assert MsbChecker(6).check(codes).passed
+        assert faulty.max_dnl() > 1.0
+
+    def test_small_linearity_error_is_ignored(self):
+        """The functionality check is linearity-blind — that is the LSB
+        processing block's job."""
+        from repro.adc import FlashADC
+        adc = FlashADC.from_sigma(6, 0.21, seed=3)
+        codes = _ramp_codes(adc, samples_per_code=16)
+        assert MsbChecker(6).check(codes).passed
+
+    def test_higher_partition_point(self):
+        codes = np.repeat(np.arange(64), 4)
+        result = MsbChecker(6, q=2).check(codes)
+        assert result.passed
+        assert result.expected_clock_events == 15
+
+    def test_empty_record(self):
+        result = MsbChecker(6).check(np.array([], dtype=int))
+        assert result.passed
+        assert result.n_samples == 0
+
+    def test_mismatch_fraction(self):
+        codes = np.repeat(np.arange(64), 5)
+        codes[100:110] ^= 0b100000
+        result = MsbChecker(6).check(codes)
+        assert result.mismatch_fraction == pytest.approx(10 / codes.size)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MsbChecker(1)
+        with pytest.raises(ValueError):
+            MsbChecker(6, q=6)
+        with pytest.raises(ValueError):
+            MsbChecker(6).check(np.zeros((2, 2), dtype=int))
+
+    def test_gate_count_scales_with_width(self):
+        assert MsbChecker(10).gate_count() > MsbChecker(4).gate_count()

@@ -1,0 +1,128 @@
+"""Unit tests for the partial-BIST engine (Figure 2 with q > 1)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import FlashADC, IdealADC, StuckBitADC, inject_wide_code
+from repro.core import (
+    PartialBistConfig,
+    PartialBistEngine,
+    reconstruct_codes,
+)
+
+
+class TestReconstructCodes:
+    def test_perfect_reconstruction_of_a_counting_sequence(self):
+        codes = np.repeat(np.arange(64), 5)
+        for q in (1, 2, 3):
+            observed = codes & ((1 << q) - 1)
+            rebuilt = reconstruct_codes(observed, q, 6)
+            assert np.array_equal(rebuilt, codes)
+
+    def test_initial_upper_offset(self):
+        codes = np.repeat(np.arange(16, 64), 3)
+        q = 2
+        observed = codes & 3
+        rebuilt = reconstruct_codes(observed, q, 6, initial_upper=16 >> q)
+        assert np.array_equal(rebuilt, codes)
+
+    def test_clipping_to_resolution(self):
+        observed = np.array([0, 1, 0, 1, 0, 1] * 40)
+        rebuilt = reconstruct_codes(observed, 1, 3)
+        assert rebuilt.max() <= 7
+
+    def test_empty_input(self):
+        assert reconstruct_codes(np.array([], dtype=int), 2, 6).size == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            reconstruct_codes(np.zeros((2, 2), dtype=int), 1, 6)
+        with pytest.raises(ValueError):
+            reconstruct_codes(np.zeros(4, dtype=int), 0, 6)
+        with pytest.raises(ValueError):
+            reconstruct_codes(np.zeros(4, dtype=int), 7, 6)
+
+
+class TestPartialBistConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartialBistConfig(n_bits=1)
+        with pytest.raises(ValueError):
+            PartialBistConfig(q=0)
+        with pytest.raises(ValueError):
+            PartialBistConfig(q=7, n_bits=6)
+        with pytest.raises(ValueError):
+            PartialBistConfig(samples_per_code=0)
+
+
+class TestPartialBistEngine:
+    def test_ideal_converter_passes_for_every_q(self):
+        adc = IdealADC(6)
+        for q in (1, 2, 3, 4):
+            engine = PartialBistEngine(PartialBistConfig(q=q,
+                                                         dnl_spec_lsb=0.5))
+            result = engine.run(adc)
+            assert result.passed, f"q={q} failed on an ideal converter"
+            assert result.reconstruction_error_rate == 0.0
+            assert result.partition.q == q
+
+    def test_reconstruction_is_exact_for_slow_ramp(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=5)
+        engine = PartialBistEngine(PartialBistConfig(q=2, dnl_spec_lsb=1.0))
+        result = engine.run(adc)
+        assert result.reconstruction_error_rate == 0.0
+
+    def test_dnl_matches_true_linearity(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=9)
+        engine = PartialBistEngine(PartialBistConfig(
+            q=2, dnl_spec_lsb=1.0, samples_per_code=200))
+        result = engine.run(adc)
+        assert result.linearity.max_dnl == pytest.approx(adc.max_dnl(),
+                                                         abs=0.05)
+
+    def test_bits_captured_scale_with_q(self):
+        adc = IdealADC(6)
+        results = {}
+        for q in (1, 3):
+            engine = PartialBistEngine(PartialBistConfig(q=q,
+                                                         dnl_spec_lsb=1.0))
+            results[q] = engine.run(adc)
+        assert results[3].bits_captured == 3 * results[3].samples_taken
+        assert results[1].bits_captured == results[1].samples_taken
+        assert results[3].bits_captured > results[1].bits_captured
+
+    def test_out_of_spec_device_fails(self):
+        faulty = inject_wide_code(IdealADC(6), code=20, extra_lsb=2.0)
+        engine = PartialBistEngine(PartialBistConfig(q=2, dnl_spec_lsb=1.0))
+        result = engine.run(faulty)
+        assert not result.passed
+        assert not result.linearity_passed
+
+    def test_stuck_upper_bit_caught_by_on_chip_check(self):
+        faulty = StuckBitADC(IdealADC(6), bit=5, stuck_value=0)
+        engine = PartialBistEngine(PartialBistConfig(q=2, dnl_spec_lsb=1.0))
+        result = engine.run(faulty)
+        assert not result.passed
+        assert result.msb is not None and not result.msb.passed
+
+    def test_automatic_partition_uses_equation_one(self):
+        adc = IdealADC(6)
+        engine = PartialBistEngine(PartialBistConfig(q=None,
+                                                     dnl_spec_lsb=0.5,
+                                                     inl_spec_lsb=0.5))
+        partition = engine.partition_for(adc)
+        # A slow ramp needs only the LSB.
+        assert partition.q == 1
+        fast = engine.partition_for(adc, stimulus_frequency=adc.sample_rate / 4)
+        assert fast.q > 1
+
+    def test_wrong_resolution_rejected(self):
+        engine = PartialBistEngine(PartialBistConfig(n_bits=6, q=2))
+        with pytest.raises(ValueError):
+            engine.run(IdealADC(8))
+
+    def test_keep_record_flag(self):
+        adc = IdealADC(6)
+        engine = PartialBistEngine(PartialBistConfig(q=2))
+        assert engine.run(adc, keep_record=True).record is not None
+        assert engine.run(adc, keep_record=False).record is None

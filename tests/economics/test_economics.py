@@ -1,0 +1,136 @@
+"""Unit tests for the test-economics models."""
+
+import pytest
+
+from repro.economics import (
+    ParallelTestSchedule,
+    compare_schedules,
+    cost_per_device,
+)
+from repro.economics import TestPlan as Plan
+from repro.economics import TesterModel as Ate
+
+
+class TestTesterModel:
+    def test_factories(self):
+        ms = Ate.mixed_signal()
+        digital = Ate.digital_only()
+        assert ms.has_mixed_signal
+        assert not digital.has_mixed_signal
+        assert digital.capital_cost < ms.capital_cost
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ate("x", digital_channels=0, has_mixed_signal=True,
+                        capital_cost=1.0, cost_per_second=0.1)
+        with pytest.raises(ValueError):
+            Ate("x", digital_channels=8, has_mixed_signal=True,
+                        capital_cost=-1.0, cost_per_second=0.1)
+
+
+class TestTestPlan:
+    def test_conventional_plan(self):
+        plan = Plan.conventional_histogram(n_bits=6, samples=4096,
+                                               sample_rate=1e6)
+        assert plan.data_volume_bits == 4096 * 6
+        assert plan.acquisition_time_s == pytest.approx(4096e-6)
+        assert plan.needs_mixed_signal_tester
+        assert plan.channels_needed() == 6
+
+    def test_partial_bist_plan(self):
+        plan = Plan.partial_bist(n_bits=6, q=2, samples=4096)
+        assert plan.data_volume_bits == 4096 * 2
+        assert plan.channels_needed() == 2
+
+    def test_full_bist_plan(self):
+        plan = Plan.full_bist(n_bits=6, samples=4096)
+        assert plan.data_volume_bits == 0
+        assert plan.channels_needed() == 1
+        assert not plan.needs_mixed_signal_tester
+
+    def test_full_bist_without_on_chip_generation(self):
+        plan = Plan.full_bist(n_bits=6, samples=4096,
+                                  on_chip_generation=False)
+        assert plan.needs_mixed_signal_tester
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Plan(n_bits=6, samples=0, observed_bits_per_sample=6,
+                     sample_rate=1e6)
+        with pytest.raises(ValueError):
+            Plan(n_bits=6, samples=10, observed_bits_per_sample=7,
+                     sample_rate=1e6)
+
+
+class TestCostPerDevice:
+    def test_bist_is_cheaper_than_conventional(self):
+        tester = Ate.mixed_signal()
+        conventional = Plan.conventional_histogram()
+        bist = Plan.full_bist(n_bits=6, samples=4096,
+                                  on_chip_generation=False)
+        assert (cost_per_device(bist, tester)
+                < cost_per_device(conventional, tester))
+
+    def test_full_bist_runs_on_digital_tester(self):
+        digital = Ate.digital_only()
+        bist = Plan.full_bist(n_bits=6, samples=4096)
+        assert cost_per_device(bist, digital) > 0.0
+
+    def test_conventional_needs_mixed_signal_tester(self):
+        digital = Ate.digital_only()
+        conventional = Plan.conventional_histogram()
+        with pytest.raises(ValueError):
+            cost_per_device(conventional, digital)
+
+    def test_multiple_converters_share_insertion(self):
+        tester = Ate.mixed_signal()
+        plan = Plan.conventional_histogram()
+        single = cost_per_device(plan, tester, devices_per_ic=1, sites=1)
+        quad = cost_per_device(plan, tester, devices_per_ic=4, sites=1)
+        assert quad == pytest.approx(single / 4)
+
+    def test_site_limit_enforced(self):
+        tester = Ate.mixed_signal()  # 64 channels
+        plan = Plan.conventional_histogram()  # 6 channels each
+        with pytest.raises(ValueError):
+            cost_per_device(plan, tester, sites=11)
+
+    def test_default_sites_maximises_parallelism(self):
+        tester = Ate.mixed_signal()
+        plan = Plan.conventional_histogram()
+        auto = cost_per_device(plan, tester)
+        explicit = cost_per_device(plan, tester, sites=10)
+        assert auto == pytest.approx(explicit)
+
+
+class TestParallelTestSchedule:
+    def test_converters_per_pass(self):
+        schedule = ParallelTestSchedule(n_converters=100,
+                                        bits_per_converter=6,
+                                        tester_channels=64,
+                                        time_per_pass_s=0.01)
+        assert schedule.converters_per_pass == 10
+        assert schedule.n_passes == 10
+        assert schedule.total_time_s == pytest.approx(0.1)
+
+    def test_bist_schedules_are_faster(self):
+        conventional, partial, full = compare_schedules(
+            n_converters=1000, n_bits=6, q=2, tester_channels=64,
+            time_per_pass_s=0.01)
+        assert partial.total_time_s < conventional.total_time_s
+        assert full.total_time_s <= partial.total_time_s
+        assert full.speedup_over(conventional) >= 5.0
+
+    def test_speedup_definition(self):
+        a = ParallelTestSchedule(100, 6, 64, 0.01)
+        b = ParallelTestSchedule(100, 1, 64, 0.01)
+        assert b.speedup_over(a) == pytest.approx(a.total_time_s
+                                                  / b.total_time_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelTestSchedule(0, 6, 64, 0.01)
+        with pytest.raises(ValueError):
+            ParallelTestSchedule(10, 6, 4, 0.01)
+        with pytest.raises(ValueError):
+            compare_schedules(10, 6, 7, 64, 0.01)

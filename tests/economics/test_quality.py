@@ -1,0 +1,89 @@
+"""Unit tests for the outgoing-quality and cost-optimisation models."""
+
+import pytest
+
+from repro.analysis import ErrorModel
+from repro.economics import CostBreakdown, OutgoingQuality
+from repro.economics import TestCostOptimizer as CostOptimizer
+
+
+class TestOutgoingQuality:
+    def test_from_error_model(self):
+        device = ErrorModel(dnl_spec_lsb=1.0, counter_bits=5).device(62)
+        quality = OutgoingQuality.from_device_probabilities(device)
+        assert quality.p_good == pytest.approx(device.p_good)
+        assert quality.shipped_dppm == pytest.approx(
+            1e6 * device.type_ii / quality.p_ship)
+
+    def test_ship_fraction(self):
+        quality = OutgoingQuality(p_good=0.9, type_i=0.05, type_ii=0.02)
+        assert quality.p_ship == pytest.approx(0.87)
+        assert quality.yield_loss_ppm == pytest.approx(5e4)
+
+    def test_perfect_test(self):
+        quality = OutgoingQuality(p_good=0.95, type_i=0.0, type_ii=0.0)
+        assert quality.shipped_dppm == 0.0
+        assert quality.meets_quality_target(10.0)
+
+    def test_quality_target(self):
+        good = OutgoingQuality(p_good=0.999, type_i=1e-4, type_ii=5e-5)
+        bad = OutgoingQuality(p_good=0.999, type_i=1e-4, type_ii=5e-3)
+        assert good.meets_quality_target(100.0)
+        assert not bad.meets_quality_target(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutgoingQuality(p_good=1.5, type_i=0.0, type_ii=0.0)
+        with pytest.raises(ValueError):
+            OutgoingQuality(p_good=0.9, type_i=0.0,
+                            type_ii=0.0).meets_quality_target(-1.0)
+
+
+class TestCostOptimizerSuite:
+    def test_evaluate_breakdown_fields(self):
+        optimizer = CostOptimizer()
+        breakdown = optimizer.evaluate(5)
+        assert isinstance(breakdown, CostBreakdown)
+        assert breakdown.counter_bits == 5
+        assert breakdown.silicon_cost > 0
+        assert breakdown.total >= breakdown.silicon_cost
+
+    def test_bigger_counter_costs_more_silicon_fewer_escapes(self):
+        optimizer = CostOptimizer()
+        small = optimizer.evaluate(4)
+        large = optimizer.evaluate(8)
+        assert large.silicon_cost > small.silicon_cost
+        assert large.escape_cost < small.escape_cost
+        assert large.quality.shipped_dppm < small.quality.shipped_dppm
+
+    def test_sweep_and_best(self):
+        optimizer = CostOptimizer()
+        sweep = optimizer.sweep(range(4, 9))
+        assert set(sweep) == {4, 5, 6, 7, 8}
+        best = optimizer.best(range(4, 9))
+        assert best.counter_bits in sweep
+        assert best.quality.meets_quality_target(100.0)
+
+    def test_best_without_quality_target_minimises_total(self):
+        optimizer = CostOptimizer()
+        best = optimizer.best(range(4, 9), dppm_target=None)
+        sweep = optimizer.sweep(range(4, 9))
+        assert best.total == pytest.approx(
+            min(b.total for b in sweep.values()))
+
+    def test_unreachable_target_returns_lowest_dppm(self):
+        optimizer = CostOptimizer(dnl_spec_lsb=0.5)
+        best = optimizer.best(range(4, 6), dppm_target=1e-6)
+        sweep = optimizer.sweep(range(4, 6))
+        assert best.quality.shipped_dppm == pytest.approx(
+            min(b.quality.shipped_dppm for b in sweep.values()))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            CostOptimizer().best([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostOptimizer(n_codes=0)
+        with pytest.raises(ValueError):
+            CostOptimizer(device_cost=-1.0)

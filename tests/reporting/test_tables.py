@@ -1,0 +1,73 @@
+"""Unit tests for the table / series / ASCII-plot formatting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import ascii_plot, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_format=".2f")
+        assert "0.12" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_mixed_types(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["beta", 2.0]])
+        assert "alpha" in text and "beta" in text
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series([1, 2, 3], [0.1, 0.2, 0.3], "x", "y")
+        assert "x" in text and "y" in text
+        assert len(text.splitlines()) == 5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [1])
+
+
+class TestAsciiPlot:
+    def test_dimensions(self):
+        x = np.linspace(0, 1, 50)
+        y = x ** 2
+        text = ascii_plot(x, y, width=40, height=10)
+        lines = text.splitlines()
+        plot_lines = [l for l in lines if l.startswith("|")]
+        assert len(plot_lines) == 10
+        assert all(len(l) <= 41 for l in plot_lines)
+
+    def test_contains_points(self):
+        text = ascii_plot([0, 1], [0, 1], width=20, height=6)
+        assert "*" in text
+
+    def test_log_scale(self):
+        x = np.linspace(0, 1, 20)
+        y = 10.0 ** (-3 * x)
+        text = ascii_plot(x, y, logy=True)
+        assert "log10" in text
+
+    def test_log_scale_requires_positive_values(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], [0.0, -1.0], logy=True)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], [1], width=5, height=2)
+        with pytest.raises(ValueError):
+            ascii_plot([], [])

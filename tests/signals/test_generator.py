@@ -1,0 +1,102 @@
+"""Unit tests for the on-chip stimulus generator models."""
+
+import numpy as np
+import pytest
+
+from repro.adc import IdealADC
+from repro.signals import ChargePumpRampGenerator, DeltaSigmaSineGenerator
+
+
+class TestChargePumpRampGenerator:
+    def test_ideal_case_is_linear(self):
+        gen = ChargePumpRampGenerator(nominal_slope=100.0, span=1.0)
+        t = np.linspace(0, 0.01, 100)
+        v = gen.voltage(t)
+        assert np.allclose(np.diff(v), np.diff(v)[0])
+
+    def test_initial_slope_matches_nominal(self):
+        gen = ChargePumpRampGenerator(nominal_slope=100.0, span=1.0,
+                                      span_fraction=0.2)
+        t = np.array([0.0, 1e-6])
+        v = gen.voltage(t)
+        slope = (v[1] - v[0]) / 1e-6
+        assert slope == pytest.approx(100.0, rel=0.01)
+
+    def test_finite_output_resistance_bows_the_ramp(self):
+        gen = ChargePumpRampGenerator(nominal_slope=100.0, span=1.0,
+                                      span_fraction=0.3)
+        duration = 1.0 / 100.0
+        assert gen.worst_case_nonlinearity(duration) > 0.0
+
+    def test_more_span_fraction_means_more_bow(self):
+        duration = 0.01
+        small = ChargePumpRampGenerator(nominal_slope=100.0, span=1.0,
+                                        span_fraction=0.1)
+        large = ChargePumpRampGenerator(nominal_slope=100.0, span=1.0,
+                                        span_fraction=0.5)
+        assert (large.worst_case_nonlinearity(duration)
+                > small.worst_case_nonlinearity(duration))
+
+    def test_slope_error(self):
+        gen = ChargePumpRampGenerator(nominal_slope=100.0, span=1.0,
+                                      slope_error=0.05)
+        assert gen.actual_slope == pytest.approx(105.0)
+
+    def test_noise_reproducibility(self):
+        t = np.linspace(0, 0.01, 50)
+        a = ChargePumpRampGenerator(100.0, 1.0, noise_sigma=1e-3,
+                                    rng=2).voltage(t)
+        b = ChargePumpRampGenerator(100.0, 1.0, noise_sigma=1e-3,
+                                    rng=2).voltage(t)
+        assert np.allclose(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChargePumpRampGenerator(nominal_slope=0.0, span=1.0)
+        with pytest.raises(ValueError):
+            ChargePumpRampGenerator(nominal_slope=1.0, span=1.0,
+                                    span_fraction=1.0)
+        with pytest.raises(ValueError):
+            ChargePumpRampGenerator(1.0, 1.0).worst_case_nonlinearity(0.0)
+
+    def test_drives_a_converter(self):
+        adc = IdealADC(6)
+        delta_s = adc.lsb / 8.0
+        gen = ChargePumpRampGenerator(nominal_slope=delta_s * adc.sample_rate,
+                                      span=1.1, span_fraction=0.05,
+                                      start_voltage=-2 * adc.lsb)
+        record = adc.sample(gen, n_samples=700)
+        assert record.codes.max() == adc.n_codes - 1
+
+
+class TestDeltaSigmaSineGenerator:
+    def test_reconstructs_a_sine(self):
+        gen = DeltaSigmaSineGenerator(frequency=1e3, amplitude=0.4,
+                                      offset=0.5, oversample_ratio=128)
+        t = np.linspace(0, 4e-3, 2000)
+        v = gen.voltage(t)
+        ideal = 0.5 + 0.4 * np.sin(2 * np.pi * 1e3 * t)
+        # Skip the reconstruction filter's start-up transient (first cycle),
+        # then the bit stream should track the ideal sine closely.
+        settled = t > 1e-3
+        rms = np.sqrt(np.mean((v[settled] - ideal[settled]) ** 2))
+        assert rms < 0.08
+        assert np.corrcoef(v[settled], ideal[settled])[0, 1] > 0.97
+
+    def test_output_range(self):
+        gen = DeltaSigmaSineGenerator(frequency=1e3, amplitude=0.4,
+                                      offset=0.5)
+        t = np.linspace(0, 2e-3, 500)
+        v = gen.voltage(t)
+        assert v.min() >= 0.0
+        assert v.max() <= 1.0
+
+    def test_empty_time_array(self):
+        gen = DeltaSigmaSineGenerator(frequency=1e3)
+        assert gen.voltage(np.array([])).size == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DeltaSigmaSineGenerator(frequency=0.0)
+        with pytest.raises(ValueError):
+            DeltaSigmaSineGenerator(frequency=1e3, oversample_ratio=2)

@@ -1,0 +1,112 @@
+"""Unit tests for ramp and sawtooth stimuli."""
+
+import numpy as np
+import pytest
+
+from repro.adc import IdealADC
+from repro.signals import RampStimulus, SawtoothStimulus
+
+
+class TestRampStimulus:
+    def test_linear_ramp_values(self):
+        ramp = RampStimulus(slope=2.0, start_voltage=0.5)
+        t = np.array([0.0, 0.25, 1.0])
+        assert np.allclose(ramp.voltage(t), [0.5, 1.0, 2.5])
+
+    def test_callable_interface(self):
+        ramp = RampStimulus(slope=1.0)
+        t = np.linspace(0, 1, 11)
+        assert np.allclose(ramp(t), ramp.voltage(t))
+
+    def test_slope_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RampStimulus(slope=0.0)
+        with pytest.raises(ValueError):
+            RampStimulus(slope=-1.0)
+
+    def test_delta_s_relation_eq5(self):
+        # Equation (5): delta_s = slope / f_sample.
+        ramp = RampStimulus(slope=100.0)
+        assert ramp.delta_s(sample_rate=1e3) == pytest.approx(0.1)
+
+    def test_for_adc_samples_per_code(self):
+        adc = IdealADC(6, full_scale=1.0, sample_rate=1e6)
+        ramp = RampStimulus.for_adc(adc, samples_per_code=16)
+        assert ramp.samples_per_code(adc) == pytest.approx(16.0)
+        assert ramp.delta_s_lsb(adc) == pytest.approx(1.0 / 16)
+
+    def test_for_adc_starts_below_range(self):
+        adc = IdealADC(6)
+        ramp = RampStimulus.for_adc(adc, samples_per_code=8,
+                                    start_margin_lsb=2.0)
+        assert ramp.start_voltage == pytest.approx(-2.0 * adc.lsb)
+
+    def test_from_delta_s(self):
+        ramp = RampStimulus.from_delta_s(delta_s=0.01, sample_rate=1e6)
+        assert ramp.slope == pytest.approx(0.01 * 1e6)
+
+    def test_n_samples_covers_full_range(self):
+        adc = IdealADC(6)
+        ramp = RampStimulus.for_adc(adc, samples_per_code=10)
+        n = ramp.n_samples_for_adc(adc)
+        record = adc.sample(ramp, n_samples=n)
+        assert record.codes.max() == adc.n_codes - 1
+        assert record.codes.min() == 0
+
+    def test_duration_for_range(self):
+        ramp = RampStimulus(slope=2.0, start_voltage=0.0)
+        assert ramp.duration_for_range(0.0, 1.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            ramp.duration_for_range(1.0, 0.5)
+
+    def test_noise_is_reproducible_with_seed(self):
+        t = np.linspace(0, 1, 100)
+        a = RampStimulus(slope=1.0, noise_sigma=0.01, rng=5).voltage(t)
+        b = RampStimulus(slope=1.0, noise_sigma=0.01, rng=5).voltage(t)
+        assert np.allclose(a, b)
+
+    def test_noise_changes_output(self):
+        t = np.linspace(0, 1, 100)
+        clean = RampStimulus(slope=1.0).voltage(t)
+        noisy = RampStimulus(slope=1.0, noise_sigma=0.01, rng=1).voltage(t)
+        assert not np.allclose(clean, noisy)
+
+    def test_nonlinearity_requires_duration(self):
+        with pytest.raises(ValueError):
+            RampStimulus(slope=1.0, nonlinearity=0.01)
+
+    def test_nonlinearity_bows_the_ramp(self):
+        t = np.linspace(0, 1, 101)
+        linear = RampStimulus(slope=1.0).voltage(t)
+        bowed = RampStimulus(slope=1.0, nonlinearity=0.01,
+                             duration=1.0).voltage(t)
+        deviation = bowed - linear
+        # Maximum bow at mid ramp, none at the end points.
+        assert deviation[50] == pytest.approx(0.01, rel=0.05)
+        assert deviation[0] == pytest.approx(0.0, abs=1e-12)
+        assert deviation[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSawtoothStimulus:
+    def test_period_and_range(self):
+        saw = SawtoothStimulus(frequency=10.0, low=0.0, high=1.0)
+        t = np.linspace(0, 0.0999, 1000)
+        v = saw.voltage(t)
+        assert v.min() >= 0.0
+        assert v.max() <= 1.0
+
+    def test_repeats_each_period(self):
+        saw = SawtoothStimulus(frequency=5.0)
+        assert saw.voltage(np.array([0.01]))[0] == pytest.approx(
+            saw.voltage(np.array([0.21]))[0])
+
+    def test_slope(self):
+        saw = SawtoothStimulus(frequency=100.0, low=0.0, high=2.0)
+        assert saw.slope() == pytest.approx(200.0)
+        assert saw.delta_s(1e6) == pytest.approx(200.0 / 1e6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SawtoothStimulus(frequency=0.0)
+        with pytest.raises(ValueError):
+            SawtoothStimulus(frequency=1.0, low=1.0, high=0.5)

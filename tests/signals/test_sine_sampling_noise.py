@@ -1,0 +1,152 @@
+"""Unit tests for sine stimuli, sampling clocks and the noise bundle."""
+
+import numpy as np
+import pytest
+
+from repro.adc import IdealADC
+from repro.signals import (
+    NoiseModel,
+    SamplingClock,
+    SineStimulus,
+    coherent_frequency,
+    quantization_noise_power,
+    snr_ideal_db,
+)
+
+
+class TestCoherentFrequency:
+    def test_integer_cycles(self):
+        f = coherent_frequency(1000.0, 1e6, 4096)
+        cycles = f * 4096 / 1e6
+        assert cycles == pytest.approx(round(cycles))
+
+    def test_odd_cycle_count(self):
+        f = coherent_frequency(1000.0, 1e6, 4096)
+        cycles = round(f * 4096 / 1e6)
+        assert cycles % 2 == 1
+
+    def test_close_to_target(self):
+        f = coherent_frequency(20e3, 1e6, 4096)
+        assert abs(f - 20e3) < 1e6 / 4096
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            coherent_frequency(-1.0, 1e6, 1024)
+
+
+class TestSineStimulus:
+    def test_amplitude_and_offset(self):
+        sine = SineStimulus(frequency=100.0, amplitude=0.4, offset=0.5)
+        t = np.linspace(0, 0.1, 10000)
+        v = sine.voltage(t)
+        assert v.max() == pytest.approx(0.9, abs=0.01)
+        assert v.min() == pytest.approx(0.1, abs=0.01)
+
+    def test_harmonics_add_distortion(self):
+        clean = SineStimulus(frequency=100.0)
+        dirty = SineStimulus(frequency=100.0, harmonics={3: 0.1})
+        t = np.linspace(0, 0.05, 5000)
+        assert not np.allclose(clean.voltage(t), dirty.voltage(t))
+
+    def test_harmonic_order_validation(self):
+        with pytest.raises(ValueError):
+            SineStimulus(frequency=100.0, harmonics={1: 0.1})
+
+    def test_for_adc_is_coherent_and_in_range(self):
+        adc = IdealADC(8)
+        sine = SineStimulus.for_adc(adc, 20e3, n_samples=4096)
+        t = np.arange(4096) / adc.sample_rate
+        v = sine.voltage(t)
+        assert v.min() >= 0.0
+        assert v.max() <= adc.full_scale
+        cycles = sine.frequency * 4096 / adc.sample_rate
+        assert cycles == pytest.approx(round(cycles))
+
+    def test_noise_reproducibility(self):
+        t = np.linspace(0, 0.01, 100)
+        a = SineStimulus(frequency=1e3, noise_sigma=0.01, rng=3).voltage(t)
+        b = SineStimulus(frequency=1e3, noise_sigma=0.01, rng=3).voltage(t)
+        assert np.allclose(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SineStimulus(frequency=0.0)
+        with pytest.raises(ValueError):
+            SineStimulus(frequency=1.0, amplitude=-1.0)
+
+
+class TestSamplingClock:
+    def test_ideal_clock_times(self):
+        clock = SamplingClock(sample_rate=1e6)
+        times = clock.sample_times(5)
+        assert np.allclose(times, np.arange(5) / 1e6)
+
+    def test_jitter_perturbs_times(self):
+        clock = SamplingClock(sample_rate=1e6, jitter_rms=1e-9, rng=0)
+        times = clock.sample_times(1000)
+        ideal = np.arange(1000) / 1e6
+        deviation = times - ideal
+        assert deviation.std() == pytest.approx(1e-9, rel=0.15)
+
+    def test_frequency_error_scales_rate(self):
+        clock = SamplingClock(sample_rate=1e6, frequency_error=0.01)
+        assert clock.actual_rate == pytest.approx(1.01e6)
+        times = clock.sample_times(11)
+        assert times[-1] == pytest.approx(10 / 1.01e6)
+
+    def test_start_time(self):
+        clock = SamplingClock(sample_rate=1e6, start_time=1.0)
+        assert clock.sample_times(1)[0] == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SamplingClock(sample_rate=0.0)
+        with pytest.raises(ValueError):
+            SamplingClock(sample_rate=1e6, jitter_rms=-1.0)
+        with pytest.raises(ValueError):
+            SamplingClock(sample_rate=1e6).sample_times(0)
+
+
+class TestNoiseModel:
+    def test_noiseless_default(self):
+        assert NoiseModel().is_noiseless
+
+    def test_not_noiseless_with_any_source(self):
+        assert not NoiseModel(transition_noise_lsb=0.1).is_noiseless
+        assert not NoiseModel(stimulus_noise_lsb=0.1).is_noiseless
+        assert not NoiseModel(jitter_rms=1e-9).is_noiseless
+
+    def test_child_generators_are_independent(self):
+        model = NoiseModel(transition_noise_lsb=0.1, stimulus_noise_lsb=0.1,
+                           seed=1)
+        a = model.transition_rng.normal(size=10)
+        b = model.stimulus_rng.normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_from_seed(self):
+        a = NoiseModel(seed=7).transition_rng.normal(size=5)
+        b = NoiseModel(seed=7).transition_rng.normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_stimulus_noise_volts(self):
+        adc = IdealADC(6, full_scale=1.0)
+        model = NoiseModel(stimulus_noise_lsb=0.5)
+        assert model.stimulus_noise_volts(adc) == pytest.approx(0.5 * adc.lsb)
+
+    def test_clock_factory(self):
+        adc = IdealADC(6, sample_rate=2e6)
+        clock = NoiseModel(jitter_rms=1e-9, seed=1).clock_for(adc)
+        assert clock.sample_rate == pytest.approx(2e6)
+        assert clock.jitter_rms == pytest.approx(1e-9)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(transition_noise_lsb=-0.1)
+
+
+class TestQuantizationHelpers:
+    def test_quantization_noise_power(self):
+        assert quantization_noise_power(1.0) == pytest.approx(1.0 / 12)
+
+    def test_ideal_snr(self):
+        assert snr_ideal_db(8) == pytest.approx(6.02 * 8 + 1.76)

@@ -1,0 +1,74 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bist_defaults(self):
+        args = build_parser().parse_args(["bist"])
+        assert args.bits == 6
+        assert args.counter_bits == 7
+
+    def test_qmin_requires_frequencies(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["qmin"])
+
+
+class TestCommands:
+    def test_bist_pass(self, capsys):
+        exit_code = main(["bist", "--sigma", "0.1", "--seed", "3",
+                          "--dnl-spec", "1.0"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "PASS" in out
+
+    def test_bist_fail_returns_nonzero(self, capsys):
+        exit_code = main(["bist", "--sigma", "0.5", "--seed", "1",
+                          "--dnl-spec", "0.25", "--counter-bits", "6"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "FAIL" in out
+
+    def test_bist_with_histogram_comparison(self, capsys):
+        main(["bist", "--sigma", "0.1", "--seed", "3",
+              "--compare-histogram"])
+        out = capsys.readouterr().out
+        assert "histogram" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "counter bits" in out
+        assert "±0.5" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "x1e-5" in out
+
+    def test_figure7(self, capsys):
+        assert main(["figure7", "--points", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "P(type I)" in out
+        assert "*" in out  # the ASCII plot
+
+    def test_qmin_slow_and_fast(self, capsys):
+        assert main(["qmin", "--f-stimulus", "1", "--f-sample", "1000000",
+                     "--dnl-spec", "0.5", "--inl-spec", "0.5"]) == 0
+        slow_out = capsys.readouterr().out
+        assert "q_min = 1" in slow_out
+        assert main(["qmin", "--f-stimulus", "500000",
+                     "--f-sample", "1000000"]) == 0
+        fast_out = capsys.readouterr().out
+        assert "q_min = 6" in fast_out
+
+    def test_yield(self, capsys):
+        assert main(["yield"]) == 0
+        out = capsys.readouterr().out
+        assert "P(device good)" in out

@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The examples double as documentation; if one stops running, the README's
+promises are broken.  Each test executes an example as a subprocess (so a
+crashed example cannot corrupt the test process) and checks a few key phrases
+in its output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: example file -> phrases that must appear in its stdout
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["BIST verdict", "Conventional histogram test"],
+    "lsb_linearity.py": ["LSB transitions seen", "DNL decision"],
+    "error_tradeoff.py": ["Figure 7", "counter bits"],
+    "partial_bist_partition.py": ["q_min", "full BIST"],
+    "production_screening.py": ["Screening", "tester"],
+    "multi_adc_chip.py": ["result register", "Partial BIST"],
+    "full_static_characterisation.py": ["offset [LSB]", "verdict"],
+    "dynamic_test.py": ["THD [dB]", "ENOB"],
+}
+
+
+def _run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=420)
+    assert completed.returncode == 0, (
+        f"{name} exited with {completed.returncode}:\n{completed.stderr}")
+    return completed.stdout
+
+
+def test_every_example_is_covered_here():
+    """A new example must be added to EXPECTED_OUTPUT (and thus smoke-run)."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs(name):
+    output = _run_example(name)
+    for phrase in EXPECTED_OUTPUT[name]:
+        assert phrase in output, f"{name}: expected {phrase!r} in the output"

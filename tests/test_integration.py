@@ -1,0 +1,192 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise the complete chain the paper describes: behavioural
+converters driven with ramps, the on-chip BIST processing, the conventional
+histogram baseline, and the statistical error model — all against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adc import (
+    DevicePopulation,
+    FlashADC,
+    IdealADC,
+    PopulationSpec,
+    SarADC,
+    StuckBitADC,
+    make_faulty_batch,
+)
+from repro.analysis import (
+    DynamicAnalyzer,
+    ErrorModel,
+    HistogramTest,
+    estimate_error_probabilities,
+)
+from repro.analysis.error_model import delta_s_for_counter
+from repro.core import BistConfig, BistEngine
+from repro.economics import ParallelTestSchedule
+
+
+class TestBistVsHistogramAgreement:
+    """The paper's central comparison: the BIST decision should match the
+    conventional histogram test, especially with a 7-bit counter."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seven_bit_counter_matches_histogram_per_device(self, seed):
+        adc = FlashADC.from_sigma(6, 0.21, seed=seed)
+        spec = 1.0
+        bist = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=spec))
+        histogram = HistogramTest(samples_per_code=256, dnl_spec_lsb=spec)
+        assert bist.run(adc).passed == histogram.run(adc, rng=seed).passed
+
+    def test_agreement_rate_over_population_stringent_spec(self):
+        population = DevicePopulation(PopulationSpec(size=80, seed=3))
+        spec = 0.5
+        bist = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=spec))
+        histogram = HistogramTest(samples_per_code=256, dnl_spec_lsb=spec)
+        agree = 0
+        for i, device in enumerate(population):
+            bist_pass = bist.run(device, rng=i).passed
+            hist_pass = histogram.run(device, rng=i).passed
+            agree += int(bist_pass == hist_pass)
+        # Near-boundary devices can flip either way; the vast majority agree.
+        assert agree / len(population) > 0.9
+
+    def test_measured_dnl_tracks_histogram_dnl(self):
+        adc = FlashADC.from_sigma(6, 0.21, seed=42)
+        bist = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=1.0))
+        histogram = HistogramTest(samples_per_code=256, dnl_spec_lsb=1.0)
+        bist_dnl = bist.run(adc).measured_dnl_lsb
+        hist_dnl = histogram.run(adc, rng=0).linearity.dnl_lsb
+        assert np.corrcoef(bist_dnl, hist_dnl)[0, 1] > 0.95
+
+
+class TestGrossDefectScreening:
+    """The paper argues spot defects are caught by the BIST as well."""
+
+    def test_every_gross_defect_is_rejected(self):
+        base = FlashADC.from_sigma(6, 0.1, seed=1)
+        engine = BistEngine(BistConfig(counter_bits=6, dnl_spec_lsb=1.0,
+                                       inl_spec_lsb=1.0))
+        # Shallow "bubble" errors are corrected by the thermometer encoder
+        # into borderline-within-spec behaviour and pure offset shifts do
+        # not change any code width, so neither is a linearity defect; every
+        # width-affecting spot-defect kind must be caught.
+        kinds = ["missing_code", "wide_code", "shorted_resistor",
+                 "open_resistor", "gain_error"]
+        batch = make_faulty_batch(base, rng=7, count=24, kinds=kinds)
+        rejected = [not engine.run(device, rng=i).passed
+                    for i, device in enumerate(batch)]
+        assert all(rejected)
+
+    def test_pure_offset_error_escapes_the_linearity_bist(self):
+        """A moderate offset shift leaves every code width untouched, so the
+        width-counting BIST accepts it — offset must be tested separately,
+        exactly as the paper scopes its method to linearity and
+        functionality."""
+        from repro.adc import inject_offset_shift
+        base = IdealADC(6)
+        engine = BistEngine(BistConfig(counter_bits=6, dnl_spec_lsb=1.0,
+                                       inl_spec_lsb=1.0))
+        shifted = inject_offset_shift(base, shift_lsb=1.5)
+        assert engine.run(shifted).passed
+        # The histogram baseline (which also only sees widths) agrees.
+        histogram = HistogramTest(samples_per_code=64, dnl_spec_lsb=1.0)
+        assert histogram.run(shifted, rng=0).passed
+
+    def test_deep_bubble_error_is_rejected(self):
+        """A bubble deeper than two codes erases a code even after
+        thermometer correction, which the BIST catches."""
+        from repro.adc import inject_non_monotonic
+        base = IdealADC(6)
+        engine = BistEngine(BistConfig(counter_bits=6, dnl_spec_lsb=1.0,
+                                       inl_spec_lsb=1.0))
+        faulty = inject_non_monotonic(base, code=40, depth_lsb=2.6)
+        assert not engine.run(faulty).passed
+
+    def test_stuck_bits_rejected_for_every_bit(self):
+        base = IdealADC(6)
+        engine = BistEngine(BistConfig(counter_bits=6, dnl_spec_lsb=1.0))
+        for bit in range(6):
+            for value in (0, 1):
+                device = StuckBitADC(base, bit=bit, stuck_value=value)
+                assert not engine.run(device).passed, (
+                    f"stuck bit {bit}={value} escaped the BIST")
+
+
+class TestAnalyticVsBehaviouralErrorRates:
+    """Cross-validation of the three levels of modelling: closed-form,
+    vectorised Monte-Carlo counting, and the full sampled BIST engine."""
+
+    def test_closed_form_vs_vectorised_mc_at_all_counter_sizes(self):
+        for bits in (4, 5, 6, 7):
+            ds = delta_s_for_counter(bits, 0.5)
+            analytic = ErrorModel(dnl_spec_lsb=0.5, counter_bits=bits).device(62)
+            mc = estimate_error_probabilities(
+                n_devices=30000, n_codes=62, sigma_lsb=0.21,
+                dnl_spec_lsb=0.5, delta_s_lsb=ds, counter_bits=bits,
+                rng=bits)
+            assert mc.type_i == pytest.approx(analytic.type_i, abs=0.015)
+            assert mc.type_ii == pytest.approx(analytic.type_ii, abs=0.015)
+
+    def test_sampled_engine_vs_analytic_on_paper_batch(self):
+        """The MEAS.-column experiment: 364 simulated devices through the
+        sampled BIST, compared with the analytic SIM column."""
+        population = DevicePopulation.paper_batch(size=120, seed=1997)
+        engine = BistEngine(BistConfig(counter_bits=5, dnl_spec_lsb=0.5))
+        measured = engine.run_population(population, rng=0)
+        analytic = ErrorModel(dnl_spec_lsb=0.5, counter_bits=5).device(62)
+        # With only 120 devices the rates are noisy; the paper itself sees a
+        # factor-two gap between measurement and simulation.  Check the same
+        # order of magnitude and the same direction.
+        assert measured.p_good == pytest.approx(analytic.p_good, abs=0.15)
+        assert measured.type_i < 0.15
+        assert measured.type_ii < 0.15
+
+
+class TestArchitectureIndependence:
+    """The BIST only looks at output codes, so it works for any converter
+    architecture."""
+
+    def test_sar_converter_within_spec_passes(self):
+        adc = SarADC(6, unit_cap_sigma_rel=0.005, rng=2)
+        assert adc.max_dnl() < 1.0
+        engine = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=1.0))
+        assert engine.run(adc).passed
+
+    def test_sar_converter_with_large_mismatch_fails(self):
+        adc = SarADC(6, unit_cap_sigma_rel=0.2, rng=11)
+        if adc.max_dnl() <= 1.0:
+            pytest.skip("this mismatch draw happens to stay within spec")
+        engine = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=1.0))
+        assert not engine.run(adc).passed
+
+
+class TestStaticAndDynamicTogether:
+    def test_static_pass_does_not_imply_dynamic_quality(self):
+        """A converter can meet a loose DNL spec and still lose ENOB —
+        the reason the paper lists both static and dynamic tests."""
+        adc = FlashADC.from_sigma(6, 0.21, seed=77, sample_rate=1e6)
+        bist = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=1.0))
+        dynamic = DynamicAnalyzer(n_samples=4096, window="rect")
+        static_result = bist.run(adc)
+        dynamic_result = dynamic.measure(adc, seed=0)
+        assert static_result.passed
+        assert dynamic_result.enob < 6.0
+
+    def test_parallel_test_time_budget_consistent_with_bist(self):
+        """Link the engine's sample count to the economics model."""
+        adc = IdealADC(6, sample_rate=1e6)
+        engine = BistEngine(BistConfig(counter_bits=7, dnl_spec_lsb=1.0))
+        result = engine.run(adc)
+        pass_time = result.samples_taken / adc.sample_rate
+        conventional = ParallelTestSchedule(
+            n_converters=256, bits_per_converter=6, tester_channels=64,
+            time_per_pass_s=pass_time)
+        full_bist = ParallelTestSchedule(
+            n_converters=256, bits_per_converter=1, tester_channels=64,
+            time_per_pass_s=pass_time)
+        assert full_bist.total_time_s < conventional.total_time_s
+        assert full_bist.speedup_over(conventional) == pytest.approx(6.0,
+                                                                     rel=0.2)

@@ -1,0 +1,291 @@
+"""Property-based tests (hypothesis) for the core data structures and maths."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.adc.transfer import (
+    TransferFunction,
+    code_widths_from_transitions,
+    transitions_from_code_widths,
+)
+from repro.analysis.error_model import (
+    ErrorModel,
+    acceptance_probability,
+    count_limits,
+    delta_s_for_counter,
+)
+from repro.analysis.linearity import linearity_from_code_widths
+from repro.analysis.montecarlo import simulate_counts
+from repro.core.bist_scheme import nl_budget, qmin
+from repro.core.counter import SaturatingCounter
+from repro.core.deglitch import DeglitchFilter
+from repro.core.lsb_processor import LsbProcessor
+from repro.core.limits import CountLimits
+
+
+# --------------------------------------------------------------------------- #
+# Transfer-function geometry
+# --------------------------------------------------------------------------- #
+
+@st.composite
+def code_width_vectors(draw, n_bits=st.integers(min_value=2, max_value=7)):
+    """Random positive code-width vectors for a random resolution."""
+    bits = draw(n_bits)
+    n_widths = (1 << bits) - 2
+    widths = draw(hnp.arrays(
+        dtype=float, shape=n_widths,
+        elements=st.floats(min_value=0.01, max_value=3.0,
+                           allow_nan=False, allow_infinity=False)))
+    return bits, widths
+
+
+class TestTransferFunctionProperties:
+    @given(code_width_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_width_transition_round_trip(self, data):
+        bits, widths_lsb = data
+        lsb = 1.0 / (1 << bits)
+        tf = TransferFunction.from_code_widths(bits, widths_lsb * lsb)
+        assert np.allclose(tf.code_widths_lsb, widths_lsb, rtol=1e-9,
+                           atol=1e-9)
+
+    @given(code_width_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_transitions_are_cumulative_widths(self, data):
+        bits, widths_lsb = data
+        transitions = transitions_from_code_widths(widths_lsb,
+                                                   first_transition=0.5)
+        recovered = code_widths_from_transitions(transitions)
+        assert np.allclose(recovered, widths_lsb, rtol=1e-9, atol=1e-9)
+
+    @given(code_width_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_conversion_is_monotone_for_monotone_curves(self, data):
+        bits, widths_lsb = data
+        lsb = 1.0 / (1 << bits)
+        tf = TransferFunction.from_code_widths(bits, widths_lsb * lsb)
+        voltages = np.linspace(-0.5, tf.transitions[-1] + 0.5, 257)
+        codes = tf.convert(voltages)
+        assert np.all(np.diff(codes) >= 0)
+        assert codes.min() >= 0
+        assert codes.max() <= tf.n_codes - 1
+
+    @given(code_width_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_inl_is_cumsum_of_dnl(self, data):
+        bits, widths_lsb = data
+        lsb = 1.0 / (1 << bits)
+        tf = TransferFunction.from_code_widths(bits, widths_lsb * lsb)
+        assert np.allclose(tf.inl(), np.cumsum(tf.dnl()), atol=1e-9)
+
+    @given(code_width_vectors(),
+           st.floats(min_value=-0.1, max_value=0.1),
+           st.floats(min_value=0.8, max_value=1.2))
+    @settings(max_examples=40, deadline=None)
+    def test_endpoint_dnl_invariant_under_offset_and_gain(self, data, shift,
+                                                          gain):
+        bits, widths_lsb = data
+        lsb = 1.0 / (1 << bits)
+        tf = TransferFunction.from_code_widths(bits, widths_lsb * lsb)
+        transformed = tf.shifted(shift).scaled(gain)
+        assert np.allclose(transformed.dnl(), tf.dnl(), atol=1e-7)
+
+
+class TestLinearityProperties:
+    @given(hnp.arrays(dtype=float, shape=st.integers(2, 100),
+                      elements=st.floats(0.01, 3.0)))
+    @settings(max_examples=60, deadline=None)
+    def test_endpoint_dnl_sums_to_zero(self, widths):
+        result = linearity_from_code_widths(widths)
+        assert result.dnl_lsb.sum() == pytest.approx(0.0, abs=1e-6)
+        # Consequently the INL returns to zero at the top of the range.
+        assert result.inl_lsb[-1] == pytest.approx(0.0, abs=1e-6)
+
+    @given(hnp.arrays(dtype=float, shape=st.integers(2, 100),
+                      elements=st.floats(0.01, 3.0)),
+           st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_dnl_is_scale_invariant(self, widths, scale):
+        a = linearity_from_code_widths(widths)
+        b = linearity_from_code_widths(widths * scale)
+        assert np.allclose(a.dnl_lsb, b.dnl_lsb, atol=1e-7)
+
+
+# --------------------------------------------------------------------------- #
+# Error-model mathematics
+# --------------------------------------------------------------------------- #
+
+class TestErrorModelProperties:
+    @given(st.floats(min_value=0.0, max_value=3.0),
+           st.floats(min_value=0.01, max_value=0.3),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=40))
+    @settings(max_examples=200, deadline=None)
+    def test_acceptance_probability_is_a_probability(self, width, ds, i_min,
+                                                     extra):
+        h = acceptance_probability(width, ds, i_min, i_min + extra)
+        assert 0.0 <= float(h) <= 1.0
+
+    @given(st.floats(min_value=0.01, max_value=0.3),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_acceptance_probability_monotone_on_ramps(self, ds, i_min, extra):
+        i_max = i_min + extra
+        rising = np.linspace((i_min - 1) * ds, i_min * ds, 20)
+        falling = np.linspace(i_max * ds, (i_max + 1) * ds, 20)
+        h_rising = acceptance_probability(rising, ds, i_min, i_max)
+        h_falling = acceptance_probability(falling, ds, i_min, i_max)
+        assert np.all(np.diff(h_rising) >= -1e-12)
+        assert np.all(np.diff(h_falling) <= 1e-12)
+
+    @given(st.floats(min_value=0.005, max_value=0.4),
+           st.floats(min_value=0.1, max_value=1.5))
+    @settings(max_examples=100, deadline=None)
+    def test_count_limits_bracket_the_spec_window(self, ds, spec):
+        try:
+            i_min, i_max = count_limits(ds, spec)
+        except ValueError:
+            assume(False)
+        dv_min = max(0.0, 1.0 - spec)
+        dv_max = 1.0 + spec
+        assert i_min * ds >= dv_min - 1e-9
+        assert i_max * ds <= dv_max + 1e-9
+
+    @given(st.integers(min_value=3, max_value=10),
+           st.floats(min_value=0.1, max_value=1.5))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_s_uses_full_counter_range(self, bits, spec):
+        ds = delta_s_for_counter(bits, spec)
+        i_min, i_max = count_limits(ds, spec, counter_max=1 << bits)
+        assert i_max == 1 << bits
+
+    @given(st.integers(min_value=4, max_value=9),
+           st.floats(min_value=0.3, max_value=1.2),
+           st.floats(min_value=0.05, max_value=0.35))
+    @settings(max_examples=40, deadline=None)
+    def test_per_code_probabilities_consistent(self, bits, spec, sigma):
+        from repro.analysis.distributions import CodeWidthDistribution
+        model = ErrorModel(distribution=CodeWidthDistribution(sigma),
+                           dnl_spec_lsb=spec, counter_bits=bits)
+        pc = model.per_code()
+        assert 0.0 <= pc.p_good <= 1.0
+        assert 0.0 <= pc.p_accept <= 1.0 + 1e-9
+        assert pc.p_good_and_accept <= pc.p_good + 1e-12
+        assert pc.p_good_and_accept <= pc.p_accept + 1e-12
+        assert pc.type_i >= 0.0
+        assert pc.type_ii >= 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Counting process
+# --------------------------------------------------------------------------- #
+
+class TestCountingProperties:
+    @given(hnp.arrays(dtype=float, shape=(5, 20),
+                      elements=st.floats(0.0, 3.0)),
+           st.floats(min_value=0.02, max_value=0.5),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_counts_sum_to_total_samples_in_span(self, widths, ds,
+                                                            seed):
+        counts = simulate_counts(widths, ds, phase_model="sequential",
+                                 rng=seed)
+        span = widths.sum(axis=1)
+        assert np.all(np.abs(counts.sum(axis=1) - span / ds) <= 1.0 + 1e-9)
+
+    @given(hnp.arrays(dtype=float, shape=(3, 15),
+                      elements=st.floats(0.0, 3.0)),
+           st.floats(min_value=0.02, max_value=0.5),
+           st.integers(min_value=0, max_value=2 ** 31 - 1),
+           st.sampled_from(["sequential", "independent"]))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_bracket_true_width(self, widths, ds, seed, phase_model):
+        counts = simulate_counts(widths, ds, phase_model=phase_model,
+                                 rng=seed)
+        expected = widths / ds
+        assert np.all(counts >= np.floor(expected) - 1e-9)
+        assert np.all(counts <= np.ceil(expected) + 1e-9)
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=100, deadline=None)
+    def test_counter_reading_never_exceeds_effective_max(self, bits, events):
+        counter = SaturatingCounter(bits)
+        reading = counter.count_events(events)
+        assert 0 <= reading <= counter.effective_max
+        if events <= counter.max_value:
+            assert reading == events
+
+    @given(hnp.arrays(dtype=np.int8, shape=st.integers(2, 400),
+                      elements=st.integers(0, 1)),
+           st.integers(min_value=1, max_value=4),
+           st.sampled_from(["hysteresis", "majority"]))
+    @settings(max_examples=80, deadline=None)
+    def test_deglitch_never_increases_toggles(self, stream, depth, mode):
+        filt = DeglitchFilter(depth=depth, mode=mode)
+        assert (filt.count_toggles(filt.apply(stream))
+                <= filt.count_toggles(stream))
+
+    @given(hnp.arrays(dtype=np.int8, shape=st.integers(2, 400),
+                      elements=st.integers(0, 1)),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=80, deadline=None)
+    def test_deglitch_output_is_binary_and_same_length(self, stream, depth):
+        filtered = DeglitchFilter(depth=depth).apply(stream)
+        assert filtered.size == stream.size
+        assert set(np.unique(filtered)).issubset({0, 1})
+
+    @given(st.lists(st.integers(min_value=1, max_value=40), min_size=1,
+                    max_size=30),
+           st.integers(min_value=4, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_lsb_processor_recovers_exact_segment_lengths(self, counts, bits):
+        limits = CountLimits.for_counter(bits, dnl_spec_lsb=1.0,
+                                         delta_s_lsb=0.05)
+        stream = []
+        level = 0
+        stream.extend([level] * 3)
+        level ^= 1
+        for count in counts:
+            stream.extend([level] * count)
+            level ^= 1
+        stream.extend([level] * 3)
+        result = LsbProcessor(limits).process(np.array(stream, dtype=np.int8))
+        assert list(result.counts) == counts
+
+
+# --------------------------------------------------------------------------- #
+# Partial-BIST partition
+# --------------------------------------------------------------------------- #
+
+class TestQminProperties:
+    @given(st.floats(min_value=1e-3, max_value=1e5),
+           st.floats(min_value=1e3, max_value=1e8),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=150, deadline=None)
+    def test_qmin_within_bounds(self, f_stim, f_sample, n_bits):
+        q = qmin(f_stim, f_sample, n_bits)
+        assert 1 <= q <= n_bits
+
+    @given(st.floats(min_value=1e-3, max_value=1e3),
+           st.floats(min_value=1e3, max_value=1e8),
+           st.integers(min_value=2, max_value=12))
+    @settings(max_examples=100, deadline=None)
+    def test_qmin_monotone_in_stimulus_frequency(self, f_stim, f_sample,
+                                                 n_bits):
+        q_slow = qmin(f_stim, f_sample, n_bits)
+        q_fast = qmin(f_stim * 4.0, f_sample, n_bits)
+        assert q_fast >= q_slow
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.floats(min_value=0.0, max_value=4.0),
+           st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=100, deadline=None)
+    def test_nl_budget_is_bounded_by_both_terms(self, q, dnl, inl):
+        budget = nl_budget(q, dnl, inl)
+        assert budget <= dnl * 2 ** (q - 1) + 1e-12
+        assert budget <= inl * 2 + 1e-12

@@ -1,0 +1,104 @@
+"""Property-based tests for the extension modules (partial BIST, sine
+histogram, outgoing quality, reporting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.sine_histogram import expected_sine_histogram
+from repro.core.partial_engine import reconstruct_codes
+from repro.economics.quality import OutgoingQuality
+from repro.reporting import format_table
+
+
+class TestReconstructionProperties:
+    @given(st.integers(min_value=3, max_value=10),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_on_monotone_code_sequences(self, n_bits, q, repeat,
+                                                   seed):
+        """Reconstruction from q LSBs is exact for any monotone, gap-free
+        code sequence (the situation Equation (1) guarantees)."""
+        q = min(q, n_bits)
+        codes = np.repeat(np.arange(1 << n_bits), repeat)
+        observed = codes & ((1 << q) - 1)
+        rebuilt = reconstruct_codes(observed, q, n_bits)
+        assert np.array_equal(rebuilt, codes)
+
+    @given(st.integers(min_value=3, max_value=8),
+           st.integers(min_value=1, max_value=4),
+           hnp.arrays(dtype=np.int64, shape=st.integers(1, 200),
+                      elements=st.integers(0, 255)))
+    @settings(max_examples=80, deadline=None)
+    def test_reconstruction_stays_within_range(self, n_bits, q, raw):
+        q = min(q, n_bits)
+        observed = raw & ((1 << q) - 1)
+        rebuilt = reconstruct_codes(observed, q, n_bits)
+        assert rebuilt.min() >= 0
+        assert rebuilt.max() <= (1 << n_bits) - 1
+        # Wherever the reconstruction did not have to clip at the top of the
+        # range, the observed field is preserved exactly.
+        not_clipped = rebuilt < (1 << n_bits) - 1
+        assert np.array_equal(rebuilt[not_clipped] & ((1 << q) - 1),
+                              observed[not_clipped])
+
+
+class TestSineHistogramProperties:
+    @given(st.integers(min_value=3, max_value=10),
+           st.floats(min_value=0.3, max_value=1.0),
+           st.integers(min_value=1000, max_value=10 ** 6))
+    @settings(max_examples=60, deadline=None)
+    def test_expected_histogram_sums_to_sample_count(self, n_bits, amplitude,
+                                                     n_samples):
+        expected = expected_sine_histogram(n_bits, amplitude=amplitude,
+                                           offset=0.5, full_scale=1.0,
+                                           n_samples=n_samples)
+        assert expected.size == 1 << n_bits
+        assert np.all(expected >= -1e-9)
+        assert expected.sum() == pytest.approx(n_samples, rel=1e-9)
+
+    @given(st.integers(min_value=3, max_value=9),
+           st.floats(min_value=0.51, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_expected_histogram_is_symmetric(self, n_bits, amplitude):
+        expected = expected_sine_histogram(n_bits, amplitude=amplitude,
+                                           offset=0.5, full_scale=1.0,
+                                           n_samples=10000)
+        assert np.allclose(expected, expected[::-1], atol=1e-6)
+
+
+class TestOutgoingQualityProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_derived_quantities_are_consistent(self, p_good, f_i, f_ii):
+        # Type I cannot exceed P(good); type II cannot exceed P(faulty).
+        type_i = p_good * f_i
+        type_ii = (1.0 - p_good) * f_ii
+        quality = OutgoingQuality(p_good=p_good, type_i=type_i,
+                                  type_ii=type_ii)
+        assert 0.0 <= quality.p_ship <= 1.0 + 1e-12
+        assert quality.shipped_dppm >= 0.0
+        if quality.p_ship > 0:
+            assert quality.shipped_dppm <= 1e6 + 1e-6
+        assert quality.yield_loss_ppm == pytest.approx(1e6 * type_i)
+
+
+class TestReportingProperties:
+    @given(st.lists(st.lists(st.floats(allow_nan=False,
+                                       allow_infinity=False,
+                                       min_value=-1e6, max_value=1e6),
+                             min_size=3, max_size=3),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_format_table_aligns_all_rows(self, rows):
+        text = format_table(["a", "b", "c"], rows)
+        lines = text.splitlines()
+        assert len(lines) == len(rows) + 2
+        # Every line has the same width (alignment invariant).
+        assert len({len(line) for line in lines}) == 1
