@@ -1,0 +1,105 @@
+"""Throughput benchmark: scalar device loop vs batched production engine.
+
+The production-line claim is quantitative: the batched BIST must screen the
+same wafer with the identical decisions at a fraction of the scalar loop's
+cost, making million-device Table-1 Monte-Carlo runs feasible.  This bench
+measures devices/second for both engines at 1k and 10k devices, asserts the
+decisions agree bit for bit, and records the numbers so future BENCH_*.json
+trajectories can track them.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BistConfig, BistEngine
+from repro.production import BatchBistEngine, Wafer, WaferSpec
+from repro.reporting import format_table
+
+#: The speedup the batched engine must deliver at 10k devices.
+REQUIRED_SPEEDUP_10K = 20.0
+
+_CONFIG = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+
+
+def _wafer(n_devices: int) -> Wafer:
+    return Wafer.draw(WaferSpec(n_bits=6, sigma_code_width_lsb=0.21,
+                                n_devices=n_devices), rng=1997)
+
+
+def _time_scalar(wafer: Wafer):
+    engine = BistEngine(_CONFIG)
+    start = time.perf_counter()
+    result = engine.run_population(wafer.devices(), rng=0)
+    return time.perf_counter() - start, result
+
+
+def _time_batch(wafer: Wafer, repeats: int = 3):
+    engine = BatchBistEngine(_CONFIG)
+    engine.run_wafer(wafer, rng=0)  # warm-up (allocator, caches)
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = engine.run_wafer(wafer, rng=0)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+class TestProductionThroughput:
+    def test_scalar_vs_batch_devices_per_second(self, report):
+        rows = []
+        speedup_10k = None
+        for n_devices in (1000, 10000):
+            wafer = _wafer(n_devices)
+            scalar_s, scalar_res = _time_scalar(wafer)
+            batch_s, batch_res = _time_batch(wafer)
+
+            # The speedup only counts if the answers are identical.
+            np.testing.assert_array_equal(scalar_res.accepted,
+                                          batch_res.passed)
+
+            speedup = scalar_s / batch_s
+            rows.append([n_devices,
+                         n_devices / scalar_s, n_devices / batch_s,
+                         speedup])
+            if n_devices == 10000:
+                speedup_10k = speedup
+
+        report("production-line throughput (scalar vs batch BIST)",
+               format_table(
+                   ["devices", "scalar devices/s", "batch devices/s",
+                    "speedup"],
+                   rows,
+                   title=f"full BIST, {_CONFIG.counter_bits}-bit counter, "
+                         f"DNL ±{_CONFIG.dnl_spec_lsb} LSB "
+                         f"(required speedup at 10k: "
+                         f">={REQUIRED_SPEEDUP_10K:.0f}x)"))
+
+        assert speedup_10k is not None
+        assert speedup_10k >= REQUIRED_SPEEDUP_10K, (
+            f"batched engine is only {speedup_10k:.1f}x faster than the "
+            f"scalar loop at 10k devices "
+            f"(required {REQUIRED_SPEEDUP_10K:.0f}x)")
+
+    def test_500_device_decisions_bit_exact(self):
+        """The acceptance criterion's equivalence case, pinned as a bench."""
+        wafer = _wafer(500)
+        scalar = BistEngine(_CONFIG).run_population(wafer.devices(), rng=0)
+        batch = BatchBistEngine(_CONFIG).run_population(wafer, rng=0)
+        np.testing.assert_array_equal(scalar.accepted, batch.accepted)
+        np.testing.assert_array_equal(scalar.truly_good, batch.truly_good)
+
+    def test_million_device_scale_is_feasible(self, report):
+        """A 100k slice extrapolates the million-device Table-1 run."""
+        wafer = _wafer(100_000)
+        batch_s, result = _time_batch(wafer, repeats=1)
+        devices_per_s = 100_000 / batch_s
+        report("million-device feasibility",
+               f"100k devices screened in {batch_s:.2f} s "
+               f"({devices_per_s:,.0f} devices/s); a 1M-device Table-1 "
+               f"Monte-Carlo run extrapolates to "
+               f"{1_000_000 / devices_per_s:.0f} s")
+        # Feasibility bar: a million devices within ten minutes.
+        assert 1_000_000 / devices_per_s < 600.0

@@ -39,6 +39,10 @@ from repro.adc.population import (
 from repro.adc.sar import SarADC
 from repro.adc.transfer import (
     TransferFunction,
+    batch_dnl_from_transitions,
+    batch_max_dnl,
+    batch_max_inl,
+    batch_transitions_from_code_widths,
     code_widths_from_transitions,
     ideal_transitions,
     transitions_from_code_widths,
@@ -66,6 +70,10 @@ __all__ = [
     "correlated_code_widths",
     "SarADC",
     "TransferFunction",
+    "batch_dnl_from_transitions",
+    "batch_max_dnl",
+    "batch_max_inl",
+    "batch_transitions_from_code_widths",
     "code_widths_from_transitions",
     "ideal_transitions",
     "transitions_from_code_widths",

@@ -34,7 +34,10 @@ import numpy as np
 from repro.adc.base import ADC
 from repro.adc.flash import FlashADC
 from repro.adc.ideal import TableADC
-from repro.adc.transfer import TransferFunction
+from repro.adc.transfer import (
+    TransferFunction,
+    batch_transitions_from_code_widths,
+)
 
 __all__ = ["PopulationSpec", "DevicePopulation", "correlated_code_widths"]
 
@@ -287,6 +290,27 @@ class DevicePopulation:
                         for i in range(len(self))]
                 self._width_matrix_lsb = np.vstack(rows)
         return self._width_matrix_lsb
+
+    def transition_matrix(self) -> np.ndarray:
+        """Return the (devices x transitions) matrix of transition voltages.
+
+        The row for device ``i`` is bit-identical to
+        ``self[i].transfer_function().transitions``, so matrix-level
+        consumers (the batch BIST engine in :mod:`repro.production`) decide
+        on exactly the transfer curves the per-device objects expose.  For
+        the Gaussian architecture the matrix is built vectorised from the
+        width matrix without materialising any device; the flash
+        architecture derives each row from the ladder realisation and so
+        materialises the devices.
+        """
+        spec = self.spec
+        if spec.architecture == "gaussian":
+            lsb = spec.full_scale / spec.n_codes
+            widths_volts = self.code_width_matrix_lsb() * lsb
+            return batch_transitions_from_code_widths(
+                widths_volts, first_transition=lsb)
+        return np.vstack([self[i].transfer_function().transitions
+                          for i in range(len(self))])
 
     def empirical_sigma_lsb(self) -> float:
         """Population standard deviation of all code widths, in LSB."""

@@ -38,6 +38,10 @@ __all__ = [
     "ideal_transitions",
     "code_widths_from_transitions",
     "transitions_from_code_widths",
+    "batch_transitions_from_code_widths",
+    "batch_dnl_from_transitions",
+    "batch_max_dnl",
+    "batch_max_inl",
 ]
 
 
@@ -99,6 +103,64 @@ def transitions_from_code_widths(code_widths: np.ndarray,
     np.cumsum(code_widths, out=transitions[1:])
     transitions[1:] += first_transition
     return transitions
+
+
+def batch_transitions_from_code_widths(code_widths: np.ndarray,
+                                       first_transition: float = 0.0
+                                       ) -> np.ndarray:
+    """Row-wise :func:`transitions_from_code_widths` for a device batch.
+
+    Parameters
+    ----------
+    code_widths:
+        ``(devices, inner codes)`` matrix of code widths in volts.
+    first_transition:
+        Location of every device's first transition (the batch models share
+        one nominal placement, as :meth:`TransferFunction.from_code_widths`
+        does when ``first_transition`` is omitted).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(devices, inner codes + 1)`` matrix of transition voltages.  Each
+        row is bit-identical to what the scalar constructor produces for
+        the same width vector, so batch and per-device paths agree exactly.
+    """
+    code_widths = np.asarray(code_widths, dtype=float)
+    if code_widths.ndim != 2:
+        raise ValueError("code_widths must be a (devices, codes) matrix")
+    n_devices, n_widths = code_widths.shape
+    transitions = np.empty((n_devices, n_widths + 1), dtype=float)
+    transitions[:, 0] = first_transition
+    np.cumsum(code_widths, axis=1, out=transitions[:, 1:])
+    transitions[:, 1:] += first_transition
+    return transitions
+
+
+def batch_dnl_from_transitions(transitions: np.ndarray) -> np.ndarray:
+    """End-point DNL matrix for a ``(devices, transitions)`` batch, in LSB.
+
+    Row ``d`` equals ``TransferFunction.dnl()`` of device ``d``: the ideal
+    width is each device's own average inner code width, so offset and gain
+    errors do not leak into the linearity numbers.
+    """
+    transitions = np.asarray(transitions, dtype=float)
+    if transitions.ndim != 2 or transitions.shape[1] < 2:
+        raise ValueError("need a (devices, >=2 transitions) matrix")
+    widths = np.diff(transitions, axis=1)
+    ref = widths.mean(axis=1, keepdims=True)
+    return widths / ref - 1.0
+
+
+def batch_max_dnl(transitions: np.ndarray) -> np.ndarray:
+    """Per-device largest |DNL| in LSB (vector over the batch)."""
+    return np.abs(batch_dnl_from_transitions(transitions)).max(axis=1)
+
+
+def batch_max_inl(transitions: np.ndarray) -> np.ndarray:
+    """Per-device largest |INL| in LSB (cumulative end-point DNL)."""
+    inl = np.cumsum(batch_dnl_from_transitions(transitions), axis=1)
+    return np.abs(inl).max(axis=1)
 
 
 @dataclass

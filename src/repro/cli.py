@@ -13,6 +13,9 @@ be exercised without writing Python:
     Evaluate Equation (1) for a stimulus/sample frequency pair.
 ``python -m repro.cli yield``
     Print the section-4 yield figures for a given code-width sigma.
+``python -m repro.cli lot``
+    Screen a whole production lot with the batched BIST and print the
+    floor report (yield, bins, throughput, cost).
 
 Every command accepts ``--help`` for its options.
 """
@@ -28,6 +31,15 @@ import numpy as np
 from repro.adc import FlashADC
 from repro.analysis import CodeWidthDistribution, ErrorModel, HistogramTest
 from repro.core import BistConfig, BistEngine, qmin
+from repro.economics import TesterModel
+from repro.production import (
+    BatchBistEngine,
+    Lot,
+    ResultStore,
+    ScreeningLine,
+    Wafer,
+    WaferSpec,
+)
 from repro.reporting import ascii_plot, format_table
 
 __all__ = ["main", "build_parser"]
@@ -58,9 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
     bist.add_argument("--compare-histogram", action="store_true",
                       help="also run the conventional histogram test")
 
-    table1 = sub.add_parser("table1", help="regenerate Table 1 (SIM columns)")
+    table1 = sub.add_parser("table1", help="regenerate Table 1 (SIM columns, "
+                                           "optionally MEAS. via Monte-Carlo)")
     table1.add_argument("--sigma", type=float, default=0.21)
     table1.add_argument("--codes", type=int, default=62)
+    table1.add_argument("--devices", type=int, default=0,
+                        help="Monte-Carlo population size for the MEAS. "
+                             "columns (0 disables them; requires "
+                             "--codes = 2**n - 2)")
+    table1.add_argument("--seed", type=int, default=1997,
+                        help="population seed for the MEAS. columns "
+                             "(default 1997)")
 
     table2 = sub.add_parser("table2", help="regenerate Table 2")
     table2.add_argument("--sigma", type=float, default=0.21)
@@ -85,6 +105,35 @@ def build_parser() -> argparse.ArgumentParser:
     yield_cmd = sub.add_parser("yield", help="section-4 yield figures")
     yield_cmd.add_argument("--sigma", type=float, default=0.21)
     yield_cmd.add_argument("--codes", type=int, default=62)
+
+    lot = sub.add_parser("lot", help="screen a production lot with the "
+                                     "batched BIST")
+    lot.add_argument("--bits", type=int, default=6,
+                     help="converter resolution (default 6)")
+    lot.add_argument("--wafers", type=int, default=2,
+                     help="wafers in the lot (default 2)")
+    lot.add_argument("--devices", type=int, default=2000,
+                     help="dies per wafer (default 2000)")
+    lot.add_argument("--sigma", type=float, default=0.21,
+                     help="code-width sigma in LSB (default 0.21)")
+    lot.add_argument("--seed", type=int, default=2026,
+                     help="lot seed (default 2026)")
+    lot.add_argument("--counter-bits", type=int, default=7,
+                     help="LSB-processing counter size (default 7)")
+    lot.add_argument("--dnl-spec", type=float, default=1.0,
+                     help="DNL specification in LSB (default 1.0)")
+    lot.add_argument("--inl-spec", type=float, default=None,
+                     help="INL specification in LSB (default: not checked)")
+    lot.add_argument("--noise", type=float, default=0.0,
+                     help="transition noise in LSB (default 0, enables the "
+                          "stream path and makes retest meaningful)")
+    lot.add_argument("--deglitch", type=int, default=0,
+                     help="LSB deglitch filter depth (default 0 = off)")
+    lot.add_argument("--retest", type=int, default=0,
+                     help="retest attempts for rejected dies (default 0)")
+    lot.add_argument("--tester", choices=("digital", "mixed"),
+                     default="digital",
+                     help="tester model pricing the insertions")
 
     return parser
 
@@ -117,23 +166,54 @@ def _cmd_bist(args: argparse.Namespace) -> int:
 
 
 def _error_table(sigma: float, codes: int, dnl_spec: float,
-                 scale: float, scale_label: str) -> str:
+                 scale: float, scale_label: str,
+                 devices: int = 0, seed: int = 1997) -> str:
+    measure = None
+    if devices > 0:
+        # The MEAS. columns: an actual Monte-Carlo batch put through the
+        # (batched) BIST, as the paper did with its 364 measured devices.
+        # The device resolution follows the requested code count so that
+        # SIM and MEAS columns describe the same geometry.
+        n_bits = (codes + 2).bit_length() - 1
+        if (1 << n_bits) - 2 != codes:
+            raise ValueError(
+                f"the MEAS. columns need a full converter: --codes must be "
+                f"2**n - 2 (e.g. 62 for 6 bits), got {codes}")
+        wafer = Wafer.draw(WaferSpec(n_bits=n_bits,
+                                     sigma_code_width_lsb=sigma,
+                                     n_devices=devices), rng=seed)
+
+        def measure(bits: int):
+            engine = BatchBistEngine(BistConfig(
+                n_bits=n_bits, counter_bits=bits, dnl_spec_lsb=dnl_spec))
+            return engine.run_population(wafer, rng=seed)
+
     rows = []
     for bits in (4, 5, 6, 7):
         model = ErrorModel(distribution=CodeWidthDistribution(sigma),
                            dnl_spec_lsb=dnl_spec, counter_bits=bits)
         device = model.device(codes)
-        rows.append([bits, device.type_i * scale, device.type_ii * scale,
-                     model.max_error_lsb()])
-    return format_table(
-        ["counter bits", f"type I {scale_label}", f"type II {scale_label}",
-         "max error [LSB]"], rows,
-        title=f"DNL spec ±{dnl_spec} LSB, sigma {sigma} LSB, {codes} codes")
+        row = [bits, device.type_i * scale, device.type_ii * scale,
+               model.max_error_lsb()]
+        if measure is not None:
+            measured = measure(bits)
+            row += [measured.type_i * scale, measured.type_ii * scale]
+        rows.append(row)
+
+    headers = ["counter bits", f"type I {scale_label}",
+               f"type II {scale_label}", "max error [LSB]"]
+    title = f"DNL spec ±{dnl_spec} LSB, sigma {sigma} LSB, {codes} codes"
+    if measure is not None:
+        headers += [f"meas type I {scale_label}",
+                    f"meas type II {scale_label}"]
+        title += f" (MEAS.: {devices} devices, seed {seed})"
+    return format_table(headers, rows, title=title)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     print(_error_table(args.sigma, args.codes, dnl_spec=0.5, scale=1.0,
-                       scale_label="probability"))
+                       scale_label="probability",
+                       devices=args.devices, seed=args.seed))
     return 0
 
 
@@ -180,6 +260,40 @@ def _cmd_yield(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lot(args: argparse.Namespace) -> int:
+    spec = WaferSpec(n_bits=args.bits,
+                     sigma_code_width_lsb=args.sigma,
+                     n_devices=args.devices)
+    lot = Lot.draw(spec, n_wafers=args.wafers, seed=args.seed,
+                   lot_id=f"LOT-{args.seed}")
+    config = BistConfig(n_bits=args.bits,
+                        counter_bits=args.counter_bits,
+                        dnl_spec_lsb=args.dnl_spec,
+                        inl_spec_lsb=args.inl_spec,
+                        transition_noise_lsb=args.noise,
+                        deglitch_depth=args.deglitch)
+    tester = (TesterModel.digital_only() if args.tester == "digital"
+              else TesterModel.mixed_signal())
+    line = ScreeningLine(config, retest_attempts=args.retest, tester=tester)
+    store = ResultStore()
+    report = line.screen_lot(lot, rng=args.seed, store=store)
+
+    print(f"lot {lot.lot_id}: {args.wafers} wafers x {args.devices} dies, "
+          f"sigma {args.sigma} LSB")
+    print(f"BIST: {line.engine.limits.describe()}")
+    print(f"simulation: {report.simulated_devices_per_second:,.0f} "
+          f"devices/s (batched engine)")
+    print()
+    print(store.lot_table())
+    print()
+    print(store.station_table())
+    print()
+    print(store.bin_table())
+    print()
+    print(store.summary())
+    return 0
+
+
 _HANDLERS = {
     "bist": _cmd_bist,
     "table1": _cmd_table1,
@@ -187,6 +301,7 @@ _HANDLERS = {
     "figure7": _cmd_figure7,
     "qmin": _cmd_qmin,
     "yield": _cmd_yield,
+    "lot": _cmd_lot,
 }
 
 

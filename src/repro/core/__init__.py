@@ -5,6 +5,9 @@
 * :mod:`repro.core.limits` — count limits of the DNL decision (Equations
   (3)–(5)),
 * :mod:`repro.core.counter` — the bit-accurate on-chip counter model,
+* :mod:`repro.core.decision` — the vectorised count-limit decision kernel
+  shared by the scalar engine and the batch engine in
+  :mod:`repro.production`,
 * :mod:`repro.core.deglitch` — the digital filter removing LSB toggles,
 * :mod:`repro.core.lsb_processor` — the LSB processing block (Figure 4),
 * :mod:`repro.core.msb_checker` — the on-chip functionality check of the
@@ -19,12 +22,14 @@ from repro.core.area import AreaEstimate, AreaModel
 from repro.core.bist_scheme import PartialBistPartition, nl_budget, qmin
 from repro.core.controller import ChipBistResult, MultiAdcBistController
 from repro.core.counter import SaturatingCounter
+from repro.core.decision import CountDecision, counter_readings, decide_counts
 from repro.core.deglitch import DeglitchFilter
 from repro.core.engine import (
     BistConfig,
     BistEngine,
     BistResult,
     PopulationBistResult,
+    true_goodness,
 )
 from repro.core.limits import CountLimits
 from repro.core.lsb_processor import LsbProcessor, LsbProcessorResult
@@ -45,11 +50,15 @@ __all__ = [
     "ChipBistResult",
     "MultiAdcBistController",
     "SaturatingCounter",
+    "CountDecision",
+    "counter_readings",
+    "decide_counts",
     "DeglitchFilter",
     "BistConfig",
     "BistEngine",
     "BistResult",
     "PopulationBistResult",
+    "true_goodness",
     "CountLimits",
     "LsbProcessor",
     "LsbProcessorResult",

@@ -1,0 +1,126 @@
+"""Vectorised count-limit decision kernel of the LSB processing block.
+
+The pass/fail logic of the paper's Figure 4 boils down to a handful of pure
+array operations on per-code sample counts:
+
+1. turn each true count into the *counter reading* the hardware reports
+   (saturating at ``2**bits`` or wrapping, see
+   :class:`~repro.core.counter.SaturatingCounter`),
+2. compare every reading against ``i_min``/``i_max`` (Equations (3), (4)),
+   with the sticky over-range flag rejecting counts beyond the counter's
+   reach even when the saturated reading coincides with ``i_max``,
+3. accumulate the reading deviations from the ideal count and compare the
+   running sum against the INL limits.
+
+This module is that logic, factored out of :class:`~repro.core.lsb_processor.
+LsbProcessor` so the scalar engine and the production-line batch engine
+(:mod:`repro.production`) share one bit-exact kernel.  All functions accept
+either a 1-D count vector (one device) or a 2-D ``(devices, codes)`` matrix
+padded along the last axis; the INL accumulation always runs along the last
+axis, so a padded row reproduces the exact float sequence of the equivalent
+1-D call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.limits import CountLimits
+
+__all__ = ["CountDecision", "counter_readings", "decide_counts"]
+
+
+def counter_readings(counts: np.ndarray, counter_bits: int,
+                     saturate: bool = True) -> np.ndarray:
+    """Vectorised :meth:`SaturatingCounter.count_events` over true counts.
+
+    Parameters
+    ----------
+    counts:
+        True number of clock events per code segment (any shape, ints).
+    counter_bits:
+        Width of the hardware counter.
+    saturate:
+        Overflow policy; saturating counters report the "at least
+        ``2**bits``" reading on overflow, wrapping counters report the count
+        modulo ``2**bits``.
+    """
+    if counter_bits < 1:
+        raise ValueError("counter_bits must be at least 1")
+    counts = np.asarray(counts, dtype=np.int64)
+    max_value = (1 << counter_bits) - 1
+    if saturate:
+        return np.where(counts > max_value, 1 << counter_bits, counts)
+    return counts & max_value
+
+
+@dataclass
+class CountDecision:
+    """Element-wise outcome of the count-limit comparison logic.
+
+    All arrays share the shape of the ``counts`` input.  For padded 2-D
+    input the entries beyond a device's ``valid`` mask are forced to pass so
+    that per-device ``all`` reductions work directly.
+    """
+
+    readings: np.ndarray
+    over_range: np.ndarray
+    dnl_pass: np.ndarray
+    inl_deviation: np.ndarray
+    inl_pass: np.ndarray
+
+    @property
+    def code_pass(self) -> np.ndarray:
+        """Combined per-code decision (DNL and INL comparators)."""
+        return self.dnl_pass & self.inl_pass
+
+
+def decide_counts(counts: np.ndarray, limits: CountLimits,
+                  saturate: bool = True,
+                  valid: Optional[np.ndarray] = None) -> CountDecision:
+    """Run the comparison logic of the LSB processing block over counts.
+
+    Parameters
+    ----------
+    counts:
+        Per-code true sample counts; 1-D for one device or 2-D
+        ``(devices, codes)`` left-packed and padded with zeros.
+    limits:
+        The count limits (step size, ``i_min``/``i_max``, counter size, INL
+        spec) the comparison logic uses.
+    saturate:
+        Overflow policy of the sample counter.
+    valid:
+        Optional boolean mask marking real (non-padding) entries.  Padding
+        must sit to the right of every valid entry of its row, as produced
+        by left-packing a ragged batch.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    readings = counter_readings(counts, limits.counter_bits,
+                                saturate=saturate)
+    effective_max = 1 << limits.counter_bits
+    over_range = counts > effective_max
+    dnl_pass = ((readings >= limits.i_min)
+                & (readings <= limits.i_max)
+                & ~over_range)
+
+    deviations = readings - limits.ideal_count
+    if valid is not None:
+        # Padding entries must not perturb the running INL sum.
+        deviations = np.where(valid, deviations, 0.0)
+    inl_running = np.cumsum(deviations, axis=-1)
+    if limits.inl_spec_lsb is not None:
+        lo, hi = limits.inl_count_limits()
+        inl_pass = (inl_running >= lo) & (inl_running <= hi)
+    else:
+        inl_pass = np.ones(counts.shape, dtype=bool)
+
+    if valid is not None:
+        dnl_pass = dnl_pass | ~valid
+        inl_pass = inl_pass | ~valid
+    return CountDecision(readings=readings, over_range=over_range,
+                         dnl_pass=dnl_pass, inl_deviation=inl_running,
+                         inl_pass=inl_pass)

@@ -33,9 +33,28 @@ from repro.core.lsb_processor import LsbProcessor, LsbProcessorResult
 from repro.core.msb_checker import MsbChecker, MsbCheckResult
 from repro.signals.ramp import RampStimulus
 
-__all__ = ["BistConfig", "BistResult", "PopulationBistResult", "BistEngine"]
+__all__ = ["BistConfig", "BistResult", "PopulationBistResult", "BistEngine",
+           "true_goodness"]
 
 RngLike = Union[int, np.random.Generator, None]
+
+
+def true_goodness(device: ADC, dnl_spec_lsb: float,
+                  inl_spec_lsb: Optional[float] = None) -> bool:
+    """True static-linearity classification of one converter.
+
+    The reference against which the BIST's accept/reject decision is scored:
+    a device is *truly good* when its end-point |DNL| (and, when an INL
+    specification is given, its end-point |INL|) stays within the limits.
+    Shared by :meth:`BistEngine.run_population` and the batch engine in
+    :mod:`repro.production` so both Monte-Carlo paths score against the
+    identical criterion.
+    """
+    tf = device.transfer_function()
+    good = tf.max_dnl() <= dnl_spec_lsb
+    if inl_spec_lsb is not None:
+        good = good and tf.max_inl() <= inl_spec_lsb
+    return bool(good)
 
 
 @dataclass
@@ -175,6 +194,16 @@ class PopulationBistResult:
     The decisions are compared against the devices' true static linearity,
     giving the measured (Monte-Carlo) type I and type II error rates — the
     MEAS. columns of Table 1.
+
+    Two flavours of error rate are reported.  :attr:`type_i`/:attr:`type_ii`
+    are *joint* fractions — ``P(good and rejected)`` and
+    ``P(faulty and accepted)`` over all tested devices — matching the
+    analytic Equations (6)/(7) and the convention of the paper's Table 1
+    and Table 2.  :attr:`p_reject_given_good`/:attr:`p_accept_given_faulty`
+    are the *conditional* rates (rejected-given-good, accepted-given-bad)
+    often quoted as yield loss and defect level; divide the joint numbers by
+    the respective prior, as in
+    :class:`~repro.analysis.binomial.DeviceProbabilities`.
     """
 
     n_devices: int
@@ -193,17 +222,42 @@ class PopulationBistResult:
 
     @property
     def type_i(self) -> float:
-        """Measured fraction of good devices rejected."""
+        """Measured joint fraction ``P(good and rejected)`` (Table 1/2)."""
         if self.n_devices == 0:
             return 0.0
         return float(np.mean(self.truly_good & ~self.accepted))
 
     @property
     def type_ii(self) -> float:
-        """Measured fraction of faulty devices accepted."""
+        """Measured joint fraction ``P(faulty and accepted)`` (Table 1/2)."""
         if self.n_devices == 0:
             return 0.0
         return float(np.mean(~self.truly_good & self.accepted))
+
+    @property
+    def p_reject_given_good(self) -> float:
+        """Measured conditional type I rate ``P(rejected | good)``.
+
+        The yield-loss figure a production engineer quotes; equals
+        :attr:`type_i` divided by :attr:`p_good`.  Table 1 reports the
+        joint :attr:`type_i`, not this conditional rate.
+        """
+        if self.p_good == 0.0:
+            return 0.0
+        return self.type_i / self.p_good
+
+    @property
+    def p_accept_given_faulty(self) -> float:
+        """Measured conditional type II rate ``P(accepted | faulty)``.
+
+        The defect-level figure (test escapes among bad devices); equals
+        :attr:`type_ii` divided by ``1 - p_good``.  Table 1 reports the
+        joint :attr:`type_ii`, not this conditional rate.
+        """
+        p_faulty = 1.0 - self.p_good
+        if p_faulty == 0.0:
+            return 0.0
+        return self.type_ii / p_faulty
 
     @property
     def agreement(self) -> float:
@@ -341,6 +395,8 @@ class BistEngine:
         cfg = self.config
         if dnl_spec_lsb is None:
             dnl_spec_lsb = cfg.dnl_spec_lsb
+        if inl_spec_lsb is None:
+            inl_spec_lsb = cfg.inl_spec_lsb
         generator = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(
                          rng if rng is not None else cfg.seed))
@@ -350,11 +406,8 @@ class BistEngine:
         for device in devices:
             result = self.run(device, rng=generator, keep_record=False)
             accepted.append(result.passed)
-            tf = device.transfer_function()
-            good = tf.max_dnl() <= dnl_spec_lsb
-            if inl_spec_lsb is not None:
-                good = good and tf.max_inl() <= inl_spec_lsb
-            truly_good.append(good)
+            truly_good.append(true_goodness(device, dnl_spec_lsb,
+                                            inl_spec_lsb))
 
         return PopulationBistResult(
             n_devices=len(accepted),

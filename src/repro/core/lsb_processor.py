@@ -27,6 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.counter import SaturatingCounter
+from repro.core.decision import decide_counts
 from repro.core.deglitch import DeglitchFilter
 from repro.core.limits import CountLimits
 
@@ -181,34 +182,15 @@ class LsbProcessor:
         else:
             counts = np.zeros(0, dtype=np.int64)
 
-        counter = SaturatingCounter(self.limits.counter_bits,
-                                    saturate=self.counter_saturate)
-        readings = np.array([counter.count_events(int(c)) for c in counts],
-                            dtype=np.int64)
-
-        # A code wider than the counter can represent must always fail, even
-        # when the saturated reading happens to coincide with ``i_max`` (the
-        # hardware detects "clock event while already at the maximum" with a
-        # sticky over-range flag).
-        over_range = counts > counter.effective_max
-        dnl_pass = ((readings >= self.limits.i_min)
-                    & (readings <= self.limits.i_max)
-                    & ~over_range)
-
-        deviations = readings - self.limits.ideal_count
-        inl_running = np.cumsum(deviations)
-        if self.limits.inl_spec_lsb is not None and counts.size:
-            lo, hi = self.limits.inl_count_limits()
-            inl_pass = (inl_running >= lo) & (inl_running <= hi)
-        else:
-            inl_pass = np.ones(counts.size, dtype=bool)
+        decision = decide_counts(counts, self.limits,
+                                 saturate=self.counter_saturate)
 
         return LsbProcessorResult(
             counts=counts,
-            counter_readings=readings,
-            dnl_pass_per_code=dnl_pass,
-            inl_deviation_counts=inl_running,
-            inl_pass_per_code=inl_pass,
+            counter_readings=decision.readings,
+            dnl_pass_per_code=decision.dnl_pass,
+            inl_deviation_counts=decision.inl_deviation,
+            inl_pass_per_code=decision.inl_pass,
             n_transitions=n_transitions,
             expected_transitions=expected,
             limits=self.limits)

@@ -1,0 +1,87 @@
+"""Production-line subsystem: batched BIST over wafers and lots.
+
+The paper's argument is economic — on-chip BIST shrinks off-chip data so a
+tester floor can screen more converters per second.  This subpackage is the
+floor itself: it simulates screening *populations* of converters the way a
+production line processes them, with the device axis vectorised end to end.
+
+Overview
+--------
+
+:mod:`repro.production.lot` — :class:`WaferSpec`, :class:`Wafer`,
+    :class:`Lot`.  A wafer holds its dies as one transition-voltage matrix,
+    drawn in a single call to
+    :func:`~repro.adc.population.correlated_code_widths` (the paper's
+    ladder statistics: sigma 0.16–0.21 LSB, pairwise correlation
+    ``-1/(N-1)``), without materialising per-device converter objects.
+    Any die can still be materialised for the scalar engine, bit-identical
+    to its matrix row.
+
+:mod:`repro.production.batch_engine` — :class:`BatchBistEngine`, the
+    vectorised full BIST.  In the nominal noise-free configuration it works
+    purely on transition-crossing events (one batched ``searchsorted`` of
+    all transition levels into the shared ramp), never materialising the
+    ``(devices, samples)`` code matrix; with noise or a deglitch filter it
+    falls back to chunked 2-D quantisation of the shared ramp.  Both paths
+    reproduce the scalar :class:`~repro.core.engine.BistEngine` decisions
+    bit for bit — they share the count-limit kernel in
+    :mod:`repro.core.decision` — while running orders of magnitude faster,
+    which makes million-device Table-1 Monte-Carlo runs feasible.
+
+:mod:`repro.production.line` — :class:`ScreeningLine`, the station chain
+    (BIST → optional retest → quality binning) with per-station yield and
+    throughput accounting, costed against a tester model via
+    :mod:`repro.economics`.
+
+:mod:`repro.production.store` — :class:`ResultStore`, the floor ledger:
+    accumulates per-lot accept/reject/bin statistics and renders them with
+    :mod:`repro.reporting.tables`.
+
+Quick start
+-----------
+
+>>> from repro.core import BistConfig
+>>> from repro.production import (Lot, WaferSpec, ScreeningLine,
+...                               ResultStore)
+>>> lot = Lot.draw(WaferSpec(n_devices=1000), n_wafers=2, seed=7)
+>>> line = ScreeningLine(BistConfig(counter_bits=7, dnl_spec_lsb=1.0))
+>>> store = ResultStore()
+>>> report = line.screen_lot(lot, rng=0, store=store)
+>>> print(store.summary())          # doctest: +SKIP
+
+See ``examples/wafer_screening.py`` for a complete walk-through and
+``benchmarks/test_bench_production.py`` for the scalar-vs-batch
+devices-per-second comparison.
+"""
+
+from repro.production.batch_engine import (
+    BatchBistEngine,
+    BatchBistResult,
+    BatchLsbProcessor,
+    BatchLsbResult,
+    batch_deglitch,
+)
+from repro.production.line import (
+    DEFAULT_BIN_EDGES_LSB,
+    LotScreeningReport,
+    ScreeningLine,
+    StationStats,
+)
+from repro.production.lot import Lot, Wafer, WaferSpec
+from repro.production.store import ResultStore
+
+__all__ = [
+    "BatchBistEngine",
+    "BatchBistResult",
+    "BatchLsbProcessor",
+    "BatchLsbResult",
+    "batch_deglitch",
+    "DEFAULT_BIN_EDGES_LSB",
+    "LotScreeningReport",
+    "ScreeningLine",
+    "StationStats",
+    "Lot",
+    "Wafer",
+    "WaferSpec",
+    "ResultStore",
+]

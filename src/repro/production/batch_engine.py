@@ -1,0 +1,670 @@
+"""Vectorised BIST over whole wafers: one array program, no device loop.
+
+:class:`BatchBistEngine` runs the paper's complete BIST measurement —
+ramp stimulus, acquisition, deglitching, MSB functionality check and the
+LSB processing block's DNL/INL decisions — across the *device axis* as pure
+NumPy array operations, reproducing the scalar
+:class:`~repro.core.engine.BistEngine` accept/reject decisions bit for bit.
+
+Two execution paths are selected automatically:
+
+**Event path** (noise-free, no deglitch filter — the paper's nominal
+    Table 1/2 configuration).  With a monotone shared ramp the full
+    ``(devices, samples)`` code matrix never needs to exist: the sample
+    index at which each transition voltage is crossed is found with one
+    batched :func:`numpy.searchsorted` of all transition levels into the
+    ramp, and every downstream quantity — LSB edges (transitions crossed an
+    odd number of times per sample), per-code sample counts, MSB reference
+    counter — is derived from those ``O(devices x codes)`` crossing events.
+    This is what makes the engine orders of magnitude faster than the
+    scalar loop and million-device Monte-Carlo runs feasible.
+
+**Stream path** (transition noise, stimulus noise or a deglitch filter
+    configured).  The acquisition is materialised chunk-wise as a 2-D
+    quantisation of the shared ramp; the LSB waveforms are extracted,
+    deglitched and processed as batched array ops, consuming the shared
+    random generator in exactly the order the scalar per-device loop does,
+    so noisy runs also match the scalar engine decision for decision.
+
+Both paths feed the same count-limit kernel
+(:func:`repro.core.decision.decide_counts`) the scalar LSB processor uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.adc.ideal import IdealADC
+from repro.adc.population import DevicePopulation
+from repro.adc.transfer import batch_max_dnl, batch_max_inl
+from repro.core.decision import decide_counts
+from repro.core.deglitch import DeglitchFilter
+from repro.core.engine import BistConfig, BistEngine, PopulationBistResult
+from repro.core.limits import CountLimits
+from repro.production.lot import Wafer
+
+__all__ = ["BatchLsbProcessor", "BatchLsbResult", "BatchBistResult",
+           "BatchBistEngine", "batch_deglitch"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+#: Devices per chunk on the event path (only O(codes) state per device).
+_EVENT_CHUNK = 65536
+
+
+@dataclass
+class _ChunkOutcome:
+    """Per-device aggregate decisions of one processed chunk."""
+
+    dnl_passed: np.ndarray
+    inl_passed: np.ndarray
+    transitions_ok: np.ndarray
+    msb_passed: np.ndarray
+    n_transitions: np.ndarray
+    measured_max_dnl_lsb: np.ndarray
+
+    @classmethod
+    def empty(cls, n_devices: int) -> "_ChunkOutcome":
+        """All-fail scaffold to be filled per device group."""
+        return cls(dnl_passed=np.zeros(n_devices, dtype=bool),
+                   inl_passed=np.zeros(n_devices, dtype=bool),
+                   transitions_ok=np.zeros(n_devices, dtype=bool),
+                   msb_passed=np.zeros(n_devices, dtype=bool),
+                   n_transitions=np.zeros(n_devices, dtype=np.int64),
+                   measured_max_dnl_lsb=np.full(n_devices, np.nan))
+
+    @classmethod
+    def from_lsb(cls, lsb_res: "BatchLsbResult",
+                 msb_passed: np.ndarray) -> "_ChunkOutcome":
+        """Aggregate a full LSB-block result plus the MSB decisions."""
+        return cls(dnl_passed=lsb_res.dnl_passed,
+                   inl_passed=lsb_res.inl_passed,
+                   transitions_ok=lsb_res.transitions_ok,
+                   msb_passed=np.asarray(msb_passed, dtype=bool),
+                   n_transitions=lsb_res.n_transitions,
+                   measured_max_dnl_lsb=lsb_res.measured_max_dnl_lsb())
+
+    def scatter(self, sub: "_ChunkOutcome", mask: np.ndarray) -> None:
+        """Write a sub-batch outcome into the rows selected by ``mask``."""
+        self.dnl_passed[mask] = sub.dnl_passed
+        self.inl_passed[mask] = sub.inl_passed
+        self.transitions_ok[mask] = sub.transitions_ok
+        self.msb_passed[mask] = sub.msb_passed
+        self.n_transitions[mask] = sub.n_transitions
+        self.measured_max_dnl_lsb[mask] = sub.measured_max_dnl_lsb
+#: Devices per chunk on the stream path (full (devices, samples) matrices).
+_STREAM_CHUNK = 256
+
+
+def batch_deglitch(streams: np.ndarray,
+                   filt: DeglitchFilter) -> np.ndarray:
+    """Apply a :class:`DeglitchFilter` to every row of a 0/1 stream matrix.
+
+    Row ``d`` of the result equals ``filt.apply(streams[d])`` exactly: the
+    hysteresis mode advances the per-device state machines one sample at a
+    time with the device axis vectorised, the majority mode is a batched
+    sliding-window vote.
+    """
+    streams = np.asarray(streams)
+    if streams.ndim != 2:
+        raise ValueError("streams must be a (devices, samples) matrix")
+    values = (streams != 0).astype(np.int8)
+    if filt.depth == 0 or values.shape[1] == 0:
+        return values
+    if filt.mode == "majority":
+        window = 2 * filt.depth + 1
+        padded = np.pad(values, ((0, 0), (filt.depth, filt.depth)),
+                        mode="edge")
+        cumulative = np.concatenate(
+            (np.zeros((values.shape[0], 1), dtype=np.int64),
+             np.cumsum(padded, axis=1)), axis=1)
+        sums = cumulative[:, window:] - cumulative[:, :-window]
+        return (sums * 2 > window).astype(np.int8)
+
+    out = np.empty_like(values)
+    state = values[:, 0].copy()
+    run_value = state.copy()
+    run_length = np.zeros(values.shape[0], dtype=np.int64)
+    for i in range(values.shape[1]):
+        v = values[:, i]
+        same = v == run_value
+        run_length = np.where(same, run_length + 1, 1)
+        run_value = v
+        flip = (run_value != state) & (run_length >= filt.depth)
+        state = np.where(flip, run_value, state)
+        out[:, i] = state
+    return out
+
+
+@dataclass
+class BatchLsbResult:
+    """Outcome of the LSB processing block over a batch of LSB streams.
+
+    The per-code arrays are left-packed per device and padded along the
+    last axis; ``valid`` marks the real entries.  Per-device aggregates
+    mirror the scalar :class:`~repro.core.lsb_processor.LsbProcessorResult`
+    properties.
+    """
+
+    counts: np.ndarray
+    counter_readings: np.ndarray
+    dnl_pass_per_code: np.ndarray
+    inl_deviation_counts: np.ndarray
+    inl_pass_per_code: np.ndarray
+    valid: np.ndarray
+    n_counts: np.ndarray
+    n_transitions: np.ndarray
+    expected_transitions: Optional[int]
+    limits: CountLimits
+
+    @property
+    def n_devices(self) -> int:
+        """Number of devices in the batch."""
+        return int(self.n_transitions.size)
+
+    @property
+    def dnl_passed(self) -> np.ndarray:
+        """Per-device DNL decision (False when no code was measured)."""
+        return self.dnl_pass_per_code.all(axis=1) & (self.n_counts > 0)
+
+    @property
+    def inl_passed(self) -> np.ndarray:
+        """Per-device INL decision (False when no code was measured)."""
+        return self.inl_pass_per_code.all(axis=1) & (self.n_counts > 0)
+
+    @property
+    def transitions_ok(self) -> np.ndarray:
+        """Per-device check of the observed LSB transition count."""
+        if self.expected_transitions is None:
+            return np.ones(self.n_devices, dtype=bool)
+        return self.n_transitions == self.expected_transitions
+
+    @property
+    def passed(self) -> np.ndarray:
+        """Per-device static-linearity decision of the LSB block."""
+        return self.dnl_passed & self.inl_passed & self.transitions_ok
+
+    def measured_max_dnl_lsb(self) -> np.ndarray:
+        """Per-device largest |DNL| as reconstructed from the counters.
+
+        The quantity the production line bins accepted devices on; NaN for
+        devices without measured codes.
+        """
+        widths = np.where(self.valid,
+                          self.counter_readings * self.limits.delta_s_lsb,
+                          0.0)
+        n = np.maximum(self.n_counts, 1)
+        mean = widths.sum(axis=1) / n
+        mean = np.where(mean == 0.0, 1.0, mean)
+        dnl = np.abs(widths / mean[:, None] - 1.0)
+        worst = np.where(self.valid, dnl, 0.0).max(axis=1, initial=0.0)
+        return np.where(self.n_counts > 0, worst, np.nan)
+
+
+def _packed_counts(edge_dev: np.ndarray, edge_t: np.ndarray,
+                   n_edges: np.ndarray) -> Tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]:
+    """Per-code counts from flat edge events, left-packed per device.
+
+    ``edge_dev``/``edge_t`` must be sorted by device then sample index, as
+    produced by row-major ``nonzero`` or a sorted-key reduction; counts of
+    device ``d`` are the gaps between its successive edges, matching the
+    scalar ``np.diff(edges)``.
+    """
+    n_devices = n_edges.size
+    n_counts = np.maximum(n_edges - 1, 0)
+    width = int(n_counts.max()) if n_devices else 0
+    counts = np.zeros((n_devices, width), dtype=np.int64)
+    valid = np.zeros((n_devices, width), dtype=bool)
+    if edge_t.size >= 2:
+        same = edge_dev[1:] == edge_dev[:-1]
+        flat_dev = edge_dev[1:][same]
+        flat_counts = (edge_t[1:] - edge_t[:-1])[same]
+        starts = np.concatenate(([0], np.cumsum(n_counts)[:-1]))
+        pos = np.arange(flat_counts.size) - np.repeat(starts, n_counts)
+        counts[flat_dev, pos] = flat_counts
+        valid[flat_dev, pos] = True
+    return counts, valid, n_counts
+
+
+class BatchLsbProcessor:
+    """Batched counterpart of :class:`~repro.core.lsb_processor.LsbProcessor`.
+
+    Processes a whole matrix of LSB sample streams at once; row ``d`` of
+    every per-code array matches what the scalar block produces for stream
+    ``d``, decision for decision.
+    """
+
+    def __init__(self, limits: CountLimits,
+                 deglitch: Optional[DeglitchFilter] = None,
+                 counter_saturate: bool = True) -> None:
+        self.limits = limits
+        self.deglitch = deglitch
+        self.counter_saturate = counter_saturate
+
+    def process(self, lsb_streams: np.ndarray,
+                n_bits: Optional[int] = None) -> BatchLsbResult:
+        """Run the block over a ``(devices, samples)`` 0/1 stream matrix."""
+        streams = (np.asarray(lsb_streams) != 0).astype(np.int8)
+        if streams.ndim != 2:
+            raise ValueError("lsb_streams must be a (devices, samples) "
+                             "matrix")
+        if self.deglitch is not None:
+            streams = batch_deglitch(streams, self.deglitch)
+
+        change = np.diff(streams, axis=1) != 0
+        edge_dev, edge_col = np.nonzero(change)
+        edge_t = edge_col + 1
+        n_edges = np.bincount(edge_dev, minlength=streams.shape[0])
+        return self._from_edges(edge_dev, edge_t, n_edges, n_bits=n_bits)
+
+    def _from_edges(self, edge_dev: np.ndarray, edge_t: np.ndarray,
+                    n_edges: np.ndarray,
+                    n_bits: Optional[int] = None) -> BatchLsbResult:
+        """Build the result from flat (device, sample-index) edge events."""
+        counts, valid, n_counts = _packed_counts(edge_dev, edge_t, n_edges)
+        decision = decide_counts(counts, self.limits,
+                                 saturate=self.counter_saturate,
+                                 valid=valid)
+        expected = ((1 << n_bits) - 1) if n_bits is not None else None
+        return BatchLsbResult(
+            counts=counts,
+            counter_readings=decision.readings,
+            dnl_pass_per_code=decision.dnl_pass,
+            inl_deviation_counts=decision.inl_deviation,
+            inl_pass_per_code=decision.inl_pass,
+            valid=valid,
+            n_counts=n_counts,
+            n_transitions=n_edges.astype(np.int64),
+            expected_transitions=expected,
+            limits=self.limits)
+
+
+@dataclass
+class BatchBistResult:
+    """Per-device outcome of one batched BIST run.
+
+    All arrays have one entry per device; ``passed`` is the accept/reject
+    vector matching :attr:`repro.core.engine.BistResult.passed` of the
+    scalar engine run on each device individually.
+    """
+
+    n_devices: int
+    passed: np.ndarray
+    lsb_passed: np.ndarray
+    dnl_passed: np.ndarray
+    inl_passed: np.ndarray
+    transitions_ok: np.ndarray
+    msb_passed: np.ndarray
+    n_transitions: np.ndarray
+    measured_max_dnl_lsb: np.ndarray
+    samples_taken: int
+    limits: CountLimits
+
+    @property
+    def n_accepted(self) -> int:
+        """Number of devices the BIST accepted."""
+        return int(np.count_nonzero(self.passed))
+
+    @property
+    def n_rejected(self) -> int:
+        """Number of devices the BIST rejected."""
+        return self.n_devices - self.n_accepted
+
+    @property
+    def accept_fraction(self) -> float:
+        """Fraction of devices accepted."""
+        return self.n_accepted / self.n_devices if self.n_devices else 0.0
+
+    @property
+    def off_chip_bits_transferred(self) -> int:
+        """Pass/fail flags read out for the whole batch (one per device)."""
+        return self.n_devices
+
+
+class BatchBistEngine:
+    """Run the paper's BIST on every device of a batch at once.
+
+    Parameters
+    ----------
+    config:
+        The measurement configuration, shared with the scalar
+        :class:`~repro.core.engine.BistEngine`; both engines derive the
+        identical ramp, limits and on-chip blocks from it.
+    """
+
+    def __init__(self, config: BistConfig) -> None:
+        self.config = config
+        self._limits = config.limits()
+        self._deglitch = (DeglitchFilter(config.deglitch_depth,
+                                         config.deglitch_mode)
+                          if config.deglitch_depth > 0 else None)
+        # The engine filters streams explicitly (once, shared between the
+        # MSB clock and the LSB block), so its processor carries no filter.
+        self._lsb = BatchLsbProcessor(self._limits, deglitch=None,
+                                      counter_saturate=config.counter_saturate)
+        # Shared with the scalar engine: ramp construction and the gate
+        # count of the on-chip circuitry are one implementation, not two.
+        self._scalar = BistEngine(config)
+        self._msb_q = 1
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def limits(self) -> CountLimits:
+        """The count limits in use."""
+        return self._limits
+
+    def gate_count(self) -> int:
+        """Gate-equivalent estimate of the (per-device) on-chip circuitry."""
+        return self._scalar.gate_count()
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+
+    def run_wafer(self, wafer: Wafer, rng: RngLike = None,
+                  chunk_size: Optional[int] = None) -> BatchBistResult:
+        """Run the batched BIST on every die of a wafer."""
+        spec = wafer.spec
+        return self.run_transitions(wafer.transitions,
+                                    full_scale=spec.full_scale,
+                                    sample_rate=spec.sample_rate,
+                                    rng=rng, chunk_size=chunk_size)
+
+    def run_population(self, population: Union[DevicePopulation, Wafer],
+                       rng: RngLike = None,
+                       dnl_spec_lsb: Optional[float] = None,
+                       inl_spec_lsb: Optional[float] = None
+                       ) -> PopulationBistResult:
+        """Drop-in batched replacement for ``BistEngine.run_population``.
+
+        Accepts a :class:`~repro.adc.population.DevicePopulation` or a
+        :class:`~repro.production.lot.Wafer` and returns the same
+        :class:`~repro.core.engine.PopulationBistResult` the scalar loop
+        produces, with identical accept and truly-good vectors.
+        """
+        cfg = self.config
+        if dnl_spec_lsb is None:
+            dnl_spec_lsb = cfg.dnl_spec_lsb
+        if inl_spec_lsb is None:
+            inl_spec_lsb = cfg.inl_spec_lsb
+        if isinstance(population, Wafer):
+            transitions = population.transitions
+            full_scale = population.spec.full_scale
+            sample_rate = population.spec.sample_rate
+        else:
+            transitions = population.transition_matrix()
+            full_scale = population.spec.full_scale
+            sample_rate = population.spec.sample_rate
+        result = self.run_transitions(transitions, full_scale=full_scale,
+                                      sample_rate=sample_rate, rng=rng)
+        truly_good = batch_max_dnl(transitions) <= dnl_spec_lsb
+        if inl_spec_lsb is not None:
+            truly_good &= batch_max_inl(transitions) <= inl_spec_lsb
+        return PopulationBistResult(n_devices=result.n_devices,
+                                    accepted=result.passed,
+                                    truly_good=truly_good)
+
+    def run_transitions(self, transitions: np.ndarray,
+                        full_scale: float = 1.0,
+                        sample_rate: float = 1e6,
+                        rng: RngLike = None,
+                        chunk_size: Optional[int] = None) -> BatchBistResult:
+        """Run the batched BIST on a ``(devices, transitions)`` matrix.
+
+        Parameters
+        ----------
+        transitions:
+            Transition-voltage matrix, one row per device under test.
+        full_scale, sample_rate:
+            Geometry/clock shared by the batch (one test insertion).
+        rng:
+            Seed or generator for the acquisition noise; consumed in device
+            order exactly as the scalar population loop consumes it.
+        chunk_size:
+            Devices processed per chunk; defaults to a large chunk on the
+            event path and a smaller one on the stream path (which holds
+            full ``(devices, samples)`` matrices in memory).
+        """
+        cfg = self.config
+        transitions = np.asarray(transitions, dtype=float)
+        expected_cols = (1 << cfg.n_bits) - 1
+        if transitions.ndim != 2 or transitions.shape[1] != expected_cols:
+            raise ValueError(
+                f"configuration is for {cfg.n_bits}-bit converters; expected "
+                f"a (devices, {expected_cols}) transition matrix, got shape "
+                f"{transitions.shape}")
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(
+                         rng if rng is not None else cfg.seed))
+
+        proxy = IdealADC(cfg.n_bits, full_scale, sample_rate)
+        ramp = self._scalar.build_ramp(proxy)
+        n_samples = ramp.n_samples_for_adc(proxy,
+                                           margin_lsb=cfg.start_margin_lsb)
+        times = np.arange(n_samples) / sample_rate
+        ramp_voltages = ramp.voltage(times)
+
+        event_path = (cfg.transition_noise_lsb == 0.0
+                      and cfg.stimulus_noise_lsb == 0.0
+                      and self._deglitch is None)
+        if chunk_size is None:
+            chunk_size = _EVENT_CHUNK if event_path else _STREAM_CHUNK
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+
+        n_devices = transitions.shape[0]
+        outcomes = []
+        for lo in range(0, n_devices, chunk_size):
+            chunk = transitions[lo:lo + chunk_size]
+            if event_path:
+                outcomes.append(self._run_events(chunk, ramp_voltages))
+            else:
+                outcomes.append(self._run_streams(chunk, ramp_voltages,
+                                                  proxy.lsb, generator))
+
+        return self._combine(outcomes, n_devices, n_samples)
+
+    # ------------------------------------------------------------------ #
+    # Event path: crossing indices only, no sample matrix
+    # ------------------------------------------------------------------ #
+
+    def _run_events(self, transitions: np.ndarray,
+                    ramp_voltages: np.ndarray) -> "_ChunkOutcome":
+        """Noise-free fast path working purely on transition crossings.
+
+        ``crossing[d, k]`` is the first sample index whose ramp voltage
+        reaches transition ``k`` of device ``d``; the output code at sample
+        ``t`` is the number of crossings at or before ``t`` (exactly the
+        thermometer count the scalar ``TransferFunction.convert`` computes,
+        monotone or not).  A *regular* device — every transition crossed at
+        a distinct sample inside the record — yields its per-code counts
+        directly as ``diff(crossing)``, produces exactly one LSB edge per
+        transition, and satisfies the MSB reference counter identically
+        (the code steps 0, 1, 2, …, so the upper bits always equal
+        ``#falls = code >> 1``).  Only the rare irregular devices (missing
+        codes folding two crossings onto one sample, gross curves starting
+        above the ramp) take the general sorted-event reduction in
+        :meth:`_irregular_events`.
+        """
+        cfg = self.config
+        n_chunk = transitions.shape[0]
+        n_samples = ramp_voltages.size
+        crossing = np.searchsorted(
+            ramp_voltages, transitions.ravel()).reshape(transitions.shape)
+
+        in_range = (crossing >= 1) & (crossing <= n_samples - 1)
+        regular = (in_range.all(axis=1)
+                   & (np.diff(crossing, axis=1) > 0).all(axis=1))
+        n_codes_expected = transitions.shape[1]
+
+        outcome = _ChunkOutcome.empty(n_chunk)
+        if regular.all():
+            self._regular_outcome(crossing, outcome,
+                                  np.ones(n_chunk, dtype=bool))
+        else:
+            self._regular_outcome(crossing[regular], outcome, regular)
+            irregular = ~regular
+            sub = self._irregular_events(crossing[irregular], n_samples)
+            outcome.scatter(sub, irregular)
+        outcome.transitions_ok = (outcome.n_transitions
+                                  == n_codes_expected)
+        return outcome
+
+    def _regular_outcome(self, crossing: np.ndarray,
+                         outcome: "_ChunkOutcome",
+                         mask: np.ndarray) -> None:
+        """Fill the outcome for devices with one clean edge per transition."""
+        if crossing.shape[0] == 0:
+            return
+        cfg = self.config
+        counts = np.diff(crossing, axis=1)
+        decision = decide_counts(counts, self._limits,
+                                 saturate=cfg.counter_saturate)
+        dnl_passed = decision.dnl_pass.all(axis=1)
+        inl_passed = decision.inl_pass.all(axis=1)
+        outcome.dnl_passed[mask] = dnl_passed
+        outcome.inl_passed[mask] = inl_passed
+        outcome.n_transitions[mask] = crossing.shape[1]
+        # Codes step 0, 1, 2, … one at a time, so the upper bits always
+        # equal the reference counter: the functionality check passes.
+        outcome.msb_passed[mask] = True
+        widths = decision.readings * self._limits.delta_s_lsb
+        mean = widths.mean(axis=1)
+        mean = np.where(mean == 0.0, 1.0, mean)
+        outcome.measured_max_dnl_lsb[mask] = \
+            np.abs(widths / mean[:, None] - 1.0).max(axis=1)
+
+    def _irregular_events(self, crossing: np.ndarray,
+                          n_samples: int) -> "_ChunkOutcome":
+        """Sorted-event reduction for devices with folded or missing edges.
+
+        The LSB toggles at a sample iff an odd number of crossings land on
+        it, and the MSB reference counter advances on odd-to-even code
+        parity steps, so all decisions follow from the per-device crossing
+        multiplicities.
+        """
+        cfg = self.config
+        n_sub = crossing.shape[0]
+        start_code = (crossing == 0).sum(axis=1)
+
+        in_range = (crossing >= 1) & (crossing <= n_samples - 1)
+        dev = np.nonzero(in_range)[0]
+        keys = dev * n_samples + crossing[in_range]
+        keys.sort()
+        uniq, mult = np.unique(keys, return_counts=True)
+        ev_dev = uniq // n_samples
+        ev_t = uniq - ev_dev * n_samples
+        n_events = np.bincount(ev_dev, minlength=n_sub)
+
+        # Left-packed (device, event) layout of the change events.
+        width = int(n_events.max()) if n_events.size else 0
+        mult_p = np.zeros((n_sub, width), dtype=np.int64)
+        live = np.zeros((n_sub, width), dtype=bool)
+        starts = np.concatenate(([0], np.cumsum(n_events)[:-1]))
+        pos = np.arange(uniq.size) - np.repeat(starts, n_events)
+        mult_p[ev_dev, pos] = mult
+        live[ev_dev, pos] = True
+
+        if cfg.check_msb:
+            code_after = start_code[:, None] + np.cumsum(mult_p, axis=1)
+            code_before = code_after - mult_p
+            q = self._msb_q
+            fall = ((code_before & 1 == 1) & (code_after & 1 == 0) & live)
+            reference = (start_code >> q)[:, None] + np.cumsum(fall, axis=1)
+            mismatch = ((code_after >> q) != reference) & live
+            msb_ok = ~mismatch.any(axis=1)
+        else:
+            msb_ok = np.ones(n_sub, dtype=bool)
+
+        odd = (mult & 1) == 1
+        lsb_res = self._lsb._from_edges(ev_dev[odd], ev_t[odd],
+                                        np.bincount(ev_dev[odd],
+                                                    minlength=n_sub),
+                                        n_bits=cfg.n_bits)
+        return _ChunkOutcome.from_lsb(lsb_res, msb_ok)
+
+    # ------------------------------------------------------------------ #
+    # Stream path: chunked 2-D quantisation of the shared ramp
+    # ------------------------------------------------------------------ #
+
+    def _run_streams(self, transitions: np.ndarray,
+                     ramp_voltages: np.ndarray, lsb_volts: float,
+                     generator: np.random.Generator) -> "_ChunkOutcome":
+        """General path materialising the acquisitions chunk-wise."""
+        cfg = self.config
+        n_chunk = transitions.shape[0]
+        n_samples = ramp_voltages.size
+
+        if cfg.transition_noise_lsb > 0.0:
+            voltages = ramp_voltages + generator.normal(
+                0.0, cfg.transition_noise_lsb * lsb_volts,
+                size=(n_chunk, n_samples))
+        else:
+            voltages = np.broadcast_to(ramp_voltages, (n_chunk, n_samples))
+
+        codes = np.empty((n_chunk, n_samples), dtype=np.int64)
+        for i in range(n_chunk):
+            row = transitions[i]
+            if np.all(np.diff(row) >= 0):
+                codes[i] = np.searchsorted(row, voltages[i], side="right")
+            else:
+                codes[i] = (voltages[i][:, None] >= row).sum(axis=1)
+
+        lsb_streams = (codes & 1).astype(np.int8)
+        if self._deglitch is not None:
+            # Filter once; the deglitched stream clocks the MSB reference
+            # counter and feeds the LSB processing block, as in the scalar
+            # engine (which also applies the filter a single time to each).
+            lsb_streams = batch_deglitch(lsb_streams, self._deglitch)
+        if cfg.check_msb:
+            if self._deglitch is not None:
+                clock = lsb_streams
+            else:
+                clock = (codes >> (self._msb_q - 1)) & 1
+            tolerance = 1 if cfg.transition_noise_lsb > 0 else 0
+            upper = codes >> self._msb_q
+            falling = np.zeros((n_chunk, n_samples), dtype=np.int64)
+            falling[:, 1:] = (clock[:, :-1] == 1) & (clock[:, 1:] == 0)
+            reference = upper[:, :1] + np.cumsum(falling, axis=1)
+            msb_ok = ~(np.abs(upper - reference) > tolerance).any(axis=1)
+        else:
+            msb_ok = np.ones(n_chunk, dtype=bool)
+
+        lsb_res = self._lsb.process(lsb_streams, n_bits=cfg.n_bits)
+        return _ChunkOutcome.from_lsb(lsb_res, msb_ok)
+
+    # ------------------------------------------------------------------ #
+    # Chunk aggregation
+    # ------------------------------------------------------------------ #
+
+    def _combine(self, outcomes, n_devices: int,
+                 n_samples: int) -> BatchBistResult:
+        """Concatenate per-chunk outcomes into one per-device result."""
+        dnl_passed = np.concatenate([o.dnl_passed for o in outcomes])
+        inl_passed = np.concatenate([o.inl_passed for o in outcomes])
+        transitions_ok = np.concatenate([o.transitions_ok
+                                         for o in outcomes])
+        msb_passed = np.concatenate([o.msb_passed for o in outcomes])
+        n_transitions = np.concatenate([o.n_transitions for o in outcomes])
+        measured = np.concatenate([o.measured_max_dnl_lsb
+                                   for o in outcomes])
+        lsb_passed = dnl_passed & inl_passed & transitions_ok
+        return BatchBistResult(
+            n_devices=n_devices,
+            passed=lsb_passed & msb_passed,
+            lsb_passed=lsb_passed,
+            dnl_passed=dnl_passed,
+            inl_passed=inl_passed,
+            transitions_ok=transitions_ok,
+            msb_passed=msb_passed,
+            n_transitions=n_transitions,
+            measured_max_dnl_lsb=measured,
+            samples_taken=n_samples,
+            limits=self._limits)

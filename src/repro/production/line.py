@@ -1,0 +1,297 @@
+"""Screening-line orchestration: stations, yield and throughput accounting.
+
+A :class:`ScreeningLine` chains the stations a lot passes through on the
+test floor:
+
+1. **BIST station** — every die runs the batched full BIST
+   (:class:`~repro.production.batch_engine.BatchBistEngine`); only a
+   pass/fail flag leaves the chip.
+2. **Retest station** (optional) — rejected dies are re-inserted up to
+   ``retest_attempts`` times.  With acquisition noise configured a
+   borderline die can be recovered on a second ramp; in the noise-free
+   nominal configuration the BIST is deterministic and retest recovers
+   nothing (which the report makes visible).
+3. **Binning station** — accepted dies are graded by the linearity the
+   counters actually measured (``reading x ds``), the only number the
+   full BIST can bin on without off-chip data.
+
+Tester-floor economics ride along: every insertion is costed with
+:func:`repro.economics.cost_model.cost_per_device` and scheduled with
+:class:`repro.economics.parallel.ParallelTestSchedule`, so the report shows
+devices/hour and cost per device for the configured tester — the paper's
+economic argument, evaluated per lot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.engine import BistConfig, PopulationBistResult
+from repro.economics.cost_model import TesterModel, TestPlan, cost_per_device
+from repro.economics.parallel import ParallelTestSchedule
+from repro.production.batch_engine import BatchBistEngine
+from repro.production.lot import Lot, Wafer
+
+__all__ = ["StationStats", "LotScreeningReport", "ScreeningLine",
+           "DEFAULT_BIN_EDGES_LSB"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+#: Default measured-|DNL| bin edges in LSB: premium / standard / marginal.
+DEFAULT_BIN_EDGES_LSB = (0.25, 0.5)
+
+
+@dataclass
+class StationStats:
+    """Yield and throughput bookkeeping of one station for one lot."""
+
+    name: str
+    n_in: int
+    n_accepted: int
+    tester_seconds: float
+
+    @property
+    def n_rejected(self) -> int:
+        """Devices the station rejected."""
+        return self.n_in - self.n_accepted
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of entering devices the station accepted."""
+        return self.n_accepted / self.n_in if self.n_in else 1.0
+
+    @property
+    def devices_per_hour(self) -> float:
+        """Station throughput in devices per tester-hour."""
+        if self.tester_seconds <= 0.0:
+            return float("inf")
+        return self.n_in / self.tester_seconds * 3600.0
+
+
+@dataclass
+class LotScreeningReport:
+    """Everything the line learned about one lot.
+
+    The truth-referenced error rates (type I/II) are available because the
+    simulated wafers expose their true transfer curves; a real tester floor
+    would only see the accept counts and bins.
+    """
+
+    lot_id: str
+    n_devices: int
+    n_accepted: int
+    n_recovered: int
+    bin_counts: Dict[str, int]
+    stations: List[StationStats]
+    tester_seconds: float
+    cost_per_device: float
+    p_good: float
+    type_i: float
+    type_ii: float
+    samples_per_device: int
+    wall_seconds: float = field(default=0.0)
+
+    @property
+    def n_rejected(self) -> int:
+        """Dies finally rejected."""
+        return self.n_devices - self.n_accepted
+
+    @property
+    def accept_fraction(self) -> float:
+        """Final accept fraction of the lot."""
+        return self.n_accepted / self.n_devices if self.n_devices else 0.0
+
+    @property
+    def devices_per_hour(self) -> float:
+        """Lot throughput in devices per tester-hour."""
+        if self.tester_seconds <= 0.0:
+            return float("inf")
+        return self.n_devices / self.tester_seconds * 3600.0
+
+    @property
+    def simulated_devices_per_second(self) -> float:
+        """Simulation (wall-clock) throughput of the batched engine."""
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.n_devices / self.wall_seconds
+
+
+class ScreeningLine:
+    """A production screening line built around the batched BIST.
+
+    Parameters
+    ----------
+    config:
+        BIST measurement configuration every station uses.
+    retest_attempts:
+        How many times a rejected die is re-inserted (0 disables retest).
+    bin_edges_lsb:
+        Ascending measured-|DNL| thresholds separating the speed/quality
+        bins of accepted dies; ``n`` edges produce ``n + 1`` bins named
+        ``bin-1`` (tightest) to ``bin-n+1``.
+    tester:
+        Tester model executing the insertions; defaults to the low-cost
+        digital tester the full BIST enables.
+    devices_per_ic:
+        Converters sharing one IC (and thus one insertion).
+    """
+
+    def __init__(self, config: BistConfig,
+                 retest_attempts: int = 0,
+                 bin_edges_lsb: Sequence[float] = DEFAULT_BIN_EDGES_LSB,
+                 tester: Optional[TesterModel] = None,
+                 devices_per_ic: int = 1) -> None:
+        if retest_attempts < 0:
+            raise ValueError("retest_attempts must be non-negative")
+        edges = [float(e) for e in bin_edges_lsb]
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bin_edges_lsb must be strictly ascending")
+        self.config = config
+        self.engine = BatchBistEngine(config)
+        self.retest_attempts = int(retest_attempts)
+        self.bin_edges_lsb = edges
+        self.tester = tester if tester is not None else TesterModel.digital_only()
+        self.devices_per_ic = int(devices_per_ic)
+
+    # ------------------------------------------------------------------ #
+    # Station helpers
+    # ------------------------------------------------------------------ #
+
+    def bin_names(self) -> List[str]:
+        """Names of the quality bins, tightest first."""
+        return [f"bin-{i + 1}" for i in range(len(self.bin_edges_lsb) + 1)]
+
+    def _insertion_seconds(self, n_devices: int, samples: int,
+                           sample_rate: float) -> float:
+        """Tester time to push ``n_devices`` through one BIST insertion."""
+        if n_devices == 0:
+            return 0.0
+        schedule = ParallelTestSchedule(
+            n_converters=n_devices,
+            bits_per_converter=1,
+            tester_channels=self.tester.digital_channels,
+            time_per_pass_s=samples / sample_rate)
+        return schedule.total_time_s
+
+    # ------------------------------------------------------------------ #
+    # Lot processing
+    # ------------------------------------------------------------------ #
+
+    def screen_lot(self, lot: Union[Lot, Wafer], rng: RngLike = None,
+                   store=None) -> LotScreeningReport:
+        """Run a lot (or a single wafer) through the whole line.
+
+        Parameters
+        ----------
+        lot:
+            The lot to screen; a bare wafer is treated as a one-wafer lot.
+        rng:
+            Seed or generator for the acquisition noise of all stations.
+        store:
+            Optional :class:`~repro.production.store.ResultStore` the
+            report is appended to.
+        """
+        if isinstance(lot, Wafer):
+            lot = Lot([lot], lot_id=lot.wafer_id)
+        spec = lot.spec
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+
+        t0 = time.perf_counter()
+        accepted_masks: List[np.ndarray] = []
+        measured: List[np.ndarray] = []
+        truly_good: List[np.ndarray] = []
+        first_pass_in = 0
+        first_pass_ok = 0
+        retest_in = 0
+        retest_ok = 0
+        samples_per_device = 0
+
+        for wafer in lot:
+            result = self.engine.run_wafer(wafer, rng=generator)
+            samples_per_device = result.samples_taken
+            accepted = result.passed.copy()
+            measured_dnl = result.measured_max_dnl_lsb.copy()
+            first_pass_in += len(wafer)
+            first_pass_ok += result.n_accepted
+
+            for _ in range(self.retest_attempts):
+                rejected = np.nonzero(~accepted)[0]
+                if rejected.size == 0:
+                    break
+                retest_in += int(rejected.size)
+                retest = self.engine.run_transitions(
+                    wafer.transitions[rejected],
+                    full_scale=spec.full_scale,
+                    sample_rate=spec.sample_rate,
+                    rng=generator)
+                recovered = rejected[retest.passed]
+                retest_ok += int(recovered.size)
+                accepted[recovered] = True
+                measured_dnl[recovered] = \
+                    retest.measured_max_dnl_lsb[retest.passed]
+
+            accepted_masks.append(accepted)
+            measured.append(measured_dnl)
+            truly_good.append(wafer.good_mask(self.config.dnl_spec_lsb,
+                                              self.config.inl_spec_lsb))
+        wall_seconds = time.perf_counter() - t0
+
+        accepted_all = np.concatenate(accepted_masks)
+        measured_all = np.concatenate(measured)
+        good_all = np.concatenate(truly_good)
+        n_devices = accepted_all.size
+        n_accepted = int(np.count_nonzero(accepted_all))
+        # Score the final decisions against the truth with the shared
+        # Monte-Carlo result type, so the line reports the same joint
+        # (Table 1) error-rate convention as every other population run.
+        outcome = PopulationBistResult(n_devices=n_devices,
+                                       accepted=accepted_all,
+                                       truly_good=good_all)
+
+        # Binning station: grade accepted dies on the measured linearity.
+        bins = np.digitize(measured_all[accepted_all], self.bin_edges_lsb)
+        names = self.bin_names()
+        bin_counts = {name: int(np.count_nonzero(bins == i))
+                      for i, name in enumerate(names)}
+
+        # Tester-floor economics.
+        bist_seconds = self._insertion_seconds(
+            first_pass_in, samples_per_device, spec.sample_rate)
+        retest_seconds = self._insertion_seconds(
+            retest_in, samples_per_device, spec.sample_rate)
+        stations = [
+            StationStats("bist", first_pass_in, first_pass_ok, bist_seconds),
+        ]
+        if self.retest_attempts > 0:
+            stations.append(StationStats("retest", retest_in, retest_ok,
+                                         retest_seconds))
+        stations.append(StationStats("binning", n_accepted, n_accepted, 0.0))
+
+        plan = TestPlan.full_bist(n_bits=spec.n_bits,
+                                  samples=max(samples_per_device, 1),
+                                  sample_rate=spec.sample_rate)
+        cost = cost_per_device(plan, self.tester,
+                               devices_per_ic=self.devices_per_ic)
+
+        report = LotScreeningReport(
+            lot_id=lot.lot_id,
+            n_devices=n_devices,
+            n_accepted=n_accepted,
+            n_recovered=retest_ok,
+            bin_counts=bin_counts,
+            stations=stations,
+            tester_seconds=bist_seconds + retest_seconds,
+            cost_per_device=cost,
+            p_good=outcome.p_good,
+            type_i=outcome.type_i,
+            type_ii=outcome.type_ii,
+            samples_per_device=samples_per_device,
+            wall_seconds=wall_seconds)
+        if store is not None:
+            store.add(report)
+        return report

@@ -1,0 +1,157 @@
+"""Result store: per-lot screening statistics and floor-level reporting.
+
+The :class:`ResultStore` is the production line's ledger.  Every screened
+lot appends one :class:`~repro.production.line.LotScreeningReport`; the
+store aggregates accept/reject/bin counts, measured error rates and tester
+time across lots and renders them as the plain-text tables the rest of the
+reproduction uses (:mod:`repro.reporting.tables`), so a multi-lot
+Monte-Carlo campaign produces one readable floor report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.production.line import LotScreeningReport, StationStats
+from repro.reporting.tables import format_table
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Accumulates screening reports lot by lot."""
+
+    def __init__(self) -> None:
+        self._reports: List[LotScreeningReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Accumulation
+    # ------------------------------------------------------------------ #
+
+    def add(self, report: LotScreeningReport) -> None:
+        """Append one lot's screening report."""
+        self._reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    @property
+    def reports(self) -> List[LotScreeningReport]:
+        """The stored reports, in arrival order."""
+        return list(self._reports)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_devices(self) -> int:
+        """Dies screened across all lots."""
+        return sum(r.n_devices for r in self._reports)
+
+    @property
+    def total_accepted(self) -> int:
+        """Dies finally accepted across all lots."""
+        return sum(r.n_accepted for r in self._reports)
+
+    @property
+    def total_tester_seconds(self) -> float:
+        """Tester time consumed across all lots."""
+        return sum(r.tester_seconds for r in self._reports)
+
+    @property
+    def overall_accept_fraction(self) -> float:
+        """Accept fraction over every die screened so far."""
+        total = self.total_devices
+        return self.total_accepted / total if total else 0.0
+
+    @property
+    def overall_devices_per_hour(self) -> float:
+        """Floor throughput in devices per tester-hour."""
+        seconds = self.total_tester_seconds
+        if seconds <= 0.0:
+            return float("inf")
+        return self.total_devices / seconds * 3600.0
+
+    def bin_totals(self) -> Dict[str, int]:
+        """Accepted-die counts per quality bin, summed over lots."""
+        totals: Dict[str, int] = {}
+        for report in self._reports:
+            for name, count in report.bin_counts.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def station_totals(self) -> List[StationStats]:
+        """Per-station totals (devices in/accepted, tester time) over lots."""
+        merged: Dict[str, StationStats] = {}
+        for report in self._reports:
+            for station in report.stations:
+                agg = merged.get(station.name)
+                if agg is None:
+                    merged[station.name] = StationStats(
+                        station.name, station.n_in, station.n_accepted,
+                        station.tester_seconds)
+                else:
+                    agg.n_in += station.n_in
+                    agg.n_accepted += station.n_accepted
+                    agg.tester_seconds += station.tester_seconds
+        return list(merged.values())
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def lot_table(self) -> str:
+        """One row per lot: yield, error rates, throughput, cost."""
+        rows = []
+        for r in self._reports:
+            rows.append([r.lot_id, r.n_devices, r.n_accepted,
+                         r.accept_fraction, r.type_i, r.type_ii,
+                         r.tester_seconds, r.devices_per_hour,
+                         r.cost_per_device])
+        return format_table(
+            ["lot", "devices", "accepted", "accept frac", "type I",
+             "type II", "tester [s]", "devices/h", "cost/device"],
+            rows, title="Screening results per lot")
+
+    def station_table(self) -> str:
+        """One row per station, aggregated over every screened lot."""
+        rows = []
+        for s in self.station_totals():
+            rows.append([s.name, s.n_in, s.n_accepted, s.yield_fraction,
+                         s.tester_seconds, s.devices_per_hour])
+        return format_table(
+            ["station", "in", "accepted", "yield", "tester [s]",
+             "devices/h"],
+            rows, title="Station totals")
+
+    def bin_table(self) -> str:
+        """Accepted dies per quality bin (tightest bin first)."""
+
+        def bin_order(name: str):
+            # "bin-10" must follow "bin-9", not "bin-1": sort on the
+            # numeric suffix when there is one.
+            prefix, _, suffix = name.rpartition("-")
+            if suffix.isdigit():
+                return (prefix, int(suffix))
+            return (name, 0)
+
+        totals = self.bin_totals()
+        accepted = max(self.total_accepted, 1)
+        rows = [[name, count, count / accepted]
+                for name, count in sorted(totals.items(),
+                                          key=lambda kv: bin_order(kv[0]))]
+        return format_table(["bin", "devices", "share of accepted"], rows,
+                            title="Quality bins")
+
+    def summary(self) -> str:
+        """Multi-line overview of the whole screening campaign."""
+        lines = [
+            f"lots screened: {len(self)}",
+            f"devices screened: {self.total_devices}",
+            f"devices accepted: {self.total_accepted} "
+            f"({self.overall_accept_fraction:.1%})",
+            f"tester time: {self.total_tester_seconds:.3f} s "
+            f"({self.overall_devices_per_hour:.0f} devices/hour)",
+        ]
+        return "\n".join(lines)

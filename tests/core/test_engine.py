@@ -186,3 +186,44 @@ class TestPopulationRuns:
         agreement_fine = fine.run_population(population, rng=1).agreement
         # Allow a small sampling fluctuation on the 60-device batch.
         assert agreement_fine >= agreement_coarse - 0.05
+
+    def test_conditional_rates_derive_from_joint(self, small_population,
+                                                 stringent_engine):
+        result = stringent_engine.run_population(small_population, rng=0)
+        # type_i/type_ii are the joint (Table 1) fractions; the conditional
+        # rates divide by the respective prior.
+        assert 0.0 < result.p_good < 1.0
+        assert result.p_reject_given_good == pytest.approx(
+            result.type_i / result.p_good)
+        assert result.p_accept_given_faulty == pytest.approx(
+            result.type_ii / (1.0 - result.p_good))
+        assert result.p_reject_given_good >= result.type_i
+        assert result.p_accept_given_faulty >= result.type_ii
+
+    def test_conditional_rates_degenerate_priors(self):
+        from repro.core.engine import PopulationBistResult
+
+        all_good = PopulationBistResult(
+            n_devices=4,
+            accepted=np.array([True, True, False, True]),
+            truly_good=np.ones(4, dtype=bool))
+        assert all_good.p_accept_given_faulty == 0.0
+        assert all_good.p_reject_given_good == pytest.approx(0.25)
+        all_bad = PopulationBistResult(
+            n_devices=4,
+            accepted=np.array([True, False, False, False]),
+            truly_good=np.zeros(4, dtype=bool))
+        assert all_bad.p_reject_given_good == 0.0
+        assert all_bad.p_accept_given_faulty == pytest.approx(0.25)
+
+
+class TestTrueGoodness:
+    def test_matches_transfer_function(self, flash_adc):
+        from repro.core import true_goodness
+
+        tf = flash_adc.transfer_function()
+        assert true_goodness(flash_adc, 2.0) is True
+        assert true_goodness(flash_adc, tf.max_dnl() / 2) is False
+        # The INL spec tightens the classification.
+        assert true_goodness(flash_adc, 2.0,
+                             inl_spec_lsb=tf.max_inl() / 2) is False

@@ -1,0 +1,241 @@
+"""Scalar-vs-batch equivalence and batch LSB-extraction property tests.
+
+The batch engine's contract is exactness: on the same seeded population it
+must reproduce the scalar engine's accept/reject decisions bit for bit, on
+every execution path (noise-free event path, noisy stream path, deglitch,
+non-monotone gross-defect devices).  These tests pin that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adc import DevicePopulation, PopulationSpec
+from repro.core import BistConfig, BistEngine, CountLimits, LsbProcessor
+from repro.production import (
+    BatchBistEngine,
+    BatchLsbProcessor,
+    Wafer,
+    WaferSpec,
+    batch_deglitch,
+)
+from repro.core.deglitch import DeglitchFilter
+
+
+def _assert_population_equal(config, wafer, rng):
+    """Scalar loop and batch run must agree device for device."""
+    scalar = BistEngine(config).run_population(wafer.devices(), rng=rng)
+    batch = BatchBistEngine(config).run_population(wafer, rng=rng)
+    np.testing.assert_array_equal(scalar.accepted, batch.accepted)
+    np.testing.assert_array_equal(scalar.truly_good, batch.truly_good)
+    assert scalar.n_devices == batch.n_devices
+
+
+class TestScalarBatchEquivalence:
+    def test_500_device_seeded_population(self):
+        """The acceptance-criterion case: 500 seeded devices, bit-exact."""
+        wafer = Wafer.draw(WaferSpec(n_devices=500,
+                                     sigma_code_width_lsb=0.21), rng=42)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+        _assert_population_equal(config, wafer, rng=0)
+
+    def test_stringent_spec_small_counter(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=300), rng=11)
+        config = BistConfig(n_bits=6, counter_bits=4, dnl_spec_lsb=0.5)
+        scalar = BistEngine(config).run_population(wafer.devices(), rng=0)
+        batch = BatchBistEngine(config).run_population(wafer, rng=0)
+        np.testing.assert_array_equal(scalar.accepted, batch.accepted)
+        # The stringent spec must actually reject a nontrivial fraction,
+        # otherwise this test proves nothing.
+        assert 0.0 < scalar.p_accept < 1.0
+
+    def test_inl_specification(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=200,
+                                     sigma_code_width_lsb=0.3), rng=4)
+        config = BistConfig(n_bits=6, counter_bits=6, dnl_spec_lsb=1.0,
+                            inl_spec_lsb=0.8)
+        _assert_population_equal(config, wafer, rng=0)
+
+    def test_configured_inl_spec_reaches_true_classification(self):
+        """A configured INL spec must shape the truly-good reference too
+        (not only the BIST decision), for both engines."""
+        wafer = Wafer.draw(WaferSpec(n_devices=150,
+                                     sigma_code_width_lsb=0.3), rng=4)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                            inl_spec_lsb=0.5)
+        expected = wafer.good_mask(1.0, inl_spec_lsb=0.5)
+        assert not expected.all(), "the INL spec should bite on this draw"
+        batch = BatchBistEngine(config).run_population(wafer, rng=0)
+        np.testing.assert_array_equal(batch.truly_good, expected)
+        scalar = BistEngine(config).run_population(wafer.devices(), rng=0)
+        np.testing.assert_array_equal(scalar.truly_good, expected)
+
+    def test_gross_defect_devices(self):
+        """Large sigma: missing codes and non-monotone curves included."""
+        wafer = Wafer.draw(WaferSpec(n_devices=250,
+                                     sigma_code_width_lsb=0.6), rng=9)
+        non_monotone = (np.diff(wafer.transitions, axis=1) < 0).any(axis=1)
+        assert non_monotone.any(), "the draw should contain gross defects"
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+        _assert_population_equal(config, wafer, rng=0)
+
+    def test_transition_noise_with_deglitch(self):
+        """Stream path: the shared rng must be consumed in device order."""
+        wafer = Wafer.draw(WaferSpec(n_devices=60,
+                                     sigma_code_width_lsb=0.3), rng=2)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                            transition_noise_lsb=0.02, deglitch_depth=3)
+        scalar = BistEngine(config).run_population(wafer.devices(), rng=77)
+        batch = BatchBistEngine(config).run_population(wafer, rng=77)
+        np.testing.assert_array_equal(scalar.accepted, batch.accepted)
+        assert 0.0 < scalar.p_accept
+
+    def test_transition_noise_chunking_preserves_rng_order(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=50), rng=3)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                            transition_noise_lsb=0.05, deglitch_depth=2)
+        engine = BatchBistEngine(config)
+        one_chunk = engine.run_transitions(wafer.transitions, rng=5,
+                                           chunk_size=50)
+        many_chunks = engine.run_transitions(wafer.transitions, rng=5,
+                                             chunk_size=7)
+        np.testing.assert_array_equal(one_chunk.passed, many_chunks.passed)
+
+    def test_stimulus_noise(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=40), rng=6)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                            stimulus_noise_lsb=0.05, seed=5)
+        _assert_population_equal(config, wafer, rng=1)
+
+    def test_majority_deglitch_mode(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=40), rng=8)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                            transition_noise_lsb=0.02, deglitch_depth=2,
+                            deglitch_mode="majority")
+        _assert_population_equal(config, wafer, rng=3)
+
+    def test_wrapping_counter_and_no_msb_check(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=150,
+                                     sigma_code_width_lsb=0.4), rng=10)
+        config = BistConfig(n_bits=6, counter_bits=5, dnl_spec_lsb=1.0,
+                            counter_saturate=False, check_msb=False)
+        _assert_population_equal(config, wafer, rng=0)
+
+    def test_device_population_gaussian(self):
+        pop = DevicePopulation(PopulationSpec(
+            size=120, seed=11, architecture="gaussian"))
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+        scalar = BistEngine(config).run_population(pop, rng=0)
+        batch = BatchBistEngine(config).run_population(pop, rng=0)
+        np.testing.assert_array_equal(scalar.accepted, batch.accepted)
+        np.testing.assert_array_equal(scalar.truly_good, batch.truly_good)
+
+    def test_device_population_flash(self):
+        pop = DevicePopulation(PopulationSpec(
+            size=60, seed=13, architecture="flash"))
+        config = BistConfig(n_bits=6, counter_bits=4, dnl_spec_lsb=0.5)
+        scalar = BistEngine(config).run_population(pop, rng=0)
+        batch = BatchBistEngine(config).run_population(pop, rng=0)
+        np.testing.assert_array_equal(scalar.accepted, batch.accepted)
+        np.testing.assert_array_equal(scalar.truly_good, batch.truly_good)
+
+    def test_event_chunking_is_invariant(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=100), rng=1)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+        engine = BatchBistEngine(config)
+        a = engine.run_wafer(wafer)
+        b = engine.run_transitions(wafer.transitions, chunk_size=9)
+        np.testing.assert_array_equal(a.passed, b.passed)
+        np.testing.assert_array_equal(a.n_transitions, b.n_transitions)
+
+    def test_resolution_mismatch_rejected(self):
+        engine = BatchBistEngine(BistConfig(n_bits=6))
+        with pytest.raises(ValueError):
+            engine.run_transitions(np.zeros((4, 255)))
+
+
+class TestBatchResultBookkeeping:
+    def test_counts_and_fractions(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=300), rng=11)
+        config = BistConfig(n_bits=6, counter_bits=4, dnl_spec_lsb=0.5)
+        result = BatchBistEngine(config).run_wafer(wafer)
+        assert result.n_devices == 300
+        assert result.n_accepted + result.n_rejected == 300
+        assert result.accept_fraction == pytest.approx(
+            result.n_accepted / 300)
+        assert result.off_chip_bits_transferred == 300
+        # Noise-free regular devices see every LSB transition.
+        assert (result.n_transitions == 63).all()
+
+    def test_measured_dnl_matches_scalar_reconstruction(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=20), rng=3)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+        batch = BatchBistEngine(config).run_wafer(wafer)
+        scalar = BistEngine(config)
+        for i in (0, 7, 19):
+            ref = scalar.run(wafer.device(i))
+            assert batch.measured_max_dnl_lsb[i] == pytest.approx(
+                np.max(np.abs(ref.measured_dnl_lsb)))
+
+
+class TestBatchLsbProcessorProperties:
+    """Property tests: batch extraction vs scalar block on random streams."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_streams_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        streams = (rng.random((40, 400)) < 0.3).astype(np.int8)
+        limits = CountLimits.for_counter(5, 1.0, inl_spec_lsb=1.0)
+        batch = BatchLsbProcessor(limits).process(streams, n_bits=6)
+        scalar = LsbProcessor(limits)
+        for d in range(streams.shape[0]):
+            ref = scalar.process(streams[d], n_bits=6)
+            n = batch.n_counts[d]
+            assert n == ref.counts.size
+            np.testing.assert_array_equal(batch.counts[d, :n], ref.counts)
+            np.testing.assert_array_equal(batch.counter_readings[d, :n],
+                                          ref.counter_readings)
+            np.testing.assert_array_equal(batch.dnl_pass_per_code[d, :n],
+                                          ref.dnl_pass_per_code)
+            np.testing.assert_array_equal(batch.inl_pass_per_code[d, :n],
+                                          ref.inl_pass_per_code)
+            np.testing.assert_allclose(
+                batch.inl_deviation_counts[d, :n],
+                ref.inl_deviation_counts)
+            assert batch.n_transitions[d] == ref.n_transitions
+            assert bool(batch.passed[d]) == ref.passed
+
+    @pytest.mark.parametrize("mode,depth", [("hysteresis", 2),
+                                            ("majority", 1)])
+    def test_deglitched_streams_match_scalar(self, mode, depth):
+        rng = np.random.default_rng(99)
+        streams = (rng.random((15, 300)) < 0.5).astype(np.int8)
+        filt = DeglitchFilter(depth, mode)
+        limits = CountLimits.for_counter(4, 0.5)
+        batch = BatchLsbProcessor(limits, deglitch=filt).process(streams)
+        scalar = LsbProcessor(limits, deglitch=filt)
+        for d in range(streams.shape[0]):
+            ref = scalar.process(streams[d])
+            n = batch.n_counts[d]
+            np.testing.assert_array_equal(batch.counts[d, :n], ref.counts)
+            assert batch.n_transitions[d] == ref.n_transitions
+
+    def test_constant_and_single_toggle_streams(self):
+        limits = CountLimits.for_counter(4, 1.0)
+        streams = np.zeros((3, 50), dtype=np.int8)
+        streams[1, 25:] = 1          # one edge -> no complete code
+        streams[2, 10:20] = 1        # two edges -> one count of 10
+        batch = BatchLsbProcessor(limits).process(streams)
+        assert list(batch.n_transitions) == [0, 1, 2]
+        assert list(batch.n_counts) == [0, 0, 1]
+        assert batch.counts[2, 0] == 10
+        assert not batch.passed[0] and not batch.passed[1]
+
+    def test_batch_deglitch_matches_scalar_rows(self):
+        rng = np.random.default_rng(5)
+        streams = (rng.random((20, 200)) < 0.5).astype(np.int8)
+        for mode, depth in (("hysteresis", 3), ("majority", 2)):
+            filt = DeglitchFilter(depth, mode)
+            got = batch_deglitch(streams, filt)
+            for d in range(streams.shape[0]):
+                np.testing.assert_array_equal(got[d],
+                                              filt.apply(streams[d]))

@@ -1,0 +1,111 @@
+"""Tests for the wafer/lot device-matrix models."""
+
+import numpy as np
+import pytest
+
+from repro.adc import DevicePopulation, PopulationSpec
+from repro.production import Lot, Wafer, WaferSpec
+
+
+class TestWaferSpec:
+    def test_defaults(self):
+        spec = WaferSpec()
+        assert spec.n_codes == 64
+        assert spec.n_inner_codes == 62
+        assert spec.lsb == pytest.approx(1.0 / 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaferSpec(n_bits=1)
+        with pytest.raises(ValueError):
+            WaferSpec(n_devices=0)
+        with pytest.raises(ValueError):
+            WaferSpec(sigma_code_width_lsb=-0.1)
+        with pytest.raises(ValueError):
+            WaferSpec(full_scale=0.0)
+
+
+class TestWafer:
+    def test_draw_is_reproducible(self):
+        spec = WaferSpec(n_devices=50)
+        a = Wafer.draw(spec, rng=7)
+        b = Wafer.draw(spec, rng=7)
+        assert np.array_equal(a.transitions, b.transitions)
+        c = Wafer.draw(spec, rng=8)
+        assert not np.array_equal(a.transitions, c.transitions)
+
+    def test_shape_validation(self):
+        spec = WaferSpec(n_devices=10)
+        with pytest.raises(ValueError):
+            Wafer(spec, np.zeros((10, 10)))
+
+    def test_statistics_match_spec(self):
+        spec = WaferSpec(n_devices=4000, sigma_code_width_lsb=0.21)
+        wafer = Wafer.draw(spec, rng=3)
+        widths_lsb = np.diff(wafer.transitions, axis=1) / spec.lsb
+        assert widths_lsb.mean() == pytest.approx(1.0, abs=0.01)
+        assert widths_lsb.std() == pytest.approx(0.21, abs=0.01)
+
+    def test_device_matches_matrix_row(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=5), rng=1)
+        device = wafer.device(3)
+        assert np.array_equal(device.transfer_function().transitions,
+                              wafer.transitions[3])
+        assert device.sample_rate == wafer.spec.sample_rate
+        with pytest.raises(IndexError):
+            wafer.device(5)
+
+    def test_good_mask_matches_scalar_classification(self):
+        from repro.core import true_goodness
+
+        wafer = Wafer.draw(WaferSpec(n_devices=100,
+                                     sigma_code_width_lsb=0.3), rng=5)
+        mask = wafer.good_mask(0.5, inl_spec_lsb=1.0)
+        scalar = [true_goodness(wafer.device(i), 0.5, 1.0)
+                  for i in range(len(wafer))]
+        assert np.array_equal(mask, np.asarray(scalar))
+        assert wafer.yield_fraction(0.5, 1.0) == pytest.approx(mask.mean())
+
+    def test_from_population_gaussian(self):
+        pop = DevicePopulation(PopulationSpec(
+            size=30, seed=2, architecture="gaussian"))
+        wafer = Wafer.from_population(pop)
+        assert np.array_equal(wafer.transitions, pop.transition_matrix())
+        assert np.array_equal(
+            wafer.transitions[7],
+            pop[7].transfer_function().transitions)
+
+    def test_from_population_flash(self):
+        pop = DevicePopulation(PopulationSpec(size=10, seed=2,
+                                              architecture="flash"))
+        wafer = Wafer.from_population(pop)
+        assert np.array_equal(
+            wafer.transitions[4],
+            pop[4].transfer_function().transitions)
+
+
+class TestLot:
+    def test_draw(self):
+        spec = WaferSpec(n_devices=20)
+        lot = Lot.draw(spec, n_wafers=3, seed=1, lot_id="L1")
+        assert len(lot) == 3
+        assert lot.n_devices == 60
+        assert lot.spec == spec
+        ids = [w.wafer_id for w in lot]
+        assert ids == ["L1/W0", "L1/W1", "L1/W2"]
+        # Wafers differ from each other but the lot is reproducible.
+        assert not np.array_equal(lot.wafers[0].transitions,
+                                  lot.wafers[1].transitions)
+        again = Lot.draw(spec, n_wafers=3, seed=1, lot_id="L1")
+        assert np.array_equal(lot.wafers[2].transitions,
+                              again.wafers[2].transitions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Lot([])
+        with pytest.raises(ValueError):
+            Lot.draw(WaferSpec(), n_wafers=0)
+        w_a = Wafer.draw(WaferSpec(n_devices=5), rng=0)
+        w_b = Wafer.draw(WaferSpec(n_devices=6), rng=0)
+        with pytest.raises(ValueError):
+            Lot([w_a, w_b])

@@ -46,6 +46,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "counter bits" in out
         assert "±0.5" in out
+        assert "meas" not in out  # Monte-Carlo columns are opt-in
+
+    def test_table1_monte_carlo_columns(self, capsys):
+        assert main(["table1", "--devices", "300", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "meas type I" in out
+        assert "meas type II" in out
+        assert "300 devices, seed 7" in out
+
+    def test_table1_monte_carlo_follows_codes(self, capsys):
+        # 30 codes = a 5-bit converter; the MEAS. wafer must match it.
+        assert main(["table1", "--devices", "200", "--codes", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "meas type I" in out
+        with pytest.raises(ValueError):
+            main(["table1", "--devices", "200", "--codes", "50"])
+
+    def test_lot(self, capsys):
+        assert main(["lot", "--wafers", "1", "--devices", "200",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Screening results per lot" in out
+        assert "Station totals" in out
+        assert "Quality bins" in out
+        assert "devices screened: 200" in out
+
+    def test_lot_with_retest_and_noise(self, capsys):
+        assert main(["lot", "--wafers", "1", "--devices", "150",
+                     "--noise", "0.02", "--deglitch", "2",
+                     "--retest", "1", "--tester", "mixed"]) == 0
+        out = capsys.readouterr().out
+        assert "retest" in out
 
     def test_table2(self, capsys):
         assert main(["table2"]) == 0

@@ -24,6 +24,8 @@ EXPECTED_OUTPUT = {
     "multi_adc_chip.py": ["result register", "Partial BIST"],
     "full_static_characterisation.py": ["offset [LSB]", "verdict"],
     "dynamic_test.py": ["THD [dB]", "ENOB"],
+    "wafer_screening.py": ["Screening results per lot", "Quality bins",
+                           "Station totals", "devices/s"],
 }
 
 
