@@ -13,12 +13,22 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import BistConfig, BistEngine
-from repro.production import BatchBistEngine, Wafer, WaferSpec
+from repro.core import BistConfig, BistEngine, PartialBistConfig, \
+    PartialBistEngine
+from repro.production import (
+    BatchBistEngine,
+    BatchPartialBistEngine,
+    Wafer,
+    WaferSpec,
+)
 from repro.reporting import format_table
 
 #: The speedup the batched engine must deliver at 10k devices.
 REQUIRED_SPEEDUP_10K = 20.0
+
+#: The speedup the batched *partial* BIST must deliver on a 1k-device
+#: non-flash (SAR) wafer — the PR-2 acceptance criterion.
+REQUIRED_PARTIAL_SPEEDUP_1K = 10.0
 
 _CONFIG = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
 
@@ -90,6 +100,46 @@ class TestProductionThroughput:
         batch = BatchBistEngine(_CONFIG).run_population(wafer, rng=0)
         np.testing.assert_array_equal(scalar.accepted, batch.accepted)
         np.testing.assert_array_equal(scalar.truly_good, batch.truly_good)
+
+    def test_partial_bist_scalar_vs_batch_non_flash(self, report):
+        """Batched partial BIST (q=2) on a 1k-device SAR wafer: identical
+        decisions, >=10x devices/sec over the scalar loop."""
+        wafer = Wafer.draw(WaferSpec(n_bits=6, n_devices=1000,
+                                     architecture="sar"), rng=1997)
+        config = PartialBistConfig(n_bits=6, q=2, dnl_spec_lsb=0.5,
+                                   inl_spec_lsb=1.0)
+
+        scalar_engine = PartialBistEngine(config)
+        start = time.perf_counter()
+        scalar_passed = np.array([scalar_engine.run(d).passed
+                                  for d in wafer.devices()])
+        scalar_s = time.perf_counter() - start
+
+        batch_engine = BatchPartialBistEngine(config)
+        batch_engine.run_wafer(wafer)  # warm-up
+        batch_s = float("inf")
+        batch_res = None
+        for _ in range(3):
+            start = time.perf_counter()
+            batch_res = batch_engine.run_wafer(wafer)
+            batch_s = min(batch_s, time.perf_counter() - start)
+
+        # The speedup only counts if the answers are identical.
+        np.testing.assert_array_equal(scalar_passed, batch_res.passed)
+
+        speedup = scalar_s / batch_s
+        report("partial BIST throughput (scalar vs batch, SAR wafer)",
+               format_table(
+                   ["devices", "scalar devices/s", "batch devices/s",
+                    "speedup"],
+                   [[1000, 1000 / scalar_s, 1000 / batch_s, speedup]],
+                   title=f"partial BIST q=2, SAR architecture, DNL "
+                         f"±{config.dnl_spec_lsb} LSB (required: "
+                         f">={REQUIRED_PARTIAL_SPEEDUP_1K:.0f}x)"))
+        assert speedup >= REQUIRED_PARTIAL_SPEEDUP_1K, (
+            f"batched partial engine is only {speedup:.1f}x faster than "
+            f"the scalar loop at 1k SAR devices "
+            f"(required {REQUIRED_PARTIAL_SPEEDUP_1K:.0f}x)")
 
     def test_million_device_scale_is_feasible(self, report):
         """A 100k slice extrapolates the million-device Table-1 run."""

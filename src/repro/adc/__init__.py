@@ -12,9 +12,21 @@ This subpackage provides every converter model used by the reproduction:
   — further architectures demonstrating the BIST's architecture independence,
 * :mod:`~repro.adc.faults` — gross-defect (spot-defect) injection,
 * :class:`~repro.adc.population.DevicePopulation` — reproducible Monte-Carlo
-  batches standing in for the paper's measured batch of 364 devices.
+  batches standing in for the paper's measured batch of 364 devices,
+* :mod:`~repro.adc.backends` — pluggable vectorised transfer backends that
+  draw whole populations of flash, SAR or pipeline transition matrices
+  without materialising per-device objects (the substrate the production
+  batch engines run on).
 """
 
+from repro.adc.backends import (
+    ARCHITECTURES,
+    FlashLadderBackend,
+    PipelineStageBackend,
+    SarWeightBackend,
+    TransferBackend,
+    make_backend,
+)
 from repro.adc.base import ADC, ConversionRecord
 from repro.adc.faults import (
     FaultDescriptor,
@@ -51,6 +63,12 @@ from repro.adc.transfer import (
 __all__ = [
     "ADC",
     "ConversionRecord",
+    "ARCHITECTURES",
+    "FlashLadderBackend",
+    "PipelineStageBackend",
+    "SarWeightBackend",
+    "TransferBackend",
+    "make_backend",
     "FaultDescriptor",
     "StuckBitADC",
     "inject_gain_error",

@@ -22,6 +22,14 @@ Two generation modes are provided:
     distribution.  This is much faster for very large Monte-Carlo runs and is
     the exact statistical model the paper's equations assume, which makes it
     the right baseline when validating the analytic error model.
+
+``architecture="sar"`` / ``architecture="pipeline"``
+    Realise the population through the corresponding vectorised transfer
+    backend (:mod:`repro.adc.backends`): the whole population's transition
+    matrix is drawn in one call, and individual devices are materialised as
+    :class:`~repro.adc.ideal.TableADC` objects wrapping their matrix row —
+    bit-identical to what the batch engines decide on, without building one
+    behavioural converter model per device.
 """
 
 from __future__ import annotations
@@ -142,11 +150,17 @@ class PopulationSpec:
     architecture:
         ``"flash"`` builds :class:`~repro.adc.flash.FlashADC` devices;
         ``"gaussian"`` draws code widths directly from the correlated normal
-        model the paper's equations assume.
+        model the paper's equations assume; ``"sar"`` and ``"pipeline"``
+        realise the population through the vectorised transfer backends of
+        :mod:`repro.adc.backends`.
     comparator_fraction:
         For the flash architecture, the fraction of the code-width variance
         contributed by comparator offsets (see
         :meth:`repro.adc.flash.FlashADC.from_sigma`).
+    unit_cap_sigma_rel, comparator_offset_sigma_lsb:
+        SAR-architecture mismatch parameters.
+    gain_error_sigma, threshold_sigma_lsb:
+        Pipeline-architecture mismatch parameters.
     full_scale:
         Full-scale range in volts.
     sample_rate:
@@ -164,6 +178,10 @@ class PopulationSpec:
     full_scale: float = 1.0
     sample_rate: float = 1e6
     seed: Optional[int] = 0
+    unit_cap_sigma_rel: float = 0.06
+    comparator_offset_sigma_lsb: float = 0.0
+    gain_error_sigma: float = 0.03
+    threshold_sigma_lsb: float = 0.5
 
     def __post_init__(self) -> None:
         if self.n_bits < 2:
@@ -172,10 +190,33 @@ class PopulationSpec:
             raise ValueError("size must be >= 1")
         if self.sigma_code_width_lsb < 0:
             raise ValueError("sigma_code_width_lsb must be non-negative")
-        if self.architecture not in ("flash", "gaussian"):
+        if self.architecture not in ("flash", "gaussian", "sar", "pipeline"):
             raise ValueError(
                 f"unknown architecture {self.architecture!r}; "
-                f"expected 'flash' or 'gaussian'")
+                f"expected 'flash', 'gaussian', 'sar' or 'pipeline'")
+
+    def backend(self):
+        """The vectorised transfer backend for matrix-backed architectures.
+
+        Only the ``"sar"`` and ``"pipeline"`` populations are realised
+        through a backend draw; ``"flash"`` and ``"gaussian"`` keep their
+        historical per-device-seed draws (moving them onto the backend
+        would change seeded matrices — see the ROADMAP open item), so
+        asking for their backend raises rather than returning a draw that
+        would not reproduce :meth:`DevicePopulation.transition_matrix`.
+        """
+        if self.architecture not in ("sar", "pipeline"):
+            raise ValueError(
+                f"the {self.architecture!r} population architecture draws "
+                f"per-device seeds and has no matrix backend")
+        from repro.adc.backends import make_backend
+        return make_backend(
+            self.architecture, self.n_bits, self.full_scale,
+            sigma_code_width_lsb=self.sigma_code_width_lsb,
+            unit_cap_sigma_rel=self.unit_cap_sigma_rel,
+            comparator_offset_sigma_lsb=self.comparator_offset_sigma_lsb,
+            gain_error_sigma=self.gain_error_sigma,
+            threshold_sigma_lsb=self.threshold_sigma_lsb)
 
     @property
     def n_codes(self) -> int:
@@ -203,6 +244,7 @@ class DevicePopulation:
         self._device_seeds = self._rng.integers(0, 2 ** 31 - 1,
                                                 size=spec.size)
         self._width_matrix_lsb: Optional[np.ndarray] = None
+        self._transition_matrix: Optional[np.ndarray] = None
         self._devices: Optional[List[ADC]] = None
 
     # ------------------------------------------------------------------ #
@@ -247,6 +289,15 @@ class DevicePopulation:
     def _build_device(self, index: int) -> ADC:
         seed = int(self._device_seeds[index])
         spec = self.spec
+        if spec.architecture in ("sar", "pipeline"):
+            # Matrix-backed architectures: the device wraps its row of the
+            # backend-drawn transition matrix, so scalar runs on it see
+            # exactly the curve the batch engines decide on.
+            tf = TransferFunction(n_bits=spec.n_bits,
+                                  transitions=self.transition_matrix()[index],
+                                  full_scale=spec.full_scale)
+            return TableADC(tf, sample_rate=spec.sample_rate,
+                            name=f"{spec.architecture} device {index}")
         if spec.architecture == "flash":
             device = FlashADC.from_sigma(
                 n_bits=spec.n_bits,
@@ -273,7 +324,11 @@ class DevicePopulation:
         """Return the (devices x inner codes) matrix of code widths in LSB."""
         if self._width_matrix_lsb is None:
             spec = self.spec
-            if spec.architecture == "gaussian":
+            if spec.architecture in ("sar", "pipeline"):
+                lsb = spec.full_scale / spec.n_codes
+                self._width_matrix_lsb = (
+                    np.diff(self.transition_matrix(), axis=1) / lsb)
+            elif spec.architecture == "gaussian":
                 # Vectorised draw — no per-device objects needed.
                 seeds_rng = np.random.default_rng(spec.seed)
                 # Re-derive deterministically but independently of lazily
@@ -304,6 +359,13 @@ class DevicePopulation:
         materialises the devices.
         """
         spec = self.spec
+        if spec.architecture in ("sar", "pipeline"):
+            if self._transition_matrix is None:
+                # One vectorised backend draw for the whole population,
+                # seeded by the population seed.
+                self._transition_matrix = spec.backend().draw_transitions(
+                    spec.size, rng=spec.seed)
+            return self._transition_matrix
         if spec.architecture == "gaussian":
             lsb = spec.full_scale / spec.n_codes
             widths_volts = self.code_width_matrix_lsb() * lsb

@@ -15,7 +15,14 @@ be exercised without writing Python:
     Print the section-4 yield figures for a given code-width sigma.
 ``python -m repro.cli lot``
     Screen a whole production lot with the batched BIST and print the
-    floor report (yield, bins, throughput, cost).
+    floor report (yield, bins, throughput, cost).  ``--arch`` selects the
+    converter architecture (flash, SAR, pipeline), ``--q`` switches the
+    line to the batched partial BIST, ``--per-ic`` groups dies into
+    multi-converter chips.
+``python -m repro.cli partial``
+    Monte-Carlo partial-BIST run over a whole population: accept rates,
+    measured type I/II errors, reconstruction quality and tester data
+    volume for a chosen (architecture, q) scenario.
 
 Every command accepts ``--help`` for its options.
 """
@@ -24,16 +31,24 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
 
-from repro.adc import FlashADC
+from repro.adc import ARCHITECTURES, FlashADC
 from repro.analysis import CodeWidthDistribution, ErrorModel, HistogramTest
-from repro.core import BistConfig, BistEngine, qmin
+from repro.core import (
+    BistConfig,
+    BistEngine,
+    PartialBistConfig,
+    PopulationBistResult,
+    qmin,
+)
 from repro.economics import TesterModel
 from repro.production import (
     BatchBistEngine,
+    BatchPartialBistEngine,
     Lot,
     ResultStore,
     ScreeningLine,
@@ -132,8 +147,46 @@ def build_parser() -> argparse.ArgumentParser:
     lot.add_argument("--retest", type=int, default=0,
                      help="retest attempts for rejected dies (default 0)")
     lot.add_argument("--tester", choices=("digital", "mixed"),
-                     default="digital",
-                     help="tester model pricing the insertions")
+                     default=None,
+                     help="tester model pricing the insertions (default: "
+                          "digital for the full BIST, mixed for partial)")
+    lot.add_argument("--arch", choices=ARCHITECTURES, default="flash",
+                     help="converter architecture of the dies "
+                          "(default flash)")
+    lot.add_argument("--q", type=int, default=None,
+                     help="screen with the partial BIST, capturing q LSBs "
+                          "off-chip (default: full BIST)")
+    lot.add_argument("--samples-per-code", type=float, default=16.0,
+                     help="partial-BIST ramp density (default 16)")
+    lot.add_argument("--per-ic", type=int, default=1,
+                     help="converters per IC; >1 adds chip-level yield "
+                          "(default 1)")
+
+    partial = sub.add_parser(
+        "partial", help="Monte-Carlo partial-BIST run over a population")
+    partial.add_argument("--bits", type=int, default=6,
+                         help="converter resolution (default 6)")
+    partial.add_argument("--devices", type=int, default=1000,
+                         help="population size (default 1000)")
+    partial.add_argument("--q", type=int, default=None,
+                         help="observed LSBs (default: Equation (1) "
+                              "minimum for the stimulus)")
+    partial.add_argument("--arch", choices=ARCHITECTURES, default="flash",
+                         help="converter architecture (default flash)")
+    partial.add_argument("--sigma", type=float, default=0.21,
+                         help="flash code-width sigma in LSB (default 0.21)")
+    partial.add_argument("--samples-per-code", type=float, default=16.0,
+                         help="ramp density (default 16; smaller values "
+                              "model a faster stimulus)")
+    partial.add_argument("--dnl-spec", type=float, default=1.0,
+                         help="DNL specification in LSB (default 1.0)")
+    partial.add_argument("--inl-spec", type=float, default=None,
+                         help="INL specification in LSB (default: not "
+                              "checked)")
+    partial.add_argument("--noise", type=float, default=0.0,
+                         help="transition noise in LSB (default 0)")
+    partial.add_argument("--seed", type=int, default=2026,
+                         help="population/acquisition seed (default 2026)")
 
     return parser
 
@@ -263,7 +316,8 @@ def _cmd_yield(args: argparse.Namespace) -> int:
 def _cmd_lot(args: argparse.Namespace) -> int:
     spec = WaferSpec(n_bits=args.bits,
                      sigma_code_width_lsb=args.sigma,
-                     n_devices=args.devices)
+                     n_devices=args.devices,
+                     architecture=args.arch)
     lot = Lot.draw(spec, n_wafers=args.wafers, seed=args.seed,
                    lot_id=f"LOT-{args.seed}")
     config = BistConfig(n_bits=args.bits,
@@ -272,15 +326,20 @@ def _cmd_lot(args: argparse.Namespace) -> int:
                         inl_spec_lsb=args.inl_spec,
                         transition_noise_lsb=args.noise,
                         deglitch_depth=args.deglitch)
-    tester = (TesterModel.digital_only() if args.tester == "digital"
-              else TesterModel.mixed_signal())
-    line = ScreeningLine(config, retest_attempts=args.retest, tester=tester)
+    tester = None
+    if args.tester is not None:
+        tester = (TesterModel.digital_only() if args.tester == "digital"
+                  else TesterModel.mixed_signal())
+    line = ScreeningLine(config, retest_attempts=args.retest, tester=tester,
+                         partial_q=args.q,
+                         samples_per_code=args.samples_per_code,
+                         devices_per_ic=args.per_ic)
     store = ResultStore()
     report = line.screen_lot(lot, rng=args.seed, store=store)
 
-    print(f"lot {lot.lot_id}: {args.wafers} wafers x {args.devices} dies, "
-          f"sigma {args.sigma} LSB")
-    print(f"BIST: {line.engine.limits.describe()}")
+    print(f"lot {lot.lot_id}: {args.wafers} wafers x {args.devices} "
+          f"{args.arch} dies")
+    print(f"BIST: {line.describe()}")
     print(f"simulation: {report.simulated_devices_per_second:,.0f} "
           f"devices/s (batched engine)")
     print()
@@ -294,6 +353,57 @@ def _cmd_lot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_partial(args: argparse.Namespace) -> int:
+    spec = WaferSpec(n_bits=args.bits,
+                     sigma_code_width_lsb=args.sigma,
+                     n_devices=args.devices,
+                     architecture=args.arch)
+    wafer = Wafer.draw(spec, rng=args.seed, wafer_id=f"MC-{args.seed}")
+    config = PartialBistConfig(n_bits=args.bits, q=args.q,
+                               samples_per_code=args.samples_per_code,
+                               dnl_spec_lsb=args.dnl_spec,
+                               inl_spec_lsb=args.inl_spec,
+                               transition_noise_lsb=args.noise)
+    engine = BatchPartialBistEngine(config)
+
+    start = time.perf_counter()
+    result = engine.run_wafer(wafer, rng=args.seed)
+    elapsed = time.perf_counter() - start
+
+    # Score against the truth with the shared Monte-Carlo result type, so
+    # the command reports the same joint (Table 1) error-rate convention
+    # as every other population run.
+    outcome = PopulationBistResult(
+        n_devices=result.n_devices,
+        accepted=result.passed,
+        truly_good=wafer.good_mask(args.dnl_spec, args.inl_spec))
+    partition = result.partition
+    conventional_bits = result.samples_taken * args.bits
+
+    print(f"partial BIST Monte-Carlo: {args.devices} {args.arch} devices, "
+          f"{args.bits} bits, q = {partition.q} "
+          f"({partition.on_chip_bits} bits verified on-chip)")
+    rows = [
+        ["accept fraction", result.accept_fraction],
+        ["true yield", outcome.p_good],
+        ["type I (good rejected)", outcome.type_i],
+        ["type II (faulty accepted)", outcome.type_ii],
+        ["mean reconstruction error rate",
+         float(result.reconstruction_error_rate.mean())],
+        ["devices with exact reconstruction",
+         float(np.mean(result.reconstruction_error_rate == 0.0))],
+        ["bits captured per device", result.bits_captured_per_device],
+        ["conventional-test bits per device", conventional_bits],
+        ["tester data reduction",
+         conventional_bits / max(result.bits_captured_per_device, 1)],
+        ["simulation devices/s", args.devices / max(elapsed, 1e-12)],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"DNL spec ±{args.dnl_spec} LSB, "
+                             f"{result.samples_taken} samples/device"))
+    return 0
+
+
 _HANDLERS = {
     "bist": _cmd_bist,
     "table1": _cmd_table1,
@@ -302,6 +412,7 @@ _HANDLERS = {
     "qmin": _cmd_qmin,
     "yield": _cmd_yield,
     "lot": _cmd_lot,
+    "partial": _cmd_partial,
 }
 
 

@@ -8,6 +8,10 @@
 * :mod:`repro.core.decision` — the vectorised count-limit decision kernel
   shared by the scalar engine and the batch engine in
   :mod:`repro.production`,
+* :mod:`repro.core.kernel` — the shared device-axis BIST kernel
+  (quantisation, MSB reference counter, code reconstruction, histograms);
+  the scalar engines below are batch-of-1 wrappers over it and the
+  production engines run it wafer-wide,
 * :mod:`repro.core.deglitch` — the digital filter removing LSB toggles,
 * :mod:`repro.core.lsb_processor` — the LSB processing block (Figure 4),
 * :mod:`repro.core.msb_checker` — the on-chip functionality check of the
@@ -30,6 +34,14 @@ from repro.core.engine import (
     BistResult,
     PopulationBistResult,
     true_goodness,
+)
+from repro.core.kernel import (
+    batch_code_histogram,
+    batch_msb_reference,
+    batch_quantise_rows,
+    batch_quantise_shared,
+    batch_reconstruct_codes,
+    packed_crossing_events,
 )
 from repro.core.limits import CountLimits
 from repro.core.lsb_processor import LsbProcessor, LsbProcessorResult
@@ -68,4 +80,10 @@ __all__ = [
     "PartialBistEngine",
     "PartialBistResult",
     "reconstruct_codes",
+    "batch_code_histogram",
+    "batch_msb_reference",
+    "batch_quantise_rows",
+    "batch_quantise_shared",
+    "batch_reconstruct_codes",
+    "packed_crossing_events",
 ]

@@ -16,6 +16,14 @@ The engine also provides :meth:`BistEngine.run_population`, the Monte-Carlo
 "measurement" used to regenerate the MEAS. columns of Table 1: every device
 of a population is actually put through the sampled BIST and the resulting
 accept/reject decisions are compared against the devices' true linearity.
+
+Kernel layering: the decision logic lives in shared vectorised kernels —
+the count-limit comparison in :mod:`repro.core.decision` and the
+stimulus→acquisition→stream pipeline in :mod:`repro.core.kernel` (which the
+:class:`~repro.core.msb_checker.MsbChecker` used here wraps batch-of-1).
+The production engines (:mod:`repro.production.batch_engine`,
+:mod:`repro.production.partial_batch`) run the same kernels over whole
+wafers, which is why their decisions match this engine bit for bit.
 """
 
 from __future__ import annotations

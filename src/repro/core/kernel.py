@@ -1,0 +1,319 @@
+"""Shared vectorised BIST kernel: the stimulus→acquisition→stream pipeline.
+
+Every BIST configuration in this library — full BIST (``q = 1``), partial
+BIST with ``q`` LSBs off-chip, single device or wafer-scale batch, flash or
+any other converter architecture — runs the same underlying pipeline:
+
+1. **quantise** a stimulus against a batch of static transfer curves, giving
+   a ``(devices, samples)`` code matrix (or, noise-free, just the
+   transition-crossing events that define it),
+2. derive the **bit streams** the on-chip hardware sees (the LSB for the
+   full BIST, bit ``q`` for the partial scheme),
+3. run the **MSB reference counter** that verifies the upper bits against
+   the falling edges of the clocking bit,
+4. for the partial scheme, **reconstruct** the full output codes from the
+   ``q`` observed LSBs and histogram them for the off-chip analysis.
+
+This module is that pipeline, written once with an explicit device axis.
+The scalar engines (:class:`~repro.core.msb_checker.MsbChecker`,
+:func:`~repro.core.partial_engine.reconstruct_codes`,
+:class:`~repro.core.partial_engine.PartialBistEngine`) are batch-of-1
+wrappers over these functions, and the production engines
+(:mod:`repro.production.batch_engine`,
+:mod:`repro.production.partial_batch`) call them with thousands of rows —
+either directly (the noisy stream paths) or through the event-based fast
+paths built on :func:`packed_crossing_events`, which evaluate the same
+per-sample program only at the samples where anything changes.
+:func:`batch_quantise_shared` is the reference semantics those event
+reductions are equivalence-tested against.  Because every layer reduces to
+the same array program, scalar and batch decisions agree bit for bit by
+construction.
+
+All functions take and return plain :mod:`numpy` arrays; none of them draw
+random numbers or hold state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "batch_quantise_shared",
+    "batch_quantise_rows",
+    "batch_bit",
+    "batch_falling_edges",
+    "batch_msb_reference",
+    "batch_reconstruct_codes",
+    "batch_code_histogram",
+    "packed_crossing_events",
+]
+
+
+def batch_quantise_shared(transitions: np.ndarray,
+                          voltages: np.ndarray) -> np.ndarray:
+    """Quantise one shared, monotone stimulus against a batch of curves.
+
+    The noise-free acquisition of every BIST configuration: all devices see
+    the identical rising ramp, so the full code matrix follows from the
+    *crossing events* alone.  ``crossing[d, k]`` — the first sample whose
+    ramp voltage reaches transition ``k`` of device ``d`` — is found with a
+    single :func:`numpy.searchsorted` of all transition levels into the
+    ramp; the output code at sample ``t`` is the number of crossings at or
+    before ``t`` (a thermometer count, so non-monotone faulty curves are
+    handled exactly like :meth:`repro.adc.transfer.TransferFunction.convert`
+    handles them).
+
+    Parameters
+    ----------
+    transitions:
+        ``(devices, n_transitions)`` matrix of transition voltages.
+    voltages:
+        The shared stimulus samples, strictly increasing (a rising ramp).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(devices, samples)`` int64 code matrix; row ``d`` equals
+        ``TransferFunction.convert`` of device ``d`` applied to
+        ``voltages``.
+    """
+    transitions = np.asarray(transitions, dtype=float)
+    voltages = np.asarray(voltages, dtype=float)
+    if transitions.ndim != 2:
+        raise ValueError("transitions must be a (devices, levels) matrix")
+    if voltages.ndim != 1:
+        raise ValueError("voltages must be one-dimensional")
+    n_devices = transitions.shape[0]
+    n_samples = voltages.size
+    crossing = np.searchsorted(
+        voltages, transitions.ravel()).reshape(transitions.shape)
+    # Scatter the crossing multiplicities onto the sample axis and
+    # accumulate: codes[d, t] = #{k : crossing[d, k] <= t}.  Crossings at
+    # n_samples (never reached within the record) land in a discarded
+    # overflow column.
+    keys = (np.arange(n_devices)[:, None] * (n_samples + 1)
+            + crossing).ravel()
+    steps = np.bincount(keys, minlength=n_devices * (n_samples + 1))
+    steps = steps.reshape(n_devices, n_samples + 1)[:, :n_samples]
+    return np.cumsum(steps, axis=1, dtype=np.int64)
+
+
+def packed_crossing_events(crossing: np.ndarray, n_samples: int
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]:
+    """Left-packed (device, event) layout of shared-ramp crossing events.
+
+    The event-based engines never materialise the ``(devices, samples)``
+    code matrix: with a shared monotone stimulus the acquisition is fully
+    described by *when* each transition is crossed.  This helper reduces a
+    crossing-index matrix to the per-device event list both the full-BIST
+    engine (irregular devices) and the partial-BIST engine build on.
+
+    Parameters
+    ----------
+    crossing:
+        ``(devices, n_transitions)`` matrix of crossing sample indices, as
+        produced by ``searchsorted(ramp_voltages, transitions)``.  Indices
+        of 0 mean "already crossed at the first sample" (they raise the
+        start code), indices of ``n_samples`` or beyond mean "never
+        crossed within the record".
+    n_samples:
+        Length of the acquisition.
+
+    Returns
+    -------
+    tuple
+        ``(start_code, mult, times, live, n_events)``.  ``start_code`` is
+        the per-device output code at sample 0.  ``mult``/``times`` are
+        ``(devices, max_events)`` matrices holding, left-packed, the
+        number of transitions folded onto each event sample and the sample
+        index of the event; padding columns have multiplicity 0 and time
+        ``n_samples`` (a zero-length tail segment), and ``live`` marks the
+        real entries.  ``n_events`` counts them per device.
+    """
+    crossing = np.asarray(crossing)
+    if crossing.ndim != 2:
+        raise ValueError("crossing must be a (devices, levels) matrix")
+    n_devices = crossing.shape[0]
+    start_code = (crossing == 0).sum(axis=1)
+
+    in_range = (crossing >= 1) & (crossing <= n_samples - 1)
+    dev = np.nonzero(in_range)[0]
+    keys = dev * n_samples + crossing[in_range]
+    keys.sort()
+    uniq, mult = np.unique(keys, return_counts=True)
+    ev_dev = uniq // n_samples
+    ev_t = uniq - ev_dev * n_samples
+    n_events = np.bincount(ev_dev, minlength=n_devices)
+    width = int(n_events.max()) if n_events.size else 0
+
+    mult_p = np.zeros((n_devices, width), dtype=np.int64)
+    times_p = np.full((n_devices, width), n_samples, dtype=np.int64)
+    live = np.zeros((n_devices, width), dtype=bool)
+    starts = np.concatenate(([0], np.cumsum(n_events)[:-1]))
+    pos = np.arange(uniq.size) - np.repeat(starts, n_events)
+    mult_p[ev_dev, pos] = mult
+    times_p[ev_dev, pos] = ev_t
+    live[ev_dev, pos] = True
+    return start_code, mult_p, times_p, live, n_events
+
+
+def batch_quantise_rows(transitions: np.ndarray,
+                        voltages: np.ndarray) -> np.ndarray:
+    """Quantise per-device stimulus rows against per-device curves.
+
+    The general (noisy) acquisition: each device sees its own voltage
+    waveform (shared ramp plus per-device noise), so the crossing-event
+    shortcut of :func:`batch_quantise_shared` does not apply.  Monotone
+    curves use :func:`numpy.searchsorted`, faulty non-monotone curves the
+    thermometer count — exactly the scalar
+    :meth:`~repro.adc.transfer.TransferFunction.convert` dichotomy.
+
+    Parameters
+    ----------
+    transitions:
+        ``(devices, n_transitions)`` matrix of transition voltages.
+    voltages:
+        ``(devices, samples)`` matrix of input voltages.
+    """
+    transitions = np.asarray(transitions, dtype=float)
+    voltages = np.asarray(voltages, dtype=float)
+    if transitions.ndim != 2 or voltages.ndim != 2:
+        raise ValueError("transitions and voltages must be 2-D matrices")
+    if transitions.shape[0] != voltages.shape[0]:
+        raise ValueError("transitions and voltages must agree on the "
+                         "device axis")
+    codes = np.empty(voltages.shape, dtype=np.int64)
+    for i in range(transitions.shape[0]):
+        row = transitions[i]
+        if np.all(np.diff(row) >= 0):
+            codes[i] = np.searchsorted(row, voltages[i], side="right")
+        else:
+            codes[i] = (voltages[i][:, None] >= row).sum(axis=1)
+    return codes
+
+
+def batch_bit(codes: np.ndarray, index: int) -> np.ndarray:
+    """Waveform of output bit ``index`` (0 = LSB) for every device."""
+    if index < 0:
+        raise ValueError("bit index must be non-negative")
+    return (np.asarray(codes, dtype=np.int64) >> index) & 1
+
+
+def batch_falling_edges(streams: np.ndarray) -> np.ndarray:
+    """Sample-aligned falling edges of a ``(devices, samples)`` bit matrix.
+
+    Entry ``[d, t]`` is 1 when stream ``d`` fell between samples ``t - 1``
+    and ``t`` (the first column is always 0), matching the edge convention
+    of the on-chip reference counter.
+    """
+    streams = np.asarray(streams)
+    if streams.ndim != 2:
+        raise ValueError("streams must be a (devices, samples) matrix")
+    falling = np.zeros(streams.shape, dtype=np.int64)
+    if streams.shape[1] > 1:
+        falling[:, 1:] = (streams[:, :-1] == 1) & (streams[:, 1:] == 0)
+    return falling
+
+
+def batch_msb_reference(codes: np.ndarray, q: int,
+                        clock: Optional[np.ndarray] = None
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run the on-chip MSB reference counter over a batch of acquisitions.
+
+    The hardware of Figure 2 for any partition point ``q``: a counter is
+    loaded with the upper bits of the first sample, clocked by every
+    falling edge of bit ``q`` (or of the supplied ``clock`` stream, e.g. a
+    deglitched LSB), and compared against bits ``q+1 .. n`` of each sample.
+
+    Parameters
+    ----------
+    codes:
+        ``(devices, samples)`` output-code matrix.
+    q:
+        Partition point (1-based; bit ``q`` clocks the counter).
+    clock:
+        Optional ``(devices, samples)`` 0/1 matrix clocking the counter
+        instead of the raw bit ``q``.
+
+    Returns
+    -------
+    tuple
+        ``(upper, reference, falling)`` — the per-sample upper bits, the
+        reference-counter values, and the falling-edge indicator matrix.
+        Callers derive mismatches as ``abs(upper - reference) > tolerance``.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 2:
+        raise ValueError("codes must be a (devices, samples) matrix")
+    if q < 1:
+        raise ValueError("q must be at least 1")
+    if clock is None:
+        clock_bit = batch_bit(codes, q - 1)
+    else:
+        clock_bit = (np.asarray(clock) != 0).astype(np.int64)
+        if clock_bit.shape != codes.shape:
+            raise ValueError("clock must match codes in shape")
+    upper = codes >> q
+    falling = batch_falling_edges(clock_bit)
+    reference = upper[:, :1] + np.cumsum(falling, axis=1)
+    return upper, reference, falling
+
+
+def batch_reconstruct_codes(observed_lsbs: np.ndarray, q: int, n_bits: int,
+                            initial_upper: Union[int, np.ndarray] = 0
+                            ) -> np.ndarray:
+    """Rebuild full output codes from the ``q`` observed LSBs, per device.
+
+    The tester-side half of the partial BIST: for a rising stimulus that
+    satisfies Equation (1) the upper bits increment exactly when the
+    observed ``q``-bit field wraps (bit ``q`` falling), so the code is
+    ``upper_counter * 2**q + observed``.  When the stimulus is too fast for
+    the chosen ``q`` the wrap detection undercounts and the reconstruction
+    diverges from the true codes — the breakdown the paper's Equation (1)
+    guards against, observable here as nonzero reconstruction error.
+
+    Parameters
+    ----------
+    observed_lsbs:
+        ``(devices, samples)`` matrix of the captured ``q``-bit fields.
+    q, n_bits:
+        Partition point and full converter resolution.
+    initial_upper:
+        Upper bits at the first sample: a scalar shared by the batch or a
+        per-device vector.
+    """
+    observed = np.asarray(observed_lsbs, dtype=np.int64)
+    if observed.ndim != 2:
+        raise ValueError("observed_lsbs must be a (devices, samples) matrix")
+    if not 1 <= q <= n_bits:
+        raise ValueError(f"q must be within [1, {n_bits}]")
+    if observed.shape[1] == 0:
+        return observed.copy()
+    top_bit = (observed >> (q - 1)) & 1
+    falling = batch_falling_edges(top_bit)
+    initial = np.asarray(initial_upper, dtype=np.int64)
+    if initial.ndim == 0:
+        initial = np.full(observed.shape[0], int(initial), dtype=np.int64)
+    upper = initial[:, None] + np.cumsum(falling, axis=1)
+    codes = (upper << q) + observed
+    return np.clip(codes, 0, (1 << n_bits) - 1)
+
+
+def batch_code_histogram(codes: np.ndarray, n_codes: int) -> np.ndarray:
+    """Per-device code-density histogram of a ``(devices, samples)`` matrix.
+
+    The off-chip histogram a tester accumulates per device; codes must
+    already lie within ``[0, n_codes)``.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 2:
+        raise ValueError("codes must be a (devices, samples) matrix")
+    if n_codes < 1:
+        raise ValueError("n_codes must be positive")
+    n_devices = codes.shape[0]
+    keys = (np.arange(n_devices)[:, None] * n_codes + codes).ravel()
+    counts = np.bincount(keys, minlength=n_devices * n_codes)
+    return counts.reshape(n_devices, n_codes)

@@ -10,6 +10,11 @@ increments by one at every falling edge of the LSB".
 This catches the digital/gross faults the LSB-only linearity measurement is
 blind to: stuck or shorted output bits, broken encoder logic, and non-
 monotonic behaviour severe enough to make the upper bits step backwards.
+
+The counter/comparator array program itself lives in the shared vectorised
+kernel (:func:`repro.core.kernel.batch_msb_reference`); this class is its
+batch-of-1 wrapper, so the scalar engines and the wafer-scale batch engines
+in :mod:`repro.production` execute the identical check.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+
+from repro.core.kernel import batch_msb_reference
 
 __all__ = ["MsbChecker", "MsbCheckResult"]
 
@@ -122,24 +129,20 @@ class MsbChecker:
                                   n_clock_events=0,
                                   expected_clock_events=None)
 
-        if clock_stream is None:
-            clock_bit = (codes >> (self.q - 1)) & 1
-        else:
-            clock_bit = (np.asarray(clock_stream) != 0).astype(np.int64)
-            if clock_bit.size != codes.size:
+        if clock_stream is not None:
+            clock_stream = np.asarray(clock_stream)
+            if clock_stream.size != codes.size:
                 raise ValueError("clock_stream must match codes in length")
-        upper_bits = codes >> self.q
-
-        # Falling edges of the clocking bit, sample-aligned: element i is
-        # True when the transition happened between samples i-1 and i.
-        falling = np.zeros(codes.size, dtype=np.int64)
-        falling[1:] = (clock_bit[:-1] == 1) & (clock_bit[1:] == 0)
-        n_clock_events = int(falling.sum())
+            clock_stream = clock_stream[None, :]
 
         # The on-chip counter is loaded with the upper bits of the first
         # sample (the ramp starts below the range, so this is normally 0)
-        # and increments at every falling edge of the clocking bit.
-        reference = upper_bits[0] + np.cumsum(falling)
+        # and increments at every falling edge of the clocking bit; the
+        # shared kernel runs that hardware with a device axis of one.
+        upper_bits, reference, falling = batch_msb_reference(
+            codes[None, :], self.q, clock=clock_stream)
+        upper_bits, reference = upper_bits[0], reference[0]
+        n_clock_events = int(falling.sum())
 
         mismatches = np.abs(upper_bits - reference) > tolerance
         n_mismatches = int(np.count_nonzero(mismatches))

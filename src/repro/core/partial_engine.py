@@ -23,6 +23,12 @@ the claim behind Equation (1) ("as long as (EQ 1) is satisfied it will be
 possible to determine the total codeword from the value of the q least
 significant bits") can be verified experimentally, including how it breaks
 when the stimulus is too fast for the chosen ``q``.
+
+The reconstruction, histogram and MSB-reference steps are batch-of-1 calls
+into the shared vectorised kernel (:mod:`repro.core.kernel`); the
+wafer-scale counterpart in :mod:`repro.production.partial_batch` runs the
+identical array program over whole transition matrices, which is why its
+accept/reject decisions match this engine bit for bit.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import numpy as np
 from repro.adc.base import ADC, ConversionRecord
 from repro.analysis.linearity import LinearityResult, dnl_from_histogram
 from repro.core.bist_scheme import PartialBistPartition, qmin
+from repro.core.kernel import batch_code_histogram, batch_reconstruct_codes
 from repro.core.msb_checker import MsbChecker, MsbCheckResult
 from repro.signals.ramp import RampStimulus
 
@@ -72,12 +79,10 @@ def reconstruct_codes(observed_lsbs: np.ndarray, q: int, n_bits: int,
         raise ValueError(f"q must be within [1, {n_bits}]")
     if observed.size == 0:
         return observed.copy()
-    top_bit = (observed >> (q - 1)) & 1
-    falling = np.zeros(observed.size, dtype=np.int64)
-    falling[1:] = (top_bit[:-1] == 1) & (top_bit[1:] == 0)
-    upper = initial_upper + np.cumsum(falling)
-    codes = (upper << q) + observed
-    return np.clip(codes, 0, (1 << n_bits) - 1)
+    # Batch-of-1 call into the shared vectorised kernel (the production
+    # engines run the same function with thousands of rows).
+    return batch_reconstruct_codes(observed[None, :], q, n_bits,
+                                   initial_upper=initial_upper)[0]
 
 
 @dataclass
@@ -234,8 +239,9 @@ class PartialBistEngine:
                                           initial_upper=initial_upper)
         errors = float(np.mean(reconstructed != record.codes))
 
-        counts = np.bincount(np.clip(reconstructed, 0, adc.n_codes - 1),
-                             minlength=adc.n_codes).astype(float)
+        clipped = np.clip(reconstructed, 0, adc.n_codes - 1)
+        counts = batch_code_histogram(clipped[None, :],
+                                      adc.n_codes)[0].astype(float)
         linearity = dnl_from_histogram(counts)
         linearity_ok = linearity.passes(cfg.dnl_spec_lsb, cfg.inl_spec_lsb)
 

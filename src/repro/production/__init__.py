@@ -28,10 +28,19 @@ Overview
     :mod:`repro.core.decision` — while running orders of magnitude faster,
     which makes million-device Table-1 Monte-Carlo runs feasible.
 
+:mod:`repro.production.partial_batch` — :class:`BatchPartialBistEngine`,
+    the vectorised partial BIST (``q`` LSBs captured off-chip, upper bits
+    verified on-chip, code reconstruction and histogram DNL/INL over the
+    device axis).  Like the full-BIST batch engine it is a thin layer over
+    the shared kernel in :mod:`repro.core.kernel` and matches the scalar
+    :class:`~repro.core.partial_engine.PartialBistEngine` bit for bit.
+
 :mod:`repro.production.line` — :class:`ScreeningLine`, the station chain
     (BIST → optional retest → quality binning) with per-station yield and
     throughput accounting, costed against a tester model via
-    :mod:`repro.economics`.
+    :mod:`repro.economics`.  Screens under any (architecture, q) scenario:
+    full or partial BIST, single converters or multi-converter ICs
+    (``devices_per_ic``), flash, SAR or pipeline wafers.
 
 :mod:`repro.production.store` — :class:`ResultStore`, the floor ledger:
     accumulates per-lot accept/reject/bin statistics and renders them with
@@ -57,9 +66,11 @@ devices-per-second comparison.
 from repro.production.batch_engine import (
     BatchBistEngine,
     BatchBistResult,
+    BatchChipBistResult,
     BatchLsbProcessor,
     BatchLsbResult,
     batch_deglitch,
+    chip_grouping,
 )
 from repro.production.line import (
     DEFAULT_BIN_EDGES_LSB,
@@ -68,14 +79,22 @@ from repro.production.line import (
     StationStats,
 )
 from repro.production.lot import Lot, Wafer, WaferSpec
+from repro.production.partial_batch import (
+    BatchPartialBistEngine,
+    BatchPartialBistResult,
+)
 from repro.production.store import ResultStore
 
 __all__ = [
     "BatchBistEngine",
     "BatchBistResult",
+    "BatchChipBistResult",
     "BatchLsbProcessor",
     "BatchLsbResult",
+    "BatchPartialBistEngine",
+    "BatchPartialBistResult",
     "batch_deglitch",
+    "chip_grouping",
     "DEFAULT_BIN_EDGES_LSB",
     "LotScreeningReport",
     "ScreeningLine",

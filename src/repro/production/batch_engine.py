@@ -27,7 +27,16 @@ Two execution paths are selected automatically:
     so noisy runs also match the scalar engine decision for decision.
 
 Both paths feed the same count-limit kernel
-(:func:`repro.core.decision.decide_counts`) the scalar LSB processor uses.
+(:func:`repro.core.decision.decide_counts`) the scalar LSB processor uses,
+and the stream path's quantisation and MSB reference counter are the shared
+device-axis kernel of :mod:`repro.core.kernel` — the same array program the
+scalar :class:`~repro.core.msb_checker.MsbChecker` runs with one row.
+
+:func:`chip_grouping` and :meth:`BatchBistEngine.run_chips` extend the batch
+to multi-converter ICs: consecutive dies share one chip, the chip passes
+when every converter on it passes, and the wall-clock test time is that of
+a single shared ramp — the paper's parallel-test argument, evaluated for a
+whole lot at once.
 """
 
 from __future__ import annotations
@@ -43,11 +52,17 @@ from repro.adc.transfer import batch_max_dnl, batch_max_inl
 from repro.core.decision import decide_counts
 from repro.core.deglitch import DeglitchFilter
 from repro.core.engine import BistConfig, BistEngine, PopulationBistResult
+from repro.core.kernel import (
+    batch_msb_reference,
+    batch_quantise_rows,
+    packed_crossing_events,
+)
 from repro.core.limits import CountLimits
 from repro.production.lot import Wafer
 
 __all__ = ["BatchLsbProcessor", "BatchLsbResult", "BatchBistResult",
-           "BatchBistEngine", "batch_deglitch"]
+           "BatchBistEngine", "BatchChipBistResult", "batch_deglitch",
+           "chip_grouping"]
 
 RngLike = Union[int, np.random.Generator, None]
 
@@ -325,6 +340,129 @@ class BatchBistResult:
         return self.n_devices
 
 
+def chip_grouping(passed: np.ndarray,
+                  converters_per_chip: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Group per-converter decisions into per-chip verdicts and registers.
+
+    Converter ``i`` sits on chip ``i // converters_per_chip`` (dies are
+    assembled in wafer order).  Returns the per-chip pass vector (a chip
+    passes when every converter on it passed) and the packed result
+    registers (bit ``j`` set = converter ``j`` of the chip passed), exactly
+    the read-out format of
+    :class:`~repro.core.controller.MultiAdcBistController`.
+    """
+    passed = np.asarray(passed, dtype=bool)
+    if passed.ndim != 1:
+        raise ValueError("passed must be a per-converter vector")
+    if not 1 <= converters_per_chip <= 63:
+        # The registers are packed into int64; bit 63 would flip the sign.
+        raise ValueError("converters_per_chip must be within [1, 63]")
+    if passed.size % converters_per_chip != 0:
+        raise ValueError(
+            f"{passed.size} converters do not fill whole chips of "
+            f"{converters_per_chip}")
+    grouped = passed.reshape(-1, converters_per_chip)
+    registers = (grouped.astype(np.int64)
+                 << np.arange(converters_per_chip)).sum(axis=1)
+    return grouped.all(axis=1), registers
+
+
+def build_chip_result(passed: np.ndarray, converters_per_chip: int,
+                      samples_taken: int,
+                      sample_rate: float) -> "BatchChipBistResult":
+    """Assemble a :class:`BatchChipBistResult` from per-converter verdicts.
+
+    Shared by the full- and partial-BIST batch engines, whose ``run_chips``
+    differ only in how the per-converter decisions are produced.
+    """
+    chip_passed, registers = chip_grouping(passed, converters_per_chip)
+    return BatchChipBistResult(
+        n_chips=int(chip_passed.size),
+        converters_per_chip=int(converters_per_chip),
+        chip_passed=chip_passed,
+        converter_passed=np.asarray(passed, dtype=bool),
+        result_registers=registers,
+        samples_taken=int(samples_taken),
+        test_time_s=samples_taken / sample_rate)
+
+
+def resolve_population_matrix(population: Union["DevicePopulation", "Wafer"]
+                              ) -> Tuple[np.ndarray, float, float]:
+    """A population's ``(transitions, full_scale, sample_rate)`` triple.
+
+    Accepts either matrix-backed :class:`~repro.production.lot.Wafer`
+    objects or :class:`~repro.adc.population.DevicePopulation` batches —
+    the two population substrates every batch engine screens.
+    """
+    if isinstance(population, Wafer):
+        return (population.transitions, population.spec.full_scale,
+                population.spec.sample_rate)
+    return (population.transition_matrix(), population.spec.full_scale,
+            population.spec.sample_rate)
+
+
+def population_truth_mask(transitions: np.ndarray, dnl_spec_lsb: float,
+                          inl_spec_lsb: Optional[float] = None
+                          ) -> np.ndarray:
+    """True static-linearity classification of a transition matrix.
+
+    The matrix form of :func:`repro.core.engine.true_goodness` (and of
+    :meth:`repro.production.lot.Wafer.good_mask`), shared by every batch
+    Monte-Carlo path so all engines score against one criterion.
+    """
+    good = batch_max_dnl(transitions) <= dnl_spec_lsb
+    if inl_spec_lsb is not None:
+        good &= batch_max_inl(transitions) <= inl_spec_lsb
+    return good
+
+
+@dataclass
+class BatchChipBistResult:
+    """Per-chip outcome of a batched multi-converter BIST run.
+
+    The batched analogue of
+    :class:`~repro.core.controller.ChipBistResult` over a whole lot of
+    ICs: every chip's converters share one stimulus ramp, so the chip test
+    time equals the single-converter test time regardless of how many
+    converters each IC carries.
+    """
+
+    n_chips: int
+    converters_per_chip: int
+    chip_passed: np.ndarray
+    converter_passed: np.ndarray
+    result_registers: np.ndarray
+    samples_taken: int
+    test_time_s: float
+
+    @property
+    def n_chips_passed(self) -> int:
+        """Chips on which every converter passed."""
+        return int(np.count_nonzero(self.chip_passed))
+
+    @property
+    def chip_yield(self) -> float:
+        """Fraction of chips passing as a whole."""
+        return self.n_chips_passed / self.n_chips if self.n_chips else 0.0
+
+    @property
+    def converter_fallout(self) -> float:
+        """Fraction of individual converters failing."""
+        if self.converter_passed.size == 0:
+            return 0.0
+        return float(np.mean(~self.converter_passed))
+
+    @property
+    def sequential_test_time_s(self) -> float:
+        """Test time had the converters of each chip been tested serially."""
+        return self.test_time_s * self.converters_per_chip
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Chip-level test-time reduction of the shared-ramp arrangement."""
+        return float(self.converters_per_chip)
+
+
 class BatchBistEngine:
     """Run the paper's BIST on every device of a batch at once.
 
@@ -377,6 +515,21 @@ class BatchBistEngine:
                                     sample_rate=spec.sample_rate,
                                     rng=rng, chunk_size=chunk_size)
 
+    def run_chips(self, wafer: Wafer, converters_per_chip: int,
+                  rng: RngLike = None) -> BatchChipBistResult:
+        """Run the batched BIST on a wafer of multi-converter ICs.
+
+        Consecutive dies form one chip; all converters of a chip share the
+        stimulus ramp, so the chip-level decisions equal what
+        :class:`~repro.core.controller.MultiAdcBistController` decides for
+        the same converters in the noise-free configuration — evaluated
+        here for the whole wafer in one array program.
+        """
+        result = self.run_wafer(wafer, rng=rng)
+        return build_chip_result(result.passed, converters_per_chip,
+                                 result.samples_taken,
+                                 wafer.spec.sample_rate)
+
     def run_population(self, population: Union[DevicePopulation, Wafer],
                        rng: RngLike = None,
                        dnl_spec_lsb: Optional[float] = None,
@@ -394,19 +547,12 @@ class BatchBistEngine:
             dnl_spec_lsb = cfg.dnl_spec_lsb
         if inl_spec_lsb is None:
             inl_spec_lsb = cfg.inl_spec_lsb
-        if isinstance(population, Wafer):
-            transitions = population.transitions
-            full_scale = population.spec.full_scale
-            sample_rate = population.spec.sample_rate
-        else:
-            transitions = population.transition_matrix()
-            full_scale = population.spec.full_scale
-            sample_rate = population.spec.sample_rate
+        transitions, full_scale, sample_rate = \
+            resolve_population_matrix(population)
         result = self.run_transitions(transitions, full_scale=full_scale,
                                       sample_rate=sample_rate, rng=rng)
-        truly_good = batch_max_dnl(transitions) <= dnl_spec_lsb
-        if inl_spec_lsb is not None:
-            truly_good &= batch_max_inl(transitions) <= inl_spec_lsb
+        truly_good = population_truth_mask(transitions, dnl_spec_lsb,
+                                           inl_spec_lsb)
         return PopulationBistResult(n_devices=result.n_devices,
                                     accepted=result.passed,
                                     truly_good=truly_good)
@@ -552,25 +698,8 @@ class BatchBistEngine:
         """
         cfg = self.config
         n_sub = crossing.shape[0]
-        start_code = (crossing == 0).sum(axis=1)
-
-        in_range = (crossing >= 1) & (crossing <= n_samples - 1)
-        dev = np.nonzero(in_range)[0]
-        keys = dev * n_samples + crossing[in_range]
-        keys.sort()
-        uniq, mult = np.unique(keys, return_counts=True)
-        ev_dev = uniq // n_samples
-        ev_t = uniq - ev_dev * n_samples
-        n_events = np.bincount(ev_dev, minlength=n_sub)
-
-        # Left-packed (device, event) layout of the change events.
-        width = int(n_events.max()) if n_events.size else 0
-        mult_p = np.zeros((n_sub, width), dtype=np.int64)
-        live = np.zeros((n_sub, width), dtype=bool)
-        starts = np.concatenate(([0], np.cumsum(n_events)[:-1]))
-        pos = np.arange(uniq.size) - np.repeat(starts, n_events)
-        mult_p[ev_dev, pos] = mult
-        live[ev_dev, pos] = True
+        start_code, mult_p, times_p, live, _ = packed_crossing_events(
+            crossing, n_samples)
 
         if cfg.check_msb:
             code_after = start_code[:, None] + np.cumsum(mult_p, axis=1)
@@ -583,10 +712,14 @@ class BatchBistEngine:
         else:
             msb_ok = np.ones(n_sub, dtype=bool)
 
-        odd = (mult & 1) == 1
-        lsb_res = self._lsb._from_edges(ev_dev[odd], ev_t[odd],
-                                        np.bincount(ev_dev[odd],
-                                                    minlength=n_sub),
+        # The LSB toggles at events with an odd crossing multiplicity;
+        # nonzero() walks the packed layout device-major, event-ascending,
+        # the flat order _from_edges expects.
+        odd = ((mult_p & 1) == 1) & live
+        edge_dev, edge_pos = np.nonzero(odd)
+        lsb_res = self._lsb._from_edges(edge_dev,
+                                        times_p[edge_dev, edge_pos],
+                                        odd.sum(axis=1),
                                         n_bits=cfg.n_bits)
         return _ChunkOutcome.from_lsb(lsb_res, msb_ok)
 
@@ -609,13 +742,7 @@ class BatchBistEngine:
         else:
             voltages = np.broadcast_to(ramp_voltages, (n_chunk, n_samples))
 
-        codes = np.empty((n_chunk, n_samples), dtype=np.int64)
-        for i in range(n_chunk):
-            row = transitions[i]
-            if np.all(np.diff(row) >= 0):
-                codes[i] = np.searchsorted(row, voltages[i], side="right")
-            else:
-                codes[i] = (voltages[i][:, None] >= row).sum(axis=1)
+        codes = batch_quantise_rows(transitions, voltages)
 
         lsb_streams = (codes & 1).astype(np.int8)
         if self._deglitch is not None:
@@ -624,15 +751,10 @@ class BatchBistEngine:
             # engine (which also applies the filter a single time to each).
             lsb_streams = batch_deglitch(lsb_streams, self._deglitch)
         if cfg.check_msb:
-            if self._deglitch is not None:
-                clock = lsb_streams
-            else:
-                clock = (codes >> (self._msb_q - 1)) & 1
+            clock = lsb_streams if self._deglitch is not None else None
             tolerance = 1 if cfg.transition_noise_lsb > 0 else 0
-            upper = codes >> self._msb_q
-            falling = np.zeros((n_chunk, n_samples), dtype=np.int64)
-            falling[:, 1:] = (clock[:, :-1] == 1) & (clock[:, 1:] == 0)
-            reference = upper[:, :1] + np.cumsum(falling, axis=1)
+            upper, reference, _ = batch_msb_reference(codes, self._msb_q,
+                                                      clock=clock)
             msb_ok = ~(np.abs(upper - reference) > tolerance).any(axis=1)
         else:
             msb_ok = np.ones(n_chunk, dtype=bool)

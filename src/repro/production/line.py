@@ -3,23 +3,32 @@
 A :class:`ScreeningLine` chains the stations a lot passes through on the
 test floor:
 
-1. **BIST station** — every die runs the batched full BIST
-   (:class:`~repro.production.batch_engine.BatchBistEngine`); only a
-   pass/fail flag leaves the chip.
+1. **BIST station** — every die runs the batched BIST.  In the default
+   full-BIST mode (:class:`~repro.production.batch_engine.BatchBistEngine`)
+   only a pass/fail flag leaves the chip; with ``partial_q`` set the
+   station runs the batched partial BIST
+   (:class:`~repro.production.partial_batch.BatchPartialBistEngine`),
+   capturing ``q`` LSBs per sample off-chip as Equation (1) demands for
+   faster stimuli.
 2. **Retest station** (optional) — rejected dies are re-inserted up to
    ``retest_attempts`` times.  With acquisition noise configured a
    borderline die can be recovered on a second ramp; in the noise-free
    nominal configuration the BIST is deterministic and retest recovers
    nothing (which the report makes visible).
 3. **Binning station** — accepted dies are graded by the linearity the
-   counters actually measured (``reading x ds``), the only number the
-   full BIST can bin on without off-chip data.
+   test actually measured (counter readings for the full BIST, the
+   off-chip histogram for the partial BIST).
+
+With ``devices_per_ic > 1`` the line screens multi-converter ICs: chips
+are assembled from consecutive dies, every converter of a chip shares one
+stimulus ramp, and the report carries chip-level yield alongside the
+per-converter numbers (the paper's parallel-test argument).
 
 Tester-floor economics ride along: every insertion is costed with
 :func:`repro.economics.cost_model.cost_per_device` and scheduled with
 :class:`repro.economics.parallel.ParallelTestSchedule`, so the report shows
 devices/hour and cost per device for the configured tester — the paper's
-economic argument, evaluated per lot.
+economic argument, evaluated per lot under any (architecture, q) scenario.
 """
 
 from __future__ import annotations
@@ -31,10 +40,12 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.engine import BistConfig, PopulationBistResult
+from repro.core.partial_engine import PartialBistConfig
 from repro.economics.cost_model import TesterModel, TestPlan, cost_per_device
 from repro.economics.parallel import ParallelTestSchedule
-from repro.production.batch_engine import BatchBistEngine
+from repro.production.batch_engine import BatchBistEngine, chip_grouping
 from repro.production.lot import Lot, Wafer
+from repro.production.partial_batch import BatchPartialBistEngine
 
 __all__ = ["StationStats", "LotScreeningReport", "ScreeningLine",
            "DEFAULT_BIN_EDGES_LSB"]
@@ -94,6 +105,28 @@ class LotScreeningReport:
     type_ii: float
     samples_per_device: int
     wall_seconds: float = field(default=0.0)
+    #: Test scenario the lot was screened under.
+    mode: str = field(default="full")
+    q: int = field(default=1)
+    architecture: str = field(default="flash")
+    #: Chip-level outcome when the line screens multi-converter ICs
+    #: (``None`` when devices_per_ic is 1).
+    n_chips: Optional[int] = field(default=None)
+    n_chips_passed: Optional[int] = field(default=None)
+
+    @property
+    def scenario(self) -> str:
+        """Human-readable (architecture, mode) tag of the screening run."""
+        if self.mode == "partial":
+            return f"{self.architecture}/partial q={self.q}"
+        return f"{self.architecture}/full"
+
+    @property
+    def chip_yield(self) -> Optional[float]:
+        """Fraction of whole ICs passing (``None`` without chip grouping)."""
+        if self.n_chips is None or self.n_chips == 0:
+            return None
+        return self.n_chips_passed / self.n_chips
 
     @property
     def n_rejected(self) -> int:
@@ -137,25 +170,82 @@ class ScreeningLine:
         Tester model executing the insertions; defaults to the low-cost
         digital tester the full BIST enables.
     devices_per_ic:
-        Converters sharing one IC (and thus one insertion).
+        Converters sharing one IC (and thus one insertion); with more than
+        one the report carries chip-level yield.
+    partial_q:
+        ``None`` (default) screens with the full BIST; an integer ``q``
+        switches the BIST station to the batched partial scheme with ``q``
+        LSBs captured off-chip.  The partial flow has no on-chip LSB
+        processing block, so ``config.counter_bits`` does not apply (the
+        off-chip histogram is full precision), and a configured deglitch
+        filter is rejected as unsupported rather than silently dropped.
+    samples_per_code:
+        Ramp density of the partial-BIST stimulus (ignored in full mode,
+        where the step size follows from the counter width).
     """
 
     def __init__(self, config: BistConfig,
                  retest_attempts: int = 0,
                  bin_edges_lsb: Sequence[float] = DEFAULT_BIN_EDGES_LSB,
                  tester: Optional[TesterModel] = None,
-                 devices_per_ic: int = 1) -> None:
+                 devices_per_ic: int = 1,
+                 partial_q: Optional[int] = None,
+                 samples_per_code: float = 16.0) -> None:
         if retest_attempts < 0:
             raise ValueError("retest_attempts must be non-negative")
         edges = [float(e) for e in bin_edges_lsb]
         if any(b <= a for a, b in zip(edges, edges[1:])):
             raise ValueError("bin_edges_lsb must be strictly ascending")
+        if devices_per_ic < 1:
+            raise ValueError("devices_per_ic must be positive")
         self.config = config
-        self.engine = BatchBistEngine(config)
+        self.partial_q = partial_q
+        if partial_q is None:
+            self.engine: Union[BatchBistEngine, BatchPartialBistEngine] = \
+                BatchBistEngine(config)
+        else:
+            if config.deglitch_depth > 0:
+                raise ValueError(
+                    "the partial-BIST flow has no deglitch filter; "
+                    "unset deglitch_depth when using partial_q")
+            self.engine = BatchPartialBistEngine(PartialBistConfig(
+                n_bits=config.n_bits,
+                q=int(partial_q),
+                samples_per_code=samples_per_code,
+                dnl_spec_lsb=config.dnl_spec_lsb,
+                inl_spec_lsb=config.inl_spec_lsb,
+                check_msb=config.check_msb,
+                transition_noise_lsb=config.transition_noise_lsb,
+                start_margin_lsb=config.start_margin_lsb,
+                seed=config.seed))
         self.retest_attempts = int(retest_attempts)
         self.bin_edges_lsb = edges
-        self.tester = tester if tester is not None else TesterModel.digital_only()
+        if tester is not None:
+            self.tester = tester
+        elif partial_q is None:
+            # The full BIST needs nothing but digital pins.
+            self.tester = TesterModel.digital_only()
+        else:
+            # The partial scheme still captures analog-driven LSB data.
+            self.tester = TesterModel.mixed_signal()
         self.devices_per_ic = int(devices_per_ic)
+
+    @property
+    def mode(self) -> str:
+        """``"full"`` or ``"partial"`` — which BIST the station runs."""
+        return "full" if self.partial_q is None else "partial"
+
+    @property
+    def q(self) -> int:
+        """Number of LSBs the tester captures per sample (1 in full mode)."""
+        return 1 if self.partial_q is None else int(self.partial_q)
+
+    def describe(self) -> str:
+        """One-line description of the BIST station's configuration."""
+        if self.partial_q is None:
+            return f"full BIST, {self.engine.limits.describe()}"
+        return (f"partial BIST, q={self.q} LSBs off-chip, "
+                f"DNL spec ±{self.config.dnl_spec_lsb} LSB")
 
     # ------------------------------------------------------------------ #
     # Station helpers
@@ -170,9 +260,11 @@ class ScreeningLine:
         """Tester time to push ``n_devices`` through one BIST insertion."""
         if n_devices == 0:
             return 0.0
+        # A full-BIST insertion occupies one channel per device (the
+        # pass/fail flag); the partial scheme keeps q LSBs observable.
         schedule = ParallelTestSchedule(
             n_converters=n_devices,
-            bits_per_converter=1,
+            bits_per_converter=self.q,
             tester_channels=self.tester.digital_channels,
             time_per_pass_s=samples / sample_rate)
         return schedule.total_time_s
@@ -210,6 +302,19 @@ class ScreeningLine:
         retest_in = 0
         retest_ok = 0
         samples_per_device = 0
+        n_chips = 0
+        n_chips_passed = 0
+        chips_whole = self.devices_per_ic > 1
+        if chips_whole:
+            # Chips never straddle wafers; pricing insertions per IC while
+            # silently skipping chip yield would misreport the economics,
+            # so a non-dividing wafer is an error (as in chip_grouping).
+            for wafer in lot:
+                if len(wafer) % self.devices_per_ic != 0:
+                    raise ValueError(
+                        f"wafer {wafer.wafer_id} has {len(wafer)} dies, "
+                        f"which do not fill whole ICs of "
+                        f"{self.devices_per_ic} converters")
 
         for wafer in lot:
             result = self.engine.run_wafer(wafer, rng=generator)
@@ -239,6 +344,12 @@ class ScreeningLine:
             measured.append(measured_dnl)
             truly_good.append(wafer.good_mask(self.config.dnl_spec_lsb,
                                               self.config.inl_spec_lsb))
+            if chips_whole:
+                # Chips are assembled from consecutive dies of one wafer;
+                # an IC ships only when every converter on it passed.
+                chip_passed, _ = chip_grouping(accepted, self.devices_per_ic)
+                n_chips += int(chip_passed.size)
+                n_chips_passed += int(np.count_nonzero(chip_passed))
         wall_seconds = time.perf_counter() - t0
 
         accepted_all = np.concatenate(accepted_masks)
@@ -272,9 +383,14 @@ class ScreeningLine:
                                          retest_seconds))
         stations.append(StationStats("binning", n_accepted, n_accepted, 0.0))
 
-        plan = TestPlan.full_bist(n_bits=spec.n_bits,
-                                  samples=max(samples_per_device, 1),
-                                  sample_rate=spec.sample_rate)
+        if self.partial_q is None:
+            plan = TestPlan.full_bist(n_bits=spec.n_bits,
+                                      samples=max(samples_per_device, 1),
+                                      sample_rate=spec.sample_rate)
+        else:
+            plan = TestPlan.partial_bist(n_bits=spec.n_bits, q=self.q,
+                                         samples=max(samples_per_device, 1),
+                                         sample_rate=spec.sample_rate)
         cost = cost_per_device(plan, self.tester,
                                devices_per_ic=self.devices_per_ic)
 
@@ -291,7 +407,12 @@ class ScreeningLine:
             type_i=outcome.type_i,
             type_ii=outcome.type_ii,
             samples_per_device=samples_per_device,
-            wall_seconds=wall_seconds)
+            wall_seconds=wall_seconds,
+            mode=self.mode,
+            q=self.q,
+            architecture=spec.architecture,
+            n_chips=n_chips if chips_whole else None,
+            n_chips_passed=n_chips_passed if chips_whole else None)
         if store is not None:
             store.add(report)
         return report

@@ -2,13 +2,15 @@
 
 A production line does not think in single converters: it screens wafers of
 thousands of dies grouped into lots.  At that scale, materialising one
-Python :class:`~repro.adc.flash.FlashADC` object per die is the bottleneck,
-so a :class:`Wafer` stores the whole batch as parameter matrices — one row
-of code widths (or transition voltages) per die — drawn in a single
-vectorised call to :func:`~repro.adc.population.correlated_code_widths`.
-The rows carry exactly the statistics the paper derives for the flash
-ladder (sigma 0.16–0.21 LSB, pairwise correlation ``-1/(N-1)``), and any
-individual die can still be materialised as a converter object when the
+Python converter object per die is the bottleneck, so a :class:`Wafer`
+stores the whole batch as parameter matrices — one row of transition
+voltages per die — drawn in a single vectorised call to the architecture's
+transfer backend (:mod:`repro.adc.backends`).  The default flash backend
+carries exactly the statistics the paper derives for the resistor ladder
+(sigma 0.16–0.21 LSB, pairwise correlation ``-1/(N-1)``); the SAR and
+pipeline backends realise their architectures' characteristic error
+signatures (binary-weight mismatch, inter-stage gain errors) the same way.
+Any individual die can still be materialised as a converter object when the
 scalar engine needs one, with a transfer curve bit-identical to the matrix
 row.
 """
@@ -20,13 +22,13 @@ from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
+from repro.adc.backends import ARCHITECTURES, TransferBackend, make_backend
 from repro.adc.ideal import TableADC
-from repro.adc.population import DevicePopulation, correlated_code_widths
+from repro.adc.population import DevicePopulation
 from repro.adc.transfer import (
     TransferFunction,
     batch_max_dnl,
     batch_max_inl,
-    batch_transitions_from_code_widths,
 )
 
 __all__ = ["WaferSpec", "Wafer", "Lot"]
@@ -44,16 +46,26 @@ class WaferSpec:
         Converter resolution.
     sigma_code_width_lsb:
         Population standard deviation of the inner code widths, in LSB
-        (the paper's worst case is 0.21 LSB).
+        (the paper's worst case is 0.21 LSB).  Flash architecture only.
     n_devices:
         Dies per wafer.
     rho:
         Pairwise code-width correlation; ``None`` selects the ladder value
-        ``-1/(N-1)`` of Equation (10).
+        ``-1/(N-1)`` of Equation (10).  Flash architecture only.
     full_scale:
         Full-scale range in volts.
     sample_rate:
         Sample frequency of every die in Hz.
+    architecture:
+        Converter architecture realised by the wafer's dies: ``"flash"``
+        (default), ``"sar"`` or ``"pipeline"``; selects the vectorised
+        transfer backend (:mod:`repro.adc.backends`) the draw uses.
+    unit_cap_sigma_rel, comparator_offset_sigma_lsb:
+        SAR mismatch parameters (unit-capacitor relative sigma, per-die
+        comparator offset sigma in LSB).
+    gain_error_sigma, threshold_sigma_lsb:
+        Pipeline mismatch parameters (relative stage-gain sigma, sub-ADC
+        threshold sigma in LSB).
     """
 
     n_bits: int = 6
@@ -62,6 +74,11 @@ class WaferSpec:
     rho: Optional[float] = None
     full_scale: float = 1.0
     sample_rate: float = 1e6
+    architecture: str = "flash"
+    unit_cap_sigma_rel: float = 0.06
+    comparator_offset_sigma_lsb: float = 0.0
+    gain_error_sigma: float = 0.03
+    threshold_sigma_lsb: float = 0.5
 
     def __post_init__(self) -> None:
         if self.n_bits < 2:
@@ -72,6 +89,20 @@ class WaferSpec:
             raise ValueError("sigma_code_width_lsb must be non-negative")
         if self.full_scale <= 0 or self.sample_rate <= 0:
             raise ValueError("full_scale and sample_rate must be positive")
+        if self.architecture not in ARCHITECTURES:
+            raise ValueError(
+                f"unknown architecture {self.architecture!r}; "
+                f"expected one of {ARCHITECTURES}")
+
+    def backend(self) -> TransferBackend:
+        """The vectorised transfer backend realising this spec's dies."""
+        return make_backend(
+            self.architecture, self.n_bits, self.full_scale,
+            sigma_code_width_lsb=self.sigma_code_width_lsb, rho=self.rho,
+            unit_cap_sigma_rel=self.unit_cap_sigma_rel,
+            comparator_offset_sigma_lsb=self.comparator_offset_sigma_lsb,
+            gain_error_sigma=self.gain_error_sigma,
+            threshold_sigma_lsb=self.threshold_sigma_lsb)
 
     @property
     def n_codes(self) -> int:
@@ -124,16 +155,14 @@ class Wafer:
              wafer_id: str = "W0") -> "Wafer":
         """Draw a wafer's worth of dies in one vectorised call.
 
-        The code widths of all dies come from a single
-        :func:`~repro.adc.population.correlated_code_widths` draw, so the
+        The transition matrix of all dies comes from a single call into
+        the spec's transfer backend (:mod:`repro.adc.backends`), so the
         per-wafer cost is one RNG stream regardless of the die count —
-        this is what makes million-device Monte-Carlo lots tractable.
+        this is what makes million-device Monte-Carlo lots tractable for
+        every supported architecture, not just flash.
         """
-        widths_lsb = correlated_code_widths(
-            spec.n_devices, spec.n_inner_codes, spec.sigma_code_width_lsb,
-            rho=spec.rho, rng=rng)
-        transitions = batch_transitions_from_code_widths(
-            widths_lsb * spec.lsb, first_transition=spec.lsb)
+        transitions = spec.backend().draw_transitions(spec.n_devices,
+                                                      rng=rng)
         return cls(spec, transitions, wafer_id=wafer_id)
 
     @classmethod
@@ -147,11 +176,22 @@ class Wafer:
         over the population's device objects.
         """
         pop_spec = population.spec
-        spec = WaferSpec(n_bits=pop_spec.n_bits,
-                         sigma_code_width_lsb=pop_spec.sigma_code_width_lsb,
-                         n_devices=pop_spec.size,
-                         full_scale=pop_spec.full_scale,
-                         sample_rate=pop_spec.sample_rate)
+        # The Gaussian population architecture is the statistical model of
+        # the flash ladder; the wafer only records the matrix's provenance.
+        architecture = (pop_spec.architecture
+                        if pop_spec.architecture in ARCHITECTURES
+                        else "flash")
+        spec = WaferSpec(
+            n_bits=pop_spec.n_bits,
+            sigma_code_width_lsb=pop_spec.sigma_code_width_lsb,
+            n_devices=pop_spec.size,
+            full_scale=pop_spec.full_scale,
+            sample_rate=pop_spec.sample_rate,
+            architecture=architecture,
+            unit_cap_sigma_rel=pop_spec.unit_cap_sigma_rel,
+            comparator_offset_sigma_lsb=pop_spec.comparator_offset_sigma_lsb,
+            gain_error_sigma=pop_spec.gain_error_sigma,
+            threshold_sigma_lsb=pop_spec.threshold_sigma_lsb)
         return cls(spec, population.transition_matrix(), wafer_id=wafer_id)
 
     # ------------------------------------------------------------------ #

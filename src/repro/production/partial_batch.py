@@ -1,0 +1,406 @@
+"""Vectorised partial BIST (``q`` LSBs off-chip) over whole wafers.
+
+:class:`BatchPartialBistEngine` runs the paper's Figure-2 partial-BIST flow
+— on-chip verification of bits ``q+1 .. n`` against a counter clocked by
+bit ``q``, tester-side capture of the ``q`` observed LSBs, code
+reconstruction and off-chip histogram DNL/INL — across the *device axis*,
+reproducing the scalar :class:`~repro.core.partial_engine.PartialBistEngine`
+accept/reject decisions bit for bit.
+
+The engine is a thin orchestration layer over the shared vectorised kernel
+(:mod:`repro.core.kernel`): the scalar engine calls the same kernel
+functions with one row, this engine calls them with thousands.  Two
+acquisition paths mirror the full-BIST batch engine:
+
+**Event path** (no transition noise).  Every device sees the identical
+    rising ramp, so the acquisition is fully described by the
+    transition-crossing events (one batched :func:`numpy.searchsorted` of
+    all transition levels into the ramp).  Between crossings the output
+    code — and with it the reference counter, the reconstructed code and
+    the histogram bin — is constant, so every per-sample quantity of the
+    scalar flow collapses to an ``O(devices x codes)`` computation over
+    the crossing events weighted by segment lengths.  The key identity:
+    the reconstruction's wrap counter and the on-chip reference counter
+    are clocked by the same falling edges of bit ``q``, so one cumulative
+    sum drives both.
+
+**Noisy path**.  Per-device input noise is drawn in device order from the
+    shared generator — consuming the stream exactly as a scalar loop over
+    the devices would — and each row is quantised individually
+    (:func:`repro.core.kernel.batch_quantise_rows`), with the per-sample
+    kernel functions running over the materialised code matrix.
+
+Unlike the full BIST, the partial scheme ships ``samples x q`` bits per
+device to the tester; the result records that volume so the economics
+stations can price the insertion accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.adc.ideal import IdealADC
+from repro.adc.population import DevicePopulation
+from repro.core.bist_scheme import PartialBistPartition
+from repro.core.engine import PopulationBistResult
+from repro.core.kernel import (
+    batch_code_histogram,
+    batch_msb_reference,
+    batch_quantise_rows,
+    batch_reconstruct_codes,
+    packed_crossing_events,
+)
+from repro.core.partial_engine import PartialBistConfig, PartialBistEngine
+from repro.production.batch_engine import (
+    BatchChipBistResult,
+    build_chip_result,
+    population_truth_mask,
+    resolve_population_matrix,
+)
+from repro.production.lot import Wafer
+from repro.signals.ramp import RampStimulus
+
+__all__ = ["BatchPartialBistResult", "BatchPartialBistEngine"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+#: Devices per chunk; each chunk holds a few (devices, samples) matrices.
+_PARTIAL_CHUNK = 2048
+
+
+@dataclass
+class BatchPartialBistResult:
+    """Per-device outcome of one batched partial-BIST run.
+
+    All arrays have one entry per device; ``passed`` matches
+    :attr:`repro.core.partial_engine.PartialBistResult.passed` of the
+    scalar engine run on each device individually.
+    """
+
+    n_devices: int
+    passed: np.ndarray
+    linearity_passed: np.ndarray
+    msb_passed: np.ndarray
+    reconstruction_error_rate: np.ndarray
+    measured_max_dnl_lsb: np.ndarray
+    measured_max_inl_lsb: np.ndarray
+    partition: PartialBistPartition
+    samples_taken: int
+
+    @property
+    def n_accepted(self) -> int:
+        """Number of devices the partial BIST accepted."""
+        return int(np.count_nonzero(self.passed))
+
+    @property
+    def n_rejected(self) -> int:
+        """Number of devices rejected."""
+        return self.n_devices - self.n_accepted
+
+    @property
+    def accept_fraction(self) -> float:
+        """Fraction of devices accepted."""
+        return self.n_accepted / self.n_devices if self.n_devices else 0.0
+
+    @property
+    def bits_captured_per_device(self) -> int:
+        """Output bits the tester records per device (``samples x q``)."""
+        return self.samples_taken * self.partition.q
+
+    @property
+    def off_chip_bits_transferred(self) -> int:
+        """Total tester capture volume of the batch."""
+        return self.bits_captured_per_device * self.n_devices
+
+
+class BatchPartialBistEngine:
+    """Run the Figure-2 partial BIST on every device of a batch at once.
+
+    Parameters
+    ----------
+    config:
+        The measurement configuration, shared with the scalar
+        :class:`~repro.core.partial_engine.PartialBistEngine`; both engines
+        derive the identical ramp, partition and decision logic from it.
+    """
+
+    def __init__(self, config: PartialBistConfig) -> None:
+        self.config = config
+        # Partition selection and single-device runs are one implementation:
+        # the scalar engine is kept as the batch-of-1 reference.
+        self._scalar = PartialBistEngine(config)
+
+    # ------------------------------------------------------------------ #
+    # Partition
+    # ------------------------------------------------------------------ #
+
+    def partition_for(self, full_scale: float,
+                      sample_rate: float) -> PartialBistPartition:
+        """The partition used for a batch sharing this geometry/clock."""
+        proxy = IdealADC(self.config.n_bits, full_scale, sample_rate)
+        return self._scalar.partition_for(proxy)
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+
+    def run_wafer(self, wafer: Wafer, rng: RngLike = None,
+                  chunk_size: Optional[int] = None
+                  ) -> BatchPartialBistResult:
+        """Run the batched partial BIST on every die of a wafer."""
+        spec = wafer.spec
+        return self.run_transitions(wafer.transitions,
+                                    full_scale=spec.full_scale,
+                                    sample_rate=spec.sample_rate,
+                                    rng=rng, chunk_size=chunk_size)
+
+    def run_chips(self, wafer: Wafer, converters_per_chip: int,
+                  rng: RngLike = None) -> BatchChipBistResult:
+        """Batched multi-converter IC test under the partial scheme.
+
+        Consecutive dies form one chip sharing the stimulus ramp; the chip
+        passes when every converter on it passes its partial BIST.
+        """
+        result = self.run_wafer(wafer, rng=rng)
+        return build_chip_result(result.passed, converters_per_chip,
+                                 result.samples_taken,
+                                 wafer.spec.sample_rate)
+
+    def run_population(self, population: Union[DevicePopulation, Wafer],
+                       rng: RngLike = None,
+                       dnl_spec_lsb: Optional[float] = None,
+                       inl_spec_lsb: Optional[float] = None
+                       ) -> PopulationBistResult:
+        """Monte-Carlo partial-BIST run scored against the true linearity.
+
+        The partial-BIST analogue of
+        :meth:`repro.production.batch_engine.BatchBistEngine.run_population`:
+        every device's accept/reject decision is compared with its true
+        static linearity, yielding measured type I/II rates.
+        """
+        cfg = self.config
+        if dnl_spec_lsb is None:
+            dnl_spec_lsb = cfg.dnl_spec_lsb
+        if inl_spec_lsb is None:
+            inl_spec_lsb = cfg.inl_spec_lsb
+        transitions, full_scale, sample_rate = \
+            resolve_population_matrix(population)
+        result = self.run_transitions(transitions, full_scale=full_scale,
+                                      sample_rate=sample_rate, rng=rng)
+        truly_good = population_truth_mask(transitions, dnl_spec_lsb,
+                                           inl_spec_lsb)
+        return PopulationBistResult(n_devices=result.n_devices,
+                                    accepted=result.passed,
+                                    truly_good=truly_good)
+
+    def run_transitions(self, transitions: np.ndarray,
+                        full_scale: float = 1.0,
+                        sample_rate: float = 1e6,
+                        rng: RngLike = None,
+                        chunk_size: Optional[int] = None
+                        ) -> BatchPartialBistResult:
+        """Run the batched partial BIST on a ``(devices, transitions)`` matrix.
+
+        Parameters
+        ----------
+        transitions:
+            Transition-voltage matrix, one row per device under test.
+        full_scale, sample_rate:
+            Geometry/clock shared by the batch (one test insertion).
+        rng:
+            Seed or generator for the acquisition noise; consumed in device
+            order exactly as a scalar loop over the devices consumes it.
+        chunk_size:
+            Devices processed per chunk (bounds the transient
+            ``(devices, samples)`` matrices).
+        """
+        cfg = self.config
+        transitions = np.asarray(transitions, dtype=float)
+        expected_cols = (1 << cfg.n_bits) - 1
+        if transitions.ndim != 2 or transitions.shape[1] != expected_cols:
+            raise ValueError(
+                f"configuration is for {cfg.n_bits}-bit converters; expected "
+                f"a (devices, {expected_cols}) transition matrix, got shape "
+                f"{transitions.shape}")
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(
+                         rng if rng is not None else cfg.seed))
+        if chunk_size is None:
+            chunk_size = _PARTIAL_CHUNK
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+
+        proxy = IdealADC(cfg.n_bits, full_scale, sample_rate)
+        ramp = RampStimulus.for_adc(proxy, cfg.samples_per_code,
+                                    start_margin_lsb=cfg.start_margin_lsb)
+        n_samples = ramp.n_samples_for_adc(proxy,
+                                           margin_lsb=cfg.start_margin_lsb)
+        times = np.arange(n_samples) / sample_rate
+        ramp_voltages = ramp.voltage(times)
+        partition = self._scalar.partition_for(proxy)
+
+        n_devices = transitions.shape[0]
+        chunks = []
+        for lo in range(0, n_devices, chunk_size):
+            chunk = transitions[lo:lo + chunk_size]
+            chunks.append(self._run_chunk(chunk, ramp_voltages, proxy.lsb,
+                                          partition.q, generator))
+
+        return BatchPartialBistResult(
+            n_devices=n_devices,
+            passed=np.concatenate([c[0] for c in chunks]),
+            linearity_passed=np.concatenate([c[1] for c in chunks]),
+            msb_passed=np.concatenate([c[2] for c in chunks]),
+            reconstruction_error_rate=np.concatenate(
+                [c[3] for c in chunks]),
+            measured_max_dnl_lsb=np.concatenate([c[4] for c in chunks]),
+            measured_max_inl_lsb=np.concatenate([c[5] for c in chunks]),
+            partition=partition,
+            samples_taken=n_samples)
+
+    # ------------------------------------------------------------------ #
+    # Chunk processing
+    # ------------------------------------------------------------------ #
+
+    def _run_chunk(self, transitions: np.ndarray, ramp_voltages: np.ndarray,
+                   lsb_volts: float, q: int,
+                   generator: np.random.Generator):
+        """Acquisition → on-chip check → reconstruction for one chunk."""
+        cfg = self.config
+        if cfg.transition_noise_lsb > 0.0:
+            return self._run_chunk_streams(transitions, ramp_voltages,
+                                           lsb_volts, q, generator)
+        return self._run_chunk_events(transitions, ramp_voltages, q)
+
+    def _run_chunk_events(self, transitions: np.ndarray,
+                          ramp_voltages: np.ndarray, q: int):
+        """Noise-free fast path working purely on transition crossings.
+
+        With a shared monotone ramp the code of device ``d`` at sample
+        ``t`` is the number of its transitions crossed at or before ``t``,
+        so the acquisition collapses to per-device crossing events.  All
+        per-sample quantities of the scalar flow are piecewise constant
+        between events: the upper bits, the reference counter (clocked by
+        falling edges of bit ``q``, which can only fall at an event), the
+        reconstructed code, and therefore the histogram bin — each segment
+        contributes its length to one bin.  The reconstruction's wrap
+        counter sees the same falling edges as the reference counter, so
+        a single cumulative sum drives both.
+        """
+        cfg = self.config
+        n_chunk = transitions.shape[0]
+        n_codes = 1 << cfg.n_bits
+        n_samples = ramp_voltages.size
+        mask = (1 << q) - 1
+
+        crossing = np.searchsorted(ramp_voltages, transitions)
+        start_code, mult_p, t_p, _, n_events = packed_crossing_events(
+            crossing, n_samples)
+        width = mult_p.shape[1]
+
+        code_after = start_code[:, None] + np.cumsum(mult_p, axis=1)
+        code_before = code_after - mult_p
+        fall = (((code_before >> (q - 1)) & 1) == 1) \
+            & (((code_after >> (q - 1)) & 1) == 0)
+        reference = (start_code >> q)[:, None] + np.cumsum(fall, axis=1)
+        upper = code_after >> q
+
+        if cfg.check_msb and q < cfg.n_bits:
+            # Padding columns repeat the final (code, reference) pair, so
+            # they cannot introduce spurious mismatches.
+            msb_ok = ~(upper != reference).any(axis=1) if width else \
+                np.ones(n_chunk, dtype=bool)
+        else:
+            msb_ok = np.ones(n_chunk, dtype=bool)
+
+        # Reconstructed code per segment; exact wherever the wrap counter
+        # tracked the true upper bits.
+        reconstructed = np.minimum((reference << q) + (code_after & mask),
+                                   n_codes - 1)
+        seg_len = np.diff(
+            np.concatenate([t_p, np.full((n_chunk, 1), n_samples,
+                                         dtype=np.int64)], axis=1), axis=1)
+        err_count = ((reconstructed != code_after) * seg_len).sum(axis=1)
+        errors = err_count / n_samples
+
+        # Histogram: every segment drops its length into its bin; the
+        # initial segment (before the first event) holds the start code.
+        initial_len = np.where(n_events > 0,
+                               t_p[:, 0] if width else n_samples,
+                               n_samples)
+        dev_idx = np.arange(n_chunk)
+        flat_keys = np.concatenate([
+            (dev_idx[:, None] * n_codes
+             + np.clip(reconstructed, 0, n_codes - 1)).ravel(),
+            dev_idx * n_codes + np.clip(start_code, 0, n_codes - 1)])
+        flat_weights = np.concatenate([seg_len.ravel(),
+                                       initial_len]).astype(float)
+        counts = np.bincount(flat_keys, weights=flat_weights,
+                             minlength=n_chunk * n_codes)
+        counts = counts.reshape(n_chunk, n_codes)
+        return self._decide(counts, msb_ok, errors)
+
+    def _run_chunk_streams(self, transitions: np.ndarray,
+                           ramp_voltages: np.ndarray, lsb_volts: float,
+                           q: int, generator: np.random.Generator):
+        """General path materialising the noisy acquisitions."""
+        cfg = self.config
+        n_chunk = transitions.shape[0]
+        n_codes = 1 << cfg.n_bits
+
+        # Per-device noise, drawn in device order from the shared stream
+        # (row d of the draw equals the d-th scalar draw).
+        voltages = ramp_voltages + generator.normal(
+            0.0, cfg.transition_noise_lsb * lsb_volts,
+            size=(n_chunk, ramp_voltages.size))
+        codes = batch_quantise_rows(transitions, voltages)
+
+        # --- on-chip: bits q+1 .. n against the reference counter ------- #
+        if cfg.check_msb and q < cfg.n_bits:
+            upper, reference, _ = batch_msb_reference(codes, q)
+            msb_ok = ~(upper != reference).any(axis=1)
+        else:
+            msb_ok = np.ones(n_chunk, dtype=bool)
+
+        # --- off-chip: reconstruct codes from the observed q LSBs ------- #
+        mask = (1 << q) - 1
+        observed = codes & mask
+        initial_upper = codes[:, 0] >> q
+        reconstructed = batch_reconstruct_codes(observed, q, cfg.n_bits,
+                                                initial_upper=initial_upper)
+        errors = np.mean(reconstructed != codes, axis=1)
+
+        counts = batch_code_histogram(
+            np.clip(reconstructed, 0, n_codes - 1), n_codes).astype(float)
+        return self._decide(counts, msb_ok, errors)
+
+    def _decide(self, counts: np.ndarray, msb_ok: np.ndarray,
+                errors: np.ndarray):
+        """Histogram → DNL/INL → pass/fail, shared by both paths.
+
+        The end-point computation over the inner bins is exactly the
+        scalar :func:`repro.analysis.linearity.dnl_from_histogram` with a
+        device axis (same reductions in the same order, so the decisions
+        stay bit-exact).
+        """
+        cfg = self.config
+        inner = counts[:, 1:-1]
+        measurable = inner.sum(axis=1) > 0
+        mean = inner.mean(axis=1)
+        mean = np.where(mean == 0.0, 1.0, mean)
+        dnl = inner / mean[:, None] - 1.0
+        inl = np.cumsum(dnl, axis=1)
+        max_dnl = np.abs(dnl).max(axis=1)
+        max_inl = np.abs(inl).max(axis=1)
+
+        linearity_ok = measurable & (max_dnl <= cfg.dnl_spec_lsb)
+        if cfg.inl_spec_lsb is not None:
+            linearity_ok &= max_inl <= cfg.inl_spec_lsb
+        max_dnl = np.where(measurable, max_dnl, np.nan)
+        max_inl = np.where(measurable, max_inl, np.nan)
+
+        return (linearity_ok & msb_ok, linearity_ok, msb_ok, errors,
+                max_dnl, max_inl)

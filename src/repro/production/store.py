@@ -102,16 +102,16 @@ class ResultStore:
     # ------------------------------------------------------------------ #
 
     def lot_table(self) -> str:
-        """One row per lot: yield, error rates, throughput, cost."""
+        """One row per lot: scenario, yield, error rates, throughput, cost."""
         rows = []
         for r in self._reports:
-            rows.append([r.lot_id, r.n_devices, r.n_accepted,
+            rows.append([r.lot_id, r.scenario, r.n_devices, r.n_accepted,
                          r.accept_fraction, r.type_i, r.type_ii,
                          r.tester_seconds, r.devices_per_hour,
                          r.cost_per_device])
         return format_table(
-            ["lot", "devices", "accepted", "accept frac", "type I",
-             "type II", "tester [s]", "devices/h", "cost/device"],
+            ["lot", "scenario", "devices", "accepted", "accept frac",
+             "type I", "type II", "tester [s]", "devices/h", "cost/device"],
             rows, title="Screening results per lot")
 
     def station_table(self) -> str:
@@ -144,6 +144,15 @@ class ResultStore:
         return format_table(["bin", "devices", "share of accepted"], rows,
                             title="Quality bins")
 
+    def total_chips(self) -> int:
+        """ICs screened across lots that ran with chip grouping."""
+        return sum(r.n_chips for r in self._reports if r.n_chips is not None)
+
+    def total_chips_passed(self) -> int:
+        """ICs fully passing across lots that ran with chip grouping."""
+        return sum(r.n_chips_passed for r in self._reports
+                   if r.n_chips_passed is not None)
+
     def summary(self) -> str:
         """Multi-line overview of the whole screening campaign."""
         lines = [
@@ -154,4 +163,9 @@ class ResultStore:
             f"tester time: {self.total_tester_seconds:.3f} s "
             f"({self.overall_devices_per_hour:.0f} devices/hour)",
         ]
+        chips = self.total_chips()
+        if chips:
+            passed = self.total_chips_passed()
+            lines.append(f"chips screened: {chips}, fully passing: "
+                         f"{passed} ({passed / chips:.1%})")
         return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Tests for the pluggable vectorised transfer backends."""
+
+import numpy as np
+import pytest
+
+from repro.adc import (
+    FlashLadderBackend,
+    PipelineStageBackend,
+    SarWeightBackend,
+    make_backend,
+)
+from repro.adc.pipeline import PipelineADC
+from repro.adc.population import DevicePopulation, PopulationSpec
+from repro.adc.sar import SarADC
+from repro.production import BatchBistEngine, Wafer, WaferSpec
+from repro.core import BistConfig, BistEngine
+
+
+class TestBackendShapes:
+    @pytest.mark.parametrize("architecture", ["flash", "sar", "pipeline"])
+    def test_matrix_shape_and_monotone_majority(self, architecture):
+        backend = make_backend(architecture, n_bits=6)
+        matrix = backend.draw_transitions(50, rng=0)
+        assert matrix.shape == (50, 63)
+        # Healthy mismatch levels: most rows are monotone transfer curves.
+        monotone = (np.diff(matrix, axis=1) >= 0).all(axis=1)
+        assert monotone.mean() > 0.5
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend("delta-sigma", n_bits=6)
+
+    def test_pipeline_needs_three_bits(self):
+        with pytest.raises(ValueError):
+            PipelineStageBackend(2)
+
+
+class TestBackendScalarAgreement:
+    """A one-device draw must reproduce the scalar converter models."""
+
+    def test_sar_single_device_matches_scalar_model(self):
+        backend = SarWeightBackend(6, unit_cap_sigma_rel=0.05)
+        row = backend.draw_transitions(1, rng=123)[0]
+        scalar = SarADC(6, unit_cap_sigma_rel=0.05, rng=123)
+        np.testing.assert_allclose(
+            row, scalar.transfer_function().transitions, rtol=1e-12)
+
+    def test_pipeline_single_device_matches_scalar_model(self):
+        backend = PipelineStageBackend(6, gain_error_sigma=0.02,
+                                       threshold_sigma_lsb=0.4)
+        row = backend.draw_transitions(1, rng=99)[0]
+        scalar = PipelineADC(6, gain_error_sigma=0.02,
+                             threshold_sigma_lsb=0.4, rng=99)
+        np.testing.assert_allclose(
+            row, scalar.transfer_function().transitions, rtol=1e-12)
+
+    def test_flash_backend_reproduces_legacy_wafer_draw(self):
+        """Seeded flash wafers must be unchanged by the backend refactor."""
+        from repro.adc.population import correlated_code_widths
+        from repro.adc.transfer import batch_transitions_from_code_widths
+        spec = WaferSpec(n_bits=6, sigma_code_width_lsb=0.21, n_devices=30)
+        wafer = Wafer.draw(spec, rng=1997)
+        widths = correlated_code_widths(30, 62, 0.21, rng=1997)
+        legacy = batch_transitions_from_code_widths(
+            widths * spec.lsb, first_transition=spec.lsb)
+        np.testing.assert_array_equal(wafer.transitions, legacy)
+
+
+class TestMatrixBackedPopulations:
+    @pytest.mark.parametrize("architecture", ["sar", "pipeline"])
+    def test_devices_wrap_matrix_rows(self, architecture):
+        pop = DevicePopulation(PopulationSpec(
+            size=20, seed=7, architecture=architecture))
+        matrix = pop.transition_matrix()
+        for i in (0, 9, 19):
+            np.testing.assert_array_equal(
+                pop[i].transfer_function().transitions, matrix[i])
+        widths = pop.code_width_matrix_lsb()
+        assert widths.shape == (20, 62)
+
+    @pytest.mark.parametrize("architecture", ["sar", "pipeline"])
+    def test_scalar_batch_full_bist_equivalence(self, architecture):
+        """The full-BIST batch engine stays bit-exact on the new
+        architectures (population and wafer paths)."""
+        pop = DevicePopulation(PopulationSpec(
+            size=80, seed=5, architecture=architecture))
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=0.5)
+        scalar = BistEngine(config).run_population(pop, rng=0)
+        batch = BatchBistEngine(config).run_population(pop, rng=0)
+        np.testing.assert_array_equal(scalar.accepted, batch.accepted)
+        np.testing.assert_array_equal(scalar.truly_good, batch.truly_good)
+        assert 0.0 < batch.p_accept < 1.0
+
+    def test_wafer_architecture_dispatch(self):
+        sar_wafer = Wafer.draw(WaferSpec(n_devices=40, architecture="sar"),
+                               rng=3)
+        backend_rows = SarWeightBackend(
+            6, unit_cap_sigma_rel=0.06).draw_transitions(40, rng=3)
+        np.testing.assert_array_equal(sar_wafer.transitions, backend_rows)
+
+    def test_invalid_wafer_architecture(self):
+        with pytest.raises(ValueError):
+            WaferSpec(architecture="bogus")
+
+    def test_from_population_propagates_mismatch_parameters(self):
+        """The wafer spec must describe the matrix it wraps: architecture
+        AND the per-architecture mismatch knobs carry over."""
+        pop = DevicePopulation(PopulationSpec(
+            size=15, seed=3, architecture="sar", unit_cap_sigma_rel=0.12))
+        wafer = Wafer.from_population(pop)
+        assert wafer.spec.architecture == "sar"
+        assert wafer.spec.unit_cap_sigma_rel == 0.12
+        np.testing.assert_array_equal(wafer.transitions,
+                                      pop.transition_matrix())
+        # Re-drawing from the propagated spec uses the same backend knobs.
+        redrawn = Wafer.draw(wafer.spec, rng=3)
+        np.testing.assert_array_equal(redrawn.transitions,
+                                      pop.transition_matrix())
+
+
+class TestFlashLadderBackendValidation:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            FlashLadderBackend(6, sigma_code_width_lsb=-0.1)
+
+    def test_negative_sar_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            SarWeightBackend(6, unit_cap_sigma_rel=-1.0)

@@ -239,3 +239,54 @@ class TestBatchLsbProcessorProperties:
             for d in range(streams.shape[0]):
                 np.testing.assert_array_equal(got[d],
                                               filt.apply(streams[d]))
+
+
+class TestBatchDeglitchEdgeCases:
+    """Degenerate streams must behave exactly like the scalar filter."""
+
+    @pytest.mark.parametrize("mode,depth", [("hysteresis", 1),
+                                            ("hysteresis", 4),
+                                            ("majority", 1),
+                                            ("majority", 3)])
+    def test_constant_streams_pass_through(self, mode, depth):
+        filt = DeglitchFilter(depth, mode)
+        zeros = np.zeros((3, 40), dtype=np.int8)
+        ones = np.ones((3, 40), dtype=np.int8)
+        np.testing.assert_array_equal(batch_deglitch(zeros, filt), zeros)
+        np.testing.assert_array_equal(batch_deglitch(ones, filt), ones)
+
+    @pytest.mark.parametrize("mode", ["hysteresis", "majority"])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_single_sample_streams(self, mode, value):
+        filt = DeglitchFilter(3, mode)
+        streams = np.full((4, 1), value, dtype=np.int8)
+        got = batch_deglitch(streams, filt)
+        assert got.shape == (4, 1)
+        for d in range(4):
+            np.testing.assert_array_equal(got[d], filt.apply(streams[d]))
+
+    @pytest.mark.parametrize("mode", ["hysteresis", "majority"])
+    def test_empty_streams(self, mode):
+        filt = DeglitchFilter(2, mode)
+        streams = np.zeros((3, 0), dtype=np.int8)
+        assert batch_deglitch(streams, filt).shape == (3, 0)
+
+    @pytest.mark.parametrize("mode", ["hysteresis", "majority"])
+    def test_depth_exceeding_stream_length(self, mode):
+        """A filter deeper than the record: match the scalar row for row."""
+        filt = DeglitchFilter(10, mode)
+        rng = np.random.default_rng(8)
+        streams = (rng.random((6, 5)) < 0.5).astype(np.int8)
+        got = batch_deglitch(streams, filt)
+        for d in range(streams.shape[0]):
+            np.testing.assert_array_equal(got[d], filt.apply(streams[d]))
+
+    def test_depth_zero_normalises_values(self):
+        filt = DeglitchFilter(0)
+        streams = np.array([[0, 3, 0, -2, 5]], dtype=np.int64)
+        np.testing.assert_array_equal(batch_deglitch(streams, filt),
+                                      [[0, 1, 0, 1, 1]])
+
+    def test_rejects_non_matrix_input(self):
+        with pytest.raises(ValueError):
+            batch_deglitch(np.zeros(10), DeglitchFilter(2))

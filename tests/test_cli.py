@@ -79,6 +79,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "retest" in out
 
+    def test_lot_partial_arch_and_chips(self, capsys):
+        assert main(["lot", "--wafers", "1", "--devices", "200",
+                     "--arch", "sar", "--q", "2", "--per-ic", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "partial BIST, q=2" in out
+        assert "sar/partial q=2" in out
+        assert "chips screened" in out
+
+    def test_lot_pipeline_architecture(self, capsys):
+        assert main(["lot", "--wafers", "1", "--devices", "150",
+                     "--arch", "pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline/full" in out
+
+    def test_partial_monte_carlo(self, capsys):
+        assert main(["partial", "--devices", "300", "--q", "2",
+                     "--arch", "sar"]) == 0
+        out = capsys.readouterr().out
+        assert "q = 2" in out
+        assert "accept fraction" in out
+        assert "reconstruction error rate" in out
+        assert "tester data reduction" in out
+
+    def test_partial_breakdown_reports_errors(self, capsys):
+        """A too-fast ramp with q=1 must show reconstruction failures."""
+        assert main(["partial", "--devices", "100", "--q", "1",
+                     "--samples-per-code", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "devices with exact reconstruction" in out
+
     def test_table2(self, capsys):
         assert main(["table2"]) == 0
         out = capsys.readouterr().out

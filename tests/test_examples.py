@@ -26,6 +26,9 @@ EXPECTED_OUTPUT = {
     "dynamic_test.py": ["THD [dB]", "ENOB"],
     "wafer_screening.py": ["Screening results per lot", "Quality bins",
                            "Station totals", "devices/s"],
+    "partial_lot_screening.py": ["partial BIST", "chip yield",
+                                 "Screening results per lot",
+                                 "verified on-chip"],
 }
 
 
