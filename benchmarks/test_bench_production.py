@@ -17,7 +17,10 @@ from repro.core import BistConfig, BistEngine, PartialBistConfig, \
     PartialBistEngine
 from repro.production import (
     BatchBistEngine,
+    BatchHistogramTest,
     BatchPartialBistEngine,
+    ResultStore,
+    ScreeningLine,
     Wafer,
     WaferSpec,
 )
@@ -29,6 +32,10 @@ REQUIRED_SPEEDUP_10K = 20.0
 #: The speedup the batched *partial* BIST must deliver on a 1k-device
 #: non-flash (SAR) wafer — the PR-2 acceptance criterion.
 REQUIRED_PARTIAL_SPEEDUP_1K = 10.0
+
+#: The speedup the batched conventional histogram test must deliver at
+#: 1k devices — the PR-3 acceptance criterion.
+REQUIRED_HISTOGRAM_SPEEDUP_1K = 10.0
 
 _CONFIG = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
 
@@ -140,6 +147,71 @@ class TestProductionThroughput:
             f"batched partial engine is only {speedup:.1f}x faster than "
             f"the scalar loop at 1k SAR devices "
             f"(required {REQUIRED_PARTIAL_SPEEDUP_1K:.0f}x)")
+
+    def test_histogram_scalar_vs_batch_1k(self, report):
+        """Batched conventional histogram test on 1k devices: identical
+        decisions and estimates, >=10x devices/sec over the scalar loop
+        (the PR-3 acceptance criterion)."""
+        wafer = _wafer(1000)
+        test = BatchHistogramTest.paper_production(n_bits=6,
+                                                   dnl_spec_lsb=0.5)
+
+        start = time.perf_counter()
+        scalar = [test.scalar.run(device) for device in wafer.devices()]
+        scalar_s = time.perf_counter() - start
+
+        test.run_wafer(wafer)  # warm-up
+        batch_s = float("inf")
+        batch_res = None
+        for _ in range(3):
+            start = time.perf_counter()
+            batch_res = test.run_wafer(wafer)
+            batch_s = min(batch_s, time.perf_counter() - start)
+
+        # The speedup only counts if the answers are identical.
+        np.testing.assert_array_equal(
+            np.array([r.passed for r in scalar]), batch_res.passed)
+        np.testing.assert_array_equal(
+            np.array([r.max_dnl for r in scalar]),
+            batch_res.measured_max_dnl_lsb)
+
+        speedup = scalar_s / batch_s
+        report("conventional histogram test (scalar vs batch)",
+               format_table(
+                   ["devices", "scalar devices/s", "batch devices/s",
+                    "speedup"],
+                   [[1000, 1000 / scalar_s, 1000 / batch_s, speedup]],
+                   title=f"paper production test "
+                         f"({test.samples_per_code:g} samples/code, DNL "
+                         f"±{test.dnl_spec_lsb} LSB); required: "
+                         f">={REQUIRED_HISTOGRAM_SPEEDUP_1K:.0f}x"))
+        assert speedup >= REQUIRED_HISTOGRAM_SPEEDUP_1K, (
+            f"batched histogram test is only {speedup:.1f}x faster than "
+            f"the scalar loop at 1k devices "
+            f"(required {REQUIRED_HISTOGRAM_SPEEDUP_1K:.0f}x)")
+
+    def test_bist_vs_histogram_trade_off_at_scale(self, report):
+        """The repro-compare table, regenerated as a benchmark artefact:
+        one shared 5k-die wafer screened by the full BIST and the
+        conventional histogram line."""
+        wafer = Wafer.draw(WaferSpec(n_bits=6, sigma_code_width_lsb=0.21,
+                                     n_devices=5000), rng=1997)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=0.5)
+        store = ResultStore()
+        for method in ("bist", "histogram"):
+            line = ScreeningLine(config, method=method,
+                                 samples_per_code=64.0)
+            line.screen_lot(Wafer(wafer.spec, wafer.transitions,
+                                  wafer.wafer_id), rng=0, store=store)
+        report("BIST vs conventional histogram line (5k shared dies)",
+               store.method_table())
+        bist_report, histogram_report = store.reports
+        # Same truth on the shared draw; the BIST must stay competitive
+        # on escapes while being much cheaper per device.
+        assert bist_report.p_good == histogram_report.p_good
+        assert bist_report.cost_per_device < \
+            histogram_report.cost_per_device / 10.0
+        assert abs(bist_report.type_ii - histogram_report.type_ii) < 0.05
 
     def test_million_device_scale_is_feasible(self, report):
         """A 100k slice extrapolates the million-device Table-1 run."""

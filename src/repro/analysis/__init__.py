@@ -19,7 +19,7 @@ from repro.analysis.distributions import (
     CodeWidthDistribution,
     EmpiricalCodeWidthDistribution,
 )
-from repro.analysis.dynamic import DynamicAnalyzer, SpectrumResult
+from repro.analysis.dynamic import DynamicAnalyzer, DynamicSpec, SpectrumResult
 from repro.analysis.error_model import (
     ErrorModel,
     PerCodeProbabilities,
@@ -66,6 +66,7 @@ __all__ = [
     "CodeWidthDistribution",
     "EmpiricalCodeWidthDistribution",
     "DynamicAnalyzer",
+    "DynamicSpec",
     "SpectrumResult",
     "ErrorModel",
     "PerCodeProbabilities",

@@ -13,14 +13,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.adc.base import ADC
 from repro.signals.sine import SineStimulus
 
-__all__ = ["SpectrumResult", "DynamicAnalyzer"]
+__all__ = ["SpectrumResult", "DynamicAnalyzer", "DynamicSpec"]
+
+RngLike = Union[int, np.random.Generator, None]
 
 #: Supported window functions and their generators.
 _WINDOWS = {
@@ -75,6 +77,40 @@ def _db(ratio: float) -> float:
     if ratio <= 0.0:
         return -math.inf
     return 10.0 * math.log10(ratio)
+
+
+@dataclass(frozen=True)
+class DynamicSpec:
+    """Pass/fail limits for the single-tone dynamic figures of merit.
+
+    Every limit is optional; only the configured ones are checked, so a
+    production dynamic suite can screen on ENOB alone or add THD/SFDR
+    floors.  All dB quantities follow the sign conventions of
+    :class:`SpectrumResult` (THD is negative, more negative is better).
+    """
+
+    min_enob: Optional[float] = None
+    min_sinad_db: Optional[float] = None
+    min_snr_db: Optional[float] = None
+    max_thd_db: Optional[float] = None
+    min_sfdr_db: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if all(limit is None for limit in (
+                self.min_enob, self.min_sinad_db, self.min_snr_db,
+                self.max_thd_db, self.min_sfdr_db)):
+            raise ValueError("at least one dynamic limit must be set")
+
+    def passes(self, result: "SpectrumResult") -> bool:
+        """True when the measured spectrum meets every configured limit."""
+        checks = [
+            self.min_enob is None or result.enob >= self.min_enob,
+            self.min_sinad_db is None or result.sinad_db >= self.min_sinad_db,
+            self.min_snr_db is None or result.snr_db >= self.min_snr_db,
+            self.max_thd_db is None or result.thd_db <= self.max_thd_db,
+            self.min_sfdr_db is None or result.sfdr_db >= self.min_sfdr_db,
+        ]
+        return all(checks)
 
 
 class DynamicAnalyzer:
@@ -134,17 +170,35 @@ class DynamicAnalyzer:
         if codes.size < self.n_samples:
             raise ValueError(
                 f"need at least {self.n_samples} samples, got {codes.size}")
-        data = codes[:self.n_samples]
-        data = data - data.mean()
-        window = _WINDOWS[self.window](self.n_samples)
-        # Normalise the window for power measurements.
-        coherent_power_gain = (window.sum() ** 2) / (window ** 2).sum()
-        del coherent_power_gain  # per-bin normalisation below is sufficient
-        spectrum = np.fft.rfft(data * window)
-        power = np.abs(spectrum) ** 2 / ((window ** 2).sum() * self.n_samples)
-        power[1:-1] *= 2.0  # single-sided
+        power = self.windowed_power(codes[None, :self.n_samples])[0]
         freqs = np.fft.rfftfreq(self.n_samples, d=1.0 / sample_rate)
+        return self.analyze_power(power, freqs, fundamental, sample_rate)
 
+    def windowed_power(self, codes: np.ndarray) -> np.ndarray:
+        """Single-sided power spectra of a ``(devices, n_samples)`` matrix.
+
+        The vectorisable half of :meth:`spectrum`: per-row mean removal,
+        windowing and FFT.  Row ``d`` of the result is bit-identical to
+        what :meth:`spectrum` computes internally for record ``d``, which
+        is what lets :class:`repro.production.analysis_batch.BatchDynamicSuite`
+        run the acquisition and transform over the device axis while the
+        per-tone bookkeeping stays shared with the scalar path.
+        """
+        data = np.asarray(codes, dtype=float)
+        if data.ndim != 2 or data.shape[1] != self.n_samples:
+            raise ValueError(
+                f"codes must be a (devices, {self.n_samples}) matrix")
+        data = data - data.mean(axis=1, keepdims=True)
+        window = _WINDOWS[self.window](self.n_samples)
+        spectrum = np.fft.rfft(data * window, axis=1)
+        power = np.abs(spectrum) ** 2 / ((window ** 2).sum() * self.n_samples)
+        power[:, 1:-1] *= 2.0  # single-sided
+        return power
+
+    def analyze_power(self, power: np.ndarray, freqs: np.ndarray,
+                      fundamental: Optional[float],
+                      sample_rate: float) -> SpectrumResult:
+        """Tone bookkeeping over one precomputed power spectrum row."""
         if fundamental is None:
             fund_bin = int(np.argmax(power[1:]) + 1)
         else:
@@ -230,7 +284,8 @@ class DynamicAnalyzer:
     def measure(self, adc: ADC, target_frequency: Optional[float] = None,
                 amplitude_fraction: float = 0.49,
                 transition_noise_lsb: float = 0.0,
-                seed: Optional[int] = None) -> SpectrumResult:
+                seed: Optional[int] = None,
+                rng: RngLike = None) -> SpectrumResult:
         """Drive ``adc`` with a coherent sine and analyse the output.
 
         Parameters
@@ -246,13 +301,20 @@ class DynamicAnalyzer:
             Converter input-referred noise during the acquisition.
         seed:
             Seed for the acquisition noise.
+        rng:
+            Seed or generator for the acquisition noise; takes precedence
+            over ``seed``.  Passing a shared generator lets a scalar loop
+            over devices consume one noise stream in device order (the
+            convention the batched engines replicate).
         """
         if target_frequency is None:
             target_frequency = adc.sample_rate / 50.0
         stimulus = SineStimulus.for_adc(adc, target_frequency, self.n_samples,
                                         amplitude_fraction=amplitude_fraction)
-        rng = np.random.default_rng(seed)
-        record = adc.sample(stimulus, n_samples=self.n_samples, rng=rng,
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(
+                         rng if rng is not None else seed))
+        record = adc.sample(stimulus, n_samples=self.n_samples, rng=generator,
                             transition_noise_lsb=transition_noise_lsb)
         return self.spectrum(record.codes, adc.sample_rate,
                              fundamental=stimulus.frequency)

@@ -14,15 +14,21 @@ be exercised without writing Python:
 ``python -m repro.cli yield``
     Print the section-4 yield figures for a given code-width sigma.
 ``python -m repro.cli lot``
-    Screen a whole production lot with the batched BIST and print the
-    floor report (yield, bins, throughput, cost).  ``--arch`` selects the
-    converter architecture (flash, SAR, pipeline), ``--q`` switches the
-    line to the batched partial BIST, ``--per-ic`` groups dies into
-    multi-converter chips.
+    Screen a whole production lot with a batched screening method and
+    print the floor report (yield, bins, throughput, cost).  ``--arch``
+    selects the converter architecture (flash, SAR, pipeline), ``--q``
+    switches the line to the batched partial BIST, ``--per-ic`` groups
+    dies into multi-converter chips, and ``--method`` swaps the BIST
+    station for the conventional histogram or dynamic FFT suite.
 ``python -m repro.cli partial``
     Monte-Carlo partial-BIST run over a whole population: accept rates,
     measured type I/II errors, reconstruction quality and tester data
     volume for a chosen (architecture, q) scenario.
+``python -m repro.cli compare``
+    The paper's BIST-vs-conventional trade-off at production scale: screen
+    one shared wafer draw with the BIST line and the conventional
+    histogram line (optionally the dynamic suite too) and print the
+    yield/escape/tester-cost comparison.
 
 Every command accepts ``--help`` for its options.
 """
@@ -47,6 +53,7 @@ from repro.core import (
 )
 from repro.economics import TesterModel
 from repro.production import (
+    SCREENING_METHODS,
     BatchBistEngine,
     BatchPartialBistEngine,
     Lot,
@@ -161,6 +168,43 @@ def build_parser() -> argparse.ArgumentParser:
     lot.add_argument("--per-ic", type=int, default=1,
                      help="converters per IC; >1 adds chip-level yield "
                           "(default 1)")
+    lot.add_argument("--method", choices=SCREENING_METHODS, default="bist",
+                     help="screening method of the first station: the "
+                          "BIST, the conventional histogram test, or the "
+                          "dynamic FFT suite (default bist)")
+
+    compare = sub.add_parser(
+        "compare", help="screen one shared wafer draw with the BIST and "
+                        "the conventional test and compare the outcomes")
+    compare.add_argument("--bits", type=int, default=6,
+                         help="converter resolution (default 6)")
+    compare.add_argument("--devices", type=int, default=2000,
+                         help="dies on the shared wafer (default 2000)")
+    compare.add_argument("--sigma", type=float, default=0.21,
+                         help="code-width sigma in LSB (default 0.21)")
+    compare.add_argument("--arch", choices=ARCHITECTURES, default="flash",
+                         help="converter architecture (default flash)")
+    compare.add_argument("--seed", type=int, default=2026,
+                         help="wafer/acquisition seed (default 2026)")
+    compare.add_argument("--counter-bits", type=int, default=7,
+                         help="BIST counter size (default 7)")
+    compare.add_argument("--dnl-spec", type=float, default=0.5,
+                         help="DNL specification in LSB (default 0.5, the "
+                              "paper's stringent comparison point)")
+    compare.add_argument("--inl-spec", type=float, default=None,
+                         help="INL specification in LSB (default: not "
+                              "checked)")
+    compare.add_argument("--noise", type=float, default=0.0,
+                         help="transition noise in LSB (default 0)")
+    compare.add_argument("--samples-per-code", type=float, default=64.0,
+                         help="histogram-test ramp density (default 64, "
+                              "the paper's 4096-sample production test)")
+    compare.add_argument("--q", type=int, default=None,
+                         help="also compare the partial BIST with q LSBs "
+                              "off-chip (default: full BIST only)")
+    compare.add_argument("--dynamic", action="store_true",
+                         help="include the dynamic FFT suite in the "
+                              "comparison")
 
     partial = sub.add_parser(
         "partial", help="Monte-Carlo partial-BIST run over a population")
@@ -333,13 +377,14 @@ def _cmd_lot(args: argparse.Namespace) -> int:
     line = ScreeningLine(config, retest_attempts=args.retest, tester=tester,
                          partial_q=args.q,
                          samples_per_code=args.samples_per_code,
-                         devices_per_ic=args.per_ic)
+                         devices_per_ic=args.per_ic,
+                         method=args.method)
     store = ResultStore()
     report = line.screen_lot(lot, rng=args.seed, store=store)
 
     print(f"lot {lot.lot_id}: {args.wafers} wafers x {args.devices} "
           f"{args.arch} dies")
-    print(f"BIST: {line.describe()}")
+    print(f"station: {line.describe()}")
     print(f"simulation: {report.simulated_devices_per_second:,.0f} "
           f"devices/s (batched engine)")
     print()
@@ -350,6 +395,58 @@ def _cmd_lot(args: argparse.Namespace) -> int:
     print(store.bin_table())
     print()
     print(store.summary())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = WaferSpec(n_bits=args.bits,
+                     sigma_code_width_lsb=args.sigma,
+                     n_devices=args.devices,
+                     architecture=args.arch)
+    # One shared wafer draw: every method screens the identical dies, so
+    # the yield/escape/cost differences are attributable to the test
+    # method alone — the paper's comparison, at production scale.
+    wafer = Wafer.draw(spec, rng=args.seed, wafer_id=f"CMP-{args.seed}")
+    config = BistConfig(n_bits=args.bits,
+                        counter_bits=args.counter_bits,
+                        dnl_spec_lsb=args.dnl_spec,
+                        inl_spec_lsb=args.inl_spec,
+                        transition_noise_lsb=args.noise)
+
+    lines = [("full BIST",
+              ScreeningLine(config, method="bist"))]
+    if args.q is not None:
+        lines.append((f"partial BIST q={args.q}",
+                      ScreeningLine(config, partial_q=args.q)))
+    lines.append(("conventional histogram",
+                  ScreeningLine(config, method="histogram",
+                                samples_per_code=args.samples_per_code)))
+    if args.dynamic:
+        lines.append(("dynamic FFT", ScreeningLine(config,
+                                                   method="dynamic")))
+
+    store = ResultStore()
+    rows = []
+    for label, line in lines:
+        report = line.screen_lot(
+            Lot([wafer], lot_id=wafer.wafer_id), rng=args.seed, store=store)
+        plan = line.test_plan(args.bits, report.samples_per_device,
+                               spec.sample_rate)
+        rows.append([label, report.accept_fraction, report.p_good,
+                     report.type_i, report.type_ii,
+                     plan.data_volume_bits,
+                     report.tester_seconds, report.cost_per_device])
+
+    print(f"shared wafer: {args.devices} {args.arch} dies, "
+          f"{args.bits} bits, seed {args.seed} "
+          f"(true yield {rows[0][2]:.1%} at ±{args.dnl_spec} LSB)")
+    print()
+    print(format_table(
+        ["method", "accept frac", "true yield", "type I (yield loss)",
+         "type II (escapes)", "bits/device", "tester [s]", "cost/device"],
+        rows, title="BIST vs conventional test on one shared wafer draw"))
+    print()
+    print(store.method_table())
     return 0
 
 
@@ -413,6 +510,7 @@ _HANDLERS = {
     "yield": _cmd_yield,
     "lot": _cmd_lot,
     "partial": _cmd_partial,
+    "compare": _cmd_compare,
 }
 
 

@@ -37,10 +37,12 @@ from repro.core.engine import (
 )
 from repro.core.kernel import (
     batch_code_histogram,
+    batch_histogram_linearity,
     batch_msb_reference,
     batch_quantise_rows,
     batch_quantise_shared,
     batch_reconstruct_codes,
+    batch_shared_ramp_histogram,
     packed_crossing_events,
 )
 from repro.core.limits import CountLimits
@@ -81,6 +83,8 @@ __all__ = [
     "PartialBistResult",
     "reconstruct_codes",
     "batch_code_histogram",
+    "batch_histogram_linearity",
+    "batch_shared_ramp_histogram",
     "batch_msb_reference",
     "batch_quantise_rows",
     "batch_quantise_shared",

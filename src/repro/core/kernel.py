@@ -47,6 +47,8 @@ __all__ = [
     "batch_msb_reference",
     "batch_reconstruct_codes",
     "batch_code_histogram",
+    "batch_histogram_linearity",
+    "batch_shared_ramp_histogram",
     "packed_crossing_events",
 ]
 
@@ -300,6 +302,89 @@ def batch_reconstruct_codes(observed_lsbs: np.ndarray, q: int, n_bits: int,
     upper = initial[:, None] + np.cumsum(falling, axis=1)
     codes = (upper << q) + observed
     return np.clip(codes, 0, (1 << n_bits) - 1)
+
+
+def batch_shared_ramp_histogram(transitions: np.ndarray,
+                                voltages: np.ndarray) -> np.ndarray:
+    """Per-device code-density histogram of a shared monotone ramp.
+
+    The event-based shortcut of the conventional histogram test: with a
+    shared rising ramp the code trajectory of every device is a
+    non-decreasing staircase (the thermometer count of crossed
+    transitions), so the number of samples landing in code ``c`` is the gap
+    between the ``c``-th and ``c+1``-th sorted crossing indices — the full
+    ``(devices, samples)`` code matrix never needs to exist.  Row ``d`` of
+    the result equals ``bincount`` of
+    :func:`batch_quantise_shared`'s row ``d`` (and therefore of the scalar
+    :meth:`~repro.adc.transfer.TransferFunction.convert` codes).
+
+    Parameters
+    ----------
+    transitions:
+        ``(devices, n_transitions)`` matrix of transition voltages.
+    voltages:
+        The shared stimulus samples, strictly increasing (a rising ramp).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(devices, n_transitions + 1)`` int64 matrix of per-code sample
+        counts; every row sums to ``voltages.size``.
+    """
+    transitions = np.asarray(transitions, dtype=float)
+    voltages = np.asarray(voltages, dtype=float)
+    if transitions.ndim != 2:
+        raise ValueError("transitions must be a (devices, levels) matrix")
+    if voltages.ndim != 1:
+        raise ValueError("voltages must be one-dimensional")
+    n_samples = voltages.size
+    crossing = np.searchsorted(
+        voltages, transitions.ravel()).reshape(transitions.shape)
+    # Sorting handles non-monotone faulty curves: the code at sample t is
+    # the number of crossings at or before t, so code c spans the samples
+    # between the c-th and (c+1)-th smallest crossing indices.
+    boundaries = np.sort(np.clip(crossing, 0, n_samples), axis=1)
+    n_devices = transitions.shape[0]
+    padded = np.empty((n_devices, boundaries.shape[1] + 2), dtype=np.int64)
+    padded[:, 0] = 0
+    padded[:, 1:-1] = boundaries
+    padded[:, -1] = n_samples
+    return np.diff(padded, axis=1)
+
+
+def batch_histogram_linearity(counts: np.ndarray
+                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Device-axis DNL/INL from code-density histograms.
+
+    The matrix form of :func:`repro.analysis.linearity.dnl_from_histogram`:
+    the end bins are dropped, the inner bins are normalised by their mean,
+    and the INL is the running sum of the DNL — the same reductions in the
+    same order, so per-device figures are bit-identical to the scalar
+    function's.  Where the scalar function raises on an all-empty inner
+    histogram, the batch form flags the device in the returned
+    ``measurable`` mask instead (its DNL/INL rows are meaningless).
+
+    Parameters
+    ----------
+    counts:
+        ``(devices, n_codes)`` histogram matrix.
+
+    Returns
+    -------
+    tuple
+        ``(dnl, inl, measurable)`` — two ``(devices, n_codes - 2)`` float
+        matrices in LSB and the per-device validity mask.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2 or counts.shape[1] < 3:
+        raise ValueError("counts must be a (devices, >=3 codes) matrix")
+    inner = counts[:, 1:-1]
+    measurable = inner.sum(axis=1) > 0
+    mean = inner.mean(axis=1)
+    mean = np.where(mean == 0.0, 1.0, mean)
+    dnl = inner / mean[:, None] - 1.0
+    inl = np.cumsum(dnl, axis=1)
+    return dnl, inl, measurable
 
 
 def batch_code_histogram(codes: np.ndarray, n_codes: int) -> np.ndarray:

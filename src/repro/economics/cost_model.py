@@ -158,6 +158,22 @@ class TestPlan:
                    processing_overhead_s=processing_overhead_s)
 
     @classmethod
+    def dynamic_fft(cls, n_bits: int, samples: int = 4096,
+                    sample_rate: float = 1e6,
+                    processing_overhead_s: float = 0.02) -> "TestPlan":
+        """The single-tone FFT dynamic test (full words + FFT processing).
+
+        Like the conventional histogram test it captures every output bit
+        of every sample on a mixed-signal tester (the sine source needs
+        precision analog instruments); the tester-side FFT and figure-of-
+        merit extraction costs more post-processing than histogramming.
+        """
+        return cls(n_bits=n_bits, samples=samples,
+                   observed_bits_per_sample=n_bits, sample_rate=sample_rate,
+                   needs_mixed_signal_tester=True,
+                   processing_overhead_s=processing_overhead_s)
+
+    @classmethod
     def partial_bist(cls, n_bits: int, q: int, samples: int,
                      sample_rate: float = 1e6) -> "TestPlan":
         """The partial BIST: only ``q`` LSBs observed externally."""

@@ -35,11 +35,19 @@ Overview
     the shared kernel in :mod:`repro.core.kernel` and matches the scalar
     :class:`~repro.core.partial_engine.PartialBistEngine` bit for bit.
 
+:mod:`repro.production.analysis_batch` — :class:`BatchHistogramTest` and
+    :class:`BatchDynamicSuite`, the *conventional* production tests (ramp
+    code-density histogram, single-tone FFT suite) vectorised over the
+    device axis and bit-exact against their scalar counterparts — the
+    other half of the paper's BIST-vs-conventional comparison, now
+    runnable at wafer scale on the same kernel.
+
 :mod:`repro.production.line` — :class:`ScreeningLine`, the station chain
-    (BIST → optional retest → quality binning) with per-station yield and
-    throughput accounting, costed against a tester model via
-    :mod:`repro.economics`.  Screens under any (architecture, q) scenario:
-    full or partial BIST, single converters or multi-converter ICs
+    (screening → optional retest → quality binning) with per-station yield
+    and throughput accounting, costed against a tester model via
+    :mod:`repro.economics`.  Screens under any (architecture, method, q)
+    scenario: full or partial BIST, the conventional histogram test or the
+    dynamic suite (``method=``), single converters or multi-converter ICs
     (``devices_per_ic``), flash, SAR or pipeline wafers.
 
 :mod:`repro.production.store` — :class:`ResultStore`, the floor ledger:
@@ -63,6 +71,12 @@ See ``examples/wafer_screening.py`` for a complete walk-through and
 devices-per-second comparison.
 """
 
+from repro.production.analysis_batch import (
+    BatchDynamicResult,
+    BatchDynamicSuite,
+    BatchHistogramResult,
+    BatchHistogramTest,
+)
 from repro.production.batch_engine import (
     BatchBistEngine,
     BatchBistResult,
@@ -71,9 +85,11 @@ from repro.production.batch_engine import (
     BatchLsbResult,
     batch_deglitch,
     chip_grouping,
+    chip_noise_seeds,
 )
 from repro.production.line import (
     DEFAULT_BIN_EDGES_LSB,
+    SCREENING_METHODS,
     LotScreeningReport,
     ScreeningLine,
     StationStats,
@@ -89,13 +105,19 @@ __all__ = [
     "BatchBistEngine",
     "BatchBistResult",
     "BatchChipBistResult",
+    "BatchDynamicResult",
+    "BatchDynamicSuite",
+    "BatchHistogramResult",
+    "BatchHistogramTest",
     "BatchLsbProcessor",
     "BatchLsbResult",
     "BatchPartialBistEngine",
     "BatchPartialBistResult",
     "batch_deglitch",
     "chip_grouping",
+    "chip_noise_seeds",
     "DEFAULT_BIN_EDGES_LSB",
+    "SCREENING_METHODS",
     "LotScreeningReport",
     "ScreeningLine",
     "StationStats",

@@ -62,7 +62,7 @@ from repro.production.lot import Wafer
 
 __all__ = ["BatchLsbProcessor", "BatchLsbResult", "BatchBistResult",
            "BatchBistEngine", "BatchChipBistResult", "batch_deglitch",
-           "chip_grouping"]
+           "chip_grouping", "chip_noise_seeds"]
 
 RngLike = Union[int, np.random.Generator, None]
 
@@ -118,10 +118,14 @@ def batch_deglitch(streams: np.ndarray,
                    filt: DeglitchFilter) -> np.ndarray:
     """Apply a :class:`DeglitchFilter` to every row of a 0/1 stream matrix.
 
-    Row ``d`` of the result equals ``filt.apply(streams[d])`` exactly: the
-    hysteresis mode advances the per-device state machines one sample at a
-    time with the device axis vectorised, the majority mode is a batched
-    sliding-window vote.
+    Row ``d`` of the result equals ``filt.apply(streams[d])`` exactly; both
+    modes are pure array programs over the full (devices, samples) matrix.
+    The majority mode is a batched sliding-window vote.  The hysteresis
+    mode exploits that the filter state can only change at the ``depth``-th
+    sample of a run of equal values (a shorter run never flips it, a longer
+    run has already flipped it), so the output at any sample is the value
+    of the most recent such *trigger* sample — a pair of running maxima
+    over the sample axis, no per-sample state machine.
     """
     streams = np.asarray(streams)
     if streams.ndim != 2:
@@ -139,19 +143,25 @@ def batch_deglitch(streams: np.ndarray,
         sums = cumulative[:, window:] - cumulative[:, :-window]
         return (sums * 2 > window).astype(np.int8)
 
-    out = np.empty_like(values)
-    state = values[:, 0].copy()
-    run_value = state.copy()
-    run_length = np.zeros(values.shape[0], dtype=np.int64)
-    for i in range(values.shape[1]):
-        v = values[:, i]
-        same = v == run_value
-        run_length = np.where(same, run_length + 1, 1)
-        run_value = v
-        flip = (run_value != state) & (run_length >= filt.depth)
-        state = np.where(flip, run_value, state)
-        out[:, i] = state
-    return out
+    n_samples = values.shape[1]
+    idx = np.arange(n_samples)
+    # Start index of the run each sample belongs to, as a running maximum
+    # over the run-start positions seen so far.
+    is_start = np.empty(values.shape, dtype=bool)
+    is_start[:, 0] = True
+    is_start[:, 1:] = values[:, 1:] != values[:, :-1]
+    run_start = np.maximum.accumulate(np.where(is_start, idx, 0), axis=1)
+    # A run reaches the acceptance length at its depth-th sample; the
+    # filter output equals the value at the latest such trigger, or the
+    # initial value when no run has qualified yet.  (Triggers whose value
+    # already equals the state are harmless: the gathered value is the
+    # state itself.)
+    trigger = (idx - run_start) == (filt.depth - 1)
+    last_trigger = np.maximum.accumulate(np.where(trigger, idx, -1), axis=1)
+    gathered = np.take_along_axis(values, np.maximum(last_trigger, 0),
+                                  axis=1)
+    return np.where(last_trigger >= 0, gathered,
+                    values[:, :1]).astype(np.int8)
 
 
 @dataclass
@@ -367,6 +377,25 @@ def chip_grouping(passed: np.ndarray,
     return grouped.all(axis=1), registers
 
 
+def chip_noise_seeds(seed: Union[int, None], n_chips: int) -> np.ndarray:
+    """Per-chip acquisition seeds of a seeded multi-chip screening run.
+
+    Chip ``c`` of a noisy :meth:`BatchBistEngine.run_chips` batch draws its
+    per-converter noise from the integer seed this function derives — the
+    same child-collapsing scheme
+    :meth:`repro.core.controller.MultiAdcBistController.run_lot` uses, so
+    ``MultiAdcBistController.run_chip(chip_devices, rng=seeds[c])``
+    reproduces the batch decisions chip for chip.  Exposed so equivalence
+    tests (and anyone replaying a single chip) can derive the identical
+    seeds.
+    """
+    if n_chips < 1:
+        raise ValueError("n_chips must be positive")
+    sequence = np.random.SeedSequence(seed)
+    return np.array([int(child.generate_state(1)[0])
+                     for child in sequence.spawn(n_chips)], dtype=np.int64)
+
+
 def build_chip_result(passed: np.ndarray, converters_per_chip: int,
                       samples_taken: int,
                       sample_rate: float) -> "BatchChipBistResult":
@@ -520,15 +549,75 @@ class BatchBistEngine:
         """Run the batched BIST on a wafer of multi-converter ICs.
 
         Consecutive dies form one chip; all converters of a chip share the
-        stimulus ramp, so the chip-level decisions equal what
+        stimulus ramp, and the chip-level decisions equal what
         :class:`~repro.core.controller.MultiAdcBistController` decides for
-        the same converters in the noise-free configuration — evaluated
-        here for the whole wafer in one array program.
+        the same converters — evaluated here for the whole wafer in one
+        array program.  With transition noise configured, chip ``c`` draws
+        its per-converter noise from independent child generators seeded
+        by :func:`chip_noise_seeds`, exactly the controller's scheme, so
+        ``MultiAdcBistController.run_chip(dies, rng=chip_noise_seeds(rng,
+        n_chips)[c])`` reproduces each chip's verdict and result register
+        bit for bit.
         """
+        if self.config.transition_noise_lsb > 0.0:
+            return self._run_chips_noisy(wafer, converters_per_chip, rng)
         result = self.run_wafer(wafer, rng=rng)
         return build_chip_result(result.passed, converters_per_chip,
                                  result.samples_taken,
                                  wafer.spec.sample_rate)
+
+    def _run_chips_noisy(self, wafer: Wafer, converters_per_chip: int,
+                         rng: RngLike) -> BatchChipBistResult:
+        """Chip mode with per-converter noise seeds (controller parity)."""
+        cfg = self.config
+        if rng is not None and not isinstance(rng, (int, np.integer)):
+            raise ValueError(
+                "noisy chip runs take an integer seed (or None) so the "
+                "per-converter child seeds match "
+                "MultiAdcBistController.run_chip")
+        if not 1 <= converters_per_chip <= 63:
+            raise ValueError("converters_per_chip must be within [1, 63]")
+        transitions = wafer.transitions
+        n_devices = transitions.shape[0]
+        if n_devices % converters_per_chip != 0:
+            raise ValueError(
+                f"{n_devices} converters do not fill whole chips of "
+                f"{converters_per_chip}")
+        n_chips = n_devices // converters_per_chip
+        spec = wafer.spec
+
+        proxy = IdealADC(cfg.n_bits, spec.full_scale, spec.sample_rate)
+        ramp = self._scalar.build_ramp(proxy)
+        n_samples = ramp.n_samples_for_adc(proxy,
+                                           margin_lsb=cfg.start_margin_lsb)
+        times = np.arange(n_samples) / spec.sample_rate
+        ramp_voltages = ramp.voltage(times)
+        sigma = cfg.transition_noise_lsb * proxy.lsb
+        seeds = chip_noise_seeds(
+            int(rng) if rng is not None else None, n_chips)
+
+        outcomes = []
+        chips_per_chunk = max(1, _STREAM_CHUNK // converters_per_chip)
+        for chip_lo in range(0, n_chips, chips_per_chunk):
+            chip_hi = min(chip_lo + chips_per_chunk, n_chips)
+            noise = np.empty(((chip_hi - chip_lo) * converters_per_chip,
+                              n_samples))
+            row = 0
+            for chip in range(chip_lo, chip_hi):
+                children = np.random.SeedSequence(
+                    int(seeds[chip])).spawn(converters_per_chip)
+                for child in children:
+                    noise[row] = np.random.default_rng(child).normal(
+                        0.0, sigma, size=n_samples)
+                    row += 1
+            lo = chip_lo * converters_per_chip
+            hi = chip_hi * converters_per_chip
+            outcomes.append(self._process_streams(
+                transitions[lo:hi], ramp_voltages + noise))
+
+        result = self._combine(outcomes, n_devices, n_samples)
+        return build_chip_result(result.passed, converters_per_chip,
+                                 n_samples, spec.sample_rate)
 
     def run_population(self, population: Union[DevicePopulation, Wafer],
                        rng: RngLike = None,
@@ -741,6 +830,18 @@ class BatchBistEngine:
                 size=(n_chunk, n_samples))
         else:
             voltages = np.broadcast_to(ramp_voltages, (n_chunk, n_samples))
+        return self._process_streams(transitions, voltages)
+
+    def _process_streams(self, transitions: np.ndarray,
+                         voltages: np.ndarray) -> "_ChunkOutcome":
+        """Quantise per-device voltage rows and run the on-chip blocks.
+
+        The noise-provenance-agnostic half of the stream path: callers
+        decide how the per-device voltages were produced (shared stream in
+        device order, or per-converter child generators in chip mode).
+        """
+        cfg = self.config
+        n_chunk = transitions.shape[0]
 
         codes = batch_quantise_rows(transitions, voltages)
 

@@ -3,13 +3,20 @@
 A :class:`ScreeningLine` chains the stations a lot passes through on the
 test floor:
 
-1. **BIST station** — every die runs the batched BIST.  In the default
+1. **Screening station** — every die runs the batched test selected by
+   ``method``.  ``method="bist"`` (default) runs the batched BIST: in
    full-BIST mode (:class:`~repro.production.batch_engine.BatchBistEngine`)
    only a pass/fail flag leaves the chip; with ``partial_q`` set the
    station runs the batched partial BIST
    (:class:`~repro.production.partial_batch.BatchPartialBistEngine`),
    capturing ``q`` LSBs per sample off-chip as Equation (1) demands for
-   faster stimuli.
+   faster stimuli.  ``method="histogram"`` screens with the *conventional*
+   ramp histogram test
+   (:class:`~repro.production.analysis_batch.BatchHistogramTest`) and
+   ``method="dynamic"`` with the single-tone FFT suite
+   (:class:`~repro.production.analysis_batch.BatchDynamicSuite`) — both
+   capture full output words on a mixed-signal tester, which is exactly
+   the data-volume/tester-cost contrast the paper's comparison is about.
 2. **Retest station** (optional) — rejected dies are re-inserted up to
    ``retest_attempts`` times.  With acquisition noise configured a
    borderline die can be recovered on a second ramp; in the noise-free
@@ -39,21 +46,29 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.dynamic import DynamicAnalyzer, DynamicSpec
 from repro.core.engine import BistConfig, PopulationBistResult
 from repro.core.partial_engine import PartialBistConfig
 from repro.economics.cost_model import TesterModel, TestPlan, cost_per_device
 from repro.economics.parallel import ParallelTestSchedule
+from repro.production.analysis_batch import (
+    BatchDynamicSuite,
+    BatchHistogramTest,
+)
 from repro.production.batch_engine import BatchBistEngine, chip_grouping
 from repro.production.lot import Lot, Wafer
 from repro.production.partial_batch import BatchPartialBistEngine
 
 __all__ = ["StationStats", "LotScreeningReport", "ScreeningLine",
-           "DEFAULT_BIN_EDGES_LSB"]
+           "DEFAULT_BIN_EDGES_LSB", "SCREENING_METHODS"]
 
 RngLike = Union[int, np.random.Generator, None]
 
 #: Default measured-|DNL| bin edges in LSB: premium / standard / marginal.
 DEFAULT_BIN_EDGES_LSB = (0.25, 0.5)
+
+#: Screening methods a line can mount as its first station.
+SCREENING_METHODS = ("bist", "histogram", "dynamic")
 
 
 @dataclass
@@ -105,6 +120,9 @@ class LotScreeningReport:
     type_ii: float
     samples_per_device: int
     wall_seconds: float = field(default=0.0)
+    #: Screening method of the first station ("bist", "histogram",
+    #: "dynamic").
+    method: str = field(default="bist")
     #: Test scenario the lot was screened under.
     mode: str = field(default="full")
     q: int = field(default=1)
@@ -116,7 +134,9 @@ class LotScreeningReport:
 
     @property
     def scenario(self) -> str:
-        """Human-readable (architecture, mode) tag of the screening run."""
+        """Human-readable (architecture, method/mode) tag of the run."""
+        if self.method != "bist":
+            return f"{self.architecture}/{self.method}"
         if self.mode == "partial":
             return f"{self.architecture}/partial q={self.q}"
         return f"{self.architecture}/full"
@@ -154,21 +174,27 @@ class LotScreeningReport:
 
 
 class ScreeningLine:
-    """A production screening line built around the batched BIST.
+    """A production screening line built around the batched test engines.
 
     Parameters
     ----------
     config:
-        BIST measurement configuration every station uses.
+        Measurement configuration every station uses (resolution,
+        specification, acquisition noise; the counter/deglitch fields only
+        apply to the BIST method).
     retest_attempts:
         How many times a rejected die is re-inserted (0 disables retest).
     bin_edges_lsb:
-        Ascending measured-|DNL| thresholds separating the speed/quality
-        bins of accepted dies; ``n`` edges produce ``n + 1`` bins named
-        ``bin-1`` (tightest) to ``bin-n+1``.
+        Ascending thresholds separating the speed/quality bins of accepted
+        dies; ``n`` edges produce ``n + 1`` bins named ``bin-1`` (tightest)
+        to ``bin-n+1``.  The binning metric is the measured |DNL| in LSB
+        for the BIST and histogram methods and the effective-bit shortfall
+        ``n_bits - ENOB`` for the dynamic method.
     tester:
         Tester model executing the insertions; defaults to the low-cost
-        digital tester the full BIST enables.
+        digital tester for the full BIST and to a mixed-signal tester for
+        every method that needs analog instruments (partial BIST,
+        histogram, dynamic).
     devices_per_ic:
         Converters sharing one IC (and thus one insertion); with more than
         one the report carries chip-level yield.
@@ -179,9 +205,19 @@ class ScreeningLine:
         processing block, so ``config.counter_bits`` does not apply (the
         off-chip histogram is full precision), and a configured deglitch
         filter is rejected as unsupported rather than silently dropped.
+        Only valid with ``method="bist"``.
     samples_per_code:
-        Ramp density of the partial-BIST stimulus (ignored in full mode,
-        where the step size follows from the counter width).
+        Ramp density of the partial-BIST and histogram stimuli (ignored in
+        full-BIST mode, where the step size follows from the counter
+        width, and in dynamic mode, which uses a sine record).
+    method:
+        Screening method of the first station: ``"bist"`` (default),
+        ``"histogram"`` (the conventional ramp code-density test) or
+        ``"dynamic"`` (the single-tone FFT suite).
+    dynamic_analyzer, dynamic_spec:
+        FFT configuration and pass/fail limits of the dynamic method;
+        defaults to a 4096-sample Hann analyzer with an ENOB floor one bit
+        below the nominal resolution.
     """
 
     def __init__(self, config: BistConfig,
@@ -190,7 +226,10 @@ class ScreeningLine:
                  tester: Optional[TesterModel] = None,
                  devices_per_ic: int = 1,
                  partial_q: Optional[int] = None,
-                 samples_per_code: float = 16.0) -> None:
+                 samples_per_code: float = 16.0,
+                 method: str = "bist",
+                 dynamic_analyzer: Optional[DynamicAnalyzer] = None,
+                 dynamic_spec: Optional[DynamicSpec] = None) -> None:
         if retest_attempts < 0:
             raise ValueError("retest_attempts must be non-negative")
         edges = [float(e) for e in bin_edges_lsb]
@@ -198,11 +237,35 @@ class ScreeningLine:
             raise ValueError("bin_edges_lsb must be strictly ascending")
         if devices_per_ic < 1:
             raise ValueError("devices_per_ic must be positive")
+        if method not in SCREENING_METHODS:
+            raise ValueError(f"unknown screening method {method!r}; "
+                             f"expected one of {SCREENING_METHODS}")
+        if method != "bist" and partial_q is not None:
+            raise ValueError("partial_q only applies to the BIST method")
+        if method != "bist" and config.deglitch_depth > 0:
+            raise ValueError(
+                f"the {method} flow has no deglitch filter; unset "
+                f"deglitch_depth when using method={method!r}")
         self.config = config
+        self.method = method
         self.partial_q = partial_q
-        if partial_q is None:
-            self.engine: Union[BatchBistEngine, BatchPartialBistEngine] = \
-                BatchBistEngine(config)
+        self.engine: Union[BatchBistEngine, BatchPartialBistEngine,
+                           BatchHistogramTest, BatchDynamicSuite]
+        if method == "histogram":
+            self.engine = BatchHistogramTest(
+                samples_per_code=samples_per_code,
+                dnl_spec_lsb=config.dnl_spec_lsb,
+                inl_spec_lsb=config.inl_spec_lsb,
+                transition_noise_lsb=config.transition_noise_lsb,
+                seed=config.seed)
+        elif method == "dynamic":
+            self.engine = BatchDynamicSuite(
+                analyzer=dynamic_analyzer,
+                spec=dynamic_spec,
+                transition_noise_lsb=config.transition_noise_lsb,
+                seed=config.seed)
+        elif partial_q is None:
+            self.engine = BatchBistEngine(config)
         else:
             if config.deglitch_depth > 0:
                 raise ValueError(
@@ -222,26 +285,58 @@ class ScreeningLine:
         self.bin_edges_lsb = edges
         if tester is not None:
             self.tester = tester
-        elif partial_q is None:
+        elif method == "bist" and partial_q is None:
             # The full BIST needs nothing but digital pins.
             self.tester = TesterModel.digital_only()
         else:
-            # The partial scheme still captures analog-driven LSB data.
+            # Partial BIST, histogram and dynamic all capture analog-driven
+            # output data and need the precision stimulus of a mixed-signal
+            # tester.
             self.tester = TesterModel.mixed_signal()
         self.devices_per_ic = int(devices_per_ic)
 
     @property
     def mode(self) -> str:
-        """``"full"`` or ``"partial"`` — which BIST the station runs."""
+        """Station flavour: BIST ``"full"``/``"partial"``, or the method."""
+        if self.method != "bist":
+            return self.method
         return "full" if self.partial_q is None else "partial"
 
     @property
     def q(self) -> int:
-        """Number of LSBs the tester captures per sample (1 in full mode)."""
+        """Number of LSBs the tester captures per sample.
+
+        1 for the full BIST (the pass/fail flag channel), ``partial_q``
+        for the partial scheme, and the full word width for the
+        conventional histogram and dynamic methods.
+        """
+        if self.method != "bist":
+            return int(self.config.n_bits)
         return 1 if self.partial_q is None else int(self.partial_q)
 
     def describe(self) -> str:
-        """One-line description of the BIST station's configuration."""
+        """One-line description of the screening station's configuration."""
+        if self.method == "histogram":
+            return (f"conventional histogram test, "
+                    f"{self.engine.samples_per_code:g} samples/code, "
+                    f"DNL spec ±{self.config.dnl_spec_lsb} LSB")
+        if self.method == "dynamic":
+            spec = self.engine.resolved_spec(self.config.n_bits)
+            limits = []
+            if spec.min_enob is not None:
+                limits.append(f"ENOB >= {spec.min_enob:g}")
+            if spec.min_sinad_db is not None:
+                limits.append(f"SINAD >= {spec.min_sinad_db:g} dB")
+            if spec.min_snr_db is not None:
+                limits.append(f"SNR >= {spec.min_snr_db:g} dB")
+            if spec.max_thd_db is not None:
+                limits.append(f"THD <= {spec.max_thd_db:g} dB")
+            if spec.min_sfdr_db is not None:
+                limits.append(f"SFDR >= {spec.min_sfdr_db:g} dB")
+            return (f"dynamic FFT suite, "
+                    f"{self.engine.analyzer.n_samples}-sample "
+                    f"{self.engine.analyzer.window} window, "
+                    + ", ".join(limits))
         if self.partial_q is None:
             return f"full BIST, {self.engine.limits.describe()}"
         return (f"partial BIST, q={self.q} LSBs off-chip, "
@@ -257,17 +352,46 @@ class ScreeningLine:
 
     def _insertion_seconds(self, n_devices: int, samples: int,
                            sample_rate: float) -> float:
-        """Tester time to push ``n_devices`` through one BIST insertion."""
+        """Tester time to push ``n_devices`` through one insertion."""
         if n_devices == 0:
             return 0.0
         # A full-BIST insertion occupies one channel per device (the
-        # pass/fail flag); the partial scheme keeps q LSBs observable.
+        # pass/fail flag); the partial scheme keeps q LSBs observable and
+        # the conventional methods capture the full output word.
         schedule = ParallelTestSchedule(
             n_converters=n_devices,
             bits_per_converter=self.q,
             tester_channels=self.tester.digital_channels,
             time_per_pass_s=samples / sample_rate)
         return schedule.total_time_s
+
+    def _bin_metric(self, result) -> np.ndarray:
+        """Quality-grading metric of a screening result, one per device.
+
+        Measured |DNL| in LSB for the BIST and histogram methods, the
+        effective-bit shortfall for the dynamic suite (which measures no
+        DNL at all).
+        """
+        if self.method == "dynamic":
+            return result.enob_shortfall_lsb
+        return result.measured_max_dnl_lsb
+
+    def test_plan(self, n_bits: int, samples: int,
+                   sample_rate: float) -> TestPlan:
+        """The per-device test plan pricing this line's insertions."""
+        samples = max(samples, 1)
+        if self.method == "histogram":
+            return TestPlan.conventional_histogram(
+                n_bits=n_bits, samples=samples, sample_rate=sample_rate)
+        if self.method == "dynamic":
+            return TestPlan.dynamic_fft(
+                n_bits=n_bits, samples=samples, sample_rate=sample_rate)
+        if self.partial_q is None:
+            return TestPlan.full_bist(n_bits=n_bits, samples=samples,
+                                      sample_rate=sample_rate)
+        return TestPlan.partial_bist(n_bits=n_bits, q=self.q,
+                                     samples=samples,
+                                     sample_rate=sample_rate)
 
     # ------------------------------------------------------------------ #
     # Lot processing
@@ -320,7 +444,7 @@ class ScreeningLine:
             result = self.engine.run_wafer(wafer, rng=generator)
             samples_per_device = result.samples_taken
             accepted = result.passed.copy()
-            measured_dnl = result.measured_max_dnl_lsb.copy()
+            measured_dnl = np.array(self._bin_metric(result), dtype=float)
             first_pass_in += len(wafer)
             first_pass_ok += result.n_accepted
 
@@ -338,7 +462,7 @@ class ScreeningLine:
                 retest_ok += int(recovered.size)
                 accepted[recovered] = True
                 measured_dnl[recovered] = \
-                    retest.measured_max_dnl_lsb[retest.passed]
+                    self._bin_metric(retest)[retest.passed]
 
             accepted_masks.append(accepted)
             measured.append(measured_dnl)
@@ -376,21 +500,16 @@ class ScreeningLine:
         retest_seconds = self._insertion_seconds(
             retest_in, samples_per_device, spec.sample_rate)
         stations = [
-            StationStats("bist", first_pass_in, first_pass_ok, bist_seconds),
+            StationStats(self.method, first_pass_in, first_pass_ok,
+                         bist_seconds),
         ]
         if self.retest_attempts > 0:
             stations.append(StationStats("retest", retest_in, retest_ok,
                                          retest_seconds))
         stations.append(StationStats("binning", n_accepted, n_accepted, 0.0))
 
-        if self.partial_q is None:
-            plan = TestPlan.full_bist(n_bits=spec.n_bits,
-                                      samples=max(samples_per_device, 1),
-                                      sample_rate=spec.sample_rate)
-        else:
-            plan = TestPlan.partial_bist(n_bits=spec.n_bits, q=self.q,
-                                         samples=max(samples_per_device, 1),
-                                         sample_rate=spec.sample_rate)
+        plan = self.test_plan(spec.n_bits, samples_per_device,
+                               spec.sample_rate)
         cost = cost_per_device(plan, self.tester,
                                devices_per_ic=self.devices_per_ic)
 
@@ -408,6 +527,7 @@ class ScreeningLine:
             type_ii=outcome.type_ii,
             samples_per_device=samples_per_device,
             wall_seconds=wall_seconds,
+            method=self.method,
             mode=self.mode,
             q=self.q,
             architecture=spec.architecture,

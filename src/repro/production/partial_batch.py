@@ -48,6 +48,7 @@ from repro.core.bist_scheme import PartialBistPartition
 from repro.core.engine import PopulationBistResult
 from repro.core.kernel import (
     batch_code_histogram,
+    batch_histogram_linearity,
     batch_msb_reference,
     batch_quantise_rows,
     batch_reconstruct_codes,
@@ -381,18 +382,15 @@ class BatchPartialBistEngine:
                 errors: np.ndarray):
         """Histogram → DNL/INL → pass/fail, shared by both paths.
 
-        The end-point computation over the inner bins is exactly the
-        scalar :func:`repro.analysis.linearity.dnl_from_histogram` with a
-        device axis (same reductions in the same order, so the decisions
-        stay bit-exact).
+        The end-point computation over the inner bins is the shared
+        device-axis kernel :func:`repro.core.kernel.batch_histogram_linearity`
+        — exactly the scalar
+        :func:`repro.analysis.linearity.dnl_from_histogram` with a device
+        axis (same reductions in the same order, so the decisions stay
+        bit-exact).
         """
         cfg = self.config
-        inner = counts[:, 1:-1]
-        measurable = inner.sum(axis=1) > 0
-        mean = inner.mean(axis=1)
-        mean = np.where(mean == 0.0, 1.0, mean)
-        dnl = inner / mean[:, None] - 1.0
-        inl = np.cumsum(dnl, axis=1)
+        dnl, inl, measurable = batch_histogram_linearity(counts)
         max_dnl = np.abs(dnl).max(axis=1)
         max_inl = np.abs(inl).max(axis=1)
 

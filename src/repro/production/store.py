@@ -102,17 +102,56 @@ class ResultStore:
     # ------------------------------------------------------------------ #
 
     def lot_table(self) -> str:
-        """One row per lot: scenario, yield, error rates, throughput, cost."""
+        """One row per lot: method, scenario, yield, error rates, cost."""
         rows = []
         for r in self._reports:
-            rows.append([r.lot_id, r.scenario, r.n_devices, r.n_accepted,
-                         r.accept_fraction, r.type_i, r.type_ii,
-                         r.tester_seconds, r.devices_per_hour,
+            rows.append([r.lot_id, r.method, r.scenario, r.n_devices,
+                         r.n_accepted, r.accept_fraction, r.type_i,
+                         r.type_ii, r.tester_seconds, r.devices_per_hour,
                          r.cost_per_device])
         return format_table(
-            ["lot", "scenario", "devices", "accepted", "accept frac",
-             "type I", "type II", "tester [s]", "devices/h", "cost/device"],
+            ["lot", "method", "scenario", "devices", "accepted",
+             "accept frac", "type I", "type II", "tester [s]", "devices/h",
+             "cost/device"],
             rows, title="Screening results per lot")
+
+    def method_table(self) -> str:
+        """One row per screening method, aggregated over its lots.
+
+        The BIST-vs-conventional trade-off table: yield, escape rates,
+        tester time and cost per device for every method that screened at
+        least one lot — meaningful when the compared lots share one wafer
+        draw (as ``repro compare`` arranges).  Full and partial BIST lots
+        are separate rows (different test plans), keyed by the partition.
+        """
+        methods: Dict[str, List[LotScreeningReport]] = {}
+        for r in self._reports:
+            if r.method == "bist" and r.mode == "partial":
+                key = f"partial bist q={r.q}"
+            else:
+                key = r.method
+            methods.setdefault(key, []).append(r)
+        rows = []
+        for name, reports in methods.items():
+            devices = sum(r.n_devices for r in reports)
+            accepted = sum(r.n_accepted for r in reports)
+            seconds = sum(r.tester_seconds for r in reports)
+            type_i = (sum(r.type_i * r.n_devices for r in reports) / devices
+                      if devices else 0.0)
+            type_ii = (sum(r.type_ii * r.n_devices for r in reports) / devices
+                       if devices else 0.0)
+            cost = (sum(r.cost_per_device * r.n_devices for r in reports)
+                    / devices if devices else 0.0)
+            rows.append([name, devices, accepted,
+                         accepted / devices if devices else 0.0,
+                         type_i, type_ii, seconds,
+                         devices / seconds * 3600.0 if seconds > 0
+                         else float("inf"),
+                         cost])
+        return format_table(
+            ["method", "devices", "accepted", "accept frac", "type I",
+             "type II", "tester [s]", "devices/h", "cost/device"],
+            rows, title="Screening methods compared")
 
     def station_table(self) -> str:
         """One row per station, aggregated over every screened lot."""

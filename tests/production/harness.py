@@ -1,0 +1,167 @@
+"""Shared scalar↔batch differential-test harness.
+
+Every batch engine in :mod:`repro.production` carries the same contract:
+on the same population it must reproduce its scalar counterpart's
+decisions (and estimates) bit for bit, on every execution path.  The
+helpers here state that contract once, per engine family, so the
+equivalence suites — full BIST, partial BIST, and the conventional
+histogram/dynamic analysis layer — all pin it through one door instead of
+re-deriving the scalar loop in every test file.
+
+Conventions shared by all helpers:
+
+* the scalar reference is an explicit Python loop over
+  ``wafer.devices()``, consuming one shared ``numpy`` generator in device
+  order — exactly the stream discipline the batch engines implement;
+* every helper asserts decision equality (and the family's estimate
+  arrays) with exact ``assert_array_equal``, never ``allclose``: the
+  engines share kernels, so the numbers must be identical, not close;
+* helpers return ``(scalar, batch)`` so callers can layer scenario-
+  specific assertions (accept-fraction sanity, reconstruction quality, …)
+  on top.
+
+``DIFFERENTIAL_GRID`` is the standing parameter grid (architecture ×
+noise × q × device count) that ``test_differential_grid.py`` sweeps over
+all engine families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    BistConfig,
+    BistEngine,
+    PartialBistConfig,
+    PartialBistEngine,
+)
+from repro.production import (
+    BatchBistEngine,
+    BatchDynamicSuite,
+    BatchHistogramTest,
+    BatchPartialBistEngine,
+    Wafer,
+    WaferSpec,
+)
+
+#: (architecture, transition_noise_lsb, q, n_devices) scenarios every
+#: engine family is swept over.  Noise 0 exercises the event fast paths,
+#: noise > 0 the stream paths; q only applies to the partial BIST.
+DIFFERENTIAL_GRID = [
+    ("flash", 0.0, 1, 120),
+    ("flash", 0.05, 2, 60),
+    ("sar", 0.0, 2, 90),
+    ("sar", 0.03, 3, 50),
+    ("pipeline", 0.0, 3, 90),
+    ("pipeline", 0.05, 1, 50),
+]
+
+
+def draw_wafer(n_devices: int = 150, architecture: str = "flash",
+               seed: int = 7, sigma: float = 0.21,
+               n_bits: int = 6) -> Wafer:
+    """A seeded wafer of the requested architecture and size."""
+    return Wafer.draw(WaferSpec(n_bits=n_bits,
+                                sigma_code_width_lsb=sigma,
+                                n_devices=n_devices,
+                                architecture=architecture), rng=seed)
+
+
+def _generator(rng):
+    """A fresh generator from a seed, or None passed through."""
+    if rng is None:
+        return None
+    return np.random.default_rng(rng)
+
+
+def assert_full_bist_equivalent(config: BistConfig, wafer: Wafer,
+                                rng=0):
+    """Scalar loop and batched full BIST must agree device for device."""
+    scalar = BistEngine(config).run_population(wafer.devices(), rng=rng)
+    batch = BatchBistEngine(config).run_population(wafer, rng=rng)
+    np.testing.assert_array_equal(scalar.accepted, batch.accepted)
+    np.testing.assert_array_equal(scalar.truly_good, batch.truly_good)
+    assert scalar.n_devices == batch.n_devices
+    return scalar, batch
+
+
+def scalar_partial_results(config: PartialBistConfig, wafer: Wafer,
+                           rng=None):
+    """Per-device scalar partial-BIST results under the shared-rng loop."""
+    engine = PartialBistEngine(config)
+    generator = _generator(rng)
+    return [engine.run(device, rng=generator)
+            for device in wafer.devices()]
+
+
+def assert_partial_equivalent(config: PartialBistConfig, wafer: Wafer,
+                              rng=None):
+    """Scalar loop and batched partial BIST must agree on everything."""
+    scalar = scalar_partial_results(config, wafer, rng=rng)
+    batch = BatchPartialBistEngine(config).run_wafer(
+        wafer, rng=_generator(rng))
+    np.testing.assert_array_equal(
+        np.array([r.passed for r in scalar]), batch.passed)
+    np.testing.assert_array_equal(
+        np.array([r.linearity_passed for r in scalar]),
+        batch.linearity_passed)
+    np.testing.assert_array_equal(
+        np.array([r.reconstruction_error_rate for r in scalar]),
+        batch.reconstruction_error_rate)
+    np.testing.assert_array_equal(
+        np.array([r.linearity.max_dnl for r in scalar]),
+        batch.measured_max_dnl_lsb)
+    assert scalar[0].samples_taken == batch.samples_taken
+    assert scalar[0].partition == batch.partition
+    return scalar, batch
+
+
+def assert_histogram_equivalent(test: BatchHistogramTest, wafer: Wafer,
+                                rng=None):
+    """Scalar loop and batched histogram test must agree on everything."""
+    generator = _generator(rng)
+    scalar = [test.scalar.run(device, rng=generator)
+              for device in wafer.devices()]
+    batch = test.run_wafer(wafer, rng=_generator(rng))
+    np.testing.assert_array_equal(
+        np.array([r.passed for r in scalar]), batch.passed)
+    np.testing.assert_array_equal(
+        np.vstack([r.counts for r in scalar]), batch.counts)
+    np.testing.assert_array_equal(
+        np.array([r.max_dnl for r in scalar]),
+        batch.measured_max_dnl_lsb)
+    np.testing.assert_array_equal(
+        np.array([r.max_inl for r in scalar]),
+        batch.measured_max_inl_lsb)
+    assert scalar[0].samples_taken == batch.samples_taken
+    assert scalar[0].bits_transferred == batch.bits_transferred_per_device
+    return scalar, batch
+
+
+def assert_dynamic_equivalent(suite: BatchDynamicSuite, wafer: Wafer,
+                              rng=None):
+    """Scalar loop and batched dynamic suite must agree on everything."""
+    generator = _generator(rng)
+    analyzer = suite.analyzer
+    scalar = [analyzer.measure(device,
+                               target_frequency=suite.target_frequency,
+                               amplitude_fraction=suite.amplitude_fraction,
+                               transition_noise_lsb=suite.transition_noise_lsb,
+                               rng=generator)
+              for device in wafer.devices()]
+    batch = suite.run_wafer(wafer, rng=_generator(rng))
+    spec = suite.resolved_spec(wafer.spec.n_bits)
+    np.testing.assert_array_equal(
+        np.array([r.enob for r in scalar]), batch.enob)
+    np.testing.assert_array_equal(
+        np.array([r.sinad_db for r in scalar]), batch.sinad_db)
+    np.testing.assert_array_equal(
+        np.array([r.snr_db for r in scalar]), batch.snr_db)
+    np.testing.assert_array_equal(
+        np.array([r.thd_db for r in scalar]), batch.thd_db)
+    np.testing.assert_array_equal(
+        np.array([r.sfdr_db for r in scalar]), batch.sfdr_db)
+    np.testing.assert_array_equal(
+        np.array([spec.passes(r) for r in scalar]), batch.passed)
+    assert batch.samples_taken == analyzer.n_samples
+    return scalar, batch

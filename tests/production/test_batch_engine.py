@@ -3,31 +3,32 @@
 The batch engine's contract is exactness: on the same seeded population it
 must reproduce the scalar engine's accept/reject decisions bit for bit, on
 every execution path (noise-free event path, noisy stream path, deglitch,
-non-monotone gross-defect devices).  These tests pin that contract.
+non-monotone gross-defect devices).  These tests pin that contract through
+the shared differential harness (``harness.py``).
 """
 
 import numpy as np
 import pytest
 
+from harness import assert_full_bist_equivalent as _assert_population_equal
 from repro.adc import DevicePopulation, PopulationSpec
-from repro.core import BistConfig, BistEngine, CountLimits, LsbProcessor
+from repro.core import (
+    BistConfig,
+    BistEngine,
+    CountLimits,
+    LsbProcessor,
+    MultiAdcBistController,
+)
 from repro.production import (
     BatchBistEngine,
     BatchLsbProcessor,
     Wafer,
     WaferSpec,
     batch_deglitch,
+    chip_grouping,
+    chip_noise_seeds,
 )
 from repro.core.deglitch import DeglitchFilter
-
-
-def _assert_population_equal(config, wafer, rng):
-    """Scalar loop and batch run must agree device for device."""
-    scalar = BistEngine(config).run_population(wafer.devices(), rng=rng)
-    batch = BatchBistEngine(config).run_population(wafer, rng=rng)
-    np.testing.assert_array_equal(scalar.accepted, batch.accepted)
-    np.testing.assert_array_equal(scalar.truly_good, batch.truly_good)
-    assert scalar.n_devices == batch.n_devices
 
 
 class TestScalarBatchEquivalence:
@@ -241,6 +242,75 @@ class TestBatchLsbProcessorProperties:
                                               filt.apply(streams[d]))
 
 
+class TestNoisyChipModeControllerParity:
+    """The batched chip mode must match MultiAdcBistController with
+    per-converter noise seeds — the ROADMAP parity gap, closed."""
+
+    CONFIG = dict(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                  transition_noise_lsb=0.05, deglitch_depth=3)
+
+    def test_noisy_chips_match_controller_bit_for_bit(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=24,
+                                     sigma_code_width_lsb=0.21), rng=17)
+        config = BistConfig(**self.CONFIG)
+        batch = BatchBistEngine(config).run_chips(wafer, 4, rng=123)
+        controller = MultiAdcBistController(config)
+        seeds = chip_noise_seeds(123, 6)
+        for chip in range(6):
+            devices = [wafer.device(chip * 4 + i) for i in range(4)]
+            ref = controller.run_chip(devices, rng=int(seeds[chip]))
+            assert bool(batch.chip_passed[chip]) == ref.passed
+            assert int(batch.result_registers[chip]) == ref.result_register
+
+    def test_seeded_decisions_pinned(self):
+        """Regression pin of the seeded noisy chip run (numpy Generator
+        streams are stability-guaranteed, so these numbers are stable)."""
+        wafer = Wafer.draw(WaferSpec(n_devices=24,
+                                     sigma_code_width_lsb=0.21), rng=17)
+        config = BistConfig(**self.CONFIG)
+        batch = BatchBistEngine(config).run_chips(wafer, 4, rng=123)
+        assert list(map(int, batch.result_registers)) == [15, 3, 11, 7,
+                                                          11, 5]
+        assert int(batch.n_chips_passed) == 1
+        # The shared-stream wafer run is a *different* (single-insertion)
+        # noise model; the chip mode must not silently fall back to it.
+        shared = BatchBistEngine(config).run_wafer(wafer, rng=123)
+        _, shared_registers = chip_grouping(shared.passed, 4)
+        assert list(map(int, shared_registers)) != [15, 3, 11, 7, 11, 5]
+
+    def test_noisy_chips_reject_generator_rng(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=8), rng=1)
+        engine = BatchBistEngine(BistConfig(**self.CONFIG))
+        with pytest.raises(ValueError):
+            engine.run_chips(wafer, 4, rng=np.random.default_rng(0))
+
+    def test_noisy_chips_chunking_is_invariant(self):
+        """Chips spanning chunk boundaries see the same child seeds."""
+        import repro.production.batch_engine as be
+        wafer = Wafer.draw(WaferSpec(n_devices=40,
+                                     sigma_code_width_lsb=0.21), rng=9)
+        engine = BatchBistEngine(BistConfig(**self.CONFIG))
+        full = engine.run_chips(wafer, 4, rng=7)
+        original = be._STREAM_CHUNK
+        be._STREAM_CHUNK = 5  # forces ~1 chip per chunk
+        try:
+            small = engine.run_chips(wafer, 4, rng=7)
+        finally:
+            be._STREAM_CHUNK = original
+        np.testing.assert_array_equal(full.chip_passed, small.chip_passed)
+        np.testing.assert_array_equal(full.result_registers,
+                                      small.result_registers)
+
+    def test_noise_free_chip_mode_unchanged(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=16), rng=2)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+        chips = BatchBistEngine(config).run_chips(wafer, 4, rng=0)
+        singles = BatchBistEngine(config).run_wafer(wafer, rng=0)
+        expected, _ = chip_grouping(singles.passed, 4)
+        np.testing.assert_array_equal(chips.chip_passed, expected)
+
+
+
 class TestBatchDeglitchEdgeCases:
     """Degenerate streams must behave exactly like the scalar filter."""
 
@@ -290,3 +360,51 @@ class TestBatchDeglitchEdgeCases:
     def test_rejects_non_matrix_input(self):
         with pytest.raises(ValueError):
             batch_deglitch(np.zeros(10), DeglitchFilter(2))
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 5, 6])
+    def test_hysteresis_random_streams_every_depth(self, depth):
+        """The vectorised hysteresis must equal the scalar state machine
+        row for row at every filter depth."""
+        rng = np.random.default_rng(depth)
+        streams = (rng.random((25, 180)) < 0.5).astype(np.int8)
+        filt = DeglitchFilter(depth, "hysteresis")
+        got = batch_deglitch(streams, filt)
+        for d in range(streams.shape[0]):
+            np.testing.assert_array_equal(got[d], filt.apply(streams[d]))
+
+    def test_hysteresis_run_exactly_depth_flips(self):
+        """A run of exactly ``depth`` equal samples flips the state at its
+        last sample; one sample shorter never does."""
+        filt = DeglitchFilter(3, "hysteresis")
+        flips = np.array([[0, 0, 0, 1, 1, 1, 0, 0, 0, 0]], dtype=np.int8)
+        too_short = np.array([[0, 0, 0, 1, 1, 0, 0, 0, 0, 0]],
+                             dtype=np.int8)
+        np.testing.assert_array_equal(batch_deglitch(flips, filt)[0],
+                                      filt.apply(flips[0]))
+        # The 1-run qualifies at its third sample (index 5); the trailing
+        # 0-run re-qualifies at index 8 and flips the state back.
+        np.testing.assert_array_equal(
+            batch_deglitch(flips, filt)[0],
+            [0, 0, 0, 0, 0, 1, 1, 1, 0, 0])
+        np.testing.assert_array_equal(batch_deglitch(too_short, filt)[0],
+                                      np.zeros(10, dtype=np.int8))
+
+    def test_hysteresis_alternating_stream_holds_state(self):
+        """Pure toggling (every run length 1) never flips a depth>=2
+        filter, whichever value each row starts from."""
+        filt = DeglitchFilter(2, "hysteresis")
+        streams = np.array([[0, 1] * 20, [1, 0] * 20], dtype=np.int8)
+        got = batch_deglitch(streams, filt)
+        np.testing.assert_array_equal(got[0], np.zeros(40, dtype=np.int8))
+        np.testing.assert_array_equal(got[1], np.ones(40, dtype=np.int8))
+        for d in range(2):
+            np.testing.assert_array_equal(got[d], filt.apply(streams[d]))
+
+    def test_hysteresis_same_value_retrigger_is_harmless(self):
+        """Two qualifying runs of the same value with a short opposite
+        run between them must not disturb the state."""
+        filt = DeglitchFilter(3, "hysteresis")
+        stream = np.array([[0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 1, 1]],
+                          dtype=np.int8)
+        np.testing.assert_array_equal(batch_deglitch(stream, filt)[0],
+                                      filt.apply(stream[0]))

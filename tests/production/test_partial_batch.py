@@ -5,11 +5,14 @@ on the same population it must reproduce the scalar
 :class:`~repro.core.partial_engine.PartialBistEngine` accept/reject
 decisions bit for bit — for every architecture, every ``q`` (including the
 q-too-small breakdown case of Equation (1)), and with acquisition noise.
+The equivalence checks live in the shared differential harness
+(``harness.py``).
 """
 
 import numpy as np
 import pytest
 
+from harness import assert_partial_equivalent as _assert_batch_matches_scalar
 from repro.core import (
     MultiAdcBistController,
     BistConfig,
@@ -23,35 +26,6 @@ from repro.production import (
     WaferSpec,
     chip_grouping,
 )
-
-
-def _scalar_results(config, wafer, rng=None):
-    engine = PartialBistEngine(config)
-    generator = np.random.default_rng(rng) if rng is not None else None
-    results = []
-    for device in wafer.devices():
-        results.append(engine.run(device, rng=generator))
-    return results
-
-
-def _assert_batch_matches_scalar(config, wafer, rng=None):
-    scalar = _scalar_results(config, wafer, rng=rng)
-    batch = BatchPartialBistEngine(config).run_wafer(
-        wafer, rng=np.random.default_rng(rng) if rng is not None else None)
-    np.testing.assert_array_equal(
-        np.array([r.passed for r in scalar]), batch.passed)
-    np.testing.assert_array_equal(
-        np.array([r.linearity_passed for r in scalar]),
-        batch.linearity_passed)
-    np.testing.assert_array_equal(
-        np.array([r.reconstruction_error_rate for r in scalar]),
-        batch.reconstruction_error_rate)
-    np.testing.assert_array_equal(
-        np.array([r.linearity.max_dnl for r in scalar]),
-        batch.measured_max_dnl_lsb)
-    assert scalar[0].samples_taken == batch.samples_taken
-    assert scalar[0].partition == batch.partition
-    return scalar, batch
 
 
 class TestScalarBatchPartialEquivalence:

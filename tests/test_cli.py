@@ -93,6 +93,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "pipeline/full" in out
 
+    def test_lot_histogram_method(self, capsys):
+        assert main(["lot", "--wafers", "1", "--devices", "200",
+                     "--method", "histogram", "--dnl-spec", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional histogram test" in out
+        assert "flash/histogram" in out
+
+    def test_lot_dynamic_method(self, capsys):
+        assert main(["lot", "--wafers", "1", "--devices", "60",
+                     "--method", "dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic FFT suite" in out
+        assert "flash/dynamic" in out
+
+    def test_lot_method_rejects_partial_q(self):
+        with pytest.raises(ValueError):
+            main(["lot", "--wafers", "1", "--devices", "100",
+                  "--method", "histogram", "--q", "2"])
+
+    def test_compare_bist_vs_histogram(self, capsys):
+        assert main(["compare", "--devices", "400", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "one shared wafer draw" in out
+        assert "full BIST" in out
+        assert "conventional histogram" in out
+        assert "Screening methods compared" in out
+        assert "type II (escapes)" in out
+
+    def test_compare_with_partial_and_dynamic(self, capsys):
+        assert main(["compare", "--devices", "200", "--seed", "3",
+                     "--q", "2", "--dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "partial BIST q=2" in out
+        assert "dynamic FFT" in out
+
     def test_partial_monte_carlo(self, capsys):
         assert main(["partial", "--devices", "300", "--q", "2",
                      "--arch", "sar"]) == 0

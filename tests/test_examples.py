@@ -29,6 +29,9 @@ EXPECTED_OUTPUT = {
     "partial_lot_screening.py": ["partial BIST", "chip yield",
                                  "Screening results per lot",
                                  "verified on-chip"],
+    "bist_vs_conventional.py": ["Screening methods compared",
+                                "Tester data volume per device",
+                                "in favour of the BIST"],
 }
 
 
