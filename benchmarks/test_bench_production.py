@@ -8,6 +8,7 @@ decisions agree bit for bit, and records the numbers so future BENCH_*.json
 trajectories can track them.
 """
 
+import os
 import time
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.production import (
     BatchBistEngine,
     BatchHistogramTest,
     BatchPartialBistEngine,
+    ExecutionPlan,
     ResultStore,
     ScreeningLine,
     Wafer,
@@ -212,6 +214,54 @@ class TestProductionThroughput:
         assert bist_report.cost_per_device < \
             histogram_report.cost_per_device / 10.0
         assert abs(bist_report.type_ii - histogram_report.type_ii) < 0.05
+
+    def test_multi_worker_scaling_efficiency(self, report):
+        """Devices/sec of the sharded execution layer at 1, 2 and 4
+        workers on a 10k-device noisy (stream-path) wafer.
+
+        The hard requirement is the determinism contract: every worker
+        count must produce bit-identical decisions.  The throughput and
+        efficiency rows are the scale-out measurement itself and stay
+        report-only: this file is collected by the gating tier-1 run,
+        and a wall-clock speedup threshold would make the blocking suite
+        hostage to co-tenant load on the CI runner."""
+        n_devices = 10_000
+        wafer = _wafer(n_devices)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                            transition_noise_lsb=0.05, deglitch_depth=3)
+        engine = BatchBistEngine(config)
+
+        rows = []
+        throughput = {}
+        reference = None
+        for workers in (1, 2, 4):
+            plan = ExecutionPlan(workers=workers)
+            engine.run_wafer(_wafer(512), rng=0, plan=plan)  # warm-up
+            start = time.perf_counter()
+            result = engine.run_wafer(wafer, rng=0, plan=plan)
+            elapsed = time.perf_counter() - start
+            if reference is None:
+                reference = result
+            else:
+                # Scaling only counts if the answers are identical.
+                np.testing.assert_array_equal(reference.passed,
+                                              result.passed)
+                np.testing.assert_array_equal(
+                    reference.measured_max_dnl_lsb,
+                    result.measured_max_dnl_lsb)
+            throughput[workers] = n_devices / elapsed
+            rows.append([workers, n_devices / elapsed,
+                         throughput[workers] / throughput[1],
+                         throughput[workers] / throughput[1] / workers])
+
+        cores = os.cpu_count() or 1
+        report("multi-worker scaling (noisy full BIST, 10k devices)",
+               format_table(
+                   ["workers", "devices/s", "speedup", "efficiency"],
+                   rows,
+                   title=f"sharded stream path, bit-identical decisions "
+                         f"at every worker count ({cores} cores "
+                         f"available)"))
 
     def test_million_device_scale_is_feasible(self, report):
         """A 100k slice extrapolates the million-device Table-1 run."""

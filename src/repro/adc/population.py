@@ -10,26 +10,23 @@ reports from circuit simulation —
 * inter-code-width correlation ``rho = -1/(N-1)`` (Equation (10)), which
   arises naturally from the ratiometric resistor ladder.
 
-Two generation modes are provided:
+Every architecture now realises its population through the corresponding
+vectorised transfer backend (:mod:`repro.adc.backends`): the whole
+population's transition matrix is drawn in one call seeded by the
+population seed, and individual devices are materialised as
+:class:`~repro.adc.ideal.TableADC` objects wrapping their matrix row —
+bit-identical to what the batch engines decide on, without building one
+behavioural converter model per device.  ``"flash"`` and ``"gaussian"``
+share the :class:`~repro.adc.backends.FlashLadderBackend` statistics (the
+correlated-normal model of the ladder, Equation (10)); ``"sar"`` and
+``"pipeline"`` use their architecture backends.
 
-``architecture="flash"`` (default)
-    Builds genuine :class:`~repro.adc.flash.FlashADC` devices, so the
-    correlation structure (and any higher-order effect of the ladder) is
-    inherited from the physical model.
-
-``architecture="gaussian"``
-    Directly draws code-width vectors from a correlated multivariate normal
-    distribution.  This is much faster for very large Monte-Carlo runs and is
-    the exact statistical model the paper's equations assume, which makes it
-    the right baseline when validating the analytic error model.
-
-``architecture="sar"`` / ``architecture="pipeline"``
-    Realise the population through the corresponding vectorised transfer
-    backend (:mod:`repro.adc.backends`): the whole population's transition
-    matrix is drawn in one call, and individual devices are materialised as
-    :class:`~repro.adc.ideal.TableADC` objects wrapping their matrix row —
-    bit-identical to what the batch engines decide on, without building one
-    behavioural converter model per device.
+The historical per-device-seed draws — one child seed per device, a
+Python-loop materialisation, with ``"flash"`` building genuine
+:class:`~repro.adc.flash.FlashADC` ladder models — remain available behind
+``PopulationSpec(legacy_seed=True)``.  They are **deprecated**: the flag
+exists so studies pinned to the old seeded matrices can reproduce them,
+and it will be removed once nothing depends on those realisations.
 """
 
 from __future__ import annotations
@@ -166,8 +163,22 @@ class PopulationSpec:
     sample_rate:
         Sample frequency of every device in Hz.
     seed:
-        Population seed; device ``i`` uses a child seed derived from it, so a
-        population is fully reproducible.
+        Population seed: the whole transition matrix is drawn from it in
+        one vectorised backend call, so a population is fully
+        reproducible.  With ``legacy_seed=True``, device ``i`` instead
+        uses a child seed derived from it (the historical per-device
+        draw).
+    legacy_seed:
+        **Deprecated.**  ``True`` restores the pre-scale-out per-device
+        seeding for the ``"flash"`` and ``"gaussian"`` architectures: a
+        Python loop drawing one child seed per device (``"flash"``
+        additionally builds physical :class:`~repro.adc.flash.FlashADC`
+        ladder realisations, honouring ``comparator_fraction``).  The
+        default ``False`` draws the population through the vectorised
+        :class:`~repro.adc.backends.FlashLadderBackend` like every other
+        architecture — same statistics, different realisations for the
+        same seed.  The flag only exists so studies pinned to the old
+        seeded matrices can reproduce them and will be removed.
     """
 
     n_bits: int = 6
@@ -182,6 +193,7 @@ class PopulationSpec:
     comparator_offset_sigma_lsb: float = 0.0
     gain_error_sigma: float = 0.03
     threshold_sigma_lsb: float = 0.5
+    legacy_seed: bool = False
 
     def __post_init__(self) -> None:
         if self.n_bits < 2:
@@ -196,27 +208,38 @@ class PopulationSpec:
                 f"expected 'flash', 'gaussian', 'sar' or 'pipeline'")
 
     def backend(self):
-        """The vectorised transfer backend for matrix-backed architectures.
+        """The vectorised transfer backend realising this population.
 
-        Only the ``"sar"`` and ``"pipeline"`` populations are realised
-        through a backend draw; ``"flash"`` and ``"gaussian"`` keep their
-        historical per-device-seed draws (moving them onto the backend
-        would change seeded matrices — see the ROADMAP open item), so
-        asking for their backend raises rather than returning a draw that
-        would not reproduce :meth:`DevicePopulation.transition_matrix`.
+        ``"flash"`` and ``"gaussian"`` both map to the
+        :class:`~repro.adc.backends.FlashLadderBackend` — the correlated
+        code-width statistics of the ladder, which is exactly the model
+        the Gaussian architecture draws from.  With ``legacy_seed=True``
+        the backend does not reproduce
+        :meth:`DevicePopulation.transition_matrix` (the legacy per-device
+        draws consume seeds differently), so asking for it raises.
         """
-        if self.architecture not in ("sar", "pipeline"):
+        if self.legacy_seed and self.architecture not in ("sar", "pipeline"):
             raise ValueError(
-                f"the {self.architecture!r} population architecture draws "
-                f"per-device seeds and has no matrix backend")
+                f"the {self.architecture!r} population architecture with "
+                f"legacy_seed=True draws per-device seeds and has no "
+                f"matrix backend")
         from repro.adc.backends import make_backend
+        architecture = (self.architecture
+                        if self.architecture in ("sar", "pipeline")
+                        else "flash")
         return make_backend(
-            self.architecture, self.n_bits, self.full_scale,
+            architecture, self.n_bits, self.full_scale,
             sigma_code_width_lsb=self.sigma_code_width_lsb,
             unit_cap_sigma_rel=self.unit_cap_sigma_rel,
             comparator_offset_sigma_lsb=self.comparator_offset_sigma_lsb,
             gain_error_sigma=self.gain_error_sigma,
             threshold_sigma_lsb=self.threshold_sigma_lsb)
+
+    @property
+    def matrix_backed(self) -> bool:
+        """Whether the population draws one vectorised transition matrix."""
+        return (self.architecture in ("sar", "pipeline")
+                or not self.legacy_seed)
 
     @property
     def n_codes(self) -> int:
@@ -289,8 +312,8 @@ class DevicePopulation:
     def _build_device(self, index: int) -> ADC:
         seed = int(self._device_seeds[index])
         spec = self.spec
-        if spec.architecture in ("sar", "pipeline"):
-            # Matrix-backed architectures: the device wraps its row of the
+        if spec.matrix_backed:
+            # Matrix-backed population: the device wraps its row of the
             # backend-drawn transition matrix, so scalar runs on it see
             # exactly the curve the batch engines decide on.
             tf = TransferFunction(n_bits=spec.n_bits,
@@ -299,6 +322,8 @@ class DevicePopulation:
             return TableADC(tf, sample_rate=spec.sample_rate,
                             name=f"{spec.architecture} device {index}")
         if spec.architecture == "flash":
+            # Deprecated legacy_seed path: a physical ladder realisation
+            # per device, seeded by this device's child seed.
             device = FlashADC.from_sigma(
                 n_bits=spec.n_bits,
                 sigma_code_width_lsb=spec.sigma_code_width_lsb,
@@ -307,7 +332,7 @@ class DevicePopulation:
                 sample_rate=spec.sample_rate,
                 rng=seed)
             return device
-        # Gaussian architecture: draw the widths for this device directly.
+        # Deprecated legacy_seed path: per-device width draw.
         widths_lsb = correlated_code_widths(
             1, spec.n_inner_codes, spec.sigma_code_width_lsb, rng=seed)[0]
         lsb = spec.full_scale / spec.n_codes
@@ -324,21 +349,19 @@ class DevicePopulation:
         """Return the (devices x inner codes) matrix of code widths in LSB."""
         if self._width_matrix_lsb is None:
             spec = self.spec
-            if spec.architecture in ("sar", "pipeline"):
+            if spec.matrix_backed:
                 lsb = spec.full_scale / spec.n_codes
                 self._width_matrix_lsb = (
                     np.diff(self.transition_matrix(), axis=1) / lsb)
             elif spec.architecture == "gaussian":
-                # Vectorised draw — no per-device objects needed.
-                seeds_rng = np.random.default_rng(spec.seed)
-                # Re-derive deterministically but independently of lazily
-                # built devices: use the per-device seeds for exact agreement.
+                # Deprecated legacy_seed path: re-derive deterministically
+                # but independently of lazily built devices, using the
+                # per-device seeds for exact agreement.
                 rows = [correlated_code_widths(
                             1, spec.n_inner_codes,
                             spec.sigma_code_width_lsb,
                             rng=int(s))[0]
                         for s in self._device_seeds]
-                del seeds_rng
                 self._width_matrix_lsb = np.vstack(rows)
             else:
                 rows = [self[i].transfer_function().code_widths_lsb
@@ -352,14 +375,13 @@ class DevicePopulation:
         The row for device ``i`` is bit-identical to
         ``self[i].transfer_function().transitions``, so matrix-level
         consumers (the batch BIST engine in :mod:`repro.production`) decide
-        on exactly the transfer curves the per-device objects expose.  For
-        the Gaussian architecture the matrix is built vectorised from the
-        width matrix without materialising any device; the flash
-        architecture derives each row from the ladder realisation and so
-        materialises the devices.
+        on exactly the transfer curves the per-device objects expose.  By
+        default the whole matrix comes from one vectorised backend draw
+        seeded by the population seed; the deprecated ``legacy_seed``
+        populations re-derive it per device instead.
         """
         spec = self.spec
-        if spec.architecture in ("sar", "pipeline"):
+        if spec.matrix_backed:
             if self._transition_matrix is None:
                 # One vectorised backend draw for the whole population,
                 # seeded by the population seed.

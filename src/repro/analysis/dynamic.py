@@ -20,7 +20,8 @@ import numpy as np
 from repro.adc.base import ADC
 from repro.signals.sine import SineStimulus
 
-__all__ = ["SpectrumResult", "DynamicAnalyzer", "DynamicSpec"]
+__all__ = ["SpectrumResult", "SpectrumFigures", "DynamicAnalyzer",
+           "DynamicSpec"]
 
 RngLike = Union[int, np.random.Generator, None]
 
@@ -79,6 +80,52 @@ def _db(ratio: float) -> float:
     return 10.0 * math.log10(ratio)
 
 
+def _db_ratio_rows(numerator: np.ndarray, denominator: np.ndarray,
+                   zero_denominator_db: float) -> np.ndarray:
+    """Per-device ``10 log10(numerator / denominator)`` with the scalar
+    guard semantics: a non-positive ratio gives ``-inf`` and a zero
+    denominator gives ``zero_denominator_db`` (``+inf`` for SNR-like
+    figures, ``-inf`` for THD)."""
+    out = np.full(numerator.shape, float(zero_denominator_db))
+    ok = denominator > 0.0
+    ratio = np.where(ok, numerator, 0.0) / np.where(ok, denominator, 1.0)
+    positive = ratio > 0.0
+    with np.errstate(divide="ignore"):
+        values = np.where(positive,
+                          10.0 * np.log10(np.where(positive, ratio, 1.0)),
+                          -np.inf)
+    out[ok] = values[ok]
+    return out
+
+
+@dataclass
+class SpectrumFigures:
+    """Single-tone figures of merit for a whole batch of spectra.
+
+    The vectorised counterpart of :class:`SpectrumResult`: every attribute
+    is a per-device array, produced by
+    :meth:`DynamicAnalyzer.analyze_power_batch` from a ``(devices, bins)``
+    power matrix.  Row ``d`` equals, bit for bit, the figures
+    :meth:`DynamicAnalyzer.analyze_power` reports for spectrum ``d`` alone
+    (the scalar method is the batch-of-1 wrapper).
+    """
+
+    fundamental_bin: np.ndarray
+    signal_power: np.ndarray
+    noise_power: np.ndarray
+    distortion_power: np.ndarray
+    thd_db: np.ndarray
+    snr_db: np.ndarray
+    sinad_db: np.ndarray
+    sfdr_db: np.ndarray
+    enob: np.ndarray
+
+    @property
+    def n_devices(self) -> int:
+        """Number of spectra analysed."""
+        return int(self.enob.size)
+
+
 @dataclass(frozen=True)
 class DynamicSpec:
     """Pass/fail limits for the single-tone dynamic figures of merit.
@@ -111,6 +158,26 @@ class DynamicSpec:
             self.min_sfdr_db is None or result.sfdr_db >= self.min_sfdr_db,
         ]
         return all(checks)
+
+    def passes_batch(self, figures: "SpectrumFigures") -> np.ndarray:
+        """Per-device pass vector over a batch of measured figures.
+
+        Row ``d`` equals ``passes(...)`` of device ``d``'s scalar result:
+        the same comparisons against the same configured limits, evaluated
+        across the device axis.
+        """
+        passed = np.ones(figures.n_devices, dtype=bool)
+        if self.min_enob is not None:
+            passed &= figures.enob >= self.min_enob
+        if self.min_sinad_db is not None:
+            passed &= figures.sinad_db >= self.min_sinad_db
+        if self.min_snr_db is not None:
+            passed &= figures.snr_db >= self.min_snr_db
+        if self.max_thd_db is not None:
+            passed &= figures.thd_db <= self.max_thd_db
+        if self.min_sfdr_db is not None:
+            passed &= figures.sfdr_db >= self.min_sfdr_db
+        return passed
 
 
 class DynamicAnalyzer:
@@ -198,62 +265,108 @@ class DynamicAnalyzer:
     def analyze_power(self, power: np.ndarray, freqs: np.ndarray,
                       fundamental: Optional[float],
                       sample_rate: float) -> SpectrumResult:
-        """Tone bookkeeping over one precomputed power spectrum row."""
-        if fundamental is None:
-            fund_bin = int(np.argmax(power[1:]) + 1)
-        else:
-            fund_bin = int(round(fundamental * self.n_samples / sample_rate))
-            fund_bin = min(max(fund_bin, 1), power.size - 1)
-            # Snap to the local maximum to tolerate slight incoherence.
-            lo = max(1, fund_bin - self.leakage_bins)
-            hi = min(power.size, fund_bin + self.leakage_bins + 1)
-            fund_bin = int(lo + np.argmax(power[lo:hi]))
+        """Tone bookkeeping over one precomputed power spectrum row.
 
-        signal_power, signal_bins = self._tone_power(power, fund_bin)
-
-        harmonic_power = 0.0
-        harmonic_bins: set = set()
-        worst_spur = 0.0
-        nyquist_bin = power.size - 1
-        for order in range(2, 2 + self.n_harmonics):
-            h_bin = self._alias_bin(order * fund_bin, self.n_samples)
-            if h_bin <= 0 or h_bin > nyquist_bin:
-                continue
-            p, bins = self._tone_power(power, h_bin)
-            # A harmonic folding onto the fundamental is not counted twice.
-            bins = bins - signal_bins
-            p = float(power[list(bins)].sum()) if bins else 0.0
-            harmonic_power += p
-            harmonic_bins |= bins
-            worst_spur = max(worst_spur, p)
-
-        excluded = signal_bins | harmonic_bins | {0}
-        noise_mask = np.ones(power.size, dtype=bool)
-        noise_mask[list(excluded)] = False
-        noise_power = float(power[noise_mask].sum())
-
-        # Spurious-free dynamic range also considers non-harmonic spurs.
-        spur_candidates = power.copy()
-        spur_candidates[list(signal_bins)] = 0.0
-        spur_candidates[0] = 0.0
-        worst_any_spur = float(spur_candidates.max()) if spur_candidates.size else 0.0
-
-        thd_db = _db(harmonic_power / signal_power) if signal_power else -math.inf
-        snr_db = _db(signal_power / noise_power) if noise_power else math.inf
-        sinad_db = (_db(signal_power / (noise_power + harmonic_power))
-                    if (noise_power + harmonic_power) else math.inf)
-        sfdr_db = (_db(signal_power / worst_any_spur)
-                   if worst_any_spur else math.inf)
-        enob = ((sinad_db - 1.76) / 6.02
-                if math.isfinite(sinad_db) else float("inf"))
-
+        A batch-of-1 call into :meth:`analyze_power_batch` — the scalar
+        and wafer-scale paths are one implementation, which is what keeps
+        the batched dynamic suite bit-exact against this method.
+        """
+        power = np.asarray(power, dtype=float)
+        figures = self.analyze_power_batch(power[None, :], freqs,
+                                           fundamental, sample_rate)
         return SpectrumResult(
             frequencies=freqs,
             power=power,
-            fundamental_bin=fund_bin,
-            signal_power=float(signal_power),
+            fundamental_bin=int(figures.fundamental_bin[0]),
+            signal_power=float(figures.signal_power[0]),
+            noise_power=float(figures.noise_power[0]),
+            distortion_power=float(figures.distortion_power[0]),
+            thd_db=float(figures.thd_db[0]),
+            snr_db=float(figures.snr_db[0]),
+            sinad_db=float(figures.sinad_db[0]),
+            sfdr_db=float(figures.sfdr_db[0]),
+            enob=float(figures.enob[0]))
+
+    def analyze_power_batch(self, power: np.ndarray, freqs: np.ndarray,
+                            fundamental: Optional[float],
+                            sample_rate: float) -> SpectrumFigures:
+        """Tone bookkeeping over a ``(devices, bins)`` power matrix.
+
+        The device-axis form of the per-tone bookkeeping: the fundamental
+        is located per device as an index vector (every device snaps to
+        its own local maximum), the signal/harmonic windows become boolean
+        bin-mask matrices, and every figure of merit is reduced along the
+        bin axis — no per-device Python loop.  All sums are fixed-length
+        masked reductions, so row ``d`` is bit-identical to a batch-of-1
+        call on spectrum ``d`` alone.
+        """
+        power = np.asarray(power, dtype=float)
+        if power.ndim != 2:
+            raise ValueError("power must be a (devices, bins) matrix")
+        n_devices, n_bins = power.shape
+        leak = self.leakage_bins
+
+        if fundamental is None:
+            fund = np.argmax(power[:, 1:], axis=1).astype(np.int64) + 1
+        else:
+            guess = int(round(fundamental * self.n_samples / sample_rate))
+            guess = min(max(guess, 1), n_bins - 1)
+            # Snap to the local maximum to tolerate slight incoherence.
+            lo = max(1, guess - leak)
+            hi = min(n_bins, guess + leak + 1)
+            fund = lo + np.argmax(power[:, lo:hi], axis=1).astype(np.int64)
+
+        cols = np.arange(n_bins)
+
+        def tone_mask(center: np.ndarray,
+                      valid: Optional[np.ndarray] = None) -> np.ndarray:
+            """Per-device window mask ``center ± leak`` clipped to [1, nb)."""
+            mask = ((cols >= np.maximum(1, center - leak)[:, None])
+                    & (cols < np.minimum(n_bins, center + leak + 1)[:, None]))
+            if valid is not None:
+                mask &= valid[:, None]
+            return mask
+
+        signal_mask = tone_mask(fund)
+        signal_power = np.where(signal_mask, power, 0.0).sum(axis=1)
+
+        harmonic_mask = np.zeros_like(signal_mask)
+        harmonic_power = np.zeros(n_devices)
+        nyquist_bin = n_bins - 1
+        for order in range(2, 2 + self.n_harmonics):
+            folded = (order * fund) % self.n_samples
+            h_bin = np.where(folded > self.n_samples // 2,
+                             self.n_samples - folded, folded)
+            in_range = (h_bin > 0) & (h_bin <= nyquist_bin)
+            # A harmonic folding onto the fundamental is not counted twice.
+            mask = tone_mask(h_bin, in_range) & ~signal_mask
+            harmonic_power = (harmonic_power
+                              + np.where(mask, power, 0.0).sum(axis=1))
+            harmonic_mask |= mask
+
+        excluded = signal_mask | harmonic_mask
+        excluded[:, 0] = True
+        noise_power = np.where(excluded, 0.0, power).sum(axis=1)
+
+        # Spurious-free dynamic range also considers non-harmonic spurs.
+        spur_candidates = np.where(signal_mask, 0.0, power)
+        spur_candidates[:, 0] = 0.0
+        worst_any_spur = (spur_candidates.max(axis=1) if n_bins
+                          else np.zeros(n_devices))
+
+        thd_db = _db_ratio_rows(harmonic_power, signal_power, -math.inf)
+        snr_db = _db_ratio_rows(signal_power, noise_power, math.inf)
+        sinad_db = _db_ratio_rows(signal_power,
+                                  noise_power + harmonic_power, math.inf)
+        sfdr_db = _db_ratio_rows(signal_power, worst_any_spur, math.inf)
+        enob = np.where(np.isfinite(sinad_db), (sinad_db - 1.76) / 6.02,
+                        np.inf)
+
+        return SpectrumFigures(
+            fundamental_bin=fund,
+            signal_power=signal_power,
             noise_power=noise_power,
-            distortion_power=float(harmonic_power),
+            distortion_power=harmonic_power,
             thd_db=thd_db,
             snr_db=snr_db,
             sinad_db=sinad_db,

@@ -20,6 +20,9 @@ be exercised without writing Python:
     switches the line to the batched partial BIST, ``--per-ic`` groups
     dies into multi-converter chips, and ``--method`` swaps the BIST
     station for the conventional histogram or dynamic FFT suite.
+    ``--workers``/``--chunk-size`` shard the device axis over worker
+    processes through the deterministic scale-out layer — the report is
+    byte-identical for any worker count.
 ``python -m repro.cli partial``
     Monte-Carlo partial-BIST run over a whole population: accept rates,
     measured type I/II errors, reconstruction quality and tester data
@@ -56,6 +59,7 @@ from repro.production import (
     SCREENING_METHODS,
     BatchBistEngine,
     BatchPartialBistEngine,
+    ExecutionPlan,
     Lot,
     ResultStore,
     ScreeningLine,
@@ -65,6 +69,35 @@ from repro.production import (
 from repro.reporting import ascii_plot, format_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the scale-out options shared by the batch commands."""
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes the batched engines shard the device axis "
+             "over (default: in-process serial execution; any worker "
+             "count produces bit-identical results)")
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="devices materialised per chunk inside each shard (memory "
+             "knob; never changes results)")
+
+
+def _plan_from_args(args: argparse.Namespace) -> Optional[ExecutionPlan]:
+    """The execution plan requested on the command line, if any.
+
+    With neither flag given the commands keep their historical in-process
+    code path (identical results for the noise-free defaults); as soon as
+    one flag appears, the sharded execution layer runs the engines — with
+    ``--workers 1`` as the byte-identical serial reference of any
+    ``--workers N``.
+    """
+    if args.workers is None and args.chunk_size is None:
+        return None
+    return ExecutionPlan(
+        workers=args.workers if args.workers is not None else 1,
+        chunk_size=args.chunk_size)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="screening method of the first station: the "
                           "BIST, the conventional histogram test, or the "
                           "dynamic FFT suite (default bist)")
+    _add_execution_arguments(lot)
 
     compare = sub.add_parser(
         "compare", help="screen one shared wafer draw with the BIST and "
@@ -205,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--dynamic", action="store_true",
                          help="include the dynamic FFT suite in the "
                               "comparison")
+    _add_execution_arguments(compare)
 
     partial = sub.add_parser(
         "partial", help="Monte-Carlo partial-BIST run over a population")
@@ -231,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="transition noise in LSB (default 0)")
     partial.add_argument("--seed", type=int, default=2026,
                          help="population/acquisition seed (default 2026)")
+    _add_execution_arguments(partial)
 
     return parser
 
@@ -380,7 +416,8 @@ def _cmd_lot(args: argparse.Namespace) -> int:
                          devices_per_ic=args.per_ic,
                          method=args.method)
     store = ResultStore()
-    report = line.screen_lot(lot, rng=args.seed, store=store)
+    report = line.screen_lot(lot, rng=args.seed, store=store,
+                             plan=_plan_from_args(args))
 
     print(f"lot {lot.lot_id}: {args.wafers} wafers x {args.devices} "
           f"{args.arch} dies")
@@ -429,7 +466,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for label, line in lines:
         report = line.screen_lot(
-            Lot([wafer], lot_id=wafer.wafer_id), rng=args.seed, store=store)
+            Lot([wafer], lot_id=wafer.wafer_id), rng=args.seed, store=store,
+            plan=_plan_from_args(args))
         plan = line.test_plan(args.bits, report.samples_per_device,
                                spec.sample_rate)
         rows.append([label, report.accept_fraction, report.p_good,
@@ -464,7 +502,8 @@ def _cmd_partial(args: argparse.Namespace) -> int:
     engine = BatchPartialBistEngine(config)
 
     start = time.perf_counter()
-    result = engine.run_wafer(wafer, rng=args.seed)
+    result = engine.run_wafer(wafer, rng=args.seed,
+                              plan=_plan_from_args(args))
     elapsed = time.perf_counter() - start
 
     # Score against the truth with the shared Monte-Carlo result type, so

@@ -42,6 +42,14 @@ Overview
     other half of the paper's BIST-vs-conventional comparison, now
     runnable at wafer scale on the same kernel.
 
+:mod:`repro.production.execution` — :class:`ExecutionPlan` and
+    :class:`ShardExecutor`, the deterministic scale-out layer.  Any engine
+    implementing the :class:`WaferEngine` protocol (all four above) can be
+    sharded over worker processes; per-shard-index
+    :class:`numpy.random.SeedSequence` spawning makes the results
+    bit-identical for any ``(workers, chunk_size)``, with ``workers=1``
+    as the in-process serial fallback.
+
 :mod:`repro.production.line` — :class:`ScreeningLine`, the station chain
     (screening → optional retest → quality binning) with per-station yield
     and throughput accounting, costed against a tester model via
@@ -76,6 +84,12 @@ from repro.production.analysis_batch import (
     BatchDynamicSuite,
     BatchHistogramResult,
     BatchHistogramTest,
+)
+from repro.production.execution import (
+    DEFAULT_SHARD_DEVICES,
+    ExecutionPlan,
+    ShardExecutor,
+    WaferEngine,
 )
 from repro.production.batch_engine import (
     BatchBistEngine,
@@ -116,6 +130,10 @@ __all__ = [
     "batch_deglitch",
     "chip_grouping",
     "chip_noise_seeds",
+    "DEFAULT_SHARD_DEVICES",
+    "ExecutionPlan",
+    "ShardExecutor",
+    "WaferEngine",
     "DEFAULT_BIN_EDGES_LSB",
     "SCREENING_METHODS",
     "LotScreeningReport",

@@ -29,22 +29,27 @@ counterparts:
     The single-tone dynamic test
     (:class:`~repro.analysis.dynamic.DynamicAnalyzer`) across the device
     axis: one shared coherent sine stimulus, batched quantisation, one
-    batched windowed FFT (:meth:`DynamicAnalyzer.windowed_power`), and the
-    scalar per-tone bookkeeping over each precomputed power row — so THD,
-    SNR, SINAD, ENOB and SFDR equal the scalar ``measure`` figures bit for
-    bit, and a :class:`~repro.analysis.dynamic.DynamicSpec` turns them into
-    screening decisions.
+    batched windowed FFT (:meth:`DynamicAnalyzer.windowed_power`) and the
+    vectorised per-tone bookkeeping
+    (:meth:`DynamicAnalyzer.analyze_power_batch`, a per-device
+    fundamental-bin index matrix instead of a per-device Python loop) — so
+    THD, SNR, SINAD, ENOB and SFDR equal the scalar ``measure`` figures
+    bit for bit, and a :class:`~repro.analysis.dynamic.DynamicSpec` turns
+    them into screening decisions.
 
 Both expose the ``run_wafer`` / ``run_transitions`` protocol of the batch
 BIST engines, which is what lets :class:`~repro.production.line.ScreeningLine`
 mount them as alternative screening stations (``method="histogram"`` /
-``"dynamic"``) with per-method tester-time economics.
+``"dynamic"``) with per-method tester-time economics, and both implement
+the :class:`~repro.production.execution.WaferEngine` shard protocol, so
+either can be scaled out over worker processes with an
+:class:`~repro.production.execution.ExecutionPlan`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -56,6 +61,12 @@ from repro.core.kernel import (
     batch_histogram_linearity,
     batch_quantise_rows,
     batch_shared_ramp_histogram,
+)
+from repro.production.execution import (
+    ExecutionPlan,
+    ShardExecutor,
+    iter_slices,
+    resolve_plan_seed,
 )
 from repro.production.lot import Wafer
 from repro.signals.ramp import RampStimulus
@@ -81,6 +92,30 @@ def _infer_n_bits(transitions: np.ndarray) -> int:
             f"a transition matrix needs 2**n - 1 columns for n >= 2 bits, "
             f"got {transitions.shape[1]}")
     return n_bits
+
+
+@dataclass(frozen=True)
+class _HistogramShardContext:
+    """Per-run state shared by every shard of one batched histogram run."""
+
+    ramp_voltages: np.ndarray
+    n_samples: int
+    n_bits: int
+    lsb_volts: float
+
+
+@dataclass(frozen=True)
+class _DynamicShardContext:
+    """Per-run state shared by every shard of one batched dynamic run."""
+
+    sine_voltages: np.ndarray
+    freqs: np.ndarray
+    n_samples: int
+    n_bits: int
+    lsb_volts: float
+    fundamental_hz: float
+    sample_rate: float
+    spec: DynamicSpec
 
 
 @dataclass
@@ -135,6 +170,38 @@ class BatchHistogramResult:
         ``code_width_matrix_lsb``.
         """
         return self.counts[:, 1:-1] / self.samples_per_code
+
+    @classmethod
+    def merge(cls, shards: "Sequence[BatchHistogramResult]"
+              ) -> "BatchHistogramResult":
+        """Concatenate per-shard results (in shard order) into one batch.
+
+        The shards must come from one run: same stimulus, specification
+        and resolution.  This is the ``merge`` leg of the
+        :class:`~repro.production.execution.WaferEngine` protocol.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValueError("cannot merge an empty shard list")
+        first = shards[0]
+        if any(s.samples_taken != first.samples_taken
+               or s.n_bits != first.n_bits for s in shards):
+            raise ValueError("shards disagree on the stimulus or "
+                             "resolution")
+        return cls(
+            n_devices=sum(s.n_devices for s in shards),
+            counts=np.concatenate([s.counts for s in shards]),
+            passed=np.concatenate([s.passed for s in shards]),
+            measurable=np.concatenate([s.measurable for s in shards]),
+            measured_max_dnl_lsb=np.concatenate(
+                [s.measured_max_dnl_lsb for s in shards]),
+            measured_max_inl_lsb=np.concatenate(
+                [s.measured_max_inl_lsb for s in shards]),
+            dnl_spec_lsb=first.dnl_spec_lsb,
+            inl_spec_lsb=first.inl_spec_lsb,
+            samples_per_code=first.samples_per_code,
+            samples_taken=first.samples_taken,
+            n_bits=first.n_bits)
 
 
 class BatchHistogramTest:
@@ -203,19 +270,23 @@ class BatchHistogramTest:
     # ------------------------------------------------------------------ #
 
     def run_wafer(self, wafer: Wafer, rng: RngLike = None,
-                  chunk_size: Optional[int] = None) -> BatchHistogramResult:
+                  chunk_size: Optional[int] = None,
+                  plan: Optional[ExecutionPlan] = None
+                  ) -> BatchHistogramResult:
         """Run the batched histogram test on every die of a wafer."""
         spec = wafer.spec
         return self.run_transitions(wafer.transitions,
                                     full_scale=spec.full_scale,
                                     sample_rate=spec.sample_rate,
-                                    rng=rng, chunk_size=chunk_size)
+                                    rng=rng, chunk_size=chunk_size,
+                                    plan=plan)
 
     def run_transitions(self, transitions: np.ndarray,
                         full_scale: float = 1.0,
                         sample_rate: float = 1e6,
                         rng: RngLike = None,
-                        chunk_size: Optional[int] = None
+                        chunk_size: Optional[int] = None,
+                        plan: Optional[ExecutionPlan] = None
                         ) -> BatchHistogramResult:
         """Run the batched histogram test on a transition-voltage matrix.
 
@@ -226,54 +297,92 @@ class BatchHistogramTest:
         full_scale, sample_rate:
             Geometry/clock shared by the batch.
         rng:
-            Seed or generator for the acquisition noise; consumed in
-            device order exactly as a scalar loop over the devices
-            consumes a shared generator.
+            Seed or generator for the acquisition noise.  Without a plan
+            it is consumed in device order exactly as a scalar loop over
+            the devices consumes a shared generator; with a plan it must
+            be a seed (or ``None``) and per-shard child seeds are spawned
+            from it.
         chunk_size:
             Devices processed per chunk on the noisy path (bounds the
             transient ``(devices, samples)`` matrices).
+        plan:
+            Optional :class:`~repro.production.execution.ExecutionPlan`
+            scaling the run out over worker processes; results are
+            bit-identical for any ``(workers, chunk_size)`` of the plan.
         """
         scalar = self._scalar
         transitions = np.asarray(transitions, dtype=float)
-        n_bits = _infer_n_bits(transitions)
+        if plan is not None:
+            return ShardExecutor(plan).run(
+                self, transitions, full_scale, sample_rate,
+                rng=resolve_plan_seed(rng, scalar.seed),
+                chunk_size=chunk_size)
         generator = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(
                          rng if rng is not None else scalar.seed))
-        if chunk_size is None:
-            chunk_size = _ANALYSIS_CHUNK
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
+        context = self.prepare(transitions, full_scale, sample_rate)
+        return self.run_shard(context, transitions, generator, chunk_size)
 
+    # ------------------------------------------------------------------ #
+    # WaferEngine protocol
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, transitions: np.ndarray, full_scale: float = 1.0,
+                sample_rate: float = 1e6) -> _HistogramShardContext:
+        """Validate a batch and derive the shared per-run context."""
+        scalar = self._scalar
+        n_bits = _infer_n_bits(transitions)
         proxy = IdealADC(n_bits, full_scale, sample_rate)
         # Identical stimulus derivation to HistogramTest.acquire.
         ramp = RampStimulus.for_adc(proxy, scalar.samples_per_code)
         n_samples = ramp.n_samples_for_adc(proxy)
         times = np.arange(n_samples) / sample_rate
-        ramp_voltages = ramp.voltage(times)
+        return _HistogramShardContext(
+            ramp_voltages=ramp.voltage(times),
+            n_samples=n_samples,
+            n_bits=n_bits,
+            lsb_volts=proxy.lsb)
+
+    def run_shard(self, context: _HistogramShardContext,
+                  transitions: np.ndarray, rng: RngLike = None,
+                  chunk_size: Optional[int] = None) -> BatchHistogramResult:
+        """Run one contiguous device slice of a prepared batch."""
+        scalar = self._scalar
+        transitions = np.asarray(transitions, dtype=float)
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        if chunk_size is None:
+            chunk_size = _ANALYSIS_CHUNK
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
 
         n_devices = transitions.shape[0]
-        n_codes = 1 << n_bits
+        n_codes = 1 << context.n_bits
         if scalar.transition_noise_lsb > 0.0:
             counts = np.empty((n_devices, n_codes), dtype=float)
-            for lo in range(0, n_devices, chunk_size):
-                chunk = transitions[lo:lo + chunk_size]
+            for lo, hi in iter_slices(n_devices, chunk_size):
+                chunk = transitions[lo:hi]
                 # Per-device noise rows, drawn in device order from the
-                # shared stream (row d equals the d-th scalar draw).
-                voltages = ramp_voltages + generator.normal(
-                    0.0, scalar.transition_noise_lsb * proxy.lsb,
-                    size=(chunk.shape[0], n_samples))
+                # shard's stream (row d equals the d-th scalar draw).
+                voltages = context.ramp_voltages + generator.normal(
+                    0.0, scalar.transition_noise_lsb * context.lsb_volts,
+                    size=(chunk.shape[0], context.n_samples))
                 codes = batch_quantise_rows(chunk, voltages)
                 # Codes from a (devices, 2**n - 1) transition matrix are
                 # already within [0, n_codes), as the kernel requires.
-                counts[lo:lo + chunk.shape[0]] = batch_code_histogram(
-                    codes, n_codes)
+                counts[lo:hi] = batch_code_histogram(codes, n_codes)
         else:
             # Event path: the histogram follows from the sorted crossing
             # indices alone; no per-sample matrix is ever materialised.
             counts = batch_shared_ramp_histogram(
-                transitions, ramp_voltages).astype(float)
+                transitions, context.ramp_voltages).astype(float)
 
-        return self._evaluate(counts, n_bits, n_samples)
+        return self._evaluate(counts, context.n_bits, context.n_samples)
+
+    def merge(self, shard_results: Sequence[BatchHistogramResult]
+              ) -> BatchHistogramResult:
+        """Combine per-shard results (in shard order) into one result."""
+        return BatchHistogramResult.merge(shard_results)
 
     def _evaluate(self, counts: np.ndarray, n_bits: int,
                   n_samples: int) -> BatchHistogramResult:
@@ -348,15 +457,48 @@ class BatchDynamicResult:
         """
         return np.maximum(self.n_bits - self.enob, 0.0)
 
+    @classmethod
+    def merge(cls, shards: "Sequence[BatchDynamicResult]"
+              ) -> "BatchDynamicResult":
+        """Concatenate per-shard results (in shard order) into one batch.
+
+        The shards must come from one run: same stimulus, record length
+        and pass/fail limits.  This is the ``merge`` leg of the
+        :class:`~repro.production.execution.WaferEngine` protocol.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValueError("cannot merge an empty shard list")
+        first = shards[0]
+        if any(s.samples_taken != first.samples_taken
+               or s.fundamental_hz != first.fundamental_hz
+               or s.n_bits != first.n_bits for s in shards):
+            raise ValueError("shards disagree on the stimulus or record")
+        return cls(
+            n_devices=sum(s.n_devices for s in shards),
+            passed=np.concatenate([s.passed for s in shards]),
+            enob=np.concatenate([s.enob for s in shards]),
+            sinad_db=np.concatenate([s.sinad_db for s in shards]),
+            snr_db=np.concatenate([s.snr_db for s in shards]),
+            thd_db=np.concatenate([s.thd_db for s in shards]),
+            sfdr_db=np.concatenate([s.sfdr_db for s in shards]),
+            spec=first.spec,
+            fundamental_hz=first.fundamental_hz,
+            samples_taken=first.samples_taken,
+            n_bits=first.n_bits)
+
 
 class BatchDynamicSuite:
     """Run the single-tone dynamic test on a whole batch at once.
 
     One coherent sine (shared by the batch geometry) drives every device;
-    acquisition and windowed FFT run across the device axis, and each
-    device's power spectrum is analysed with the scalar
-    :meth:`~repro.analysis.dynamic.DynamicAnalyzer.analyze_power`
-    bookkeeping — so the figures of merit match a scalar loop bit for bit.
+    acquisition, windowed FFT *and* the per-tone bookkeeping
+    (:meth:`~repro.analysis.dynamic.DynamicAnalyzer.analyze_power_batch`,
+    with a per-device fundamental-bin index matrix) all run across the
+    device axis — and the scalar
+    :meth:`~repro.analysis.dynamic.DynamicAnalyzer.analyze_power` is the
+    batch-of-1 wrapper of that same kernel, so the figures of merit match
+    a scalar loop bit for bit.
 
     Parameters
     ----------
@@ -403,37 +545,52 @@ class BatchDynamicSuite:
     # ------------------------------------------------------------------ #
 
     def run_wafer(self, wafer: Wafer, rng: RngLike = None,
-                  chunk_size: Optional[int] = None) -> BatchDynamicResult:
+                  chunk_size: Optional[int] = None,
+                  plan: Optional[ExecutionPlan] = None
+                  ) -> BatchDynamicResult:
         """Run the batched dynamic suite on every die of a wafer."""
         spec = wafer.spec
         return self.run_transitions(wafer.transitions,
                                     full_scale=spec.full_scale,
                                     sample_rate=spec.sample_rate,
-                                    rng=rng, chunk_size=chunk_size)
+                                    rng=rng, chunk_size=chunk_size,
+                                    plan=plan)
 
     def run_transitions(self, transitions: np.ndarray,
                         full_scale: float = 1.0,
                         sample_rate: float = 1e6,
                         rng: RngLike = None,
-                        chunk_size: Optional[int] = None
+                        chunk_size: Optional[int] = None,
+                        plan: Optional[ExecutionPlan] = None
                         ) -> BatchDynamicResult:
         """Run the batched dynamic suite on a transition-voltage matrix.
 
-        Parameters follow :meth:`BatchHistogramTest.run_transitions`; the
-        shared generator is consumed in device order, matching a scalar
-        loop calling ``analyzer.measure(device, rng=generator)``.
+        Parameters follow :meth:`BatchHistogramTest.run_transitions`;
+        without a plan the shared generator is consumed in device order,
+        matching a scalar loop calling
+        ``analyzer.measure(device, rng=generator)``.
         """
-        analyzer = self.analyzer
         transitions = np.asarray(transitions, dtype=float)
-        n_bits = _infer_n_bits(transitions)
+        if plan is not None:
+            return ShardExecutor(plan).run(
+                self, transitions, full_scale, sample_rate,
+                rng=resolve_plan_seed(rng, self.seed),
+                chunk_size=chunk_size)
         generator = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(
                          rng if rng is not None else self.seed))
-        if chunk_size is None:
-            chunk_size = _ANALYSIS_CHUNK
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
+        context = self.prepare(transitions, full_scale, sample_rate)
+        return self.run_shard(context, transitions, generator, chunk_size)
 
+    # ------------------------------------------------------------------ #
+    # WaferEngine protocol
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, transitions: np.ndarray, full_scale: float = 1.0,
+                sample_rate: float = 1e6) -> _DynamicShardContext:
+        """Validate a batch and derive the shared per-run context."""
+        analyzer = self.analyzer
+        n_bits = _infer_n_bits(transitions)
         proxy = IdealADC(n_bits, full_scale, sample_rate)
         target = (self.target_frequency if self.target_frequency is not None
                   else sample_rate / 50.0)
@@ -442,52 +599,67 @@ class BatchDynamicSuite:
             proxy, target, n_samples,
             amplitude_fraction=self.amplitude_fraction)
         times = np.arange(n_samples) / sample_rate
-        sine_voltages = stimulus.voltage(times)
-        freqs = np.fft.rfftfreq(n_samples, d=1.0 / sample_rate)
-        spec = self.resolved_spec(n_bits)
+        return _DynamicShardContext(
+            sine_voltages=stimulus.voltage(times),
+            freqs=np.fft.rfftfreq(n_samples, d=1.0 / sample_rate),
+            n_samples=n_samples,
+            n_bits=n_bits,
+            lsb_volts=proxy.lsb,
+            fundamental_hz=stimulus.frequency,
+            sample_rate=sample_rate,
+            spec=self.resolved_spec(n_bits))
+
+    def run_shard(self, context: _DynamicShardContext,
+                  transitions: np.ndarray, rng: RngLike = None,
+                  chunk_size: Optional[int] = None) -> BatchDynamicResult:
+        """Run one contiguous device slice of a prepared batch."""
+        analyzer = self.analyzer
+        transitions = np.asarray(transitions, dtype=float)
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        if chunk_size is None:
+            chunk_size = _ANALYSIS_CHUNK
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
 
         n_devices = transitions.shape[0]
-        passed = np.empty(n_devices, dtype=bool)
-        enob = np.empty(n_devices)
-        sinad = np.empty(n_devices)
-        snr = np.empty(n_devices)
-        thd = np.empty(n_devices)
-        sfdr = np.empty(n_devices)
-        for lo in range(0, n_devices, chunk_size):
-            chunk = transitions[lo:lo + chunk_size]
+        n_samples = context.n_samples
+        spec = context.spec
+        chunks = []
+        for lo, hi in iter_slices(n_devices, chunk_size):
+            chunk = transitions[lo:hi]
             if self.transition_noise_lsb > 0.0:
-                voltages = sine_voltages + generator.normal(
-                    0.0, self.transition_noise_lsb * proxy.lsb,
+                voltages = context.sine_voltages + generator.normal(
+                    0.0, self.transition_noise_lsb * context.lsb_volts,
                     size=(chunk.shape[0], n_samples))
             else:
-                voltages = np.broadcast_to(sine_voltages,
+                voltages = np.broadcast_to(context.sine_voltages,
                                            (chunk.shape[0], n_samples))
             codes = batch_quantise_rows(chunk, voltages)
             power = analyzer.windowed_power(codes)
-            for d in range(chunk.shape[0]):
-                # The per-tone bookkeeping is O(record) per device and is
-                # shared verbatim with the scalar path, which is what
-                # keeps the figures bit-exact.
-                result = analyzer.analyze_power(power[d], freqs,
-                                                stimulus.frequency,
-                                                sample_rate)
-                i = lo + d
-                passed[i] = spec.passes(result)
-                enob[i] = result.enob
-                sinad[i] = result.sinad_db
-                snr[i] = result.snr_db
-                thd[i] = result.thd_db
-                sfdr[i] = result.sfdr_db
+            # Vectorised per-tone bookkeeping: the fundamental is located
+            # per device as an index vector and every figure reduces along
+            # the bin axis — the scalar analyze_power is the batch-of-1
+            # wrapper of this same kernel, which keeps the figures
+            # bit-exact.
+            chunks.append(analyzer.analyze_power_batch(
+                power, context.freqs, context.fundamental_hz,
+                context.sample_rate))
 
         return BatchDynamicResult(
             n_devices=n_devices,
-            passed=passed,
-            enob=enob,
-            sinad_db=sinad,
-            snr_db=snr,
-            thd_db=thd,
-            sfdr_db=sfdr,
+            passed=np.concatenate([spec.passes_batch(c) for c in chunks]),
+            enob=np.concatenate([c.enob for c in chunks]),
+            sinad_db=np.concatenate([c.sinad_db for c in chunks]),
+            snr_db=np.concatenate([c.snr_db for c in chunks]),
+            thd_db=np.concatenate([c.thd_db for c in chunks]),
+            sfdr_db=np.concatenate([c.sfdr_db for c in chunks]),
             spec=spec,
-            fundamental_hz=stimulus.frequency,
+            fundamental_hz=context.fundamental_hz,
             samples_taken=n_samples,
-            n_bits=n_bits)
+            n_bits=context.n_bits)
+
+    def merge(self, shard_results: Sequence[BatchDynamicResult]
+              ) -> BatchDynamicResult:
+        """Combine per-shard results (in shard order) into one result."""
+        return BatchDynamicResult.merge(shard_results)

@@ -37,12 +37,18 @@ to multi-converter ICs: consecutive dies share one chip, the chip passes
 when every converter on it passes, and the wall-clock test time is that of
 a single shared ramp — the paper's parallel-test argument, evaluated for a
 whole lot at once.
+
+The engine implements the :class:`~repro.production.execution.WaferEngine`
+protocol (``prepare`` → ``run_shard`` → ``merge``), so any run can be
+scaled out over worker processes with an
+:class:`~repro.production.execution.ExecutionPlan` — bit-identical for any
+``(workers, chunk_size)`` thanks to per-shard-index seed spawning.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +64,12 @@ from repro.core.kernel import (
     packed_crossing_events,
 )
 from repro.core.limits import CountLimits
+from repro.production.execution import (
+    ExecutionPlan,
+    ShardExecutor,
+    iter_slices,
+    resolve_plan_seed,
+)
 from repro.production.lot import Wafer
 
 __all__ = ["BatchLsbProcessor", "BatchLsbResult", "BatchBistResult",
@@ -112,6 +124,21 @@ class _ChunkOutcome:
         self.measured_max_dnl_lsb[mask] = sub.measured_max_dnl_lsb
 #: Devices per chunk on the stream path (full (devices, samples) matrices).
 _STREAM_CHUNK = 256
+
+
+@dataclass(frozen=True)
+class _BistShardContext:
+    """Per-run state shared by every shard of one batched BIST run.
+
+    Computed once by :meth:`BatchBistEngine.prepare` in the parent process
+    and shipped (pickled) to each shard: the shared stimulus record and the
+    execution-path selection.  Holds no per-device state.
+    """
+
+    ramp_voltages: np.ndarray
+    n_samples: int
+    lsb_volts: float
+    event_path: bool
 
 
 def batch_deglitch(streams: np.ndarray,
@@ -216,13 +243,21 @@ class BatchLsbResult:
         """Per-device largest |DNL| as reconstructed from the counters.
 
         The quantity the production line bins accepted devices on; NaN for
-        devices without measured codes.
+        devices without measured codes.  The per-device width sum runs
+        over the *valid* entries only (a sequential ``bincount`` in
+        device-major order), never over the padding columns: the padded
+        width depends on how a run was chunked, and a summation whose
+        partitioning followed it would drift by an ulp between chunk
+        layouts — breaking the execution layer's bit-invariance.
         """
         widths = np.where(self.valid,
                           self.counter_readings * self.limits.delta_s_lsb,
                           0.0)
+        dev_idx, pos = np.nonzero(self.valid)
+        sums = np.bincount(dev_idx, weights=widths[dev_idx, pos],
+                           minlength=self.n_devices)
         n = np.maximum(self.n_counts, 1)
-        mean = widths.sum(axis=1) / n
+        mean = sums / n
         mean = np.where(mean == 0.0, 1.0, mean)
         dnl = np.abs(widths / mean[:, None] - 1.0)
         worst = np.where(self.valid, dnl, 0.0).max(axis=1, initial=0.0)
@@ -349,6 +384,34 @@ class BatchBistResult:
         """Pass/fail flags read out for the whole batch (one per device)."""
         return self.n_devices
 
+    @classmethod
+    def merge(cls, shards: "Sequence[BatchBistResult]") -> "BatchBistResult":
+        """Concatenate per-shard results (in shard order) into one batch.
+
+        The shards must come from one run: same limits and acquisition
+        length.  This is the ``merge`` leg of the
+        :class:`~repro.production.execution.WaferEngine` protocol.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValueError("cannot merge an empty shard list")
+        if any(s.samples_taken != shards[0].samples_taken for s in shards):
+            raise ValueError("shards disagree on the acquisition length")
+        return cls(
+            n_devices=sum(s.n_devices for s in shards),
+            passed=np.concatenate([s.passed for s in shards]),
+            lsb_passed=np.concatenate([s.lsb_passed for s in shards]),
+            dnl_passed=np.concatenate([s.dnl_passed for s in shards]),
+            inl_passed=np.concatenate([s.inl_passed for s in shards]),
+            transitions_ok=np.concatenate([s.transitions_ok
+                                           for s in shards]),
+            msb_passed=np.concatenate([s.msb_passed for s in shards]),
+            n_transitions=np.concatenate([s.n_transitions for s in shards]),
+            measured_max_dnl_lsb=np.concatenate(
+                [s.measured_max_dnl_lsb for s in shards]),
+            samples_taken=shards[0].samples_taken,
+            limits=shards[0].limits)
+
 
 def chip_grouping(passed: np.ndarray,
                   converters_per_chip: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -394,6 +457,45 @@ def chip_noise_seeds(seed: Union[int, None], n_chips: int) -> np.ndarray:
     sequence = np.random.SeedSequence(seed)
     return np.array([int(child.generate_state(1)[0])
                      for child in sequence.spawn(n_chips)], dtype=np.int64)
+
+
+def _validated_chip_seeds(transitions: np.ndarray, converters_per_chip: int,
+                          rng: Union[int, None]) -> np.ndarray:
+    """Validate a chip-mode batch and derive its per-chip noise seeds.
+
+    Shared by the full- and partial-BIST noisy chip paths: checks the chip
+    geometry and returns :func:`chip_noise_seeds` for the whole batch.
+    """
+    if not 1 <= converters_per_chip <= 63:
+        raise ValueError("converters_per_chip must be within [1, 63]")
+    n_devices = transitions.shape[0]
+    if n_devices % converters_per_chip != 0:
+        raise ValueError(
+            f"{n_devices} converters do not fill whole chips of "
+            f"{converters_per_chip}")
+    return chip_noise_seeds(int(rng) if rng is not None else None,
+                            n_devices // converters_per_chip)
+
+
+def _chip_noise_rows(seeds: np.ndarray, converters_per_chip: int,
+                     sigma: float, n_samples: int) -> np.ndarray:
+    """Per-converter acquisition-noise rows for a run of chips.
+
+    Converter ``j`` of chip ``c`` draws its row from child ``j`` of
+    ``SeedSequence(seeds[c])`` — the controller-parity spawning scheme the
+    regression vectors pin, stated once and shared by the full- and
+    partial-BIST noisy chip modes so the two can never silently diverge.
+    """
+    noise = np.empty((seeds.size * converters_per_chip, n_samples))
+    row = 0
+    for chip_seed in seeds:
+        children = np.random.SeedSequence(
+            int(chip_seed)).spawn(converters_per_chip)
+        for child in children:
+            noise[row] = np.random.default_rng(child).normal(
+                0.0, sigma, size=n_samples)
+            row += 1
+    return noise
 
 
 def build_chip_result(passed: np.ndarray, converters_per_chip: int,
@@ -491,6 +593,33 @@ class BatchChipBistResult:
         """Chip-level test-time reduction of the shared-ramp arrangement."""
         return float(self.converters_per_chip)
 
+    @classmethod
+    def merge(cls, shards: "Sequence[BatchChipBistResult]"
+              ) -> "BatchChipBistResult":
+        """Concatenate per-shard chip results (in shard order).
+
+        The shards must come from one run: same chip geometry and
+        acquisition length.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValueError("cannot merge an empty shard list")
+        first = shards[0]
+        if any(s.converters_per_chip != first.converters_per_chip
+               or s.samples_taken != first.samples_taken for s in shards):
+            raise ValueError("shards disagree on the chip geometry or "
+                             "acquisition length")
+        return cls(
+            n_chips=sum(s.n_chips for s in shards),
+            converters_per_chip=first.converters_per_chip,
+            chip_passed=np.concatenate([s.chip_passed for s in shards]),
+            converter_passed=np.concatenate([s.converter_passed
+                                             for s in shards]),
+            result_registers=np.concatenate([s.result_registers
+                                             for s in shards]),
+            samples_taken=first.samples_taken,
+            test_time_s=first.test_time_s)
+
 
 class BatchBistEngine:
     """Run the paper's BIST on every device of a batch at once.
@@ -536,16 +665,20 @@ class BatchBistEngine:
     # ------------------------------------------------------------------ #
 
     def run_wafer(self, wafer: Wafer, rng: RngLike = None,
-                  chunk_size: Optional[int] = None) -> BatchBistResult:
+                  chunk_size: Optional[int] = None,
+                  plan: Optional[ExecutionPlan] = None) -> BatchBistResult:
         """Run the batched BIST on every die of a wafer."""
         spec = wafer.spec
         return self.run_transitions(wafer.transitions,
                                     full_scale=spec.full_scale,
                                     sample_rate=spec.sample_rate,
-                                    rng=rng, chunk_size=chunk_size)
+                                    rng=rng, chunk_size=chunk_size,
+                                    plan=plan)
 
     def run_chips(self, wafer: Wafer, converters_per_chip: int,
-                  rng: RngLike = None) -> BatchChipBistResult:
+                  rng: RngLike = None,
+                  plan: Optional[ExecutionPlan] = None
+                  ) -> BatchChipBistResult:
         """Run the batched BIST on a wafer of multi-converter ICs.
 
         Consecutive dies form one chip; all converters of a chip share the
@@ -560,69 +693,78 @@ class BatchBistEngine:
         bit for bit.
         """
         if self.config.transition_noise_lsb > 0.0:
-            return self._run_chips_noisy(wafer, converters_per_chip, rng)
-        result = self.run_wafer(wafer, rng=rng)
+            return self._run_chips_noisy(wafer, converters_per_chip, rng,
+                                         plan=plan)
+        result = self.run_wafer(wafer, rng=rng, plan=plan)
         return build_chip_result(result.passed, converters_per_chip,
                                  result.samples_taken,
                                  wafer.spec.sample_rate)
 
     def _run_chips_noisy(self, wafer: Wafer, converters_per_chip: int,
-                         rng: RngLike) -> BatchChipBistResult:
-        """Chip mode with per-converter noise seeds (controller parity)."""
+                         rng: RngLike,
+                         plan: Optional[ExecutionPlan] = None
+                         ) -> BatchChipBistResult:
+        """Chip mode with per-converter noise seeds (controller parity).
+
+        The per-chip noise is derived from :func:`chip_noise_seeds` alone,
+        so sharding the chip axis over workers cannot change any chip's
+        acquisition: chip-mode runs are plan-invariant by construction.
+        """
         cfg = self.config
         if rng is not None and not isinstance(rng, (int, np.integer)):
             raise ValueError(
                 "noisy chip runs take an integer seed (or None) so the "
                 "per-converter child seeds match "
                 "MultiAdcBistController.run_chip")
-        if not 1 <= converters_per_chip <= 63:
-            raise ValueError("converters_per_chip must be within [1, 63]")
         transitions = wafer.transitions
-        n_devices = transitions.shape[0]
-        if n_devices % converters_per_chip != 0:
-            raise ValueError(
-                f"{n_devices} converters do not fill whole chips of "
-                f"{converters_per_chip}")
-        n_chips = n_devices // converters_per_chip
         spec = wafer.spec
+        ctx = self.prepare(transitions, spec.full_scale, spec.sample_rate)
+        seeds = _validated_chip_seeds(transitions, converters_per_chip, rng)
 
-        proxy = IdealADC(cfg.n_bits, spec.full_scale, spec.sample_rate)
-        ramp = self._scalar.build_ramp(proxy)
-        n_samples = ramp.n_samples_for_adc(proxy,
-                                           margin_lsb=cfg.start_margin_lsb)
-        times = np.arange(n_samples) / spec.sample_rate
-        ramp_voltages = ramp.voltage(times)
-        sigma = cfg.transition_noise_lsb * proxy.lsb
-        seeds = chip_noise_seeds(
-            int(rng) if rng is not None else None, n_chips)
+        executor = ShardExecutor(plan if plan is not None
+                                 else ExecutionPlan())
+        bounds = executor.plan.shard_bounds(transitions.shape[0],
+                                            align=converters_per_chip)
+        chunk = executor.plan.chunk_size
+        results = executor.map(
+            self._noisy_chip_shard,
+            [(ctx, transitions[lo:hi],
+              seeds[lo // converters_per_chip:hi // converters_per_chip],
+              converters_per_chip, chunk)
+             for lo, hi in bounds])
+        result = BatchBistResult.merge(results)
+        return build_chip_result(result.passed, converters_per_chip,
+                                 ctx.n_samples, spec.sample_rate)
+
+    def _noisy_chip_shard(self, ctx: _BistShardContext,
+                          transitions: np.ndarray, seeds: np.ndarray,
+                          converters_per_chip: int,
+                          chunk_size: Optional[int] = None
+                          ) -> BatchBistResult:
+        """One chip-aligned device slice of a noisy chip-mode run."""
+        cfg = self.config
+        n_chips = transitions.shape[0] // converters_per_chip
+        sigma = cfg.transition_noise_lsb * ctx.lsb_volts
+        if chunk_size is None:
+            chunk_size = _STREAM_CHUNK
+        chips_per_chunk = max(1, chunk_size // converters_per_chip)
 
         outcomes = []
-        chips_per_chunk = max(1, _STREAM_CHUNK // converters_per_chip)
-        for chip_lo in range(0, n_chips, chips_per_chunk):
-            chip_hi = min(chip_lo + chips_per_chunk, n_chips)
-            noise = np.empty(((chip_hi - chip_lo) * converters_per_chip,
-                              n_samples))
-            row = 0
-            for chip in range(chip_lo, chip_hi):
-                children = np.random.SeedSequence(
-                    int(seeds[chip])).spawn(converters_per_chip)
-                for child in children:
-                    noise[row] = np.random.default_rng(child).normal(
-                        0.0, sigma, size=n_samples)
-                    row += 1
+        for chip_lo, chip_hi in iter_slices(n_chips, chips_per_chunk):
+            noise = _chip_noise_rows(seeds[chip_lo:chip_hi],
+                                     converters_per_chip, sigma,
+                                     ctx.n_samples)
             lo = chip_lo * converters_per_chip
             hi = chip_hi * converters_per_chip
             outcomes.append(self._process_streams(
-                transitions[lo:hi], ramp_voltages + noise))
-
-        result = self._combine(outcomes, n_devices, n_samples)
-        return build_chip_result(result.passed, converters_per_chip,
-                                 n_samples, spec.sample_rate)
+                transitions[lo:hi], ctx.ramp_voltages + noise))
+        return self._combine(outcomes, transitions.shape[0], ctx.n_samples)
 
     def run_population(self, population: Union[DevicePopulation, Wafer],
                        rng: RngLike = None,
                        dnl_spec_lsb: Optional[float] = None,
-                       inl_spec_lsb: Optional[float] = None
+                       inl_spec_lsb: Optional[float] = None,
+                       plan: Optional[ExecutionPlan] = None
                        ) -> PopulationBistResult:
         """Drop-in batched replacement for ``BistEngine.run_population``.
 
@@ -639,7 +781,8 @@ class BatchBistEngine:
         transitions, full_scale, sample_rate = \
             resolve_population_matrix(population)
         result = self.run_transitions(transitions, full_scale=full_scale,
-                                      sample_rate=sample_rate, rng=rng)
+                                      sample_rate=sample_rate, rng=rng,
+                                      plan=plan)
         truly_good = population_truth_mask(transitions, dnl_spec_lsb,
                                            inl_spec_lsb)
         return PopulationBistResult(n_devices=result.n_devices,
@@ -650,7 +793,9 @@ class BatchBistEngine:
                         full_scale: float = 1.0,
                         sample_rate: float = 1e6,
                         rng: RngLike = None,
-                        chunk_size: Optional[int] = None) -> BatchBistResult:
+                        chunk_size: Optional[int] = None,
+                        plan: Optional[ExecutionPlan] = None
+                        ) -> BatchBistResult:
         """Run the batched BIST on a ``(devices, transitions)`` matrix.
 
         Parameters
@@ -660,51 +805,94 @@ class BatchBistEngine:
         full_scale, sample_rate:
             Geometry/clock shared by the batch (one test insertion).
         rng:
-            Seed or generator for the acquisition noise; consumed in device
-            order exactly as the scalar population loop consumes it.
+            Seed or generator for the acquisition noise.  Without a plan
+            it is consumed in device order exactly as the scalar
+            population loop consumes it; with a plan it must be a seed
+            (or ``None``) and per-shard child seeds are spawned from it.
         chunk_size:
             Devices processed per chunk; defaults to a large chunk on the
             event path and a smaller one on the stream path (which holds
             full ``(devices, samples)`` matrices in memory).
+        plan:
+            Optional :class:`~repro.production.execution.ExecutionPlan`
+            scaling the run out over worker processes; results are
+            bit-identical for any ``(workers, chunk_size)`` of the plan.
         """
         cfg = self.config
         transitions = np.asarray(transitions, dtype=float)
+        if plan is not None:
+            return ShardExecutor(plan).run(
+                self, transitions, full_scale, sample_rate,
+                rng=resolve_plan_seed(rng, cfg.seed), chunk_size=chunk_size)
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(
+                         rng if rng is not None else cfg.seed))
+        context = self.prepare(transitions, full_scale, sample_rate)
+        return self.run_shard(context, transitions, generator, chunk_size)
+
+    # ------------------------------------------------------------------ #
+    # WaferEngine protocol
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, transitions: np.ndarray, full_scale: float = 1.0,
+                sample_rate: float = 1e6) -> _BistShardContext:
+        """Validate a batch and derive the shared per-run context."""
+        cfg = self.config
         expected_cols = (1 << cfg.n_bits) - 1
         if transitions.ndim != 2 or transitions.shape[1] != expected_cols:
             raise ValueError(
                 f"configuration is for {cfg.n_bits}-bit converters; expected "
                 f"a (devices, {expected_cols}) transition matrix, got shape "
                 f"{transitions.shape}")
-        generator = (rng if isinstance(rng, np.random.Generator)
-                     else np.random.default_rng(
-                         rng if rng is not None else cfg.seed))
-
         proxy = IdealADC(cfg.n_bits, full_scale, sample_rate)
         ramp = self._scalar.build_ramp(proxy)
         n_samples = ramp.n_samples_for_adc(proxy,
                                            margin_lsb=cfg.start_margin_lsb)
         times = np.arange(n_samples) / sample_rate
-        ramp_voltages = ramp.voltage(times)
+        return _BistShardContext(
+            ramp_voltages=ramp.voltage(times),
+            n_samples=n_samples,
+            lsb_volts=proxy.lsb,
+            event_path=(cfg.transition_noise_lsb == 0.0
+                        and cfg.stimulus_noise_lsb == 0.0
+                        and self._deglitch is None))
 
-        event_path = (cfg.transition_noise_lsb == 0.0
-                      and cfg.stimulus_noise_lsb == 0.0
-                      and self._deglitch is None)
+    def run_shard(self, context: _BistShardContext, transitions: np.ndarray,
+                  rng: RngLike = None,
+                  chunk_size: Optional[int] = None) -> BatchBistResult:
+        """Run one contiguous device slice of a prepared batch.
+
+        ``rng`` is the shard's own seed (plan mode) or the run's shared
+        generator (legacy serial mode); either way the noise stream is
+        consumed in device order, chunked transparently.
+        """
+        transitions = np.asarray(transitions, dtype=float)
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
         if chunk_size is None:
-            chunk_size = _EVENT_CHUNK if event_path else _STREAM_CHUNK
+            chunk_size = (_EVENT_CHUNK if context.event_path
+                          else _STREAM_CHUNK)
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
 
         n_devices = transitions.shape[0]
         outcomes = []
-        for lo in range(0, n_devices, chunk_size):
-            chunk = transitions[lo:lo + chunk_size]
-            if event_path:
-                outcomes.append(self._run_events(chunk, ramp_voltages))
+        for lo, hi in iter_slices(n_devices, chunk_size):
+            chunk = transitions[lo:hi]
+            if context.event_path:
+                outcomes.append(self._run_events(chunk,
+                                                 context.ramp_voltages))
             else:
-                outcomes.append(self._run_streams(chunk, ramp_voltages,
-                                                  proxy.lsb, generator))
+                outcomes.append(self._run_streams(chunk,
+                                                  context.ramp_voltages,
+                                                  context.lsb_volts,
+                                                  generator))
+        return self._combine(outcomes, n_devices, context.n_samples)
 
-        return self._combine(outcomes, n_devices, n_samples)
+    def merge(self, shard_results: Sequence[BatchBistResult]
+              ) -> BatchBistResult:
+        """Combine per-shard results (in shard order) into one result."""
+        return BatchBistResult.merge(shard_results)
 
     # ------------------------------------------------------------------ #
     # Event path: crossing indices only, no sample matrix

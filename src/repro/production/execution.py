@@ -1,0 +1,307 @@
+"""Deterministic scale-out execution: sharded, multi-worker batch runs.
+
+Every batch engine in :mod:`repro.production` is an array program over the
+device axis, and until now each carried its own hand-rolled chunk loop on a
+single core.  This module is the shared execution layer that scales any of
+them out: an :class:`ExecutionPlan` describes *how* a wafer is executed
+(worker count, per-chunk memory budget, shard granularity) and a
+:class:`ShardExecutor` runs any engine conforming to the
+:class:`WaferEngine` protocol — ``prepare`` once, ``run_shard`` per device
+slice (possibly in parallel worker processes), ``merge`` the per-shard
+results back into one wafer-level result.
+
+Determinism is the design centre, not an afterthought:
+
+* **Shards are fixed-size device blocks** (``plan.shard_devices``), not
+  "the wafer divided by the worker count".  Shard ``i`` always covers the
+  same device rows no matter how many workers the plan carries.
+* **Per-shard seeds are spawned by shard index** with
+  :class:`numpy.random.SeedSequence` — shard ``i`` derives child ``i`` of
+  the run's root sequence regardless of which process executes it.
+* **Intra-shard chunking is RNG-transparent**: a shard's noise stream is
+  consumed in device order, and :class:`numpy.random.Generator` draws the
+  identical variate sequence whether the ``(devices, samples)`` matrix is
+  materialised in one call or in successive chunks.
+
+Together these give the invariant the production line depends on: for any
+``(workers, chunk_size)`` pair, a plan-based run is **bit-identical** to
+the same plan run serially (``workers=1``) — and, whenever the engine
+consumes no randomness (the paper's nominal noise-free configurations), to
+the engine's plain single-shot ``run_wafer`` as well.  With acquisition
+noise configured, plan-based runs use the per-shard seeding discipline
+described above instead of the legacy single shared stream (the two cannot
+coincide: a shared stream cannot be split across processes without
+serialising it), so a noisy plan-based run is reproducible from its seed
+and invariant under the execution geometry, but intentionally distinct
+from ``run_wafer(rng=...)`` without a plan.
+
+The same fixed-block seeding is reused by
+:meth:`repro.production.lot.Wafer.draw_sharded` so that a worker can draw
+*just its slice* of a wafer's parameter matrix, bit-identical to the rows
+of the full sharded draw, without the full wafer ever existing in its
+address space.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SHARD_DEVICES",
+    "ExecutionPlan",
+    "ShardExecutor",
+    "WaferEngine",
+    "iter_slices",
+    "resolve_plan_seed",
+    "spawn_shard_seeds",
+]
+
+SeedLike = Union[int, np.integer, np.random.SeedSequence, None]
+
+#: Devices per shard: the granularity of both work dispatch and per-shard
+#: seed spawning.  A fixed default (rather than "devices / workers") is
+#: what makes plan-based results independent of the worker count.
+DEFAULT_SHARD_DEVICES = 1024
+
+
+def iter_slices(n: int, size: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(lo, hi)`` bounds covering ``range(n)`` in blocks of ``size``.
+
+    The canonical chunk loop of the production subsystem; every engine's
+    intra-shard memory chunking goes through here instead of a hand-rolled
+    ``for lo in range(0, n, size)``.
+    """
+    if size < 1:
+        raise ValueError("slice size must be positive")
+    for lo in range(0, n, size):
+        yield lo, min(lo + size, n)
+
+
+def spawn_shard_seeds(seed: SeedLike,
+                      n_shards: int) -> List[np.random.SeedSequence]:
+    """Per-shard seed sequences, spawned by shard index.
+
+    Shard ``i`` receives child ``i`` of ``SeedSequence(seed)`` — a pure
+    function of ``(seed, i)``, never of the process or worker the shard
+    lands on.  This is the whole determinism story of the scale-out layer:
+    re-sharding or re-scheduling a run cannot change any shard's stream.
+
+    The children are built statelessly from the root's ``spawn_key``
+    rather than via ``root.spawn`` (which advances the root's internal
+    spawn counter): calling this twice with the same ``SeedSequence``
+    object must yield the same children both times.
+    """
+    if n_shards < 0:
+        raise ValueError("n_shards must be non-negative")
+    root = (seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed))
+    return [np.random.SeedSequence(entropy=root.entropy,
+                                   spawn_key=root.spawn_key + (i,))
+            for i in range(n_shards)]
+
+
+def resolve_plan_seed(rng: Any, default: SeedLike) -> SeedLike:
+    """Validate an engine ``rng`` argument for a plan-based run.
+
+    Plan-based runs derive per-shard child seeds, so they need a seed (an
+    integer, a :class:`~numpy.random.SeedSequence`, or ``None``), not a
+    stateful generator: a shared :class:`~numpy.random.Generator` cannot
+    be consumed from several processes deterministically.
+    """
+    if isinstance(rng, np.random.Generator):
+        raise ValueError(
+            "plan-based runs take an integer seed, a SeedSequence or None "
+            "(per-shard child seeds are spawned from it); a shared "
+            "Generator cannot be split across shards deterministically")
+    if rng is None:
+        return default
+    return rng
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a wafer-scale run is executed: sharding, chunking, workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes the shards are spread over.  ``1`` (the default)
+        runs every shard inline in the calling process — the serial
+        fallback, bit-identical to any multi-worker execution of the same
+        plan.
+    chunk_size:
+        Devices materialised per intra-shard chunk (bounds the transient
+        ``(devices, samples)`` matrices).  ``None`` keeps each engine's
+        own default.  Chunking is RNG-transparent, so this is purely a
+        memory/throughput knob: it never changes results.
+    shard_devices:
+        Devices per shard — the unit of dispatch *and* of per-shard seed
+        spawning.  Changing it re-partitions the seed blocks and therefore
+        changes noisy draws; leave it at the default unless you know you
+        need a different granularity (results remain reproducible for any
+        fixed value).
+    """
+
+    workers: int = 1
+    chunk_size: Optional[int] = None
+    shard_devices: int = DEFAULT_SHARD_DEVICES
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if self.shard_devices < 1:
+            raise ValueError("shard_devices must be >= 1")
+
+    def shard_bounds(self, n_devices: int,
+                     align: int = 1) -> List[Tuple[int, int]]:
+        """Device bounds of every shard of an ``n_devices`` run.
+
+        ``align`` forces shard boundaries onto multiples of a grouping
+        unit (converters per chip, so chips never straddle shards); the
+        shard size is rounded *up* to the nearest multiple.
+        """
+        if n_devices < 0:
+            raise ValueError("n_devices must be non-negative")
+        if align < 1:
+            raise ValueError("align must be >= 1")
+        if n_devices % align != 0:
+            raise ValueError(
+                f"{n_devices} devices do not fill whole groups of {align}")
+        size = -(-self.shard_devices // align) * align
+        return list(iter_slices(n_devices, size))
+
+
+def _run_shard_task(payload) -> Any:
+    """Worker-side trampoline: unpack one shard task and run it.
+
+    Module-level so it pickles by reference under every multiprocessing
+    start method; ``func`` itself is typically a bound method of a
+    (picklable) engine, so the engine configuration travels with the task.
+    """
+    func, args = payload
+    return func(*args)
+
+
+class WaferEngine:
+    """Protocol every shardable batch engine implements.
+
+    ``prepare(transitions, full_scale, sample_rate)``
+        Validate the batch and derive the shared per-run context (stimulus
+        record, limits, partition…).  Runs once, in the parent; the
+        context is shipped to every shard and must be picklable and small
+        (no per-device state).
+    ``run_shard(context, transitions, rng, chunk_size)``
+        Run the engine on a contiguous device slice.  ``rng`` is the
+        shard's own seed (plan mode) or a shared generator (legacy serial
+        mode); ``chunk_size`` bounds intra-shard materialisation.
+        Must depend only on its arguments — never on which process or in
+        which order it runs.
+    ``merge(shard_results)``
+        Combine per-shard results (in shard order) into the wafer-level
+        result; delegates to the result type's ``merge`` classmethod.
+
+    The class exists for documentation and ``isinstance`` convenience;
+    engines are duck-typed and need not inherit from it.
+    """
+
+    def prepare(self, transitions: np.ndarray, full_scale: float,
+                sample_rate: float) -> Any:
+        raise NotImplementedError
+
+    def run_shard(self, context: Any, transitions: np.ndarray,
+                  rng: Any = None, chunk_size: Optional[int] = None) -> Any:
+        raise NotImplementedError
+
+    def merge(self, shard_results: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+
+class ShardExecutor:
+    """Run a :class:`WaferEngine` over a wafer according to a plan.
+
+    The executor owns the one scheduling loop of the production subsystem:
+    split the device axis into the plan's shards, spawn one seed per shard
+    index, dispatch the shards (inline for ``workers=1``, over a process
+    pool otherwise) and merge the results in shard order.  Every batch
+    engine's former per-engine chunk loop now lives here, once.
+    """
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self.plan = plan
+
+    # ------------------------------------------------------------------ #
+    # Generic engine runs
+    # ------------------------------------------------------------------ #
+
+    def run(self, engine: "WaferEngine", transitions: np.ndarray,
+            full_scale: float = 1.0, sample_rate: float = 1e6,
+            rng: SeedLike = None,
+            chunk_size: Optional[int] = None) -> Any:
+        """Execute ``engine`` over the whole transition matrix.
+
+        ``rng`` must be a seed (or ``None``), never a generator — see
+        :func:`resolve_plan_seed`.  The result is bit-identical for any
+        ``(workers, chunk_size)`` of the plan.
+        """
+        transitions = np.asarray(transitions)
+        context = engine.prepare(transitions, full_scale, sample_rate)
+        bounds = self.plan.shard_bounds(transitions.shape[0])
+        seeds = spawn_shard_seeds(rng, len(bounds))
+        chunk = chunk_size if chunk_size is not None else self.plan.chunk_size
+        results = self.map(engine.run_shard,
+                           [(context, transitions[lo:hi], seeds[i], chunk)
+                            for i, (lo, hi) in enumerate(bounds)])
+        return engine.merge(results)
+
+    # ------------------------------------------------------------------ #
+    # Low-level shard dispatch
+    # ------------------------------------------------------------------ #
+
+    def map(self, func: Callable[..., Any],
+            arg_tuples: Sequence[Tuple]) -> List[Any]:
+        """Run ``func(*args)`` for every tuple, preserving input order.
+
+        The deterministic core of the executor: results come back in task
+        order no matter how the pool schedules them.  Used directly by the
+        chip-mode paths, whose shard arguments carry per-chip seed slices
+        rather than the generic ``(context, slice, seed, chunk)`` tuple.
+        """
+        tasks = list(arg_tuples)
+        n_workers = min(self.plan.workers, len(tasks))
+        if n_workers <= 1:
+            return [func(*args) for args in tasks]
+        with ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=_multiprocessing_context()) as pool:
+            return list(pool.map(_run_shard_task,
+                                 [(func, args) for args in tasks]))
+
+
+def _multiprocessing_context():
+    """The start method used for worker pools.
+
+    ``fork`` when the platform offers it (cheapest, and the engines ship
+    no unpicklable state either way), the platform default otherwise.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and os.name == "posix":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()

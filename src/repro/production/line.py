@@ -56,6 +56,7 @@ from repro.production.analysis_batch import (
     BatchHistogramTest,
 )
 from repro.production.batch_engine import BatchBistEngine, chip_grouping
+from repro.production.execution import ExecutionPlan
 from repro.production.lot import Lot, Wafer
 from repro.production.partial_batch import BatchPartialBistEngine
 
@@ -398,7 +399,9 @@ class ScreeningLine:
     # ------------------------------------------------------------------ #
 
     def screen_lot(self, lot: Union[Lot, Wafer], rng: RngLike = None,
-                   store=None) -> LotScreeningReport:
+                   store=None,
+                   plan: Optional[ExecutionPlan] = None
+                   ) -> LotScreeningReport:
         """Run a lot (or a single wafer) through the whole line.
 
         Parameters
@@ -407,15 +410,37 @@ class ScreeningLine:
             The lot to screen; a bare wafer is treated as a one-wafer lot.
         rng:
             Seed or generator for the acquisition noise of all stations.
+            With a plan it must be a seed (or ``None``): every insertion
+            of every wafer derives its own child seed from it, so the
+            report is byte-identical for any ``(workers, chunk_size)``.
         store:
             Optional :class:`~repro.production.store.ResultStore` the
             report is appended to.
+        plan:
+            Optional :class:`~repro.production.execution.ExecutionPlan`
+            every station's engine runs under, sharding the device axis
+            over worker processes.
         """
         if isinstance(lot, Wafer):
             lot = Lot([lot], lot_id=lot.wafer_id)
         spec = lot.spec
-        generator = (rng if isinstance(rng, np.random.Generator)
-                     else np.random.default_rng(rng))
+        if plan is not None:
+            if isinstance(rng, np.random.Generator):
+                raise ValueError(
+                    "plan-based screening takes an integer seed (or None) "
+                    "so per-wafer, per-insertion child seeds are "
+                    "deterministic across workers")
+            # One child sequence per wafer, one grandchild per insertion
+            # (first pass + each retest): a pure function of (seed, wafer
+            # index, insertion index), independent of the plan geometry.
+            insertion_seeds = [
+                wafer_seq.spawn(1 + self.retest_attempts)
+                for wafer_seq in np.random.SeedSequence(rng).spawn(len(lot))]
+            generator = None
+        else:
+            insertion_seeds = None
+            generator = (rng if isinstance(rng, np.random.Generator)
+                         else np.random.default_rng(rng))
 
         t0 = time.perf_counter()
         accepted_masks: List[np.ndarray] = []
@@ -440,15 +465,19 @@ class ScreeningLine:
                         f"which do not fill whole ICs of "
                         f"{self.devices_per_ic} converters")
 
-        for wafer in lot:
-            result = self.engine.run_wafer(wafer, rng=generator)
+        for w_index, wafer in enumerate(lot):
+            result = self.engine.run_wafer(
+                wafer,
+                rng=(generator if insertion_seeds is None
+                     else insertion_seeds[w_index][0]),
+                plan=plan)
             samples_per_device = result.samples_taken
             accepted = result.passed.copy()
             measured_dnl = np.array(self._bin_metric(result), dtype=float)
             first_pass_in += len(wafer)
             first_pass_ok += result.n_accepted
 
-            for _ in range(self.retest_attempts):
+            for attempt in range(self.retest_attempts):
                 rejected = np.nonzero(~accepted)[0]
                 if rejected.size == 0:
                     break
@@ -457,7 +486,9 @@ class ScreeningLine:
                     wafer.transitions[rejected],
                     full_scale=spec.full_scale,
                     sample_rate=spec.sample_rate,
-                    rng=generator)
+                    rng=(generator if insertion_seeds is None
+                         else insertion_seeds[w_index][1 + attempt]),
+                    plan=plan)
                 recovered = rejected[retest.passed]
                 retest_ok += int(recovered.size)
                 accepted[recovered] = True
@@ -508,9 +539,9 @@ class ScreeningLine:
                                          retest_seconds))
         stations.append(StationStats("binning", n_accepted, n_accepted, 0.0))
 
-        plan = self.test_plan(spec.n_bits, samples_per_device,
-                               spec.sample_rate)
-        cost = cost_per_device(plan, self.tester,
+        cost_plan = self.test_plan(spec.n_bits, samples_per_device,
+                                   spec.sample_rate)
+        cost = cost_per_device(cost_plan, self.tester,
                                devices_per_ic=self.devices_per_ic)
 
         report = LotScreeningReport(

@@ -38,7 +38,7 @@ stations can price the insertion accordingly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -57,9 +57,17 @@ from repro.core.kernel import (
 from repro.core.partial_engine import PartialBistConfig, PartialBistEngine
 from repro.production.batch_engine import (
     BatchChipBistResult,
+    _chip_noise_rows,
+    _validated_chip_seeds,
     build_chip_result,
     population_truth_mask,
     resolve_population_matrix,
+)
+from repro.production.execution import (
+    ExecutionPlan,
+    ShardExecutor,
+    iter_slices,
+    resolve_plan_seed,
 )
 from repro.production.lot import Wafer
 from repro.signals.ramp import RampStimulus
@@ -70,6 +78,21 @@ RngLike = Union[int, np.random.Generator, None]
 
 #: Devices per chunk; each chunk holds a few (devices, samples) matrices.
 _PARTIAL_CHUNK = 2048
+
+
+@dataclass(frozen=True)
+class _PartialShardContext:
+    """Per-run state shared by every shard of one batched partial run.
+
+    Computed once by :meth:`BatchPartialBistEngine.prepare` and shipped to
+    each shard; holds the shared stimulus and partition, no per-device
+    state.
+    """
+
+    ramp_voltages: np.ndarray
+    n_samples: int
+    lsb_volts: float
+    partition: PartialBistPartition
 
 
 @dataclass
@@ -116,6 +139,38 @@ class BatchPartialBistResult:
         """Total tester capture volume of the batch."""
         return self.bits_captured_per_device * self.n_devices
 
+    @classmethod
+    def merge(cls, shards: "Sequence[BatchPartialBistResult]"
+              ) -> "BatchPartialBistResult":
+        """Concatenate per-shard results (in shard order) into one batch.
+
+        The shards must come from one run: same partition and acquisition
+        length.  This is the ``merge`` leg of the
+        :class:`~repro.production.execution.WaferEngine` protocol.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValueError("cannot merge an empty shard list")
+        first = shards[0]
+        if any(s.partition != first.partition
+               or s.samples_taken != first.samples_taken for s in shards):
+            raise ValueError("shards disagree on the partition or "
+                             "acquisition length")
+        return cls(
+            n_devices=sum(s.n_devices for s in shards),
+            passed=np.concatenate([s.passed for s in shards]),
+            linearity_passed=np.concatenate([s.linearity_passed
+                                             for s in shards]),
+            msb_passed=np.concatenate([s.msb_passed for s in shards]),
+            reconstruction_error_rate=np.concatenate(
+                [s.reconstruction_error_rate for s in shards]),
+            measured_max_dnl_lsb=np.concatenate(
+                [s.measured_max_dnl_lsb for s in shards]),
+            measured_max_inl_lsb=np.concatenate(
+                [s.measured_max_inl_lsb for s in shards]),
+            partition=first.partition,
+            samples_taken=first.samples_taken)
+
 
 class BatchPartialBistEngine:
     """Run the Figure-2 partial BIST on every device of a batch at once.
@@ -149,31 +204,105 @@ class BatchPartialBistEngine:
     # ------------------------------------------------------------------ #
 
     def run_wafer(self, wafer: Wafer, rng: RngLike = None,
-                  chunk_size: Optional[int] = None
+                  chunk_size: Optional[int] = None,
+                  plan: Optional[ExecutionPlan] = None
                   ) -> BatchPartialBistResult:
         """Run the batched partial BIST on every die of a wafer."""
         spec = wafer.spec
         return self.run_transitions(wafer.transitions,
                                     full_scale=spec.full_scale,
                                     sample_rate=spec.sample_rate,
-                                    rng=rng, chunk_size=chunk_size)
+                                    rng=rng, chunk_size=chunk_size,
+                                    plan=plan)
 
     def run_chips(self, wafer: Wafer, converters_per_chip: int,
-                  rng: RngLike = None) -> BatchChipBistResult:
+                  rng: RngLike = None,
+                  plan: Optional[ExecutionPlan] = None
+                  ) -> BatchChipBistResult:
         """Batched multi-converter IC test under the partial scheme.
 
         Consecutive dies form one chip sharing the stimulus ramp; the chip
-        passes when every converter on it passes its partial BIST.
+        passes when every converter on it passes its partial BIST.  With
+        transition noise configured, chip ``c`` draws its per-converter
+        noise from independent child generators seeded by
+        :func:`~repro.production.batch_engine.chip_noise_seeds` — the same
+        controller-parity scheme the full-BIST chip mode uses, so
+        ``PartialBistEngine.run(die, rng=default_rng(child))`` with the
+        chip's spawned children reproduces each converter's verdict bit
+        for bit.
         """
-        result = self.run_wafer(wafer, rng=rng)
+        if self.config.transition_noise_lsb > 0.0:
+            return self._run_chips_noisy(wafer, converters_per_chip, rng,
+                                         plan=plan)
+        result = self.run_wafer(wafer, rng=rng, plan=plan)
         return build_chip_result(result.passed, converters_per_chip,
                                  result.samples_taken,
                                  wafer.spec.sample_rate)
 
+    def _run_chips_noisy(self, wafer: Wafer, converters_per_chip: int,
+                         rng: RngLike,
+                         plan: Optional[ExecutionPlan] = None
+                         ) -> BatchChipBistResult:
+        """Chip mode with per-converter noise seeds (controller parity).
+
+        Per-chip noise depends only on the chip's seed, so sharding the
+        chip axis over workers is plan-invariant by construction.
+        """
+        if rng is not None and not isinstance(rng, (int, np.integer)):
+            raise ValueError(
+                "noisy chip runs take an integer seed (or None) so the "
+                "per-converter child seeds match the scalar "
+                "PartialBistEngine replay")
+        transitions = wafer.transitions
+        spec = wafer.spec
+        ctx = self.prepare(transitions, spec.full_scale, spec.sample_rate)
+        seeds = _validated_chip_seeds(transitions, converters_per_chip, rng)
+
+        executor = ShardExecutor(plan if plan is not None
+                                 else ExecutionPlan())
+        bounds = executor.plan.shard_bounds(transitions.shape[0],
+                                            align=converters_per_chip)
+        chunk = executor.plan.chunk_size
+        results = executor.map(
+            self._noisy_chip_shard,
+            [(ctx, transitions[lo:hi],
+              seeds[lo // converters_per_chip:hi // converters_per_chip],
+              converters_per_chip, chunk)
+             for lo, hi in bounds])
+        result = BatchPartialBistResult.merge(results)
+        return build_chip_result(result.passed, converters_per_chip,
+                                 ctx.n_samples, spec.sample_rate)
+
+    def _noisy_chip_shard(self, ctx: _PartialShardContext,
+                          transitions: np.ndarray, seeds: np.ndarray,
+                          converters_per_chip: int,
+                          chunk_size: Optional[int] = None
+                          ) -> BatchPartialBistResult:
+        """One chip-aligned device slice of a noisy chip-mode run."""
+        cfg = self.config
+        n_chips = transitions.shape[0] // converters_per_chip
+        sigma = cfg.transition_noise_lsb * ctx.lsb_volts
+        if chunk_size is None:
+            chunk_size = _PARTIAL_CHUNK
+        chips_per_chunk = max(1, chunk_size // converters_per_chip)
+
+        chunks = []
+        for chip_lo, chip_hi in iter_slices(n_chips, chips_per_chunk):
+            noise = _chip_noise_rows(seeds[chip_lo:chip_hi],
+                                     converters_per_chip, sigma,
+                                     ctx.n_samples)
+            lo = chip_lo * converters_per_chip
+            hi = chip_hi * converters_per_chip
+            chunks.append(self._process_streams(
+                transitions[lo:hi], ctx.ramp_voltages + noise,
+                ctx.partition.q))
+        return self._build_result(chunks, transitions.shape[0], ctx)
+
     def run_population(self, population: Union[DevicePopulation, Wafer],
                        rng: RngLike = None,
                        dnl_spec_lsb: Optional[float] = None,
-                       inl_spec_lsb: Optional[float] = None
+                       inl_spec_lsb: Optional[float] = None,
+                       plan: Optional[ExecutionPlan] = None
                        ) -> PopulationBistResult:
         """Monte-Carlo partial-BIST run scored against the true linearity.
 
@@ -190,7 +319,8 @@ class BatchPartialBistEngine:
         transitions, full_scale, sample_rate = \
             resolve_population_matrix(population)
         result = self.run_transitions(transitions, full_scale=full_scale,
-                                      sample_rate=sample_rate, rng=rng)
+                                      sample_rate=sample_rate, rng=rng,
+                                      plan=plan)
         truly_good = population_truth_mask(transitions, dnl_spec_lsb,
                                            inl_spec_lsb)
         return PopulationBistResult(n_devices=result.n_devices,
@@ -201,7 +331,8 @@ class BatchPartialBistEngine:
                         full_scale: float = 1.0,
                         sample_rate: float = 1e6,
                         rng: RngLike = None,
-                        chunk_size: Optional[int] = None
+                        chunk_size: Optional[int] = None,
+                        plan: Optional[ExecutionPlan] = None
                         ) -> BatchPartialBistResult:
         """Run the batched partial BIST on a ``(devices, transitions)`` matrix.
 
@@ -212,44 +343,83 @@ class BatchPartialBistEngine:
         full_scale, sample_rate:
             Geometry/clock shared by the batch (one test insertion).
         rng:
-            Seed or generator for the acquisition noise; consumed in device
-            order exactly as a scalar loop over the devices consumes it.
+            Seed or generator for the acquisition noise.  Without a plan
+            it is consumed in device order exactly as a scalar loop over
+            the devices consumes it; with a plan it must be a seed (or
+            ``None``) and per-shard child seeds are spawned from it.
         chunk_size:
             Devices processed per chunk (bounds the transient
             ``(devices, samples)`` matrices).
+        plan:
+            Optional :class:`~repro.production.execution.ExecutionPlan`
+            scaling the run out over worker processes; results are
+            bit-identical for any ``(workers, chunk_size)`` of the plan.
         """
         cfg = self.config
         transitions = np.asarray(transitions, dtype=float)
+        if plan is not None:
+            return ShardExecutor(plan).run(
+                self, transitions, full_scale, sample_rate,
+                rng=resolve_plan_seed(rng, cfg.seed), chunk_size=chunk_size)
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(
+                         rng if rng is not None else cfg.seed))
+        context = self.prepare(transitions, full_scale, sample_rate)
+        return self.run_shard(context, transitions, generator, chunk_size)
+
+    # ------------------------------------------------------------------ #
+    # WaferEngine protocol
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, transitions: np.ndarray, full_scale: float = 1.0,
+                sample_rate: float = 1e6) -> _PartialShardContext:
+        """Validate a batch and derive the shared per-run context."""
+        cfg = self.config
         expected_cols = (1 << cfg.n_bits) - 1
         if transitions.ndim != 2 or transitions.shape[1] != expected_cols:
             raise ValueError(
                 f"configuration is for {cfg.n_bits}-bit converters; expected "
                 f"a (devices, {expected_cols}) transition matrix, got shape "
                 f"{transitions.shape}")
-        generator = (rng if isinstance(rng, np.random.Generator)
-                     else np.random.default_rng(
-                         rng if rng is not None else cfg.seed))
-        if chunk_size is None:
-            chunk_size = _PARTIAL_CHUNK
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
-
         proxy = IdealADC(cfg.n_bits, full_scale, sample_rate)
         ramp = RampStimulus.for_adc(proxy, cfg.samples_per_code,
                                     start_margin_lsb=cfg.start_margin_lsb)
         n_samples = ramp.n_samples_for_adc(proxy,
                                            margin_lsb=cfg.start_margin_lsb)
         times = np.arange(n_samples) / sample_rate
-        ramp_voltages = ramp.voltage(times)
-        partition = self._scalar.partition_for(proxy)
+        return _PartialShardContext(
+            ramp_voltages=ramp.voltage(times),
+            n_samples=n_samples,
+            lsb_volts=proxy.lsb,
+            partition=self._scalar.partition_for(proxy))
+
+    def run_shard(self, context: _PartialShardContext,
+                  transitions: np.ndarray, rng: RngLike = None,
+                  chunk_size: Optional[int] = None
+                  ) -> BatchPartialBistResult:
+        """Run one contiguous device slice of a prepared batch."""
+        transitions = np.asarray(transitions, dtype=float)
+        generator = (rng if isinstance(rng, np.random.Generator)
+                     else np.random.default_rng(rng))
+        if chunk_size is None:
+            chunk_size = _PARTIAL_CHUNK
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
 
         n_devices = transitions.shape[0]
-        chunks = []
-        for lo in range(0, n_devices, chunk_size):
-            chunk = transitions[lo:lo + chunk_size]
-            chunks.append(self._run_chunk(chunk, ramp_voltages, proxy.lsb,
-                                          partition.q, generator))
+        chunks = [self._run_chunk(transitions[lo:hi], context, generator)
+                  for lo, hi in iter_slices(n_devices, chunk_size)]
+        return self._build_result(chunks, n_devices, context)
 
+    def merge(self, shard_results: Sequence[BatchPartialBistResult]
+              ) -> BatchPartialBistResult:
+        """Combine per-shard results (in shard order) into one result."""
+        return BatchPartialBistResult.merge(shard_results)
+
+    def _build_result(self, chunks, n_devices: int,
+                      context: _PartialShardContext
+                      ) -> BatchPartialBistResult:
+        """Assemble per-chunk decision tuples into one result object."""
         return BatchPartialBistResult(
             n_devices=n_devices,
             passed=np.concatenate([c[0] for c in chunks]),
@@ -259,22 +429,27 @@ class BatchPartialBistEngine:
                 [c[3] for c in chunks]),
             measured_max_dnl_lsb=np.concatenate([c[4] for c in chunks]),
             measured_max_inl_lsb=np.concatenate([c[5] for c in chunks]),
-            partition=partition,
-            samples_taken=n_samples)
+            partition=context.partition,
+            samples_taken=context.n_samples)
 
     # ------------------------------------------------------------------ #
     # Chunk processing
     # ------------------------------------------------------------------ #
 
-    def _run_chunk(self, transitions: np.ndarray, ramp_voltages: np.ndarray,
-                   lsb_volts: float, q: int,
+    def _run_chunk(self, transitions: np.ndarray,
+                   context: _PartialShardContext,
                    generator: np.random.Generator):
         """Acquisition → on-chip check → reconstruction for one chunk."""
         cfg = self.config
+        q = context.partition.q
         if cfg.transition_noise_lsb > 0.0:
-            return self._run_chunk_streams(transitions, ramp_voltages,
-                                           lsb_volts, q, generator)
-        return self._run_chunk_events(transitions, ramp_voltages, q)
+            # Per-device noise, drawn in device order from the shard's
+            # stream (row d of the draw equals the d-th scalar draw).
+            voltages = context.ramp_voltages + generator.normal(
+                0.0, cfg.transition_noise_lsb * context.lsb_volts,
+                size=(transitions.shape[0], context.ramp_voltages.size))
+            return self._process_streams(transitions, voltages, q)
+        return self._run_chunk_events(transitions, context.ramp_voltages, q)
 
     def _run_chunk_events(self, transitions: np.ndarray,
                           ramp_voltages: np.ndarray, q: int):
@@ -344,19 +519,18 @@ class BatchPartialBistEngine:
         counts = counts.reshape(n_chunk, n_codes)
         return self._decide(counts, msb_ok, errors)
 
-    def _run_chunk_streams(self, transitions: np.ndarray,
-                           ramp_voltages: np.ndarray, lsb_volts: float,
-                           q: int, generator: np.random.Generator):
-        """General path materialising the noisy acquisitions."""
+    def _process_streams(self, transitions: np.ndarray,
+                         voltages: np.ndarray, q: int):
+        """Quantise per-device voltage rows and run the partial flow.
+
+        The noise-provenance-agnostic half of the stream path: callers
+        decide how the per-device voltages were produced (shard stream in
+        device order, or per-converter child generators in chip mode).
+        """
         cfg = self.config
         n_chunk = transitions.shape[0]
         n_codes = 1 << cfg.n_bits
 
-        # Per-device noise, drawn in device order from the shared stream
-        # (row d of the draw equals the d-th scalar draw).
-        voltages = ramp_voltages + generator.normal(
-            0.0, cfg.transition_noise_lsb * lsb_volts,
-            size=(n_chunk, ramp_voltages.size))
         codes = batch_quantise_rows(transitions, voltages)
 
         # --- on-chip: bits q+1 .. n against the reference counter ------- #

@@ -10,7 +10,7 @@ Monte-Carlo campaign produces one readable floor report.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from repro.production.line import LotScreeningReport, StationStats
 from repro.reporting.tables import format_table
@@ -31,6 +31,23 @@ class ResultStore:
     def add(self, report: LotScreeningReport) -> None:
         """Append one lot's screening report."""
         self._reports.append(report)
+
+    @classmethod
+    def merge(cls, stores: Iterable["ResultStore"]) -> "ResultStore":
+        """Combine several stores into one, preserving store order.
+
+        The shard-merge of the floor ledger: when a campaign's lots are
+        screened by separate workers (each filling its own store), merging
+        the partial stores yields the same aggregate method/scenario/bin
+        tables a single sequential store would have produced — every
+        aggregate in this class is order-insensitive across lots, and the
+        row order of :meth:`lot_table` follows the given store order.
+        """
+        merged = cls()
+        for store in stores:
+            for report in store._reports:
+                merged.add(report)
+        return merged
 
     def __len__(self) -> int:
         return len(self._reports)
@@ -152,6 +169,34 @@ class ResultStore:
             ["method", "devices", "accepted", "accept frac", "type I",
              "type II", "tester [s]", "devices/h", "cost/device"],
             rows, title="Screening methods compared")
+
+    def scenario_table(self) -> str:
+        """One row per (architecture, method/mode) scenario over its lots.
+
+        Finer-grained than :meth:`method_table`: lots screening different
+        architectures under the same method aggregate into separate rows,
+        so a multi-architecture campaign reads as one table.
+        """
+        scenarios: Dict[str, List[LotScreeningReport]] = {}
+        for r in self._reports:
+            scenarios.setdefault(r.scenario, []).append(r)
+        rows = []
+        for name in sorted(scenarios):
+            reports = scenarios[name]
+            devices = sum(r.n_devices for r in reports)
+            accepted = sum(r.n_accepted for r in reports)
+            seconds = sum(r.tester_seconds for r in reports)
+            type_i = (sum(r.type_i * r.n_devices for r in reports) / devices
+                      if devices else 0.0)
+            type_ii = (sum(r.type_ii * r.n_devices for r in reports)
+                       / devices if devices else 0.0)
+            rows.append([name, len(reports), devices, accepted,
+                         accepted / devices if devices else 0.0,
+                         type_i, type_ii, seconds])
+        return format_table(
+            ["scenario", "lots", "devices", "accepted", "accept frac",
+             "type I", "type II", "tester [s]"],
+            rows, title="Screening scenarios compared")
 
     def station_table(self) -> str:
         """One row per station, aggregated over every screened lot."""

@@ -113,3 +113,68 @@ class TestDistortionDetection:
         assert result.signal_power > 0
         assert result.noise_power >= 0
         assert result.distortion_power >= 0
+
+
+class TestBatchToneBookkeeping:
+    """The vectorised per-tone bookkeeping vs its batch-of-1 wrapper."""
+
+    def _power_matrix(self, n_devices=7, n=1024, seed=3):
+        rng = np.random.default_rng(seed)
+        analyzer = DynamicAnalyzer(n_samples=n, window="hann")
+        t = np.arange(n)
+        cycles = 41
+        records = (20 + 15 * np.sin(2 * np.pi * cycles * t / n)
+                   + rng.normal(0.0, 0.8, size=(n_devices, n)))
+        codes = np.round(records)
+        return analyzer, analyzer.windowed_power(codes), cycles
+
+    def test_rows_match_scalar_analyze_power(self):
+        analyzer, power, cycles = self._power_matrix()
+        freqs = np.fft.rfftfreq(analyzer.n_samples, d=1e-6)
+        fundamental = cycles / (analyzer.n_samples * 1e-6)
+        figures = analyzer.analyze_power_batch(power, freqs, fundamental,
+                                               1e6)
+        for d in range(power.shape[0]):
+            scalar = analyzer.analyze_power(power[d], freqs, fundamental,
+                                            1e6)
+            assert figures.fundamental_bin[d] == scalar.fundamental_bin
+            assert figures.signal_power[d] == scalar.signal_power
+            assert figures.noise_power[d] == scalar.noise_power
+            assert figures.distortion_power[d] == scalar.distortion_power
+            assert figures.thd_db[d] == scalar.thd_db
+            assert figures.snr_db[d] == scalar.snr_db
+            assert figures.sinad_db[d] == scalar.sinad_db
+            assert figures.sfdr_db[d] == scalar.sfdr_db
+            assert figures.enob[d] == scalar.enob
+
+    def test_fundamental_located_per_device_without_hint(self):
+        analyzer, power, cycles = self._power_matrix()
+        freqs = np.fft.rfftfreq(analyzer.n_samples, d=1e-6)
+        figures = analyzer.analyze_power_batch(power, freqs, None, 1e6)
+        assert np.all(figures.fundamental_bin == cycles)
+
+    def test_passes_batch_matches_scalar_passes(self):
+        from repro.analysis import DynamicSpec
+
+        analyzer, power, cycles = self._power_matrix()
+        freqs = np.fft.rfftfreq(analyzer.n_samples, d=1e-6)
+        fundamental = cycles / (analyzer.n_samples * 1e-6)
+        spec = DynamicSpec(min_enob=3.0, max_thd_db=-10.0)
+        figures = analyzer.analyze_power_batch(power, freqs, fundamental,
+                                               1e6)
+        scalar = [spec.passes(analyzer.analyze_power(power[d], freqs,
+                                                     fundamental, 1e6))
+                  for d in range(power.shape[0])]
+        np.testing.assert_array_equal(spec.passes_batch(figures),
+                                      np.array(scalar))
+
+    def test_silent_spectrum_edge_cases(self):
+        analyzer = DynamicAnalyzer(n_samples=1024)
+        power = np.zeros((2, 513))
+        figures = analyzer.analyze_power_batch(
+            power, np.fft.rfftfreq(1024, 1e-6), None, 1e6)
+        # Matches the scalar guard semantics: silent spectra give -inf
+        # THD, +inf SNR/SINAD/SFDR and an (infinite) ENOB.
+        assert np.all(figures.thd_db == -np.inf)
+        assert np.all(figures.snr_db == np.inf)
+        assert np.all(figures.enob == np.inf)

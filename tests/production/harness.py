@@ -22,10 +22,15 @@ Conventions shared by all helpers:
 
 ``DIFFERENTIAL_GRID`` is the standing parameter grid (architecture ×
 noise × q × device count) that ``test_differential_grid.py`` sweeps over
-all engine families.
+all engine families.  ``PLAN_GRID`` is its scale-out sibling: the
+(workers × chunk_size) execution geometries every engine must be
+bit-invariant under, swept by ``test_execution.py`` through
+:func:`assert_plan_invariant`.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
@@ -40,6 +45,7 @@ from repro.production import (
     BatchDynamicSuite,
     BatchHistogramTest,
     BatchPartialBistEngine,
+    ExecutionPlan,
     Wafer,
     WaferSpec,
 )
@@ -55,6 +61,54 @@ DIFFERENTIAL_GRID = [
     ("pipeline", 0.0, 3, 90),
     ("pipeline", 0.05, 1, 50),
 ]
+
+#: (workers, chunk_size) execution geometries every engine must be
+#: bit-invariant under.  The first entry is the serial reference; a small
+#: shard size in the plans (set by assert_plan_invariant) forces several
+#: shards even on the small test wafers.
+PLAN_GRID = [
+    (1, None),
+    (1, 17),
+    (2, None),
+    (2, 23),
+]
+
+
+def assert_batch_results_identical(reference, candidate) -> None:
+    """Field-wise bit-exact equality of two batch result dataclasses.
+
+    Array fields must be identical (NaNs compare positionally equal, as a
+    rejected device's NaN estimate must survive sharding too); scalar and
+    nested-dataclass fields must compare equal.
+    """
+    assert type(reference) is type(candidate)
+    for field in dataclasses.fields(reference):
+        a = getattr(reference, field.name)
+        b = getattr(candidate, field.name)
+        if isinstance(a, np.ndarray):
+            np.testing.assert_array_equal(a, b, err_msg=field.name)
+        else:
+            assert a == b, field.name
+
+
+def assert_plan_invariant(run, shard_devices: int = 64,
+                          plan_grid=PLAN_GRID):
+    """One engine run must be bit-identical across the whole plan grid.
+
+    ``run`` is a callable taking an :class:`ExecutionPlan` (with
+    ``chunk_size`` already folded in) and returning a batch result; the
+    grid's first geometry is the serial reference the others are compared
+    against, field for field.  Returns the reference result so callers
+    can layer scenario assertions on top.
+    """
+    workers0, chunk0 = plan_grid[0]
+    reference = run(ExecutionPlan(workers=workers0, chunk_size=chunk0,
+                                  shard_devices=shard_devices))
+    for workers, chunk in plan_grid[1:]:
+        candidate = run(ExecutionPlan(workers=workers, chunk_size=chunk,
+                                      shard_devices=shard_devices))
+        assert_batch_results_identical(reference, candidate)
+    return reference
 
 
 def draw_wafer(n_devices: int = 150, architecture: str = "flash",

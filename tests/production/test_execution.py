@@ -1,0 +1,331 @@
+"""Shard-invariance suite for the deterministic scale-out layer.
+
+The contract under test is the execution layer's headline invariant: for
+any ``(workers, chunk_size)`` plan geometry, a plan-based run of any batch
+engine is bit-identical to the serial (``workers=1``) run — including the
+noisy stream paths (per-shard-index seed spawning) and the multi-converter
+chip modes (per-chip seed spawning).  Plus the plumbing around it: plan
+validation, shard bounds, sliced wafer draws, plan-threaded screening
+lines and the shard-merge of the result store.
+"""
+
+import numpy as np
+import pytest
+
+from harness import (
+    PLAN_GRID,
+    assert_batch_results_identical,
+    assert_plan_invariant,
+    draw_wafer,
+)
+from repro.analysis import DynamicAnalyzer, DynamicSpec
+from repro.core import BistConfig, PartialBistConfig
+from repro.production import (
+    BatchBistEngine,
+    BatchBistResult,
+    BatchDynamicSuite,
+    BatchHistogramTest,
+    BatchPartialBistEngine,
+    ExecutionPlan,
+    Lot,
+    ResultStore,
+    ScreeningLine,
+    ShardExecutor,
+    Wafer,
+    WaferSpec,
+)
+from repro.production.execution import (
+    iter_slices,
+    resolve_plan_seed,
+    spawn_shard_seeds,
+)
+
+#: (architecture, transition_noise_lsb) scenarios the invariance grid
+#: sweeps per engine: one event/noise-free path, one noisy stream path.
+SCENARIOS = [("flash", 0.0), ("sar", 0.03)]
+
+
+def _bist_config(noise: float) -> BistConfig:
+    return BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                      transition_noise_lsb=noise,
+                      deglitch_depth=3 if noise > 0 else 0)
+
+
+class TestExecutionPlan:
+    def test_defaults(self):
+        plan = ExecutionPlan()
+        assert plan.workers == 1
+        assert plan.chunk_size is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionPlan(chunk_size=0)
+        with pytest.raises(ValueError):
+            ExecutionPlan(shard_devices=0)
+
+    def test_shard_bounds_cover_the_axis(self):
+        bounds = ExecutionPlan(shard_devices=64).shard_bounds(150)
+        assert bounds == [(0, 64), (64, 128), (128, 150)]
+
+    def test_shard_bounds_are_worker_independent(self):
+        a = ExecutionPlan(workers=1, shard_devices=32).shard_bounds(100)
+        b = ExecutionPlan(workers=8, shard_devices=32).shard_bounds(100)
+        assert a == b
+
+    def test_shard_bounds_align_to_chips(self):
+        bounds = ExecutionPlan(shard_devices=10).shard_bounds(48, align=4)
+        assert all(lo % 4 == 0 and hi % 4 == 0 for lo, hi in bounds)
+        assert bounds[0] == (0, 12)  # 10 rounded up to a multiple of 4
+        with pytest.raises(ValueError):
+            ExecutionPlan(shard_devices=10).shard_bounds(49, align=4)
+
+    def test_iter_slices(self):
+        assert list(iter_slices(7, 3)) == [(0, 3), (3, 6), (6, 7)]
+        assert list(iter_slices(0, 3)) == []
+        with pytest.raises(ValueError):
+            list(iter_slices(5, 0))
+
+
+class TestSeedSpawning:
+    def test_per_shard_seeds_are_index_deterministic(self):
+        a = spawn_shard_seeds(42, 5)
+        b = spawn_shard_seeds(42, 3)
+        for seq_a, seq_b in zip(a, b):
+            assert np.array_equal(
+                np.random.default_rng(seq_a).integers(0, 1 << 30, 4),
+                np.random.default_rng(seq_b).integers(0, 1 << 30, 4))
+
+    def test_spawning_does_not_mutate_a_reused_seed_sequence(self):
+        """Spawning must be stateless: running twice with the same
+        SeedSequence object (whose spawn counter root.spawn() would
+        advance) has to give the same children — and therefore the same
+        noisy plan-based results."""
+        root = np.random.SeedSequence(11)
+        first = spawn_shard_seeds(root, 3)
+        second = spawn_shard_seeds(root, 3)
+        for a, b in zip(first, second):
+            assert a.spawn_key == b.spawn_key
+        wafer = draw_wafer(40, "flash", seed=2)
+        engine = BatchBistEngine(_bist_config(0.05))
+        shared = np.random.SeedSequence(4)
+        plan = ExecutionPlan(workers=1, shard_devices=16)
+        r1 = engine.run_wafer(wafer, rng=shared, plan=plan)
+        r2 = engine.run_wafer(wafer, rng=shared, plan=plan)
+        assert_batch_results_identical(r1, r2)
+
+    def test_generator_rejected_for_plans(self):
+        with pytest.raises(ValueError):
+            resolve_plan_seed(np.random.default_rng(0), None)
+        assert resolve_plan_seed(None, 7) == 7
+        assert resolve_plan_seed(3, 7) == 3
+
+
+@pytest.mark.parametrize("architecture,noise", SCENARIOS)
+class TestShardInvarianceGrid:
+    """Every engine × (workers × chunk_size), bit-exact vs the serial run."""
+
+    def test_full_bist(self, architecture, noise):
+        wafer = draw_wafer(150, architecture, seed=29)
+        engine = BatchBistEngine(_bist_config(noise))
+        result = assert_plan_invariant(
+            lambda plan: engine.run_wafer(wafer, rng=5, plan=plan))
+        assert 0 < result.n_accepted <= result.n_devices
+
+    def test_partial_bist(self, architecture, noise):
+        wafer = draw_wafer(150, architecture, seed=29)
+        engine = BatchPartialBistEngine(PartialBistConfig(
+            n_bits=6, q=2, dnl_spec_lsb=1.0, transition_noise_lsb=noise))
+        assert_plan_invariant(
+            lambda plan: engine.run_wafer(wafer, rng=5, plan=plan))
+
+    def test_histogram(self, architecture, noise):
+        wafer = draw_wafer(150, architecture, seed=29)
+        test = BatchHistogramTest(samples_per_code=16.0, dnl_spec_lsb=1.0,
+                                  transition_noise_lsb=noise)
+        assert_plan_invariant(
+            lambda plan: test.run_wafer(wafer, rng=5, plan=plan),
+            shard_devices=48)
+
+    def test_dynamic(self, architecture, noise):
+        wafer = draw_wafer(60, architecture, seed=29)
+        suite = BatchDynamicSuite(analyzer=DynamicAnalyzer(n_samples=1024),
+                                  spec=DynamicSpec(min_enob=4.0),
+                                  transition_noise_lsb=noise)
+        assert_plan_invariant(
+            lambda plan: suite.run_wafer(wafer, rng=5, plan=plan),
+            shard_devices=16)
+
+    def test_full_bist_chip_mode(self, architecture, noise):
+        wafer = draw_wafer(144, architecture, seed=29)
+        engine = BatchBistEngine(_bist_config(noise))
+        result = assert_plan_invariant(
+            lambda plan: engine.run_chips(wafer, 4, rng=11, plan=plan),
+            shard_devices=48)
+        assert result.n_chips == 36
+
+    def test_partial_chip_mode(self, architecture, noise):
+        wafer = draw_wafer(144, architecture, seed=29)
+        engine = BatchPartialBistEngine(PartialBistConfig(
+            n_bits=6, q=2, dnl_spec_lsb=1.0, transition_noise_lsb=noise))
+        result = assert_plan_invariant(
+            lambda plan: engine.run_chips(wafer, 4, rng=11, plan=plan),
+            shard_devices=48)
+        assert result.n_chips == 36
+
+
+class TestPlanMatchesSingleShot:
+    """Noise-free plan runs equal the plain single-shot engine runs."""
+
+    @pytest.mark.parametrize("workers,chunk", PLAN_GRID)
+    def test_event_path_equals_legacy(self, workers, chunk):
+        wafer = draw_wafer(130, "flash", seed=3)
+        engine = BatchBistEngine(_bist_config(0.0))
+        legacy = engine.run_wafer(wafer)
+        planned = engine.run_wafer(
+            wafer, plan=ExecutionPlan(workers=workers, chunk_size=chunk,
+                                      shard_devices=50))
+        assert_batch_results_identical(legacy, planned)
+
+    def test_generator_rejected_with_plan(self):
+        wafer = draw_wafer(20, "flash", seed=3)
+        engine = BatchBistEngine(_bist_config(0.05))
+        with pytest.raises(ValueError):
+            engine.run_wafer(wafer, rng=np.random.default_rng(0),
+                             plan=ExecutionPlan(workers=2))
+
+    def test_executor_runs_any_conforming_engine(self):
+        wafer = draw_wafer(90, "flash", seed=3)
+        engine = BatchBistEngine(_bist_config(0.0))
+        executor = ShardExecutor(ExecutionPlan(workers=2, shard_devices=40))
+        result = executor.run(engine, wafer.transitions,
+                              wafer.spec.full_scale, wafer.spec.sample_rate)
+        assert isinstance(result, BatchBistResult)
+        assert result.n_devices == 90
+
+
+class TestWaferSliceDraw:
+    @pytest.mark.parametrize("architecture", ["flash", "sar", "pipeline"])
+    def test_slice_matches_sharded_draw(self, architecture):
+        spec = WaferSpec(n_devices=100, architecture=architecture)
+        full = Wafer.draw_sharded(spec, seed=9, block_devices=32)
+        for lo, hi in [(0, 100), (10, 20), (30, 34), (31, 33), (90, 100)]:
+            np.testing.assert_array_equal(
+                full.transitions[lo:hi],
+                Wafer.draw_slice(spec, lo, hi, seed=9, block_devices=32))
+
+    def test_empty_slice(self):
+        spec = WaferSpec(n_devices=10)
+        assert Wafer.draw_slice(spec, 4, 4, seed=0).shape == (0, 63)
+
+    def test_invalid_arguments(self):
+        spec = WaferSpec(n_devices=10)
+        with pytest.raises(ValueError):
+            Wafer.draw_slice(spec, 0, 11, seed=0)
+        with pytest.raises(ValueError):
+            Wafer.draw_slice(spec, 0, 5, seed=None)
+        with pytest.raises(ValueError):
+            Wafer.draw_slice(spec, 0, 5, seed=0, block_devices=0)
+
+    def test_sharded_draw_is_reproducible(self):
+        spec = WaferSpec(n_devices=50)
+        a = Wafer.draw_sharded(spec, seed=4, block_devices=16)
+        b = Wafer.draw_sharded(spec, seed=4, block_devices=16)
+        np.testing.assert_array_equal(a.transitions, b.transitions)
+
+
+class TestScreeningLinePlan:
+    def _line(self) -> ScreeningLine:
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+                            transition_noise_lsb=0.05, deglitch_depth=3)
+        return ScreeningLine(config, retest_attempts=1)
+
+    def test_reports_identical_across_plan_geometries(self):
+        lot = Lot.draw(WaferSpec(n_devices=120), n_wafers=2, seed=6)
+        reports = []
+        stores = []
+        for workers, chunk in [(1, None), (2, 31), (2, None)]:
+            store = ResultStore()
+            report = self._line().screen_lot(
+                lot, rng=9, store=store,
+                plan=ExecutionPlan(workers=workers, chunk_size=chunk,
+                                   shard_devices=50))
+            reports.append(report)
+            stores.append(store)
+        base = reports[0]
+        for report in reports[1:]:
+            assert report.n_accepted == base.n_accepted
+            assert report.bin_counts == base.bin_counts
+            assert report.type_i == base.type_i
+            assert report.type_ii == base.type_ii
+            assert report.tester_seconds == base.tester_seconds
+        for store in stores[1:]:
+            assert store.lot_table() == stores[0].lot_table()
+            assert store.method_table() == stores[0].method_table()
+            assert store.bin_table() == stores[0].bin_table()
+
+    def test_generator_rejected_with_plan(self):
+        lot = Lot.draw(WaferSpec(n_devices=40), n_wafers=1, seed=6)
+        with pytest.raises(ValueError):
+            self._line().screen_lot(lot, rng=np.random.default_rng(0),
+                                    plan=ExecutionPlan(workers=2))
+
+
+class TestResultStoreMerge:
+    def test_sharded_stores_merge_to_the_sequential_tables(self):
+        spec = WaferSpec(n_devices=80)
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=0.5)
+        lots = [Lot.draw(spec, n_wafers=1, seed=s, lot_id=f"L{s}")
+                for s in (1, 2, 3)]
+
+        sequential = ResultStore()
+        partials = []
+        for method, lot in zip(("bist", "histogram", "bist"), lots):
+            line = ScreeningLine(config, method=method)
+            line.screen_lot(lot, rng=0, store=sequential)
+            partial = ResultStore()
+            line.screen_lot(lot, rng=0, store=partial)
+            partials.append(partial)
+
+        merged = ResultStore.merge(partials)
+        assert merged.lot_table() == sequential.lot_table()
+        assert merged.method_table() == sequential.method_table()
+        assert merged.scenario_table() == sequential.scenario_table()
+        assert merged.bin_table() == sequential.bin_table()
+        assert merged.total_devices == sequential.total_devices
+
+    def test_scenario_table_splits_architectures(self):
+        config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+        store = ResultStore()
+        for arch in ("flash", "sar"):
+            lot = Lot.draw(WaferSpec(n_devices=40, architecture=arch),
+                           n_wafers=1, seed=2, lot_id=arch)
+            ScreeningLine(config).screen_lot(lot, rng=0, store=store)
+        table = store.scenario_table()
+        assert "flash/full" in table
+        assert "sar/full" in table
+
+
+class TestResultMergeClassmethods:
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            BatchBistResult.merge([])
+
+    def test_mismatched_shards_rejected(self):
+        wafer = draw_wafer(40, "flash", seed=1)
+        engine = BatchBistEngine(_bist_config(0.0))
+        a = engine.run_wafer(wafer)
+        b = engine.run_wafer(wafer)
+        b.samples_taken += 1
+        with pytest.raises(ValueError):
+            BatchBistResult.merge([a, b])
+
+    def test_merge_concatenates_in_shard_order(self):
+        wafer = draw_wafer(60, "flash", seed=1)
+        engine = BatchBistEngine(_bist_config(0.0))
+        whole = engine.run_wafer(wafer)
+        context = engine.prepare(wafer.transitions)
+        parts = [engine.run_shard(context, wafer.transitions[lo:hi])
+                 for lo, hi in [(0, 25), (25, 60)]]
+        assert_batch_results_identical(whole, BatchBistResult.merge(parts))

@@ -165,6 +165,57 @@ class TestBatchChipMode:
         assert chips.sequential_test_time_s == pytest.approx(
             4 * chips.test_time_s)
 
+    def test_noisy_partial_chip_mode_matches_scalar_replay(self):
+        """Controller-parity seeding: with transition noise, converter
+        ``j`` of chip ``c`` must reproduce the scalar partial engine run
+        with child ``j`` of ``SeedSequence(chip_noise_seeds(rng)[c])`` —
+        the same spawning scheme the full-BIST chip mode (and the
+        multi-ADC controller) uses."""
+        from repro.production import chip_noise_seeds
+
+        wafer = Wafer.draw(WaferSpec(n_devices=24), rng=5)
+        config = PartialBistConfig(n_bits=6, q=2, dnl_spec_lsb=1.0,
+                                   transition_noise_lsb=0.02)
+        batch = BatchPartialBistEngine(config).run_chips(
+            wafer, converters_per_chip=4, rng=77)
+
+        scalar = PartialBistEngine(config)
+        seeds = chip_noise_seeds(77, batch.n_chips)
+        replay = []
+        for chip in range(batch.n_chips):
+            children = np.random.SeedSequence(int(seeds[chip])).spawn(4)
+            for conv, child in enumerate(children):
+                device = wafer.device(chip * 4 + conv)
+                replay.append(scalar.run(
+                    device, rng=np.random.default_rng(child)).passed)
+        np.testing.assert_array_equal(batch.converter_passed,
+                                      np.array(replay))
+
+    def test_noisy_partial_chip_mode_regression_vector(self):
+        """Pinned outcome of a seeded noisy chip run.
+
+        Any change to the seeding discipline (chip seed derivation,
+        per-converter spawning, noise-draw order) shows up here as a
+        changed register vector, not as a silent re-draw."""
+        wafer = Wafer.draw(WaferSpec(n_devices=24), rng=5)
+        config = PartialBistConfig(n_bits=6, q=2, dnl_spec_lsb=1.0,
+                                   transition_noise_lsb=0.02)
+        result = BatchPartialBistEngine(config).run_chips(
+            wafer, converters_per_chip=4, rng=77)
+        np.testing.assert_array_equal(
+            result.result_registers, [15, 15, 15, 7, 7, 15])
+        np.testing.assert_array_equal(
+            result.chip_passed, [True, True, True, False, False, True])
+        assert result.n_chips_passed == 4
+
+    def test_noisy_chip_mode_rejects_generator(self):
+        wafer = Wafer.draw(WaferSpec(n_devices=8), rng=5)
+        config = PartialBistConfig(n_bits=6, q=2, dnl_spec_lsb=1.0,
+                                   transition_noise_lsb=0.02)
+        with pytest.raises(ValueError):
+            BatchPartialBistEngine(config).run_chips(
+                wafer, 4, rng=np.random.default_rng(0))
+
     def test_chip_grouping_validation(self):
         with pytest.raises(ValueError):
             chip_grouping(np.ones(10, dtype=bool), 4)

@@ -112,6 +112,36 @@ class TestCommands:
             main(["lot", "--wafers", "1", "--devices", "100",
                   "--method", "histogram", "--q", "2"])
 
+    def test_lot_workers_defaults(self):
+        args = build_parser().parse_args(["lot"])
+        assert args.workers is None
+        assert args.chunk_size is None
+
+    def test_lot_report_byte_identical_across_workers(self, capsys):
+        """The scale-out acceptance criterion at the CLI surface: the
+        floor report of a noisy lot must be byte-identical for any
+        (workers, chunk-size), with --workers 1 as the serial reference.
+        Only the wall-clock simulation line may differ."""
+
+        def run(extra):
+            assert main(["lot", "--wafers", "1", "--devices", "300",
+                         "--noise", "0.05", "--deglitch", "3",
+                         "--retest", "1", "--seed", "11"] + extra) == 0
+            out = capsys.readouterr().out
+            return "\n".join(line for line in out.splitlines()
+                             if "devices/s (batched engine)" not in line)
+
+        reference = run(["--workers", "1", "--chunk-size", "64"])
+        assert run(["--workers", "2", "--chunk-size", "64"]) == reference
+        assert run(["--workers", "4", "--chunk-size", "29"]) == reference
+        assert run(["--workers", "2", "--chunk-size", "128"]) == reference
+
+    def test_partial_with_workers(self, capsys):
+        assert main(["partial", "--devices", "200", "--q", "2",
+                     "--workers", "2", "--chunk-size", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "accept fraction" in out
+
     def test_compare_bist_vs_histogram(self, capsys):
         assert main(["compare", "--devices", "400", "--seed", "7"]) == 0
         out = capsys.readouterr().out
