@@ -27,6 +27,18 @@ E.M.J.G. Bruls and P.P.L. Regtien.  It contains:
     Test-cost and parallel-test scheduling models quantifying the test-time
     reduction the paper motivates.
 
+``repro.production``
+    The production floor: wafer/lot parameter-matrix models, the vectorised
+    batch engines, the deterministic scale-out layer, the screening line
+    and the result-store ledger.
+
+``repro.campaign``
+    The declarative front door: :class:`~repro.campaign.scenario.Scenario`
+    (one frozen value object per run), :func:`~repro.campaign.factory.make_engine`
+    (the only engine-construction site) and
+    :class:`~repro.campaign.driver.Campaign` (scenario grids fanned over
+    the scale-out layer, shard-merged into one ledger).
+
 ``repro.reporting``
     Helpers used by the benchmark harness to print the paper's tables and
     figure series.
@@ -81,8 +93,18 @@ from repro.signals import (
     SamplingClock,
     NoiseModel,
 )
+from repro.campaign import (
+    Campaign,
+    CampaignResult,
+    Scenario,
+    make_engine,
+)
 
 __all__ = [
+    "Campaign",
+    "CampaignResult",
+    "Scenario",
+    "make_engine",
     "ADC",
     "FlashADC",
     "IdealADC",

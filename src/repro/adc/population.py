@@ -31,6 +31,7 @@ and it will be removed once nothing depends on those realisations.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Union
 
@@ -206,6 +207,15 @@ class PopulationSpec:
             raise ValueError(
                 f"unknown architecture {self.architecture!r}; "
                 f"expected 'flash', 'gaussian', 'sar' or 'pipeline'")
+        if self.legacy_seed:
+            # stacklevel 3: __post_init__ <- generated __init__ <- caller.
+            warnings.warn(
+                "PopulationSpec(legacy_seed=True) is deprecated: "
+                "populations draw through the vectorised transfer "
+                "backends by default (same statistics, different "
+                "realisations for the same seed); the per-device-seed "
+                "draws will be removed",
+                DeprecationWarning, stacklevel=3)
 
     def backend(self):
         """The vectorised transfer backend realising this population.

@@ -1,0 +1,263 @@
+"""Campaign driver: fan a scenario grid over the scale-out layer.
+
+A :class:`Campaign` takes a list of
+:class:`~repro.campaign.scenario.Scenario` objects (usually from
+:meth:`Scenario.grid`), screens each one through a
+:class:`~repro.production.line.ScreeningLine`, and shard-merges the
+per-scenario :class:`~repro.production.store.ResultStore` ledgers into one
+— the "campaign driver that shard-merges ResultStores from parallel lot
+streams" the roadmap asked for.
+
+Determinism is inherited end to end: scenario ``i`` screens under its own
+seed (the scenario's explicit ``seed``, or child ``i`` of the campaign's
+root :class:`numpy.random.SeedSequence` — a pure function of
+``(root seed, i)``, never of execution order), and every insertion inside
+:meth:`ScreeningLine.screen_lot` derives its own grandchild seed from it.
+Passing an :class:`~repro.production.execution.ExecutionPlan` shards every
+scenario's device axis over worker processes; because per-shard seeds are
+spawned by shard index, the campaign report is **byte-identical for any
+worker count** — ``plan=ExecutionPlan(workers=1)`` is the serial reference
+of ``workers=8``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.campaign.scenario import Scenario
+from repro.production.execution import ExecutionPlan
+from repro.production.line import LotScreeningReport, ScreeningLine
+from repro.production.lot import Lot, Wafer
+from repro.production.store import ResultStore
+
+__all__ = ["Campaign", "CampaignResult", "scenario_child_seed"]
+
+
+def scenario_child_seed(root_seed: int, index: int) -> int:
+    """Deterministic seed of scenario ``index`` under a campaign root seed.
+
+    Child ``index`` of ``SeedSequence(root_seed)``, derived statelessly by
+    spawn key — a pure function of ``(root_seed, index)``, so re-ordering,
+    slicing or re-running a campaign cannot change any scenario's stream.
+    """
+    root = np.random.SeedSequence(root_seed)
+    child = np.random.SeedSequence(entropy=root.entropy,
+                                   spawn_key=root.spawn_key + (index,))
+    return int(child.generate_state(1)[0])
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced.
+
+    Attributes
+    ----------
+    scenarios, labels, seeds:
+        The scenarios that ran, their resolved (de-duplicated) labels, and
+        the seed each one screened under.
+    reports:
+        One :class:`~repro.production.line.LotScreeningReport` per
+        scenario, in scenario order.
+    store:
+        The shard-merged :class:`~repro.production.store.ResultStore`
+        ledger of the whole campaign.
+    """
+
+    scenarios: List[Scenario]
+    labels: List[str]
+    seeds: List[int]
+    reports: List[LotScreeningReport]
+    store: ResultStore = field(default_factory=ResultStore)
+
+    def table(self) -> str:
+        """The per-scenario pivot table (yield/escapes/time/cost)."""
+        return self.store.campaign_table()
+
+    def records(self) -> List[Dict[str, object]]:
+        """One plain-dict record per scenario, for JSON/CSV export."""
+        rows = []
+        for scenario, label, seed, report in zip(
+                self.scenarios, self.labels, self.seeds, self.reports):
+            rows.append({
+                "label": label,
+                "architecture": report.architecture,
+                "method": report.method,
+                "mode": report.mode,
+                "q": report.q,
+                "n_bits": scenario.n_bits,
+                "seed": seed,
+                "devices": report.n_devices,
+                "accepted": report.n_accepted,
+                "accept_fraction": report.accept_fraction,
+                "true_yield": report.p_good,
+                "type_i": report.type_i,
+                "type_ii": report.type_ii,
+                "samples_per_device": report.samples_per_device,
+                "tester_seconds": report.tester_seconds,
+                "devices_per_hour": report.devices_per_hour,
+                "cost_per_device": report.cost_per_device,
+            })
+        return rows
+
+    def to_json(self, indent: int = 2) -> str:
+        """The campaign records as a JSON array."""
+        return json.dumps(self.records(), indent=indent)
+
+    def write_csv(self, path: str) -> int:
+        """Write the campaign records to ``path`` as CSV; returns the
+        number of data rows written."""
+        records = self.records()
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(records[0])
+                                    if records else ["label"])
+            writer.writeheader()
+            writer.writerows(records)
+        return len(records)
+
+
+class Campaign:
+    """Screen a list/grid of scenarios and merge one floor ledger.
+
+    Parameters
+    ----------
+    scenarios:
+        The scenarios to screen (a single scenario is accepted too).
+        Scenarios with ``q="auto"`` are rejected — a screening line needs
+        a concrete ``q`` for its tester economics; resolve it first.
+    seed:
+        Campaign root seed.  A scenario without its own ``seed`` screens
+        under :func:`scenario_child_seed` of this root and its index; in
+        shared-wafer mode the root also seeds the one wafer draw.
+    shared_wafer:
+        Screen every scenario on **one shared wafer draw** instead of
+        per-scenario lots — the paper's comparison setting, where
+        yield/escape/cost differences are attributable to the test method
+        alone.  All scenarios must then share one wafer spec (same
+        architecture, resolution, sigma, device count).
+    shared_wafer_id:
+        Identifier of the shared wafer (default ``"SHARED-<seed>"``).
+    dynamic_analyzer, dynamic_spec:
+        Optional FFT configuration/limits applied to every ``"dynamic"``
+        scenario.
+    """
+
+    def __init__(self, scenarios: Union[Scenario, Sequence[Scenario]], *,
+                 seed: int = 2026,
+                 shared_wafer: bool = False,
+                 shared_wafer_id: Optional[str] = None,
+                 dynamic_analyzer=None,
+                 dynamic_spec=None) -> None:
+        if isinstance(scenarios, Scenario):
+            scenarios = [scenarios]
+        self.scenarios = list(scenarios)
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        self.seed = int(seed)
+        self.shared_wafer = bool(shared_wafer)
+        self.shared_wafer_id = shared_wafer_id
+        self.dynamic_analyzer = dynamic_analyzer
+        self.dynamic_spec = dynamic_spec
+        if self.shared_wafer:
+            spec = self.scenarios[0].wafer_spec()
+            for scenario in self.scenarios[1:]:
+                if scenario.wafer_spec() != spec:
+                    raise ValueError(
+                        "shared-wafer campaigns need one wafer spec; "
+                        f"{scenario.resolved_label!r} differs from "
+                        f"{self.scenarios[0].resolved_label!r}")
+        self._lines: Optional[List[ScreeningLine]] = None
+
+    # ------------------------------------------------------------------ #
+    # Derived per-scenario plumbing
+    # ------------------------------------------------------------------ #
+
+    def labels(self) -> List[str]:
+        """Resolved per-scenario labels, de-duplicated deterministically.
+
+        A duplicate label (two scenarios differing only in axes the
+        canonical name does not show, e.g. noise) gets an ``" [k]"``
+        occurrence suffix so the merged ledger keeps the rows apart; a
+        suffixed candidate that collides with an explicit label skips to
+        the next free suffix, so distinct scenarios never share a row.
+        """
+        counts: Dict[str, int] = {}
+        used = set()
+        labels = []
+        for scenario in self.scenarios:
+            base = scenario.resolved_label
+            n = counts.get(base, 0)
+            while True:
+                n += 1
+                candidate = base if n == 1 else f"{base} [{n}]"
+                if candidate not in used:
+                    break
+            counts[base] = n
+            used.add(candidate)
+            labels.append(candidate)
+        return labels
+
+    def seeds(self) -> List[int]:
+        """The seed each scenario screens under, in scenario order."""
+        return [scenario.seed if scenario.seed is not None
+                else scenario_child_seed(self.seed, i)
+                for i, scenario in enumerate(self.scenarios)]
+
+    def lines(self) -> List[ScreeningLine]:
+        """One screening line per scenario (built once, reused by run)."""
+        if self._lines is None:
+            self._lines = [
+                ScreeningLine.from_scenario(
+                    scenario,
+                    dynamic_analyzer=self.dynamic_analyzer,
+                    dynamic_spec=self.dynamic_spec)
+                for scenario in self.scenarios]
+        return self._lines
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, plan: Optional[ExecutionPlan] = None,
+            store: Optional[ResultStore] = None) -> CampaignResult:
+        """Screen every scenario and shard-merge one ledger.
+
+        Each scenario fills its own child
+        :class:`~repro.production.store.ResultStore` (the "parallel lot
+        stream"); the children are merged with
+        :meth:`ResultStore.merge` into the result's store.  With a
+        ``plan``, every scenario's device axis runs under the
+        deterministic scale-out layer — the merged ledger is
+        byte-identical for any ``(workers, chunk_size)``.
+        """
+        labels = self.labels()
+        seeds = self.seeds()
+        lines = self.lines()
+        wafer = None
+        if self.shared_wafer:
+            wafer_id = (self.shared_wafer_id if self.shared_wafer_id
+                        is not None else f"SHARED-{self.seed}")
+            wafer = Wafer.draw(self.scenarios[0].wafer_spec(),
+                               rng=self.seed, wafer_id=wafer_id)
+        stores: List[ResultStore] = []
+        reports: List[LotScreeningReport] = []
+        for scenario, label, seed, line in zip(self.scenarios, labels,
+                                               seeds, lines):
+            if wafer is not None:
+                lot = Lot([wafer], lot_id=label)
+            else:
+                lot = scenario.draw_lot(seed=seed, lot_id=label)
+            child = ResultStore()
+            reports.append(line.screen_lot(lot, rng=seed, store=child,
+                                           plan=plan))
+            stores.append(child)
+        merged = ResultStore.merge(stores)
+        if store is not None:
+            for report in merged.reports:
+                store.add(report)
+        return CampaignResult(scenarios=list(self.scenarios), labels=labels,
+                              seeds=seeds, reports=reports, store=merged)

@@ -32,6 +32,14 @@ be exercised without writing Python:
     one shared wafer draw with the BIST line and the conventional
     histogram line (optionally the dynamic suite too) and print the
     yield/escape/tester-cost comparison.
+``python -m repro.cli campaign``
+    Run a whole *scenario grid* in one call: comma-separated axis values
+    (``--arch flash,sar --method bist,histogram --q 4,8``) expand to the
+    cartesian product of declarative Scenarios, every scenario screens
+    under its own deterministic child seed, and the shard-merged ledger
+    prints as one per-scenario table (``--json``/``--csv`` export the
+    records).  The lot/partial/compare commands are thin wrappers over
+    the same Scenario API.
 
 Every command accepts ``--help`` for its options.
 """
@@ -47,20 +55,17 @@ import numpy as np
 
 from repro.adc import ARCHITECTURES, FlashADC
 from repro.analysis import CodeWidthDistribution, ErrorModel, HistogramTest
+from repro.campaign import AUTO_Q, Campaign, Scenario, make_engine
 from repro.core import (
     BistConfig,
     BistEngine,
-    PartialBistConfig,
     PopulationBistResult,
     qmin,
 )
-from repro.economics import TesterModel
 from repro.production import (
     SCREENING_METHODS,
     BatchBistEngine,
-    BatchPartialBistEngine,
     ExecutionPlan,
-    Lot,
     ResultStore,
     ScreeningLine,
     Wafer,
@@ -82,6 +87,46 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "--chunk-size", type=int, default=None,
         help="devices materialised per chunk inside each shard (memory "
              "knob; never changes results)")
+
+
+def _axis(choices, label: str):
+    """An argparse ``type=`` parser for a comma-separated choices axis.
+
+    Validation errors surface as clean usage messages (like the
+    ``choices=`` of the single-value commands), not tracebacks.
+    """
+    def parse(text: str) -> List[str]:
+        values = [item.strip() for item in text.split(",") if item.strip()]
+        if not values:
+            raise argparse.ArgumentTypeError(f"empty {label} axis")
+        bad = [value for value in values if value not in choices]
+        if bad:
+            raise argparse.ArgumentTypeError(
+                f"invalid {label} value(s): {', '.join(map(repr, bad))} "
+                f"(choose from {', '.join(choices)})")
+        return values
+
+    return parse
+
+
+def _q_axis(text: str) -> List[Optional[int]]:
+    """The q axis: 'full' (or 'none') is the full BIST, else an integer."""
+    values: List[Optional[int]] = []
+    for item in (piece.strip() for piece in text.split(",")):
+        if not item:
+            continue
+        if item.lower() in ("full", "none"):
+            values.append(None)
+        else:
+            try:
+                values.append(int(item))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"invalid q value {item!r} (expected 'full' or an "
+                    f"integer)")
+    if not values:
+        raise argparse.ArgumentTypeError("empty q axis")
+    return values
 
 
 def _plan_from_args(args: argparse.Namespace) -> Optional[ExecutionPlan]:
@@ -241,6 +286,63 @@ def build_parser() -> argparse.ArgumentParser:
                               "comparison")
     _add_execution_arguments(compare)
 
+    campaign = sub.add_parser(
+        "campaign", help="run a declarative scenario grid through the "
+                         "screening line and print one per-scenario table")
+    campaign.add_argument("--arch", default=["flash"],
+                          type=_axis(ARCHITECTURES, "architecture"),
+                          help="comma-separated architectures, e.g. "
+                               "flash,sar,pipeline (default flash)")
+    campaign.add_argument("--method", default=["bist"],
+                          type=_axis(SCREENING_METHODS, "method"),
+                          help="comma-separated screening methods, e.g. "
+                               "bist,histogram,dynamic (default bist)")
+    campaign.add_argument("--q", default=[None], type=_q_axis,
+                          help="comma-separated BIST capture widths: "
+                               "'full' (the full BIST) or integers "
+                               "1..bits; non-BIST methods ignore the q "
+                               "axis (default full)")
+    campaign.add_argument("--bits", type=int, default=8,
+                          help="converter resolution (default 8, leaving "
+                               "headroom for q grids up to 8)")
+    campaign.add_argument("--devices", type=int, default=1000,
+                          help="dies per wafer (default 1000)")
+    campaign.add_argument("--wafers", type=int, default=1,
+                          help="wafers per scenario lot (default 1)")
+    campaign.add_argument("--sigma", type=float, default=0.21,
+                          help="code-width sigma in LSB (default 0.21)")
+    campaign.add_argument("--noise", type=float, default=0.0,
+                          help="transition noise in LSB (default 0)")
+    campaign.add_argument("--counter-bits", type=int, default=7,
+                          help="BIST counter size (default 7)")
+    campaign.add_argument("--dnl-spec", type=float, default=1.0,
+                          help="DNL specification in LSB (default 1.0)")
+    campaign.add_argument("--inl-spec", type=float, default=None,
+                          help="INL specification in LSB (default: not "
+                               "checked)")
+    campaign.add_argument("--samples-per-code", type=float, default=16.0,
+                          help="partial-BIST/histogram ramp density "
+                               "(default 16)")
+    campaign.add_argument("--per-ic", type=int, default=1,
+                          help="converters per IC (default 1)")
+    campaign.add_argument("--retest", type=int, default=0,
+                          help="retest attempts for rejected dies "
+                               "(default 0)")
+    campaign.add_argument("--tester", choices=("digital", "mixed"),
+                          default=None,
+                          help="tester model for every scenario (default: "
+                               "per-method choice)")
+    campaign.add_argument("--seed", type=int, default=2026,
+                          help="campaign root seed; scenario i screens "
+                               "under child seed i (default 2026)")
+    campaign.add_argument("--json", action="store_true",
+                          help="print the per-scenario records as JSON "
+                               "instead of tables")
+    campaign.add_argument("--csv", metavar="PATH", default=None,
+                          help="also write the per-scenario records to "
+                               "PATH as CSV")
+    _add_execution_arguments(campaign)
+
     partial = sub.add_parser(
         "partial", help="Monte-Carlo partial-BIST run over a population")
     partial.add_argument("--bits", type=int, default=6,
@@ -394,29 +496,31 @@ def _cmd_yield(args: argparse.Namespace) -> int:
 
 
 def _cmd_lot(args: argparse.Namespace) -> int:
-    spec = WaferSpec(n_bits=args.bits,
-                     sigma_code_width_lsb=args.sigma,
-                     n_devices=args.devices,
-                     architecture=args.arch)
-    lot = Lot.draw(spec, n_wafers=args.wafers, seed=args.seed,
-                   lot_id=f"LOT-{args.seed}")
-    config = BistConfig(n_bits=args.bits,
+    # The old kwargs are a thin shim over the declarative Scenario; the
+    # scenario drives line construction (via the engine factory), the lot
+    # draw and the seeding, so `repro lot` is one Scenario end to end.
+    scenario = Scenario(architecture=args.arch,
+                        method=args.method,
+                        q=args.q,
+                        n_bits=args.bits,
+                        sigma_code_width_lsb=args.sigma,
+                        n_devices=args.devices,
+                        n_wafers=args.wafers,
+                        devices_per_ic=args.per_ic,
+                        samples_per_code=args.samples_per_code,
                         counter_bits=args.counter_bits,
                         dnl_spec_lsb=args.dnl_spec,
                         inl_spec_lsb=args.inl_spec,
                         transition_noise_lsb=args.noise,
-                        deglitch_depth=args.deglitch)
-    tester = None
-    if args.tester is not None:
-        tester = (TesterModel.digital_only() if args.tester == "digital"
-                  else TesterModel.mixed_signal())
-    line = ScreeningLine(config, retest_attempts=args.retest, tester=tester,
-                         partial_q=args.q,
-                         samples_per_code=args.samples_per_code,
-                         devices_per_ic=args.per_ic,
-                         method=args.method)
+                        deglitch_depth=args.deglitch,
+                        retest_attempts=args.retest,
+                        tester=args.tester,
+                        seed=args.seed,
+                        label=f"LOT-{args.seed}")
+    line = ScreeningLine.from_scenario(scenario)
+    lot = scenario.draw_lot()
     store = ResultStore()
-    report = line.screen_lot(lot, rng=args.seed, store=store,
+    report = line.screen_lot(lot, rng=scenario.seed, store=store,
                              plan=_plan_from_args(args))
 
     print(f"lot {lot.lot_id}: {args.wafers} wafers x {args.devices} "
@@ -436,40 +540,40 @@ def _cmd_lot(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    spec = WaferSpec(n_bits=args.bits,
-                     sigma_code_width_lsb=args.sigma,
-                     n_devices=args.devices,
-                     architecture=args.arch)
-    # One shared wafer draw: every method screens the identical dies, so
-    # the yield/escape/cost differences are attributable to the test
+    # The method list is a scenario list derived from one base: every
+    # comparison point differs from it in exactly the axis it names.  The
+    # shared-wafer campaign screens the identical dies with every method,
+    # so the yield/escape/cost differences are attributable to the test
     # method alone — the paper's comparison, at production scale.
-    wafer = Wafer.draw(spec, rng=args.seed, wafer_id=f"CMP-{args.seed}")
-    config = BistConfig(n_bits=args.bits,
-                        counter_bits=args.counter_bits,
-                        dnl_spec_lsb=args.dnl_spec,
-                        inl_spec_lsb=args.inl_spec,
-                        transition_noise_lsb=args.noise)
-
-    lines = [("full BIST",
-              ScreeningLine(config, method="bist"))]
+    base = Scenario(architecture=args.arch,
+                    n_bits=args.bits,
+                    sigma_code_width_lsb=args.sigma,
+                    n_devices=args.devices,
+                    counter_bits=args.counter_bits,
+                    dnl_spec_lsb=args.dnl_spec,
+                    inl_spec_lsb=args.inl_spec,
+                    transition_noise_lsb=args.noise,
+                    seed=args.seed)
+    scenarios = [base.derive(label="full BIST")]
     if args.q is not None:
-        lines.append((f"partial BIST q={args.q}",
-                      ScreeningLine(config, partial_q=args.q)))
-    lines.append(("conventional histogram",
-                  ScreeningLine(config, method="histogram",
-                                samples_per_code=args.samples_per_code)))
+        scenarios.append(base.derive(q=args.q,
+                                     label=f"partial BIST q={args.q}"))
+    scenarios.append(base.derive(method="histogram",
+                                 samples_per_code=args.samples_per_code,
+                                 label="conventional histogram"))
     if args.dynamic:
-        lines.append(("dynamic FFT", ScreeningLine(config,
-                                                   method="dynamic")))
+        scenarios.append(base.derive(method="dynamic", label="dynamic FFT"))
 
-    store = ResultStore()
+    campaign = Campaign(scenarios, seed=args.seed, shared_wafer=True,
+                        shared_wafer_id=f"CMP-{args.seed}")
+    result = campaign.run(plan=_plan_from_args(args))
+
+    sample_rate = base.wafer_spec().sample_rate
     rows = []
-    for label, line in lines:
-        report = line.screen_lot(
-            Lot([wafer], lot_id=wafer.wafer_id), rng=args.seed, store=store,
-            plan=_plan_from_args(args))
+    for label, line, report in zip(result.labels, campaign.lines(),
+                                   result.reports):
         plan = line.test_plan(args.bits, report.samples_per_device,
-                               spec.sample_rate)
+                              sample_rate)
         rows.append([label, report.accept_fraction, report.p_good,
                      report.type_i, report.type_ii,
                      plan.data_volume_bits,
@@ -484,22 +588,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
          "type II (escapes)", "bits/device", "tester [s]", "cost/device"],
         rows, title="BIST vs conventional test on one shared wafer draw"))
     print()
-    print(store.method_table())
+    print(result.store.method_table())
     return 0
 
 
 def _cmd_partial(args: argparse.Namespace) -> int:
-    spec = WaferSpec(n_bits=args.bits,
-                     sigma_code_width_lsb=args.sigma,
-                     n_devices=args.devices,
-                     architecture=args.arch)
-    wafer = Wafer.draw(spec, rng=args.seed, wafer_id=f"MC-{args.seed}")
-    config = PartialBistConfig(n_bits=args.bits, q=args.q,
-                               samples_per_code=args.samples_per_code,
-                               dnl_spec_lsb=args.dnl_spec,
-                               inl_spec_lsb=args.inl_spec,
-                               transition_noise_lsb=args.noise)
-    engine = BatchPartialBistEngine(config)
+    # A Scenario shim like `lot`, but engine-level: the Monte-Carlo run
+    # needs no screening line, so q may stay "auto" (the Equation (1)
+    # minimum, resolved from the stimulus at run time).
+    scenario = Scenario(architecture=args.arch,
+                        method="bist",
+                        q=args.q if args.q is not None else AUTO_Q,
+                        n_bits=args.bits,
+                        sigma_code_width_lsb=args.sigma,
+                        n_devices=args.devices,
+                        samples_per_code=args.samples_per_code,
+                        dnl_spec_lsb=args.dnl_spec,
+                        inl_spec_lsb=args.inl_spec,
+                        transition_noise_lsb=args.noise,
+                        seed=args.seed)
+    wafer = scenario.draw_wafer(wafer_id=f"MC-{args.seed}")
+    engine = make_engine(scenario)
 
     start = time.perf_counter()
     result = engine.run_wafer(wafer, rng=args.seed,
@@ -540,8 +649,48 @@ def _cmd_partial(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json as _json
+
+    base = Scenario(n_bits=args.bits,
+                    sigma_code_width_lsb=args.sigma,
+                    n_devices=args.devices,
+                    n_wafers=args.wafers,
+                    devices_per_ic=args.per_ic,
+                    samples_per_code=args.samples_per_code,
+                    counter_bits=args.counter_bits,
+                    dnl_spec_lsb=args.dnl_spec,
+                    inl_spec_lsb=args.inl_spec,
+                    transition_noise_lsb=args.noise,
+                    retest_attempts=args.retest,
+                    tester=args.tester)
+    scenarios = base.grid(architecture=args.arch,
+                          method=args.method,
+                          q=args.q)
+    campaign = Campaign(scenarios, seed=args.seed)
+    result = campaign.run(plan=_plan_from_args(args))
+
+    if args.csv is not None:
+        rows = result.write_csv(args.csv)
+        print(f"wrote {rows} scenario records to {args.csv}")
+    if args.json:
+        print(_json.dumps(result.records(), indent=2))
+        return 0
+    # Everything printed below is deterministic (no wall-clock lines), so
+    # the campaign report of `--workers N` diffs byte-for-byte against
+    # the serial `--workers 1` reference.
+    print(f"campaign: {len(scenarios)} scenarios x {args.wafers} wafers "
+          f"x {args.devices} {args.bits}-bit dies, root seed {args.seed}")
+    print()
+    print(result.table())
+    print()
+    print(result.store.summary())
+    return 0
+
+
 _HANDLERS = {
     "bist": _cmd_bist,
+    "campaign": _cmd_campaign,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "figure7": _cmd_figure7,

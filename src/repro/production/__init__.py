@@ -60,7 +60,15 @@ Overview
 
 :mod:`repro.production.store` — :class:`ResultStore`, the floor ledger:
     accumulates per-lot accept/reject/bin statistics and renders them with
-    :mod:`repro.reporting.tables`.
+    :mod:`repro.reporting.tables`; :meth:`ResultStore.merge` shard-merges
+    the per-scenario child ledgers of a campaign and
+    :meth:`ResultStore.campaign_table` pivots them per scenario.
+
+The declarative front door over all of this lives in :mod:`repro.campaign`:
+a frozen :class:`~repro.campaign.scenario.Scenario` describes a run,
+:func:`~repro.campaign.factory.make_engine` is the only place engines are
+constructed (the line and the CLI are wired onto it), and
+:class:`~repro.campaign.driver.Campaign` screens whole scenario grids.
 
 Quick start
 -----------

@@ -48,7 +48,6 @@ import numpy as np
 
 from repro.analysis.dynamic import DynamicAnalyzer, DynamicSpec
 from repro.core.engine import BistConfig, PopulationBistResult
-from repro.core.partial_engine import PartialBistConfig
 from repro.economics.cost_model import TesterModel, TestPlan, cost_per_device
 from repro.economics.parallel import ParallelTestSchedule
 from repro.production.analysis_batch import (
@@ -231,70 +230,83 @@ class ScreeningLine:
                  method: str = "bist",
                  dynamic_analyzer: Optional[DynamicAnalyzer] = None,
                  dynamic_spec: Optional[DynamicSpec] = None) -> None:
+        # Imported here, not at module scope: the campaign package imports
+        # this module (Campaign drives ScreeningLine), so the factory hop
+        # must not create an import cycle.
+        from repro.campaign.factory import default_tester, make_engine
+        from repro.campaign.scenario import AUTO_Q, Scenario
+
         if retest_attempts < 0:
             raise ValueError("retest_attempts must be non-negative")
-        edges = [float(e) for e in bin_edges_lsb]
-        if any(b <= a for a, b in zip(edges, edges[1:])):
-            raise ValueError("bin_edges_lsb must be strictly ascending")
         if devices_per_ic < 1:
             raise ValueError("devices_per_ic must be positive")
-        if method not in SCREENING_METHODS:
-            raise ValueError(f"unknown screening method {method!r}; "
-                             f"expected one of {SCREENING_METHODS}")
-        if method != "bist" and partial_q is not None:
-            raise ValueError("partial_q only applies to the BIST method")
-        if method != "bist" and config.deglitch_depth > 0:
+        if partial_q == AUTO_Q:
             raise ValueError(
-                f"the {method} flow has no deglitch filter; unset "
-                f"deglitch_depth when using method={method!r}")
+                "a screening line needs a concrete partial_q for its "
+                "tester economics; q='auto' scenarios resolve q per "
+                "stimulus and only drive engine-level runs (make_engine)")
+        # The scenario describes (and validates) the measurement side of
+        # this line: method, q, noise, deglitch compatibility.  Geometry
+        # fields stay at their defaults — a line screens whatever lot it
+        # is handed.
+        scenario = Scenario(
+            method=method,
+            q=partial_q,
+            n_bits=config.n_bits,
+            samples_per_code=samples_per_code,
+            counter_bits=config.counter_bits,
+            dnl_spec_lsb=config.dnl_spec_lsb,
+            inl_spec_lsb=config.inl_spec_lsb,
+            transition_noise_lsb=config.transition_noise_lsb,
+            deglitch_depth=config.deglitch_depth,
+            retest_attempts=retest_attempts,
+            bin_edges_lsb=tuple(float(e) for e in bin_edges_lsb))
         self.config = config
+        self.scenario = scenario
         self.method = method
         self.partial_q = partial_q
+        # The factory is the only place engines are constructed; the full
+        # caller-provided config (stimulus imperfections, counter policy,
+        # seed) rides through unchanged.
         self.engine: Union[BatchBistEngine, BatchPartialBistEngine,
                            BatchHistogramTest, BatchDynamicSuite]
-        if method == "histogram":
-            self.engine = BatchHistogramTest(
-                samples_per_code=samples_per_code,
-                dnl_spec_lsb=config.dnl_spec_lsb,
-                inl_spec_lsb=config.inl_spec_lsb,
-                transition_noise_lsb=config.transition_noise_lsb,
-                seed=config.seed)
-        elif method == "dynamic":
-            self.engine = BatchDynamicSuite(
-                analyzer=dynamic_analyzer,
-                spec=dynamic_spec,
-                transition_noise_lsb=config.transition_noise_lsb,
-                seed=config.seed)
-        elif partial_q is None:
-            self.engine = BatchBistEngine(config)
-        else:
-            if config.deglitch_depth > 0:
-                raise ValueError(
-                    "the partial-BIST flow has no deglitch filter; "
-                    "unset deglitch_depth when using partial_q")
-            self.engine = BatchPartialBistEngine(PartialBistConfig(
-                n_bits=config.n_bits,
-                q=int(partial_q),
-                samples_per_code=samples_per_code,
-                dnl_spec_lsb=config.dnl_spec_lsb,
-                inl_spec_lsb=config.inl_spec_lsb,
-                check_msb=config.check_msb,
-                transition_noise_lsb=config.transition_noise_lsb,
-                start_margin_lsb=config.start_margin_lsb,
-                seed=config.seed))
+        self.engine = make_engine(scenario, config=config,
+                                  dynamic_analyzer=dynamic_analyzer,
+                                  dynamic_spec=dynamic_spec)
         self.retest_attempts = int(retest_attempts)
-        self.bin_edges_lsb = edges
-        if tester is not None:
-            self.tester = tester
-        elif method == "bist" and partial_q is None:
-            # The full BIST needs nothing but digital pins.
-            self.tester = TesterModel.digital_only()
-        else:
-            # Partial BIST, histogram and dynamic all capture analog-driven
-            # output data and need the precision stimulus of a mixed-signal
-            # tester.
-            self.tester = TesterModel.mixed_signal()
+        self.bin_edges_lsb = list(scenario.bin_edges_lsb)
+        self.tester = (tester if tester is not None
+                       else default_tester(scenario))
         self.devices_per_ic = int(devices_per_ic)
+
+    @classmethod
+    def from_scenario(cls, scenario,
+                      tester: Optional[TesterModel] = None,
+                      dynamic_analyzer: Optional[DynamicAnalyzer] = None,
+                      dynamic_spec: Optional[DynamicSpec] = None
+                      ) -> "ScreeningLine":
+        """Build the fully configured line a scenario describes.
+
+        The declarative entry point: measurement config, method, ``q``,
+        retest policy, bins, tester and chip grouping all come from the
+        :class:`~repro.campaign.scenario.Scenario`; an explicit ``tester``
+        argument overrides the scenario's choice.
+        """
+        line = cls(scenario.bist_config(),
+                   retest_attempts=scenario.retest_attempts,
+                   bin_edges_lsb=scenario.bin_edges_lsb,
+                   tester=(tester if tester is not None
+                           else scenario.tester_model()),
+                   devices_per_ic=scenario.devices_per_ic,
+                   partial_q=scenario.q,
+                   samples_per_code=scenario.samples_per_code,
+                   method=scenario.method,
+                   dynamic_analyzer=dynamic_analyzer,
+                   dynamic_spec=dynamic_spec)
+        # Keep the caller's full scenario (geometry, seed, label included)
+        # rather than the line's measurement-only reconstruction.
+        line.scenario = scenario
+        return line
 
     @property
     def mode(self) -> str:

@@ -217,6 +217,7 @@ class BatchPartialBistEngine:
 
     def run_chips(self, wafer: Wafer, converters_per_chip: int,
                   rng: RngLike = None,
+                  chunk_size: Optional[int] = None,
                   plan: Optional[ExecutionPlan] = None
                   ) -> BatchChipBistResult:
         """Batched multi-converter IC test under the partial scheme.
@@ -233,14 +234,16 @@ class BatchPartialBistEngine:
         """
         if self.config.transition_noise_lsb > 0.0:
             return self._run_chips_noisy(wafer, converters_per_chip, rng,
-                                         plan=plan)
-        result = self.run_wafer(wafer, rng=rng, plan=plan)
+                                         chunk_size=chunk_size, plan=plan)
+        result = self.run_wafer(wafer, rng=rng, chunk_size=chunk_size,
+                                plan=plan)
         return build_chip_result(result.passed, converters_per_chip,
                                  result.samples_taken,
                                  wafer.spec.sample_rate)
 
     def _run_chips_noisy(self, wafer: Wafer, converters_per_chip: int,
                          rng: RngLike,
+                         chunk_size: Optional[int] = None,
                          plan: Optional[ExecutionPlan] = None
                          ) -> BatchChipBistResult:
         """Chip mode with per-converter noise seeds (controller parity).
@@ -262,7 +265,8 @@ class BatchPartialBistEngine:
                                  else ExecutionPlan())
         bounds = executor.plan.shard_bounds(transitions.shape[0],
                                             align=converters_per_chip)
-        chunk = executor.plan.chunk_size
+        chunk = (chunk_size if chunk_size is not None
+                 else executor.plan.chunk_size)
         results = executor.map(
             self._noisy_chip_shard,
             [(ctx, transitions[lo:hi],

@@ -99,7 +99,12 @@ class ResultStore:
         return totals
 
     def station_totals(self) -> List[StationStats]:
-        """Per-station totals (devices in/accepted, tester time) over lots."""
+        """Per-station totals (devices in/accepted, tester time) over lots.
+
+        Returned in the line's canonical order — screening stations (by
+        name), then retest, then binning — independent of the order lots
+        were added or stores were merged.
+        """
         merged: Dict[str, StationStats] = {}
         for report in self._reports:
             for station in report.stations:
@@ -112,7 +117,9 @@ class ResultStore:
                     agg.n_in += station.n_in
                     agg.n_accepted += station.n_accepted
                     agg.tester_seconds += station.tester_seconds
-        return list(merged.values())
+        rank = {"retest": 1, "binning": 2}
+        return [merged[name] for name in
+                sorted(merged, key=lambda name: (rank.get(name, 0), name))]
 
     # ------------------------------------------------------------------ #
     # Rendering
@@ -149,7 +156,8 @@ class ResultStore:
                 key = r.method
             methods.setdefault(key, []).append(r)
         rows = []
-        for name, reports in methods.items():
+        for name in sorted(methods):
+            reports = methods[name]
             devices = sum(r.n_devices for r in reports)
             accepted = sum(r.n_accepted for r in reports)
             seconds = sum(r.tester_seconds for r in reports)
@@ -197,6 +205,47 @@ class ResultStore:
             ["scenario", "lots", "devices", "accepted", "accept frac",
              "type I", "type II", "tester [s]"],
             rows, title="Screening scenarios compared")
+
+    def campaign_table(self) -> str:
+        """The campaign pivot: one row per scenario label.
+
+        The table a :class:`~repro.campaign.driver.Campaign` reports —
+        yield, escapes, tester time and cost per scenario, keyed by the
+        lot identifier (which the campaign driver sets to the scenario
+        label).  Lots sharing a label aggregate into one device-weighted
+        row; rows are sorted by label, so the table is invariant under
+        merge order.
+        """
+        groups: Dict[str, List[LotScreeningReport]] = {}
+        for r in self._reports:
+            groups.setdefault(r.lot_id, []).append(r)
+        rows = []
+        for label in sorted(groups):
+            reports = groups[label]
+            devices = sum(r.n_devices for r in reports)
+            accepted = sum(r.n_accepted for r in reports)
+            seconds = sum(r.tester_seconds for r in reports)
+
+            def weighted(value) -> float:
+                if not devices:
+                    return 0.0
+                return sum(value(r) * r.n_devices
+                           for r in reports) / devices
+
+            rows.append([label, reports[0].scenario, devices, accepted,
+                         accepted / devices if devices else 0.0,
+                         weighted(lambda r: r.p_good),
+                         weighted(lambda r: r.type_i),
+                         weighted(lambda r: r.type_ii),
+                         seconds,
+                         devices / seconds * 3600.0 if seconds > 0
+                         else float("inf"),
+                         weighted(lambda r: r.cost_per_device)])
+        return format_table(
+            ["scenario", "tag", "devices", "accepted", "accept frac",
+             "true yield", "type I", "type II", "tester [s]", "devices/h",
+             "cost/device"],
+            rows, title="Campaign results per scenario")
 
     def station_table(self) -> str:
         """One row per station, aggregated over every screened lot."""

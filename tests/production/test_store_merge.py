@@ -1,0 +1,105 @@
+"""ResultStore.merge edge cases: the shard-merge contract of the ledger.
+
+A campaign merges one child store per scenario ("parallel lot streams");
+these tests pin the edges of that operation — empty stores, single-store
+merges, duplicate scenario labels — and the invariant every aggregate
+rendering depends on: merging the same reports in any order produces the
+same tables.
+"""
+
+import itertools
+
+import pytest
+
+from repro.campaign import Campaign, Scenario
+from repro.production import ResultStore
+
+
+def _store_for(scenario, seed):
+    """One single-lot child store, as a campaign worker would fill it."""
+    result = Campaign(scenario, seed=seed).run()
+    return result.store
+
+
+@pytest.fixture(scope="module")
+def child_stores():
+    """Three heterogeneous single-lot stores (methods, archs, retest)."""
+    scenarios = [
+        Scenario(n_devices=60, dnl_spec_lsb=0.5),
+        Scenario(n_devices=60, method="histogram", dnl_spec_lsb=0.5,
+                 architecture="sar"),
+        Scenario(n_devices=60, q=2, transition_noise_lsb=0.05,
+                 retest_attempts=1, dnl_spec_lsb=0.5),
+    ]
+    return [_store_for(scenario, seed=i) for i, scenario in
+            enumerate(scenarios)]
+
+
+AGGREGATE_TABLES = ("method_table", "scenario_table", "campaign_table",
+                    "station_table", "bin_table", "summary")
+
+
+class TestMergeEdges:
+    def test_merge_of_nothing_is_empty(self):
+        merged = ResultStore.merge([])
+        assert len(merged) == 0
+        assert merged.total_devices == 0
+        assert merged.overall_accept_fraction == 0.0
+        # Every rendering must still produce a (headers-only) table.
+        for table in AGGREGATE_TABLES + ("lot_table",):
+            assert isinstance(getattr(merged, table)(), str)
+
+    def test_merge_of_empty_stores_is_empty(self):
+        assert len(ResultStore.merge([ResultStore(), ResultStore()])) == 0
+
+    def test_single_store_merge_is_identity(self, child_stores):
+        store = child_stores[0]
+        merged = ResultStore.merge([store])
+        assert merged.reports == store.reports
+        for table in AGGREGATE_TABLES + ("lot_table",):
+            assert getattr(merged, table)() == getattr(store, table)()
+
+    def test_merge_does_not_alias_children(self, child_stores):
+        merged = ResultStore.merge(child_stores)
+        before = len(child_stores[0])
+        merged.add(child_stores[1].reports[0])
+        assert len(child_stores[0]) == before
+
+    def test_duplicate_scenario_labels_aggregate(self):
+        scenario = Scenario(n_devices=60, label="dup")
+        merged = ResultStore.merge([_store_for(scenario, seed=1),
+                                    _store_for(scenario, seed=2)])
+        assert merged.total_devices == 120
+        table = merged.campaign_table()
+        # One aggregated, device-weighted row — not two rows racing for
+        # the same key.
+        assert table.count("dup") == 1
+        assert " 120 " in table
+
+
+class TestMergeOrderInvariance:
+    def test_every_aggregate_table_is_order_invariant(self, child_stores):
+        reference = ResultStore.merge(child_stores)
+        for permutation in itertools.permutations(child_stores):
+            merged = ResultStore.merge(permutation)
+            for table in AGGREGATE_TABLES:
+                assert getattr(merged, table)() == \
+                    getattr(reference, table)(), table
+
+    def test_lot_table_rows_are_order_covariant_but_complete(
+            self, child_stores):
+        """The per-lot ledger keeps arrival order (it is a log, not an
+        aggregate); any merge order carries the same multiset of rows."""
+        reference = sorted(
+            ResultStore.merge(child_stores).lot_table().splitlines())
+        for permutation in itertools.permutations(child_stores):
+            rows = ResultStore.merge(permutation).lot_table().splitlines()
+            assert sorted(rows) == reference
+
+    def test_station_totals_have_canonical_order(self, child_stores):
+        # bist/histogram screening stations first (alphabetically), then
+        # retest, then binning — independent of merge order.
+        for permutation in itertools.permutations(child_stores):
+            names = [s.name for s in
+                     ResultStore.merge(permutation).station_totals()]
+            assert names == ["bist", "histogram", "retest", "binning"]

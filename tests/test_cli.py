@@ -199,3 +199,77 @@ class TestCommands:
         assert main(["yield"]) == 0
         out = capsys.readouterr().out
         assert "P(device good)" in out
+
+
+class TestCampaignCommand:
+    def test_grid_table(self, capsys):
+        assert main(["campaign", "--arch", "flash,sar",
+                     "--method", "bist,histogram", "--q", "4,8",
+                     "--devices", "120"]) == 0
+        out = capsys.readouterr().out
+        # The q axis collapses for the histogram method: 2x2x2 -> 6.
+        assert "6 scenarios" in out
+        assert "Campaign results per scenario" in out
+        assert "flash/partial q=4" in out
+        assert "sar/histogram" in out
+        assert "devices screened: 720" in out
+
+    def test_q_full_keyword(self, capsys):
+        assert main(["campaign", "--q", "full,2", "--devices", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "flash/full" in out
+        assert "flash/partial q=2" in out
+
+    def test_report_byte_identical_across_workers(self, capsys):
+        """The tentpole acceptance criterion at the CLI surface: a noisy
+        campaign grid sharded over workers prints byte-for-byte the
+        serial report (no filtering needed — the campaign output carries
+        no wall-clock lines)."""
+
+        def run(extra):
+            assert main(["campaign", "--arch", "flash,sar",
+                         "--method", "bist,histogram", "--q", "4,8",
+                         "--devices", "90", "--noise", "0.05",
+                         "--retest", "1", "--seed", "13"] + extra) == 0
+            return capsys.readouterr().out
+
+        reference = run(["--workers", "1", "--chunk-size", "32"])
+        assert run(["--workers", "4", "--chunk-size", "32"]) == reference
+        assert run(["--workers", "2", "--chunk-size", "17"]) == reference
+
+    def test_json_export(self, capsys):
+        import json
+
+        assert main(["campaign", "--q", "2,4", "--devices", "60",
+                     "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["label"] for r in records] == ["flash/partial q=2",
+                                                 "flash/partial q=4"]
+        assert all(r["devices"] == 60 for r in records)
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "grid.csv"
+        assert main(["campaign", "--q", "2,4", "--devices", "60",
+                     "--csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote 2 scenario records to {path}" in out
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("label,architecture,method")
+        assert len(lines) == 3
+
+    def test_campaign_workers_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.workers is None and args.chunk_size is None
+        assert args.bits == 8
+        assert args.arch == ["flash"] and args.q == [None]
+
+    def test_axis_typos_are_clean_usage_errors(self, capsys):
+        """Grid axes validate like the sibling commands' choices= args:
+        a typo is an argparse usage error, not a raw traceback."""
+        for argv in (["campaign", "--arch", "flahs"],
+                     ["campaign", "--method", "histgram"],
+                     ["campaign", "--q", "4.5"],
+                     ["campaign", "--q", ","]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv)
+            assert "usage:" in capsys.readouterr().err

@@ -32,6 +32,8 @@ EXPECTED_OUTPUT = {
     "bist_vs_conventional.py": ["Screening methods compared",
                                 "Tester data volume per device",
                                 "in favour of the BIST"],
+    "campaign_grid.py": ["scenario grid", "Campaign results per scenario",
+                         "cheapest screen of the grid"],
 }
 
 
