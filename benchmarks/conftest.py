@@ -5,15 +5,28 @@ claims and registers the reproduced rows/series with :func:`record_report`.
 The collected reports are printed in the terminal summary (so they appear in
 ``pytest benchmarks/ --benchmark-only`` output without needing ``-s``) —
 that printout is the artefact EXPERIMENTS.md refers to.
+
+Benchmarks additionally record machine-readable scalars with
+:func:`record_metric` (devices/sec per engine, speedup vs scalar, scaling
+efficiency).  When the ``REPRO_BENCH_JSON`` environment variable names a
+path, the collected metrics are written there as a schema-versioned JSON
+document at session end — the ``BENCH_*.json`` perf trajectory committed
+per PR and uploaded as a CI artifact.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import json
+import os
+from typing import Dict, List, Tuple, Union
 
 import pytest
 
+#: Schema tag of the benchmark-results document.
+BENCH_SCHEMA = "repro.bench/1"
+
 _REPORTS: List[Tuple[str, str]] = []
+_METRICS: Dict[str, Union[int, float]] = {}
 
 
 def record_report(title: str, body: str) -> None:
@@ -21,10 +34,21 @@ def record_report(title: str, body: str) -> None:
     _REPORTS.append((title, body))
 
 
+def record_metric(name: str, value: Union[int, float]) -> None:
+    """Register one machine-readable benchmark scalar (last write wins)."""
+    _METRICS[name] = float(value)
+
+
 @pytest.fixture
 def report():
     """Fixture handing benchmarks the report-recording callable."""
     return record_report
+
+
+@pytest.fixture
+def bench():
+    """Fixture handing benchmarks the metric-recording callable."""
+    return record_metric
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -38,3 +62,17 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         for line in body.splitlines():
             terminalreporter.write_line(line)
     _REPORTS.clear()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the collected metrics to ``$REPRO_BENCH_JSON`` when set."""
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path or not _METRICS:
+        return
+    document = {
+        "schema": BENCH_SCHEMA,
+        "metrics": {name: _METRICS[name] for name in sorted(_METRICS)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

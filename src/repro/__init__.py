@@ -43,6 +43,13 @@ E.M.J.G. Bruls and P.P.L. Regtien.  It contains:
     Helpers used by the benchmark harness to print the paper's tables and
     figure series.
 
+``repro.telemetry``
+    Observability: counters, timers and span traces threaded through the
+    executor, engines, screening line and campaign driver — a strict
+    no-op unless a :class:`~repro.telemetry.core.Telemetry` session is
+    installed — plus the ``repro`` logger hierarchy and schema-versioned
+    metrics JSON export.
+
 Quickstart
 ----------
 
@@ -99,8 +106,22 @@ from repro.campaign import (
     Scenario,
     make_engine,
 )
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    MetricsReport,
+    Telemetry,
+    current_telemetry,
+    metrics_document,
+    telemetry_session,
+)
 
 __all__ = [
+    "NULL_TELEMETRY",
+    "MetricsReport",
+    "Telemetry",
+    "current_telemetry",
+    "metrics_document",
+    "telemetry_session",
     "Campaign",
     "CampaignResult",
     "Scenario",

@@ -34,8 +34,13 @@ from repro.production.execution import ExecutionPlan
 from repro.production.line import LotScreeningReport, ScreeningLine
 from repro.production.lot import Lot, Wafer
 from repro.production.store import ResultStore
+from repro.telemetry.core import current_telemetry
+from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import MetricsReport
 
 __all__ = ["Campaign", "CampaignResult", "scenario_child_seed"]
+
+_log = get_logger("campaign")
 
 
 def scenario_child_seed(root_seed: int, index: int) -> int:
@@ -73,10 +78,17 @@ class CampaignResult:
     seeds: List[int]
     reports: List[LotScreeningReport]
     store: ResultStore = field(default_factory=ResultStore)
+    metrics: Optional[MetricsReport] = None
 
     def table(self) -> str:
         """The per-scenario pivot table (yield/escapes/time/cost)."""
         return self.store.campaign_table()
+
+    def metrics_table(self) -> str:
+        """The operational metrics pivot next to :meth:`table`."""
+        if self.metrics is None:
+            return ""
+        return self.metrics.table()
 
     def records(self) -> List[Dict[str, object]]:
         """One plain-dict record per scenario, for JSON/CSV export."""
@@ -243,21 +255,38 @@ class Campaign:
                         is not None else f"SHARED-{self.seed}")
             wafer = Wafer.draw(self.scenarios[0].wafer_spec(),
                                rng=self.seed, wafer_id=wafer_id)
+        t = current_telemetry()
         stores: List[ResultStore] = []
         reports: List[LotScreeningReport] = []
-        for scenario, label, seed, line in zip(self.scenarios, labels,
-                                               seeds, lines):
-            if wafer is not None:
-                lot = Lot([wafer], lot_id=label)
-            else:
-                lot = scenario.draw_lot(seed=seed, lot_id=label)
-            child = ResultStore()
-            reports.append(line.screen_lot(lot, rng=seed, store=child,
-                                           plan=plan))
-            stores.append(child)
+        with t.span("campaign.run", scenarios=len(self.scenarios)):
+            for index, (scenario, label, seed, line) in enumerate(
+                    zip(self.scenarios, labels, seeds, lines)):
+                if wafer is not None:
+                    lot = Lot([wafer], lot_id=label)
+                else:
+                    lot = scenario.draw_lot(seed=seed, lot_id=label)
+                child = ResultStore()
+                with t.span("campaign.scenario", label=label, seed=seed):
+                    report = line.screen_lot(lot, rng=seed, store=child,
+                                             plan=plan)
+                reports.append(report)
+                stores.append(child)
+                _log.info("scenario %d/%d %s: %d/%d accepted",
+                          index + 1, len(self.scenarios), label,
+                          report.n_accepted, report.n_devices)
+        if t.enabled:
+            t.count("campaign.scenarios", len(self.scenarios))
+            t.count("campaign.devices",
+                    sum(r.n_devices for r in reports))
+            t.count("campaign.accepted",
+                    sum(r.n_accepted for r in reports))
         merged = ResultStore.merge(stores)
         if store is not None:
             for report in merged.reports:
                 store.add(report)
+        metrics = MetricsReport.from_reports(
+            labels, {label: [report]
+                     for label, report in zip(labels, reports)})
         return CampaignResult(scenarios=list(self.scenarios), labels=labels,
-                              seeds=seeds, reports=reports, store=merged)
+                              seeds=seeds, reports=reports, store=merged,
+                              metrics=metrics)

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 import numpy as np
@@ -72,8 +71,19 @@ from repro.production import (
     WaferSpec,
 )
 from repro.reporting import ascii_plot, format_table
+from repro.telemetry import (
+    Telemetry,
+    TimerHandle,
+    configure_logging,
+    current_telemetry,
+    telemetry_session,
+    write_metrics,
+)
 
 __all__ = ["main", "build_parser"]
+
+#: Shard cadence of the `-v`/`--progress` rolling progress line.
+DEFAULT_PROGRESS_EVERY = 10
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +97,21 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "--chunk-size", type=int, default=None,
         help="devices materialised per chunk inside each shard (memory "
              "knob; never changes results)")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="INFO logging on the 'repro' logger hierarchy, shard "
+             "progress lines and a telemetry epilogue (elapsed time, "
+             "work counters)")
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="periodic shard-progress log lines (every "
+             f"{DEFAULT_PROGRESS_EVERY} shards) without the rest of -v")
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write a schema-versioned metrics JSON (work counters, "
+             "timers, trace spans) to PATH; counters are byte-identical "
+             "for any --workers value, wall-clock data is isolated under "
+             "the 'timing' block")
 
 
 def _axis(choices, label: str):
@@ -610,10 +635,13 @@ def _cmd_partial(args: argparse.Namespace) -> int:
     wafer = scenario.draw_wafer(wafer_id=f"MC-{args.seed}")
     engine = make_engine(scenario)
 
-    start = time.perf_counter()
-    result = engine.run_wafer(wafer, rng=args.seed,
-                              plan=_plan_from_args(args))
-    elapsed = time.perf_counter() - start
+    # The telemetry timer replaces the old ad-hoc perf_counter pair; the
+    # handle measures wall time even under the null telemetry, so the
+    # devices/s row below works with or without an enabled session.
+    with TimerHandle(current_telemetry(), "cli.partial.run_wafer") as tm:
+        result = engine.run_wafer(wafer, rng=args.seed,
+                                  plan=_plan_from_args(args))
+    elapsed = tm.elapsed_s
 
     # Score against the truth with the shared Monte-Carlo result type, so
     # the command reports the same joint (Table 1) error-rate convention
@@ -683,6 +711,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
           f"x {args.devices} {args.bits}-bit dies, root seed {args.seed}")
     print()
     print(result.table())
+    if args.verbose:
+        # The operational pivot next to the campaign table — built from
+        # the screening reports alone, so it is just as deterministic.
+        print()
+        print(result.metrics_table())
     print()
     print(result.store.summary())
     return 0
@@ -702,11 +735,58 @@ _HANDLERS = {
 }
 
 
+def _metrics_context(args: argparse.Namespace) -> dict:
+    """The deterministic context block of a CLI metrics document.
+
+    Deliberately excludes the execution geometry (workers, chunk size):
+    two runs of the same command must emit byte-identical documents
+    outside the ``timing`` block no matter how they were scheduled.
+    """
+    context = {"command": args.command}
+    for key in ("seed", "devices", "wafers", "bits"):
+        value = getattr(args, key, None)
+        if value is not None:
+            context[key] = value
+    return context
+
+
+def _run_with_telemetry(handler, args: argparse.Namespace) -> int:
+    """Run a batch command inside an enabled telemetry session.
+
+    The session is always on for the batch commands (its no-op cost is
+    pinned by the benchmark suite); what varies is the surface: ``-v``
+    turns on INFO logging, progress lines and the epilogue, ``--progress``
+    just the shard progress lines, ``--metrics`` the JSON document.
+    Default output is byte-identical to the uninstrumented CLI.
+    """
+    progress = args.verbose or args.progress
+    # --progress alone must still raise the logger to INFO: the shard
+    # progress lines are emitted through the `repro` hierarchy.
+    configure_logging(verbose=progress, stream=sys.stderr)
+    telemetry = Telemetry(
+        progress_every=DEFAULT_PROGRESS_EVERY if progress else 0)
+    with telemetry_session(telemetry):
+        with telemetry.timer(f"cli.{args.command}") as timer:
+            code = handler(args)
+    if args.verbose:
+        print()
+        print(f"elapsed: {timer.elapsed_s:.3f} s ({args.command})")
+        for name in sorted(telemetry.counters):
+            print(f"  {name} = {telemetry.counters[name]}")
+    if args.metrics is not None:
+        write_metrics(args.metrics, telemetry,
+                      context=_metrics_context(args))
+        print(f"wrote metrics to {args.metrics}")
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _HANDLERS[args.command]
+    if hasattr(args, "metrics"):
+        return _run_with_telemetry(handler, args)
     return handler(args)
 
 

@@ -71,6 +71,7 @@ from repro.production.execution import (
 from repro.production.lot import Wafer
 from repro.signals.ramp import RampStimulus
 from repro.signals.sine import SineStimulus
+from repro.telemetry.core import current_telemetry
 
 __all__ = ["BatchHistogramResult", "BatchHistogramTest",
            "BatchDynamicResult", "BatchDynamicSuite"]
@@ -331,17 +332,19 @@ class BatchHistogramTest:
                 sample_rate: float = 1e6) -> _HistogramShardContext:
         """Validate a batch and derive the shared per-run context."""
         scalar = self._scalar
-        n_bits = _infer_n_bits(transitions)
-        proxy = IdealADC(n_bits, full_scale, sample_rate)
-        # Identical stimulus derivation to HistogramTest.acquire.
-        ramp = RampStimulus.for_adc(proxy, scalar.samples_per_code)
-        n_samples = ramp.n_samples_for_adc(proxy)
-        times = np.arange(n_samples) / sample_rate
-        return _HistogramShardContext(
-            ramp_voltages=ramp.voltage(times),
-            n_samples=n_samples,
-            n_bits=n_bits,
-            lsb_volts=proxy.lsb)
+        with current_telemetry().span("engine.histogram.prepare",
+                                      devices=int(transitions.shape[0])):
+            n_bits = _infer_n_bits(transitions)
+            proxy = IdealADC(n_bits, full_scale, sample_rate)
+            # Identical stimulus derivation to HistogramTest.acquire.
+            ramp = RampStimulus.for_adc(proxy, scalar.samples_per_code)
+            n_samples = ramp.n_samples_for_adc(proxy)
+            times = np.arange(n_samples) / sample_rate
+            return _HistogramShardContext(
+                ramp_voltages=ramp.voltage(times),
+                n_samples=n_samples,
+                n_bits=n_bits,
+                lsb_volts=proxy.lsb)
 
     def run_shard(self, context: _HistogramShardContext,
                   transitions: np.ndarray, rng: RngLike = None,
@@ -358,31 +361,43 @@ class BatchHistogramTest:
 
         n_devices = transitions.shape[0]
         n_codes = 1 << context.n_bits
-        if scalar.transition_noise_lsb > 0.0:
-            counts = np.empty((n_devices, n_codes), dtype=float)
-            for lo, hi in iter_slices(n_devices, chunk_size):
-                chunk = transitions[lo:hi]
-                # Per-device noise rows, drawn in device order from the
-                # shard's stream (row d equals the d-th scalar draw).
-                voltages = context.ramp_voltages + generator.normal(
-                    0.0, scalar.transition_noise_lsb * context.lsb_volts,
-                    size=(chunk.shape[0], context.n_samples))
-                codes = batch_quantise_rows(chunk, voltages)
-                # Codes from a (devices, 2**n - 1) transition matrix are
-                # already within [0, n_codes), as the kernel requires.
-                counts[lo:hi] = batch_code_histogram(codes, n_codes)
-        else:
-            # Event path: the histogram follows from the sorted crossing
-            # indices alone; no per-sample matrix is ever materialised.
-            counts = batch_shared_ramp_histogram(
-                transitions, context.ramp_voltages).astype(float)
+        t = current_telemetry()
+        if t.enabled:
+            t.count("engine.histogram.shards")
+            t.count("engine.histogram.devices", n_devices)
+            t.count("engine.histogram.samples",
+                    n_devices * context.n_samples)
+            t.count("engine.histogram.event_path_devices"
+                    if scalar.transition_noise_lsb == 0.0
+                    else "engine.histogram.stream_path_devices", n_devices)
+        with t.span("engine.histogram.run_shard", devices=n_devices):
+            if scalar.transition_noise_lsb > 0.0:
+                counts = np.empty((n_devices, n_codes), dtype=float)
+                for lo, hi in iter_slices(n_devices, chunk_size):
+                    chunk = transitions[lo:hi]
+                    # Per-device noise rows, drawn in device order from the
+                    # shard's stream (row d equals the d-th scalar draw).
+                    voltages = context.ramp_voltages + generator.normal(
+                        0.0, scalar.transition_noise_lsb * context.lsb_volts,
+                        size=(chunk.shape[0], context.n_samples))
+                    codes = batch_quantise_rows(chunk, voltages)
+                    # Codes from a (devices, 2**n - 1) transition matrix are
+                    # already within [0, n_codes), as the kernel requires.
+                    counts[lo:hi] = batch_code_histogram(codes, n_codes)
+            else:
+                # Event path: the histogram follows from the sorted crossing
+                # indices alone; no per-sample matrix is ever materialised.
+                counts = batch_shared_ramp_histogram(
+                    transitions, context.ramp_voltages).astype(float)
 
-        return self._evaluate(counts, context.n_bits, context.n_samples)
+            return self._evaluate(counts, context.n_bits, context.n_samples)
 
     def merge(self, shard_results: Sequence[BatchHistogramResult]
               ) -> BatchHistogramResult:
         """Combine per-shard results (in shard order) into one result."""
-        return BatchHistogramResult.merge(shard_results)
+        with current_telemetry().span("engine.histogram.merge",
+                                      shards=len(shard_results)):
+            return BatchHistogramResult.merge(shard_results)
 
     def _evaluate(self, counts: np.ndarray, n_bits: int,
                   n_samples: int) -> BatchHistogramResult:
@@ -590,24 +605,27 @@ class BatchDynamicSuite:
                 sample_rate: float = 1e6) -> _DynamicShardContext:
         """Validate a batch and derive the shared per-run context."""
         analyzer = self.analyzer
-        n_bits = _infer_n_bits(transitions)
-        proxy = IdealADC(n_bits, full_scale, sample_rate)
-        target = (self.target_frequency if self.target_frequency is not None
-                  else sample_rate / 50.0)
-        n_samples = analyzer.n_samples
-        stimulus = SineStimulus.for_adc(
-            proxy, target, n_samples,
-            amplitude_fraction=self.amplitude_fraction)
-        times = np.arange(n_samples) / sample_rate
-        return _DynamicShardContext(
-            sine_voltages=stimulus.voltage(times),
-            freqs=np.fft.rfftfreq(n_samples, d=1.0 / sample_rate),
-            n_samples=n_samples,
-            n_bits=n_bits,
-            lsb_volts=proxy.lsb,
-            fundamental_hz=stimulus.frequency,
-            sample_rate=sample_rate,
-            spec=self.resolved_spec(n_bits))
+        with current_telemetry().span("engine.dynamic.prepare",
+                                      devices=int(transitions.shape[0])):
+            n_bits = _infer_n_bits(transitions)
+            proxy = IdealADC(n_bits, full_scale, sample_rate)
+            target = (self.target_frequency
+                      if self.target_frequency is not None
+                      else sample_rate / 50.0)
+            n_samples = analyzer.n_samples
+            stimulus = SineStimulus.for_adc(
+                proxy, target, n_samples,
+                amplitude_fraction=self.amplitude_fraction)
+            times = np.arange(n_samples) / sample_rate
+            return _DynamicShardContext(
+                sine_voltages=stimulus.voltage(times),
+                freqs=np.fft.rfftfreq(n_samples, d=1.0 / sample_rate),
+                n_samples=n_samples,
+                n_bits=n_bits,
+                lsb_volts=proxy.lsb,
+                fundamental_hz=stimulus.frequency,
+                sample_rate=sample_rate,
+                spec=self.resolved_spec(n_bits))
 
     def run_shard(self, context: _DynamicShardContext,
                   transitions: np.ndarray, rng: RngLike = None,
@@ -625,41 +643,55 @@ class BatchDynamicSuite:
         n_devices = transitions.shape[0]
         n_samples = context.n_samples
         spec = context.spec
-        chunks = []
-        for lo, hi in iter_slices(n_devices, chunk_size):
-            chunk = transitions[lo:hi]
-            if self.transition_noise_lsb > 0.0:
-                voltages = context.sine_voltages + generator.normal(
-                    0.0, self.transition_noise_lsb * context.lsb_volts,
-                    size=(chunk.shape[0], n_samples))
-            else:
-                voltages = np.broadcast_to(context.sine_voltages,
-                                           (chunk.shape[0], n_samples))
-            codes = batch_quantise_rows(chunk, voltages)
-            power = analyzer.windowed_power(codes)
-            # Vectorised per-tone bookkeeping: the fundamental is located
-            # per device as an index vector and every figure reduces along
-            # the bin axis — the scalar analyze_power is the batch-of-1
-            # wrapper of this same kernel, which keeps the figures
-            # bit-exact.
-            chunks.append(analyzer.analyze_power_batch(
-                power, context.freqs, context.fundamental_hz,
-                context.sample_rate))
+        t = current_telemetry()
+        if t.enabled:
+            t.count("engine.dynamic.shards")
+            t.count("engine.dynamic.devices", n_devices)
+            t.count("engine.dynamic.samples", n_devices * n_samples)
+            # The FFT suite always materialises the sample matrix; the
+            # noise-free case is still the cheap shared-stimulus path.
+            t.count("engine.dynamic.event_path_devices"
+                    if self.transition_noise_lsb == 0.0
+                    else "engine.dynamic.stream_path_devices", n_devices)
+        with t.span("engine.dynamic.run_shard", devices=n_devices):
+            chunks = []
+            for lo, hi in iter_slices(n_devices, chunk_size):
+                chunk = transitions[lo:hi]
+                if self.transition_noise_lsb > 0.0:
+                    voltages = context.sine_voltages + generator.normal(
+                        0.0, self.transition_noise_lsb * context.lsb_volts,
+                        size=(chunk.shape[0], n_samples))
+                else:
+                    voltages = np.broadcast_to(context.sine_voltages,
+                                               (chunk.shape[0], n_samples))
+                codes = batch_quantise_rows(chunk, voltages)
+                power = analyzer.windowed_power(codes)
+                # Vectorised per-tone bookkeeping: the fundamental is
+                # located per device as an index vector and every figure
+                # reduces along the bin axis — the scalar analyze_power is
+                # the batch-of-1 wrapper of this same kernel, which keeps
+                # the figures bit-exact.
+                chunks.append(analyzer.analyze_power_batch(
+                    power, context.freqs, context.fundamental_hz,
+                    context.sample_rate))
 
-        return BatchDynamicResult(
-            n_devices=n_devices,
-            passed=np.concatenate([spec.passes_batch(c) for c in chunks]),
-            enob=np.concatenate([c.enob for c in chunks]),
-            sinad_db=np.concatenate([c.sinad_db for c in chunks]),
-            snr_db=np.concatenate([c.snr_db for c in chunks]),
-            thd_db=np.concatenate([c.thd_db for c in chunks]),
-            sfdr_db=np.concatenate([c.sfdr_db for c in chunks]),
-            spec=spec,
-            fundamental_hz=context.fundamental_hz,
-            samples_taken=n_samples,
-            n_bits=context.n_bits)
+            return BatchDynamicResult(
+                n_devices=n_devices,
+                passed=np.concatenate(
+                    [spec.passes_batch(c) for c in chunks]),
+                enob=np.concatenate([c.enob for c in chunks]),
+                sinad_db=np.concatenate([c.sinad_db for c in chunks]),
+                snr_db=np.concatenate([c.snr_db for c in chunks]),
+                thd_db=np.concatenate([c.thd_db for c in chunks]),
+                sfdr_db=np.concatenate([c.sfdr_db for c in chunks]),
+                spec=spec,
+                fundamental_hz=context.fundamental_hz,
+                samples_taken=n_samples,
+                n_bits=context.n_bits)
 
     def merge(self, shard_results: Sequence[BatchDynamicResult]
               ) -> BatchDynamicResult:
         """Combine per-shard results (in shard order) into one result."""
-        return BatchDynamicResult.merge(shard_results)
+        with current_telemetry().span("engine.dynamic.merge",
+                                      shards=len(shard_results)):
+            return BatchDynamicResult.merge(shard_results)

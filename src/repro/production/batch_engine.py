@@ -71,6 +71,7 @@ from repro.production.execution import (
     resolve_plan_seed,
 )
 from repro.production.lot import Wafer
+from repro.telemetry.core import current_telemetry
 
 __all__ = ["BatchLsbProcessor", "BatchLsbResult", "BatchBistResult",
            "BatchBistEngine", "BatchChipBistResult", "batch_deglitch",
@@ -848,18 +849,20 @@ class BatchBistEngine:
                 f"configuration is for {cfg.n_bits}-bit converters; expected "
                 f"a (devices, {expected_cols}) transition matrix, got shape "
                 f"{transitions.shape}")
-        proxy = IdealADC(cfg.n_bits, full_scale, sample_rate)
-        ramp = self._scalar.build_ramp(proxy)
-        n_samples = ramp.n_samples_for_adc(proxy,
-                                           margin_lsb=cfg.start_margin_lsb)
-        times = np.arange(n_samples) / sample_rate
-        return _BistShardContext(
-            ramp_voltages=ramp.voltage(times),
-            n_samples=n_samples,
-            lsb_volts=proxy.lsb,
-            event_path=(cfg.transition_noise_lsb == 0.0
-                        and cfg.stimulus_noise_lsb == 0.0
-                        and self._deglitch is None))
+        with current_telemetry().span("engine.bist.prepare",
+                                      devices=int(transitions.shape[0])):
+            proxy = IdealADC(cfg.n_bits, full_scale, sample_rate)
+            ramp = self._scalar.build_ramp(proxy)
+            n_samples = ramp.n_samples_for_adc(
+                proxy, margin_lsb=cfg.start_margin_lsb)
+            times = np.arange(n_samples) / sample_rate
+            return _BistShardContext(
+                ramp_voltages=ramp.voltage(times),
+                n_samples=n_samples,
+                lsb_volts=proxy.lsb,
+                event_path=(cfg.transition_noise_lsb == 0.0
+                            and cfg.stimulus_noise_lsb == 0.0
+                            and self._deglitch is None))
 
     def run_shard(self, context: _BistShardContext, transitions: np.ndarray,
                   rng: RngLike = None,
@@ -880,23 +883,33 @@ class BatchBistEngine:
             raise ValueError("chunk_size must be positive")
 
         n_devices = transitions.shape[0]
-        outcomes = []
-        for lo, hi in iter_slices(n_devices, chunk_size):
-            chunk = transitions[lo:hi]
-            if context.event_path:
-                outcomes.append(self._run_events(chunk,
-                                                 context.ramp_voltages))
-            else:
-                outcomes.append(self._run_streams(chunk,
-                                                  context.ramp_voltages,
-                                                  context.lsb_volts,
-                                                  generator))
-        return self._combine(outcomes, n_devices, context.n_samples)
+        t = current_telemetry()
+        if t.enabled:
+            t.count("engine.bist.shards")
+            t.count("engine.bist.devices", n_devices)
+            t.count("engine.bist.samples", n_devices * context.n_samples)
+            t.count("engine.bist.event_path_devices" if context.event_path
+                    else "engine.bist.stream_path_devices", n_devices)
+        with t.span("engine.bist.run_shard", devices=n_devices):
+            outcomes = []
+            for lo, hi in iter_slices(n_devices, chunk_size):
+                chunk = transitions[lo:hi]
+                if context.event_path:
+                    outcomes.append(self._run_events(chunk,
+                                                     context.ramp_voltages))
+                else:
+                    outcomes.append(self._run_streams(chunk,
+                                                      context.ramp_voltages,
+                                                      context.lsb_volts,
+                                                      generator))
+            return self._combine(outcomes, n_devices, context.n_samples)
 
     def merge(self, shard_results: Sequence[BatchBistResult]
               ) -> BatchBistResult:
         """Combine per-shard results (in shard order) into one result."""
-        return BatchBistResult.merge(shard_results)
+        with current_telemetry().span("engine.bist.merge",
+                                      shards=len(shard_results)):
+            return BatchBistResult.merge(shard_results)
 
     # ------------------------------------------------------------------ #
     # Event path: crossing indices only, no sample matrix

@@ -45,7 +45,8 @@ address space.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -59,6 +60,13 @@ from typing import (
 )
 
 import numpy as np
+
+from repro.telemetry.core import (
+    Telemetry,
+    current_telemetry,
+    telemetry_session,
+)
+from repro.telemetry.log import ShardProgress
 
 __all__ = [
     "DEFAULT_SHARD_DEVICES",
@@ -187,15 +195,40 @@ class ExecutionPlan:
         return list(iter_slices(n_devices, size))
 
 
+def _run_instrumented(func: Callable[..., Any], args: Tuple,
+                      meta: Optional[dict]) -> Any:
+    """Run one shard under the ambient telemetry's per-shard span/timer."""
+    t = current_telemetry()
+    attrs = dict(meta or {})
+    attrs["pid"] = os.getpid()
+    with t.span("executor.shard", **attrs) as span:
+        result = func(*args)
+    t.record_timer("executor.shard", span.elapsed_s)
+    return result
+
+
 def _run_shard_task(payload) -> Any:
     """Worker-side trampoline: unpack one shard task and run it.
 
     Module-level so it pickles by reference under every multiprocessing
     start method; ``func`` itself is typically a bound method of a
     (picklable) engine, so the engine configuration travels with the task.
+
+    When the parent's telemetry is enabled (``collect``), the worker runs
+    under a fresh collector and ships its snapshot home alongside the
+    result; ``start_monotonic`` is read on the system-wide monotonic
+    clock so the parent can measure pool queue wait.
     """
-    func, args = payload
-    return func(*args)
+    func, args, collect, meta = payload
+    if not collect:
+        return func(*args)
+    start_monotonic = time.monotonic()
+    with telemetry_session(Telemetry()) as worker_telemetry:
+        result = _run_instrumented(func, args, meta)
+    record = worker_telemetry.snapshot()
+    record["pid"] = os.getpid()
+    record["start_monotonic"] = start_monotonic
+    return result, record
 
 
 class WaferEngine:
@@ -259,38 +292,99 @@ class ShardExecutor:
         :func:`resolve_plan_seed`.  The result is bit-identical for any
         ``(workers, chunk_size)`` of the plan.
         """
+        t = current_telemetry()
         transitions = np.asarray(transitions)
-        context = engine.prepare(transitions, full_scale, sample_rate)
-        bounds = self.plan.shard_bounds(transitions.shape[0])
-        seeds = spawn_shard_seeds(rng, len(bounds))
-        chunk = chunk_size if chunk_size is not None else self.plan.chunk_size
-        results = self.map(engine.run_shard,
-                           [(context, transitions[lo:hi], seeds[i], chunk)
-                            for i, (lo, hi) in enumerate(bounds)])
-        return engine.merge(results)
+        with t.span("executor.run", engine=type(engine).__name__,
+                    devices=int(transitions.shape[0]),
+                    workers=self.plan.workers):
+            context = engine.prepare(transitions, full_scale, sample_rate)
+            bounds = self.plan.shard_bounds(transitions.shape[0])
+            seeds = spawn_shard_seeds(rng, len(bounds))
+            chunk = (chunk_size if chunk_size is not None
+                     else self.plan.chunk_size)
+            results = self.map(engine.run_shard,
+                               [(context, transitions[lo:hi], seeds[i], chunk)
+                                for i, (lo, hi) in enumerate(bounds)],
+                               task_sizes=[hi - lo for lo, hi in bounds])
+            return engine.merge(results)
 
     # ------------------------------------------------------------------ #
     # Low-level shard dispatch
     # ------------------------------------------------------------------ #
 
     def map(self, func: Callable[..., Any],
-            arg_tuples: Sequence[Tuple]) -> List[Any]:
+            arg_tuples: Sequence[Tuple],
+            task_sizes: Optional[Sequence[int]] = None) -> List[Any]:
         """Run ``func(*args)`` for every tuple, preserving input order.
 
         The deterministic core of the executor: results come back in task
         order no matter how the pool schedules them.  Used directly by the
         chip-mode paths, whose shard arguments carry per-chip seed slices
         rather than the generic ``(context, slice, seed, chunk)`` tuple.
+
+        ``task_sizes`` (devices per task, same order as ``arg_tuples``)
+        feeds the per-shard telemetry spans and the rolling devices/sec
+        progress line; it never affects scheduling or results.
         """
         tasks = list(arg_tuples)
+        t = current_telemetry()
         n_workers = min(self.plan.workers, len(tasks))
+        if not t.enabled and t.progress_every <= 0:
+            # The uninstrumented fast paths: exactly the seed behaviour.
+            if n_workers <= 1:
+                return [func(*args) for args in tasks]
+            with ProcessPoolExecutor(
+                    max_workers=n_workers,
+                    mp_context=_multiprocessing_context()) as pool:
+                return list(pool.map(
+                    _run_shard_task,
+                    [(func, args, False, None) for args in tasks]))
+
+        if t.enabled:
+            t.count("executor.tasks", len(tasks))
+        progress = ShardProgress(len(tasks), t.progress_every, task_sizes)
+        metas: List[Optional[dict]] = []
+        for i in range(len(tasks)):
+            meta = {"shard": i}
+            if task_sizes is not None:
+                meta["devices"] = int(task_sizes[i])
+            metas.append(meta)
+
         if n_workers <= 1:
-            return [func(*args) for args in tasks]
+            results = []
+            for i, args in enumerate(tasks):
+                if t.enabled:
+                    results.append(_run_instrumented(func, args, metas[i]))
+                else:
+                    results.append(func(*args))
+                if progress.active:
+                    progress.step(i)
+            return results
+
+        collect = bool(t.enabled)
         with ProcessPoolExecutor(
                 max_workers=n_workers,
                 mp_context=_multiprocessing_context()) as pool:
-            return list(pool.map(_run_shard_task,
-                                 [(func, args) for args in tasks]))
+            submit_at: List[float] = []
+            futures = []
+            for i, args in enumerate(tasks):
+                submit_at.append(time.monotonic())
+                futures.append(pool.submit(
+                    _run_shard_task, (func, args, collect, metas[i])))
+            if progress.active:
+                index_of = {future: i for i, future in enumerate(futures)}
+                for future in as_completed(futures):
+                    progress.step(index_of[future])
+            results = []
+            for i, future in enumerate(futures):
+                value = future.result()
+                if collect:
+                    value, record = value
+                    queue_wait = max(
+                        0.0, record["start_monotonic"] - submit_at[i])
+                    t.absorb_worker(record, queue_wait)
+                results.append(value)
+            return results
 
 
 def _multiprocessing_context():

@@ -58,9 +58,13 @@ from repro.production.batch_engine import BatchBistEngine, chip_grouping
 from repro.production.execution import ExecutionPlan
 from repro.production.lot import Lot, Wafer
 from repro.production.partial_batch import BatchPartialBistEngine
+from repro.telemetry.core import current_telemetry
+from repro.telemetry.log import get_logger
 
 __all__ = ["StationStats", "LotScreeningReport", "ScreeningLine",
            "DEFAULT_BIN_EDGES_LSB", "SCREENING_METHODS"]
+
+_log = get_logger("line")
 
 RngLike = Union[int, np.random.Generator, None]
 
@@ -454,6 +458,7 @@ class ScreeningLine:
             generator = (rng if isinstance(rng, np.random.Generator)
                          else np.random.default_rng(rng))
 
+        t = current_telemetry()
         t0 = time.perf_counter()
         accepted_masks: List[np.ndarray] = []
         measured: List[np.ndarray] = []
@@ -477,46 +482,50 @@ class ScreeningLine:
                         f"which do not fill whole ICs of "
                         f"{self.devices_per_ic} converters")
 
-        for w_index, wafer in enumerate(lot):
-            result = self.engine.run_wafer(
-                wafer,
-                rng=(generator if insertion_seeds is None
-                     else insertion_seeds[w_index][0]),
-                plan=plan)
-            samples_per_device = result.samples_taken
-            accepted = result.passed.copy()
-            measured_dnl = np.array(self._bin_metric(result), dtype=float)
-            first_pass_in += len(wafer)
-            first_pass_ok += result.n_accepted
-
-            for attempt in range(self.retest_attempts):
-                rejected = np.nonzero(~accepted)[0]
-                if rejected.size == 0:
-                    break
-                retest_in += int(rejected.size)
-                retest = self.engine.run_transitions(
-                    wafer.transitions[rejected],
-                    full_scale=spec.full_scale,
-                    sample_rate=spec.sample_rate,
+        with t.span("line.screen_lot", lot=lot.lot_id, method=self.method,
+                    wafers=len(lot)):
+            for w_index, wafer in enumerate(lot):
+                result = self.engine.run_wafer(
+                    wafer,
                     rng=(generator if insertion_seeds is None
-                         else insertion_seeds[w_index][1 + attempt]),
+                         else insertion_seeds[w_index][0]),
                     plan=plan)
-                recovered = rejected[retest.passed]
-                retest_ok += int(recovered.size)
-                accepted[recovered] = True
-                measured_dnl[recovered] = \
-                    self._bin_metric(retest)[retest.passed]
+                samples_per_device = result.samples_taken
+                accepted = result.passed.copy()
+                measured_dnl = np.array(self._bin_metric(result), dtype=float)
+                first_pass_in += len(wafer)
+                first_pass_ok += result.n_accepted
 
-            accepted_masks.append(accepted)
-            measured.append(measured_dnl)
-            truly_good.append(wafer.good_mask(self.config.dnl_spec_lsb,
-                                              self.config.inl_spec_lsb))
-            if chips_whole:
-                # Chips are assembled from consecutive dies of one wafer;
-                # an IC ships only when every converter on it passed.
-                chip_passed, _ = chip_grouping(accepted, self.devices_per_ic)
-                n_chips += int(chip_passed.size)
-                n_chips_passed += int(np.count_nonzero(chip_passed))
+                for attempt in range(self.retest_attempts):
+                    rejected = np.nonzero(~accepted)[0]
+                    if rejected.size == 0:
+                        break
+                    retest_in += int(rejected.size)
+                    retest = self.engine.run_transitions(
+                        wafer.transitions[rejected],
+                        full_scale=spec.full_scale,
+                        sample_rate=spec.sample_rate,
+                        rng=(generator if insertion_seeds is None
+                             else insertion_seeds[w_index][1 + attempt]),
+                        plan=plan)
+                    recovered = rejected[retest.passed]
+                    retest_ok += int(recovered.size)
+                    accepted[recovered] = True
+                    measured_dnl[recovered] = \
+                        self._bin_metric(retest)[retest.passed]
+
+                accepted_masks.append(accepted)
+                measured.append(measured_dnl)
+                truly_good.append(wafer.good_mask(self.config.dnl_spec_lsb,
+                                                  self.config.inl_spec_lsb))
+                if chips_whole:
+                    # Chips are assembled from consecutive dies of one
+                    # wafer; an IC ships only when every converter on it
+                    # passed.
+                    chip_passed, _ = chip_grouping(accepted,
+                                                   self.devices_per_ic)
+                    n_chips += int(chip_passed.size)
+                    n_chips_passed += int(np.count_nonzero(chip_passed))
         wall_seconds = time.perf_counter() - t0
 
         accepted_all = np.concatenate(accepted_masks)
@@ -555,6 +564,29 @@ class ScreeningLine:
                                    spec.sample_rate)
         cost = cost_per_device(cost_plan, self.tester,
                                devices_per_ic=self.devices_per_ic)
+
+        if t.enabled:
+            # Pass/fail/escape tallies per station, tied to the tester
+            # economics.  All values derive from screening decisions, so
+            # the counter block is invariant under the execution plan.
+            t.count("line.lots")
+            t.count("line.devices", n_devices)
+            t.count("line.accepted", n_accepted)
+            t.count("line.escapes",
+                    int(np.count_nonzero(accepted_all & ~good_all)))
+            t.count("line.yield_loss",
+                    int(np.count_nonzero(~accepted_all & good_all)))
+            for station in stations:
+                t.count(f"line.station.{station.name}.in", station.n_in)
+                t.count(f"line.station.{station.name}.accepted",
+                        station.n_accepted)
+                t.count(f"line.station.{station.name}.rejected",
+                        station.n_in - station.n_accepted)
+            t.record_timer("line.tester_seconds",
+                           bist_seconds + retest_seconds)
+        _log.info("lot %s [%s]: %d/%d accepted, %.3f tester-s, "
+                  "%.3f s wall", lot.lot_id, self.method, n_accepted,
+                  n_devices, bist_seconds + retest_seconds, wall_seconds)
 
         report = LotScreeningReport(
             lot_id=lot.lot_id,

@@ -71,6 +71,7 @@ from repro.production.execution import (
 )
 from repro.production.lot import Wafer
 from repro.signals.ramp import RampStimulus
+from repro.telemetry.core import current_telemetry
 
 __all__ = ["BatchPartialBistResult", "BatchPartialBistEngine"]
 
@@ -385,17 +386,19 @@ class BatchPartialBistEngine:
                 f"configuration is for {cfg.n_bits}-bit converters; expected "
                 f"a (devices, {expected_cols}) transition matrix, got shape "
                 f"{transitions.shape}")
-        proxy = IdealADC(cfg.n_bits, full_scale, sample_rate)
-        ramp = RampStimulus.for_adc(proxy, cfg.samples_per_code,
-                                    start_margin_lsb=cfg.start_margin_lsb)
-        n_samples = ramp.n_samples_for_adc(proxy,
-                                           margin_lsb=cfg.start_margin_lsb)
-        times = np.arange(n_samples) / sample_rate
-        return _PartialShardContext(
-            ramp_voltages=ramp.voltage(times),
-            n_samples=n_samples,
-            lsb_volts=proxy.lsb,
-            partition=self._scalar.partition_for(proxy))
+        with current_telemetry().span("engine.partial.prepare",
+                                      devices=int(transitions.shape[0])):
+            proxy = IdealADC(cfg.n_bits, full_scale, sample_rate)
+            ramp = RampStimulus.for_adc(proxy, cfg.samples_per_code,
+                                        start_margin_lsb=cfg.start_margin_lsb)
+            n_samples = ramp.n_samples_for_adc(
+                proxy, margin_lsb=cfg.start_margin_lsb)
+            times = np.arange(n_samples) / sample_rate
+            return _PartialShardContext(
+                ramp_voltages=ramp.voltage(times),
+                n_samples=n_samples,
+                lsb_volts=proxy.lsb,
+                partition=self._scalar.partition_for(proxy))
 
     def run_shard(self, context: _PartialShardContext,
                   transitions: np.ndarray, rng: RngLike = None,
@@ -411,14 +414,25 @@ class BatchPartialBistEngine:
             raise ValueError("chunk_size must be positive")
 
         n_devices = transitions.shape[0]
-        chunks = [self._run_chunk(transitions[lo:hi], context, generator)
-                  for lo, hi in iter_slices(n_devices, chunk_size)]
-        return self._build_result(chunks, n_devices, context)
+        t = current_telemetry()
+        if t.enabled:
+            t.count("engine.partial.shards")
+            t.count("engine.partial.devices", n_devices)
+            t.count("engine.partial.samples", n_devices * context.n_samples)
+            t.count("engine.partial.event_path_devices"
+                    if self.config.transition_noise_lsb == 0.0
+                    else "engine.partial.stream_path_devices", n_devices)
+        with t.span("engine.partial.run_shard", devices=n_devices):
+            chunks = [self._run_chunk(transitions[lo:hi], context, generator)
+                      for lo, hi in iter_slices(n_devices, chunk_size)]
+            return self._build_result(chunks, n_devices, context)
 
     def merge(self, shard_results: Sequence[BatchPartialBistResult]
               ) -> BatchPartialBistResult:
         """Combine per-shard results (in shard order) into one result."""
-        return BatchPartialBistResult.merge(shard_results)
+        with current_telemetry().span("engine.partial.merge",
+                                      shards=len(shard_results)):
+            return BatchPartialBistResult.merge(shard_results)
 
     def _build_result(self, chunks, n_devices: int,
                       context: _PartialShardContext

@@ -1,0 +1,102 @@
+"""Logging surface: the ``repro`` logger hierarchy and shard progress.
+
+All run-time chatter goes through stdlib :mod:`logging` under one
+hierarchy so a host application can tune it with standard tools::
+
+    repro               root of the hierarchy
+    repro.executor      shard dispatch and progress lines
+    repro.engine        engine prepare/run/merge events
+    repro.line          screening-line station summaries
+    repro.campaign      per-scenario campaign progress
+
+:class:`ShardProgress` scales the misoc BIST driver's idiom — a poll
+loop streaming rolling error counters per sector — up to the process
+pool: every N completed shards it logs shards done/total and a rolling
+devices/sec figure.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Optional, Sequence
+
+__all__ = [
+    "ShardProgress",
+    "configure_logging",
+    "get_logger",
+]
+
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the ``repro`` hierarchy (``get_logger('executor')``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_logging(verbose: bool = False,
+                      stream=None) -> logging.Logger:
+    """Attach a handler to the ``repro`` root logger for CLI runs.
+
+    Idempotent: an existing repro handler is reused, so repeated CLI
+    invocations in one process (the test suite) do not stack handlers.
+    Library users should ignore this and configure logging themselves.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(logging.INFO if verbose else logging.WARNING)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(
+            logging.Formatter("%(name)s: %(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    return logger
+
+
+class ShardProgress:
+    """Rolling progress reporter for a sharded run.
+
+    Parameters
+    ----------
+    n_shards:
+        Total shards in the run.
+    every:
+        Log every ``every`` completed shards (and once at the end).
+        ``0`` disables the reporter entirely.
+    task_sizes:
+        Devices per shard, indexed by shard number; used for the
+        rolling devices/sec figure.  Optional — without it the line
+        reports shards only.
+    """
+
+    def __init__(self, n_shards: int, every: int,
+                 task_sizes: Optional[Sequence[int]] = None,
+                 logger: Optional[logging.Logger] = None) -> None:
+        self.n_shards = int(n_shards)
+        self.every = int(every)
+        self.task_sizes = task_sizes
+        self.logger = logger if logger is not None else get_logger("executor")
+        self.done = 0
+        self.devices_done = 0
+        self._start = time.perf_counter()
+
+    @property
+    def active(self) -> bool:
+        return self.every > 0 and self.n_shards > 0
+
+    def step(self, shard_index: int) -> None:
+        """Record one completed shard, logging on the cadence."""
+        self.done += 1
+        if self.task_sizes is not None:
+            self.devices_done += int(self.task_sizes[shard_index])
+        if self.done % self.every and self.done != self.n_shards:
+            return
+        elapsed = time.perf_counter() - self._start
+        rate = self.devices_done / elapsed if elapsed > 0 else 0.0
+        if self.task_sizes is not None:
+            self.logger.info(
+                "shard %d/%d done, %d devices, %.0f devices/s rolling",
+                self.done, self.n_shards, self.devices_done, rate)
+        else:
+            self.logger.info("shard %d/%d done", self.done, self.n_shards)

@@ -1,0 +1,129 @@
+"""Metrics export: schema-versioned JSON documents and the campaign pivot.
+
+:func:`metrics_document` renders a :class:`~repro.telemetry.core.Telemetry`
+collector as a plain dict with a hard determinism contract:
+
+* ``schema``, ``context`` and ``counters`` depend only on *work done* —
+  they are byte-identical for any execution plan (workers, chunk size).
+* everything wall-clock — timers, spans, worker identities — is
+  isolated under the single ``timing`` key, so CI can diff two runs'
+  documents after dropping that one block.
+
+:class:`MetricsReport` is the operator-facing pivot next to
+:meth:`~repro.production.store.ResultStore.campaign_table`: one row per
+scenario with throughput, escapes and cost, built purely from screening
+reports so it carries no wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.reporting.tables import format_table
+from repro.telemetry.core import SCHEMA_VERSION, Telemetry
+
+__all__ = [
+    "MetricsReport",
+    "metrics_document",
+    "render_metrics",
+    "write_metrics",
+]
+
+
+def metrics_document(telemetry: Telemetry,
+                     context: Optional[Mapping[str, Any]] = None
+                     ) -> Dict[str, Any]:
+    """Render a collector as the ``repro.metrics/1`` document."""
+    timing: Dict[str, Any] = {
+        "timers": {name: telemetry.timers[name].as_dict()
+                   for name in sorted(telemetry.timers)},
+        "spans": [span.as_dict() for span in telemetry.spans],
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "context": dict(context or {}),
+        "counters": {name: telemetry.counters[name]
+                     for name in sorted(telemetry.counters)},
+        "timing": timing,
+    }
+
+
+def render_metrics(document: Dict[str, Any]) -> str:
+    """Serialise a metrics document with deterministic key order."""
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def write_metrics(path: str, telemetry: Telemetry,
+                  context: Optional[Mapping[str, Any]] = None) -> None:
+    """Write the metrics document for ``telemetry`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_metrics(metrics_document(telemetry, context)))
+        handle.write("\n")
+
+
+@dataclass
+class MetricsReport:
+    """Per-scenario operational rollup of a campaign run.
+
+    Built from the campaign's screening reports alone (no clocks), so
+    the table is deterministic and safe to print in byte-diffed output.
+    """
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_reports(cls, labels: List[str],
+                     reports_by_label: Mapping[str, List[Any]]
+                     ) -> "MetricsReport":
+        """Aggregate lot reports (grouped by scenario label) into rows."""
+        rows = []
+        for label in labels:
+            reports = reports_by_label.get(label, [])
+            devices = sum(r.n_devices for r in reports)
+            accepted = sum(r.n_accepted for r in reports)
+            seconds = sum(r.tester_seconds for r in reports)
+
+            def weighted(value) -> float:
+                if not devices:
+                    return 0.0
+                return sum(value(r) * r.n_devices
+                           for r in reports) / devices
+
+            rows.append({
+                "label": label,
+                "lots": len(reports),
+                "devices": devices,
+                "accepted": accepted,
+                "escapes": weighted(lambda r: r.type_ii),
+                "yield_loss": weighted(lambda r: r.type_i),
+                "tester_seconds": seconds,
+                "devices_per_hour": (devices / seconds * 3600.0
+                                     if seconds > 0 else float("inf")),
+                "cost_per_device": weighted(lambda r: r.cost_per_device),
+            })
+        return cls(rows)
+
+    @property
+    def total_devices(self) -> int:
+        return sum(row["devices"] for row in self.rows)
+
+    @property
+    def total_accepted(self) -> int:
+        return sum(row["accepted"] for row in self.rows)
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        """The rows as plain dicts (stable order), for JSON export."""
+        return [dict(row) for row in self.rows]
+
+    def table(self) -> str:
+        """The operator pivot, one row per scenario."""
+        return format_table(
+            ["scenario", "lots", "devices", "accepted", "type I",
+             "type II", "tester [s]", "devices/h", "cost/device"],
+            [[row["label"], row["lots"], row["devices"], row["accepted"],
+              row["yield_loss"], row["escapes"], row["tester_seconds"],
+              row["devices_per_hour"], row["cost_per_device"]]
+             for row in self.rows],
+            title="Campaign metrics per scenario")

@@ -1,0 +1,119 @@
+"""With telemetry disabled (and enabled), results stay bit-identical.
+
+The acceptance criterion of the observability PR: instrumentation must
+never perturb the science.  Every engine's result under an enabled
+telemetry session is bit-identical to the uninstrumented run — serial
+and sharded over a worker pool — and the CLI's default output carries no
+telemetry lines at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DynamicAnalyzer, DynamicSpec
+from repro.cli import main
+from repro.core import BistConfig, PartialBistConfig
+from repro.production import (
+    BatchBistEngine,
+    BatchDynamicSuite,
+    BatchHistogramTest,
+    BatchPartialBistEngine,
+    ExecutionPlan,
+    Wafer,
+    WaferSpec,
+)
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    current_telemetry,
+    telemetry_session,
+)
+
+
+def _wafer(n_devices=120, architecture="flash", seed=3):
+    return Wafer.draw(WaferSpec(n_bits=6, sigma_code_width_lsb=0.21,
+                                n_devices=n_devices,
+                                architecture=architecture), rng=seed)
+
+
+def _engines():
+    noise = 0.05
+    return [
+        ("bist", BatchBistEngine(BistConfig(
+            n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
+            transition_noise_lsb=noise, deglitch_depth=3))),
+        ("partial", BatchPartialBistEngine(PartialBistConfig(
+            n_bits=6, q=2, dnl_spec_lsb=1.0,
+            transition_noise_lsb=noise))),
+        ("histogram", BatchHistogramTest(
+            samples_per_code=16.0, dnl_spec_lsb=1.0,
+            transition_noise_lsb=noise)),
+        ("dynamic", BatchDynamicSuite(
+            DynamicAnalyzer(n_samples=256),
+            spec=DynamicSpec(min_enob=4.0),
+            transition_noise_lsb=noise)),
+    ]
+
+
+def _result_fields(result):
+    return {name: value for name, value in vars(result).items()
+            if isinstance(value, np.ndarray)}
+
+
+@pytest.mark.parametrize("name,engine",
+                         _engines(), ids=[n for n, _ in _engines()])
+@pytest.mark.parametrize("workers", [1, 2])
+def test_engine_results_identical_with_telemetry(name, engine, workers):
+    wafer = _wafer()
+    plan = ExecutionPlan(workers=workers, shard_devices=32)
+    baseline = engine.run_wafer(wafer, rng=11, plan=plan)
+    assert current_telemetry() is NULL_TELEMETRY
+    with telemetry_session(Telemetry(progress_every=1)) as t:
+        instrumented = engine.run_wafer(wafer, rng=11, plan=plan)
+    for field, value in _result_fields(baseline).items():
+        assert np.array_equal(value, getattr(instrumented, field)), field
+    assert baseline.n_accepted == instrumented.n_accepted
+    # The instrumented run actually collected something.
+    assert t.counters[f"engine.{name}.devices"] == len(wafer)
+    assert t.counters[f"engine.{name}.shards"] == 4
+
+
+def test_cli_default_output_carries_no_telemetry(capsys):
+    argv = ["campaign", "--q", "full,2", "--devices", "60", "--seed", "9"]
+    assert main(argv) == 0
+    quiet = capsys.readouterr().out
+    assert "elapsed:" not in quiet
+    assert "Campaign metrics per scenario" not in quiet
+    assert "wrote metrics" not in quiet
+    # -v adds the metrics pivot and epilogue *after* the same report.
+    assert main(argv + ["-v"]) == 0
+    verbose = capsys.readouterr().out
+    assert verbose.startswith(quiet.split("\nlots screened")[0])
+    assert "Campaign metrics per scenario" in verbose
+    assert "elapsed:" in verbose
+    assert "campaign.devices = 120" in verbose
+
+
+def test_metrics_flag_does_not_perturb_stdout(tmp_path, capsys):
+    argv = ["lot", "--wafers", "1", "--devices", "150", "--noise", "0.05",
+            "--deglitch", "3", "--retest", "1", "--seed", "4"]
+
+    def stable(text):
+        # Drop the one wall-clock line, exactly as the CLI identity tests.
+        return "\n".join(line for line in text.splitlines()
+                         if "devices/s (batched engine)" not in line)
+
+    assert main(argv) == 0
+    baseline = stable(capsys.readouterr().out)
+    path = tmp_path / "lot.json"
+    assert main(argv + ["--metrics", str(path)]) == 0
+    out = stable(capsys.readouterr().out)
+    assert out == baseline + f"\nwrote metrics to {path}"
+    assert path.exists()
+
+
+def test_session_leaves_no_ambient_state():
+    # CLI runs install and tear down the session; library default stays
+    # the null object afterwards, so later runs take the seed fast path.
+    assert main(["partial", "--devices", "80", "--q", "2"]) == 0
+    assert current_telemetry() is NULL_TELEMETRY

@@ -1,0 +1,96 @@
+"""Metrics document and campaign pivot: schema, determinism, export."""
+
+import json
+
+from repro.campaign import Campaign, Scenario
+from repro.production import ExecutionPlan
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    MetricsReport,
+    Telemetry,
+    metrics_document,
+    render_metrics,
+    telemetry_session,
+    write_metrics,
+)
+
+
+def _run_campaign(workers: int) -> Telemetry:
+    base = Scenario(n_devices=64, transition_noise_lsb=0.05)
+    campaign = Campaign(base.grid(method=["bist", "histogram"]), seed=7)
+    with telemetry_session(Telemetry()) as t:
+        campaign.run(plan=ExecutionPlan(workers=workers, shard_devices=16))
+    return t
+
+
+class TestMetricsDocument:
+    def test_schema_and_shape(self):
+        t = Telemetry()
+        t.count("b", 2)
+        t.count("a", 1)
+        with t.timer("x"):
+            pass
+        with t.span("s"):
+            pass
+        doc = metrics_document(t, context={"command": "lot"})
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["context"] == {"command": "lot"}
+        assert list(doc["counters"]) == ["a", "b"]  # sorted
+        assert set(doc["timing"]) == {"timers", "spans"}
+        assert doc["timing"]["spans"][0]["name"] == "s"
+
+    def test_render_is_deterministic(self):
+        t = Telemetry()
+        t.count("z")
+        t.count("a")
+        text = render_metrics(metrics_document(t))
+        assert text == render_metrics(metrics_document(t))
+        assert text.index('"a"') < text.index('"z"')
+        json.loads(text)  # valid JSON
+
+    def test_non_timing_blocks_identical_across_worker_counts(self):
+        """The CI metrics-smoke contract at the library level: counters
+        and context are invariant under the execution geometry; only the
+        timing block may differ."""
+        d1 = metrics_document(_run_campaign(1), context={"seed": 7})
+        d2 = metrics_document(_run_campaign(2), context={"seed": 7})
+        d1.pop("timing")
+        d2.pop("timing")
+        assert render_metrics(d1) == render_metrics(d2)
+        assert d1["counters"]["campaign.scenarios"] == 2
+        assert d1["counters"]["line.devices"] == 128
+
+    def test_write_metrics_file(self, tmp_path):
+        t = Telemetry()
+        t.count("devices", 3)
+        path = tmp_path / "metrics.json"
+        write_metrics(str(path), t, context={"command": "campaign"})
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["counters"] == {"devices": 3}
+
+
+class TestMetricsReport:
+    def test_pivot_from_campaign_run(self):
+        base = Scenario(n_devices=60)
+        campaign = Campaign(base.grid(q=[None, 2]), seed=5)
+        result = campaign.run()
+        assert result.metrics is not None
+        assert [row["label"] for row in result.metrics.rows] == result.labels
+        assert result.metrics.total_devices == 120
+        table = result.metrics_table()
+        assert "Campaign metrics per scenario" in table
+        assert "flash/partial q=2" in table
+        records = result.metrics.as_records()
+        assert all(r["lots"] == 1 for r in records)
+        assert all(r["devices"] == 60 for r in records)
+
+    def test_empty_report(self):
+        from repro.campaign.driver import CampaignResult
+
+        report = MetricsReport.from_reports([], {})
+        assert report.rows == []
+        assert report.total_devices == 0
+        bare = CampaignResult(scenarios=[], labels=[], seeds=[], reports=[])
+        assert bare.metrics is None
+        assert bare.metrics_table() == ""

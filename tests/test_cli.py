@@ -117,6 +117,67 @@ class TestCommands:
         assert args.workers is None
         assert args.chunk_size is None
 
+    def test_observability_defaults(self):
+        # Every batch command carries the telemetry surface, off by
+        # default so reports stay byte-identical to the quiet CLI.
+        for command in ("lot", "partial", "compare", "campaign"):
+            args = build_parser().parse_args([command])
+            assert args.verbose is False
+            assert args.progress is False
+            assert args.metrics is None
+
+    def test_metrics_json_schema(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "out.json"
+        assert main(["lot", "--wafers", "1", "--devices", "200",
+                     "--seed", "5", "--metrics", str(path)]) == 0
+        assert f"wrote metrics to {path}" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.metrics/1"
+        assert doc["context"]["command"] == "lot"
+        assert doc["counters"]["line.devices"] == 200
+        # Wall-clock data is isolated under the one non-deterministic key.
+        assert set(doc) == {"schema", "context", "counters", "timing"}
+
+    def test_verbose_epilogue(self, capsys):
+        assert main(["partial", "--devices", "100", "--q", "2", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed:" in out
+        assert "engine.partial.devices = 100" in out
+
+    def test_progress_alone_raises_log_level(self):
+        # --progress without -v must still lift the repro hierarchy to
+        # INFO (the shard lines are emitted through it), and a quiet run
+        # must drop it back.
+        import logging
+
+        assert main(["partial", "--devices", "50", "--q", "2",
+                     "--progress"]) == 0
+        assert logging.getLogger("repro").level == logging.INFO
+        assert main(["partial", "--devices", "50", "--q", "2"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_progress_lines_reach_the_executor_logger(self):
+        import logging
+
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        logger = logging.getLogger("repro.executor")
+        handler = Capture()
+        logger.addHandler(handler)
+        try:
+            assert main(["lot", "--wafers", "1", "--devices", "300",
+                         "--workers", "1", "--chunk-size", "50",
+                         "--progress"]) == 0
+        finally:
+            logger.removeHandler(handler)
+        assert any(message.startswith("shard") for message in records)
+
     def test_lot_report_byte_identical_across_workers(self, capsys):
         """The scale-out acceptance criterion at the CLI surface: the
         floor report of a noisy lot must be byte-identical for any
