@@ -1,0 +1,112 @@
+"""Dispatch-overhead benchmark: cold pool vs warm pool vs serial.
+
+The persistent :class:`~repro.production.pool.WorkerPool` exists to kill
+two per-dispatch costs: forking a fresh worker set on every ``map`` call
+(cold-pool churn) and pickling matrix rows over the pipe (replaced by
+shared-memory :class:`~repro.production.pool.SliceRef` descriptors).
+This bench isolates those costs: the *noise-free event path* screens
+devices so fast that dispatch overhead dominates, so devices/second vs
+shard size is a direct read of the scheduling layer's fixed costs.
+
+Three modes per shard size, identical results asserted:
+
+``serial``
+    ``workers=1`` — the in-process reference, no dispatch at all.
+``cold``
+    ``workers=4, reuse_pool=False`` — the pre-pool behaviour: a
+    transient pool forked and torn down inside every dispatch.
+``warm``
+    ``workers=4`` inside a warmed :func:`shared_pool` block — workers
+    forked once, shards shipped by descriptor.
+
+``dispatch.warm_pool_speedup_small_shards`` (warm/cold at the smallest
+shard) is the headline: small shards mean many dispatches, which is
+where the persistent pool pays.  Like the scaling bench, the wall-clock
+rows stay report-only — this file is collected by the gating tier-1
+run, and thresholds on shared CI runners would be hostage to co-tenant
+load; the recorded BENCH_*.json trajectory is the enforcement point.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import BistConfig
+from repro.production import (
+    BatchBistEngine,
+    ExecutionPlan,
+    Wafer,
+    WaferSpec,
+    close_default_pool,
+    shared_pool,
+)
+from repro.reporting import format_table
+
+#: Shard sizes swept; 4096 devices / 4096 shard = one shard, which both
+#: pool modes run inline — the zero-dispatch sanity row.
+SHARD_SIZES = (128, 512, 1024, 4096)
+
+N_DEVICES = 4096
+WORKERS = 4
+REPEATS = 3
+
+_CONFIG = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0)
+
+
+def _throughput(engine, wafer, plan, repeats=REPEATS):
+    """Best-of devices/second over ``repeats`` timed runs (post warm-up),
+    plus the last result for the bit-identity assertion."""
+    result = engine.run_wafer(wafer, rng=0, plan=plan)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = engine.run_wafer(wafer, rng=0, plan=plan)
+        best = min(best, time.perf_counter() - start)
+    return N_DEVICES / best, result
+
+
+class TestDispatchOverhead:
+    def test_cold_vs_warm_vs_serial_across_shard_sizes(self, report,
+                                                       bench):
+        engine = BatchBistEngine(_CONFIG)
+        wafer = Wafer.draw(WaferSpec(n_bits=6, sigma_code_width_lsb=0.21,
+                                     n_devices=N_DEVICES), rng=1997)
+        rows = []
+        speedup_small = None
+        for shard in SHARD_SIZES:
+            serial_tp, reference = _throughput(engine, wafer, ExecutionPlan(
+                workers=1, shard_devices=shard))
+            cold_tp, cold_res = _throughput(engine, wafer, ExecutionPlan(
+                workers=WORKERS, shard_devices=shard, reuse_pool=False))
+            with shared_pool(workers=WORKERS) as pool:
+                pool.warm_up()
+                warm_tp, warm_res = _throughput(engine, wafer,
+                                                ExecutionPlan(
+                    workers=WORKERS, shard_devices=shard))
+            close_default_pool()
+
+            # The overhead comparison only counts if the answers are
+            # identical in all three modes.
+            for candidate in (cold_res, warm_res):
+                np.testing.assert_array_equal(reference.passed,
+                                              candidate.passed)
+
+            bench(f"dispatch.devices_per_s_serial_shard_{shard}",
+                  serial_tp)
+            bench(f"dispatch.devices_per_s_cold_shard_{shard}", cold_tp)
+            bench(f"dispatch.devices_per_s_warm_shard_{shard}", warm_tp)
+            if shard == SHARD_SIZES[0]:
+                speedup_small = warm_tp / cold_tp
+            rows.append([shard, N_DEVICES // shard, serial_tp, cold_tp,
+                         warm_tp, warm_tp / cold_tp])
+
+        bench("dispatch.warm_pool_speedup_small_shards", speedup_small)
+        report("dispatch overhead (cold pool vs warm pool vs serial)",
+               format_table(
+                   ["shard", "dispatches", "serial devices/s",
+                    "cold devices/s", "warm devices/s", "warm/cold"],
+                   rows,
+                   title=f"noise-free event path, {N_DEVICES} devices, "
+                         f"{WORKERS} workers; warm pool speedup at "
+                         f"shard {SHARD_SIZES[0]}: "
+                         f"{speedup_small:.2f}x"))

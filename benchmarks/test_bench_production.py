@@ -27,6 +27,7 @@ from repro.production import (
     ScreeningLine,
     Wafer,
     WaferSpec,
+    shared_pool,
 )
 from repro.reporting import format_table
 from repro.telemetry import current_telemetry
@@ -281,29 +282,42 @@ class TestProductionThroughput:
 
     def test_multi_worker_scaling_efficiency(self, report, bench):
         """Devices/sec of the sharded execution layer at 1, 2 and 4
-        workers on a 10k-device noisy (stream-path) wafer.
+        workers on a 10k-device noisy (stream-path) wafer, each worker
+        count served by a warmed persistent pool.
 
         The hard requirement is the determinism contract: every worker
-        count must produce bit-identical decisions.  The throughput and
-        efficiency rows are the scale-out measurement itself and stay
-        report-only: this file is collected by the gating tier-1 run,
-        and a wall-clock speedup threshold would make the blocking suite
-        hostage to co-tenant load on the CI runner."""
+        count must produce bit-identical decisions.  Efficiency is the
+        achieved fraction of the *attainable* speedup —
+        ``speedup / min(workers, cores)`` — because workers beyond the
+        machine's core count cannot add throughput, only dispatch
+        overhead; on a one-core runner the attainable speedup of any
+        worker count is 1x and the metric reads "how much of the serial
+        throughput survives the scheduling layer".  The raw per-worker
+        ratio (``speedup / workers``) and the core count are recorded
+        alongside so trajectories across differently-sized runners stay
+        comparable.  The rows are the scale-out measurement itself and
+        stay report-only: this file is collected by the gating tier-1
+        run, and a wall-clock speedup threshold would make the blocking
+        suite hostage to co-tenant load on the CI runner."""
         n_devices = 10_000
         wafer = _wafer(n_devices)
         config = BistConfig(n_bits=6, counter_bits=7, dnl_spec_lsb=1.0,
                             transition_noise_lsb=0.05, deglitch_depth=3)
         engine = BatchBistEngine(config)
+        cores = os.cpu_count() or 1
 
         rows = []
         throughput = {}
         reference = None
+        bench("scaling.cores", float(cores))
         for workers in (1, 2, 4):
             plan = ExecutionPlan(workers=workers)
-            engine.run_wafer(_wafer(512), rng=0, plan=plan)  # warm-up
-            start = time.perf_counter()
-            result = engine.run_wafer(wafer, rng=0, plan=plan)
-            elapsed = time.perf_counter() - start
+            with shared_pool(workers=workers) as pool:
+                pool.warm_up()
+                engine.run_wafer(_wafer(512), rng=0, plan=plan)  # warm-up
+                start = time.perf_counter()
+                result = engine.run_wafer(wafer, rng=0, plan=plan)
+                elapsed = time.perf_counter() - start
             if reference is None:
                 reference = result
             else:
@@ -314,22 +328,25 @@ class TestProductionThroughput:
                     reference.measured_max_dnl_lsb,
                     result.measured_max_dnl_lsb)
             throughput[workers] = n_devices / elapsed
+            speedup = throughput[workers] / throughput[1]
+            attainable = min(workers, cores)
             bench(f"scaling.devices_per_s_workers_{workers}",
                   throughput[workers])
             bench(f"scaling.efficiency_workers_{workers}",
-                  throughput[workers] / throughput[1] / workers)
-            rows.append([workers, n_devices / elapsed,
-                         throughput[workers] / throughput[1],
-                         throughput[workers] / throughput[1] / workers])
+                  speedup / attainable)
+            bench(f"scaling.efficiency_per_worker_workers_{workers}",
+                  speedup / workers)
+            rows.append([workers, throughput[workers], speedup,
+                         speedup / attainable, speedup / workers])
 
-        cores = os.cpu_count() or 1
         report("multi-worker scaling (noisy full BIST, 10k devices)",
                format_table(
-                   ["workers", "devices/s", "speedup", "efficiency"],
+                   ["workers", "devices/s", "speedup",
+                    "efficiency (vs attainable)", "per-worker"],
                    rows,
-                   title=f"sharded stream path, bit-identical decisions "
-                         f"at every worker count ({cores} cores "
-                         f"available)"))
+                   title=f"warm persistent pool, sharded stream path, "
+                         f"bit-identical decisions at every worker "
+                         f"count ({cores} cores available)"))
 
     def test_million_device_scale_is_feasible(self, report, bench):
         """A 100k slice extrapolates the million-device Table-1 run."""

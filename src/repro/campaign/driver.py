@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import csv
 import json
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +34,8 @@ from repro.campaign.scenario import Scenario
 from repro.production.execution import ExecutionPlan
 from repro.production.line import LotScreeningReport, ScreeningLine
 from repro.production.lot import Lot, Wafer
+from repro.production.pool import (current_pool, get_default_pool,
+                                   share_wafer, shared_pool)
 from repro.production.store import ResultStore
 from repro.telemetry.core import current_telemetry
 from repro.telemetry.log import get_logger
@@ -234,6 +237,55 @@ class Campaign:
     # Execution
     # ------------------------------------------------------------------ #
 
+    def _screen_scenario(self, label: str, seed: int, line: ScreeningLine,
+                         lot: Lot, plan: Optional[ExecutionPlan],
+                         parent_span_id: Optional[int]
+                         ) -> Tuple[LotScreeningReport, ResultStore]:
+        """Screen one scenario into its own child store.
+
+        Runs on the caller's thread in sequential mode and on a scenario
+        thread in interleaved mode; ``parent_span_id`` re-parents the
+        ``campaign.scenario`` span under ``campaign.run`` when the
+        thread-local span stack is empty.
+        """
+        t = current_telemetry()
+        child = ResultStore()
+        with t.under_span(parent_span_id):
+            with t.span("campaign.scenario", label=label, seed=seed):
+                report = line.screen_lot(lot, rng=seed, store=child,
+                                         plan=plan)
+        return report, child
+
+    def _run_interleaved(self, labels: List[str], seeds: List[int],
+                         lines: List[ScreeningLine], lots: List[Lot],
+                         plan: ExecutionPlan,
+                         parent_span_id: Optional[int]
+                         ) -> List[Tuple[LotScreeningReport, ResultStore]]:
+        """Drain every scenario's shards through one shared worker pool.
+
+        One thread per scenario submits its shards; the pool (the ambient
+        :func:`shared_pool` one if installed, else the warm module
+        default) serves them all from a single work queue.  The pool is
+        warmed *before* the scenario threads start so every worker is
+        forked from a moment when this process has no extra threads, and
+        futures are consumed in scenario order so logs, reports and the
+        store merge are byte-identical to the sequential path.
+        """
+        pool = current_pool()
+        if pool is None or pool.closed:
+            pool = get_default_pool(plan.workers)
+        with shared_pool(pool=pool):
+            pool.warm_up()
+            with ThreadPoolExecutor(
+                    max_workers=len(self.scenarios),
+                    thread_name_prefix="campaign-scenario") as threads:
+                futures = [
+                    threads.submit(self._screen_scenario, label, seed,
+                                   line, lot, plan, parent_span_id)
+                    for label, seed, line, lot in zip(labels, seeds,
+                                                      lines, lots)]
+                return [future.result() for future in futures]
+
     def run(self, plan: Optional[ExecutionPlan] = None,
             store: Optional[ResultStore] = None) -> CampaignResult:
         """Screen every scenario and shard-merge one ledger.
@@ -245,6 +297,19 @@ class Campaign:
         ``plan``, every scenario's device axis runs under the
         deterministic scale-out layer — the merged ledger is
         byte-identical for any ``(workers, chunk_size)``.
+
+        With a multi-worker plan whose ``reuse_pool`` is left on, a
+        multi-scenario campaign **interleaves**: all scenarios' shards
+        feed one persistent :class:`~repro.production.pool.WorkerPool`
+        (borrowing the ambient :func:`~repro.production.pool.shared_pool`
+        if one is installed), so no worker idles at a scenario boundary.
+        Interleaving is purely a scheduling change — per-shard seeds are
+        functions of ``(scenario seed, shard index)``, never of dispatch
+        order, and reports/stores are collected in scenario order, so
+        the result is byte-identical to the sequential path.  In
+        shared-wafer mode the one wafer is re-homed into shared memory
+        for the duration of the run, so every scenario's every shard
+        dispatches zero-copy.
         """
         labels = self.labels()
         seeds = self.seeds()
@@ -255,20 +320,40 @@ class Campaign:
                         is not None else f"SHARED-{self.seed}")
             wafer = Wafer.draw(self.scenarios[0].wafer_spec(),
                                rng=self.seed, wafer_id=wafer_id)
+        interleave = (plan is not None and plan.workers > 1
+                      and plan.reuse_pool and len(self.scenarios) > 1)
         t = current_telemetry()
         stores: List[ResultStore] = []
         reports: List[LotScreeningReport] = []
-        with t.span("campaign.run", scenarios=len(self.scenarios)):
-            for index, (scenario, label, seed, line) in enumerate(
-                    zip(self.scenarios, labels, seeds, lines)):
-                if wafer is not None:
-                    lot = Lot([wafer], lot_id=label)
+        with t.span("campaign.run", scenarios=len(self.scenarios),
+                    interleaved=interleave) as campaign_span:
+            shared_buffer = None
+            if interleave and wafer is not None:
+                shared_buffer, wafer = share_wafer(wafer)
+            try:
+                lots = []
+                for scenario, label, seed in zip(self.scenarios, labels,
+                                                 seeds):
+                    if wafer is not None:
+                        lots.append(Lot([wafer], lot_id=label))
+                    else:
+                        lots.append(scenario.draw_lot(seed=seed,
+                                                      lot_id=label))
+                if interleave:
+                    results = self._run_interleaved(
+                        labels, seeds, lines, lots, plan,
+                        campaign_span.span_id)
                 else:
-                    lot = scenario.draw_lot(seed=seed, lot_id=label)
-                child = ResultStore()
-                with t.span("campaign.scenario", label=label, seed=seed):
-                    report = line.screen_lot(lot, rng=seed, store=child,
-                                             plan=plan)
+                    results = [
+                        self._screen_scenario(label, seed, line, lot,
+                                              plan, None)
+                        for label, seed, line, lot in zip(
+                            labels, seeds, lines, lots)]
+            finally:
+                if shared_buffer is not None:
+                    shared_buffer.close()
+            for index, (label, (report, child)) in enumerate(
+                    zip(labels, results)):
                 reports.append(report)
                 stores.append(child)
                 _log.info("scenario %d/%d %s: %d/%d accepted",

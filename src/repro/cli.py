@@ -69,6 +69,7 @@ from repro.production import (
     ScreeningLine,
     Wafer,
     WaferSpec,
+    close_default_pool,
 )
 from repro.reporting import ascii_plot, format_table
 from repro.telemetry import (
@@ -97,6 +98,14 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "--chunk-size", type=int, default=None,
         help="devices materialised per chunk inside each shard (memory "
              "knob; never changes results)")
+    parser.add_argument(
+        "--pool-reuse", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve every multi-worker dispatch from one persistent "
+             "worker pool (spawned once, fed zero-copy shard "
+             "descriptors); --no-pool-reuse forks a fresh pool per "
+             "dispatch instead — purely a scheduling switch, results "
+             "are bit-identical either way")
     parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="INFO logging on the 'repro' logger hierarchy, shard "
@@ -167,7 +176,8 @@ def _plan_from_args(args: argparse.Namespace) -> Optional[ExecutionPlan]:
         return None
     return ExecutionPlan(
         workers=args.workers if args.workers is not None else 1,
-        chunk_size=args.chunk_size)
+        chunk_size=args.chunk_size,
+        reuse_pool=getattr(args, "pool_reuse", True))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -765,9 +775,14 @@ def _run_with_telemetry(handler, args: argparse.Namespace) -> int:
     configure_logging(verbose=progress, stream=sys.stderr)
     telemetry = Telemetry(
         progress_every=DEFAULT_PROGRESS_EVERY if progress else 0)
-    with telemetry_session(telemetry):
-        with telemetry.timer(f"cli.{args.command}") as timer:
-            code = handler(args)
+    try:
+        with telemetry_session(telemetry):
+            with telemetry.timer(f"cli.{args.command}") as timer:
+                code = handler(args)
+    finally:
+        # One command = one process: release the persistent pool (and any
+        # shared-memory segments it kept warm) before printing epilogues.
+        close_default_pool()
     if args.verbose:
         print()
         print(f"elapsed: {timer.elapsed_s:.3f} s ({args.command})")

@@ -50,6 +50,16 @@ Overview
     bit-identical for any ``(workers, chunk_size)``, with ``workers=1``
     as the in-process serial fallback.
 
+:mod:`repro.production.pool` — :class:`WorkerPool`,
+    :class:`SharedWaferBuffer` and :class:`SliceRef`, the persistent
+    zero-copy dispatch substrate under the executor.  Workers are forked
+    once and reused across dispatches (the module default pool, or a
+    :func:`shared_pool` block); wafer matrices live in
+    ``multiprocessing.shared_memory`` segments and travel to workers as
+    slice *descriptors* instead of pickled rows.  Purely a scheduling
+    layer: a warm pool, a cold pool and the serial path all produce
+    byte-identical results.
+
 :mod:`repro.production.line` — :class:`ScreeningLine`, the station chain
     (screening → optional retest → quality binning) with per-station yield
     and throughput accounting, costed against a tester model via
@@ -121,6 +131,18 @@ from repro.production.partial_batch import (
     BatchPartialBistEngine,
     BatchPartialBistResult,
 )
+from repro.production.pool import (
+    AUTO_SHARE_MIN_BYTES,
+    SharedWaferBuffer,
+    SliceRef,
+    WorkerPool,
+    as_slice_ref,
+    close_default_pool,
+    current_pool,
+    get_default_pool,
+    share_wafer,
+    shared_pool,
+)
 from repro.production.store import ResultStore
 
 __all__ = [
@@ -142,6 +164,16 @@ __all__ = [
     "ExecutionPlan",
     "ShardExecutor",
     "WaferEngine",
+    "AUTO_SHARE_MIN_BYTES",
+    "SharedWaferBuffer",
+    "SliceRef",
+    "WorkerPool",
+    "as_slice_ref",
+    "close_default_pool",
+    "current_pool",
+    "get_default_pool",
+    "share_wafer",
+    "shared_pool",
     "DEFAULT_BIN_EDGES_LSB",
     "SCREENING_METHODS",
     "LotScreeningReport",

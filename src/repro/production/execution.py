@@ -44,9 +44,6 @@ address space.
 
 from __future__ import annotations
 
-import os
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -61,11 +58,16 @@ from typing import (
 
 import numpy as np
 
-from repro.telemetry.core import (
-    Telemetry,
-    current_telemetry,
-    telemetry_session,
+from repro.production.pool import (
+    AUTO_SHARE_MIN_BYTES,
+    SharedWaferBuffer,
+    WorkerPool,
+    _run_instrumented,
+    as_slice_ref,
+    current_pool,
+    get_default_pool,
 )
+from repro.telemetry.core import current_telemetry
 from repro.telemetry.log import ShardProgress
 
 __all__ = [
@@ -162,11 +164,20 @@ class ExecutionPlan:
         changes noisy draws; leave it at the default unless you know you
         need a different granularity (results remain reproducible for any
         fixed value).
+    reuse_pool:
+        ``True`` (the default) dispatches through a persistent
+        :class:`~repro.production.pool.WorkerPool` — the ambient
+        :func:`~repro.production.pool.shared_pool` if one is installed,
+        else the module default pool, kept warm across runs.  ``False``
+        restores the historical behaviour of spawning a fresh pool per
+        dispatch and tearing it down afterwards.  Purely a scheduling
+        knob: results are bit-identical either way.
     """
 
     workers: int = 1
     chunk_size: Optional[int] = None
     shard_devices: int = DEFAULT_SHARD_DEVICES
+    reuse_pool: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -193,42 +204,6 @@ class ExecutionPlan:
                 f"{n_devices} devices do not fill whole groups of {align}")
         size = -(-self.shard_devices // align) * align
         return list(iter_slices(n_devices, size))
-
-
-def _run_instrumented(func: Callable[..., Any], args: Tuple,
-                      meta: Optional[dict]) -> Any:
-    """Run one shard under the ambient telemetry's per-shard span/timer."""
-    t = current_telemetry()
-    attrs = dict(meta or {})
-    attrs["pid"] = os.getpid()
-    with t.span("executor.shard", **attrs) as span:
-        result = func(*args)
-    t.record_timer("executor.shard", span.elapsed_s)
-    return result
-
-
-def _run_shard_task(payload) -> Any:
-    """Worker-side trampoline: unpack one shard task and run it.
-
-    Module-level so it pickles by reference under every multiprocessing
-    start method; ``func`` itself is typically a bound method of a
-    (picklable) engine, so the engine configuration travels with the task.
-
-    When the parent's telemetry is enabled (``collect``), the worker runs
-    under a fresh collector and ships its snapshot home alongside the
-    result; ``start_monotonic`` is read on the system-wide monotonic
-    clock so the parent can measure pool queue wait.
-    """
-    func, args, collect, meta = payload
-    if not collect:
-        return func(*args)
-    start_monotonic = time.monotonic()
-    with telemetry_session(Telemetry()) as worker_telemetry:
-        result = _run_instrumented(func, args, meta)
-    record = worker_telemetry.snapshot()
-    record["pid"] = os.getpid()
-    record["start_monotonic"] = start_monotonic
-    return result, record
 
 
 class WaferEngine:
@@ -291,6 +266,12 @@ class ShardExecutor:
         ``rng`` must be a seed (or ``None``), never a generator — see
         :func:`resolve_plan_seed`.  The result is bit-identical for any
         ``(workers, chunk_size)`` of the plan.
+
+        Multi-worker dispatch is zero-copy whenever it can be: a matrix
+        already backed by a registered
+        :class:`~repro.production.pool.SharedWaferBuffer` ships shard
+        *descriptors*; a large private matrix is staged into a transient
+        segment first (one memcpy instead of one pickled copy per shard).
         """
         t = current_telemetry()
         transitions = np.asarray(transitions)
@@ -302,10 +283,22 @@ class ShardExecutor:
             seeds = spawn_shard_seeds(rng, len(bounds))
             chunk = (chunk_size if chunk_size is not None
                      else self.plan.chunk_size)
-            results = self.map(engine.run_shard,
-                               [(context, transitions[lo:hi], seeds[i], chunk)
-                                for i, (lo, hi) in enumerate(bounds)],
-                               task_sizes=[hi - lo for lo, hi in bounds])
+            staged = None
+            view = transitions
+            if (self.plan.workers > 1 and len(bounds) > 1
+                    and transitions.nbytes >= AUTO_SHARE_MIN_BYTES
+                    and as_slice_ref(transitions) is None):
+                staged = SharedWaferBuffer.from_array(transitions)
+                view = staged.array
+            try:
+                results = self.map(
+                    engine.run_shard,
+                    [(context, view[lo:hi], seeds[i], chunk)
+                     for i, (lo, hi) in enumerate(bounds)],
+                    task_sizes=[hi - lo for lo, hi in bounds])
+            finally:
+                if staged is not None:
+                    staged.close()
             return engine.merge(results)
 
     # ------------------------------------------------------------------ #
@@ -329,28 +322,15 @@ class ShardExecutor:
         tasks = list(arg_tuples)
         t = current_telemetry()
         n_workers = min(self.plan.workers, len(tasks))
-        if not t.enabled and t.progress_every <= 0:
-            # The uninstrumented fast paths: exactly the seed behaviour.
-            if n_workers <= 1:
-                return [func(*args) for args in tasks]
-            with ProcessPoolExecutor(
-                    max_workers=n_workers,
-                    mp_context=_multiprocessing_context()) as pool:
-                return list(pool.map(
-                    _run_shard_task,
-                    [(func, args, False, None) for args in tasks]))
-
-        if t.enabled:
-            t.count("executor.tasks", len(tasks))
-        progress = ShardProgress(len(tasks), t.progress_every, task_sizes)
-        metas: List[Optional[dict]] = []
-        for i in range(len(tasks)):
-            meta = {"shard": i}
-            if task_sizes is not None:
-                meta["devices"] = int(task_sizes[i])
-            metas.append(meta)
-
         if n_workers <= 1:
+            # Inline serial path (no pool, no descriptors).
+            if not t.enabled and t.progress_every <= 0:
+                return [func(*args) for args in tasks]
+            if t.enabled:
+                t.count("executor.tasks", len(tasks))
+            progress = ShardProgress(len(tasks), t.progress_every,
+                                     task_sizes)
+            metas = self._metas(tasks, task_sizes)
             results = []
             for i, args in enumerate(tasks):
                 if t.enabled:
@@ -361,41 +341,47 @@ class ShardExecutor:
                     progress.step(i)
             return results
 
-        collect = bool(t.enabled)
-        with ProcessPoolExecutor(
-                max_workers=n_workers,
-                mp_context=_multiprocessing_context()) as pool:
-            submit_at: List[float] = []
-            futures = []
-            for i, args in enumerate(tasks):
-                submit_at.append(time.monotonic())
-                futures.append(pool.submit(
-                    _run_shard_task, (func, args, collect, metas[i])))
-            if progress.active:
-                index_of = {future: i for i, future in enumerate(futures)}
-                for future in as_completed(futures):
-                    progress.step(index_of[future])
-            results = []
-            for i, future in enumerate(futures):
-                value = future.result()
-                if collect:
-                    value, record = value
-                    queue_wait = max(
-                        0.0, record["start_monotonic"] - submit_at[i])
-                    t.absorb_worker(record, queue_wait)
-                results.append(value)
-            return results
+        pool, transient = self._acquire_pool(n_workers)
+        try:
+            if not t.enabled and t.progress_every <= 0:
+                # Uninstrumented fast path: exactly the seed behaviour.
+                return pool.dispatch(func, tasks)
+            if t.enabled:
+                t.count("executor.tasks", len(tasks))
+            progress = ShardProgress(len(tasks), t.progress_every,
+                                     task_sizes)
+            return pool.dispatch(func, tasks,
+                                 metas=self._metas(tasks, task_sizes),
+                                 progress=progress)
+        finally:
+            if transient:
+                pool.close()
 
+    @staticmethod
+    def _metas(tasks: Sequence[Tuple],
+               task_sizes: Optional[Sequence[int]]) -> List[dict]:
+        metas = []
+        for i in range(len(tasks)):
+            meta = {"shard": i}
+            if task_sizes is not None:
+                meta["devices"] = int(task_sizes[i])
+            metas.append(meta)
+        return metas
 
-def _multiprocessing_context():
-    """The start method used for worker pools.
+    def _acquire_pool(self, n_workers: int) -> Tuple[WorkerPool, bool]:
+        """The pool this dispatch runs on, and whether to close it after.
 
-    ``fork`` when the platform offers it (cheapest, and the engines ship
-    no unpicklable state either way), the platform default otherwise.
-    """
-    import multiprocessing
-
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods and os.name == "posix":
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+        ``plan.reuse_pool`` selects the persistent path: the ambient
+        :func:`~repro.production.pool.shared_pool` if one is installed
+        (e.g. by a running campaign), else the module default pool —
+        both left open for the next dispatch.  With ``reuse_pool=False``
+        a transient pool is spawned for this dispatch alone (the
+        pre-persistent-pool behaviour, kept for cold-start benchmarking
+        and as an isolation escape hatch).
+        """
+        if not self.plan.reuse_pool:
+            return WorkerPool(n_workers), True
+        ambient = current_pool()
+        if ambient is not None and not ambient.closed:
+            return ambient, False
+        return get_default_pool(self.plan.workers), False

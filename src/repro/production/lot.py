@@ -256,6 +256,19 @@ class Wafer:
             threshold_sigma_lsb=pop_spec.threshold_sigma_lsb)
         return cls(spec, population.transition_matrix(), wafer_id=wafer_id)
 
+    def to_shared(self):
+        """Re-home this wafer's matrix into a shared-memory segment.
+
+        Returns ``(buffer, wafer)`` — see
+        :func:`repro.production.pool.share_wafer`.  Every multi-worker
+        dispatch that slices the returned wafer then ships a zero-copy
+        descriptor instead of pickling matrix rows; the caller owns the
+        buffer and must close it after the last such dispatch.
+        """
+        from repro.production.pool import share_wafer
+
+        return share_wafer(self)
+
     # ------------------------------------------------------------------ #
     # Device access (scalar interoperability)
     # ------------------------------------------------------------------ #

@@ -1,0 +1,791 @@
+"""Persistent worker pool and zero-copy shared-memory wafer transport.
+
+Before this module existed, every multi-worker dispatch in
+:class:`~repro.production.execution.ShardExecutor` built a fresh
+``ProcessPoolExecutor`` — forking workers, running a handful of shards,
+and tearing the pool down again — and shipped each shard its slice of the
+wafer's transition matrix through a pickle pipe.  At small shard sizes the
+pool spawn and the per-task pickling dominate the actual screening work
+(``BENCH_6.json`` records the collapse).  This module removes both costs:
+
+:class:`WorkerPool`
+    A long-lived pool of worker processes.  Spawned once (lazily, on the
+    first dispatch), reused by every subsequent dispatch — across engine
+    runs, wafers, insertions and whole campaign scenarios — and torn down
+    explicitly via :meth:`WorkerPool.close` (or a ``with`` block).  A
+    module-level *default pool* (:func:`get_default_pool`) plus an ambient
+    override (:func:`shared_pool`) let bare ``run_wafer(plan=...)`` calls
+    reuse warm workers without any plumbing.
+
+:class:`SharedWaferBuffer`
+    A wafer-sized ``multiprocessing.shared_memory`` segment.  The parent
+    materialises (or draws) the transition matrix directly into the
+    segment; workers attach the same pages read-only and slice their
+    shard out with **zero copies and zero pickled arrays** — a task ships
+    a tiny :class:`SliceRef` descriptor instead of matrix rows.
+
+:class:`SliceRef`
+    The picklable shard descriptor: either ``("shm", name, offset,
+    shape)`` — attach the named segment and take a view — or ``("draw",
+    spec, seed, bounds)`` — regenerate the rows worker-side with
+    :meth:`~repro.production.lot.Wafer.draw_slice` when the parent never
+    materialised the wafer at all.
+
+Determinism is untouched by any of this: a :class:`SliceRef` resolves to
+the *bit-identical* rows the old pickle path shipped, worker processes
+hold no RNG state between tasks (every shard still carries its own
+spawn-key seed), and which worker executes which shard remains
+irrelevant.  The pool is a scheduling optimisation, not a semantics
+change — the invariance grids in ``tests/production`` and
+``tests/campaign`` prove it.
+
+Resource hygiene: segments are named ``repro_*`` so leak checks can spot
+them, attaching processes never double-register with the multiprocessing
+``resource_tracker`` (the classic spurious-"leaked shared_memory"
+warning), owners unlink on :meth:`~SharedWaferBuffer.close`, and a
+``weakref.finalize`` safety net plus an ``atexit`` hook on the default
+pool guarantee nothing outlives the interpreter.
+"""
+
+from __future__ import annotations
+
+import atexit
+import binascii
+import os
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry.core import (
+    Telemetry,
+    current_telemetry,
+    telemetry_session,
+)
+
+__all__ = [
+    "AUTO_SHARE_MIN_BYTES",
+    "SharedWaferBuffer",
+    "SliceRef",
+    "WorkerPool",
+    "as_slice_ref",
+    "close_default_pool",
+    "current_pool",
+    "get_default_pool",
+    "shared_pool",
+    "share_wafer",
+]
+
+#: Transition matrices at least this large are automatically staged into a
+#: transient shared-memory segment when dispatched to a multi-worker pool
+#: (one memcpy into the segment instead of one pickled copy per shard).
+AUTO_SHARE_MIN_BYTES = 1 << 18
+
+#: Attached-segment cache entries kept per worker process (FIFO eviction).
+_ATTACH_CACHE_SIZE = 8
+
+
+def _multiprocessing_context():
+    """The start method used for worker pools.
+
+    ``fork`` when the platform offers it (cheapest, and the engines ship
+    no unpicklable state either way), the platform default otherwise.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and os.name == "posix":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory segments and slice descriptors
+# ---------------------------------------------------------------------- #
+
+#: Segments owned by *this* process, by name -> full matrix view.
+#: :func:`as_slice_ref` consults it to recognise array views that are
+#: backed by a registered segment.
+_SEGMENTS: Dict[str, np.ndarray] = {}
+
+_NAME_LOCK = threading.Lock()
+_NAME_COUNTER = 0
+
+
+def _next_segment_name() -> str:
+    """A collision-resistant ``repro_*`` segment name.
+
+    The prefix is load-bearing: the leak checks (tests and the CI
+    ``pool-smoke`` job) assert ``/dev/shm`` holds no ``repro_*`` entries
+    after pool close, which only works if every segment we create is
+    recognisable as ours.
+    """
+    global _NAME_COUNTER
+    with _NAME_LOCK:
+        _NAME_COUNTER += 1
+        count = _NAME_COUNTER
+    token = binascii.hexlify(os.urandom(4)).decode("ascii")
+    return f"repro_{os.getpid()}_{count}_{token}"
+
+
+class SliceRef:
+    """Picklable descriptor of a contiguous device-row slice.
+
+    Two kinds:
+
+    ``"shm"``
+        Rows live in a named shared-memory segment; :meth:`resolve`
+        attaches the segment (read-only, cached per process) and returns
+        a zero-copy view.
+    ``"draw"``
+        Rows were never materialised by the parent; :meth:`resolve`
+        regenerates them with
+        :meth:`~repro.production.lot.Wafer.draw_slice`, bit-identical to
+        the sharded draw the parent would have produced.
+    """
+
+    __slots__ = ("kind", "name", "offset", "shape", "dtype",
+                 "spec", "seed", "lo", "hi", "block_devices")
+
+    def __init__(self, kind: str, *, name: str = "", offset: int = 0,
+                 shape: Tuple[int, ...] = (), dtype: str = "float64",
+                 spec: Any = None, seed: Any = None, lo: int = 0,
+                 hi: int = 0, block_devices: int = 0) -> None:
+        if kind not in ("shm", "draw"):
+            raise ValueError(f"unknown SliceRef kind {kind!r}")
+        self.kind = kind
+        self.name = name
+        self.offset = int(offset)
+        self.shape = tuple(shape)
+        self.dtype = str(dtype)
+        self.spec = spec
+        self.seed = seed
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.block_devices = int(block_devices)
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
+    def __repr__(self) -> str:
+        if self.kind == "shm":
+            return (f"SliceRef(shm {self.name!r} offset={self.offset} "
+                    f"shape={self.shape})")
+        return f"SliceRef(draw [{self.lo}, {self.hi}))"
+
+    @property
+    def n_devices(self) -> int:
+        if self.kind == "shm":
+            return self.shape[0] if self.shape else 0
+        return self.hi - self.lo
+
+    def resolve(self) -> np.ndarray:
+        """Materialise the rows this descriptor names (see class doc)."""
+        if self.kind == "shm":
+            return _attach_view(self.name, self.offset, self.shape,
+                                np.dtype(self.dtype))
+        from repro.production.lot import Wafer
+
+        return Wafer.draw_slice(self.spec, self.lo, self.hi, self.seed,
+                                block_devices=self.block_devices)
+
+
+def draw_slice_ref(spec: Any, seed: Any, lo: int, hi: int,
+                   block_devices: int) -> SliceRef:
+    """A ``"draw"`` :class:`SliceRef`: regenerate rows worker-side.
+
+    The fallback transport for wafers the parent never materialised —
+    the descriptor carries only ``(spec, seed, bounds)`` and the worker
+    rebuilds its rows with
+    :meth:`~repro.production.lot.Wafer.draw_slice`.
+    """
+    return SliceRef("draw", spec=spec, seed=seed, lo=lo, hi=hi,
+                    block_devices=block_devices)
+
+
+def as_slice_ref(array: Any) -> Optional[SliceRef]:
+    """The ``"shm"`` descriptor of an array view, if one applies.
+
+    Returns a :class:`SliceRef` when ``array`` is a C-contiguous view
+    into a registered :class:`SharedWaferBuffer` segment, else ``None``.
+    This is what makes zero-copy transparent: callers keep slicing plain
+    ``wafer.transitions[lo:hi]`` arrays and the dispatch layer recognises
+    the shared-memory-backed ones by address.
+    """
+    if not _SEGMENTS or not isinstance(array, np.ndarray):
+        return None
+    if not array.flags.c_contiguous or array.size == 0:
+        return None
+    ptr = array.__array_interface__["data"][0]
+    for name, segment in _SEGMENTS.items():
+        base = segment.__array_interface__["data"][0]
+        if array.dtype == segment.dtype and base <= ptr and \
+                ptr + array.nbytes <= base + segment.nbytes:
+            return SliceRef("shm", name=name, offset=ptr - base,
+                            shape=array.shape, dtype=array.dtype.str)
+    return None
+
+
+class SharedWaferBuffer:
+    """A transition matrix living in a shared-memory segment.
+
+    Create with :meth:`from_array` (one memcpy of an existing matrix) or
+    :meth:`draw_sharded` (draw the matrix block-by-block *directly into*
+    the segment, bit-identical to
+    :meth:`~repro.production.lot.Wafer.draw_sharded`).  The parent-side
+    :attr:`array` view is registered so :func:`as_slice_ref` recognises
+    any slice of it; workers attach the same pages read-only.
+
+    The creating process owns the segment: :meth:`close` (or the ``with``
+    block, or the garbage-collection safety net) unlinks it.  On Linux,
+    unlinking only removes the name — mappings workers already hold stay
+    valid until they drop them.
+    """
+
+    def __init__(self, shm, shape: Tuple[int, ...],
+                 dtype: np.dtype, owner: bool) -> None:
+        self._shm = shm
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.owner = bool(owner)
+        self._closed = False
+        self._array = np.ndarray(self.shape, dtype=self.dtype,
+                                 buffer=shm.buf)
+        _SEGMENTS[self.name] = self._array
+        self._finalizer = weakref.finalize(
+            self, SharedWaferBuffer._cleanup, shm, self.name, self.owner)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def allocate(cls, shape: Tuple[int, ...],
+                 dtype: Any = np.float64) -> "SharedWaferBuffer":
+        """An owned, zero-initialised segment of the given geometry."""
+        from multiprocessing import shared_memory
+
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        if nbytes <= 0:
+            raise ValueError("cannot allocate an empty shared buffer")
+        while True:
+            name = _next_segment_name()
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=nbytes)
+                break
+            except FileExistsError:  # pragma: no cover - pid+token clash
+                continue
+        return cls(shm, shape, dtype, owner=True)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedWaferBuffer":
+        """Copy an existing matrix into a new owned segment (one memcpy)."""
+        array = np.asarray(array)
+        buffer = cls.allocate(array.shape, array.dtype)
+        buffer._array[...] = array
+        return buffer
+
+    @classmethod
+    def draw_sharded(cls, spec: Any, seed: Any,
+                     block_devices: Optional[int] = None
+                     ) -> "SharedWaferBuffer":
+        """Draw a wafer's matrix block-by-block straight into a segment.
+
+        Bit-identical to
+        ``Wafer.draw_sharded(spec, seed, block_devices).transitions`` —
+        same per-block child seeds — but the full matrix only ever exists
+        in the shared segment: peak private memory is one block.
+        """
+        from repro.production.execution import (
+            DEFAULT_SHARD_DEVICES,
+            iter_slices,
+        )
+        from repro.production.lot import Wafer
+
+        if block_devices is None:
+            block_devices = DEFAULT_SHARD_DEVICES
+        buffer = cls.allocate((spec.n_devices, spec.n_codes - 1))
+        for lo, hi in iter_slices(spec.n_devices, block_devices):
+            buffer._array[lo:hi] = Wafer.draw_slice(
+                spec, lo, hi, seed, block_devices=block_devices)
+        return buffer
+
+    # ------------------------------------------------------------------ #
+    # Views and descriptors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def array(self) -> np.ndarray:
+        """The parent-side matrix view (registered for zero-copy dispatch)."""
+        if self._closed:
+            raise ValueError("shared wafer buffer is closed")
+        return self._array
+
+    def ref(self, lo: int, hi: int) -> SliceRef:
+        """The :class:`SliceRef` of rows ``lo:hi``."""
+        if self._closed:
+            raise ValueError("shared wafer buffer is closed")
+        if not 0 <= lo <= hi <= self.shape[0]:
+            raise ValueError(f"slice [{lo}, {hi}) is outside the buffer")
+        row_bytes = int(np.prod(self.shape[1:])) * self.dtype.itemsize
+        return SliceRef("shm", name=self.name, offset=lo * row_bytes,
+                        shape=(hi - lo,) + self.shape[1:],
+                        dtype=self.dtype.str)
+
+    def wafer(self, spec: Any, wafer_id: str = "W0"):
+        """Wrap the segment as a :class:`~repro.production.lot.Wafer`.
+
+        The wafer's ``transitions`` is the zero-copy segment view, so any
+        slice of it dispatches by descriptor.
+        """
+        from repro.production.lot import Wafer
+
+        return Wafer(spec, self._array, wafer_id=wafer_id)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _cleanup(shm, name: str, owner: bool) -> None:
+        _SEGMENTS.pop(name, None)
+        try:
+            shm.close()
+        except (BufferError, OSError):  # pragma: no cover - live views
+            pass
+        if owner:
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        """Drop the mapping; unlink the segment if this process owns it.
+
+        Idempotent.  Emits a ``pool.shm_detach`` span when telemetry is
+        enabled, the bookend of the workers' ``pool.shm_attach`` spans.
+        Outstanding views of :attr:`array` (the caller's problem to drop)
+        keep their pages mapped, but the segment's name is removed either
+        way — nothing is left in ``/dev/shm``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        name, nbytes = self.name, int(np.prod(self.shape)) \
+            * self.dtype.itemsize
+        # Release the parent view before closing, else the exported
+        # memoryview keeps SharedMemory.close() from unmapping.
+        self._array = None
+        t = current_telemetry()
+        if t.enabled:
+            with t.span("pool.shm_detach", segment=name, nbytes=nbytes,
+                        owner=self.owner):
+                self._finalizer()
+        else:
+            self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SharedWaferBuffer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def share_wafer(wafer) -> Tuple[SharedWaferBuffer, Any]:
+    """Re-home a wafer's matrix into shared memory.
+
+    Returns ``(buffer, shared_wafer)`` where ``shared_wafer`` is a new
+    :class:`~repro.production.lot.Wafer` whose ``transitions`` is the
+    zero-copy segment view — every engine slice of it then dispatches by
+    descriptor.  The caller owns the buffer and must :meth:`close` it
+    after the last dispatch that uses the wafer.
+    """
+    buffer = SharedWaferBuffer.from_array(wafer.transitions)
+    return buffer, buffer.wafer(wafer.spec, wafer_id=wafer.wafer_id)
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side attachment cache
+# ---------------------------------------------------------------------- #
+
+#: Per-process cache of attached segments: name -> (keepalive, ndarray).
+_ATTACHED: "OrderedDict[str, Tuple[Any, np.ndarray]]" = OrderedDict()
+
+
+def _attach_readonly(name: str) -> Tuple[Any, np.ndarray]:
+    """Attach a named segment read-only, without resource-tracker noise.
+
+    On Linux the segment is mapped straight off ``/dev/shm`` — a plain
+    read-only ``mmap`` that the multiprocessing ``resource_tracker``
+    never hears about (attaching via ``SharedMemory(name=...)`` would
+    *register* the segment in the attaching process and spuriously warn
+    about — or worse, unlink — it at shutdown; CPython only grew a
+    ``track=False`` escape hatch in 3.13).  Elsewhere it falls back to
+    ``SharedMemory`` and best-effort unregisters.
+    """
+    import mmap
+
+    path = f"/dev/shm/{name}"
+    if os.path.exists(path):
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        flat = np.frombuffer(mapped, dtype=np.uint8)
+        return mapped, flat
+    from multiprocessing import shared_memory  # pragma: no cover
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    flat = np.frombuffer(shm.buf, dtype=np.uint8)
+    return shm, flat
+
+
+def _attach_view(name: str, offset: int, shape: Tuple[int, ...],
+                 dtype: np.dtype) -> np.ndarray:
+    """A zero-copy view of ``shape`` rows at ``offset`` in segment ``name``.
+
+    In the owning process the registered array is sliced directly; in a
+    worker the segment is attached once (``pool.shm_attach`` span under
+    the worker's telemetry) and cached for subsequent shards.
+    """
+    registered = _SEGMENTS.get(name)
+    if registered is not None:
+        count = int(np.prod(shape))
+        flat = np.frombuffer(registered, dtype=dtype, count=count,
+                             offset=offset)
+        return flat.reshape(shape)
+    cached = _ATTACHED.get(name)
+    if cached is None:
+        t = current_telemetry()
+        with t.span("pool.shm_attach", segment=name):
+            cached = _attach_readonly(name)
+        _ATTACHED[name] = cached
+        while len(_ATTACHED) > _ATTACH_CACHE_SIZE:
+            _, (keepalive, _flat) = _ATTACHED.popitem(last=False)
+            try:
+                keepalive.close()
+            except (BufferError, OSError):  # pragma: no cover
+                pass
+    else:
+        _ATTACHED.move_to_end(name)
+    _keepalive, flat = cached
+    count = int(np.prod(shape))
+    view = np.frombuffer(flat, dtype=dtype, count=count, offset=offset)
+    return view.reshape(shape)
+
+
+def _detach_all() -> None:
+    """Drop every cached attachment (test hook; workers call it on exit)."""
+    while _ATTACHED:
+        _, (keepalive, _flat) = _ATTACHED.popitem(last=False)
+        try:
+            keepalive.close()
+        except (BufferError, OSError):  # pragma: no cover
+            pass
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side trampoline
+# ---------------------------------------------------------------------- #
+
+#: Tasks this worker process has executed; ``> 0`` marks a warm worker.
+_TASKS_RUN = 0
+
+
+def _resolve_args(args: Tuple) -> Tuple:
+    return tuple(a.resolve() if isinstance(a, SliceRef) else a
+                 for a in args)
+
+
+def _run_instrumented(func: Callable[..., Any], args: Tuple,
+                      meta: Optional[dict]) -> Any:
+    """Run one shard under the ambient telemetry's per-shard span/timer."""
+    t = current_telemetry()
+    attrs = dict(meta or {})
+    attrs["pid"] = os.getpid()
+    with t.span("executor.shard", **attrs) as span:
+        result = func(*_resolve_args(args))
+    t.record_timer("executor.shard", span.elapsed_s)
+    return result
+
+
+def _pool_task(payload) -> Tuple[bool, Any]:
+    """Worker-side trampoline: unpack one shard task and run it.
+
+    Module-level so it pickles by reference under every multiprocessing
+    start method.  ``SliceRef`` arguments are resolved here — shared
+    memory attached, or rows regenerated — so the pipe only ever carried
+    descriptors.  Returns ``(warm, result)`` where ``warm`` flags a
+    worker that had already executed at least one task (the parent
+    counts these as ``pool.tasks_reused_worker``).
+
+    When the parent's telemetry is enabled (``collect``), the worker runs
+    under a fresh collector and ships its snapshot home alongside the
+    result; ``start_monotonic`` is read on the system-wide monotonic
+    clock so the parent can measure pool queue wait.
+    """
+    global _TASKS_RUN
+    warm = _TASKS_RUN > 0
+    _TASKS_RUN += 1
+    func, args, collect, meta = payload
+    if not collect:
+        return warm, func(*_resolve_args(args))
+    start_monotonic = time.monotonic()
+    with telemetry_session(Telemetry()) as worker_telemetry:
+        result = _run_instrumented(func, args, meta)
+    record = worker_telemetry.snapshot()
+    record["pid"] = os.getpid()
+    record["start_monotonic"] = start_monotonic
+    return warm, (result, record)
+
+
+def _noop() -> None:
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# The persistent pool
+# ---------------------------------------------------------------------- #
+
+class WorkerPool:
+    """A persistent pool of worker processes for shard dispatch.
+
+    Wraps one long-lived ``ProcessPoolExecutor``: workers are forked on
+    the first dispatch (or :meth:`warm_up`) and stay resident — holding
+    their attached shared-memory segments and warm interpreter state —
+    until :meth:`close`.  Order preservation, telemetry collection and
+    queue-wait measurement all live in :meth:`dispatch`, so
+    :class:`~repro.production.execution.ShardExecutor` is just the
+    shard-planning layer above it.
+
+    Thread-safe: several campaign scenario threads can interleave their
+    shards into the one pool concurrently; results only depend on each
+    task's own arguments, so scheduling order is irrelevant.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._workers = int(workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._outstanding = 0
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=_multiprocessing_context())
+                t = current_telemetry()
+                if t.enabled:
+                    t.count("pool.workers_spawned", self._workers)
+            return self._executor
+
+    def warm_up(self) -> "WorkerPool":
+        """Fork the workers now (they normally spawn on first dispatch).
+
+        Useful before starting scenario threads (forking from a
+        single-threaded parent is the safe order) and before timing a
+        warm-pool benchmark.
+        """
+        self._ensure().submit(_noop).result()
+        return self
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the currently forked workers (diagnostics/tests)."""
+        if self._executor is None:
+            return []
+        return [p.pid for p in self._executor._processes.values()]
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def dispatch(self, func: Callable[..., Any],
+                 arg_tuples: Sequence[Tuple],
+                 metas: Optional[Sequence[Optional[dict]]] = None,
+                 progress: Any = None) -> List[Any]:
+        """Run ``func(*args)`` for every tuple on the pool, in order.
+
+        Array arguments that are views into registered shared segments
+        are shipped as :class:`SliceRef` descriptors automatically; the
+        worker trampoline resolves them back to zero-copy views.  With
+        telemetry enabled, per-shard worker snapshots are absorbed, the
+        submit→start queue wait is timed, warm-worker task counts and the
+        ``pool.queue_depth`` gauge are recorded.
+        """
+        t = current_telemetry()
+        executor = self._ensure()
+        tasks = [tuple(as_slice_ref(a) or a for a in args)
+                 for args in arg_tuples]
+        collect = bool(t.enabled)
+        if collect:
+            t.count("pool.tasks_dispatched", len(tasks))
+        if metas is None:
+            metas = [None] * len(tasks)
+
+        if not collect and (progress is None or not progress.active):
+            # Uninstrumented fast path: ordered map, flags dropped.
+            return [result for _warm, result in executor.map(
+                _pool_task,
+                [(func, args, False, None) for args in tasks])]
+
+        submit_at: List[float] = []
+        futures = []
+        for i, args in enumerate(tasks):
+            submit_at.append(time.monotonic())
+            future = executor.submit(
+                _pool_task, (func, args, collect, metas[i]))
+            futures.append(future)
+            with self._lock:
+                self._outstanding += 1
+                depth = self._outstanding
+            future.add_done_callback(self._task_done)
+            if collect:
+                t.set_gauge("pool.queue_depth", depth)
+        if progress is not None and progress.active:
+            index_of = {future: i for i, future in enumerate(futures)}
+            for future in as_completed(futures):
+                progress.step(index_of[future])
+        results = []
+        warm_tasks = 0
+        for i, future in enumerate(futures):
+            warm, value = future.result()
+            if warm:
+                warm_tasks += 1
+            if collect:
+                value, record = value
+                queue_wait = max(
+                    0.0, record["start_monotonic"] - submit_at[i])
+                t.absorb_worker(record, queue_wait)
+            results.append(value)
+        if collect and warm_tasks:
+            t.count("pool.tasks_reused_worker", warm_tasks)
+        return results
+
+    def _task_done(self, _future) -> None:
+        with self._lock:
+            self._outstanding -= 1
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut the workers down and release the pool.  Idempotent."""
+        self._closed = True
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# Ambient and default pools
+# ---------------------------------------------------------------------- #
+
+_AMBIENT: List[WorkerPool] = []
+_DEFAULT: Optional[WorkerPool] = None
+_ATEXIT_REGISTERED = False
+
+
+def current_pool() -> Optional[WorkerPool]:
+    """The innermost :func:`shared_pool` pool, if one is installed."""
+    return _AMBIENT[-1] if _AMBIENT else None
+
+
+@contextmanager
+def shared_pool(workers: Optional[int] = None,
+                pool: Optional[WorkerPool] = None):
+    """Install a pool as the ambient dispatch target for a ``with`` block.
+
+    Every plan-based dispatch inside the block (any engine, any wafer,
+    any scenario) reuses the one pool instead of consulting the module
+    default.  Pass an existing ``pool`` to borrow it (left open on exit),
+    or a ``workers`` count to create one for the block (closed on exit).
+    """
+    created = pool is None
+    if created:
+        if workers is None:
+            raise ValueError("shared_pool needs a worker count or a pool")
+        pool = WorkerPool(workers)
+    _AMBIENT.append(pool)
+    try:
+        yield pool
+    finally:
+        _AMBIENT.pop()
+        if created:
+            pool.close()
+
+
+def get_default_pool(workers: int) -> WorkerPool:
+    """The module-level default pool, grown to at least ``workers``.
+
+    Created on first use and kept warm across calls — this is what lets a
+    bare ``engine.run_wafer(..., plan=ExecutionPlan(workers=4))`` reuse
+    the workers a previous call (or a whole previous campaign) already
+    forked.  A request for more workers than the current default carries
+    closes and respawns it at the larger size; a smaller request reuses
+    the existing pool as-is (scheduling only — results are identical by
+    construction).  An ``atexit`` hook guarantees shutdown.
+    """
+    global _DEFAULT, _ATEXIT_REGISTERED
+    if _DEFAULT is not None and not _DEFAULT.closed \
+            and _DEFAULT.workers >= workers:
+        return _DEFAULT
+    if _DEFAULT is not None:
+        _DEFAULT.close()
+    _DEFAULT = WorkerPool(workers)
+    if not _ATEXIT_REGISTERED:
+        atexit.register(close_default_pool)
+        _ATEXIT_REGISTERED = True
+    return _DEFAULT
+
+
+def close_default_pool() -> None:
+    """Shut down the module default pool (idempotent; CLI/test teardown)."""
+    global _DEFAULT
+    if _DEFAULT is not None:
+        _DEFAULT.close()
+        _DEFAULT = None

@@ -14,6 +14,7 @@ uninstrumented runs pay nothing and stay bit-identical.
 from repro.telemetry.core import (
     NULL_TELEMETRY,
     SCHEMA_VERSION,
+    GaugeStat,
     NullTelemetry,
     SpanRecord,
     Telemetry,
@@ -33,6 +34,7 @@ from repro.telemetry.metrics import (
 __all__ = [
     "NULL_TELEMETRY",
     "SCHEMA_VERSION",
+    "GaugeStat",
     "MetricsReport",
     "NullTelemetry",
     "ShardProgress",

@@ -28,6 +28,7 @@ nothing and allocate nothing; library code guards hot loops with
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -36,6 +37,7 @@ from typing import Any, Dict, Iterator, List, Optional
 __all__ = [
     "SCHEMA_VERSION",
     "NULL_TELEMETRY",
+    "GaugeStat",
     "NullTelemetry",
     "SpanRecord",
     "Telemetry",
@@ -95,6 +97,38 @@ class TimerStat:
 
 
 @dataclass
+class GaugeStat:
+    """Last/peak value of one named gauge (e.g. pool queue depth).
+
+    Gauges are *scheduling* observations — how deep the work queue got,
+    never how much work was done — so, like timers, they live under the
+    ``timing`` block of the metrics document and carry no determinism
+    guarantee.
+    """
+
+    last: float = 0.0
+    max_value: float = -math.inf
+
+    def record(self, value: float) -> None:
+        self.last = float(value)
+        if value > self.max_value:
+            self.max_value = float(value)
+
+    def merge(self, other: "GaugeStat") -> None:
+        self.last = other.last
+        self.max_value = max(self.max_value, other.max_value)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"last": self.last,
+                "max": self.max_value if self.max_value > -math.inf
+                else 0.0}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GaugeStat":
+        return cls(last=float(data["last"]), max_value=float(data["max"]))
+
+
+@dataclass
 class SpanRecord:
     """One node of the trace tree."""
 
@@ -145,6 +179,7 @@ class _NullContext:
 
     __slots__ = ()
     elapsed_s = 0.0
+    span_id: Any = None
     attrs: Dict[str, Any] = {}
 
     def __enter__(self) -> "_NullContext":
@@ -178,10 +213,16 @@ class NullTelemetry:
     def record_timer(self, name: str, elapsed_s: float) -> None:
         return None
 
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
     def timer(self, name: str) -> _NullContext:
         return _NULL_CONTEXT
 
     def span(self, name: str, **attrs: Any) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def under_span(self, span_id: Any) -> _NullContext:
         return _NULL_CONTEXT
 
     def snapshot(self) -> Dict[str, Any]:
@@ -208,6 +249,10 @@ class _SpanHandle:
     @property
     def elapsed_s(self) -> float:
         return self._record.elapsed_s
+
+    @property
+    def span_id(self) -> int:
+        return self._record.span_id
 
     @property
     def attrs(self) -> Dict[str, Any]:
@@ -244,36 +289,85 @@ class Telemetry:
         self.progress_every = int(progress_every)
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, TimerStat] = {}
+        self.gauges: Dict[str, GaugeStat] = {}
         self.spans: List[SpanRecord] = []
-        self._stack: List[int] = []
+        self._lock = threading.RLock()
+        self._local = threading.local()
         self._next_span_id = 1
 
+    @property
+    def _stack(self) -> List[int]:
+        """The *calling thread's* open-span stack.
+
+        Per-thread so campaign scenario threads can nest their own span
+        trees concurrently; a new thread starts with an empty stack and
+        adopts a parent explicitly via :meth:`under_span`.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     # ------------------------------------------------------------------ #
-    # Recording
+    # Recording (thread-safe: shards of several scenario threads may
+    # report into one collector concurrently)
     # ------------------------------------------------------------------ #
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the named counter."""
-        self.counters[name] = self.counters.get(name, 0) + int(n)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(n)
 
     def record_timer(self, name: str, elapsed_s: float) -> None:
         """Fold one measurement into the named :class:`TimerStat`."""
-        stat = self.timers.get(name)
-        if stat is None:
-            stat = self.timers[name] = TimerStat()
-        stat.record(elapsed_s)
+        with self._lock:
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = self.timers[name] = TimerStat()
+            stat.record(elapsed_s)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record an instantaneous level into the named :class:`GaugeStat`."""
+        with self._lock:
+            stat = self.gauges.get(name)
+            if stat is None:
+                stat = self.gauges[name] = GaugeStat()
+            stat.record(value)
 
     def timer(self, name: str) -> TimerHandle:
         """Context manager timing one block into the named timer."""
         return TimerHandle(self, name)
 
     def span(self, name: str, **attrs: Any) -> _SpanHandle:
-        """Open a trace span nested under the currently active span."""
-        parent = self._stack[-1] if self._stack else None
-        record = SpanRecord(self._next_span_id, name, parent, attrs=dict(attrs))
-        self._next_span_id += 1
-        self.spans.append(record)
+        """Open a trace span nested under the calling thread's active span."""
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            record = SpanRecord(self._next_span_id, name, parent,
+                                attrs=dict(attrs))
+            self._next_span_id += 1
+            self.spans.append(record)
         return _SpanHandle(self, record)
+
+    @contextmanager
+    def under_span(self, span_id: Optional[int]) -> Iterator[None]:
+        """Adopt an existing span as the calling thread's parent.
+
+        A worker thread starts with an empty span stack; wrapping its
+        work in ``with t.under_span(campaign_span.span_id):`` grafts the
+        thread's spans under the right parent.  ``None`` is accepted and
+        is a no-op (e.g. when the parent span came from a disabled
+        telemetry session).
+        """
+        if span_id is None:
+            yield
+            return
+        stack = self._stack
+        stack.append(span_id)
+        try:
+            yield
+        finally:
+            stack.pop()
 
     # ------------------------------------------------------------------ #
     # Cross-process plumbing
@@ -281,42 +375,56 @@ class Telemetry:
 
     def snapshot(self) -> Dict[str, Any]:
         """Serialise this collector for transport back from a worker."""
-        return {
-            "counters": dict(self.counters),
-            "timers": {name: stat.as_dict()
-                       for name, stat in self.timers.items()},
-            "spans": [span.as_dict() for span in self.spans],
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {name: stat.as_dict()
+                           for name, stat in self.timers.items()},
+                "gauges": {name: stat.as_dict()
+                           for name, stat in self.gauges.items()},
+                "spans": [span.as_dict() for span in self.spans],
+            }
 
     def absorb_worker(self, record: Dict[str, Any],
                       queue_wait_s: float = 0.0) -> None:
         """Merge a worker's :meth:`snapshot` into this collector.
 
-        Counters add, timers merge, and the worker's span forest is
-        grafted under the currently active span with fresh ids.  The
-        measured pool queue wait (submit-to-start, on the shared
-        system monotonic clock) lands in the ``executor.queue_wait``
-        timer.
+        Counters add, timers and gauges merge, and the worker's span
+        forest is grafted under the *calling thread's* active span with
+        fresh ids.  The measured pool queue wait (submit-to-start, on
+        the shared system monotonic clock) lands in the
+        ``executor.queue_wait`` timer.
         """
-        for name, value in record.get("counters", {}).items():
-            self.count(name, value)
-        for name, data in record.get("timers", {}).items():
-            stat = self.timers.get(name)
-            if stat is None:
-                self.timers[name] = TimerStat.from_dict(data)
-            else:
-                stat.merge(TimerStat.from_dict(data))
-        parent = self._stack[-1] if self._stack else None
-        id_map: Dict[int, int] = {}
-        for span in record.get("spans", []):
-            new_id = self._next_span_id
-            self._next_span_id += 1
-            id_map[span["span_id"]] = new_id
-            mapped_parent = (id_map.get(span["parent_id"], parent)
-                             if span["parent_id"] is not None else parent)
-            self.spans.append(SpanRecord(
-                new_id, span["name"], mapped_parent,
-                elapsed_s=span["elapsed_s"], attrs=dict(span["attrs"])))
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            for name, value in record.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) \
+                    + int(value)
+            for name, data in record.get("timers", {}).items():
+                stat = self.timers.get(name)
+                if stat is None:
+                    self.timers[name] = TimerStat.from_dict(data)
+                else:
+                    stat.merge(TimerStat.from_dict(data))
+            for name, data in record.get("gauges", {}).items():
+                stat = self.gauges.get(name)
+                if stat is None:
+                    self.gauges[name] = GaugeStat.from_dict(data)
+                else:
+                    stat.merge(GaugeStat.from_dict(data))
+            id_map: Dict[int, int] = {}
+            for span in record.get("spans", []):
+                new_id = self._next_span_id
+                self._next_span_id += 1
+                id_map[span["span_id"]] = new_id
+                mapped_parent = (id_map.get(span["parent_id"], parent)
+                                 if span["parent_id"] is not None
+                                 else parent)
+                self.spans.append(SpanRecord(
+                    new_id, span["name"], mapped_parent,
+                    elapsed_s=span["elapsed_s"],
+                    attrs=dict(span["attrs"])))
         if queue_wait_s > 0.0:
             self.record_timer("executor.queue_wait", queue_wait_s)
 

@@ -4,10 +4,35 @@
 collector as a plain dict with a hard determinism contract:
 
 * ``schema``, ``context`` and ``counters`` depend only on *work done* —
-  they are byte-identical for any execution plan (workers, chunk size).
-* everything wall-clock — timers, spans, worker identities — is
+  they are byte-identical for any execution plan (workers, chunk size,
+  warm or cold worker pool).
+* everything wall-clock **or scheduling-dependent** — timers, spans,
+  worker identities, gauges, and the pool lifecycle counters — is
   isolated under the single ``timing`` key, so CI can diff two runs'
   documents after dropping that one block.
+
+The pool telemetry added with the persistent
+:class:`~repro.production.pool.WorkerPool` lives entirely inside
+``timing`` because its values describe *how* the run was scheduled, not
+what work was done:
+
+``timing.scheduling``
+    Counters whose names start with ``pool.`` —
+    ``pool.workers_spawned`` (processes forked; zero on a warm pool),
+    ``pool.tasks_dispatched`` (tasks sent to worker processes) and
+    ``pool.tasks_reused_worker`` (tasks that landed on a worker which
+    had already executed at least one task — the dispatch-reuse rate of
+    the persistent pool).  These vary with the worker count and pool
+    warmth by definition, so they must not pollute the deterministic
+    top-level ``counters`` block.
+``timing.gauges``
+    :class:`~repro.telemetry.core.GaugeStat` last/peak levels, e.g.
+    ``pool.queue_depth`` — how deep the shared work queue got while
+    scenario threads interleaved their shards into one pool.
+
+Shared-memory traffic shows up as ``pool.shm_attach`` spans (one per
+worker per segment, under that worker's shard span) and a parent-side
+``pool.shm_detach`` span when the owning buffer unlinks.
 
 :class:`MetricsReport` is the operator-facing pivot next to
 :meth:`~repro.production.store.ResultStore.campaign_table`: one row per
@@ -32,20 +57,36 @@ __all__ = [
 ]
 
 
+#: Counter-name prefixes that describe scheduling rather than work done;
+#: routed under ``timing.scheduling`` to keep the top-level ``counters``
+#: block byte-identical across execution geometries.
+SCHEDULING_COUNTER_PREFIXES = ("pool.",)
+
+
 def metrics_document(telemetry: Telemetry,
                      context: Optional[Mapping[str, Any]] = None
                      ) -> Dict[str, Any]:
     """Render a collector as the ``repro.metrics/1`` document."""
+    counters: Dict[str, int] = {}
+    scheduling: Dict[str, int] = {}
+    for name in sorted(telemetry.counters):
+        target = (scheduling
+                  if name.startswith(SCHEDULING_COUNTER_PREFIXES)
+                  else counters)
+        target[name] = telemetry.counters[name]
+    gauges = getattr(telemetry, "gauges", {})
     timing: Dict[str, Any] = {
         "timers": {name: telemetry.timers[name].as_dict()
                    for name in sorted(telemetry.timers)},
+        "gauges": {name: gauges[name].as_dict()
+                   for name in sorted(gauges)},
+        "scheduling": scheduling,
         "spans": [span.as_dict() for span in telemetry.spans],
     }
     return {
         "schema": SCHEMA_VERSION,
         "context": dict(context or {}),
-        "counters": {name: telemetry.counters[name]
-                     for name in sorted(telemetry.counters)},
+        "counters": counters,
         "timing": timing,
     }
 

@@ -1,12 +1,14 @@
 """Unit tests for the telemetry core: counters, timers, spans, sessions."""
 
 import logging
+import threading
 
 import pytest
 
 from repro.telemetry import (
     NULL_TELEMETRY,
     SCHEMA_VERSION,
+    GaugeStat,
     NullTelemetry,
     ShardProgress,
     Telemetry,
@@ -95,6 +97,67 @@ class TestSpans:
         assert t.spans[0].attrs == {"extra": 1}
 
 
+class TestGauges:
+    def test_set_gauge_tracks_last_and_peak(self):
+        t = Telemetry()
+        t.set_gauge("pool.queue_depth", 3)
+        t.set_gauge("pool.queue_depth", 9)
+        t.set_gauge("pool.queue_depth", 4)
+        stat = t.gauges["pool.queue_depth"]
+        assert stat.last == 4.0
+        assert stat.max_value == 9.0
+
+    def test_gauge_stat_round_trips_through_dict(self):
+        stat = GaugeStat()
+        stat.record(5)
+        stat.record(2)
+        clone = GaugeStat.from_dict(stat.as_dict())
+        assert clone.last == 2.0 and clone.max_value == 5.0
+        assert GaugeStat().as_dict() == {"last": 0.0, "max": 0.0}
+
+    def test_gauge_merge_keeps_the_peak(self):
+        a = GaugeStat()
+        a.record(7)
+        b = GaugeStat()
+        b.record(3)
+        a.merge(b)
+        assert a.last == 3.0 and a.max_value == 7.0
+
+
+class TestThreadSafety:
+    def test_concurrent_counts_and_spans_under_one_parent(self):
+        """Scenario threads interleaving into one collector: counters
+        must not lose increments, and spans created on worker threads
+        graft under the adopted parent via :meth:`under_span`."""
+        t = Telemetry()
+        with t.span("campaign.run") as run:
+            def work():
+                with t.under_span(run.span_id):
+                    for _ in range(200):
+                        t.count("devices")
+                    with t.span("campaign.scenario"):
+                        t.set_gauge("depth", 1)
+
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert t.counters["devices"] == 800
+        scenario_spans = [s for s in t.spans
+                         if s.name == "campaign.scenario"]
+        assert len(scenario_spans) == 4
+        assert all(s.parent_id == run.span_id for s in scenario_spans)
+        assert len({s.span_id for s in t.spans}) == len(t.spans)
+
+    def test_under_span_none_is_a_noop(self):
+        t = Telemetry()
+        with t.under_span(None):
+            with t.span("orphan"):
+                pass
+        assert t.spans[0].parent_id is None
+
+
 class TestNullTelemetry:
     def test_is_strict_noop(self):
         null = NullTelemetry()
@@ -102,10 +165,14 @@ class TestNullTelemetry:
         assert null.progress_every == 0
         null.count("a", 5)
         null.record_timer("b", 1.0)
+        null.set_gauge("g", 1.0)
         with null.timer("c") as timer:
             assert timer.elapsed_s == 0.0
         with null.span("d", x=1) as span:
             span.set(y=2)
+            assert span.span_id is None
+        with null.under_span(None):
+            pass
         assert null.snapshot() == {}
 
     def test_shared_context_instances(self):

@@ -36,8 +36,34 @@ class TestMetricsDocument:
         assert doc["schema"] == SCHEMA_VERSION
         assert doc["context"] == {"command": "lot"}
         assert list(doc["counters"]) == ["a", "b"]  # sorted
-        assert set(doc["timing"]) == {"timers", "spans"}
+        assert set(doc["timing"]) == {"timers", "gauges", "scheduling",
+                                      "spans"}
         assert doc["timing"]["spans"][0]["name"] == "s"
+
+    def test_pool_counters_route_to_timing_scheduling(self):
+        """``pool.*`` counters describe how a run was scheduled, not what
+        work was done — they must leave the deterministic top-level
+        ``counters`` block and land under ``timing.scheduling``."""
+        t = Telemetry()
+        t.count("line.devices", 64)
+        t.count("pool.workers_spawned", 2)
+        t.count("pool.tasks_dispatched", 9)
+        doc = metrics_document(t)
+        assert doc["counters"] == {"line.devices": 64}
+        assert doc["timing"]["scheduling"] == {
+            "pool.tasks_dispatched": 9,
+            "pool.workers_spawned": 2,
+        }
+
+    def test_gauges_land_under_timing(self):
+        t = Telemetry()
+        t.set_gauge("pool.queue_depth", 3)
+        t.set_gauge("pool.queue_depth", 7)
+        t.set_gauge("pool.queue_depth", 2)
+        doc = metrics_document(t)
+        assert doc["counters"] == {}
+        assert doc["timing"]["gauges"]["pool.queue_depth"] == {
+            "last": 2.0, "max": 7.0}
 
     def test_render_is_deterministic(self):
         t = Telemetry()
