@@ -110,8 +110,13 @@ def _multiprocessing_context():
 
 #: Segments owned by *this* process, by name -> full matrix view.
 #: :func:`as_slice_ref` consults it to recognise array views that are
-#: backed by a registered segment.
+#: backed by a registered segment.  Guarded by :data:`_SEGMENTS_LOCK`:
+#: interleaved campaign scenario threads register segments (auto-staging
+#: in ``ShardExecutor.execute``) and unregister them (``_cleanup``, also
+#: reachable from GC finalizers) while other threads iterate in
+#: :func:`as_slice_ref`.
 _SEGMENTS: Dict[str, np.ndarray] = {}
+_SEGMENTS_LOCK = threading.Lock()
 
 _NAME_LOCK = threading.Lock()
 _NAME_COUNTER = 0
@@ -226,7 +231,9 @@ def as_slice_ref(array: Any) -> Optional[SliceRef]:
     if not array.flags.c_contiguous or array.size == 0:
         return None
     ptr = array.__array_interface__["data"][0]
-    for name, segment in _SEGMENTS.items():
+    with _SEGMENTS_LOCK:
+        segments = list(_SEGMENTS.items())
+    for name, segment in segments:
         base = segment.__array_interface__["data"][0]
         if array.dtype == segment.dtype and base <= ptr and \
                 ptr + array.nbytes <= base + segment.nbytes:
@@ -260,7 +267,8 @@ class SharedWaferBuffer:
         self._closed = False
         self._array = np.ndarray(self.shape, dtype=self.dtype,
                                  buffer=shm.buf)
-        _SEGMENTS[self.name] = self._array
+        with _SEGMENTS_LOCK:
+            _SEGMENTS[self.name] = self._array
         self._finalizer = weakref.finalize(
             self, SharedWaferBuffer._cleanup, shm, self.name, self.owner)
 
@@ -363,7 +371,8 @@ class SharedWaferBuffer:
 
     @staticmethod
     def _cleanup(shm, name: str, owner: bool) -> None:
-        _SEGMENTS.pop(name, None)
+        with _SEGMENTS_LOCK:
+            _SEGMENTS.pop(name, None)
         try:
             shm.close()
         except (BufferError, OSError):  # pragma: no cover - live views
@@ -471,7 +480,8 @@ def _attach_view(name: str, offset: int, shape: Tuple[int, ...],
     worker the segment is attached once (``pool.shm_attach`` span under
     the worker's telemetry) and cached for subsequent shards.
     """
-    registered = _SEGMENTS.get(name)
+    with _SEGMENTS_LOCK:
+        registered = _SEGMENTS.get(name)
     if registered is not None:
         count = int(np.prod(shape))
         flat = np.frombuffer(registered, dtype=dtype, count=count,
@@ -562,8 +572,8 @@ def _pool_task(payload) -> Tuple[bool, Any]:
     return warm, (result, record)
 
 
-def _noop() -> None:
-    return None
+def _sleep_task(seconds: float) -> None:
+    time.sleep(seconds)
 
 
 # ---------------------------------------------------------------------- #
@@ -617,13 +627,34 @@ class WorkerPool:
             return self._executor
 
     def warm_up(self) -> "WorkerPool":
-        """Fork the workers now (they normally spawn on first dispatch).
+        """Fork *all* the workers now (they normally spawn on dispatch).
 
-        Useful before starting scenario threads (forking from a
-        single-threaded parent is the safe order) and before timing a
-        warm-pool benchmark.
+        Useful before starting scenario threads (forking from a moment
+        when the parent holds no extra threads is the safe order) and
+        before timing a warm-pool benchmark.
+
+        On Python >= 3.11 a fork-context executor launches every worker
+        on the first submit, but on 3.9/3.10 workers spawn on demand —
+        one per submit with no idle worker — so a single no-op would
+        leave the rest to be forked later, mid-campaign, defeating the
+        fork-before-threads rationale.  Instead we submit batches of
+        short blocking tasks (each concurrent submit forces a fresh
+        spawn while no worker is idle) until every worker process
+        exists; afterwards the executor is at ``max_workers`` and never
+        forks again.
         """
-        self._ensure().submit(_noop).result()
+        executor = self._ensure()
+        deadline = time.monotonic() + 30.0
+        while True:
+            missing = self._workers - len(executor._processes)
+            if missing <= 0:
+                break
+            futures = [executor.submit(_sleep_task, 0.05)
+                       for _ in range(missing)]
+            for future in futures:
+                future.result()
+            if time.monotonic() > deadline:  # pragma: no cover - safety
+                break
         return self
 
     def worker_pids(self) -> List[int]:
@@ -725,14 +756,27 @@ class WorkerPool:
 # Ambient and default pools
 # ---------------------------------------------------------------------- #
 
+#: The ambient-pool stack and the module default are process globals
+#: shared across threads (scenario threads read the pool the main thread
+#: installed), so mutations go through :data:`_POOL_LOCK` — otherwise
+#: two threads dispatching concurrently could each create a default pool
+#: (one leaking its workers until atexit) or interleave ambient
+#: push/pop from concurrent :func:`shared_pool` blocks.
 _AMBIENT: List[WorkerPool] = []
 _DEFAULT: Optional[WorkerPool] = None
 _ATEXIT_REGISTERED = False
+_POOL_LOCK = threading.Lock()
 
 
 def current_pool() -> Optional[WorkerPool]:
-    """The innermost :func:`shared_pool` pool, if one is installed."""
-    return _AMBIENT[-1] if _AMBIENT else None
+    """The innermost :func:`shared_pool` pool, if one is installed.
+
+    The stack is process-global: a pool installed by one thread (the
+    campaign driver) is deliberately visible to every other thread
+    (the scenario threads it spawns).
+    """
+    with _POOL_LOCK:
+        return _AMBIENT[-1] if _AMBIENT else None
 
 
 @contextmanager
@@ -750,11 +794,18 @@ def shared_pool(workers: Optional[int] = None,
         if workers is None:
             raise ValueError("shared_pool needs a worker count or a pool")
         pool = WorkerPool(workers)
-    _AMBIENT.append(pool)
+    with _POOL_LOCK:
+        _AMBIENT.append(pool)
     try:
         yield pool
     finally:
-        _AMBIENT.pop()
+        # Remove by identity: concurrent shared_pool blocks on other
+        # threads may have pushed since, so ours need not be last.
+        with _POOL_LOCK:
+            for i in range(len(_AMBIENT) - 1, -1, -1):
+                if _AMBIENT[i] is pool:
+                    del _AMBIENT[i]
+                    break
         if created:
             pool.close()
 
@@ -771,21 +822,24 @@ def get_default_pool(workers: int) -> WorkerPool:
     construction).  An ``atexit`` hook guarantees shutdown.
     """
     global _DEFAULT, _ATEXIT_REGISTERED
-    if _DEFAULT is not None and not _DEFAULT.closed \
-            and _DEFAULT.workers >= workers:
-        return _DEFAULT
-    if _DEFAULT is not None:
-        _DEFAULT.close()
-    _DEFAULT = WorkerPool(workers)
-    if not _ATEXIT_REGISTERED:
-        atexit.register(close_default_pool)
-        _ATEXIT_REGISTERED = True
-    return _DEFAULT
+    with _POOL_LOCK:
+        if _DEFAULT is not None and not _DEFAULT.closed \
+                and _DEFAULT.workers >= workers:
+            return _DEFAULT
+        stale, _DEFAULT = _DEFAULT, WorkerPool(workers)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(close_default_pool)
+            _ATEXIT_REGISTERED = True
+        pool = _DEFAULT
+    if stale is not None:
+        stale.close()
+    return pool
 
 
 def close_default_pool() -> None:
     """Shut down the module default pool (idempotent; CLI/test teardown)."""
     global _DEFAULT
-    if _DEFAULT is not None:
-        _DEFAULT.close()
-        _DEFAULT = None
+    with _POOL_LOCK:
+        stale, _DEFAULT = _DEFAULT, None
+    if stale is not None:
+        stale.close()

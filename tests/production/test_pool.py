@@ -13,6 +13,7 @@ the stronger property that the name is gone immediately).
 
 import glob
 import os
+import threading
 import time
 import warnings
 
@@ -262,6 +263,95 @@ class TestPoolIsScheduling:
             workers=2, shard_devices=128))
         assert_batch_results_identical(serial, staged)
         assert not _repro_shm_entries()
+
+
+class TestThreadSafety:
+    """Interleaved scenario threads mutate the module globals while
+    other threads read them — the exact traffic pattern of an
+    interleaved multi-scenario campaign with auto-staged wafers."""
+
+    def test_warm_up_forks_every_worker(self):
+        """warm_up must leave *all* workers forked, not just the first —
+        on 3.9/3.10 the executor spawns on demand, so a lazy warm-up
+        would fork the rest mid-campaign, after threads exist."""
+        with WorkerPool(4) as pool:
+            pool.warm_up()
+            assert len(pool.worker_pids()) == 4
+
+    def test_as_slice_ref_survives_concurrent_registration(self):
+        """Registering/unregistering segments on some threads while
+        others iterate the registry must never raise 'dictionary
+        changed size during iteration'."""
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    with SharedWaferBuffer.from_array(np.zeros((4, 63))):
+                        pass
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        def probe():
+            private = np.zeros((2, 63))
+            try:
+                while not stop.is_set():
+                    as_slice_ref(private)
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=churn) for _ in range(2)]
+                   + [threading.Thread(target=probe) for _ in range(2)])
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_concurrent_default_pool_requests_share_one_pool(self):
+        """Two threads racing get_default_pool must not each create a
+        pool (the loser would leak its workers until atexit)."""
+        n = 8
+        pools = [None] * n
+        barrier = threading.Barrier(n)
+
+        def grab(i):
+            barrier.wait()
+            pools[i] = get_default_pool(2)
+
+        threads = [threading.Thread(target=grab, args=(i,))
+                   for i in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(pool is pools[0] for pool in pools)
+
+    def test_shared_pool_blocks_interleave_across_threads(self):
+        """Concurrent shared_pool blocks on different threads exit by
+        identity, so one thread's pop can never evict another's pool."""
+        with WorkerPool(1) as keeper, WorkerPool(1) as other:
+            release = threading.Event()
+            entered = threading.Event()
+
+            def hold():
+                with shared_pool(pool=other):
+                    entered.set()
+                    release.wait(5.0)
+
+            thread = threading.Thread(target=hold)
+            with shared_pool(pool=keeper):
+                thread.start()
+                assert entered.wait(5.0)
+                # Inner (other thread's) block exits first; ours must
+                # still be installed afterwards.
+                release.set()
+                thread.join()
+                assert current_pool() is keeper
+            assert current_pool() is None
 
 
 class TestNoLeaks:
