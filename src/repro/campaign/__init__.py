@@ -40,7 +40,11 @@ from repro.campaign.factory import BatchEngine, default_tester, make_engine
 from repro.campaign.driver import (
     Campaign,
     CampaignResult,
+    LabelDeduper,
+    ScenarioSubmitter,
     scenario_child_seed,
+    scenario_record,
+    screen_scenario,
 )
 
 __all__ = [
@@ -48,9 +52,13 @@ __all__ = [
     "BatchEngine",
     "Campaign",
     "CampaignResult",
+    "LabelDeduper",
     "Scenario",
+    "ScenarioSubmitter",
     "TESTER_CHOICES",
     "default_tester",
     "make_engine",
     "scenario_child_seed",
+    "scenario_record",
+    "screen_scenario",
 ]

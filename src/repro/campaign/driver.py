@@ -24,24 +24,36 @@ from __future__ import annotations
 
 import csv
 import json
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import (FIRST_EXCEPTION, Future, ThreadPoolExecutor,
+                                wait)
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.campaign.scenario import Scenario
-from repro.production.execution import ExecutionPlan
+from repro.production.execution import (ExecutionPlan, abort_scope,
+                                        journal_scope)
 from repro.production.line import LotScreeningReport, ScreeningLine
 from repro.production.lot import Lot, Wafer
-from repro.production.pool import (current_pool, get_default_pool,
-                                   share_wafer, shared_pool)
+from repro.production.pool import (PoolBrokenError, current_pool,
+                                   get_default_pool, share_wafer,
+                                   shared_pool)
 from repro.production.store import ResultStore
 from repro.telemetry.core import current_telemetry
 from repro.telemetry.log import get_logger
 from repro.telemetry.metrics import MetricsReport
 
-__all__ = ["Campaign", "CampaignResult", "scenario_child_seed"]
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "LabelDeduper",
+    "ScenarioSubmitter",
+    "scenario_child_seed",
+    "scenario_record",
+    "screen_scenario",
+]
 
 _log = get_logger("campaign")
 
@@ -57,6 +69,227 @@ def scenario_child_seed(root_seed: int, index: int) -> int:
     child = np.random.SeedSequence(entropy=root.entropy,
                                    spawn_key=root.spawn_key + (index,))
     return int(child.generate_state(1)[0])
+
+
+class LabelDeduper:
+    """Incrementally de-duplicate ledger labels, campaign-style.
+
+    A duplicate base label (two scenarios differing only in axes the
+    canonical name does not show, e.g. noise) gets an ``" [k]"``
+    occurrence suffix so a merged ledger keeps the rows apart; a suffixed
+    candidate that collides with an explicit label skips to the next free
+    suffix, so distinct scenarios never share a row.  Incremental on
+    purpose: :meth:`Campaign.labels` claims a whole scenario list up
+    front, while the streaming service claims one label per request as
+    requests arrive — both walks produce identical labels for identical
+    base sequences.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._used: set = set()
+
+    def claim(self, base: str) -> str:
+        """The resolved label for the next occurrence of ``base``."""
+        n = self._counts.get(base, 0)
+        while True:
+            n += 1
+            candidate = base if n == 1 else f"{base} [{n}]"
+            if candidate not in self._used:
+                break
+        self._counts[base] = n
+        self._used.add(candidate)
+        return candidate
+
+
+def screen_scenario(label: str, seed: int, line: ScreeningLine, lot: Lot,
+                    plan: Optional[ExecutionPlan] = None,
+                    parent_span_id: Optional[int] = None
+                    ) -> Tuple[LotScreeningReport, ResultStore]:
+    """Screen one scenario into its own fresh child store.
+
+    The single screening step both drivers share: :class:`Campaign` runs
+    it once per scenario (inline or on a scenario thread) and the
+    streaming service runs it once per request.  ``parent_span_id``
+    re-parents the ``campaign.scenario`` span (under ``campaign.run`` or
+    a ``serve.request`` span) when the calling thread's span stack is
+    empty.
+    """
+    t = current_telemetry()
+    child = ResultStore()
+    with t.under_span(parent_span_id):
+        with t.span("campaign.scenario", label=label, seed=seed):
+            report = line.screen_lot(lot, rng=seed, store=child, plan=plan)
+    return report, child
+
+
+def scenario_record(scenario: Scenario, label: str, seed: int,
+                    report: LotScreeningReport) -> Dict[str, object]:
+    """One plain-dict export record for a screened scenario.
+
+    The shared row shape of :meth:`CampaignResult.records` (JSON/CSV
+    export) and the streaming service's per-request result events.
+    """
+    return {
+        "label": label,
+        "architecture": report.architecture,
+        "method": report.method,
+        "mode": report.mode,
+        "q": report.q,
+        "n_bits": scenario.n_bits,
+        "seed": seed,
+        "devices": report.n_devices,
+        "accepted": report.n_accepted,
+        "accept_fraction": report.accept_fraction,
+        "true_yield": report.p_good,
+        "type_i": report.type_i,
+        "type_ii": report.type_ii,
+        "samples_per_device": report.samples_per_device,
+        "tester_seconds": report.tester_seconds,
+        "devices_per_hour": report.devices_per_hour,
+        "cost_per_device": report.cost_per_device,
+    }
+
+
+class ScenarioSubmitter:
+    """Feed concurrent scenario screenings through one shared worker pool.
+
+    The reusable submission API underneath both the interleaved
+    :meth:`Campaign.run` path and ``repro serve``: entering the context
+    acquires the persistent pool (the ambient
+    :func:`~repro.production.pool.shared_pool` if one is installed, else
+    the module default), warms it *before* any submission thread exists
+    (so workers fork from a thread-free process), installs it as the
+    ambient pool, and opens a thread bench.  Each :meth:`submit` then
+    screens one scenario on its own thread, so every in-flight
+    screening's shards drain through the pool's single work queue —
+    in-flight campaign scenarios and in-flight serve requests interleave
+    by exactly the same mechanism.
+
+    Parameters
+    ----------
+    plan:
+        The execution plan submissions screen under by default (a
+        per-submission override is accepted).  ``workers=1`` plans skip
+        pool acquisition entirely and screen serially on the submission
+        threads.
+    max_threads:
+        Concurrent screenings in flight; further submissions queue.
+    pool_retries:
+        How many times a submission that hits a
+        :class:`~repro.production.pool.PoolBrokenError` (a worker died;
+        the broken pool was evicted) is re-run against a rebuilt pool
+        before the error propagates.  ``0`` — the campaign default —
+        propagates immediately.  With a journal installed the re-run
+        replays every journaled shard, so only genuinely unfinished work
+        recomputes.
+    """
+
+    def __init__(self, plan: ExecutionPlan, *, max_threads: int = 1,
+                 pool_retries: int = 0) -> None:
+        if max_threads < 1:
+            raise ValueError("max_threads must be >= 1")
+        if pool_retries < 0:
+            raise ValueError("pool_retries must be >= 0")
+        self.plan = plan
+        self.max_threads = int(max_threads)
+        self.pool_retries = int(pool_retries)
+        self._abort = threading.Event()
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._shared = None
+
+    # -- context management -------------------------------------------- #
+
+    def __enter__(self) -> "ScenarioSubmitter":
+        if self.plan.workers > 1 and self.plan.reuse_pool:
+            pool = current_pool()
+            if pool is None or pool.closed:
+                pool = get_default_pool(self.plan.workers)
+            self._shared = shared_pool(pool=pool)
+            self._shared.__enter__()
+            try:
+                pool.warm_up()
+            except BaseException:
+                self._shared.__exit__(None, None, None)
+                self._shared = None
+                raise
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.max_threads,
+            thread_name_prefix="campaign-scenario")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if self._threads is not None:
+                self._threads.shutdown(wait=True)
+        finally:
+            self._threads = None
+            if self._shared is not None:
+                self._shared.__exit__(None, None, None)
+                self._shared = None
+
+    # -- submission ----------------------------------------------------- #
+
+    def submit(self, label: str, seed: int, line: ScreeningLine, lot: Lot,
+               *, plan: Optional[ExecutionPlan] = None,
+               parent_span_id: Optional[int] = None,
+               journal: Any = None) -> "Future":
+        """Schedule one scenario screening; returns its future.
+
+        The future resolves to the ``(report, child_store)`` pair of
+        :func:`screen_scenario`, raises
+        :class:`~repro.production.execution.ExecutionAborted` if
+        :meth:`abort` fired first, and — past ``pool_retries`` rebuild
+        attempts — :class:`~repro.production.pool.PoolBrokenError`.
+        """
+        if self._threads is None:
+            raise RuntimeError(
+                "ScenarioSubmitter.submit outside the context block")
+        return self._threads.submit(
+            self._run, label, seed, line, lot,
+            plan if plan is not None else self.plan,
+            parent_span_id, journal)
+
+    def _run(self, label: str, seed: int, line: ScreeningLine, lot: Lot,
+             plan: ExecutionPlan, parent_span_id: Optional[int],
+             journal: Any) -> Tuple[LotScreeningReport, ResultStore]:
+        retries = self.pool_retries
+        while True:
+            try:
+                with abort_scope(self._abort), journal_scope(journal):
+                    return screen_scenario(label, seed, line, lot,
+                                           plan=plan,
+                                           parent_span_id=parent_span_id)
+            except PoolBrokenError:
+                if retries <= 0 or self._abort.is_set():
+                    raise
+                retries -= 1
+                t = current_telemetry()
+                if t.enabled:
+                    t.count("pool.rebuilt")
+                _log.warning("%s: worker pool broke mid-screen; "
+                             "rebuilding and retrying", label)
+                if journal is not None:
+                    journal.begin_attempt()
+                # The broken pool was evicted; this both rebuilds the
+                # module default and surfaces a second failure early.
+                get_default_pool(plan.workers)
+
+    # -- cancellation --------------------------------------------------- #
+
+    def abort(self) -> None:
+        """Signal every in-flight screening to stop submitting shards.
+
+        Cooperative: running threads observe the event at their next
+        shard batch and raise
+        :class:`~repro.production.execution.ExecutionAborted`; queued
+        submissions should additionally be ``cancel()``-ed by the caller.
+        """
+        self._abort.set()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
 
 
 @dataclass
@@ -95,29 +328,9 @@ class CampaignResult:
 
     def records(self) -> List[Dict[str, object]]:
         """One plain-dict record per scenario, for JSON/CSV export."""
-        rows = []
-        for scenario, label, seed, report in zip(
-                self.scenarios, self.labels, self.seeds, self.reports):
-            rows.append({
-                "label": label,
-                "architecture": report.architecture,
-                "method": report.method,
-                "mode": report.mode,
-                "q": report.q,
-                "n_bits": scenario.n_bits,
-                "seed": seed,
-                "devices": report.n_devices,
-                "accepted": report.n_accepted,
-                "accept_fraction": report.accept_fraction,
-                "true_yield": report.p_good,
-                "type_i": report.type_i,
-                "type_ii": report.type_ii,
-                "samples_per_device": report.samples_per_device,
-                "tester_seconds": report.tester_seconds,
-                "devices_per_hour": report.devices_per_hour,
-                "cost_per_device": report.cost_per_device,
-            })
-        return rows
+        return [scenario_record(scenario, label, seed, report)
+                for scenario, label, seed, report in zip(
+                    self.scenarios, self.labels, self.seeds, self.reports)]
 
     def to_json(self, indent: int = 2) -> str:
         """The campaign records as a JSON array."""
@@ -200,21 +413,9 @@ class Campaign:
         suffixed candidate that collides with an explicit label skips to
         the next free suffix, so distinct scenarios never share a row.
         """
-        counts: Dict[str, int] = {}
-        used = set()
-        labels = []
-        for scenario in self.scenarios:
-            base = scenario.resolved_label
-            n = counts.get(base, 0)
-            while True:
-                n += 1
-                candidate = base if n == 1 else f"{base} [{n}]"
-                if candidate not in used:
-                    break
-            counts[base] = n
-            used.add(candidate)
-            labels.append(candidate)
-        return labels
+        deduper = LabelDeduper()
+        return [deduper.claim(scenario.resolved_label)
+                for scenario in self.scenarios]
 
     def seeds(self) -> List[int]:
         """The seed each scenario screens under, in scenario order."""
@@ -241,20 +442,9 @@ class Campaign:
                          lot: Lot, plan: Optional[ExecutionPlan],
                          parent_span_id: Optional[int]
                          ) -> Tuple[LotScreeningReport, ResultStore]:
-        """Screen one scenario into its own child store.
-
-        Runs on the caller's thread in sequential mode and on a scenario
-        thread in interleaved mode; ``parent_span_id`` re-parents the
-        ``campaign.scenario`` span under ``campaign.run`` when the
-        thread-local span stack is empty.
-        """
-        t = current_telemetry()
-        child = ResultStore()
-        with t.under_span(parent_span_id):
-            with t.span("campaign.scenario", label=label, seed=seed):
-                report = line.screen_lot(lot, rng=seed, store=child,
-                                         plan=plan)
-        return report, child
+        """Screen one scenario (thin shim over :func:`screen_scenario`)."""
+        return screen_scenario(label, seed, line, lot, plan=plan,
+                               parent_span_id=parent_span_id)
 
     def _run_interleaved(self, labels: List[str], seeds: List[int],
                          lines: List[ScreeningLine], lots: List[Lot],
@@ -263,28 +453,40 @@ class Campaign:
                          ) -> List[Tuple[LotScreeningReport, ResultStore]]:
         """Drain every scenario's shards through one shared worker pool.
 
-        One thread per scenario submits its shards; the pool (the ambient
-        :func:`shared_pool` one if installed, else the warm module
-        default) serves them all from a single work queue.  The pool is
-        warmed *before* the scenario threads start so every worker is
-        forked from a moment when this process has no extra threads, and
-        futures are consumed in scenario order so logs, reports and the
-        store merge are byte-identical to the sequential path.
+        One :class:`ScenarioSubmitter` thread per scenario submits its
+        shards; the pool (the ambient :func:`shared_pool` one if
+        installed, else the warm module default) serves them all from a
+        single work queue.  The pool is warmed *before* the scenario
+        threads start so every worker is forked from a moment when this
+        process has no extra threads, and futures are consumed in
+        scenario order so logs, reports and the store merge are
+        byte-identical to the sequential path.
+
+        Failure is prompt: the first scenario that raises aborts the
+        submitter (running siblings stop at their next shard batch and
+        raise :class:`~repro.production.execution.ExecutionAborted`),
+        outstanding futures are cancelled, and the original error
+        propagates — one bad scenario no longer lets its siblings screen
+        to completion first.
         """
-        pool = current_pool()
-        if pool is None or pool.closed:
-            pool = get_default_pool(plan.workers)
-        with shared_pool(pool=pool):
-            pool.warm_up()
-            with ThreadPoolExecutor(
-                    max_workers=len(self.scenarios),
-                    thread_name_prefix="campaign-scenario") as threads:
-                futures = [
-                    threads.submit(self._screen_scenario, label, seed,
-                                   line, lot, plan, parent_span_id)
-                    for label, seed, line, lot in zip(labels, seeds,
-                                                      lines, lots)]
-                return [future.result() for future in futures]
+        with ScenarioSubmitter(plan,
+                               max_threads=len(self.scenarios)) as submitter:
+            futures = [
+                submitter.submit(label, seed, line, lot,
+                                 parent_span_id=parent_span_id)
+                for label, seed, line, lot in zip(labels, seeds,
+                                                  lines, lots)]
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = next((f for f in futures
+                           if f.done() and not f.cancelled()
+                           and f.exception() is not None), None)
+            if failed is not None:
+                submitter.abort()
+                for future in not_done:
+                    future.cancel()
+                wait(not_done)
+                failed.result()  # re-raises the scenario's error
+            return [future.result() for future in futures]
 
     def run(self, plan: Optional[ExecutionPlan] = None,
             store: Optional[ResultStore] = None) -> CampaignResult:

@@ -40,6 +40,13 @@ be exercised without writing Python:
     prints as one per-scenario table (``--json``/``--csv`` export the
     records).  The lot/partial/compare commands are thin wrappers over
     the same Scenario API.
+``python -m repro.cli serve``
+    The streaming "virtual fab": read a continuous JSONL stream of
+    Scenario-tagged wafer requests (stdin, or many concurrent TCP
+    clients with ``--socket``), screen every request on the shared
+    persistent worker pool, and emit rolling JSONL result events plus a
+    final merged ledger.  ``--checkpoint``/``--resume`` journal
+    completed shards so a killed server reconverges byte-identically.
 
 Every command accepts ``--help`` for its options.
 """
@@ -377,6 +384,42 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the per-scenario records to "
                                "PATH as CSV")
     _add_execution_arguments(campaign)
+
+    serve = sub.add_parser(
+        "serve", help="long-running streaming front door: screen a "
+                      "continuous JSONL stream of Scenario-tagged wafer "
+                      "requests (stdin or TCP) on the shared worker pool, "
+                      "emitting rolling JSONL results with "
+                      "checkpoint/resume")
+    serve.add_argument("--socket", metavar="HOST:PORT", default=None,
+                       help="listen for line-oriented TCP clients instead "
+                            "of reading stdin (port 0 picks an ephemeral "
+                            "port, announced by the 'listening' event)")
+    serve.add_argument("--seed", type=int, default=2026,
+                       help="root seed: request i without its own seed "
+                            "screens under child seed i, exactly like a "
+                            "batch campaign (default 2026)")
+    serve.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="journal accepted requests and completed "
+                            "shards to PATH (append-only JSONL, flushed "
+                            "per line) so a killed server can resume")
+    serve.add_argument("--resume", metavar="PATH", default=None,
+                       help="restore from a checkpoint journal: finished "
+                            "work replays from the journal, only "
+                            "unfinished shards dispatch, and the final "
+                            "ledger is byte-identical to an "
+                            "uninterrupted run")
+    serve.add_argument("--ledger", metavar="PATH", default=None,
+                       help="write the final merged ledger text to PATH "
+                            "on shutdown")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrent request screenings; further "
+                            "requests queue (default 8)")
+    serve.add_argument("--pool-retries", type=int, default=1,
+                       help="per-request re-runs against a rebuilt pool "
+                            "after a worker death (PoolBrokenError); "
+                            "journaled shards replay on retry (default 1)")
+    _add_execution_arguments(serve)
 
     partial = sub.add_parser(
         "partial", help="Monte-Carlo partial-BIST run over a population")
@@ -731,9 +774,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeServer
+
+    # Serve always screens through the plan path (workers=1 when no
+    # execution flags are given) so the shard journal sees every unit of
+    # work; the ledger is byte-identical for any worker count anyway.
+    plan = _plan_from_args(args)
+    if plan is None:
+        plan = ExecutionPlan(workers=1)
+    socket_addr = None
+    if args.socket is not None:
+        host, _, port_text = args.socket.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise SystemExit(f"invalid --socket {args.socket!r} "
+                             f"(expected HOST:PORT)")
+        socket_addr = (host or "127.0.0.1", port)
+    server = ServeServer(plan=plan, seed=args.seed, socket=socket_addr,
+                         checkpoint=args.checkpoint, resume=args.resume,
+                         ledger_path=args.ledger,
+                         max_inflight=args.max_inflight,
+                         pool_retries=args.pool_retries)
+    return asyncio.run(server.run())
+
+
 _HANDLERS = {
     "bist": _cmd_bist,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "figure7": _cmd_figure7,

@@ -133,6 +133,7 @@ from repro.production.partial_batch import (
 )
 from repro.production.pool import (
     AUTO_SHARE_MIN_BYTES,
+    PoolBrokenError,
     SharedWaferBuffer,
     SliceRef,
     WorkerPool,
@@ -142,6 +143,7 @@ from repro.production.pool import (
     get_default_pool,
     share_wafer,
     shared_pool,
+    sweep_stale_segments,
 )
 from repro.production.store import ResultStore
 
@@ -165,6 +167,7 @@ __all__ = [
     "ShardExecutor",
     "WaferEngine",
     "AUTO_SHARE_MIN_BYTES",
+    "PoolBrokenError",
     "SharedWaferBuffer",
     "SliceRef",
     "WorkerPool",
@@ -174,6 +177,7 @@ __all__ = [
     "get_default_pool",
     "share_wafer",
     "shared_pool",
+    "sweep_stale_segments",
     "DEFAULT_BIN_EDGES_LSB",
     "SCREENING_METHODS",
     "LotScreeningReport",

@@ -44,6 +44,8 @@ address space.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -72,10 +74,16 @@ from repro.telemetry.log import ShardProgress
 
 __all__ = [
     "DEFAULT_SHARD_DEVICES",
+    "ExecutionAborted",
     "ExecutionPlan",
     "ShardExecutor",
     "WaferEngine",
+    "abort_scope",
+    "check_abort",
+    "current_abort",
+    "current_journal",
     "iter_slices",
+    "journal_scope",
     "resolve_plan_seed",
     "spawn_shard_seeds",
 ]
@@ -99,6 +107,109 @@ def iter_slices(n: int, size: int) -> Iterator[Tuple[int, int]]:
         raise ValueError("slice size must be positive")
     for lo in range(0, n, size):
         yield lo, min(lo + size, n)
+
+
+# ---------------------------------------------------------------------- #
+# Cooperative abort and shard-result journaling (ambient, per-thread)
+# ---------------------------------------------------------------------- #
+
+class ExecutionAborted(RuntimeError):
+    """The ambient abort signal fired: stop submitting shards.
+
+    Raised by :func:`check_abort` between shard batches when the
+    installed :class:`threading.Event` is set — the cooperative
+    cancellation a campaign uses to stop sibling scenario threads
+    promptly once one of them failed.  Purely a scheduling interruption:
+    no partial results are published.
+    """
+
+
+_ABORT_LOCAL = threading.local()
+_JOURNAL_LOCAL = threading.local()
+
+
+def _local_stack(local: threading.local) -> List[Any]:
+    stack = getattr(local, "stack", None)
+    if stack is None:
+        stack = local.stack = []
+    return stack
+
+
+@contextmanager
+def abort_scope(event: Optional[threading.Event]):
+    """Install an abort event for every executor run on *this* thread.
+
+    Deliberately thread-local (unlike the process-global ambient pool):
+    each scenario/request thread installs the event it answers to, so
+    one campaign's abort cannot leak into an unrelated thread's runs.
+    ``None`` is accepted and is a no-op, keeping call sites branch-free.
+    """
+    if event is None:
+        yield
+        return
+    stack = _local_stack(_ABORT_LOCAL)
+    stack.append(event)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def current_abort() -> Optional[threading.Event]:
+    """The innermost abort event installed on this thread, if any."""
+    stack = getattr(_ABORT_LOCAL, "stack", None)
+    return stack[-1] if stack else None
+
+
+def check_abort() -> None:
+    """Raise :class:`ExecutionAborted` if this thread's abort event is set.
+
+    Called by :meth:`ShardExecutor.map` before every shard batch and
+    between inline serial shards — the granularity at which a signalled
+    thread stops submitting work.
+    """
+    event = current_abort()
+    if event is not None and event.is_set():
+        raise ExecutionAborted(
+            "execution aborted: the abort signal was set (a sibling "
+            "scenario failed or the campaign was cancelled)")
+
+
+@contextmanager
+def journal_scope(journal: Any):
+    """Install a shard-result journal for this thread's executor runs.
+
+    The checkpoint/resume seam of the streaming service: while a journal
+    is installed, :meth:`ShardExecutor.map` asks it for already-completed
+    shard results (``lookup``) before dispatching and reports fresh ones
+    back (``record``).  The journal protocol is duck-typed —
+    ``begin_run(n_tasks) -> key``, ``lookup(key, index) -> (hit, value)``,
+    ``record(key, index, value)`` — see
+    :class:`repro.serve.checkpoint.RequestJournal` for the implementation
+    that persists results to the serve checkpoint file.  ``None`` is a
+    no-op.
+
+    Correctness rests on the determinism contract: every shard result is
+    a pure function of its arguments, and the *sequence* of executor
+    runs a given screening makes is a pure function of its (scenario,
+    seed), so ``(run index, shard index)`` names the same unit of work
+    in the run that journaled it and in the run that replays it.
+    """
+    if journal is None:
+        yield
+        return
+    stack = _local_stack(_JOURNAL_LOCAL)
+    stack.append(journal)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def current_journal() -> Any:
+    """The innermost shard journal installed on this thread, if any."""
+    stack = getattr(_JOURNAL_LOCAL, "stack", None)
+    return stack[-1] if stack else None
 
 
 def spawn_shard_seeds(seed: SeedLike,
@@ -318,13 +429,46 @@ class ShardExecutor:
         ``task_sizes`` (devices per task, same order as ``arg_tuples``)
         feeds the per-shard telemetry spans and the rolling devices/sec
         progress line; it never affects scheduling or results.
+
+        Honours the two ambient per-thread seams: an installed
+        :func:`abort_scope` event aborts before (and, serially, between)
+        shards, and an installed :func:`journal_scope` journal replays
+        already-recorded shard results and records fresh ones, so a
+        resumed run dispatches only the shards the killed run never
+        finished.  Both default to no-ops.
         """
+        check_abort()
         tasks = list(arg_tuples)
+        journal = current_journal()
+        if journal is None:
+            return self._map(func, tasks, task_sizes)
+        key = journal.begin_run(len(tasks))
+        results: List[Any] = [None] * len(tasks)
+        pending: List[int] = []
+        for i in range(len(tasks)):
+            hit, value = journal.lookup(key, i)
+            if hit:
+                results[i] = value
+            else:
+                pending.append(i)
+        if pending:
+            sub_sizes = (None if task_sizes is None
+                         else [task_sizes[i] for i in pending])
+            fresh = self._map(func, [tasks[i] for i in pending], sub_sizes)
+            for i, value in zip(pending, fresh):
+                journal.record(key, i, value)
+                results[i] = value
+        return results
+
+    def _map(self, func: Callable[..., Any],
+             tasks: List[Tuple],
+             task_sizes: Optional[Sequence[int]] = None) -> List[Any]:
         t = current_telemetry()
         n_workers = min(self.plan.workers, len(tasks))
         if n_workers <= 1:
             # Inline serial path (no pool, no descriptors).
-            if not t.enabled and t.progress_every <= 0:
+            abort = current_abort()
+            if not t.enabled and t.progress_every <= 0 and abort is None:
                 return [func(*args) for args in tasks]
             if t.enabled:
                 t.count("executor.tasks", len(tasks))
@@ -333,6 +477,7 @@ class ShardExecutor:
             metas = self._metas(tasks, task_sizes)
             results = []
             for i, args in enumerate(tasks):
+                check_abort()
                 if t.enabled:
                     results.append(_run_instrumented(func, args, metas[i]))
                 else:

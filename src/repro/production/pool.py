@@ -57,6 +57,7 @@ import time
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -70,6 +71,7 @@ from repro.telemetry.core import (
 
 __all__ = [
     "AUTO_SHARE_MIN_BYTES",
+    "PoolBrokenError",
     "SharedWaferBuffer",
     "SliceRef",
     "WorkerPool",
@@ -79,7 +81,22 @@ __all__ = [
     "get_default_pool",
     "shared_pool",
     "share_wafer",
+    "sweep_stale_segments",
 ]
+
+
+class PoolBrokenError(RuntimeError):
+    """A pool worker died mid-flight (OOM kill, segfault, SIGKILL).
+
+    Raised instead of the stdlib's opaque ``BrokenProcessPool``.  By the
+    time the caller sees it, the broken pool has been closed and evicted
+    from both the module default and the ambient :func:`shared_pool`
+    stack, so the *next* :func:`get_default_pool` (or plan-based
+    dispatch) builds a fresh pool of live workers.  Every shard is
+    replayable by ``(seed, shard index)``, so callers such as ``repro
+    serve`` recover by rebuilding and re-dispatching the affected shards
+    — the error is a retry signal, not a terminal state.
+    """
 
 #: Transition matrices at least this large are automatically staged into a
 #: transient shared-memory segment when dispatched to a multi-worker pool
@@ -136,6 +153,51 @@ def _next_segment_name() -> str:
         count = _NAME_COUNTER
     token = binascii.hexlify(os.urandom(4)).decode("ascii")
     return f"repro_{os.getpid()}_{count}_{token}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # pragma: no cover - exists
+        return True
+    return True
+
+
+def sweep_stale_segments(shm_dir: str = "/dev/shm") -> List[str]:
+    """Unlink ``repro_*`` segments whose creating process is dead.
+
+    A SIGKILLed process cannot run cleanup, so its in-flight
+    :class:`SharedWaferBuffer` segments survive in ``/dev/shm`` (the
+    multiprocessing resource tracker dies with the process group).  The
+    segment name embeds the creator pid (``repro_<pid>_<n>_<token>``),
+    so a successor — ``repro serve --resume`` is the caller — can
+    reclaim the space safely: only segments whose pid no longer exists
+    are touched, never this process's own or any live process's.
+    Returns the names removed.
+    """
+    removed: List[str] = []
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return removed
+    own = os.getpid()
+    for name in names:
+        if not name.startswith("repro_"):
+            continue
+        parts = name.split("_")
+        if len(parts) < 4 or not parts[1].isdigit():
+            continue
+        pid = int(parts[1])
+        if pid == own or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+        except OSError:  # pragma: no cover - concurrent sweep
+            continue
+        removed.append(name)
+    return removed
 
 
 class SliceRef:
@@ -602,6 +664,7 @@ class WorkerPool:
         self._workers = int(workers)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._closed = False
+        self._broken = False
         self._lock = threading.Lock()
         self._outstanding = 0
 
@@ -613,7 +676,36 @@ class WorkerPool:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def broken(self) -> bool:
+        """Whether a worker death condemned this pool (it is closed too)."""
+        return self._broken
+
+    def _mark_broken(self, exc: BaseException) -> "PoolBrokenError":
+        """Condemn this pool after a worker died; return the typed error.
+
+        The broken executor must never serve another dispatch: it is
+        closed here, and evicted from the module default and the ambient
+        :func:`shared_pool` stack so no later :func:`get_default_pool` or
+        plan-based dispatch inherits it.  Concurrent dispatchers of the
+        same pool all land here; marking is idempotent.
+        """
+        self._broken = True
+        _evict_pool(self)
+        self.close()
+        t = current_telemetry()
+        if t.enabled:
+            t.count("pool.broken")
+        return PoolBrokenError(
+            f"a worker process of the {self._workers}-worker pool died "
+            f"mid-dispatch ({exc}); the pool has been closed and evicted "
+            f"— rebuild (get_default_pool / a new WorkerPool) and retry "
+            f"the affected shards")
+
     def _ensure(self) -> ProcessPoolExecutor:
+        if self._broken:
+            raise PoolBrokenError(
+                "worker pool is broken (a worker died); build a new one")
         if self._closed:
             raise RuntimeError("worker pool is closed")
         with self._lock:
@@ -645,23 +737,39 @@ class WorkerPool:
         """
         executor = self._ensure()
         deadline = time.monotonic() + 30.0
-        while True:
-            missing = self._workers - len(executor._processes)
-            if missing <= 0:
-                break
-            futures = [executor.submit(_sleep_task, 0.05)
-                       for _ in range(missing)]
-            for future in futures:
-                future.result()
-            if time.monotonic() > deadline:  # pragma: no cover - safety
-                break
+        try:
+            while True:
+                missing = self._workers - len(executor._processes)
+                if missing <= 0:
+                    break
+                futures = [executor.submit(_sleep_task, 0.05)
+                           for _ in range(missing)]
+                for future in futures:
+                    future.result()
+                if time.monotonic() > deadline:  # pragma: no cover
+                    break
+        except BrokenProcessPool as exc:
+            raise self._mark_broken(exc) from exc
         return self
 
     def worker_pids(self) -> List[int]:
-        """PIDs of the currently forked workers (diagnostics/tests)."""
-        if self._executor is None:
+        """PIDs of the currently forked workers (diagnostics/tests).
+
+        Defensive on purpose: the executor spawns workers on demand from
+        its own management thread, so the process map can gain entries
+        (racing ``dict`` iteration) or hold just-constructed processes
+        whose ``pid`` is still ``None`` while we look.  Snapshot and
+        filter instead of tripping over either.
+        """
+        executor = self._executor
+        if executor is None:
             return []
-        return [p.pid for p in self._executor._processes.values()]
+        try:
+            processes = list(executor._processes.values())
+        except RuntimeError:  # pragma: no cover - mutated mid-iteration
+            return []
+        return [p.pid for p in processes
+                if p is not None and p.pid is not None]
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -692,39 +800,56 @@ class WorkerPool:
 
         if not collect and (progress is None or not progress.active):
             # Uninstrumented fast path: ordered map, flags dropped.
-            return [result for _warm, result in executor.map(
-                _pool_task,
-                [(func, args, False, None) for args in tasks])]
+            try:
+                return [result for _warm, result in executor.map(
+                    _pool_task,
+                    [(func, args, False, None) for args in tasks])]
+            except BrokenProcessPool as exc:
+                raise self._mark_broken(exc) from exc
 
         submit_at: List[float] = []
-        futures = []
-        for i, args in enumerate(tasks):
-            submit_at.append(time.monotonic())
-            future = executor.submit(
-                _pool_task, (func, args, collect, metas[i]))
-            futures.append(future)
-            with self._lock:
-                self._outstanding += 1
-                depth = self._outstanding
-            future.add_done_callback(self._task_done)
+        futures: List[Any] = []
+        try:
+            for i, args in enumerate(tasks):
+                submit_at.append(time.monotonic())
+                future = executor.submit(
+                    _pool_task, (func, args, collect, metas[i]))
+                futures.append(future)
+                with self._lock:
+                    self._outstanding += 1
+                    depth = self._outstanding
+                future.add_done_callback(self._task_done)
+                if collect:
+                    t.set_gauge("pool.queue_depth", depth)
+            if progress is not None and progress.active:
+                index_of = {future: i for i, future in enumerate(futures)}
+                for future in as_completed(futures):
+                    progress.step(index_of[future])
+            results = []
+            warm_tasks = 0
+            for i, future in enumerate(futures):
+                warm, value = future.result()
+                if warm:
+                    warm_tasks += 1
+                if collect:
+                    value, record = value
+                    queue_wait = max(
+                        0.0, record["start_monotonic"] - submit_at[i])
+                    t.absorb_worker(record, queue_wait)
+                results.append(value)
+        except BaseException as exc:
+            for future in futures:
+                future.cancel()
             if collect:
-                t.set_gauge("pool.queue_depth", depth)
-        if progress is not None and progress.active:
-            index_of = {future: i for i, future in enumerate(futures)}
-            for future in as_completed(futures):
-                progress.step(index_of[future])
-        results = []
-        warm_tasks = 0
-        for i, future in enumerate(futures):
-            warm, value = future.result()
-            if warm:
-                warm_tasks += 1
-            if collect:
-                value, record = value
-                queue_wait = max(
-                    0.0, record["start_monotonic"] - submit_at[i])
-                t.absorb_worker(record, queue_wait)
-            results.append(value)
+                # This dispatch abandons its queue: without the reset the
+                # gauge would keep reporting the last pre-failure depth
+                # forever (nothing else writes it until the next
+                # dispatch).  Concurrent dispatchers re-assert the true
+                # depth on their next submit.
+                t.set_gauge("pool.queue_depth", 0)
+            if isinstance(exc, BrokenProcessPool):
+                raise self._mark_broken(exc) from exc
+            raise
         if collect and warm_tasks:
             t.count("pool.tasks_reused_worker", warm_tasks)
         return results
@@ -843,3 +968,21 @@ def close_default_pool() -> None:
         stale, _DEFAULT = _DEFAULT, None
     if stale is not None:
         stale.close()
+
+
+def _evict_pool(pool: WorkerPool) -> None:
+    """Remove a (broken) pool from the default slot and the ambient stack.
+
+    Without the eviction a dead default pool would be handed to every
+    subsequent :func:`get_default_pool` caller (``closed`` guards reject
+    it only after :meth:`WorkerPool.close`, and a broken executor is not
+    closed by the stdlib), and an ambient :func:`shared_pool` block would
+    keep feeding it until exit.  The ``shared_pool`` context managers
+    tolerate the early removal: their exit path deletes by identity and
+    simply finds nothing.
+    """
+    global _DEFAULT
+    with _POOL_LOCK:
+        if _DEFAULT is pool:
+            _DEFAULT = None
+        _AMBIENT[:] = [p for p in _AMBIENT if p is not pool]

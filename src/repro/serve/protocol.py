@@ -1,0 +1,186 @@
+"""Wire protocol of the streaming serve front door: JSONL in, JSONL out.
+
+One request per line, one event per line — the line-oriented framing the
+misoc-style BIST drivers use, chosen so the same protocol serves a shell
+pipe (``repro serve < requests.jsonl``) and many concurrent TCP clients
+(``--socket HOST:PORT``) without a framing layer.
+
+Requests
+--------
+
+A request is a JSON object naming a
+:class:`~repro.campaign.scenario.Scenario`::
+
+    {"id": "lot-42", "scenario": {"architecture": "flash", "method":
+     "bist", "n_bits": 6, "n_devices": 512}, "seed": 7}
+
+``scenario``
+    Keyword arguments of the frozen :class:`Scenario` dataclass — the
+    exact vocabulary of ``repro campaign``; unknown keys are rejected.
+``seed`` (optional)
+    Screening seed override.  Without it the scenario's own ``seed``
+    applies, and without *that* request ``seq`` screens under
+    :func:`~repro.campaign.driver.scenario_child_seed` of the server's
+    root seed — the same child-seed discipline a batch
+    :class:`~repro.campaign.driver.Campaign` uses, which is what makes a
+    served stream byte-identical to the equivalent batch run.
+``id`` (optional)
+    Client correlation token, echoed on every event for this request
+    (default ``req-<seq>``).
+
+``{"command": "shutdown"}`` asks the server to stop accepting requests,
+drain in-flight work and emit the final ledger.
+
+Events
+------
+
+``{"event": "accepted", ...}``, ``{"event": "result", "record": {...},
+"rolling": {...}}``, ``{"event": "error", ...}`` and the closing
+``{"event": "ledger", ...}``; ``result`` records carry the
+:func:`~repro.campaign.driver.scenario_record` row shape of the campaign
+JSON export.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.campaign.driver import LabelDeduper, scenario_child_seed
+from repro.campaign.scenario import Scenario
+
+__all__ = [
+    "ProtocolError",
+    "ServeRequest",
+    "build_request",
+    "event_line",
+    "is_shutdown",
+    "parse_line",
+    "scenario_kwargs",
+]
+
+#: Keys a request object may carry at the top level.
+REQUEST_KEYS = frozenset({"id", "scenario", "seed", "command"})
+
+_SCENARIO_FIELDS = frozenset(f.name for f in dataclasses.fields(Scenario))
+
+
+class ProtocolError(ValueError):
+    """A request line the server cannot honour (reported, never fatal)."""
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One accepted request, fully resolved for scheduling.
+
+    ``seq`` is the server-assigned arrival index — the request's identity
+    in the checkpoint journal and its scenario index for child-seed
+    derivation; ``label`` is the ledger row claimed from the server's
+    :class:`~repro.campaign.driver.LabelDeduper` (identical to the label
+    the batch campaign would assign the same arrival order).
+    """
+
+    seq: int
+    id: str
+    scenario: Scenario
+    seed: int
+    label: str
+
+
+def parse_line(text: str) -> Dict[str, Any]:
+    """Parse one request line into a dict, or raise :class:`ProtocolError`."""
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("a request must be a JSON object")
+    unknown = sorted(set(obj) - REQUEST_KEYS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown request key(s): {', '.join(unknown)} "
+            f"(expected {', '.join(sorted(REQUEST_KEYS))})")
+    return obj
+
+
+def is_shutdown(obj: Dict[str, Any]) -> bool:
+    """True if the parsed line is the shutdown command."""
+    command = obj.get("command")
+    if command is None:
+        return False
+    if command != "shutdown":
+        raise ProtocolError(f"unknown command {command!r} "
+                            f"(expected 'shutdown')")
+    return True
+
+
+def build_request(obj: Dict[str, Any], *, seq: int, root_seed: int,
+                  deduper: LabelDeduper) -> ServeRequest:
+    """Resolve a parsed request dict into a schedulable :class:`ServeRequest`.
+
+    Seed resolution mirrors :meth:`Campaign.seeds` exactly — request
+    ``seed`` field, else the scenario's own ``seed``, else child ``seq``
+    of the server root — and the label is claimed from the shared deduper
+    in arrival order, so a served stream and the batch campaign of the
+    same scenarios agree on every ledger row.
+    """
+    kwargs = obj.get("scenario", {})
+    if not isinstance(kwargs, dict):
+        raise ProtocolError("'scenario' must be a JSON object of "
+                            "Scenario fields")
+    unknown = sorted(set(kwargs) - _SCENARIO_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown scenario field(s): {', '.join(unknown)}")
+    try:
+        scenario = Scenario(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid scenario: {exc}") from exc
+    if scenario.q is not None and not isinstance(scenario.q, int):
+        # A screening line needs concrete economics, exactly as Campaign
+        # rejects q="auto" scenarios.
+        raise ProtocolError("q='auto' cannot be screened; "
+                            "request a concrete q")
+    if "seed" in obj:
+        try:
+            seed = int(obj["seed"])
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid seed: {obj['seed']!r}") from exc
+    elif scenario.seed is not None:
+        seed = int(scenario.seed)
+    else:
+        seed = scenario_child_seed(root_seed, seq)
+    label = deduper.claim(scenario.resolved_label)
+    rid = str(obj.get("id", f"req-{seq}"))
+    return ServeRequest(seq=seq, id=rid, scenario=scenario, seed=seed,
+                        label=label)
+
+
+def scenario_kwargs(scenario: Scenario) -> Dict[str, Any]:
+    """The JSON-safe kwargs that rebuild ``scenario`` exactly.
+
+    Used by the checkpoint journal: ``Scenario(**scenario_kwargs(s)) == s``
+    (tuples round-trip through JSON lists; ``__post_init__`` re-coerces).
+    """
+    kwargs = dataclasses.asdict(scenario)
+    kwargs["bin_edges_lsb"] = list(kwargs["bin_edges_lsb"])
+    return kwargs
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(value).__name__}")
+
+
+def event_line(event: str, **fields: Any) -> str:
+    """Render one response event as a single JSONL line (no newline)."""
+    return json.dumps({"event": event, **fields}, default=_json_default)

@@ -1,0 +1,127 @@
+"""Rolling result aggregation for the streaming serve front door.
+
+A batch :class:`~repro.campaign.driver.Campaign` merges its per-scenario
+child :class:`~repro.production.store.ResultStore` ledgers once, at the
+end.  A long-running server needs the same ledger *while requests are
+still arriving*: the :class:`RollingStore` accumulates each completed
+request's ``(report, child store)`` pair as it lands and exposes
+
+* :meth:`snapshot` — running totals (requests, devices, accepted,
+  tester seconds) plus per-scenario running yield/escape/cost, attached
+  to every ``result`` event.  Counts are **monotonic**: a completed
+  request only ever adds, it is never revised or dropped.
+* :meth:`merged` / :meth:`ledger` — the full floor ledger, with child
+  stores merged in request-``seq`` order.  Merging in arrival order (not
+  completion order) is what makes the final ledger byte-identical to the
+  batch campaign of the same request stream, no matter how the pool
+  interleaved the actual work.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.production.line import LotScreeningReport
+from repro.production.store import ResultStore
+
+__all__ = ["RollingStore"]
+
+
+class RollingStore:
+    """Accumulate completed serve requests into one rolling ledger."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[int, Tuple[str, LotScreeningReport,
+                                       ResultStore]] = {}
+
+    def add(self, seq: int, label: str, report: LotScreeningReport,
+            child: ResultStore) -> None:
+        """Record one completed request (its seq must be new)."""
+        with self._lock:
+            if seq in self._entries:
+                raise ValueError(f"request seq {seq} already recorded")
+            self._entries[seq] = (label, report, child)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Rolling views
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, label: Optional[str] = None) -> Dict[str, object]:
+        """Monotonic running totals over every completed request.
+
+        With ``label``, a ``scenario`` block with that ledger row's
+        running device-weighted yield/escape/cost is attached — the
+        per-scenario rolling view a ``result`` event carries for its own
+        scenario.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        reports = [report for _, report, _ in entries]
+        devices = sum(r.n_devices for r in reports)
+        accepted = sum(r.n_accepted for r in reports)
+        out: Dict[str, object] = {
+            "requests": len(entries),
+            "devices": devices,
+            "accepted": accepted,
+            "accept_fraction": accepted / devices if devices else 0.0,
+            "tester_seconds": sum(r.tester_seconds for r in reports),
+        }
+        if label is not None:
+            out["scenario"] = self._label_stats(entries, label)
+        return out
+
+    @staticmethod
+    def _label_stats(entries, label: str) -> Dict[str, object]:
+        reports = [report for lbl, report, _ in entries if lbl == label]
+        devices = sum(r.n_devices for r in reports)
+
+        def weighted(value) -> float:
+            if not devices:
+                return 0.0
+            return sum(value(r) * r.n_devices for r in reports) / devices
+
+        accepted = sum(r.n_accepted for r in reports)
+        return {
+            "label": label,
+            "lots": len(reports),
+            "devices": devices,
+            "accepted": accepted,
+            "accept_fraction": accepted / devices if devices else 0.0,
+            "true_yield": weighted(lambda r: r.p_good),
+            "type_i": weighted(lambda r: r.type_i),
+            "type_ii": weighted(lambda r: r.type_ii),
+            "tester_seconds": sum(r.tester_seconds for r in reports),
+            "cost_per_device": weighted(lambda r: r.cost_per_device),
+        }
+
+    # ------------------------------------------------------------------ #
+    # The merged ledger
+    # ------------------------------------------------------------------ #
+
+    def merged(self) -> ResultStore:
+        """All child stores merged in request-seq (arrival) order."""
+        with self._lock:
+            children = [self._entries[seq][2]
+                        for seq in sorted(self._entries)]
+        return ResultStore.merge(children)
+
+    def campaign_table(self) -> str:
+        """The rolling campaign pivot (one row per scenario label)."""
+        return self.merged().campaign_table()
+
+    def ledger(self) -> str:
+        """The full floor ledger: campaign pivot plus the summary block.
+
+        Byte-identical to ``campaign_table() + summary()`` of the batch
+        :meth:`Campaign.run` store for the same request stream — the
+        string the kill-and-resume convergence tests diff.
+        """
+        merged = self.merged()
+        return (merged.campaign_table() + "\n\n" + merged.summary()
+                + "\n")

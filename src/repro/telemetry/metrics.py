@@ -34,6 +34,22 @@ Shared-memory traffic shows up as ``pool.shm_attach`` spans (one per
 worker per segment, under that worker's shard span) and a parent-side
 ``pool.shm_detach`` span when the owning buffer unlinks.
 
+The streaming service (``repro serve``) counts its request stream under
+``serve.*`` in the deterministic ``counters`` block — they describe the
+work stream, not the scheduling geometry: ``serve.requests`` /
+``serve.results`` / ``serve.devices`` (accepted requests, completed
+screenings and their devices), ``serve.errors`` (malformed lines and
+failed screenings), ``serve.clients`` (TCP connections served),
+``serve.resumed`` (requests replayed from a checkpoint journal),
+``serve.shutdowns`` (shutdown commands honoured) and
+``serve.pool_broken`` (requests that exhausted their pool-rebuild
+retries).  Each request also opens a ``serve.request`` span with the
+screening's ``campaign.scenario`` span nested beneath it.  The pool
+failure path itself stays under the ``pool.`` prefix (and therefore
+``timing.scheduling``): ``pool.broken`` (a worker died and the pool was
+evicted) and ``pool.rebuilt`` (a submission retried against a fresh
+pool).
+
 :class:`MetricsReport` is the operator-facing pivot next to
 :meth:`~repro.production.store.ResultStore.campaign_table`: one row per
 scenario with throughput, escapes and cost, built purely from screening

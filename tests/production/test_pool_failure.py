@@ -1,0 +1,206 @@
+"""Failure-path regression suite for the persistent worker pool.
+
+What a long-running service needs from the pool when a worker dies
+(OOM-kill, segfault, SIGKILL): the failure must surface as a *typed,
+recoverable* :class:`~repro.production.pool.PoolBrokenError`, the broken
+pool must be closed and evicted from both the module default slot and
+the ambient :func:`~repro.production.pool.shared_pool` stack (so no
+later caller inherits a dead executor), and the very next
+``get_default_pool`` dispatch must work on a fresh pool.  Also pinned
+here: the instrumented dispatch path resets the ``pool.queue_depth``
+gauge when a future fails mid-collection, and ``worker_pids`` never
+trips over the executor's on-demand spawn race.
+
+The worker-death injection is deterministic: the dispatched task itself
+SIGKILLs its own worker process, so no cross-process timing is involved.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.production import (
+    PoolBrokenError,
+    WorkerPool,
+    close_default_pool,
+    current_pool,
+    get_default_pool,
+    shared_pool,
+)
+from repro.telemetry import Telemetry, telemetry_session
+
+
+def _suicide(tag):
+    """Kill the worker process executing this task (deterministically)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _boom(tag):
+    raise ValueError(f"boom {tag}")
+
+
+def _identity(value):
+    return value
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_pool():
+    close_default_pool()
+    yield
+    close_default_pool()
+
+
+class TestPoolBrokenError:
+    def test_sigkill_worker_surfaces_typed_error(self):
+        pool = WorkerPool(2)
+        with pytest.raises(PoolBrokenError):
+            pool.dispatch(_suicide, [(0,), (1,)])
+        assert pool.broken
+        assert pool.closed
+
+    def test_broken_pool_refuses_further_dispatch(self):
+        pool = WorkerPool(2)
+        with pytest.raises(PoolBrokenError):
+            pool.dispatch(_suicide, [(0,)])
+        # The typed error again — not an opaque BrokenProcessPool or a
+        # "pool is closed" RuntimeError.
+        with pytest.raises(PoolBrokenError):
+            pool.dispatch(_identity, [(1,)])
+
+    def test_instrumented_path_raises_typed_error_and_counts(self):
+        telemetry = Telemetry()
+        with telemetry_session(telemetry):
+            pool = WorkerPool(2)
+            with pytest.raises(PoolBrokenError):
+                pool.dispatch(_suicide, [(0,), (1,)],
+                              metas=[{"shard": 0}, {"shard": 1}])
+        assert pool.broken
+        assert telemetry.counters.get("pool.broken") == 1
+        # The abandoned dispatch must not leave a stale queue depth.
+        assert telemetry.gauges["pool.queue_depth"].last == 0.0
+
+    def test_warm_up_on_broken_pool_raises_typed_error(self):
+        pool = WorkerPool(2)
+        with pytest.raises(PoolBrokenError):
+            pool.dispatch(_suicide, [(0,)])
+        with pytest.raises(PoolBrokenError):
+            pool.warm_up()
+
+
+class TestBrokenPoolEviction:
+    def test_default_pool_evicted_and_next_dispatch_works(self):
+        pool = get_default_pool(2)
+        with pytest.raises(PoolBrokenError):
+            pool.dispatch(_suicide, [(0,), (1,)])
+        fresh = get_default_pool(2)
+        assert fresh is not pool
+        assert not fresh.broken
+        assert fresh.dispatch(_identity, [(5,), (6,)]) == [5, 6]
+
+    def test_ambient_pool_evicted(self):
+        pool = WorkerPool(2)
+        with shared_pool(pool=pool):
+            assert current_pool() is pool
+            with pytest.raises(PoolBrokenError):
+                pool.dispatch(_suicide, [(0,)])
+            # Evicted mid-block: nothing inherits the dead executor.
+            assert current_pool() is None
+        # The shared_pool exit path tolerates the early eviction.
+        assert current_pool() is None
+
+    def test_error_message_names_the_recovery(self):
+        pool = WorkerPool(2)
+        with pytest.raises(PoolBrokenError, match="rebuild"):
+            pool.dispatch(_suicide, [(0,)])
+
+
+class TestGaugeReset:
+    def test_failing_future_resets_queue_depth(self):
+        """A task exception mid-collection must zero the gauge."""
+        telemetry = Telemetry()
+        with telemetry_session(telemetry):
+            with WorkerPool(2) as pool:
+                with pytest.raises(ValueError, match="boom"):
+                    pool.dispatch(_boom, [(i,) for i in range(4)],
+                                  metas=[{"shard": i} for i in range(4)])
+        assert telemetry.gauges["pool.queue_depth"].last == 0.0
+        # The gauge did see real depth before the failure.
+        assert telemetry.gauges["pool.queue_depth"].max_value >= 1.0
+
+    def test_healthy_dispatch_unaffected(self):
+        telemetry = Telemetry()
+        with telemetry_session(telemetry):
+            with WorkerPool(2) as pool:
+                results = pool.dispatch(
+                    _identity, [(i,) for i in range(4)],
+                    metas=[{"shard": i} for i in range(4)])
+        assert results == [0, 1, 2, 3]
+        assert telemetry.counters["pool.tasks_dispatched"] == 4
+
+
+class TestWorkerPids:
+    def test_closed_pool_reports_no_pids(self):
+        pool = WorkerPool(2)
+        pool.warm_up()
+        assert len(pool.worker_pids()) == 2
+        pool.close()
+        assert pool.worker_pids() == []
+
+    def test_unwarmed_pool_never_raises(self):
+        with WorkerPool(2) as pool:
+            # Workers spawn on demand; before any dispatch the process
+            # map may be empty or mid-construction — never an error.
+            pids = pool.worker_pids()
+            assert isinstance(pids, list)
+
+class TestSweepStaleSegments:
+    """Reclaiming /dev/shm segments stranded by SIGKILLed processes.
+
+    A group-SIGKILL takes the multiprocessing resource tracker down with
+    the server, so ``repro_<pid>_*`` segments outlive their creator.
+    The sweep unlinks only segments whose creating pid is dead — never
+    its own, never a live process's, never foreign files.
+    """
+
+    def _dead_pid(self):
+        import subprocess
+        import sys
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_dead_pid_segment_swept(self, tmp_path):
+        from repro.production import sweep_stale_segments
+        dead = self._dead_pid()
+        stale = tmp_path / f"repro_{dead}_0_deadbeef"
+        stale.write_bytes(b"x" * 16)
+        removed = sweep_stale_segments(shm_dir=str(tmp_path))
+        assert removed == [stale.name]
+        assert not stale.exists()
+
+    def test_own_and_live_pid_segments_kept(self, tmp_path):
+        from repro.production import sweep_stale_segments
+        own = tmp_path / f"repro_{os.getpid()}_1_cafef00d"
+        own.write_bytes(b"x")
+        live = tmp_path / "repro_1_2_00000000"  # pid 1: always alive
+        live.write_bytes(b"x")
+        assert sweep_stale_segments(shm_dir=str(tmp_path)) == []
+        assert own.exists() and live.exists()
+
+    def test_foreign_and_malformed_names_ignored(self, tmp_path):
+        from repro.production import sweep_stale_segments
+        dead = self._dead_pid()
+        keep = [
+            tmp_path / "psm_0a1b2c3d",           # not ours
+            tmp_path / "repro_notapid_0_aa",     # malformed pid field
+            tmp_path / f"repro_{dead}",          # too few fields
+        ]
+        for path in keep:
+            path.write_bytes(b"x")
+        assert sweep_stale_segments(shm_dir=str(tmp_path)) == []
+        assert all(path.exists() for path in keep)
+
+    def test_missing_directory_is_harmless(self, tmp_path):
+        from repro.production import sweep_stale_segments
+        assert sweep_stale_segments(shm_dir=str(tmp_path / "gone")) == []

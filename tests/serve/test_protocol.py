@@ -1,0 +1,139 @@
+"""Wire-protocol unit suite: parsing, seed/label parity, event rendering.
+
+The protocol's central promise is *campaign parity*: a request stream
+resolved one line at a time must land on exactly the seeds and ledger
+labels the batch :class:`~repro.campaign.driver.Campaign` would assign
+the same scenarios.  That parity — not the JSON plumbing — is what makes
+a served stream byte-identical to the batch run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import Campaign, LabelDeduper, Scenario
+from repro.campaign.driver import scenario_child_seed
+from repro.serve.protocol import (
+    ProtocolError,
+    build_request,
+    event_line,
+    is_shutdown,
+    parse_line,
+    scenario_kwargs,
+)
+
+
+class TestParseLine:
+    def test_valid_request(self):
+        obj = parse_line('{"scenario": {"n_bits": 6}, "seed": 3}')
+        assert obj == {"scenario": {"n_bits": 6}, "seed": 3}
+
+    def test_invalid_json(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            parse_line("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_line("[1, 2]")
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ProtocolError, match="unknown request key"):
+            parse_line('{"scenario": {}, "wafers": 3}')
+
+
+class TestShutdown:
+    def test_shutdown_command(self):
+        assert is_shutdown({"command": "shutdown"}) is True
+
+    def test_plain_request_is_not_shutdown(self):
+        assert is_shutdown({"scenario": {}}) is False
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown command"):
+            is_shutdown({"command": "restart"})
+
+
+class TestBuildRequest:
+    def _build(self, obj, seq=0, root_seed=99, deduper=None):
+        return build_request(obj, seq=seq, root_seed=root_seed,
+                             deduper=deduper or LabelDeduper())
+
+    def test_explicit_request_seed_wins(self):
+        request = self._build({"scenario": {"seed": 5}, "seed": 7})
+        assert request.seed == 7
+
+    def test_scenario_seed_is_second(self):
+        request = self._build({"scenario": {"seed": 5}})
+        assert request.seed == 5
+
+    def test_child_seed_matches_campaign(self):
+        """Seedless request ``seq`` screens under campaign child ``seq``."""
+        scenarios = [Scenario(n_devices=100),
+                     Scenario(method="histogram", n_devices=100)]
+        campaign = Campaign(scenarios, seed=99)
+        deduper = LabelDeduper()
+        for seq, scenario in enumerate(scenarios):
+            request = self._build({"scenario": scenario_kwargs(scenario)},
+                                  seq=seq, deduper=deduper)
+            assert request.seed == campaign.seeds()[seq]
+            assert request.seed == scenario_child_seed(99, seq)
+            assert request.label == campaign.labels()[seq]
+
+    def test_duplicate_labels_deduplicate_like_campaign(self):
+        scenarios = [Scenario(n_devices=100), Scenario(n_devices=100)]
+        campaign = Campaign(scenarios, seed=1)
+        deduper = LabelDeduper()
+        labels = [self._build({"scenario": scenario_kwargs(s)}, seq=i,
+                              deduper=deduper).label
+                  for i, s in enumerate(scenarios)]
+        assert labels == campaign.labels()
+        assert labels[0] != labels[1]
+
+    def test_request_id_default_and_echo(self):
+        assert self._build({"scenario": {}}, seq=4).id == "req-4"
+        assert self._build({"scenario": {}, "id": "lot-1"}).id == "lot-1"
+
+    def test_unknown_scenario_field(self):
+        with pytest.raises(ProtocolError, match="unknown scenario field"):
+            self._build({"scenario": {"wafers": 2}})
+
+    def test_invalid_scenario_value(self):
+        with pytest.raises(ProtocolError, match="invalid scenario"):
+            self._build({"scenario": {"method": "telepathy"}})
+
+    def test_scenario_must_be_object(self):
+        with pytest.raises(ProtocolError, match="'scenario'"):
+            self._build({"scenario": [1]})
+
+    def test_auto_q_rejected(self):
+        with pytest.raises(ProtocolError, match="concrete q"):
+            self._build({"scenario": {"q": "auto"}})
+
+    def test_invalid_seed(self):
+        with pytest.raises(ProtocolError, match="invalid seed"):
+            self._build({"scenario": {}, "seed": "lucky"})
+
+
+class TestScenarioKwargs:
+    def test_round_trip_rebuilds_exactly(self):
+        scenario = Scenario(architecture="flash", method="bist", n_bits=7,
+                            q=3, n_devices=320, devices_per_ic=4,
+                            transition_noise_lsb=0.05, seed=11,
+                            label="custom row")
+        kwargs = scenario_kwargs(scenario)
+        assert json.loads(json.dumps(kwargs)) == kwargs  # JSON-safe
+        assert Scenario(**kwargs) == scenario
+
+
+class TestEventLine:
+    def test_numpy_scalars_and_arrays_serialise(self):
+        line = event_line("result", devices=np.int64(12),
+                          fraction=np.float64(0.5),
+                          bins=np.array([1, 2]))
+        assert json.loads(line) == {"event": "result", "devices": 12,
+                                    "fraction": 0.5, "bins": [1, 2]}
+
+    def test_unserialisable_value_raises(self):
+        with pytest.raises(TypeError, match="not JSON-serialisable"):
+            event_line("result", payload=object())
