@@ -44,7 +44,9 @@ def make_engine(scenario: Scenario, *,
     ----------
     scenario:
         The declarative run description; ``method``/``q``/
-        ``samples_per_code`` select and parameterise the engine.
+        ``samples_per_code`` select and parameterise the engine, and
+        ``scenario.backend`` is passed to every engine as its kernel
+        backend (``None`` defers to the ambient default).
     config:
         Optional measurement configuration overriding the scenario-derived
         :meth:`~repro.campaign.scenario.Scenario.bist_config` — the hook
@@ -69,21 +71,24 @@ def make_engine(scenario: Scenario, *,
     if config is None:
         config = scenario.bist_config()
     method = scenario.method
+    backend = scenario.backend
     if method == "histogram":
         return BatchHistogramTest(
             samples_per_code=scenario.samples_per_code,
             dnl_spec_lsb=config.dnl_spec_lsb,
             inl_spec_lsb=config.inl_spec_lsb,
             transition_noise_lsb=config.transition_noise_lsb,
-            seed=config.seed)
+            seed=config.seed,
+            backend=backend)
     if method == "dynamic":
         return BatchDynamicSuite(
             analyzer=dynamic_analyzer,
             spec=dynamic_spec,
             transition_noise_lsb=config.transition_noise_lsb,
-            seed=config.seed)
+            seed=config.seed,
+            backend=backend)
     if scenario.q is None:
-        return BatchBistEngine(config)
+        return BatchBistEngine(config, backend=backend)
     if config.deglitch_depth > 0:
         raise ValueError(
             "the partial-BIST flow has no deglitch filter; "
@@ -97,7 +102,7 @@ def make_engine(scenario: Scenario, *,
         check_msb=config.check_msb,
         transition_noise_lsb=config.transition_noise_lsb,
         start_margin_lsb=config.start_margin_lsb,
-        seed=config.seed))
+        seed=config.seed), backend=backend)
 
 
 def default_tester(scenario: Scenario) -> TesterModel:

@@ -32,6 +32,7 @@ from itertools import product
 from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.adc.backends import ARCHITECTURES
+from repro.core.backend import backend_names
 from repro.core.engine import BistConfig
 from repro.economics.cost_model import TesterModel
 from repro.production.line import DEFAULT_BIN_EDGES_LSB, SCREENING_METHODS
@@ -98,6 +99,14 @@ class Scenario:
         ``"digital"``, ``"mixed"``, or ``None`` for the per-method default
         (digital for the full BIST, mixed-signal for everything that
         captures analog-driven data).
+    backend:
+        Kernel backend name (see :mod:`repro.core.backend`):
+        ``"numpy"``, ``"numpy-compact"`` or ``"numba"``.  ``None``
+        (default) lets the engines resolve the ambient/process default
+        at ``prepare`` time.  A campaign grid can sweep this axis —
+        integer results are bit-identical between ``numpy`` and
+        ``numpy-compact``, so the axis deduplicates the physics while
+        exercising the dtype-compacted kernels.
     seed:
         Scenario seed for the wafer draw and the acquisition noise.
         ``None`` defers to the campaign, which derives a deterministic
@@ -124,6 +133,7 @@ class Scenario:
     retest_attempts: int = 0
     bin_edges_lsb: Tuple[float, ...] = DEFAULT_BIN_EDGES_LSB
     tester: Optional[str] = None
+    backend: Optional[str] = None
     seed: Optional[int] = None
     label: Optional[str] = None
 
@@ -171,6 +181,10 @@ class Scenario:
         if self.tester not in TESTER_CHOICES:
             raise ValueError(f"unknown tester {self.tester!r}; "
                              f"expected one of {TESTER_CHOICES}")
+        if self.backend is not None and self.backend not in backend_names():
+            raise ValueError(
+                f"unknown kernel backend {self.backend!r}; "
+                f"registered: {', '.join(backend_names())}")
 
     # ------------------------------------------------------------------ #
     # Identity

@@ -31,6 +31,15 @@ construction.
 
 All functions take and return plain :mod:`numpy` arrays; none of them draw
 random numbers or hold state.
+
+Every function runs against the ambient :class:`~repro.core.backend.
+KernelBackend` (see :func:`~repro.core.backend.backend_scope`): the
+``numpy`` backend reproduces the historical float64/int64 kernel bit for
+bit including dtypes, ``numpy-compact`` stores the large code / crossing /
+histogram matrices in the narrowest safe dtype (identical values), and
+``numba`` additionally dispatches the event kernels to the JIT loops in
+:mod:`repro.core.kernel_jit`.  Reductions and transient intermediates stay
+int64 regardless of backend so compaction can never wrap.
 """
 
 from __future__ import annotations
@@ -38,6 +47,8 @@ from __future__ import annotations
 from typing import Optional, Tuple, Union
 
 import numpy as np
+
+from repro.core.backend import current_backend
 
 __all__ = [
     "batch_quantise_shared",
@@ -50,7 +61,76 @@ __all__ = [
     "batch_histogram_linearity",
     "batch_shared_ramp_histogram",
     "packed_crossing_events",
+    "shared_crossing_indices",
 ]
+
+
+def _uniform_ramp_step(voltages: np.ndarray) -> Optional[float]:
+    """The sample step if ``voltages`` is a uniformly spaced rising ramp.
+
+    Returns ``None`` when the stimulus is too short, non-increasing, or
+    deviates from the linear fit by more than an eighth of a step (bowed
+    or noisy ramps) — callers then fall back to ``searchsorted``.
+    """
+    n = voltages.size
+    if n < 8:
+        return None
+    step = (float(voltages[-1]) - float(voltages[0])) / (n - 1)
+    if not np.isfinite(step) or step <= 0.0:
+        return None
+    ideal = voltages[0] + step * np.arange(n)
+    if float(np.max(np.abs(voltages - ideal))) > 0.125 * step:
+        return None
+    return step
+
+
+def shared_crossing_indices(transitions: np.ndarray,
+                            voltages: np.ndarray) -> np.ndarray:
+    """Crossing sample indices of transition levels into a shared ramp.
+
+    Semantically identical to ``np.searchsorted(voltages, transitions)``
+    — entry ``[d, k]`` is the smallest sample index ``t`` with
+    ``voltages[t] >= transitions[d, k]`` (``voltages.size`` when never
+    reached) — but for the common case of a *uniformly spaced* rising
+    ramp the index is computed arithmetically (guess from the inverted
+    ramp equation, then a bounded advance to the exact boundary) instead
+    of by binary search, which removes the dominant ``log(samples)``
+    factor from the noise-free event paths.  Any element the bounded
+    advance cannot pin down exactly is re-derived with ``searchsorted``,
+    so the result is bit-exact by construction on every input; non-linear
+    or noisy stimuli skip the fast path entirely.
+
+    The returned dtype is the active backend's
+    :meth:`~repro.core.backend.KernelBackend.index_dtype`.
+    """
+    transitions = np.asarray(transitions, dtype=float)
+    voltages = np.asarray(voltages, dtype=float)
+    n_samples = voltages.size
+    out_dtype = current_backend().index_dtype(n_samples)
+    flat = transitions.ravel()
+    step = _uniform_ramp_step(voltages)
+    if step is None:
+        idx = np.searchsorted(voltages, flat)
+        return idx.astype(out_dtype, copy=False).reshape(transitions.shape)
+    guess = np.floor((flat - voltages[0]) / step).astype(np.int64)
+    guess -= 1
+    np.clip(guess, 0, n_samples, out=guess)
+    ext = np.concatenate((voltages, [np.inf]))
+    # The guess undershoots the true boundary by at most ~2 samples
+    # (1 from the floor-vs-ceil margin, <=1 from the allowed ramp
+    # deviation), so a few vectorised advances reach it.
+    for _ in range(4):
+        low = ext[guess] < flat
+        if not low.any():
+            break
+        guess[low] += 1
+    # Exactness guarantee: an index is correct iff voltages[idx] >= v and
+    # (idx == 0 or voltages[idx - 1] < v).  Re-derive any leftovers.
+    bad = ext[guess] < flat
+    bad |= (guess > 0) & (ext[guess - 1] >= flat)
+    if bad.any():
+        guess[bad] = np.searchsorted(voltages, flat[bad])
+    return guess.astype(out_dtype, copy=False).reshape(transitions.shape)
 
 
 def batch_quantise_shared(transitions: np.ndarray,
@@ -77,7 +157,8 @@ def batch_quantise_shared(transitions: np.ndarray,
     Returns
     -------
     numpy.ndarray
-        ``(devices, samples)`` int64 code matrix; row ``d`` equals
+        ``(devices, samples)`` integer code matrix (int64, or the active
+        backend's compact code dtype); row ``d`` equals
         ``TransferFunction.convert`` of device ``d`` applied to
         ``voltages``.
     """
@@ -89,17 +170,18 @@ def batch_quantise_shared(transitions: np.ndarray,
         raise ValueError("voltages must be one-dimensional")
     n_devices = transitions.shape[0]
     n_samples = voltages.size
-    crossing = np.searchsorted(
-        voltages, transitions.ravel()).reshape(transitions.shape)
+    crossing = shared_crossing_indices(transitions, voltages)
     # Scatter the crossing multiplicities onto the sample axis and
     # accumulate: codes[d, t] = #{k : crossing[d, k] <= t}.  Crossings at
     # n_samples (never reached within the record) land in a discarded
-    # overflow column.
-    keys = (np.arange(n_devices)[:, None] * (n_samples + 1)
+    # overflow column.  Keys stay int64 (the flat index spans
+    # devices * samples); only the stored code matrix compacts.
+    keys = (np.arange(n_devices, dtype=np.int64)[:, None] * (n_samples + 1)
             + crossing).ravel()
     steps = np.bincount(keys, minlength=n_devices * (n_samples + 1))
     steps = steps.reshape(n_devices, n_samples + 1)[:, :n_samples]
-    return np.cumsum(steps, axis=1, dtype=np.int64)
+    code_dtype = current_backend().code_dtype(transitions.shape[1] + 1)
+    return np.cumsum(steps, axis=1, dtype=code_dtype)
 
 
 def packed_crossing_events(crossing: np.ndarray, n_samples: int
@@ -138,6 +220,14 @@ def packed_crossing_events(crossing: np.ndarray, n_samples: int
     crossing = np.asarray(crossing)
     if crossing.ndim != 2:
         raise ValueError("crossing must be a (devices, levels) matrix")
+    backend = current_backend()
+    mult_dtype = backend.code_dtype(crossing.shape[1] + 1)
+    time_dtype = backend.index_dtype(n_samples)
+    if backend.jit:
+        from repro.core import kernel_jit
+        return kernel_jit.packed_crossing_events_jit(
+            np.ascontiguousarray(crossing, dtype=np.int64), n_samples,
+            mult_dtype, time_dtype)
     n_devices = crossing.shape[0]
     start_code = (crossing == 0).sum(axis=1)
 
@@ -151,8 +241,8 @@ def packed_crossing_events(crossing: np.ndarray, n_samples: int
     n_events = np.bincount(ev_dev, minlength=n_devices)
     width = int(n_events.max()) if n_events.size else 0
 
-    mult_p = np.zeros((n_devices, width), dtype=np.int64)
-    times_p = np.full((n_devices, width), n_samples, dtype=np.int64)
+    mult_p = np.zeros((n_devices, width), dtype=mult_dtype)
+    times_p = np.full((n_devices, width), n_samples, dtype=time_dtype)
     live = np.zeros((n_devices, width), dtype=bool)
     starts = np.concatenate(([0], np.cumsum(n_events)[:-1]))
     pos = np.arange(uniq.size) - np.repeat(starts, n_events)
@@ -187,7 +277,8 @@ def batch_quantise_rows(transitions: np.ndarray,
     if transitions.shape[0] != voltages.shape[0]:
         raise ValueError("transitions and voltages must agree on the "
                          "device axis")
-    codes = np.empty(voltages.shape, dtype=np.int64)
+    code_dtype = current_backend().code_dtype(transitions.shape[1] + 1)
+    codes = np.empty(voltages.shape, dtype=code_dtype)
     for i in range(transitions.shape[0]):
         row = transitions[i]
         if np.all(np.diff(row) >= 0):
@@ -201,7 +292,10 @@ def batch_bit(codes: np.ndarray, index: int) -> np.ndarray:
     """Waveform of output bit ``index`` (0 = LSB) for every device."""
     if index < 0:
         raise ValueError("bit index must be non-negative")
-    return (np.asarray(codes, dtype=np.int64) >> index) & 1
+    codes = np.asarray(codes)
+    if codes.dtype.kind != "i":
+        codes = codes.astype(np.int64)
+    return (codes >> index) & 1
 
 
 def batch_falling_edges(streams: np.ndarray) -> np.ndarray:
@@ -246,8 +340,13 @@ def batch_msb_reference(codes: np.ndarray, q: int,
         ``(upper, reference, falling)`` — the per-sample upper bits, the
         reference-counter values, and the falling-edge indicator matrix.
         Callers derive mismatches as ``abs(upper - reference) > tolerance``.
+        ``reference`` and ``falling`` are int64 on every backend (the
+        counter is an unbounded cumulative sum); ``upper`` shares the
+        code dtype.
     """
-    codes = np.asarray(codes, dtype=np.int64)
+    codes = np.asarray(codes)
+    if codes.dtype.kind != "i":
+        codes = codes.astype(np.int64)
     if codes.ndim != 2:
         raise ValueError("codes must be a (devices, samples) matrix")
     if q < 1:
@@ -258,6 +357,12 @@ def batch_msb_reference(codes: np.ndarray, q: int,
         clock_bit = (np.asarray(clock) != 0).astype(np.int64)
         if clock_bit.shape != codes.shape:
             raise ValueError("clock must match codes in shape")
+    if current_backend().jit:
+        from repro.core import kernel_jit
+        return kernel_jit.batch_msb_reference_jit(
+            np.ascontiguousarray(codes, dtype=np.int64),
+            np.ascontiguousarray(clock_bit, dtype=np.int64), q,
+            codes.dtype)
     upper = codes >> q
     falling = batch_falling_edges(clock_bit)
     reference = upper[:, :1] + np.cumsum(falling, axis=1)
@@ -299,9 +404,14 @@ def batch_reconstruct_codes(observed_lsbs: np.ndarray, q: int, n_bits: int,
     initial = np.asarray(initial_upper, dtype=np.int64)
     if initial.ndim == 0:
         initial = np.full(observed.shape[0], int(initial), dtype=np.int64)
+    # The running counter and the unclipped codes stay int64 — a
+    # miscounted wrap (the Equation (1) breakdown) can push them far past
+    # the code range before the clip.  Only the clipped result compacts.
     upper = initial[:, None] + np.cumsum(falling, axis=1)
     codes = (upper << q) + observed
-    return np.clip(codes, 0, (1 << n_bits) - 1)
+    codes = np.clip(codes, 0, (1 << n_bits) - 1)
+    code_dtype = current_backend().code_dtype(1 << n_bits)
+    return codes.astype(code_dtype, copy=False)
 
 
 def batch_shared_ramp_histogram(transitions: np.ndarray,
@@ -328,8 +438,9 @@ def batch_shared_ramp_histogram(transitions: np.ndarray,
     Returns
     -------
     numpy.ndarray
-        ``(devices, n_transitions + 1)`` int64 matrix of per-code sample
-        counts; every row sums to ``voltages.size``.
+        ``(devices, n_transitions + 1)`` integer matrix of per-code
+        sample counts (int64, or the backend's compact histogram dtype);
+        every row sums to ``voltages.size``.
     """
     transitions = np.asarray(transitions, dtype=float)
     voltages = np.asarray(voltages, dtype=float)
@@ -338,18 +449,20 @@ def batch_shared_ramp_histogram(transitions: np.ndarray,
     if voltages.ndim != 1:
         raise ValueError("voltages must be one-dimensional")
     n_samples = voltages.size
-    crossing = np.searchsorted(
-        voltages, transitions.ravel()).reshape(transitions.shape)
+    crossing = shared_crossing_indices(transitions, voltages)
     # Sorting handles non-monotone faulty curves: the code at sample t is
     # the number of crossings at or before t, so code c spans the samples
     # between the c-th and (c+1)-th smallest crossing indices.
     boundaries = np.sort(np.clip(crossing, 0, n_samples), axis=1)
     n_devices = transitions.shape[0]
-    padded = np.empty((n_devices, boundaries.shape[1] + 2), dtype=np.int64)
+    padded = np.empty((n_devices, boundaries.shape[1] + 2),
+                      dtype=boundaries.dtype)
     padded[:, 0] = 0
     padded[:, 1:-1] = boundaries
     padded[:, -1] = n_samples
-    return np.diff(padded, axis=1)
+    counts = np.diff(padded, axis=1)
+    hist_dtype = current_backend().hist_dtype(n_samples)
+    return counts.astype(hist_dtype, copy=False)
 
 
 def batch_histogram_linearity(counts: np.ndarray
@@ -375,7 +488,7 @@ def batch_histogram_linearity(counts: np.ndarray
         ``(dnl, inl, measurable)`` — two ``(devices, n_codes - 2)`` float
         matrices in LSB and the per-device validity mask.
     """
-    counts = np.asarray(counts, dtype=float)
+    counts = np.asarray(counts, dtype=current_backend().float_dtype())
     if counts.ndim != 2 or counts.shape[1] < 3:
         raise ValueError("counts must be a (devices, >=3 codes) matrix")
     inner = counts[:, 1:-1]
@@ -393,12 +506,17 @@ def batch_code_histogram(codes: np.ndarray, n_codes: int) -> np.ndarray:
     The off-chip histogram a tester accumulates per device; codes must
     already lie within ``[0, n_codes)``.
     """
-    codes = np.asarray(codes, dtype=np.int64)
+    codes = np.asarray(codes)
+    if codes.dtype.kind != "i":
+        codes = codes.astype(np.int64)
     if codes.ndim != 2:
         raise ValueError("codes must be a (devices, samples) matrix")
     if n_codes < 1:
         raise ValueError("n_codes must be positive")
     n_devices = codes.shape[0]
-    keys = (np.arange(n_devices)[:, None] * n_codes + codes).ravel()
+    # Flat keys span devices * n_codes, so they are always int64.
+    keys = (np.arange(n_devices, dtype=np.int64)[:, None] * n_codes
+            + codes).ravel()
     counts = np.bincount(keys, minlength=n_devices * n_codes)
-    return counts.reshape(n_devices, n_codes)
+    hist_dtype = current_backend().hist_dtype(codes.shape[1])
+    return counts.reshape(n_devices, n_codes).astype(hist_dtype, copy=False)

@@ -56,6 +56,12 @@ import numpy as np
 from repro.adc.ideal import IdealADC
 from repro.analysis.dynamic import DynamicAnalyzer, DynamicSpec
 from repro.analysis.histogram import HistogramTest
+from repro.core.backend import (
+    auto_chunk_size,
+    backend_scope,
+    current_backend,
+    resolve_backend_name,
+)
 from repro.core.kernel import (
     batch_code_histogram,
     batch_histogram_linearity,
@@ -78,8 +84,21 @@ __all__ = ["BatchHistogramResult", "BatchHistogramTest",
 
 RngLike = Union[int, np.random.Generator, None]
 
-#: Devices per chunk on the noisy paths (full (devices, samples) matrices).
-_ANALYSIS_CHUNK = 512
+def _analysis_chunk_size(n_transitions: int, n_samples: int,
+                         fft_bytes: int = 0) -> int:
+    """Default devices-per-chunk from the materialised per-row bytes.
+
+    Both analysis engines materialise a float64 noise/voltage row plus a
+    code row in the active backend's code dtype per device inside one
+    chunk; the dynamic suite adds the windowed FFT work (``fft_bytes``
+    per sample).  Compacted code dtypes shrink the row and widen the
+    default chunk; chunking is RNG-transparent, so this only moves the
+    working-set size, never the results.
+    """
+    backend = current_backend()
+    row = n_samples * (16 + backend.code_dtype(n_transitions + 1).itemsize
+                       + fft_bytes)
+    return auto_chunk_size(row)
 
 
 def _infer_n_bits(transitions: np.ndarray) -> int:
@@ -103,6 +122,7 @@ class _HistogramShardContext:
     n_samples: int
     n_bits: int
     lsb_volts: float
+    backend: str = "numpy"
 
 
 @dataclass(frozen=True)
@@ -117,6 +137,7 @@ class _DynamicShardContext:
     fundamental_hz: float
     sample_rate: float
     spec: DynamicSpec
+    backend: str = "numpy"
 
 
 @dataclass
@@ -222,15 +243,20 @@ class BatchHistogramTest:
         Converter input-referred noise used during the acquisition.
     seed:
         Default seed for the acquisition noise.
+    backend:
+        Kernel backend name (see :mod:`repro.core.backend`); ``None``
+        resolves the ambient/default backend at ``prepare`` time.
     """
 
     def __init__(self, samples_per_code: float = 64.0,
                  dnl_spec_lsb: float = 1.0,
                  inl_spec_lsb: Optional[float] = None,
                  transition_noise_lsb: float = 0.0,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None, *,
+                 backend: Optional[str] = None) -> None:
         # Validation and configuration live in the scalar test; the batch
         # object is a device-axis execution strategy, not a second config.
+        self._backend = backend
         self._scalar = HistogramTest(
             samples_per_code=samples_per_code,
             dnl_spec_lsb=dnl_spec_lsb,
@@ -344,7 +370,8 @@ class BatchHistogramTest:
                 ramp_voltages=ramp.voltage(times),
                 n_samples=n_samples,
                 n_bits=n_bits,
-                lsb_volts=proxy.lsb)
+                lsb_volts=proxy.lsb,
+                backend=resolve_backend_name(self._backend))
 
     def run_shard(self, context: _HistogramShardContext,
                   transitions: np.ndarray, rng: RngLike = None,
@@ -354,43 +381,51 @@ class BatchHistogramTest:
         transitions = np.asarray(transitions, dtype=float)
         generator = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(rng))
-        if chunk_size is None:
-            chunk_size = _ANALYSIS_CHUNK
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
+        with backend_scope(context.backend):
+            if chunk_size is None:
+                chunk_size = _analysis_chunk_size(transitions.shape[1],
+                                                  context.n_samples)
+            if chunk_size < 1:
+                raise ValueError("chunk_size must be positive")
 
-        n_devices = transitions.shape[0]
-        n_codes = 1 << context.n_bits
-        t = current_telemetry()
-        if t.enabled:
-            t.count("engine.histogram.shards")
-            t.count("engine.histogram.devices", n_devices)
-            t.count("engine.histogram.samples",
-                    n_devices * context.n_samples)
-            t.count("engine.histogram.event_path_devices"
-                    if scalar.transition_noise_lsb == 0.0
-                    else "engine.histogram.stream_path_devices", n_devices)
-        with t.span("engine.histogram.run_shard", devices=n_devices):
-            if scalar.transition_noise_lsb > 0.0:
-                counts = np.empty((n_devices, n_codes), dtype=float)
-                for lo, hi in iter_slices(n_devices, chunk_size):
-                    chunk = transitions[lo:hi]
-                    # Per-device noise rows, drawn in device order from the
-                    # shard's stream (row d equals the d-th scalar draw).
-                    voltages = context.ramp_voltages + generator.normal(
-                        0.0, scalar.transition_noise_lsb * context.lsb_volts,
-                        size=(chunk.shape[0], context.n_samples))
-                    codes = batch_quantise_rows(chunk, voltages)
-                    # Codes from a (devices, 2**n - 1) transition matrix are
-                    # already within [0, n_codes), as the kernel requires.
-                    counts[lo:hi] = batch_code_histogram(codes, n_codes)
-            else:
-                # Event path: the histogram follows from the sorted crossing
-                # indices alone; no per-sample matrix is ever materialised.
-                counts = batch_shared_ramp_histogram(
-                    transitions, context.ramp_voltages).astype(float)
+            n_devices = transitions.shape[0]
+            n_codes = 1 << context.n_bits
+            t = current_telemetry()
+            if t.enabled:
+                t.count("engine.histogram.shards")
+                t.count("engine.histogram.devices", n_devices)
+                t.count("engine.histogram.samples",
+                        n_devices * context.n_samples)
+                t.count("engine.histogram.event_path_devices"
+                        if scalar.transition_noise_lsb == 0.0
+                        else "engine.histogram.stream_path_devices",
+                        n_devices)
+                t.count(f"kernel.{context.backend}.shards")
+                t.count(f"kernel.{context.backend}.devices", n_devices)
+            with t.span("engine.histogram.run_shard", devices=n_devices):
+                if scalar.transition_noise_lsb > 0.0:
+                    counts = np.empty((n_devices, n_codes), dtype=float)
+                    for lo, hi in iter_slices(n_devices, chunk_size):
+                        chunk = transitions[lo:hi]
+                        # Per-device noise rows, drawn in device order from
+                        # the shard's stream (row d is the d-th scalar draw).
+                        voltages = context.ramp_voltages + generator.normal(
+                            0.0,
+                            scalar.transition_noise_lsb * context.lsb_volts,
+                            size=(chunk.shape[0], context.n_samples))
+                        codes = batch_quantise_rows(chunk, voltages)
+                        # Codes from a (devices, 2**n - 1) transition matrix
+                        # are within [0, n_codes), as the kernel requires.
+                        counts[lo:hi] = batch_code_histogram(codes, n_codes)
+                else:
+                    # Event path: the histogram follows from the sorted
+                    # crossing indices alone; no per-sample matrix is ever
+                    # materialised.
+                    counts = batch_shared_ramp_histogram(
+                        transitions, context.ramp_voltages).astype(float)
 
-            return self._evaluate(counts, context.n_bits, context.n_samples)
+                return self._evaluate(counts, context.n_bits,
+                                      context.n_samples)
 
     def merge(self, shard_results: Sequence[BatchHistogramResult]
               ) -> BatchHistogramResult:
@@ -534,6 +569,9 @@ class BatchDynamicSuite:
         Converter input-referred noise during the acquisition.
     seed:
         Default seed for the acquisition noise.
+    backend:
+        Kernel backend name (see :mod:`repro.core.backend`); ``None``
+        resolves the ambient/default backend at ``prepare`` time.
     """
 
     def __init__(self, analyzer: Optional[DynamicAnalyzer] = None,
@@ -541,7 +579,9 @@ class BatchDynamicSuite:
                  target_frequency: Optional[float] = None,
                  amplitude_fraction: float = 0.49,
                  transition_noise_lsb: float = 0.0,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None, *,
+                 backend: Optional[str] = None) -> None:
+        self._backend = backend
         self.analyzer = analyzer if analyzer is not None else DynamicAnalyzer()
         self.spec = spec
         self.target_frequency = target_frequency
@@ -625,7 +665,8 @@ class BatchDynamicSuite:
                 lsb_volts=proxy.lsb,
                 fundamental_hz=stimulus.frequency,
                 sample_rate=sample_rate,
-                spec=self.resolved_spec(n_bits))
+                spec=self.resolved_spec(n_bits),
+                backend=resolve_backend_name(self._backend))
 
     def run_shard(self, context: _DynamicShardContext,
                   transitions: np.ndarray, rng: RngLike = None,
@@ -635,59 +676,65 @@ class BatchDynamicSuite:
         transitions = np.asarray(transitions, dtype=float)
         generator = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(rng))
-        if chunk_size is None:
-            chunk_size = _ANALYSIS_CHUNK
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
+        with backend_scope(context.backend):
+            if chunk_size is None:
+                chunk_size = _analysis_chunk_size(
+                    transitions.shape[1], context.n_samples, fft_bytes=16)
+            if chunk_size < 1:
+                raise ValueError("chunk_size must be positive")
 
-        n_devices = transitions.shape[0]
-        n_samples = context.n_samples
-        spec = context.spec
-        t = current_telemetry()
-        if t.enabled:
-            t.count("engine.dynamic.shards")
-            t.count("engine.dynamic.devices", n_devices)
-            t.count("engine.dynamic.samples", n_devices * n_samples)
-            # The FFT suite always materialises the sample matrix; the
-            # noise-free case is still the cheap shared-stimulus path.
-            t.count("engine.dynamic.event_path_devices"
-                    if self.transition_noise_lsb == 0.0
-                    else "engine.dynamic.stream_path_devices", n_devices)
-        with t.span("engine.dynamic.run_shard", devices=n_devices):
-            chunks = []
-            for lo, hi in iter_slices(n_devices, chunk_size):
-                chunk = transitions[lo:hi]
-                if self.transition_noise_lsb > 0.0:
-                    voltages = context.sine_voltages + generator.normal(
-                        0.0, self.transition_noise_lsb * context.lsb_volts,
-                        size=(chunk.shape[0], n_samples))
-                else:
-                    voltages = np.broadcast_to(context.sine_voltages,
-                                               (chunk.shape[0], n_samples))
-                codes = batch_quantise_rows(chunk, voltages)
-                power = analyzer.windowed_power(codes)
-                # Vectorised per-tone bookkeeping: the fundamental is
-                # located per device as an index vector and every figure
-                # reduces along the bin axis — the scalar analyze_power is
-                # the batch-of-1 wrapper of this same kernel, which keeps
-                # the figures bit-exact.
-                chunks.append(analyzer.analyze_power_batch(
-                    power, context.freqs, context.fundamental_hz,
-                    context.sample_rate))
+            n_devices = transitions.shape[0]
+            n_samples = context.n_samples
+            spec = context.spec
+            t = current_telemetry()
+            if t.enabled:
+                t.count("engine.dynamic.shards")
+                t.count("engine.dynamic.devices", n_devices)
+                t.count("engine.dynamic.samples", n_devices * n_samples)
+                # The FFT suite always materialises the sample matrix; the
+                # noise-free case is still the cheap shared-stimulus path.
+                t.count("engine.dynamic.event_path_devices"
+                        if self.transition_noise_lsb == 0.0
+                        else "engine.dynamic.stream_path_devices", n_devices)
+                t.count(f"kernel.{context.backend}.shards")
+                t.count(f"kernel.{context.backend}.devices", n_devices)
+            with t.span("engine.dynamic.run_shard", devices=n_devices):
+                chunks = []
+                for lo, hi in iter_slices(n_devices, chunk_size):
+                    chunk = transitions[lo:hi]
+                    if self.transition_noise_lsb > 0.0:
+                        voltages = context.sine_voltages + generator.normal(
+                            0.0,
+                            self.transition_noise_lsb * context.lsb_volts,
+                            size=(chunk.shape[0], n_samples))
+                    else:
+                        voltages = np.broadcast_to(
+                            context.sine_voltages,
+                            (chunk.shape[0], n_samples))
+                    codes = batch_quantise_rows(chunk, voltages)
+                    power = analyzer.windowed_power(codes)
+                    # Vectorised per-tone bookkeeping: the fundamental is
+                    # located per device as an index vector and every figure
+                    # reduces along the bin axis — the scalar analyze_power
+                    # is the batch-of-1 wrapper of this same kernel, which
+                    # keeps the figures bit-exact.
+                    chunks.append(analyzer.analyze_power_batch(
+                        power, context.freqs, context.fundamental_hz,
+                        context.sample_rate))
 
-            return BatchDynamicResult(
-                n_devices=n_devices,
-                passed=np.concatenate(
-                    [spec.passes_batch(c) for c in chunks]),
-                enob=np.concatenate([c.enob for c in chunks]),
-                sinad_db=np.concatenate([c.sinad_db for c in chunks]),
-                snr_db=np.concatenate([c.snr_db for c in chunks]),
-                thd_db=np.concatenate([c.thd_db for c in chunks]),
-                sfdr_db=np.concatenate([c.sfdr_db for c in chunks]),
-                spec=spec,
-                fundamental_hz=context.fundamental_hz,
-                samples_taken=n_samples,
-                n_bits=context.n_bits)
+                return BatchDynamicResult(
+                    n_devices=n_devices,
+                    passed=np.concatenate(
+                        [spec.passes_batch(c) for c in chunks]),
+                    enob=np.concatenate([c.enob for c in chunks]),
+                    sinad_db=np.concatenate([c.sinad_db for c in chunks]),
+                    snr_db=np.concatenate([c.snr_db for c in chunks]),
+                    thd_db=np.concatenate([c.thd_db for c in chunks]),
+                    sfdr_db=np.concatenate([c.sfdr_db for c in chunks]),
+                    spec=spec,
+                    fundamental_hz=context.fundamental_hz,
+                    samples_taken=n_samples,
+                    n_bits=context.n_bits)
 
     def merge(self, shard_results: Sequence[BatchDynamicResult]
               ) -> BatchDynamicResult:

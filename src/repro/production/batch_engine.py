@@ -58,10 +58,17 @@ from repro.adc.transfer import batch_max_dnl, batch_max_inl
 from repro.core.decision import decide_counts
 from repro.core.deglitch import DeglitchFilter
 from repro.core.engine import BistConfig, BistEngine, PopulationBistResult
+from repro.core.backend import (
+    auto_chunk_size,
+    backend_scope,
+    current_backend,
+    resolve_backend_name,
+)
 from repro.core.kernel import (
     batch_msb_reference,
     batch_quantise_rows,
     packed_crossing_events,
+    shared_crossing_indices,
 )
 from repro.core.limits import CountLimits
 from repro.production.execution import (
@@ -79,8 +86,29 @@ __all__ = ["BatchLsbProcessor", "BatchLsbResult", "BatchBistResult",
 
 RngLike = Union[int, np.random.Generator, None]
 
-#: Devices per chunk on the event path (only O(codes) state per device).
-_EVENT_CHUNK = 65536
+
+def _event_chunk_size(n_transitions: int, n_samples: int) -> int:
+    """Default chunk on the event path: only O(codes) state per device.
+
+    The working set per device is the crossing-index row plus a handful of
+    same-shaped intermediates (masks, diffs, packed events), so the row
+    estimate is four index-rows wide under the active backend's dtype.
+    """
+    backend = current_backend()
+    row = 4 * max(n_transitions, 1) * backend.index_dtype(n_samples).itemsize
+    return auto_chunk_size(row)
+
+
+def _stream_chunk_size(n_transitions: int, n_samples: int) -> int:
+    """Default chunk on the stream path: full per-device sample rows.
+
+    Each device materialises a float64 noise/voltage row, a code row in
+    the backend's code dtype, and a few int8/bool bit streams.
+    """
+    backend = current_backend()
+    row = n_samples * (16 + backend.code_dtype(n_transitions + 1).itemsize
+                       + 4)
+    return auto_chunk_size(max(row, 1))
 
 
 @dataclass
@@ -123,8 +151,6 @@ class _ChunkOutcome:
         self.msb_passed[mask] = sub.msb_passed
         self.n_transitions[mask] = sub.n_transitions
         self.measured_max_dnl_lsb[mask] = sub.measured_max_dnl_lsb
-#: Devices per chunk on the stream path (full (devices, samples) matrices).
-_STREAM_CHUNK = 256
 
 
 @dataclass(frozen=True)
@@ -132,14 +158,17 @@ class _BistShardContext:
     """Per-run state shared by every shard of one batched BIST run.
 
     Computed once by :meth:`BatchBistEngine.prepare` in the parent process
-    and shipped (pickled) to each shard: the shared stimulus record and the
-    execution-path selection.  Holds no per-device state.
+    and shipped (pickled) to each shard: the shared stimulus record, the
+    execution-path selection and the resolved kernel-backend name (so
+    worker processes enter the identical backend scope).  Holds no
+    per-device state.
     """
 
     ramp_voltages: np.ndarray
     n_samples: int
     lsb_volts: float
     event_path: bool
+    backend: str = "numpy"
 
 
 def batch_deglitch(streams: np.ndarray,
@@ -158,6 +187,9 @@ def batch_deglitch(streams: np.ndarray,
     streams = np.asarray(streams)
     if streams.ndim != 2:
         raise ValueError("streams must be a (devices, samples) matrix")
+    if current_backend().jit:
+        from repro.core import kernel_jit
+        return kernel_jit.batch_deglitch_jit(streams, filt.depth, filt.mode)
     values = (streams != 0).astype(np.int8)
     if filt.depth == 0 or values.shape[1] == 0:
         return values
@@ -631,10 +663,17 @@ class BatchBistEngine:
         The measurement configuration, shared with the scalar
         :class:`~repro.core.engine.BistEngine`; both engines derive the
         identical ramp, limits and on-chip blocks from it.
+    backend:
+        Optional kernel-backend name (see :mod:`repro.core.backend`).
+        ``None`` resolves the ambient backend at :meth:`prepare` time; the
+        resolved name travels on the shard context so worker processes
+        compute under the same backend.
     """
 
-    def __init__(self, config: BistConfig) -> None:
+    def __init__(self, config: BistConfig, *,
+                 backend: Optional[str] = None) -> None:
         self.config = config
+        self._backend = backend
         self._limits = config.limits()
         self._deglitch = (DeglitchFilter(config.deglitch_depth,
                                          config.deglitch_mode)
@@ -750,20 +789,23 @@ class BatchBistEngine:
         cfg = self.config
         n_chips = transitions.shape[0] // converters_per_chip
         sigma = cfg.transition_noise_lsb * ctx.lsb_volts
-        if chunk_size is None:
-            chunk_size = _STREAM_CHUNK
-        chips_per_chunk = max(1, chunk_size // converters_per_chip)
+        with backend_scope(ctx.backend):
+            if chunk_size is None:
+                chunk_size = _stream_chunk_size(transitions.shape[1],
+                                                ctx.n_samples)
+            chips_per_chunk = max(1, chunk_size // converters_per_chip)
 
-        outcomes = []
-        for chip_lo, chip_hi in iter_slices(n_chips, chips_per_chunk):
-            noise = _chip_noise_rows(seeds[chip_lo:chip_hi],
-                                     converters_per_chip, sigma,
-                                     ctx.n_samples)
-            lo = chip_lo * converters_per_chip
-            hi = chip_hi * converters_per_chip
-            outcomes.append(self._process_streams(
-                transitions[lo:hi], ctx.ramp_voltages + noise))
-        return self._combine(outcomes, transitions.shape[0], ctx.n_samples)
+            outcomes = []
+            for chip_lo, chip_hi in iter_slices(n_chips, chips_per_chunk):
+                noise = _chip_noise_rows(seeds[chip_lo:chip_hi],
+                                         converters_per_chip, sigma,
+                                         ctx.n_samples)
+                lo = chip_lo * converters_per_chip
+                hi = chip_hi * converters_per_chip
+                outcomes.append(self._process_streams(
+                    transitions[lo:hi], ctx.ramp_voltages + noise))
+            return self._combine(outcomes, transitions.shape[0],
+                                 ctx.n_samples)
 
     def run_population(self, population: Union[DevicePopulation, Wafer],
                        rng: RngLike = None,
@@ -862,7 +904,8 @@ class BatchBistEngine:
                 lsb_volts=proxy.lsb,
                 event_path=(cfg.transition_noise_lsb == 0.0
                             and cfg.stimulus_noise_lsb == 0.0
-                            and self._deglitch is None))
+                            and self._deglitch is None),
+                backend=resolve_backend_name(self._backend))
 
     def run_shard(self, context: _BistShardContext, transitions: np.ndarray,
                   rng: RngLike = None,
@@ -876,33 +919,42 @@ class BatchBistEngine:
         transitions = np.asarray(transitions, dtype=float)
         generator = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(rng))
-        if chunk_size is None:
-            chunk_size = (_EVENT_CHUNK if context.event_path
-                          else _STREAM_CHUNK)
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
+        with backend_scope(context.backend):
+            if chunk_size is None:
+                chunk_size = (
+                    _event_chunk_size(transitions.shape[1],
+                                      context.n_samples)
+                    if context.event_path
+                    else _stream_chunk_size(transitions.shape[1],
+                                            context.n_samples))
+            if chunk_size < 1:
+                raise ValueError("chunk_size must be positive")
 
-        n_devices = transitions.shape[0]
-        t = current_telemetry()
-        if t.enabled:
-            t.count("engine.bist.shards")
-            t.count("engine.bist.devices", n_devices)
-            t.count("engine.bist.samples", n_devices * context.n_samples)
-            t.count("engine.bist.event_path_devices" if context.event_path
-                    else "engine.bist.stream_path_devices", n_devices)
-        with t.span("engine.bist.run_shard", devices=n_devices):
-            outcomes = []
-            for lo, hi in iter_slices(n_devices, chunk_size):
-                chunk = transitions[lo:hi]
-                if context.event_path:
-                    outcomes.append(self._run_events(chunk,
-                                                     context.ramp_voltages))
-                else:
-                    outcomes.append(self._run_streams(chunk,
-                                                      context.ramp_voltages,
-                                                      context.lsb_volts,
-                                                      generator))
-            return self._combine(outcomes, n_devices, context.n_samples)
+            n_devices = transitions.shape[0]
+            t = current_telemetry()
+            if t.enabled:
+                t.count("engine.bist.shards")
+                t.count("engine.bist.devices", n_devices)
+                t.count("engine.bist.samples",
+                        n_devices * context.n_samples)
+                t.count("engine.bist.event_path_devices"
+                        if context.event_path
+                        else "engine.bist.stream_path_devices", n_devices)
+                t.count(f"kernel.{context.backend}.shards")
+                t.count(f"kernel.{context.backend}.devices", n_devices)
+            with t.span("engine.bist.run_shard", devices=n_devices):
+                outcomes = []
+                for lo, hi in iter_slices(n_devices, chunk_size):
+                    chunk = transitions[lo:hi]
+                    if context.event_path:
+                        outcomes.append(self._run_events(
+                            chunk, context.ramp_voltages))
+                    else:
+                        outcomes.append(self._run_streams(
+                            chunk, context.ramp_voltages,
+                            context.lsb_volts, generator))
+                return self._combine(outcomes, n_devices,
+                                     context.n_samples)
 
     def merge(self, shard_results: Sequence[BatchBistResult]
               ) -> BatchBistResult:
@@ -936,8 +988,7 @@ class BatchBistEngine:
         cfg = self.config
         n_chunk = transitions.shape[0]
         n_samples = ramp_voltages.size
-        crossing = np.searchsorted(
-            ramp_voltages, transitions.ravel()).reshape(transitions.shape)
+        crossing = shared_crossing_indices(transitions, ramp_voltages)
 
         in_range = (crossing >= 1) & (crossing <= n_samples - 1)
         regular = (in_range.all(axis=1)

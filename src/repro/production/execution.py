@@ -267,8 +267,14 @@ class ExecutionPlan:
     chunk_size:
         Devices materialised per intra-shard chunk (bounds the transient
         ``(devices, samples)`` matrices).  ``None`` keeps each engine's
-        own default.  Chunking is RNG-transparent, so this is purely a
-        memory/throughput knob: it never changes results.
+        own default, which is memory-bandwidth aware: the engine divides
+        :data:`repro.core.backend.CHUNK_BUDGET_BYTES` by its estimate of
+        the bytes materialised per device row *under the active kernel
+        backend's dtypes* (see
+        :func:`repro.core.backend.auto_chunk_size`), so compacted rows
+        get proportionally wider chunks.  Chunking is RNG-transparent,
+        so this is purely a memory/throughput knob: it never changes
+        results.
     shard_devices:
         Devices per shard — the unit of dispatch *and* of per-shard seed
         spawning.  Changing it re-partitions the seed blocks and therefore

@@ -222,6 +222,9 @@ class ScreeningLine:
         FFT configuration and pass/fail limits of the dynamic method;
         defaults to a 4096-sample Hann analyzer with an ENOB floor one bit
         below the nominal resolution.
+    backend:
+        Kernel backend name (see :mod:`repro.core.backend`) the line's
+        engine runs on; ``None`` resolves the ambient/default backend.
     """
 
     def __init__(self, config: BistConfig,
@@ -233,7 +236,8 @@ class ScreeningLine:
                  samples_per_code: float = 16.0,
                  method: str = "bist",
                  dynamic_analyzer: Optional[DynamicAnalyzer] = None,
-                 dynamic_spec: Optional[DynamicSpec] = None) -> None:
+                 dynamic_spec: Optional[DynamicSpec] = None,
+                 backend: Optional[str] = None) -> None:
         # Imported here, not at module scope: the campaign package imports
         # this module (Campaign drives ScreeningLine), so the factory hop
         # must not create an import cycle.
@@ -264,7 +268,8 @@ class ScreeningLine:
             transition_noise_lsb=config.transition_noise_lsb,
             deglitch_depth=config.deglitch_depth,
             retest_attempts=retest_attempts,
-            bin_edges_lsb=tuple(float(e) for e in bin_edges_lsb))
+            bin_edges_lsb=tuple(float(e) for e in bin_edges_lsb),
+            backend=backend)
         self.config = config
         self.scenario = scenario
         self.method = method
@@ -306,7 +311,8 @@ class ScreeningLine:
                    samples_per_code=scenario.samples_per_code,
                    method=scenario.method,
                    dynamic_analyzer=dynamic_analyzer,
-                   dynamic_spec=dynamic_spec)
+                   dynamic_spec=dynamic_spec,
+                   backend=scenario.backend)
         # Keep the caller's full scenario (geometry, seed, label included)
         # rather than the line's measurement-only reconstruction.
         line.scenario = scenario

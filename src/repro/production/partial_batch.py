@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.adc.ideal import IdealADC
 from repro.adc.population import DevicePopulation
+from repro.core.backend import backend_scope, resolve_backend_name
 from repro.core.bist_scheme import PartialBistPartition
 from repro.core.engine import PopulationBistResult
 from repro.core.kernel import (
@@ -53,11 +54,14 @@ from repro.core.kernel import (
     batch_quantise_rows,
     batch_reconstruct_codes,
     packed_crossing_events,
+    shared_crossing_indices,
 )
 from repro.core.partial_engine import PartialBistConfig, PartialBistEngine
 from repro.production.batch_engine import (
     BatchChipBistResult,
     _chip_noise_rows,
+    _event_chunk_size,
+    _stream_chunk_size,
     _validated_chip_seeds,
     build_chip_result,
     population_truth_mask,
@@ -77,9 +81,6 @@ __all__ = ["BatchPartialBistResult", "BatchPartialBistEngine"]
 
 RngLike = Union[int, np.random.Generator, None]
 
-#: Devices per chunk; each chunk holds a few (devices, samples) matrices.
-_PARTIAL_CHUNK = 2048
-
 
 @dataclass(frozen=True)
 class _PartialShardContext:
@@ -94,6 +95,7 @@ class _PartialShardContext:
     n_samples: int
     lsb_volts: float
     partition: PartialBistPartition
+    backend: str = "numpy"
 
 
 @dataclass
@@ -184,8 +186,10 @@ class BatchPartialBistEngine:
         derive the identical ramp, partition and decision logic from it.
     """
 
-    def __init__(self, config: PartialBistConfig) -> None:
+    def __init__(self, config: PartialBistConfig, *,
+                 backend: Optional[str] = None) -> None:
         self.config = config
+        self._backend = backend
         # Partition selection and single-device runs are one implementation:
         # the scalar engine is kept as the batch-of-1 reference.
         self._scalar = PartialBistEngine(config)
@@ -287,21 +291,23 @@ class BatchPartialBistEngine:
         cfg = self.config
         n_chips = transitions.shape[0] // converters_per_chip
         sigma = cfg.transition_noise_lsb * ctx.lsb_volts
-        if chunk_size is None:
-            chunk_size = _PARTIAL_CHUNK
-        chips_per_chunk = max(1, chunk_size // converters_per_chip)
+        with backend_scope(ctx.backend):
+            if chunk_size is None:
+                chunk_size = _stream_chunk_size(transitions.shape[1],
+                                                ctx.n_samples)
+            chips_per_chunk = max(1, chunk_size // converters_per_chip)
 
-        chunks = []
-        for chip_lo, chip_hi in iter_slices(n_chips, chips_per_chunk):
-            noise = _chip_noise_rows(seeds[chip_lo:chip_hi],
-                                     converters_per_chip, sigma,
-                                     ctx.n_samples)
-            lo = chip_lo * converters_per_chip
-            hi = chip_hi * converters_per_chip
-            chunks.append(self._process_streams(
-                transitions[lo:hi], ctx.ramp_voltages + noise,
-                ctx.partition.q))
-        return self._build_result(chunks, transitions.shape[0], ctx)
+            chunks = []
+            for chip_lo, chip_hi in iter_slices(n_chips, chips_per_chunk):
+                noise = _chip_noise_rows(seeds[chip_lo:chip_hi],
+                                         converters_per_chip, sigma,
+                                         ctx.n_samples)
+                lo = chip_lo * converters_per_chip
+                hi = chip_hi * converters_per_chip
+                chunks.append(self._process_streams(
+                    transitions[lo:hi], ctx.ramp_voltages + noise,
+                    ctx.partition.q))
+            return self._build_result(chunks, transitions.shape[0], ctx)
 
     def run_population(self, population: Union[DevicePopulation, Wafer],
                        rng: RngLike = None,
@@ -398,7 +404,8 @@ class BatchPartialBistEngine:
                 ramp_voltages=ramp.voltage(times),
                 n_samples=n_samples,
                 lsb_volts=proxy.lsb,
-                partition=self._scalar.partition_for(proxy))
+                partition=self._scalar.partition_for(proxy),
+                backend=resolve_backend_name(self._backend))
 
     def run_shard(self, context: _PartialShardContext,
                   transitions: np.ndarray, rng: RngLike = None,
@@ -408,24 +415,34 @@ class BatchPartialBistEngine:
         transitions = np.asarray(transitions, dtype=float)
         generator = (rng if isinstance(rng, np.random.Generator)
                      else np.random.default_rng(rng))
-        if chunk_size is None:
-            chunk_size = _PARTIAL_CHUNK
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
+        with backend_scope(context.backend):
+            event_path = self.config.transition_noise_lsb == 0.0
+            if chunk_size is None:
+                chunk_size = (
+                    _event_chunk_size(transitions.shape[1],
+                                      context.n_samples) if event_path
+                    else _stream_chunk_size(transitions.shape[1],
+                                            context.n_samples))
+            if chunk_size < 1:
+                raise ValueError("chunk_size must be positive")
 
-        n_devices = transitions.shape[0]
-        t = current_telemetry()
-        if t.enabled:
-            t.count("engine.partial.shards")
-            t.count("engine.partial.devices", n_devices)
-            t.count("engine.partial.samples", n_devices * context.n_samples)
-            t.count("engine.partial.event_path_devices"
-                    if self.config.transition_noise_lsb == 0.0
-                    else "engine.partial.stream_path_devices", n_devices)
-        with t.span("engine.partial.run_shard", devices=n_devices):
-            chunks = [self._run_chunk(transitions[lo:hi], context, generator)
-                      for lo, hi in iter_slices(n_devices, chunk_size)]
-            return self._build_result(chunks, n_devices, context)
+            n_devices = transitions.shape[0]
+            t = current_telemetry()
+            if t.enabled:
+                t.count("engine.partial.shards")
+                t.count("engine.partial.devices", n_devices)
+                t.count("engine.partial.samples",
+                        n_devices * context.n_samples)
+                t.count("engine.partial.event_path_devices" if event_path
+                        else "engine.partial.stream_path_devices",
+                        n_devices)
+                t.count(f"kernel.{context.backend}.shards")
+                t.count(f"kernel.{context.backend}.devices", n_devices)
+            with t.span("engine.partial.run_shard", devices=n_devices):
+                chunks = [self._run_chunk(transitions[lo:hi], context,
+                                          generator)
+                          for lo, hi in iter_slices(n_devices, chunk_size)]
+                return self._build_result(chunks, n_devices, context)
 
     def merge(self, shard_results: Sequence[BatchPartialBistResult]
               ) -> BatchPartialBistResult:
@@ -490,7 +507,7 @@ class BatchPartialBistEngine:
         n_samples = ramp_voltages.size
         mask = (1 << q) - 1
 
-        crossing = np.searchsorted(ramp_voltages, transitions)
+        crossing = shared_crossing_indices(transitions, ramp_voltages)
         start_code, mult_p, t_p, _, n_events = packed_crossing_events(
             crossing, n_samples)
         width = mult_p.shape[1]

@@ -1,0 +1,249 @@
+"""Overflow safety of the dtype-compaction backend.
+
+The ``numpy-compact`` backend narrows the large persistent matrices —
+code matrices, crossing-index matrices, histograms — to the smallest
+dtype that holds them with ×2 headroom, while every reduction stays
+int64.  These tests pin the three places that could silently wrap:
+
+* dtype *selection* at the capacity boundaries (maximum ``n_bits``,
+  maximum sample counts, the uint32 histogram boundary) — pure helper
+  arithmetic, so the extremes are testable without allocating the
+  matrices they describe;
+* end-to-end kernel values at the top of each dtype's usable range
+  (codes touching the int16 ceiling's headroom, histogram counts equal
+  to the full sample count);
+* the backend registry / scope machinery those guarantees hang off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    CHUNK_BUDGET_BYTES,
+    CHUNK_CAP,
+    CHUNK_FLOOR,
+    BackendUnavailableError,
+    KernelBackend,
+    auto_chunk_size,
+    available_backends,
+    backend_names,
+    backend_scope,
+    current_backend,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.core.kernel import (
+    batch_code_histogram,
+    batch_quantise_shared,
+    batch_reconstruct_codes,
+    batch_shared_ramp_histogram,
+    packed_crossing_events,
+    shared_crossing_indices,
+)
+
+I16 = np.iinfo(np.int16).max
+I32 = np.iinfo(np.int32).max
+U32 = np.iinfo(np.uint32).max
+
+
+class TestRegistry:
+    def test_shipping_backends_registered(self):
+        names = backend_names()
+        assert "numpy" in names
+        assert "numpy-compact" in names
+        assert "numba" in names
+
+    def test_numpy_backends_always_available(self):
+        assert "numpy" in available_backends()
+        assert "numpy-compact" in available_backends()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("cupy")
+
+    def test_unavailable_backend_raises(self):
+        ghost = KernelBackend(name="ghost", requires="no_such_module_xyz")
+        assert not ghost.available
+        with pytest.raises(BackendUnavailableError):
+            ghost.require_available()
+
+    def test_scope_is_ambient_and_restores(self):
+        assert current_backend().name == "numpy"
+        with backend_scope("numpy-compact"):
+            assert current_backend().name == "numpy-compact"
+            assert resolve_backend_name(None) == "numpy-compact"
+        assert current_backend().name == "numpy"
+
+    def test_resolve_validates_explicit_name(self):
+        assert resolve_backend_name("numpy-compact") == "numpy-compact"
+        with pytest.raises(ValueError):
+            resolve_backend_name("not-a-backend")
+
+
+class TestDtypeSelectionBoundaries:
+    """Capacity boundaries of the three dtype helpers, with ×2 headroom."""
+
+    def setup_method(self):
+        self.compact = get_backend("numpy-compact")
+        self.plain = get_backend("numpy")
+
+    def test_plain_backend_never_narrows(self):
+        for n in (1, 1 << 8, 1 << 20, 1 << 40):
+            assert self.plain.code_dtype(n) == np.int64
+            assert self.plain.index_dtype(n) == np.int64
+            assert self.plain.hist_dtype(n) == np.int64
+
+    def test_code_dtype_int16_boundary(self):
+        # Largest n_levels with in-dtype ×2 headroom gets int16 …
+        assert self.compact.code_dtype(I16 // 2) == np.int16
+        # … one more level crosses into int32.
+        assert self.compact.code_dtype(I16 // 2 + 1) == np.int32
+
+    def test_code_dtype_int32_boundary(self):
+        assert self.compact.code_dtype(I32 // 2) == np.int32
+        assert self.compact.code_dtype(I32 // 2 + 1) == np.int64
+
+    def test_code_dtype_max_n_bits(self):
+        # Scenario.n_bits has no upper bound: a pathological 62-bit
+        # converter must fall back to int64, never wrap.
+        assert self.compact.code_dtype(1 << 62) == np.int64
+        for n_bits in range(2, 63):
+            dtype = self.compact.code_dtype(1 << n_bits)
+            if dtype != np.int64:
+                # Any *narrowed* dtype keeps the ×2 headroom; int64 is
+                # the can't-narrow fallback shared with the numpy
+                # backend, exact up to the full code range.
+                assert 2 * (1 << n_bits) <= np.iinfo(dtype).max
+            else:
+                assert (1 << n_bits) <= np.iinfo(dtype).max
+
+    def test_index_dtype_boundaries(self):
+        # Index values reach n_samples (the "past the end" sentinel),
+        # so capacity is checked against n_samples + 1, doubled.
+        largest_int32 = I32 // 2 - 1
+        assert self.compact.index_dtype(largest_int32) == np.int32
+        assert self.compact.index_dtype(largest_int32 + 1) == np.int64
+        # No int16 tier: a few-thousand-sample ramp already exceeds it.
+        assert self.compact.index_dtype(1 << 12) == np.int32
+
+    def test_hist_dtype_uint32_boundary(self):
+        # A single code can absorb every sample, so counts are bounded
+        # by n_samples; the uint32 tier holds exactly up to U32 - 1
+        # samples (count may equal n_samples + 1 is impossible, but the
+        # helper keeps one step of slack for the padded column sums).
+        assert self.compact.hist_dtype(U32 - 1) == np.uint32
+        assert self.compact.hist_dtype(U32) == np.int64
+
+    def test_float_dtype_is_opt_in(self):
+        assert self.compact.float_dtype() == np.float64
+        assert KernelBackend(name="x", compact=True,
+                             compact_floats=True).float_dtype() == np.float32
+
+
+class TestAutoChunkSize:
+    def test_budget_division(self):
+        assert auto_chunk_size(CHUNK_BUDGET_BYTES // 1000) == 1000
+
+    def test_floor_and_cap(self):
+        assert auto_chunk_size(CHUNK_BUDGET_BYTES) == CHUNK_FLOOR
+        assert auto_chunk_size(1) == CHUNK_CAP
+
+    def test_compact_rows_widen_chunks(self):
+        n_samples = 4096
+        wide = auto_chunk_size(
+            n_samples * get_backend("numpy").code_dtype(64).itemsize)
+        narrow = auto_chunk_size(
+            n_samples * get_backend("numpy-compact").code_dtype(64).itemsize)
+        assert narrow == 4 * wide  # int64 → int16 is a 4x smaller row
+
+
+def _ramp(n_samples, lo=-0.6, hi=0.6):
+    return np.linspace(lo, hi, n_samples)
+
+
+class TestKernelDtypesEndToEnd:
+    """Compact kernels: narrowed dtypes, identical values."""
+
+    def test_quantise_shared_dtypes_and_values(self):
+        rng = np.random.default_rng(11)
+        transitions = np.sort(rng.uniform(-0.5, 0.5, size=(40, 63)), axis=1)
+        voltages = _ramp(700)
+        reference = batch_quantise_shared(transitions, voltages)
+        with backend_scope("numpy-compact"):
+            compact = batch_quantise_shared(transitions, voltages)
+        assert reference.dtype == np.int64
+        assert compact.dtype == np.int16
+        np.testing.assert_array_equal(reference, compact)
+
+    def test_crossing_indices_dtype(self):
+        transitions = np.array([[-0.25, 0.0, 0.25]])
+        voltages = _ramp(500)
+        with backend_scope("numpy-compact"):
+            crossing = shared_crossing_indices(transitions, voltages)
+        assert crossing.dtype == np.int32
+        assert shared_crossing_indices(transitions,
+                                       voltages).dtype == np.int64
+
+    def test_histogram_counts_span_the_full_sample_count(self):
+        # One device whose transitions all sit above the ramp: every
+        # sample lands in code 0, so a count equals n_samples exactly —
+        # the value a uint32 histogram must carry without wrapping.
+        n_samples = 3000
+        transitions = np.full((1, 3), 10.0)
+        voltages = _ramp(n_samples)
+        reference = batch_shared_ramp_histogram(transitions, voltages)
+        with backend_scope("numpy-compact"):
+            compact = batch_shared_ramp_histogram(transitions, voltages)
+        assert reference.dtype == np.int64
+        assert compact.dtype == np.uint32
+        np.testing.assert_array_equal(reference, compact)
+        assert int(compact[0, 0]) == n_samples
+        assert int(compact.sum(dtype=np.int64)) == n_samples
+
+    def test_code_histogram_matches_and_narrows(self):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 64, size=(25, 900))
+        reference = batch_code_histogram(codes, 64)
+        with backend_scope("numpy-compact"):
+            compact = batch_code_histogram(codes, 64)
+        assert compact.dtype == np.uint32
+        np.testing.assert_array_equal(reference, compact)
+
+    def test_packed_events_compact_event_columns(self):
+        rng = np.random.default_rng(5)
+        transitions = np.sort(rng.uniform(-0.5, 0.5, size=(12, 15)), axis=1)
+        voltages = _ramp(400)
+        crossing = shared_crossing_indices(transitions, voltages)
+        ref = packed_crossing_events(np.asarray(crossing, dtype=np.int64),
+                                     400)
+        with backend_scope("numpy-compact"):
+            cmp_ = packed_crossing_events(
+                np.asarray(crossing, dtype=np.int64), 400)
+        assert cmp_[1].dtype == np.int16   # multiplicities
+        assert cmp_[2].dtype == np.int32   # event times
+        for a, b in zip(ref, cmp_):
+            np.testing.assert_array_equal(a, b)
+
+    def test_reconstruct_codes_headroom_at_the_int16_ceiling(self):
+        # A 13-bit staircase (8192 codes → 2 * n_levels = 16384 fits
+        # int16) reconstructed from its q-bit capture: the top code sits
+        # right at the compaction ceiling and must survive the in-dtype
+        # round trip, wrap counting included.
+        n_bits, q = 13, 3
+        codes = np.arange(1 << n_bits, dtype=np.int64)[None, :]
+        lsb = codes & ((1 << q) - 1)
+        reference = batch_reconstruct_codes(lsb, q, n_bits,
+                                            initial_upper=0)
+        with backend_scope("numpy-compact"):
+            compact = batch_reconstruct_codes(lsb, q, n_bits,
+                                              initial_upper=0)
+        assert compact.dtype == np.int16
+        np.testing.assert_array_equal(reference, codes)
+        np.testing.assert_array_equal(compact, codes)
+
+    def test_compact_backend_near_sample_capacity_falls_back(self):
+        # With a sample count past the int32 headroom the index dtype
+        # must quietly return to int64 even under the compact backend.
+        huge = I32  # 2 * (n_samples + 1) overflows int32
+        with backend_scope("numpy-compact"):
+            assert current_backend().index_dtype(huge) == np.int64

@@ -286,17 +286,12 @@ class TestNoisyChipModeControllerParity:
 
     def test_noisy_chips_chunking_is_invariant(self):
         """Chips spanning chunk boundaries see the same child seeds."""
-        import repro.production.batch_engine as be
         wafer = Wafer.draw(WaferSpec(n_devices=40,
                                      sigma_code_width_lsb=0.21), rng=9)
         engine = BatchBistEngine(BistConfig(**self.CONFIG))
         full = engine.run_chips(wafer, 4, rng=7)
-        original = be._STREAM_CHUNK
-        be._STREAM_CHUNK = 5  # forces ~1 chip per chunk
-        try:
-            small = engine.run_chips(wafer, 4, rng=7)
-        finally:
-            be._STREAM_CHUNK = original
+        small = engine.run_chips(wafer, 4, rng=7,
+                                 chunk_size=5)  # ~1 chip per chunk
         np.testing.assert_array_equal(full.chip_passed, small.chip_passed)
         np.testing.assert_array_equal(full.result_registers,
                                       small.result_registers)

@@ -329,3 +329,69 @@ class TestResultMergeClassmethods:
         parts = [engine.run_shard(context, wafer.transitions[lo:hi])
                  for lo, hi in [(0, 25), (25, 60)]]
         assert_batch_results_identical(whole, BatchBistResult.merge(parts))
+
+
+class TestBackendChunkDefaults:
+    """The backend-derived default chunk size is a pure memory knob.
+
+    ``chunk_size=None`` now resolves to a memory-bandwidth-aware default
+    computed from the active backend's per-row bytes; these tests pin
+    (a) that the default dispatch stays byte-identical to any explicit
+    chunk size, under both the plain and compacted backends, and (b)
+    that compacted rows really do widen the default.
+    """
+
+    def _run(self, engine, wafer, chunk_size, backend):
+        from repro.core.backend import backend_scope
+
+        with backend_scope(backend):
+            return engine.run_wafer(wafer, rng=np.random.default_rng(5),
+                                    chunk_size=chunk_size)
+
+    @pytest.mark.parametrize("backend", ["numpy", "numpy-compact"])
+    def test_default_chunk_is_byte_identical_full_bist(self, backend):
+        wafer = draw_wafer(90, "flash", seed=3)
+        engine = BatchBistEngine(_bist_config(0.05))
+        default = self._run(engine, wafer, None, backend)
+        explicit = self._run(engine, wafer, 7, backend)
+        assert_batch_results_identical(default, explicit)
+
+    @pytest.mark.parametrize("backend", ["numpy", "numpy-compact"])
+    def test_default_chunk_is_byte_identical_histogram(self, backend):
+        wafer = draw_wafer(70, "flash", seed=3)
+        test = BatchHistogramTest(samples_per_code=16.0, dnl_spec_lsb=0.5,
+                                  transition_noise_lsb=0.04)
+        default = self._run(test, wafer, None, backend)
+        explicit = self._run(test, wafer, 11, backend)
+        assert_batch_results_identical(default, explicit)
+
+    def test_plan_default_chunk_matches_serial_reference(self):
+        # Warm-dispatch path: plan execution with the default chunk must
+        # equal the serial in-process run, compacted backend included.
+        from repro.core.backend import backend_scope
+
+        wafer = draw_wafer(120, "flash", seed=3)
+        engine = BatchBistEngine(_bist_config(0.0))
+        reference = engine.run_wafer(wafer)
+        with backend_scope("numpy-compact"):
+            planned = engine.run_wafer(
+                wafer, plan=ExecutionPlan(workers=2, shard_devices=32))
+        assert_batch_results_identical(reference, planned)
+
+    def test_compact_rows_widen_the_event_chunk(self):
+        from repro.core.backend import backend_scope
+        from repro.production.batch_engine import (
+            _event_chunk_size,
+            _stream_chunk_size,
+        )
+
+        n_transitions, n_samples = 63, 4369
+        wide = _event_chunk_size(n_transitions, n_samples)
+        with backend_scope("numpy-compact"):
+            compact_wide = _event_chunk_size(n_transitions, n_samples)
+        assert compact_wide == 2 * wide  # int64 → int32 indices
+
+        narrow = _stream_chunk_size(n_transitions, n_samples)
+        with backend_scope("numpy-compact"):
+            compact_narrow = _stream_chunk_size(n_transitions, n_samples)
+        assert compact_narrow > narrow  # int16 codes shrink the row
