@@ -1,0 +1,116 @@
+"""Adaptive-flow benchmark: SPRT savings vs fixed-count screening.
+
+The tentpole's economic claim, measured: on the paper's baseline process
+(0.21 LSB code-width sigma under the default 1.0 LSB DNL spec) the
+sequential (SPRT) station stops most devices after a handful of codes,
+so the adaptive flow buys back almost the whole fixed insertion time
+while staying inside the binomial model's predicted error bounds.
+
+``flows.saved_samples_fraction``
+    Fraction of the fixed flow's code observations the SPRT never had
+    to take (the paper-level sample-savings headline).
+``flows.saved_tester_seconds_fraction``
+    Saved tester-seconds over the fixed insertion's tester-seconds —
+    the same savings priced through the TesterModel.
+``flows.escape_bound_margin``
+    Analytic ``sequential_escape_bound`` minus the measured type II —
+    non-negative is the acceptance criterion, recorded so the
+    trajectory notices the margin eroding.
+``flows.burst_abort_fraction``
+    Fraction of a burst-excursed lot left untested once the SPC charts
+    abort its wafers — tester time the early abort recovers.
+
+Wall-clock devices/s rows stay report-only (shared CI runners); the
+model-level savings fractions are deterministic and asserted.
+"""
+
+import time
+
+from repro.analysis.binomial import sequential_escape_bound
+from repro.campaign import Scenario, sequential_policy
+from repro.production import ExecutionPlan, ScreeningLine
+from repro.production.pool import close_default_pool
+from repro.reporting import format_table
+
+#: The paper's baseline process point under the repo-default spec.
+BASELINE = dict(n_bits=8, sigma_code_width_lsb=0.21,
+                n_devices=2048, n_wafers=2, seed=11)
+
+#: Burst-excursion point (matches the flows-smoke CI drill).
+BURST = dict(n_bits=8, sigma_code_width_lsb=0.21, n_devices=512,
+             n_wafers=2, seed=9, flow="sprt", excursion="burst")
+
+_PLAN = ExecutionPlan(workers=1, shard_devices=64)
+REPEATS = 3
+
+
+def _screen(scenario, lot):
+    line = ScreeningLine.from_scenario(scenario)
+    start = time.perf_counter()
+    report = line.screen_lot(lot, plan=_PLAN)
+    return time.perf_counter() - start, report
+
+
+def _best(scenario, lot, repeats=REPEATS):
+    elapsed, report = _screen(scenario, lot)  # warm-up
+    for _ in range(repeats):
+        t, report = _screen(scenario, lot)
+        elapsed = min(elapsed, t)
+    return elapsed, report
+
+
+class TestAdaptiveFlowEconomics:
+    def test_sprt_savings_and_bounds(self, report, bench):
+        fixed = Scenario(flow="fixed", **BASELINE)
+        sprt = fixed.derive(flow="sprt")
+        lot = fixed.draw_lot()
+        try:
+            fixed_s, report_fixed = _best(fixed, lot)
+            sprt_s, report_sprt = _best(sprt, lot)
+            burst = Scenario(**BURST)
+            _, report_burst = _screen(burst, burst.draw_lot())
+        finally:
+            close_default_pool()
+
+        n = report_fixed.n_devices
+        policy, per_code = sequential_policy(sprt)
+        n_codes = sprt.wafer_spec().n_inner_codes
+        escape_bound = sequential_escape_bound(per_code, n_codes,
+                                               policy.min_accept_codes)
+        saved_fraction = report_sprt.saved_samples / (n * n_codes)
+        seconds_fraction = (report_sprt.saved_tester_seconds
+                            / report_fixed.tester_seconds)
+        abort_fraction = report_burst.n_aborted / report_burst.n_devices
+
+        # The acceptance criteria, enforced on every trajectory point:
+        # real savings, and the measured escape under the model's bound.
+        assert report_sprt.saved_samples > 0
+        assert report_sprt.saved_tester_seconds > 0.0
+        assert report_sprt.type_ii <= escape_bound
+        assert report_burst.excursions > 0
+        assert 0.0 < abort_fraction < 1.0
+
+        bench("flows.saved_samples_fraction", saved_fraction)
+        bench("flows.saved_tester_seconds_fraction", seconds_fraction)
+        bench("flows.escape_bound_margin",
+              escape_bound - report_sprt.type_ii)
+        bench("flows.burst_abort_fraction", abort_fraction)
+        bench("flows.fixed_devices_per_s", n / fixed_s)
+        bench("flows.sprt_devices_per_s", n / sprt_s)
+        report(
+            "adaptive flows: SPRT vs fixed-count screening",
+            format_table(
+                ["flow", "tester [s]", "saved [s]", "type I", "type II",
+                 "wall [s]", "devices/s"],
+                [["fixed", report_fixed.tester_seconds, 0.0,
+                  report_fixed.type_i, report_fixed.type_ii,
+                  fixed_s, n / fixed_s],
+                 ["sprt", report_sprt.tester_seconds,
+                  report_sprt.saved_tester_seconds,
+                  report_sprt.type_i, report_sprt.type_ii,
+                  sprt_s, n / sprt_s]],
+                title=f"{n} devices x {n_codes} codes; "
+                      f"saved {saved_fraction:.1%} of samples, "
+                      f"{seconds_fraction:.1%} of tester time; "
+                      f"escape bound {escape_bound:.2e}; "
+                      f"burst abort leaves {abort_fraction:.1%} untested"))

@@ -35,8 +35,13 @@ On the command line the same grid is ``repro campaign --arch flash,sar
 --method bist,histogram --q 4,8``.
 """
 
-from repro.campaign.scenario import AUTO_Q, Scenario, TESTER_CHOICES
-from repro.campaign.factory import BatchEngine, default_tester, make_engine
+from repro.campaign.scenario import AUTO_Q, FLOWS, Scenario, TESTER_CHOICES
+from repro.campaign.factory import (
+    BatchEngine,
+    default_tester,
+    make_engine,
+    sequential_policy,
+)
 from repro.campaign.driver import (
     Campaign,
     CampaignResult,
@@ -52,6 +57,7 @@ __all__ = [
     "BatchEngine",
     "Campaign",
     "CampaignResult",
+    "FLOWS",
     "LabelDeduper",
     "Scenario",
     "ScenarioSubmitter",
@@ -60,5 +66,6 @@ __all__ = [
     "make_engine",
     "scenario_child_seed",
     "scenario_record",
+    "sequential_policy",
     "screen_scenario",
 ]

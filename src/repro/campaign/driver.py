@@ -148,6 +148,12 @@ def scenario_record(scenario: Scenario, label: str, seed: int,
         "tester_seconds": report.tester_seconds,
         "devices_per_hour": report.devices_per_hour,
         "cost_per_device": report.cost_per_device,
+        "flow": getattr(report, "flow", "fixed"),
+        "excursion": scenario.excursion,
+        "saved_samples": getattr(report, "saved_samples", 0),
+        "saved_tester_seconds": getattr(report, "saved_tester_seconds", 0.0),
+        "aborted": getattr(report, "n_aborted", 0),
+        "excursions": getattr(report, "excursions", 0),
     }
 
 

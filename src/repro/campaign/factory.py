@@ -25,7 +25,8 @@ from repro.production.analysis_batch import (
 from repro.production.batch_engine import BatchBistEngine
 from repro.production.partial_batch import BatchPartialBistEngine
 
-__all__ = ["BatchEngine", "default_tester", "make_engine"]
+__all__ = ["BatchEngine", "default_tester", "make_engine",
+           "sequential_policy"]
 
 #: Union of the engine types :func:`make_engine` can return — every one of
 #: them implements the :class:`~repro.production.execution.WaferEngine`
@@ -103,6 +104,43 @@ def make_engine(scenario: Scenario, *,
         transition_noise_lsb=config.transition_noise_lsb,
         start_margin_lsb=config.start_margin_lsb,
         seed=config.seed), backend=backend)
+
+
+def sequential_policy(scenario: Scenario, *,
+                      config: Optional[BistConfig] = None,
+                      alpha: Optional[float] = None,
+                      beta: Optional[float] = None):
+    """Build the SPRT policy (and per-code model) a scenario implies.
+
+    The construction mirrors :func:`make_engine`: the scenario's process
+    sigma plus the measurement configuration's DNL spec and counter width
+    feed the paper's closed-form error model, whose per-code accept
+    conditionals parameterise the Wald test.  Returns
+    ``(SequentialPolicy, PerCodeProbabilities)`` — the same per-code
+    object also centres the SPC monitor's p-chart, so both adaptive
+    mechanisms share one analytic model of the process.
+    """
+    from repro.analysis.distributions import CodeWidthDistribution
+    from repro.analysis.error_model import ErrorModel
+    from repro.flows.sequential import (
+        DEFAULT_ALPHA,
+        DEFAULT_BETA,
+        SequentialPolicy,
+    )
+
+    if config is None:
+        config = scenario.bist_config()
+    model = ErrorModel(
+        distribution=CodeWidthDistribution(
+            sigma_lsb=scenario.sigma_code_width_lsb),
+        dnl_spec_lsb=config.dnl_spec_lsb,
+        counter_bits=config.counter_bits)
+    per_code = model.per_code()
+    policy = SequentialPolicy.from_per_code(
+        per_code,
+        alpha=DEFAULT_ALPHA if alpha is None else alpha,
+        beta=DEFAULT_BETA if beta is None else beta)
+    return policy, per_code
 
 
 def default_tester(scenario: Scenario) -> TesterModel:

@@ -35,16 +35,21 @@ from repro.adc.backends import ARCHITECTURES
 from repro.core.backend import backend_names
 from repro.core.engine import BistConfig
 from repro.economics.cost_model import TesterModel
+from repro.flows.excursions import EXCURSIONS, apply_excursion
 from repro.production.line import DEFAULT_BIN_EDGES_LSB, SCREENING_METHODS
 from repro.production.lot import Lot, Wafer, WaferSpec
 
-__all__ = ["AUTO_Q", "Scenario", "TESTER_CHOICES"]
+__all__ = ["AUTO_Q", "FLOWS", "Scenario", "TESTER_CHOICES"]
 
 #: Sentinel ``q`` value: derive the Equation (1) minimum from the stimulus.
 AUTO_Q = "auto"
 
 #: Tester selections a scenario can name (``None`` = per-method default).
 TESTER_CHOICES = (None, "digital", "mixed")
+
+#: Test-flow selections: the paper's fixed-count flow, or the adaptive
+#: sequential (Wald SPRT) flow of :mod:`repro.flows`.
+FLOWS = ("fixed", "sprt")
 
 QValue = Union[int, str, None]
 
@@ -107,6 +112,23 @@ class Scenario:
         integer results are bit-identical between ``numpy`` and
         ``numpy-compact``, so the axis deduplicates the physics while
         exercising the dtype-compacted kernels.
+    flow:
+        Test flow: ``"fixed"`` (the paper's fixed-count decision,
+        default) or ``"sprt"`` — the adaptive sequential flow of
+        :mod:`repro.flows`: a Wald-SPRT station stops each device at its
+        accept/reject boundary (reporting saved tester-seconds), and an
+        SPC monitor (p-chart + CUSUM over streaming shard results) aborts
+        a wafer's remaining shards on an excursion.  Only valid with the
+        full BIST; grids normalise it back to ``"fixed"`` for other
+        methods.
+    excursion:
+        Non-IID population transform applied to each drawn wafer (see
+        :mod:`repro.flows.excursions`): ``"drift"`` (lot-to-lot parameter
+        drift), ``"spatial"`` (spatially correlated wafer map), ``"burst"``
+        (burst fault clusters), or ``None``/``"none"`` for the clean IID
+        population.  Deterministically seeded per ``(seed, wafer index)``
+        in a namespace disjoint from the wafer draw, so the underlying
+        process draw stays bit-identical to the clean scenario's.
     seed:
         Scenario seed for the wafer draw and the acquisition noise.
         ``None`` defers to the campaign, which derives a deterministic
@@ -134,6 +156,8 @@ class Scenario:
     bin_edges_lsb: Tuple[float, ...] = DEFAULT_BIN_EDGES_LSB
     tester: Optional[str] = None
     backend: Optional[str] = None
+    flow: str = "fixed"
+    excursion: Optional[str] = None
     seed: Optional[int] = None
     label: Optional[str] = None
 
@@ -185,6 +209,20 @@ class Scenario:
             raise ValueError(
                 f"unknown kernel backend {self.backend!r}; "
                 f"registered: {', '.join(backend_names())}")
+        if self.flow not in FLOWS:
+            raise ValueError(f"unknown flow {self.flow!r}; "
+                             f"expected one of {FLOWS}")
+        if self.flow != "fixed" and not self.is_full_bist:
+            raise ValueError(
+                "the sequential flow rides on the full BIST's per-code "
+                "stream; use flow='fixed' for partial/histogram/dynamic "
+                "scenarios")
+        if self.excursion == "none":
+            object.__setattr__(self, "excursion", None)
+        if self.excursion is not None and self.excursion not in EXCURSIONS:
+            raise ValueError(
+                f"unknown excursion {self.excursion!r}; "
+                f"registered: {', '.join(EXCURSIONS)} (or 'none')")
 
     # ------------------------------------------------------------------ #
     # Identity
@@ -211,10 +249,19 @@ class Scenario:
         campaign tables and per-lot reports agree on naming.
         """
         if self.method != "bist":
-            return f"{self.architecture}/{self.method}"
-        if self.q is None:
-            return f"{self.architecture}/full"
-        return f"{self.architecture}/partial q={self.q}"
+            base = f"{self.architecture}/{self.method}"
+        elif self.q is None:
+            base = f"{self.architecture}/full"
+        else:
+            base = f"{self.architecture}/partial q={self.q}"
+        # Default-flow, clean-population names keep their historical
+        # shape; adaptive-flow and excursion variants tag themselves so a
+        # grid over those axes cannot collide on labels.
+        if self.flow != "fixed":
+            base = f"{base} {self.flow}"
+        if self.excursion is not None:
+            base = f"{base} +{self.excursion}"
+        return base
 
     @property
     def resolved_label(self) -> str:
@@ -270,6 +317,13 @@ class Scenario:
             method = changes.get("method", self.method)
             if method != "bist":
                 changes["q"] = None
+            q = changes.get("q", self.q)
+            flow = changes.get("flow", self.flow)
+            if flow != "fixed" and (method != "bist" or q is not None):
+                # The sequential flow only exists for the full BIST;
+                # other methods collapse to the fixed flow (and then
+                # deduplicate) instead of multiplying the grid.
+                changes["flow"] = "fixed"
             scenario = self.derive(**changes)
             if scenario in seen:
                 continue
@@ -315,19 +369,52 @@ class Scenario:
                 "per-scenario child seeds from its root seed)")
         return int(self.seed)
 
+    def _excurse(self, wafer: Wafer, wafer_index: int,
+                 seed: Optional[int]) -> Wafer:
+        """Apply this scenario's excursion transform to a drawn wafer.
+
+        Runs in the parent, before any sharding, so excursed populations
+        inherit the execution layer's byte-identity across every
+        ``(workers, chunk_size)`` geometry for free.
+        """
+        if self.excursion is None:
+            return wafer
+        transformed = apply_excursion(
+            self.excursion, wafer.transitions, self.wafer_spec().lsb,
+            wafer_index, seed)
+        if transformed is wafer.transitions:
+            return wafer
+        return Wafer(wafer.spec, transformed, wafer_id=wafer.wafer_id)
+
     def draw_wafer(self, seed: Optional[int] = None,
                    wafer_id: Optional[str] = None) -> Wafer:
-        """Draw one wafer of this scenario's dies, reproducibly."""
+        """Draw one wafer of this scenario's dies, reproducibly.
+
+        With an ``excursion`` configured the drawn matrix is perturbed by
+        the named transform (at wafer index 0 — single-wafer draws are
+        the start of the drift axis).
+        """
         seed = self._resolve_seed(seed)
-        return Wafer.draw(self.wafer_spec(), rng=seed,
-                          wafer_id=(wafer_id if wafer_id is not None
-                                    else self.resolved_label))
+        wafer = Wafer.draw(self.wafer_spec(), rng=seed,
+                           wafer_id=(wafer_id if wafer_id is not None
+                                     else self.resolved_label))
+        return self._excurse(wafer, wafer_index=0, seed=seed)
 
     def draw_lot(self, seed: Optional[int] = None,
                  lot_id: Optional[str] = None) -> Lot:
-        """Draw this scenario's lot (``n_wafers`` wafers), reproducibly."""
+        """Draw this scenario's lot (``n_wafers`` wafers), reproducibly.
+
+        With an ``excursion`` configured, wafer ``i`` of the lot is
+        perturbed at excursion index ``i`` (the drift axis runs along the
+        lot), each from its own deterministic perturbation stream.
+        """
         seed = self._resolve_seed(seed)
-        return Lot.draw(self.wafer_spec(), n_wafers=self.n_wafers,
-                        seed=seed,
-                        lot_id=(lot_id if lot_id is not None
-                                else self.resolved_label))
+        lot = Lot.draw(self.wafer_spec(), n_wafers=self.n_wafers,
+                       seed=seed,
+                       lot_id=(lot_id if lot_id is not None
+                               else self.resolved_label))
+        if self.excursion is None:
+            return lot
+        return Lot([self._excurse(wafer, i, seed)
+                    for i, wafer in enumerate(lot.wafers)],
+                   lot_id=lot.lot_id)

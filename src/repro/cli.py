@@ -61,7 +61,8 @@ import numpy as np
 
 from repro.adc import ARCHITECTURES, FlashADC
 from repro.analysis import CodeWidthDistribution, ErrorModel, HistogramTest
-from repro.campaign import AUTO_Q, Campaign, Scenario, make_engine
+from repro.campaign import AUTO_Q, FLOWS, Campaign, Scenario, make_engine
+from repro.flows.excursions import EXCURSIONS
 from repro.core import (
     BistConfig,
     BistEngine,
@@ -181,6 +182,26 @@ def _q_axis(text: str) -> List[Optional[int]]:
                     f"integer)")
     if not values:
         raise argparse.ArgumentTypeError("empty q axis")
+    return values
+
+
+def _excursion_axis(text: str) -> List[Optional[str]]:
+    """The excursion axis: 'none' is the clean population, else a name."""
+    values: List[Optional[str]] = []
+    for item in (piece.strip() for piece in text.split(",")):
+        if not item:
+            continue
+        lowered = item.lower()
+        if lowered == "none":
+            values.append(None)
+        elif lowered in EXCURSIONS:
+            values.append(lowered)
+        else:
+            raise argparse.ArgumentTypeError(
+                f"invalid excursion {item!r} (choose from none, "
+                f"{', '.join(EXCURSIONS)})")
+    if not values:
+        raise argparse.ArgumentTypeError("empty excursion axis")
     return values
 
 
@@ -358,6 +379,19 @@ def build_parser() -> argparse.ArgumentParser:
                                "'full' (the full BIST) or integers "
                                "1..bits; non-BIST methods ignore the q "
                                "axis (default full)")
+    campaign.add_argument("--flow", default=["fixed"],
+                          type=_axis(FLOWS, "flow"),
+                          help="comma-separated test flows: 'fixed' "
+                               "(full-length test) and/or 'sprt' (the "
+                               "sequential Wald station with wafer-level "
+                               "SPC abort; full-BIST scenarios only, "
+                               "other methods collapse to fixed) "
+                               "(default fixed)")
+    campaign.add_argument("--excursion", default=[None],
+                          type=_excursion_axis,
+                          help="comma-separated process excursions to "
+                               "inject into the drawn wafers: none, "
+                               "drift, spatial, burst (default none)")
     campaign.add_argument("--bits", type=int, default=8,
                           help="converter resolution (default 8, leaving "
                                "headroom for q grids up to 8)")
@@ -765,6 +799,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     scenarios = base.grid(architecture=args.arch,
                           method=args.method,
                           q=args.q,
+                          flow=getattr(args, "flow", ["fixed"]),
+                          excursion=getattr(args, "excursion", [None]),
                           backend=getattr(args, "backend", None))
     campaign = Campaign(scenarios, seed=args.seed)
     result = campaign.run(plan=_plan_from_args(args))

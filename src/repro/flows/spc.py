@@ -1,0 +1,193 @@
+"""Wafer-level statistical process control over streaming shard results.
+
+An excursion (a drifted lot, a contaminated wafer zone, a burst of gross
+defects) shows up long before the last shard of a wafer finishes: the
+per-shard reject fraction jumps, or the per-shard mean measured |DNL|
+creeps up.  This module runs two classic control charts over the shard
+results as they stream out of the
+:class:`~repro.production.execution.ShardExecutor`:
+
+* a **p-chart** on the per-shard reject fraction, centred on the analytic
+  reject probability of the paper's binomial device model
+  (:func:`monitor_for_model`), with a ``k``-sigma upper control limit on
+  the binomial standard error of a shard-sized sample; and
+* a one-sided upper **CUSUM** on the per-shard mean measured maximum
+  |DNL|, which accumulates small persistent shifts a single-shard chart
+  would miss (drift excursions).
+
+When either chart signals, the monitor raises
+:class:`~repro.production.execution.ExcursionAbort` — a typed subclass of
+the execution layer's :class:`~repro.production.execution.ExecutionAborted`
+— which cancels the wafer's remaining shards through the existing abort
+path and carries the partial merged result back to the screening line.
+
+The monitor deliberately observes shards **in absolute shard order**
+(the executor feeds it a contiguous prefix, regardless of worker
+completion order), so the abort decision — and therefore every byte of
+the output — is independent of the ``(workers, chunk_size)`` geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.binomial import BinomialDeviceModel
+from repro.analysis.error_model import PerCodeProbabilities
+from repro.production.execution import ExcursionAbort, current_monitor, spc_scope
+
+__all__ = [
+    "Cusum",
+    "ExcursionAbort",
+    "PChart",
+    "SpcMonitor",
+    "current_monitor",
+    "monitor_for_model",
+    "spc_scope",
+]
+
+#: Default p-chart control-limit width, in binomial standard errors.
+PCHART_K_SIGMA = 6.0
+
+#: Absolute floor added to the p-chart limit so near-zero centres do not
+#: trip on a single rejected device in a small shard.
+PCHART_FLOOR = 0.02
+
+#: Default CUSUM slack (allowance) and decision threshold, in units of
+#: the observed statistic (LSB for the mean-|DNL| chart).
+CUSUM_SLACK_LSB = 0.05
+CUSUM_THRESHOLD_LSB = 0.5
+
+
+class PChart:
+    """A one-sided p-chart on a streaming fraction.
+
+    Signals when an observed fraction exceeds ``ucl``.  Stateless apart
+    from the last observation — the chart's memory lives in the process
+    distribution, not the sample path.
+    """
+
+    def __init__(self, center: float, ucl: float) -> None:
+        if not 0.0 <= center <= 1.0:
+            raise ValueError("center must be a fraction")
+        if ucl < center:
+            raise ValueError("ucl must not be below the centre line")
+        self.center = float(center)
+        self.ucl = float(ucl)
+
+    @classmethod
+    def for_sample_size(cls, center: float, n_sample: int,
+                        k_sigma: float = PCHART_K_SIGMA,
+                        floor: float = PCHART_FLOOR) -> "PChart":
+        """Control limit at ``k`` binomial standard errors of ``n_sample``."""
+        if n_sample < 1:
+            raise ValueError("n_sample must be positive")
+        se = float(np.sqrt(max(center * (1.0 - center), 0.0) / n_sample))
+        return cls(center=center,
+                   ucl=min(1.0, center + k_sigma * se + floor))
+
+    def observe(self, fraction: float) -> bool:
+        """Return ``True`` when the fraction breaches the control limit."""
+        return float(fraction) > self.ucl
+
+
+class Cusum:
+    """A one-sided upper CUSUM on a streaming statistic.
+
+    Accumulates ``max(0, s + x - (target + slack))`` and signals when the
+    sum exceeds ``threshold``.  With ``target=None`` the chart
+    self-calibrates: the first finite observation becomes the target —
+    deterministic here because the monitor is fed in shard order.
+    """
+
+    def __init__(self, target: Optional[float] = None,
+                 slack: float = CUSUM_SLACK_LSB,
+                 threshold: float = CUSUM_THRESHOLD_LSB) -> None:
+        if slack < 0.0 or threshold <= 0.0:
+            raise ValueError("need slack >= 0 and threshold > 0")
+        self.target = None if target is None else float(target)
+        self.slack = float(slack)
+        self.threshold = float(threshold)
+        self.statistic = 0.0
+
+    def observe(self, value: float) -> bool:
+        """Fold one observation in; return ``True`` on a signal."""
+        value = float(value)
+        if not np.isfinite(value):
+            return False
+        if self.target is None:
+            self.target = value
+            return False
+        self.statistic = max(
+            0.0, self.statistic + value - (self.target + self.slack))
+        return self.statistic > self.threshold
+
+
+class SpcMonitor:
+    """Feed shard results through the charts; raise on an excursion.
+
+    Installed around a wafer run with
+    :func:`~repro.production.execution.spc_scope`; the executor calls
+    :meth:`observe` once per shard, in absolute shard order.  Results
+    without a per-device ``passed`` array (timing-only or non-screening
+    payloads) are skipped.
+    """
+
+    def __init__(self, p_chart: Optional[PChart] = None,
+                 cusum: Optional[Cusum] = None,
+                 wafer_id: str = "") -> None:
+        self.p_chart = p_chart
+        self.cusum = cusum
+        self.wafer_id = wafer_id
+        self.shards_seen = 0
+        self.devices_seen = 0
+
+    def observe(self, shard_index: int, result: object) -> None:
+        """Fold one shard result in; raise :class:`ExcursionAbort` on signal."""
+        passed = getattr(result, "passed", None)
+        if passed is None:
+            return
+        passed = np.asarray(passed)
+        if passed.ndim != 1 or passed.size == 0:
+            return
+        self.shards_seen += 1
+        self.devices_seen += int(passed.size)
+        reject_fraction = 1.0 - float(np.count_nonzero(passed)) / passed.size
+        if self.p_chart is not None and self.p_chart.observe(reject_fraction):
+            raise ExcursionAbort(
+                shard=int(shard_index), statistic="p_chart",
+                value=reject_fraction, threshold=self.p_chart.ucl,
+                wafer_id=self.wafer_id)
+        dnl = getattr(result, "measured_max_dnl_lsb", None)
+        if self.cusum is not None and dnl is not None:
+            dnl = np.asarray(dnl, dtype=float)
+            if dnl.size and np.isfinite(dnl).any():
+                if self.cusum.observe(float(np.nanmean(dnl))):
+                    raise ExcursionAbort(
+                        shard=int(shard_index), statistic="cusum",
+                        value=self.cusum.statistic,
+                        threshold=self.cusum.threshold,
+                        wafer_id=self.wafer_id)
+
+
+def monitor_for_model(per_code: PerCodeProbabilities, n_codes: int,
+                      shard_devices: int,
+                      k_sigma: float = PCHART_K_SIGMA,
+                      wafer_id: str = "") -> SpcMonitor:
+    """Build the standard monitor for a scenario's analytic device model.
+
+    The p-chart centre is the model's predicted reject fraction
+    ``1 - P(accept)`` from
+    :class:`~repro.analysis.binomial.BinomialDeviceModel`; its control
+    limit sits ``k_sigma`` binomial standard errors above it for a
+    ``shard_devices``-sized sample.  The CUSUM self-calibrates its target
+    on the first shard.
+    """
+    device = BinomialDeviceModel(per_code, n_codes).device()
+    center = min(1.0, max(0.0, 1.0 - device.p_accept))
+    return SpcMonitor(
+        p_chart=PChart.for_sample_size(center, shard_devices,
+                                       k_sigma=k_sigma),
+        cusum=Cusum(),
+        wafer_id=wafer_id)

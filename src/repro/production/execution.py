@@ -74,6 +74,7 @@ from repro.telemetry.log import ShardProgress
 
 __all__ = [
     "DEFAULT_SHARD_DEVICES",
+    "ExcursionAbort",
     "ExecutionAborted",
     "ExecutionPlan",
     "ShardExecutor",
@@ -82,10 +83,12 @@ __all__ = [
     "check_abort",
     "current_abort",
     "current_journal",
+    "current_monitor",
     "iter_slices",
     "journal_scope",
     "resolve_plan_seed",
     "spawn_shard_seeds",
+    "spc_scope",
 ]
 
 SeedLike = Union[int, np.integer, np.random.SeedSequence, None]
@@ -124,8 +127,42 @@ class ExecutionAborted(RuntimeError):
     """
 
 
+class ExcursionAbort(ExecutionAborted):
+    """An installed SPC monitor flagged an excursion: stop this wafer.
+
+    Raised by a :func:`spc_scope` monitor while the executor streams
+    shard results through it; the dispatch layer cancels every
+    not-yet-started shard of the run before the exception propagates.
+    Unlike the plain scheduling :class:`ExecutionAborted`, this abort
+    *does* publish partial results: :meth:`ShardExecutor.run` attaches
+    the merged contiguous prefix of completed shards (``partial``,
+    including the shard that tripped the chart) plus ``devices_done`` /
+    ``devices_total`` before re-raising, so the screening line can
+    disposition the aborted wafer.
+    """
+
+    def __init__(self, shard: int, statistic: str, value: float,
+                 threshold: float, wafer_id: str = "") -> None:
+        super().__init__(
+            f"excursion detected at shard {shard}"
+            f"{f' of wafer {wafer_id}' if wafer_id else ''}: "
+            f"{statistic} statistic {value:.4g} breached its control "
+            f"limit {threshold:.4g}; remaining shards aborted")
+        self.shard = int(shard)
+        self.statistic = str(statistic)
+        self.value = float(value)
+        self.threshold = float(threshold)
+        self.wafer_id = str(wafer_id)
+        #: Merged result of the completed shard prefix (attached by
+        #: :meth:`ShardExecutor.run`); ``None`` outside an engine run.
+        self.partial: Any = None
+        self.devices_done: int = 0
+        self.devices_total: int = 0
+
+
 _ABORT_LOCAL = threading.local()
 _JOURNAL_LOCAL = threading.local()
+_SPC_LOCAL = threading.local()
 
 
 def _local_stack(local: threading.local) -> List[Any]:
@@ -210,6 +247,65 @@ def current_journal() -> Any:
     """The innermost shard journal installed on this thread, if any."""
     stack = getattr(_JOURNAL_LOCAL, "stack", None)
     return stack[-1] if stack else None
+
+
+@contextmanager
+def spc_scope(monitor: Any):
+    """Install an SPC monitor for this thread's executor runs.
+
+    The wafer-level early-abort seam of the adaptive flows: while a
+    monitor is installed, :meth:`ShardExecutor.map` feeds it every shard
+    result — in **absolute shard order**, as a contiguous prefix,
+    regardless of worker completion order or journal replay — via
+    ``monitor.observe(shard_index, result)``.  A monitor that raises
+    :class:`ExcursionAbort` (see :class:`repro.flows.spc.SpcMonitor`)
+    stops the run's remaining shards.  ``None`` is a no-op.
+
+    Thread-local like :func:`abort_scope`: each scenario thread monitors
+    its own wafers.
+    """
+    if monitor is None:
+        yield
+        return
+    stack = _local_stack(_SPC_LOCAL)
+    stack.append(monitor)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def current_monitor() -> Any:
+    """The innermost SPC monitor installed on this thread, if any."""
+    stack = getattr(_SPC_LOCAL, "stack", None)
+    return stack[-1] if stack else None
+
+
+class _MonitorFeed:
+    """Deliver shard results to an SPC monitor as a contiguous prefix.
+
+    Results may arrive out of absolute order (journal hits before fresh
+    dispatches); the feed buffers them and advances a pointer, calling
+    ``monitor.observe`` strictly in shard order so chart state — and the
+    abort decision — is independent of the execution geometry.  The
+    contiguous observed prefix is retained for the partial merge an
+    :class:`ExcursionAbort` carries back.
+    """
+
+    def __init__(self, monitor: Any) -> None:
+        self._monitor = monitor
+        self._buffer: dict = {}
+        self._next = 0
+        self.observed: List[Any] = []
+
+    def push(self, index: int, value: Any) -> None:
+        self._buffer[index] = value
+        while self._next in self._buffer:
+            result = self._buffer.pop(self._next)
+            shard = self._next
+            self._next += 1
+            self.observed.append(result)
+            self._monitor.observe(shard, result)
 
 
 def spawn_shard_seeds(seed: SeedLike,
@@ -413,6 +509,16 @@ class ShardExecutor:
                     [(context, view[lo:hi], seeds[i], chunk)
                      for i, (lo, hi) in enumerate(bounds)],
                     task_sizes=[hi - lo for lo, hi in bounds])
+            except ExcursionAbort as exc:
+                # Publish what the completed shard prefix measured so the
+                # caller can disposition the aborted wafer.
+                prefix = getattr(exc, "prefix_results", None) or []
+                if exc.partial is None and prefix:
+                    exc.partial = engine.merge(prefix)
+                    exc.devices_done = sum(
+                        hi - lo for lo, hi in bounds[:len(prefix)])
+                exc.devices_total = int(transitions.shape[0])
+                raise
             finally:
                 if staged is not None:
                     staged.close()
@@ -436,18 +542,36 @@ class ShardExecutor:
         feeds the per-shard telemetry spans and the rolling devices/sec
         progress line; it never affects scheduling or results.
 
-        Honours the two ambient per-thread seams: an installed
+        Honours the three ambient per-thread seams: an installed
         :func:`abort_scope` event aborts before (and, serially, between)
-        shards, and an installed :func:`journal_scope` journal replays
+        shards; an installed :func:`journal_scope` journal replays
         already-recorded shard results and records fresh ones, so a
         resumed run dispatches only the shards the killed run never
-        finished.  Both default to no-ops.
+        finished; and an installed :func:`spc_scope` monitor observes
+        every result in absolute shard order and may abort the run's
+        remaining shards with :class:`ExcursionAbort`.  All default to
+        no-ops.
         """
         check_abort()
         tasks = list(arg_tuples)
+        monitor = current_monitor()
+        feed = _MonitorFeed(monitor) if monitor is not None else None
+        try:
+            return self._map_journaled(func, tasks, task_sizes, feed)
+        except ExcursionAbort as exc:
+            if feed is not None and getattr(exc, "prefix_results",
+                                            None) is None:
+                exc.prefix_results = list(feed.observed)
+            raise
+
+    def _map_journaled(self, func: Callable[..., Any],
+                       tasks: List[Tuple],
+                       task_sizes: Optional[Sequence[int]],
+                       feed: Optional["_MonitorFeed"]) -> List[Any]:
         journal = current_journal()
+        observer = feed.push if feed is not None else None
         if journal is None:
-            return self._map(func, tasks, task_sizes)
+            return self._map(func, tasks, task_sizes, observer=observer)
         key = journal.begin_run(len(tasks))
         results: List[Any] = [None] * len(tasks)
         pending: List[int] = []
@@ -455,12 +579,25 @@ class ShardExecutor:
             hit, value = journal.lookup(key, i)
             if hit:
                 results[i] = value
+                # Replayed results re-feed the charts: a resumed run
+                # re-detects the excursion at the same shard it first
+                # tripped on (the abort decision is part of the
+                # deterministic output, not of the schedule).
+                if feed is not None:
+                    feed.push(i, value)
             else:
                 pending.append(i)
         if pending:
             sub_sizes = (None if task_sizes is None
                          else [task_sizes[i] for i in pending])
-            fresh = self._map(func, [tasks[i] for i in pending], sub_sizes)
+            sub_observer = None
+            if feed is not None:
+                # Journal pending indices ascend, so feeding by absolute
+                # index keeps the monitor's contiguous-prefix order.
+                sub_observer = (
+                    lambda j, value: feed.push(pending[j], value))
+            fresh = self._map(func, [tasks[i] for i in pending], sub_sizes,
+                              observer=sub_observer)
             for i, value in zip(pending, fresh):
                 journal.record(key, i, value)
                 results[i] = value
@@ -468,13 +605,16 @@ class ShardExecutor:
 
     def _map(self, func: Callable[..., Any],
              tasks: List[Tuple],
-             task_sizes: Optional[Sequence[int]] = None) -> List[Any]:
+             task_sizes: Optional[Sequence[int]] = None,
+             observer: Optional[Callable[[int, Any], None]] = None
+             ) -> List[Any]:
         t = current_telemetry()
         n_workers = min(self.plan.workers, len(tasks))
         if n_workers <= 1:
             # Inline serial path (no pool, no descriptors).
             abort = current_abort()
-            if not t.enabled and t.progress_every <= 0 and abort is None:
+            if (not t.enabled and t.progress_every <= 0 and abort is None
+                    and observer is None):
                 return [func(*args) for args in tasks]
             if t.enabled:
                 t.count("executor.tasks", len(tasks))
@@ -488,6 +628,10 @@ class ShardExecutor:
                     results.append(_run_instrumented(func, args, metas[i]))
                 else:
                     results.append(func(*args))
+                if observer is not None:
+                    # An observer that raises stops the loop here:
+                    # remaining inline shards never run.
+                    observer(i, results[-1])
                 if progress.active:
                     progress.step(i)
             return results
@@ -495,15 +639,17 @@ class ShardExecutor:
         pool, transient = self._acquire_pool(n_workers)
         try:
             if not t.enabled and t.progress_every <= 0:
-                # Uninstrumented fast path: exactly the seed behaviour.
-                return pool.dispatch(func, tasks)
+                # Uninstrumented fast path: exactly the seed behaviour
+                # (observer=None keeps it on the ordered-map path).
+                return pool.dispatch(func, tasks, observer=observer)
             if t.enabled:
                 t.count("executor.tasks", len(tasks))
             progress = ShardProgress(len(tasks), t.progress_every,
                                      task_sizes)
             return pool.dispatch(func, tasks,
                                  metas=self._metas(tasks, task_sizes),
-                                 progress=progress)
+                                 progress=progress,
+                                 observer=observer)
         finally:
             if transient:
                 pool.close()

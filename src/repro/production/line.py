@@ -55,7 +55,11 @@ from repro.production.analysis_batch import (
     BatchHistogramTest,
 )
 from repro.production.batch_engine import BatchBistEngine, chip_grouping
-from repro.production.execution import ExecutionPlan
+from repro.production.execution import (
+    ExcursionAbort,
+    ExecutionPlan,
+    spc_scope,
+)
 from repro.production.lot import Lot, Wafer
 from repro.production.partial_batch import BatchPartialBistEngine
 from repro.telemetry.core import current_telemetry
@@ -83,6 +87,18 @@ class StationStats:
     n_in: int
     n_accepted: int
     tester_seconds: float
+    #: Devices whose insertion time is actually included in
+    #: ``tester_seconds``.  ``None`` (every fixed station) means all of
+    #: ``n_in`` — the historical uniform-insertion assumption.  Adaptive
+    #: stations set it explicitly: a sequential station's aborted-wafer
+    #: tail enters the queue (``n_in``) but is never inserted, so costing
+    #: throughput on ``n_in`` would overstate it.
+    n_accounted: Optional[int] = None
+
+    @property
+    def accounted(self) -> int:
+        """Devices that actually consumed the station's tester time."""
+        return self.n_in if self.n_accounted is None else self.n_accounted
 
     @property
     def n_rejected(self) -> int:
@@ -96,10 +112,15 @@ class StationStats:
 
     @property
     def devices_per_hour(self) -> float:
-        """Station throughput in devices per tester-hour."""
+        """Station throughput in devices per tester-hour.
+
+        Uses the *accounted* devices (those whose insertions are in
+        ``tester_seconds``), so adaptive stations with variable
+        per-device time report the throughput of the work actually done.
+        """
         if self.tester_seconds <= 0.0:
             return float("inf")
-        return self.n_in / self.tester_seconds * 3600.0
+        return self.accounted / self.tester_seconds * 3600.0
 
 
 @dataclass
@@ -135,6 +156,19 @@ class LotScreeningReport:
     #: (``None`` when devices_per_ic is 1).
     n_chips: Optional[int] = field(default=None)
     n_chips_passed: Optional[int] = field(default=None)
+    #: Test flow of the first station (``"fixed"`` or ``"sprt"``).
+    flow: str = field(default="fixed")
+    #: Code observations the sequential flow avoided versus the fixed
+    #: full-record schedule (0 for the fixed flow).
+    saved_samples: int = field(default=0)
+    #: Tester-seconds the sequential flow saved versus the fixed
+    #: schedule of the same insertions (0.0 for the fixed flow).
+    saved_tester_seconds: float = field(default=0.0)
+    #: Devices never inserted because the SPC monitor aborted their
+    #: wafer mid-stream (they count as rejected, at zero tester time).
+    n_aborted: int = field(default=0)
+    #: Wafers aborted by an SPC excursion signal.
+    excursions: int = field(default=0)
 
     @property
     def scenario(self) -> str:
@@ -225,6 +259,19 @@ class ScreeningLine:
     backend:
         Kernel backend name (see :mod:`repro.core.backend`) the line's
         engine runs on; ``None`` resolves the ambient/default backend.
+    flow:
+        ``"fixed"`` (default) runs the paper's fixed-count decision;
+        ``"sprt"`` mounts the adaptive sequential flow of
+        :mod:`repro.flows` — a Wald-SPRT station deciding each device on
+        its incremental code stream (reporting saved tester-seconds
+        through the tester economics), plus a wafer-level SPC monitor
+        (p-chart + CUSUM over streaming shard results, plan-based runs)
+        that aborts an excursed wafer's remaining shards.  Full BIST
+        only.
+    sprt_alpha, sprt_beta:
+        Wald design risks of the sequential flow: target probability of
+        rejecting a good device (``alpha``) and of accepting a faulty
+        one (``beta``).
     """
 
     def __init__(self, config: BistConfig,
@@ -237,7 +284,10 @@ class ScreeningLine:
                  method: str = "bist",
                  dynamic_analyzer: Optional[DynamicAnalyzer] = None,
                  dynamic_spec: Optional[DynamicSpec] = None,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 flow: str = "fixed",
+                 sprt_alpha: Optional[float] = None,
+                 sprt_beta: Optional[float] = None) -> None:
         # Imported here, not at module scope: the campaign package imports
         # this module (Campaign drives ScreeningLine), so the factory hop
         # must not create an import cycle.
@@ -269,8 +319,12 @@ class ScreeningLine:
             deglitch_depth=config.deglitch_depth,
             retest_attempts=retest_attempts,
             bin_edges_lsb=tuple(float(e) for e in bin_edges_lsb),
-            backend=backend)
+            backend=backend,
+            flow=flow)
         self.config = config
+        self.flow = flow
+        self.sprt_alpha = sprt_alpha
+        self.sprt_beta = sprt_beta
         self.scenario = scenario
         self.method = method
         self.partial_q = partial_q
@@ -312,7 +366,8 @@ class ScreeningLine:
                    method=scenario.method,
                    dynamic_analyzer=dynamic_analyzer,
                    dynamic_spec=dynamic_spec,
-                   backend=scenario.backend)
+                   backend=scenario.backend,
+                   flow=scenario.flow)
         # Keep the caller's full scenario (geometry, seed, label included)
         # rather than the line's measurement-only reconstruction.
         line.scenario = scenario
@@ -399,6 +454,19 @@ class ScreeningLine:
             return result.enob_shortfall_lsb
         return result.measured_max_dnl_lsb
 
+    def _sequential_policy(self):
+        """The SPRT policy and per-code model of this line's scenario.
+
+        Derived from the paper's closed-form error model for the line's
+        process sigma, DNL spec and counter width; the same per-code
+        conditionals feed the SPC monitor's analytic p-chart centre.
+        """
+        from repro.campaign.factory import sequential_policy
+
+        return sequential_policy(self.scenario, config=self.config,
+                                 alpha=self.sprt_alpha,
+                                 beta=self.sprt_beta)
+
     def test_plan(self, n_bits: int, samples: int,
                    sample_rate: float) -> TestPlan:
         """The per-device test plan pricing this line's insertions."""
@@ -477,6 +545,19 @@ class ScreeningLine:
         n_chips = 0
         n_chips_passed = 0
         chips_whole = self.devices_per_ic > 1
+        # Adaptive (sequential) flow bookkeeping.
+        sprt = self.flow == "sprt"
+        policy = per_code = None
+        if sprt:
+            policy, per_code = self._sequential_policy()
+        accounted_in = 0
+        total_stop_codes = 0
+        total_codes = 0
+        stopped_early = 0
+        stop_quartiles = np.zeros(4, dtype=np.int64)
+        n_aborted = 0
+        excursions_detected = 0
+        excursions_missed = 0
         if chips_whole:
             # Chips never straddle wafers; pricing insertions per IC while
             # silently skipping chip yield would misreport the economics,
@@ -491,18 +572,87 @@ class ScreeningLine:
         with t.span("line.screen_lot", lot=lot.lot_id, method=self.method,
                     wafers=len(lot)):
             for w_index, wafer in enumerate(lot):
-                result = self.engine.run_wafer(
-                    wafer,
-                    rng=(generator if insertion_seeds is None
-                         else insertion_seeds[w_index][0]),
-                    plan=plan)
-                samples_per_device = result.samples_taken
-                accepted = result.passed.copy()
-                measured_dnl = np.array(self._bin_metric(result), dtype=float)
-                first_pass_in += len(wafer)
-                first_pass_ok += result.n_accepted
+                n_wafer = len(wafer)
+                monitor = None
+                if sprt and plan is not None:
+                    # Wafer-level SPC rides on the shard stream, so it
+                    # needs a plan-based run; the monitor observes shard
+                    # results in absolute shard order (plan-geometry
+                    # independent) and aborts the wafer on an excursion.
+                    from repro.flows.spc import monitor_for_model
+                    monitor = monitor_for_model(
+                        per_code, spec.n_inner_codes, plan.shard_devices,
+                        wafer_id=wafer.wafer_id)
+                wafer_aborted = False
+                devices_done = n_wafer
+                try:
+                    with spc_scope(monitor):
+                        result = self.engine.run_wafer(
+                            wafer,
+                            rng=(generator if insertion_seeds is None
+                                 else insertion_seeds[w_index][0]),
+                            plan=plan)
+                except ExcursionAbort as exc:
+                    wafer_aborted = True
+                    excursions_detected += 1
+                    result = exc.partial
+                    devices_done = int(exc.devices_done)
+                    n_aborted += n_wafer - devices_done
+                    _log.info(
+                        "wafer %s aborted at shard %d (%s %.4g > %.4g): "
+                        "%d of %d devices dispositioned, tail rejected",
+                        wafer.wafer_id, exc.shard, exc.statistic,
+                        exc.value, exc.threshold, devices_done, n_wafer)
+                if (monitor is not None and not wafer_aborted
+                        and self.scenario.excursion is not None):
+                    excursions_missed += 1
+
+                # Disposition: the tested prefix takes its measured
+                # verdict (all devices for a clean wafer); an aborted
+                # wafer's untested tail is rejected at zero tester time.
+                accepted = np.zeros(n_wafer, dtype=bool)
+                measured_dnl = np.full(n_wafer, np.inf)
+                if result is not None:
+                    samples_per_device = result.samples_taken
+                    accepted[:devices_done] = result.passed
+                    measured_dnl[:devices_done] = np.asarray(
+                        self._bin_metric(result), dtype=float)
+
+                if sprt and result is not None and devices_done > 0:
+                    # Sequential station: re-derive the per-code accept
+                    # stream the full BIST observed and stop each device
+                    # at its Wald boundary; undecided devices keep the
+                    # fixed verdict (flow degenerates bit-exactly).
+                    from repro.flows.sequential import (
+                        code_pass_matrix,
+                        sprt_decide,
+                    )
+                    context = self.engine.prepare(
+                        wafer.transitions[:devices_done],
+                        spec.full_scale, spec.sample_rate)
+                    code_ok = code_pass_matrix(
+                        wafer.transitions[:devices_done],
+                        context.ramp_voltages, self.engine.limits,
+                        saturate=self.config.counter_saturate)
+                    decision = sprt_decide(code_ok, policy,
+                                           fixed_decision=result.passed)
+                    accepted[:devices_done] = decision.accepted
+                    total_stop_codes += decision.observed_codes
+                    total_codes += decision.total_codes
+                    stopped_early += decision.n_stopped_early
+                    stop_quartiles += decision.stop_quartiles()
+
+                first_pass_in += n_wafer
+                accounted_in += devices_done
+                first_pass_ok += int(
+                    np.count_nonzero(accepted[:devices_done]))
 
                 for attempt in range(self.retest_attempts):
+                    if wafer_aborted:
+                        # An excursed wafer is dispositioned, not
+                        # retested: its untested tail has no measurement
+                        # to recover from.
+                        break
                     rejected = np.nonzero(~accepted)[0]
                     if rejected.size == 0:
                         break
@@ -552,15 +702,30 @@ class ScreeningLine:
         bin_counts = {name: int(np.count_nonzero(bins == i))
                       for i, name in enumerate(names)}
 
-        # Tester-floor economics.
-        bist_seconds = self._insertion_seconds(
-            first_pass_in, samples_per_device, spec.sample_rate)
+        # Tester-floor economics.  Only devices that actually reached the
+        # tester (the accounted prefix of each wafer) consume insertion
+        # time; under the sequential flow the first station then scales
+        # that fixed-count time by the fraction of per-code observations
+        # the SPRT actually took before stopping.
+        fixed_seconds = self._insertion_seconds(
+            accounted_in, samples_per_device, spec.sample_rate)
+        if sprt and total_codes:
+            adaptive_seconds = fixed_seconds * (total_stop_codes
+                                                / total_codes)
+        else:
+            adaptive_seconds = fixed_seconds
+        saved_seconds = fixed_seconds - adaptive_seconds
+        bist_seconds = adaptive_seconds if sprt else fixed_seconds
         retest_seconds = self._insertion_seconds(
             retest_in, samples_per_device, spec.sample_rate)
-        stations = [
-            StationStats(self.method, first_pass_in, first_pass_ok,
-                         bist_seconds),
-        ]
+        if sprt:
+            first_station = StationStats(
+                "sequential", first_pass_in, first_pass_ok,
+                adaptive_seconds, n_accounted=accounted_in)
+        else:
+            first_station = StationStats(self.method, first_pass_in,
+                                         first_pass_ok, bist_seconds)
+        stations = [first_station]
         if self.retest_attempts > 0:
             stations.append(StationStats("retest", retest_in, retest_ok,
                                          retest_seconds))
@@ -590,6 +755,18 @@ class ScreeningLine:
                         station.n_in - station.n_accepted)
             t.record_timer("line.tester_seconds",
                            bist_seconds + retest_seconds)
+            if sprt:
+                # Adaptive-flow economics; see repro.telemetry.metrics
+                # for the flow.* key glossary.
+                t.count("flow.saved_samples",
+                        total_codes - total_stop_codes)
+                t.count("flow.devices_stopped_early", stopped_early)
+                t.count("flow.excursions_detected", excursions_detected)
+                t.count("flow.excursions_missed", excursions_missed)
+                t.count("flow.aborted_devices", n_aborted)
+                for i in range(4):
+                    t.count(f"flow.stop_quartile.q{i + 1}",
+                            int(stop_quartiles[i]))
         _log.info("lot %s [%s]: %d/%d accepted, %.3f tester-s, "
                   "%.3f s wall", lot.lot_id, self.method, n_accepted,
                   n_devices, bist_seconds + retest_seconds, wall_seconds)
@@ -613,7 +790,12 @@ class ScreeningLine:
             q=self.q,
             architecture=spec.architecture,
             n_chips=n_chips if chips_whole else None,
-            n_chips_passed=n_chips_passed if chips_whole else None)
+            n_chips_passed=n_chips_passed if chips_whole else None,
+            flow=self.flow,
+            saved_samples=(total_codes - total_stop_codes) if sprt else 0,
+            saved_tester_seconds=saved_seconds if sprt else 0.0,
+            n_aborted=n_aborted,
+            excursions=excursions_detected)
         if store is not None:
             store.add(report)
         return report

@@ -778,7 +778,9 @@ class WorkerPool:
     def dispatch(self, func: Callable[..., Any],
                  arg_tuples: Sequence[Tuple],
                  metas: Optional[Sequence[Optional[dict]]] = None,
-                 progress: Any = None) -> List[Any]:
+                 progress: Any = None,
+                 observer: Optional[Callable[[int, Any], None]] = None
+                 ) -> List[Any]:
         """Run ``func(*args)`` for every tuple on the pool, in order.
 
         Array arguments that are views into registered shared segments
@@ -787,6 +789,12 @@ class WorkerPool:
         telemetry enabled, per-shard worker snapshots are absorbed, the
         submit→start queue wait is timed, warm-worker task counts and the
         ``pool.queue_depth`` gauge are recorded.
+
+        ``observer``, when given, is called as ``observer(i, result)`` for
+        every task **in input order** as results are collected (the SPC
+        seam of :meth:`ShardExecutor.map`).  An observer that raises
+        cancels every not-yet-started task of this dispatch before the
+        exception propagates, so remaining shards genuinely never run.
         """
         t = current_telemetry()
         executor = self._ensure()
@@ -798,7 +806,8 @@ class WorkerPool:
         if metas is None:
             metas = [None] * len(tasks)
 
-        if not collect and (progress is None or not progress.active):
+        if (observer is None and not collect
+                and (progress is None or not progress.active)):
             # Uninstrumented fast path: ordered map, flags dropped.
             try:
                 return [result for _warm, result in executor.map(
@@ -836,6 +845,8 @@ class WorkerPool:
                     queue_wait = max(
                         0.0, record["start_monotonic"] - submit_at[i])
                     t.absorb_worker(record, queue_wait)
+                if observer is not None:
+                    observer(i, value)
                 results.append(value)
         except BaseException as exc:
             for future in futures:

@@ -112,8 +112,16 @@ class ResultStore:
                 if agg is None:
                     merged[station.name] = StationStats(
                         station.name, station.n_in, station.n_accepted,
-                        station.tester_seconds)
+                        station.tester_seconds,
+                        n_accounted=station.n_accounted)
                 else:
+                    if (agg.n_accounted is not None
+                            or station.n_accounted is not None):
+                        # Resolve through the fallback BEFORE touching
+                        # n_in: ``accounted`` defaults to the current
+                        # n_in, so summing after the increment would
+                        # double-count the incoming lot.
+                        agg.n_accounted = agg.accounted + station.accounted
                     agg.n_in += station.n_in
                     agg.n_accepted += station.n_accepted
                     agg.tester_seconds += station.tester_seconds

@@ -217,6 +217,19 @@ class ServeServer:
         if t.enabled:
             t.count("serve.results")
             t.count("serve.devices", report.n_devices)
+        excursions = getattr(report, "excursions", 0)
+        if excursions:
+            # An aborted wafer is operationally urgent (a line stoppage,
+            # not a statistic), so it gets its own event ahead of the
+            # result — and a counter in the deterministic block.
+            if t.enabled:
+                t.count("serve.excursions", excursions)
+            self._emit(event_line("excursion", id=request.id,
+                                  seq=request.seq, label=request.label,
+                                  excursions=excursions,
+                                  aborted=getattr(report, "n_aborted", 0),
+                                  flow=getattr(report, "flow", "fixed")),
+                       sink)
         record = scenario_record(request.scenario, request.label,
                                  request.seed, report)
         self._emit(event_line("result", id=request.id, seq=request.seq,

@@ -71,6 +71,13 @@ class RollingStore:
             "accepted": accepted,
             "accept_fraction": accepted / devices if devices else 0.0,
             "tester_seconds": sum(r.tester_seconds for r in reports),
+            # Adaptive-flow running totals; all zero on a ledger of
+            # fixed-flow clean requests, so legacy streams read the same.
+            "saved_tester_seconds": sum(
+                getattr(r, "saved_tester_seconds", 0.0) for r in reports),
+            "excursions": sum(getattr(r, "excursions", 0)
+                              for r in reports),
+            "aborted": sum(getattr(r, "n_aborted", 0) for r in reports),
         }
         if label is not None:
             out["scenario"] = self._label_stats(entries, label)

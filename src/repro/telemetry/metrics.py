@@ -41,6 +41,8 @@ work stream, not the scheduling geometry: ``serve.requests`` /
 screenings and their devices), ``serve.errors`` (malformed lines and
 failed screenings), ``serve.clients`` (TCP connections served),
 ``serve.resumed`` (requests replayed from a checkpoint journal),
+``serve.excursions`` (wafer-level excursion aborts reported by finished
+requests, each also emitted as its own ``excursion`` event),
 ``serve.shutdowns`` (shutdown commands honoured) and
 ``serve.pool_broken`` (requests that exhausted their pool-rebuild
 retries).  Each request also opens a ``serve.request`` span with the
@@ -72,6 +74,25 @@ match except for the ``kernel.<backend>.*`` names themselves; ``numba``
 is a **tolerance** backend (JIT loops may re-associate float sums,
 ``atol`` on the registered backend), so float-derived counters may
 legitimately differ in the last ulp.
+
+The adaptive test flows (:mod:`repro.flows`) count under ``flow.*`` in
+the deterministic ``counters`` block — the sequential station's
+decisions and the wafer-level SPC verdicts depend only on the drawn
+population, never on the execution geometry:
+
+``flow.saved_samples``
+    Per-code observations the SPRT stations skipped relative to the
+    fixed full-length test (the paper's tester-time currency).
+``flow.devices_stopped_early``
+    Devices whose SPRT crossed a Wald boundary before the last code.
+``flow.stop_quartile.q1`` … ``flow.stop_quartile.q4``
+    Histogram of SPRT stop positions by quartile of the code axis — the
+    deterministic stand-in for a stop-time distribution (q1 = stopped in
+    the first quarter of the codes).
+``flow.excursions_detected`` / ``flow.excursions_missed``
+    Wafers the SPC monitor aborted, and excursed wafers it let finish.
+``flow.aborted_devices``
+    Devices left untested (and rejected) on aborted wafers.
 
 :class:`MetricsReport` is the operator-facing pivot next to
 :meth:`~repro.production.store.ResultStore.campaign_table`: one row per
@@ -182,6 +203,11 @@ class MetricsReport:
                 "devices_per_hour": (devices / seconds * 3600.0
                                      if seconds > 0 else float("inf")),
                 "cost_per_device": weighted(lambda r: r.cost_per_device),
+                "saved_tester_seconds": sum(
+                    getattr(r, "saved_tester_seconds", 0.0)
+                    for r in reports),
+                "aborted": sum(getattr(r, "n_aborted", 0)
+                               for r in reports),
             })
         return cls(rows)
 
@@ -201,9 +227,11 @@ class MetricsReport:
         """The operator pivot, one row per scenario."""
         return format_table(
             ["scenario", "lots", "devices", "accepted", "type I",
-             "type II", "tester [s]", "devices/h", "cost/device"],
+             "type II", "tester [s]", "saved [s]", "devices/h",
+             "cost/device"],
             [[row["label"], row["lots"], row["devices"], row["accepted"],
               row["yield_loss"], row["escapes"], row["tester_seconds"],
+              row.get("saved_tester_seconds", 0.0),
               row["devices_per_hour"], row["cost_per_device"]]
              for row in self.rows],
             title="Campaign metrics per scenario")

@@ -119,6 +119,65 @@ class TestInterleavedCampaignInvariance:
             assert candidate == reference, (workers, chunk)
 
 
+def _flow_scenarios():
+    """Adaptive-flow grid: every excursion under the SPRT flow plus the
+    fixed-flow clean reference — the tentpole's determinism surface."""
+    base = Scenario(architecture="flash", method="bist", n_bits=6,
+                    n_devices=240, n_wafers=2)
+    return (base.grid(flow=["fixed", "sprt"],
+                      excursion=[None, "drift", "spatial", "burst"]))
+
+
+class TestAdaptiveFlowInvariance:
+    """Excursed populations and SPRT/SPC decisions are drawn and decided
+    in the parent, so the whole adaptive grid — including mid-wafer
+    aborts — must stay byte-identical across every scheduling geometry
+    and across a warm pool."""
+
+    def test_flow_grid_matches_sequential_reference(self):
+        scenarios = _flow_scenarios()
+        reference = _digest(Campaign(scenarios, seed=13).run(
+            plan=ExecutionPlan(workers=1, shard_devices=64)))
+        for workers, chunk in WORKER_GRID:
+            candidate = _digest(Campaign(scenarios, seed=13).run(
+                plan=ExecutionPlan(workers=workers, chunk_size=chunk,
+                                   shard_devices=64)))
+            assert candidate == reference, (workers, chunk)
+
+    def test_flow_grid_warm_pool_matches_cold(self):
+        scenarios = _flow_scenarios()
+        plan = ExecutionPlan(workers=2, shard_devices=64)
+        cold = _digest(Campaign(scenarios, seed=13).run(plan=plan))
+        # The pool is still warm from the first run; results must not
+        # notice the reused workers.
+        warm = _digest(Campaign(scenarios, seed=13).run(plan=plan))
+        assert warm == cold
+
+    def test_excursed_draws_byte_identical_across_geometry(self):
+        # The generators run at draw time in the parent; the execution
+        # plan must not even be able to influence the population bytes.
+        scenario = Scenario(architecture="flash", method="bist", n_bits=6,
+                            n_devices=240, n_wafers=3, seed=13,
+                            excursion="spatial")
+        reference = [w.transitions.tobytes()
+                     for w in scenario.draw_lot()]
+        again = [w.transitions.tobytes() for w in scenario.draw_lot()]
+        assert again == reference
+
+    def test_flow_counters_identical_outside_timing(self):
+        def document(workers):
+            with telemetry_session(Telemetry()) as t:
+                Campaign(_flow_scenarios(), seed=13).run(
+                    plan=ExecutionPlan(workers=workers, shard_devices=64))
+            return metrics_document(t)
+
+        serial = document(1)
+        interleaved = document(2)
+        assert serial["counters"] == interleaved["counters"]
+        assert any(name.startswith("flow.")
+                   for name in serial["counters"])
+
+
 class TestInterleaveTelemetry:
     def _document(self, workers: int):
         with telemetry_session(Telemetry()) as t:

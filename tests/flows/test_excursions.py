@@ -1,0 +1,121 @@
+"""Excursion generators: determinism, identity edges, seed namespacing.
+
+Excursions are applied at draw time in the parent process, so their
+whole determinism story is the generator's: the same ``(name, seed,
+wafer_index)`` must produce byte-identical perturbations, the clean
+cases must return the *same object* (no accidental copies into the
+shared-memory path), and the perturbation streams must not alias the
+wafer-draw streams of the same scenario seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import Scenario
+from repro.flows.excursions import (
+    EXCURSIONS,
+    apply_excursion,
+    excursion_bounds,
+    excursion_rng,
+)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    """One drawn transition matrix and its LSB size."""
+    scenario = Scenario(n_devices=600, seed=21)
+    wafer = scenario.draw_wafer()
+    return wafer.transitions, wafer.spec.lsb
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", EXCURSIONS)
+    def test_same_inputs_byte_identical(self, name, clean):
+        transitions, lsb = clean
+        first = apply_excursion(name, transitions, lsb, 1, seed=21)
+        second = apply_excursion(name, transitions, lsb, 1, seed=21)
+        np.testing.assert_array_equal(first, second)
+        assert first.tobytes() == second.tobytes()
+
+    @pytest.mark.parametrize("name", EXCURSIONS)
+    def test_never_mutates_input(self, name, clean):
+        transitions, lsb = clean
+        before = transitions.copy()
+        apply_excursion(name, transitions, lsb, 1, seed=21)
+        np.testing.assert_array_equal(transitions, before)
+
+    @pytest.mark.parametrize("name", EXCURSIONS)
+    def test_wafer_indices_perturb_independently(self, name, clean):
+        transitions, lsb = clean
+        one = apply_excursion(name, transitions, lsb, 1, seed=21)
+        two = apply_excursion(name, transitions, lsb, 2, seed=21)
+        assert one.tobytes() != two.tobytes()
+
+
+class TestIdentityEdges:
+    def test_none_is_the_same_object(self, clean):
+        transitions, lsb = clean
+        assert apply_excursion(None, transitions, lsb, 0, 21) \
+            is transitions
+        assert apply_excursion("none", transitions, lsb, 0, 21) \
+            is transitions
+
+    def test_drift_wafer_zero_is_the_same_object(self, clean):
+        transitions, lsb = clean
+        assert apply_excursion("drift", transitions, lsb, 0, 21) \
+            is transitions
+
+    def test_unknown_name_raises(self, clean):
+        transitions, lsb = clean
+        with pytest.raises(ValueError, match="unknown excursion"):
+            apply_excursion("meteor", transitions, lsb, 0, 21)
+
+
+class TestSeedNamespace:
+    def test_disjoint_from_wafer_draw_streams(self):
+        # The excursion stream of (seed, wafer 0) must not reproduce any
+        # wafer-draw child stream of the same seed — drawing a wafer and
+        # then excursing it must not reuse entropy.
+        draw = np.random.default_rng(
+            np.random.SeedSequence(21).spawn(4)[0]).random(64)
+        excursion = excursion_rng(21, 0).random(64)
+        assert not np.array_equal(draw, excursion)
+
+    def test_pure_function_of_seed_and_index(self):
+        a = excursion_rng(5, 3).random(16)
+        b = excursion_rng(5, 3).random(16)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScenarioIntegration:
+    def test_excursed_lot_draw_is_deterministic(self):
+        scenario = Scenario(n_devices=300, n_wafers=3, seed=8,
+                            excursion="spatial")
+        first = scenario.draw_lot()
+        second = scenario.draw_lot()
+        for wafer_a, wafer_b in zip(first, second):
+            assert wafer_a.transitions.tobytes() \
+                == wafer_b.transitions.tobytes()
+
+    def test_excursed_lot_differs_from_clean(self):
+        clean = Scenario(n_devices=300, n_wafers=2, seed=8)
+        excursed = clean.derive(excursion="burst", seed=8)
+        lots = (clean.draw_lot(), excursed.draw_lot())
+        assert lots[0].wafers[0].transitions.tobytes() \
+            != lots[1].wafers[0].transitions.tobytes()
+
+    def test_drift_lot_keeps_wafer_zero_clean(self):
+        clean = Scenario(n_devices=300, n_wafers=2, seed=8)
+        drifted = clean.derive(excursion="drift", seed=8)
+        clean_lot, drift_lot = clean.draw_lot(), drifted.draw_lot()
+        assert clean_lot.wafers[0].transitions.tobytes() \
+            == drift_lot.wafers[0].transitions.tobytes()
+        assert clean_lot.wafers[1].transitions.tobytes() \
+            != drift_lot.wafers[1].transitions.tobytes()
+
+    def test_bounds_classify_every_registered_name(self):
+        assert excursion_bounds(None) == (False, "no excursion configured")
+        for name in EXCURSIONS:
+            should_trip, reason = excursion_bounds(name)
+            assert should_trip
+            assert reason

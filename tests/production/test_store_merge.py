@@ -103,3 +103,132 @@ class TestMergeOrderInvariance:
             names = [s.name for s in
                      ResultStore.merge(permutation).station_totals()]
             assert names == ["bist", "histogram", "retest", "binning"]
+
+
+def _sequential_report(lot_id, n_devices, n_aborted, saved_seconds,
+                       excursions=0):
+    """A hand-built sprt-flow report, as `screen_lot(flow="sprt")` emits:
+    the sequential station accounts only the non-aborted prefix."""
+    from repro.production.line import LotScreeningReport, StationStats
+    accounted = n_devices - n_aborted
+    accepted = max(accounted - 1, 0)
+    seconds = 0.001 * accounted
+    return LotScreeningReport(
+        lot_id=lot_id, n_devices=n_devices, n_accepted=accepted,
+        n_recovered=0, bin_counts={"bin-1": accepted},
+        stations=[
+            StationStats("sequential", n_devices, accepted, seconds,
+                         n_accounted=accounted),
+            StationStats("binning", accepted, accepted, 0.0),
+        ],
+        tester_seconds=seconds, cost_per_device=1e-6, p_good=1.0,
+        type_i=0.0, type_ii=0.0, samples_per_device=1000,
+        flow="sprt", saved_samples=accounted * 10,
+        saved_tester_seconds=saved_seconds, n_aborted=n_aborted,
+        excursions=excursions)
+
+
+class TestSequentialStationMerge:
+    """station_totals over adaptive stations: the n_accounted contract."""
+
+    def _totals(self, reports):
+        store = ResultStore()
+        for report in reports:
+            store.add(report)
+        return {s.name: s for s in store.station_totals()}
+
+    def test_accounted_sums_across_lots(self):
+        totals = self._totals([
+            _sequential_report("L0", 100, 20, 0.5, excursions=1),
+            _sequential_report("L1", 100, 0, 0.7),
+        ])
+        station = totals["sequential"]
+        assert station.n_in == 200
+        assert station.n_accounted == 180
+        assert station.accounted == 180
+
+    def test_merge_order_does_not_double_count(self):
+        reports = [_sequential_report(f"L{i}", 100, 10 * i, 0.1)
+                   for i in range(3)]
+        for ordering in itertools.permutations(reports):
+            station = self._totals(list(ordering))["sequential"]
+            assert station.n_accounted == 270, \
+                [r.lot_id for r in ordering]
+
+    def test_fixed_stations_keep_none_accounted(self, child_stores):
+        merged = ResultStore.merge(child_stores)
+        for station in merged.station_totals():
+            assert station.n_accounted is None
+            assert station.accounted == station.n_in
+
+    def test_mixed_none_and_explicit_accounted(self):
+        from repro.production.line import LotScreeningReport, StationStats
+        plain = LotScreeningReport(
+            lot_id="F0", n_devices=50, n_accepted=50, n_recovered=0,
+            bin_counts={}, stations=[StationStats("sequential", 50, 50,
+                                                  0.05)],
+            tester_seconds=0.05, cost_per_device=1e-6, p_good=1.0,
+            type_i=0.0, type_ii=0.0, samples_per_device=1000)
+        totals = self._totals([plain,
+                               _sequential_report("L0", 100, 40, 0.2)])
+        station = totals["sequential"]
+        # The None entry falls back to its full n_in (50), the adaptive
+        # entry contributes its explicit prefix (60).
+        assert station.n_accounted == 110
+
+    def test_all_aborted_lot_merges_finite(self):
+        report = _sequential_report("L0", 80, 80, 0.0, excursions=1)
+        station = self._totals([report])["sequential"]
+        assert station.n_accounted == 0
+        assert station.tester_seconds == 0.0
+        assert station.devices_per_hour == float("inf")
+        assert report.n_accepted == 0
+
+
+class TestMetricsReportSequentialFields:
+    def test_rows_sum_saved_seconds_and_aborts(self):
+        from repro.telemetry.metrics import MetricsReport
+        reports = [
+            _sequential_report("L0", 100, 20, 0.5, excursions=1),
+            _sequential_report("L1", 100, 0, 0.7),
+        ]
+        pivot = MetricsReport.from_reports(["sprt"], {"sprt": reports})
+        (row,) = pivot.rows
+        assert row["saved_tester_seconds"] == pytest.approx(1.2)
+        assert row["aborted"] == 20
+        assert row["devices"] == 200
+        assert "saved [s]" in pivot.table()
+
+    def test_empty_label_row_is_all_zero(self):
+        from repro.telemetry.metrics import MetricsReport
+        pivot = MetricsReport.from_reports(["ghost"], {})
+        (row,) = pivot.rows
+        assert row["devices"] == 0
+        assert row["saved_tester_seconds"] == 0.0
+        assert row["aborted"] == 0
+        assert row["cost_per_device"] == 0.0
+
+    def test_all_aborted_lot_row(self):
+        from repro.telemetry.metrics import MetricsReport
+        reports = [_sequential_report("L0", 80, 80, 0.0, excursions=1)]
+        pivot = MetricsReport.from_reports(["dead"], {"dead": reports})
+        (row,) = pivot.rows
+        assert row["accepted"] == 0
+        assert row["tester_seconds"] == 0.0
+        assert row["aborted"] == 80
+
+    def test_legacy_reports_without_flow_fields(self):
+        from repro.telemetry.metrics import MetricsReport
+
+        class Legacy:
+            n_devices = 10
+            n_accepted = 9
+            tester_seconds = 0.5
+            type_i = 0.0
+            type_ii = 0.0
+            cost_per_device = 1e-6
+
+        pivot = MetricsReport.from_reports(["old"], {"old": [Legacy()]})
+        (row,) = pivot.rows
+        assert row["saved_tester_seconds"] == 0.0
+        assert row["aborted"] == 0
